@@ -1,0 +1,188 @@
+//! Expression-level name resolution: binding named columns to input
+//! positions, expanding wildcards, and recursing into correlated `EXISTS`
+//! subqueries with an outer scope.
+
+use sparkline_common::{Result, Schema};
+use sparkline_plan::{BoundColumn, Expr};
+
+/// The schemas visible while resolving one node's expressions.
+#[derive(Clone, Copy)]
+pub struct Scope<'a> {
+    /// The node's input schema.
+    pub schema: &'a Schema,
+    /// The enclosing query's input schema, for correlated subqueries.
+    /// Only one level of correlation is supported (sufficient for the
+    /// paper's reference rewrites, Listing 4/13).
+    pub outer: Option<&'a Schema>,
+}
+
+impl<'a> Scope<'a> {
+    /// Scope without an outer query.
+    pub fn new(schema: &'a Schema) -> Self {
+        Scope {
+            schema,
+            outer: None,
+        }
+    }
+
+    /// Scope inside a subquery correlated with `outer`.
+    pub fn with_outer(schema: &'a Schema, outer: Option<&'a Schema>) -> Self {
+        Scope { schema, outer }
+    }
+}
+
+/// Bind named columns in `expr` against the scope.
+///
+/// Unresolvable columns are left untouched (later rules — missing
+/// references, aggregate propagation — may still handle them; validation
+/// reports any that remain). Ambiguous references are an immediate error.
+pub fn resolve_expr(expr: Expr, scope: &Scope<'_>) -> Result<Expr> {
+    expr.transform_up(&mut |node| {
+        let Expr::Column(column) = node else {
+            return Ok(node);
+        };
+        // Try the local schema first.
+        if let Some(index) = scope
+            .schema
+            .find(column.qualifier.as_deref(), &column.name)?
+        {
+            return Ok(Expr::BoundColumn(BoundColumn {
+                index,
+                field: scope.schema.field(index).clone(),
+            }));
+        }
+        // Fall back to the outer query (correlated reference).
+        if let Some(outer) = scope.outer {
+            if let Some(index) = outer.find(column.qualifier.as_deref(), &column.name)? {
+                return Ok(Expr::OuterColumn(BoundColumn {
+                    index,
+                    field: outer.field(index).clone(),
+                }));
+            }
+        }
+        Ok(Expr::Column(column))
+    })
+}
+
+/// Expand `*` / `qualifier.*` items into bound columns of `schema`.
+/// Non-wildcard items pass through unchanged.
+pub fn expand_wildcards(exprs: Vec<Expr>, schema: &Schema) -> Result<Vec<Expr>> {
+    let mut out = Vec::with_capacity(exprs.len());
+    for e in exprs {
+        match e {
+            Expr::Wildcard { qualifier } => {
+                let before = out.len();
+                for (i, field) in schema.fields().iter().enumerate() {
+                    let matches = match &qualifier {
+                        None => true,
+                        Some(q) => field
+                            .qualifier()
+                            .is_some_and(|fq| fq.eq_ignore_ascii_case(q)),
+                    };
+                    if matches {
+                        out.push(Expr::BoundColumn(BoundColumn {
+                            index: i,
+                            field: field.clone(),
+                        }));
+                    }
+                }
+                if out.len() == before {
+                    return Err(sparkline_common::Error::analysis(match &qualifier {
+                        Some(q) => format!("'{q}.*' does not match any input columns"),
+                        None => "'*' with no input columns".to_string(),
+                    }));
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkline_common::{DataType, Field};
+    use sparkline_plan::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::qualified("t", "a", DataType::Int64, false),
+            Field::qualified("t", "b", DataType::Float64, true),
+        ])
+    }
+
+    #[test]
+    fn binds_local_columns() {
+        let s = schema();
+        let scope = Scope::new(&s);
+        let e = resolve_expr(Expr::col("a").lt(Expr::col("b")), &scope).unwrap();
+        assert!(e.resolved());
+        assert_eq!(e.to_string(), "(t.a#0 < t.b#1)");
+    }
+
+    #[test]
+    fn unresolved_stays_unresolved() {
+        let s = schema();
+        let scope = Scope::new(&s);
+        let e = resolve_expr(Expr::col("missing"), &scope).unwrap();
+        assert_eq!(e, Expr::col("missing"));
+    }
+
+    #[test]
+    fn outer_fallback_produces_outer_column() {
+        let inner = schema().with_qualifier("i");
+        let outer = schema().with_qualifier("o");
+        let scope = Scope::with_outer(&inner, Some(&outer));
+        let e = resolve_expr(
+            Expr::qcol("i", "a").lt_eq(Expr::qcol("o", "a")),
+            &scope,
+        )
+        .unwrap();
+        assert_eq!(e.to_string(), "(i.a#0 <= outer(o.a#0))");
+    }
+
+    #[test]
+    fn ambiguity_is_an_error() {
+        let s = Schema::new(vec![
+            Field::qualified("x", "a", DataType::Int64, false),
+            Field::qualified("y", "a", DataType::Int64, false),
+        ]);
+        let scope = Scope::new(&s);
+        assert!(resolve_expr(Expr::Column(Column::new("a")), &scope).is_err());
+    }
+
+    #[test]
+    fn wildcard_expansion() {
+        let s = schema();
+        let exprs = expand_wildcards(vec![Expr::Wildcard { qualifier: None }], &s).unwrap();
+        assert_eq!(exprs.len(), 2);
+        assert!(exprs.iter().all(|e| e.resolved()));
+    }
+
+    #[test]
+    fn qualified_wildcard_expansion() {
+        let joined = schema().join(&schema().with_qualifier("u"));
+        let exprs = expand_wildcards(
+            vec![Expr::Wildcard {
+                qualifier: Some("u".into()),
+            }],
+            &joined,
+        )
+        .unwrap();
+        assert_eq!(exprs.len(), 2);
+        assert_eq!(exprs[0].to_string(), "u.a#2");
+    }
+
+    #[test]
+    fn unknown_qualifier_wildcard_errors() {
+        let s = schema();
+        assert!(expand_wildcards(
+            vec![Expr::Wildcard {
+                qualifier: Some("nope".into())
+            }],
+            &s
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! Node-level resolution rules: the analogue of the Catalyst analyzer
+//! rules the paper extends, including the skyline-specific ones:
+//!
+//! * [`resolve_exprs_against_aggregate`] — aggregate propagation into
+//!   skyline/sort/having expressions (paper Listings 7 and 10). Aggregate
+//!   calls appearing above an `Aggregate` node are matched against the
+//!   aggregate's result expressions; missing aggregates are *added* to the
+//!   `Aggregate` and the plan is later re-projected to its original shape.
+//! * [`add_missing_columns`] — the `ResolveMissingReferences` extension
+//!   (paper Listing 6): skyline (and sort) expressions may reference
+//!   columns that the final projection drops; the projection is widened,
+//!   the operator resolved, and a restoring projection added on top.
+
+use std::sync::Arc;
+
+use sparkline_common::{Result, Schema};
+use sparkline_plan::{BoundColumn, Expr, LogicalPlan};
+
+use crate::resolver::{resolve_expr, Scope};
+
+/// Strip `AS` aliases for structural comparison.
+fn strip_alias(e: &Expr) -> &Expr {
+    match e {
+        Expr::Alias { expr, .. } => strip_alias(expr),
+        other => other,
+    }
+}
+
+/// Outcome of resolving expressions against an `Aggregate` node.
+pub struct AggregateResolution {
+    /// The rewritten expressions, bound against the (possibly extended)
+    /// aggregate output.
+    pub exprs: Vec<Expr>,
+    /// The aggregate's result expressions, possibly extended with newly
+    /// introduced aggregates or group columns.
+    pub new_result_exprs: Vec<Expr>,
+    /// Whether result expressions were added (a restoring projection is
+    /// then required, as in Listing 6 lines 10–12).
+    pub grew: bool,
+}
+
+/// Resolve `exprs` (sort keys, skyline dimensions, or a HAVING predicate)
+/// against an `Aggregate` node (paper Listings 7/10).
+///
+/// * Named columns bind against the aggregate *output* (group columns and
+///   aliases like `total` for `sum(v) AS total`).
+/// * Aggregate calls have their arguments bound against the aggregate
+///   *input* and are then matched structurally against existing result
+///   expressions; unmatched calls are appended as new result expressions.
+/// * Named columns not in the output but equal to a group expression are
+///   appended likewise (e.g. `ORDER BY k` when `k` is grouped but not
+///   selected).
+pub fn resolve_exprs_against_aggregate(
+    exprs: Vec<Expr>,
+    group_exprs: &[Expr],
+    result_exprs: &[Expr],
+    input_schema: &Schema,
+    output_schema: &Schema,
+    outer: Option<&Schema>,
+) -> Result<AggregateResolution> {
+    let mut extras: Vec<Expr> = Vec::new();
+    let base_len = result_exprs.len();
+
+    let bind_to_output = |candidate: Expr,
+                              extras: &mut Vec<Expr>|
+     -> Expr {
+        // Match against existing result expressions first.
+        for (i, r) in result_exprs.iter().enumerate() {
+            if strip_alias(r) == &candidate {
+                return Expr::BoundColumn(BoundColumn {
+                    index: i,
+                    field: output_schema.field(i).clone(),
+                });
+            }
+        }
+        // Then against already-added extras.
+        for (j, r) in extras.iter().enumerate() {
+            if r == &candidate {
+                let field = candidate
+                    .to_field(input_schema)
+                    .unwrap_or_else(|_| output_schema.field(0).clone());
+                return Expr::BoundColumn(BoundColumn {
+                    index: base_len + j,
+                    field,
+                });
+            }
+        }
+        // Introduce a new result expression (the "missing aggregate" path
+        // of Listing 7).
+        let field = match candidate.to_field(input_schema) {
+            Ok(f) => f,
+            Err(_) => return candidate,
+        };
+        extras.push(candidate);
+        Expr::BoundColumn(BoundColumn {
+            index: base_len + extras.len() - 1,
+            field,
+        })
+    };
+
+    let rewritten: Vec<Expr> = exprs
+        .into_iter()
+        .map(|e| {
+            e.transform_up(&mut |node| {
+                match node {
+                    Expr::Column(c) => {
+                        // Bind against the aggregate output (group columns,
+                        // aliases).
+                        if let Some(i) =
+                            output_schema.find(c.qualifier.as_deref(), &c.name)?
+                        {
+                            return Ok(Expr::BoundColumn(BoundColumn {
+                                index: i,
+                                field: output_schema.field(i).clone(),
+                            }));
+                        }
+                        // Otherwise: maybe a grouped input column that was
+                        // not selected.
+                        if let Some(i) =
+                            input_schema.find(c.qualifier.as_deref(), &c.name)?
+                        {
+                            let bound = Expr::BoundColumn(BoundColumn {
+                                index: i,
+                                field: input_schema.field(i).clone(),
+                            });
+                            if group_exprs.iter().any(|g| strip_alias(g) == &bound) {
+                                return Ok(bind_to_output(bound, &mut extras));
+                            }
+                        }
+                        Ok(Expr::Column(c))
+                    }
+                    Expr::Aggregate { func, arg } => {
+                        // Bind the argument against the aggregate *input*.
+                        let arg = match arg {
+                            Some(a) => {
+                                let scope = Scope::with_outer(input_schema, outer);
+                                Some(Box::new(resolve_expr(*a, &scope)?))
+                            }
+                            None => None,
+                        };
+                        let candidate = Expr::Aggregate { func, arg };
+                        if !candidate.resolved() {
+                            return Ok(candidate);
+                        }
+                        Ok(bind_to_output(candidate, &mut extras))
+                    }
+                    other => Ok(other),
+                }
+            })
+        })
+        .collect::<Result<_>>()?;
+
+    let mut new_result_exprs = result_exprs.to_vec();
+    let grew = !extras.is_empty();
+    new_result_exprs.extend(extras);
+    Ok(AggregateResolution {
+        exprs: rewritten,
+        new_result_exprs,
+        grew,
+    })
+}
+
+/// The `ResolveMissingReferences` extension of paper Listing 6: resolve
+/// `exprs` against a `Projection` child, widening the projection with
+/// columns from *its* input when the expressions reference columns the
+/// projection dropped.
+///
+/// Returns the rewritten expressions plus the widened projection
+/// expressions, or `None` if nothing could be improved.
+pub fn add_missing_columns(
+    exprs: Vec<Expr>,
+    proj_exprs: &[Expr],
+    proj_input_schema: &Schema,
+    proj_output_schema: &Schema,
+) -> Result<Option<(Vec<Expr>, Vec<Expr>)>> {
+    let mut new_proj = proj_exprs.to_vec();
+    // Fields of the (growing) projection output, for binding.
+    let mut out_fields: Vec<sparkline_common::Field> =
+        proj_output_schema.fields().to_vec();
+    let mut changed = false;
+
+    let rewritten: Vec<Expr> = exprs
+        .into_iter()
+        .map(|e| {
+            e.transform_up(&mut |node| {
+                let Expr::Column(c) = node else {
+                    return Ok(node);
+                };
+                // Already available in the projection output?
+                let current = Schema::new(out_fields.clone());
+                if let Some(i) = current.find(c.qualifier.as_deref(), &c.name)? {
+                    return Ok(Expr::BoundColumn(BoundColumn {
+                        index: i,
+                        field: current.field(i).clone(),
+                    }));
+                }
+                // Available below the projection? Widen it (Listing 6,
+                // resolveExprsAndAddMissingAttrs).
+                if let Some(i) = proj_input_schema.find(c.qualifier.as_deref(), &c.name)? {
+                    let field = proj_input_schema.field(i).clone();
+                    new_proj.push(Expr::BoundColumn(BoundColumn {
+                        index: i,
+                        field: field.clone(),
+                    }));
+                    out_fields.push(field.clone());
+                    changed = true;
+                    return Ok(Expr::BoundColumn(BoundColumn {
+                        index: out_fields.len() - 1,
+                        field,
+                    }));
+                }
+                Ok(Expr::Column(c))
+            })
+        })
+        .collect::<Result<_>>()?;
+
+    if changed {
+        Ok(Some((rewritten, new_proj)))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Build a projection restoring the first `original.len()` columns — used
+/// after an operator's child was widened (Listing 6 line 12).
+pub fn restore_projection(plan: LogicalPlan, original: &Schema) -> LogicalPlan {
+    LogicalPlan::Projection {
+        exprs: (0..original.len())
+            .map(|i| {
+                Expr::BoundColumn(BoundColumn {
+                    index: i,
+                    field: original.field(i).clone(),
+                })
+            })
+            .collect(),
+        input: Arc::new(plan),
+    }
+}

@@ -1,0 +1,228 @@
+//! Post-resolution validation: every expression must be bound and
+//! well-typed, aggregates must be fully propagated, and skyline dimensions
+//! must be comparable.
+
+use sparkline_common::{DataType, Error, Result};
+use sparkline_plan::{Expr, JoinCondition, LogicalPlan};
+
+/// Validate a fully analyzed plan. Returns the first problem found.
+pub fn validate(plan: &LogicalPlan) -> Result<()> {
+    if !plan.resolved() {
+        return Err(Error::analysis(first_unresolved(plan).unwrap_or_else(|| {
+            "plan did not fully resolve".to_string()
+        })));
+    }
+    validate_node(plan)
+}
+
+/// Describe the first unresolved item for a useful error message.
+fn first_unresolved(plan: &LogicalPlan) -> Option<String> {
+    let mut found = None;
+    plan.visit_expressions(&mut |e| {
+        if found.is_none() {
+            match e {
+                Expr::Column(c) => {
+                    found = Some(format!("cannot resolve column '{c}'"));
+                }
+                Expr::Wildcard { .. } => {
+                    found = Some("'*' could not be expanded".to_string());
+                }
+                _ => {}
+            }
+        }
+    });
+    if found.is_none() {
+        // No unresolved expression: an unresolved relation remains.
+        fn find_relation(plan: &LogicalPlan) -> Option<String> {
+            if let LogicalPlan::UnresolvedRelation { name } = plan {
+                return Some(format!("table '{name}' not found in the catalog"));
+            }
+            plan.children().iter().find_map(|c| find_relation(c))
+        }
+        found = find_relation(plan);
+    }
+    found
+}
+
+fn validate_node(plan: &LogicalPlan) -> Result<()> {
+    for child in plan.children() {
+        validate_node(child)?;
+    }
+    match plan {
+        LogicalPlan::Projection { exprs, input } => {
+            let schema = input.schema()?;
+            for e in exprs {
+                if e.contains_aggregate() {
+                    return Err(Error::analysis(format!(
+                        "aggregate expression '{e}' is not allowed in a plain projection"
+                    )));
+                }
+                e.to_field(&schema)?;
+            }
+        }
+        LogicalPlan::Filter { predicate, input } => {
+            if predicate.contains_aggregate() {
+                return Err(Error::analysis(format!(
+                    "aggregate in filter predicate '{predicate}' could not be resolved \
+                     against an Aggregate node"
+                )));
+            }
+            let schema = input.schema()?;
+            let (ty, _) = predicate.data_type_and_nullable(&schema)?;
+            if !matches!(ty, DataType::Boolean | DataType::Null) {
+                return Err(Error::analysis(format!(
+                    "filter predicate '{predicate}' must be boolean, got {ty}"
+                )));
+            }
+            // Validate correlated subqueries recursively.
+            let mut sub_result = Ok(());
+            let mut visit = |e: &Expr| {
+                if let Expr::Exists { subquery, .. } = e {
+                    if sub_result.is_ok() {
+                        sub_result = validate_node(subquery);
+                    }
+                }
+            };
+            fn walk(e: &Expr, f: &mut dyn FnMut(&Expr)) {
+                f(e);
+                for c in e.children() {
+                    walk(c, f);
+                }
+            }
+            walk(predicate, &mut visit);
+            sub_result?;
+        }
+        LogicalPlan::Aggregate {
+            group_exprs,
+            aggr_exprs,
+            input,
+        } => {
+            let schema = input.schema()?;
+            for g in group_exprs {
+                if g.contains_aggregate() {
+                    return Err(Error::analysis(format!(
+                        "aggregate function in GROUP BY expression '{g}'"
+                    )));
+                }
+                g.to_field(&schema)?;
+            }
+            for e in aggr_exprs {
+                check_result_expr(e, group_exprs)?;
+                e.to_field(&schema)?;
+            }
+        }
+        LogicalPlan::Sort { exprs, input } => {
+            let schema = input.schema()?;
+            for s in exprs {
+                if s.expr.contains_aggregate() {
+                    return Err(Error::analysis(format!(
+                        "aggregate in ORDER BY key '{}' could not be resolved",
+                        s.expr
+                    )));
+                }
+                s.expr.to_field(&schema)?;
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            condition,
+            ..
+        } => match condition {
+            JoinCondition::On(e) => {
+                let combined = left.schema()?.join(right.schema()?.as_ref());
+                let (ty, _) = e.data_type_and_nullable(&combined)?;
+                if !matches!(ty, DataType::Boolean | DataType::Null) {
+                    return Err(Error::analysis(format!(
+                        "join condition '{e}' must be boolean, got {ty}"
+                    )));
+                }
+            }
+            JoinCondition::Using(cols) => {
+                return Err(Error::internal(format!(
+                    "USING ({}) should have been desugared by the analyzer",
+                    cols.join(", ")
+                )));
+            }
+            JoinCondition::None => {}
+        },
+        LogicalPlan::Skyline { dims, input, .. } => {
+            if dims.is_empty() {
+                return Err(Error::analysis("SKYLINE OF requires at least one dimension"));
+            }
+            // The incomplete pipeline encodes NULL patterns in a u64 bitmap
+            // (§5.7); 64 dimensions is far beyond any practical skyline.
+            if dims.len() > 64 {
+                return Err(Error::analysis(format!(
+                    "SKYLINE OF supports at most 64 dimensions, got {}",
+                    dims.len()
+                )));
+            }
+            let schema = input.schema()?;
+            for d in dims {
+                if d.child.contains_aggregate() {
+                    return Err(Error::analysis(format!(
+                        "aggregate in skyline dimension '{}' could not be resolved",
+                        d.child
+                    )));
+                }
+                let (ty, _) = d.child.data_type_and_nullable(&schema)?;
+                if !ty.is_comparable() {
+                    return Err(Error::analysis(format!(
+                        "skyline dimension '{}' has no comparable type ({ty})",
+                        d.child
+                    )));
+                }
+            }
+        }
+        LogicalPlan::MinMaxFilter { expr, input, .. } => {
+            let schema = input.schema()?;
+            let (ty, _) = expr.data_type_and_nullable(&schema)?;
+            if !ty.is_comparable() {
+                return Err(Error::analysis(format!(
+                    "min/max dimension '{expr}' has no comparable type ({ty})"
+                )));
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// An aggregate result expression must be built from group expressions,
+/// aggregate calls, and literals (ANSI SQL / Spark rule).
+fn check_result_expr(e: &Expr, group_exprs: &[Expr]) -> Result<()> {
+    fn strip(e: &Expr) -> &Expr {
+        match e {
+            Expr::Alias { expr, .. } => strip(expr),
+            other => other,
+        }
+    }
+    let stripped = strip(e);
+    if group_exprs.iter().any(|g| strip(g) == stripped) {
+        return Ok(());
+    }
+    match stripped {
+        Expr::Aggregate { arg, .. } => {
+            if let Some(a) = arg {
+                if a.contains_aggregate() {
+                    return Err(Error::analysis(format!(
+                        "nested aggregate in '{stripped}'"
+                    )));
+                }
+            }
+            Ok(())
+        }
+        Expr::BoundColumn(c) => Err(Error::analysis(format!(
+            "column '{}' must appear in GROUP BY or inside an aggregate function",
+            c.field.qualified_name()
+        ))),
+        Expr::Literal(_) => Ok(()),
+        other => {
+            for child in other.children() {
+                check_result_expr(child, group_exprs)?;
+            }
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! End-to-end analyzer tests: parse SQL, resolve against a static catalog,
+//! and inspect the resolved plans — including the paper's skyline-specific
+//! analyzer extensions (Listings 6, 7, 9, 10).
+
+use sparkline_analyzer::Analyzer;
+use sparkline_common::{DataType, Field, Schema};
+use sparkline_parser::parse_query;
+use sparkline_plan::{Expr, LogicalPlan, StaticCatalog};
+
+fn catalog() -> StaticCatalog {
+    let mut c = StaticCatalog::new();
+    c.register_table(
+        "hotels",
+        Schema::new(vec![
+            Field::new("id", DataType::Int64, false),
+            Field::new("price", DataType::Float64, false),
+            Field::new("user_rating", DataType::Int64, true),
+            Field::new("beach_distance", DataType::Float64, true),
+        ])
+        .into_ref(),
+    );
+    c.register_table(
+        "sales",
+        Schema::new(vec![
+            Field::new("k", DataType::Int64, false),
+            Field::new("v", DataType::Int64, false),
+            Field::new("w", DataType::Float64, true),
+        ])
+        .into_ref(),
+    );
+    c.register_table(
+        "track",
+        Schema::new(vec![
+            Field::new("id", DataType::Int64, false),
+            Field::new("recording", DataType::Int64, false),
+            Field::new("position", DataType::Int64, true),
+        ])
+        .into_ref(),
+    );
+    c
+}
+
+fn analyze(sql: &str) -> LogicalPlan {
+    let cat = catalog();
+    let analyzer = Analyzer::new(&cat);
+    let plan = parse_query(sql).unwrap_or_else(|e| panic!("parse error for {sql:?}: {e}"));
+    analyzer
+        .analyze(&plan)
+        .unwrap_or_else(|e| panic!("analysis error for {sql:?}: {e}\nplan:\n{plan}"))
+}
+
+fn analyze_err(sql: &str) -> String {
+    let cat = catalog();
+    let analyzer = Analyzer::new(&cat);
+    let plan = parse_query(sql).expect("should parse");
+    analyzer
+        .analyze(&plan)
+        .expect_err("analysis should fail")
+        .to_string()
+}
+
+#[test]
+fn resolves_simple_projection() {
+    let plan = analyze("SELECT price, user_rating FROM hotels");
+    assert!(plan.resolved());
+    let schema = plan.schema().unwrap();
+    assert_eq!(schema.len(), 2);
+    assert_eq!(schema.field(0).name(), "price");
+    assert_eq!(schema.field(0).data_type(), DataType::Float64);
+}
+
+#[test]
+fn expands_wildcard() {
+    let plan = analyze("SELECT * FROM hotels");
+    assert_eq!(plan.schema().unwrap().len(), 4);
+}
+
+#[test]
+fn resolves_table_alias() {
+    let plan = analyze("SELECT h.price FROM hotels AS h WHERE h.user_rating > 3");
+    assert!(plan.resolved());
+    assert_eq!(plan.schema().unwrap().field(0).qualifier(), Some("h"));
+}
+
+#[test]
+fn unknown_table_reported() {
+    let err = analyze_err("SELECT x FROM nonexistent");
+    assert!(err.contains("not found in the catalog"), "{err}");
+}
+
+#[test]
+fn unknown_column_reported() {
+    let err = analyze_err("SELECT wrong_col FROM hotels");
+    assert!(err.contains("cannot resolve column 'wrong_col'"), "{err}");
+}
+
+#[test]
+fn ambiguous_column_reported() {
+    let err = analyze_err("SELECT id FROM hotels, track");
+    assert!(err.contains("ambiguous"), "{err}");
+}
+
+#[test]
+fn type_mismatch_reported() {
+    let err = analyze_err("SELECT price + 'text' FROM hotels");
+    assert!(err.contains("incompatible operand types"), "{err}");
+}
+
+#[test]
+fn non_boolean_filter_reported() {
+    let err = analyze_err("SELECT price FROM hotels WHERE price + 1");
+    assert!(err.contains("must be boolean"), "{err}");
+}
+
+#[test]
+fn resolves_skyline_dimensions_listing_2() {
+    let plan = analyze(
+        "SELECT price, user_rating FROM hotels SKYLINE OF price MIN, user_rating MAX",
+    );
+    assert!(plan.resolved());
+    match &plan {
+        LogicalPlan::Skyline { dims, .. } => {
+            assert!(dims.iter().all(|d| d.child.resolved()));
+            assert_eq!(dims[0].child.to_string(), "hotels.price#0");
+        }
+        other => panic!("expected Skyline on top, got:\n{other}"),
+    }
+}
+
+/// Paper Listing 6: skyline dimensions not present in the projection. The
+/// projection is widened, the skyline resolved, and a restoring projection
+/// added on top — final schema unchanged.
+#[test]
+fn skyline_dimension_missing_from_projection() {
+    let plan = analyze("SELECT price FROM hotels SKYLINE OF price MIN, user_rating MAX");
+    assert!(plan.resolved(), "plan:\n{plan}");
+    let schema = plan.schema().unwrap();
+    assert_eq!(schema.len(), 1, "restoring projection keeps 1 column");
+    assert_eq!(schema.field(0).name(), "price");
+    // Shape: Projection(price) > Skyline > Projection(price, user_rating).
+    match &plan {
+        LogicalPlan::Projection { input, .. } => match input.as_ref() {
+            LogicalPlan::Skyline { dims, input, .. } => {
+                assert!(dims.iter().all(|d| d.child.resolved()));
+                let widened = input.schema().unwrap();
+                assert_eq!(widened.len(), 2, "projection widened:\n{plan}");
+            }
+            other => panic!("expected Skyline under projection, got:\n{other}"),
+        },
+        other => panic!("expected restoring Projection on top, got:\n{other}"),
+    }
+}
+
+/// Paper Listing 7: the skyline is based on an aggregate that the query
+/// output does not contain — the aggregate is added to the Aggregate node.
+#[test]
+fn skyline_on_missing_aggregate() {
+    let plan = analyze(
+        "SELECT k, sum(v) AS total FROM sales GROUP BY k \
+         SKYLINE OF count(v) MAX, k MIN",
+    );
+    assert!(plan.resolved(), "plan:\n{plan}");
+    let schema = plan.schema().unwrap();
+    assert_eq!(schema.len(), 2, "output restored to (k, total):\n{plan}");
+    assert_eq!(schema.field(1).name(), "total");
+    // The aggregate below must now compute count(v) as well.
+    let mut agg_result_count = None;
+    fn find_agg(plan: &LogicalPlan, out: &mut Option<usize>) {
+        if let LogicalPlan::Aggregate { aggr_exprs, .. } = plan {
+            *out = Some(aggr_exprs.len());
+        }
+        for c in plan.children() {
+            find_agg(c, out);
+        }
+    }
+    find_agg(&plan, &mut agg_result_count);
+    assert_eq!(agg_result_count, Some(3), "count(v) appended:\n{plan}");
+}
+
+/// HAVING with an aggregate that is not in the select list.
+#[test]
+fn having_on_missing_aggregate() {
+    let plan = analyze("SELECT k FROM sales GROUP BY k HAVING count(*) > 1");
+    assert!(plan.resolved(), "plan:\n{plan}");
+    assert_eq!(plan.schema().unwrap().len(), 1);
+    let d = plan.display_indent();
+    assert!(d.contains("count(*)"), "{d}");
+    assert!(d.lines().next().unwrap().starts_with("Projection"), "{d}");
+}
+
+/// HAVING reusing an aggregate from the select list must not extend the
+/// aggregate (no restoring projection needed).
+#[test]
+fn having_reuses_existing_aggregate() {
+    let plan = analyze("SELECT k, sum(v) FROM sales GROUP BY k HAVING sum(v) > 10");
+    assert!(plan.resolved());
+    // Top node stays the Filter (no projection wrap).
+    assert!(
+        matches!(plan, LogicalPlan::Filter { .. }),
+        "no restore projection expected:\n{plan}"
+    );
+}
+
+/// Paper Listing 10 / Appendix B: ORDER BY an aggregate while a HAVING
+/// filter sits between Sort and Aggregate.
+#[test]
+fn sort_on_aggregate_through_having_filter() {
+    let plan = analyze(
+        "SELECT k, sum(v) FROM sales GROUP BY k HAVING sum(v) > 0 ORDER BY count(*) DESC",
+    );
+    assert!(plan.resolved(), "plan:\n{plan}");
+    let schema = plan.schema().unwrap();
+    assert_eq!(schema.len(), 2, "output restored:\n{plan}");
+    let d = plan.display_indent();
+    // Sort resolved against the extended aggregate output.
+    assert!(d.contains("Sort"), "{d}");
+    assert!(d.contains("count(*)"), "{d}");
+}
+
+/// ORDER BY a grouped column that is not selected.
+#[test]
+fn sort_on_unselected_group_column() {
+    let plan = analyze("SELECT sum(v) FROM sales GROUP BY k ORDER BY k");
+    assert!(plan.resolved(), "plan:\n{plan}");
+    assert_eq!(plan.schema().unwrap().len(), 1);
+}
+
+/// ORDER BY a column the projection dropped (generic missing-references).
+#[test]
+fn sort_on_unprojected_column() {
+    let plan = analyze("SELECT price FROM hotels ORDER BY user_rating");
+    assert!(plan.resolved(), "plan:\n{plan}");
+    assert_eq!(plan.schema().unwrap().len(), 1);
+}
+
+#[test]
+fn aggregate_column_must_be_grouped() {
+    let err = analyze_err("SELECT k, v FROM sales GROUP BY k");
+    assert!(err.contains("must appear in GROUP BY"), "{err}");
+}
+
+#[test]
+fn using_join_is_desugared() {
+    let plan = analyze("SELECT hotels.price FROM hotels JOIN track USING (id)");
+    assert!(plan.resolved(), "plan:\n{plan}");
+    let d = plan.display_indent();
+    assert!(d.contains("Join [Inner, on: (hotels.id#0 = track.id#4)]"), "{d}");
+    // The merged column keeps a single copy: 4 hotel columns + 2 track
+    // columns (id dropped).
+    fn find_using_projection(plan: &LogicalPlan) -> Option<usize> {
+        if let LogicalPlan::Projection { exprs, input } = plan {
+            if matches!(input.as_ref(), LogicalPlan::Join { .. }) {
+                return Some(exprs.len());
+            }
+        }
+        plan.children().iter().find_map(|c| find_using_projection(c))
+    }
+    assert_eq!(find_using_projection(&plan), Some(6), "{d}");
+}
+
+#[test]
+fn exists_subquery_resolves_with_outer_references() {
+    // Listing 1 of the paper (reference skyline query).
+    let plan = analyze(
+        "SELECT price, user_rating FROM hotels AS o WHERE NOT EXISTS( \
+           SELECT * FROM hotels AS i WHERE \
+             i.price <= o.price AND i.user_rating >= o.user_rating \
+             AND (i.price < o.price OR i.user_rating > o.user_rating))",
+    );
+    assert!(plan.resolved(), "plan:\n{plan}");
+    // Outer references must appear inside the subquery.
+    let mut outer_refs = 0;
+    plan.visit_expressions(&mut |e| {
+        if matches!(e, Expr::OuterColumn(_)) {
+            outer_refs += 1;
+        }
+    });
+    assert_eq!(outer_refs, 4, "four correlated comparisons:\n{plan}");
+}
+
+#[test]
+fn skyline_with_diff_dimension_resolves() {
+    let plan = analyze("SELECT * FROM sales SKYLINE OF k DIFF, v MIN");
+    assert!(plan.resolved());
+}
+
+#[test]
+fn skyline_over_derived_table() {
+    let plan = analyze(
+        "SELECT * FROM (SELECT k AS key, v AS val FROM sales) t \
+         SKYLINE OF key MIN, val MAX",
+    );
+    assert!(plan.resolved(), "plan:\n{plan}");
+    let schema = plan.schema().unwrap();
+    assert_eq!(schema.field(0).qualifier(), Some("t"));
+}
+
+#[test]
+fn skyline_dimension_expression() {
+    let plan = analyze("SELECT * FROM hotels SKYLINE OF price / user_rating MIN");
+    assert!(plan.resolved());
+}
+
+#[test]
+fn analysis_is_idempotent() {
+    let cat = catalog();
+    let analyzer = Analyzer::new(&cat);
+    let plan = parse_query(
+        "SELECT price FROM hotels SKYLINE OF price MIN, user_rating MAX ORDER BY price",
+    )
+    .unwrap();
+    let once = analyzer.analyze(&plan).unwrap();
+    let twice = analyzer.analyze(&once).unwrap();
+    assert_eq!(once, twice);
+}
+
+#[test]
+fn left_outer_join_right_side_nullable() {
+    let plan = analyze(
+        "SELECT hotels.id, track.position FROM hotels \
+         LEFT OUTER JOIN track ON hotels.id = track.recording",
+    );
+    let schema = plan.schema().unwrap();
+    assert!(schema.field(1).nullable(), "right side nullable: {schema}");
+}
+
+#[test]
+fn aggregate_in_where_rejected() {
+    let err = analyze_err("SELECT k FROM sales WHERE sum(v) > 1 GROUP BY k");
+    assert!(
+        err.contains("aggregate") || err.contains("resolve"),
+        "{err}"
+    );
+}
+
+#[test]
+fn musicbrainz_like_query_resolves() {
+    let cat = {
+        let mut c = catalog();
+        c.register_table(
+            "recording_complete",
+            Schema::new(vec![
+                Field::new("id", DataType::Int64, false),
+                Field::new("length", DataType::Int64, true),
+                Field::new("video", DataType::Boolean, false),
+            ])
+            .into_ref(),
+        );
+        c.register_table(
+            "recording_meta",
+            Schema::new(vec![
+                Field::new("id", DataType::Int64, false),
+                Field::new("rating", DataType::Float64, true),
+                Field::new("rating_count", DataType::Int64, true),
+            ])
+            .into_ref(),
+        );
+        c
+    };
+    let analyzer = Analyzer::new(&cat);
+    let sql = "SELECT r.id, ifnull(r.length, 0) AS length, \
+               ifnull(rm.rating, 0) AS rating, \
+               recording_tracks.num_tracks, recording_tracks.min_position \
+               FROM recording_complete r LEFT OUTER JOIN ( \
+                 SELECT ri.id AS id, count(ti.recording) AS num_tracks, \
+                        min(ti.position) AS min_position \
+                 FROM recording_complete ri \
+                 JOIN track ti ON ti.recording = ri.id \
+                 GROUP BY ri.id \
+               ) recording_tracks USING (id) \
+               JOIN recording_meta rm USING (id) \
+               SKYLINE OF COMPLETE rating MAX, length MIN, num_tracks MAX";
+    let plan = parse_query(sql).unwrap();
+    let analyzed = analyzer
+        .analyze(&plan)
+        .unwrap_or_else(|e| panic!("{e}\n{plan}"));
+    assert!(analyzed.resolved());
+    let schema = analyzed.schema().unwrap();
+    assert_eq!(schema.len(), 5);
+}

@@ -1,0 +1,125 @@
+//! Micro-benchmarks for the dominance test — the paper's "main cost
+//! factor of skyline computation" (§2) — across dimension counts, value
+//! types, and the complete vs incomplete relation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparkline_common::{Row, SkylineDim, SkylineSpec, SkylineType, Value};
+use sparkline_skyline::DominanceChecker;
+use std::hint::black_box;
+
+fn int_rows(n: usize, dims: usize, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Row::new(
+                (0..dims)
+                    .map(|_| Value::Int64(rng.gen_range(0..1000)))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn float_rows(n: usize, dims: usize, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Row::new(
+                (0..dims)
+                    .map(|_| Value::Float64(rng.gen_range(0.0..1000.0)))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn spec(dims: usize) -> SkylineSpec {
+    SkylineSpec::new(
+        (0..dims)
+            .map(|i| {
+                SkylineDim::new(
+                    i,
+                    if i % 2 == 0 {
+                        SkylineType::Min
+                    } else {
+                        SkylineType::Max
+                    },
+                )
+            })
+            .collect(),
+    )
+}
+
+fn bench_dominance_by_dims(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dominance_check_by_dims");
+    for dims in [2usize, 4, 6, 8] {
+        let rows = int_rows(256, dims, 7);
+        let checker = DominanceChecker::complete(spec(dims));
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |b, _| {
+            b.iter(|| {
+                let mut count = 0u32;
+                for i in 0..rows.len() - 1 {
+                    if checker.dominates(black_box(&rows[i]), black_box(&rows[i + 1])) {
+                        count += 1;
+                    }
+                }
+                count
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dominance_types(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dominance_check_by_type");
+    let checker = DominanceChecker::complete(spec(4));
+    for (name, rows) in [
+        ("int64", int_rows(256, 4, 9)),
+        ("float64", float_rows(256, 4, 9)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &rows, |b, rows| {
+            b.iter(|| {
+                let mut count = 0u32;
+                for i in 0..rows.len() - 1 {
+                    if checker.dominates(&rows[i], &rows[i + 1]) {
+                        count += 1;
+                    }
+                }
+                count
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_complete_vs_incomplete_relation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dominance_relation");
+    let rows = int_rows(256, 4, 11);
+    for (name, checker) in [
+        ("complete", DominanceChecker::complete(spec(4))),
+        ("incomplete", DominanceChecker::incomplete(spec(4))),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &checker, |b, ch| {
+            b.iter(|| {
+                let mut count = 0u32;
+                for i in 0..rows.len() - 1 {
+                    if ch.dominates(&rows[i], &rows[i + 1]) {
+                        count += 1;
+                    }
+                }
+                count
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dominance_by_dims, bench_dominance_types,
+              bench_complete_vs_incomplete_relation
+);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! # sparkline-bench
+//!
+//! The paper-evaluation harness: code that regenerates every table and
+//! figure of the EDBT 2023 skyline paper's evaluation (§6 + Appendices C–E)
+//! at reproduction scale. See `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured outcomes.
+//!
+//! Scaling: datasets default to 1:100 of the paper's sizes and the timeout
+//! to 30 s (the paper's 3600 s scales with them). Absolute times differ
+//! from the paper (simulator vs 18-node YARN cluster); the reproduction
+//! target is the *shape*: which algorithm wins, how series scale, where
+//! timeouts appear.
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use report::{format_relative_table, format_series_table, Cell};
+pub use runner::{EvalContext, EvalSettings, Measurement, Metric};

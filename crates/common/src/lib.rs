@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # sparkline-common
+//!
+//! Shared foundation types for the `sparkline` query engine: scalar
+//! [`Value`]s, [`Row`]s, [`Schema`]s, error types, session configuration,
+//! and the skyline-specific vocabulary ([`SkylineType`], [`SkylineStrategy`])
+//! used across the parser, planner, optimizer, and execution layers.
+//!
+//! The engine reproduces *"Integration of Skyline Queries into Spark SQL"*
+//! (EDBT 2023). This crate intentionally has no dependencies so that every
+//! other crate in the workspace can build on it without cycles.
+
+pub mod config;
+pub mod error;
+pub mod row;
+pub mod schema;
+pub mod skyline;
+pub mod types;
+pub mod value;
+
+pub use config::{SessionConfig, SkylinePartitioning, SkylineStrategy};
+pub use error::{Error, Result};
+pub use row::Row;
+pub use schema::{Field, Schema, SchemaRef};
+pub use skyline::{SkylineDim, SkylineSpec, SkylineType};
+pub use types::DataType;
+pub use value::Value;

@@ -1,0 +1,160 @@
+//! Tuples (rows) flowing through the engine.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// A tuple of scalar [`Value`]s.
+///
+/// Rows are immutable once built and cheap to clone: the payload is a
+/// reference-counted slice, so a clone is a pointer copy plus a refcount
+/// bump. This matters because the skyline window, hash joins, and exchanges
+/// all retain rows that also live in their input partitions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Row {
+    values: Arc<[Value]>,
+}
+
+impl Row {
+    /// Build a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row {
+            values: values.into(),
+        }
+    }
+
+    /// The empty row (zero columns), used as the input of a `VALUES`-less
+    /// projection such as `SELECT 1`.
+    pub fn empty() -> Self {
+        Row { values: Arc::new([]) }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column accessor; panics on out-of-bounds, which indicates a planner
+    /// bug (all indices are produced by the analyzer against the schema).
+    pub fn get(&self, index: usize) -> &Value {
+        &self.values[index]
+    }
+
+    /// All values in the row.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// A new row containing the columns at `indices`, in order.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Concatenate two rows (used by join operators).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut values = Vec::with_capacity(self.width() + other.width());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Row::new(values)
+    }
+
+    /// Append `extra` columns to this row.
+    pub fn extend(&self, extra: impl IntoIterator<Item = Value>) -> Row {
+        let mut values = Vec::with_capacity(self.width() + 4);
+        values.extend_from_slice(&self.values);
+        values.extend(extra);
+        Row::new(values)
+    }
+
+    /// Approximate in-memory footprint, used for memory accounting.
+    pub fn estimated_bytes(&self) -> usize {
+        // Arc<[Value]> header (ptr + len + refcounts) plus per-value payload.
+        32 + self.values.iter().map(Value::estimated_bytes).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+/// Convenience macro-free builder used pervasively in tests:
+/// `Row::of([1i64.into(), Value::Null])`.
+impl<const N: usize> From<[Value; N]> for Row {
+    fn from(values: [Value; N]) -> Self {
+        Row::new(values.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[i64]) -> Row {
+        Row::new(vals.iter().map(|&v| Value::Int64(v)).collect())
+    }
+
+    #[test]
+    fn accessors() {
+        let r = row(&[1, 2, 3]);
+        assert_eq!(r.width(), 3);
+        assert_eq!(r.get(1), &Value::Int64(2));
+        assert_eq!(r.values().len(), 3);
+    }
+
+    #[test]
+    fn project_reorders_and_duplicates() {
+        let r = row(&[10, 20, 30]);
+        let p = r.project(&[2, 0, 0]);
+        assert_eq!(
+            p.values(),
+            &[Value::Int64(30), Value::Int64(10), Value::Int64(10)]
+        );
+    }
+
+    #[test]
+    fn concat_joins_rows() {
+        let a = row(&[1]);
+        let b = row(&[2, 3]);
+        assert_eq!(a.concat(&b), row(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn extend_appends() {
+        let r = row(&[1]).extend([Value::Int64(9)]);
+        assert_eq!(r, row(&[1, 9]));
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let r = row(&[1, 2]);
+        let c = r.clone();
+        assert!(Arc::ptr_eq(&r.values, &c.values));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(row(&[1, 2]).to_string(), "(1, 2)");
+        assert_eq!(Row::empty().to_string(), "()");
+    }
+
+    #[test]
+    fn estimated_bytes_grows_with_width() {
+        assert!(row(&[1, 2, 3]).estimated_bytes() > row(&[1]).estimated_bytes());
+    }
+}

@@ -1,0 +1,366 @@
+//! Relational schemas: fields, qualifiers, and name resolution.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::types::DataType;
+
+/// Shared reference to a [`Schema`]; plans and operators store schemas by
+/// reference because they are copied throughout the plan tree.
+pub type SchemaRef = Arc<Schema>;
+
+/// A named, typed column in a schema.
+///
+/// `qualifier` is the relation name or alias the column originates from
+/// (`hotels.price` has qualifier `hotels`); it is used by the analyzer to
+/// resolve qualified references and detect ambiguity. `nullable` drives the
+/// skyline algorithm selection of the paper's Listing 8: if all skyline
+/// dimensions are non-nullable, the faster complete algorithm is chosen even
+/// without the `COMPLETE` keyword.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    name: String,
+    data_type: DataType,
+    nullable: bool,
+    qualifier: Option<String>,
+}
+
+impl Field {
+    /// An unqualified field.
+    pub fn new(name: impl Into<String>, data_type: DataType, nullable: bool) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable,
+            qualifier: None,
+        }
+    }
+
+    /// A field qualified by a relation name/alias.
+    pub fn qualified(
+        qualifier: impl Into<String>,
+        name: impl Into<String>,
+        data_type: DataType,
+        nullable: bool,
+    ) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable,
+            qualifier: Some(qualifier.into()),
+        }
+    }
+
+    /// Column name (without qualifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Logical type.
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+
+    /// Whether the column may contain NULL.
+    pub fn nullable(&self) -> bool {
+        self.nullable
+    }
+
+    /// The originating relation name/alias, if any.
+    pub fn qualifier(&self) -> Option<&str> {
+        self.qualifier.as_deref()
+    }
+
+    /// This field with a different qualifier.
+    pub fn with_qualifier(&self, qualifier: impl Into<String>) -> Field {
+        let mut f = self.clone();
+        f.qualifier = Some(qualifier.into());
+        f
+    }
+
+    /// This field with the qualifier removed.
+    pub fn unqualified(&self) -> Field {
+        let mut f = self.clone();
+        f.qualifier = None;
+        f
+    }
+
+    /// This field with a different nullability.
+    pub fn with_nullable(&self, nullable: bool) -> Field {
+        let mut f = self.clone();
+        f.nullable = nullable;
+        f
+    }
+
+    /// This field renamed.
+    pub fn with_name(&self, name: impl Into<String>) -> Field {
+        let mut f = self.clone();
+        f.name = name.into();
+        f
+    }
+
+    /// `qualifier.name` or just `name`.
+    pub fn qualified_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Whether a reference `[qualifier.]name` matches this field.
+    /// Matching is case-insensitive, like Spark SQL's default resolver.
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self
+                .qualifier
+                .as_deref()
+                .is_some_and(|fq| fq.eq_ignore_ascii_case(q)),
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.qualified_name(), self.data_type)?;
+        if self.nullable {
+            f.write_str("?")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered list of [`Field`]s describing the output of a plan node.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// The empty schema (e.g. input of a table-less `SELECT`).
+    pub fn empty() -> SchemaRef {
+        Arc::new(Schema::new(vec![]))
+    }
+
+    /// Wrap in an [`Arc`].
+    pub fn into_ref(self) -> SchemaRef {
+        Arc::new(self)
+    }
+
+    /// The fields, in output order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field at position `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Resolve `[qualifier.]name` to a column index.
+    ///
+    /// Errors on unknown columns and on ambiguous unqualified references —
+    /// the same failure modes Spark's analyzer reports. As in Spark (and
+    /// ANSI SQL), an unqualified reference that matches several fields *of
+    /// the same qualifier* is ambiguous too.
+    pub fn index_of(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let matches: Vec<usize> = self
+            .fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.matches(qualifier, name))
+            .map(|(i, _)| i)
+            .collect();
+        match matches.len() {
+            0 => {
+                let display = match qualifier {
+                    Some(q) => format!("{q}.{name}"),
+                    None => name.to_string(),
+                };
+                Err(Error::analysis(format!(
+                    "column '{display}' not found; available: [{}]",
+                    self.fields
+                        .iter()
+                        .map(Field::qualified_name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )))
+            }
+            1 => Ok(matches[0]),
+            _ => {
+                let display = match qualifier {
+                    Some(q) => format!("{q}.{name}"),
+                    None => name.to_string(),
+                };
+                Err(Error::analysis(format!(
+                    "reference '{display}' is ambiguous; candidates: [{}]",
+                    matches
+                        .iter()
+                        .map(|&i| self.fields[i].qualified_name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )))
+            }
+        }
+    }
+
+    /// Like [`Schema::index_of`] but returns `None` instead of an
+    /// unknown-column error (still errors on ambiguity).
+    pub fn find(&self, qualifier: Option<&str>, name: &str) -> Result<Option<usize>> {
+        match self.index_of(qualifier, name) {
+            Ok(i) => Ok(Some(i)),
+            Err(Error::Analysis(m)) if m.contains("not found") => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema::new(fields)
+    }
+
+    /// Schema with every field re-qualified to `qualifier` (subquery alias
+    /// `FROM (...) AS t` or table alias `hotels AS h`).
+    pub fn with_qualifier(&self, qualifier: &str) -> Schema {
+        Schema::new(
+            self.fields
+                .iter()
+                .map(|f| f.with_qualifier(qualifier))
+                .collect(),
+        )
+    }
+
+    /// Schema with all qualifiers stripped.
+    pub fn unqualified(&self) -> Schema {
+        Schema::new(self.fields.iter().map(Field::unqualified).collect())
+    }
+
+    /// A projection of this schema onto the given column indices.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+impl From<Vec<Field>> for Schema {
+    fn from(fields: Vec<Field>) -> Self {
+        Schema::new(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_schema() -> Schema {
+        Schema::new(vec![
+            Field::qualified("hotels", "price", DataType::Float64, false),
+            Field::qualified("hotels", "rating", DataType::Int64, true),
+            Field::qualified("rooms", "price", DataType::Float64, false),
+        ])
+    }
+
+    #[test]
+    fn qualified_lookup() {
+        let s = test_schema();
+        assert_eq!(s.index_of(Some("hotels"), "price").unwrap(), 0);
+        assert_eq!(s.index_of(Some("rooms"), "price").unwrap(), 2);
+    }
+
+    #[test]
+    fn unqualified_lookup_unique() {
+        let s = test_schema();
+        assert_eq!(s.index_of(None, "rating").unwrap(), 1);
+    }
+
+    #[test]
+    fn unqualified_lookup_ambiguous() {
+        let s = test_schema();
+        let err = s.index_of(None, "price").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = test_schema();
+        assert_eq!(s.index_of(Some("HOTELS"), "PRICE").unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_column_error_lists_candidates() {
+        let s = test_schema();
+        let err = s.index_of(None, "stars").unwrap_err();
+        assert!(err.to_string().contains("hotels.price"), "{err}");
+    }
+
+    #[test]
+    fn find_returns_none_for_unknown() {
+        let s = test_schema();
+        assert_eq!(s.find(None, "stars").unwrap(), None);
+        assert_eq!(s.find(Some("hotels"), "rating").unwrap(), Some(1));
+        assert!(s.find(None, "price").is_err());
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let a = Schema::new(vec![Field::new("x", DataType::Int64, false)]);
+        let b = Schema::new(vec![Field::new("y", DataType::Int64, false)]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.field(1).name(), "y");
+    }
+
+    #[test]
+    fn requalify() {
+        let s = test_schema().with_qualifier("t");
+        assert!(s.fields().iter().all(|f| f.qualifier() == Some("t")));
+        assert_eq!(s.index_of(Some("t"), "rating").unwrap(), 1);
+        assert!(s.index_of(Some("hotels"), "rating").is_err());
+    }
+
+    #[test]
+    fn project_subset() {
+        let s = test_schema().project(&[1]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.field(0).name(), "rating");
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::new(vec![Field::qualified("t", "a", DataType::Int64, true)]);
+        assert_eq!(s.to_string(), "[t.a: BIGINT?]");
+    }
+}

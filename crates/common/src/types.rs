@@ -1,0 +1,115 @@
+//! Logical data types supported by the engine.
+
+use std::fmt;
+
+/// The logical type of a column or scalar expression.
+///
+/// The engine supports the types the paper's evaluation needs: 64-bit
+/// integers and floats (skyline dimensions), booleans (e.g. the MusicBrainz
+/// `video` flag), and UTF-8 strings (identifiers / labels). `Null` is the
+/// type of an untyped `NULL` literal before coercion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Untyped null; coerces to any other type.
+    Null,
+    /// Boolean truth value.
+    Boolean,
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE-754 floating point number.
+    Float64,
+    /// UTF-8 string.
+    Utf8,
+}
+
+impl DataType {
+    /// Whether this type is numeric (`Int64` or `Float64`).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int64 | DataType::Float64)
+    }
+
+    /// Whether values of this type admit a total order usable in
+    /// comparisons, `ORDER BY`, and skyline dominance tests.
+    pub fn is_comparable(self) -> bool {
+        !matches!(self, DataType::Null)
+    }
+
+    /// The common type two operand types coerce to for comparisons and
+    /// arithmetic, or `None` if they are incompatible.
+    ///
+    /// Matches Spark SQL's (and ANSI SQL's) simple numeric promotion:
+    /// `Int64` and `Float64` combine to `Float64`; `Null` coerces to the
+    /// other side; everything else must match exactly.
+    pub fn common_type(self, other: DataType) -> Option<DataType> {
+        use DataType::*;
+        match (self, other) {
+            (a, b) if a == b => Some(a),
+            (Null, t) | (t, Null) => Some(t),
+            (Int64, Float64) | (Float64, Int64) => Some(Float64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Null => "NULL",
+            DataType::Boolean => "BOOLEAN",
+            DataType::Int64 => "BIGINT",
+            DataType::Float64 => "DOUBLE",
+            DataType::Utf8 => "STRING",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_classification() {
+        assert!(DataType::Int64.is_numeric());
+        assert!(DataType::Float64.is_numeric());
+        assert!(!DataType::Boolean.is_numeric());
+        assert!(!DataType::Utf8.is_numeric());
+        assert!(!DataType::Null.is_numeric());
+    }
+
+    #[test]
+    fn common_type_promotion() {
+        assert_eq!(
+            DataType::Int64.common_type(DataType::Float64),
+            Some(DataType::Float64)
+        );
+        assert_eq!(
+            DataType::Float64.common_type(DataType::Int64),
+            Some(DataType::Float64)
+        );
+        assert_eq!(
+            DataType::Null.common_type(DataType::Utf8),
+            Some(DataType::Utf8)
+        );
+        assert_eq!(
+            DataType::Utf8.common_type(DataType::Utf8),
+            Some(DataType::Utf8)
+        );
+        assert_eq!(DataType::Boolean.common_type(DataType::Int64), None);
+        assert_eq!(DataType::Utf8.common_type(DataType::Float64), None);
+    }
+
+    #[test]
+    fn comparability() {
+        assert!(DataType::Int64.is_comparable());
+        assert!(!DataType::Null.is_comparable());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataType::Int64.to_string(), "BIGINT");
+        assert_eq!(DataType::Float64.to_string(), "DOUBLE");
+        assert_eq!(DataType::Utf8.to_string(), "STRING");
+        assert_eq!(DataType::Boolean.to_string(), "BOOLEAN");
+    }
+}

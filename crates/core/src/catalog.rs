@@ -1,0 +1,197 @@
+//! The session catalog: table schemas, table data, and constraint
+//! metadata. Implements both the analyzer/optimizer-facing
+//! [`CatalogProvider`] and the physical planner's [`ExecTableSource`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sparkline_common::{Error, Result, Row, Schema, SchemaRef};
+use sparkline_physical::ExecTableSource;
+use sparkline_plan::{CatalogProvider, StaticCatalog};
+
+/// In-memory catalog with data.
+#[derive(Debug, Default)]
+pub struct SessionCatalog {
+    schemas: StaticCatalog,
+    data: HashMap<String, Arc<Vec<Row>>>,
+}
+
+impl SessionCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table with its rows, validating every row against the
+    /// schema (width, types, nullability).
+    pub fn register_table(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        rows: Vec<Row>,
+    ) -> Result<()> {
+        let name = name.into();
+        validate_rows(&name, &schema, &rows)?;
+        self.schemas
+            .register_table(name.clone(), schema.into_ref());
+        self.data.insert(name.to_ascii_lowercase(), Arc::new(rows));
+        Ok(())
+    }
+
+    /// Declare a foreign key (used by the §5.4 skyline-join pushdown; see
+    /// [`StaticCatalog::register_foreign_key`]).
+    pub fn register_foreign_key(
+        &mut self,
+        from_table: impl Into<String>,
+        from_column: impl Into<String>,
+        to_table: impl Into<String>,
+        to_column: impl Into<String>,
+    ) {
+        self.schemas
+            .register_foreign_key(from_table, from_column, to_table, to_column);
+    }
+
+    /// Remove a table.
+    pub fn drop_table(&mut self, name: &str) -> bool {
+        self.data.remove(&name.to_ascii_lowercase()).is_some()
+    }
+
+    /// Registered table names (lowercased, sorted).
+    pub fn table_names(&self) -> Vec<String> {
+        self.schemas.table_names()
+    }
+
+    /// Number of rows in a table.
+    pub fn table_row_count(&self, name: &str) -> Option<usize> {
+        self.data.get(&name.to_ascii_lowercase()).map(|r| r.len())
+    }
+}
+
+/// Check rows against a schema: width, value types, NOT NULL constraints.
+fn validate_rows(table: &str, schema: &Schema, rows: &[Row]) -> Result<()> {
+    for (row_idx, row) in rows.iter().enumerate() {
+        if row.width() != schema.len() {
+            return Err(Error::plan(format!(
+                "table '{table}': row {row_idx} has {} values, schema has {} columns",
+                row.width(),
+                schema.len()
+            )));
+        }
+        for (col, field) in schema.fields().iter().enumerate() {
+            let value = row.get(col);
+            if value.is_null() {
+                if !field.nullable() {
+                    return Err(Error::plan(format!(
+                        "table '{table}': NULL in non-nullable column '{}' (row {row_idx})",
+                        field.name()
+                    )));
+                }
+                continue;
+            }
+            if value.data_type() != field.data_type() {
+                return Err(Error::plan(format!(
+                    "table '{table}': column '{}' expects {}, got {} (row {row_idx})",
+                    field.name(),
+                    field.data_type(),
+                    value.data_type()
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+impl CatalogProvider for SessionCatalog {
+    fn table_schema(&self, name: &str) -> Option<SchemaRef> {
+        self.schemas.table_schema(name)
+    }
+
+    fn guarantees_partner(
+        &self,
+        left_table: &str,
+        left_col: &str,
+        right_table: &str,
+        right_col: &str,
+    ) -> bool {
+        self.schemas
+            .guarantees_partner(left_table, left_col, right_table, right_col)
+    }
+}
+
+impl ExecTableSource for SessionCatalog {
+    fn table_rows(&self, name: &str) -> Option<Arc<Vec<Row>>> {
+        self.data.get(&name.to_ascii_lowercase()).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkline_common::{DataType, Field, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64, false),
+            Field::new("price", DataType::Float64, true),
+        ])
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut cat = SessionCatalog::new();
+        cat.register_table(
+            "T",
+            schema(),
+            vec![Row::new(vec![Value::Int64(1), Value::Float64(9.5)])],
+        )
+        .unwrap();
+        assert!(cat.table_schema("t").is_some());
+        assert_eq!(cat.table_rows("t").unwrap().len(), 1);
+        assert_eq!(cat.table_row_count("T"), Some(1));
+        assert_eq!(cat.table_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn rejects_wrong_width() {
+        let mut cat = SessionCatalog::new();
+        let err = cat
+            .register_table("t", schema(), vec![Row::new(vec![Value::Int64(1)])])
+            .unwrap_err();
+        assert!(err.to_string().contains("has 1 values"), "{err}");
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut cat = SessionCatalog::new();
+        let err = cat
+            .register_table(
+                "t",
+                schema(),
+                vec![Row::new(vec![Value::str("x"), Value::Null])],
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("expects BIGINT"), "{err}");
+    }
+
+    #[test]
+    fn rejects_null_in_non_nullable() {
+        let mut cat = SessionCatalog::new();
+        let err = cat
+            .register_table(
+                "t",
+                schema(),
+                vec![Row::new(vec![Value::Null, Value::Null])],
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("non-nullable"), "{err}");
+    }
+
+    #[test]
+    fn drop_table_works() {
+        let mut cat = SessionCatalog::new();
+        cat.register_table("t", schema(), vec![]).unwrap();
+        assert!(cat.drop_table("T"));
+        assert!(!cat.drop_table("t"));
+        assert!(cat.table_rows("t").is_none());
+    }
+}

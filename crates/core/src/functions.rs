@@ -1,0 +1,64 @@
+//! Column/literal constructors and the skyline-dimension helpers of the
+//! paper's DataFrame API (§5.8): `smin()`, `smax()`, `sdiff()`.
+
+use sparkline_common::{SkylineType, Value};
+use sparkline_plan::{Expr, SkylineDimension, SortExpr};
+
+/// An unqualified column reference.
+pub fn col(name: impl Into<String>) -> Expr {
+    Expr::col(name)
+}
+
+/// A qualified column reference (`qcol("hotels", "price")`).
+pub fn qcol(qualifier: impl Into<String>, name: impl Into<String>) -> Expr {
+    Expr::qcol(qualifier, name)
+}
+
+/// A literal value.
+pub fn lit(value: impl Into<Value>) -> Expr {
+    Expr::lit(value)
+}
+
+/// A `MIN` skyline dimension over an expression (paper §5.8 `smin()`).
+pub fn smin(expr: Expr) -> SkylineDimension {
+    SkylineDimension::new(expr, SkylineType::Min)
+}
+
+/// A `MAX` skyline dimension over an expression (paper §5.8 `smax()`).
+pub fn smax(expr: Expr) -> SkylineDimension {
+    SkylineDimension::new(expr, SkylineType::Max)
+}
+
+/// A `DIFF` skyline dimension over an expression (paper §5.8 `sdiff()`).
+pub fn sdiff(expr: Expr) -> SkylineDimension {
+    SkylineDimension::new(expr, SkylineType::Diff)
+}
+
+/// Ascending sort key.
+pub fn asc(expr: Expr) -> SortExpr {
+    SortExpr::asc(expr)
+}
+
+/// Descending sort key.
+pub fn desc(expr: Expr) -> SortExpr {
+    SortExpr::desc(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_constructors() {
+        assert_eq!(smin(col("a")).ty, SkylineType::Min);
+        assert_eq!(smax(col("a")).ty, SkylineType::Max);
+        assert_eq!(sdiff(col("a")).ty, SkylineType::Diff);
+        assert_eq!(smin(col("price")).to_string(), "price MIN");
+    }
+
+    #[test]
+    fn sort_constructors() {
+        assert!(asc(col("a")).asc);
+        assert!(!desc(col("a")).asc);
+    }
+}

@@ -1,0 +1,272 @@
+//! The session: configuration + catalog + the full query pipeline
+//! (parse → analyze → optimize → physical planning → execution), mirroring
+//! the paper's Figure 2.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+use sparkline_analyzer::Analyzer;
+use sparkline_common::{Result, Row, Schema, SessionConfig, SkylineStrategy};
+use sparkline_exec::{Deadline, TaskContext};
+use sparkline_optimizer::Optimizer;
+use sparkline_parser::parse_query;
+use sparkline_physical::{display_physical, PhysicalPlanner};
+use sparkline_plan::{LogicalPlan, LogicalPlanBuilder};
+
+use crate::catalog::SessionCatalog;
+use crate::dataframe::DataFrame;
+use crate::reference::rewrite_to_reference;
+use crate::result::QueryResult;
+
+/// Which of the paper's four evaluated algorithms executes the skyline
+/// operators of a query (§6.3). `Auto` applies Listing 8's selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Algorithm {
+    /// Listing 8 selection (complete when safe, else incomplete).
+    #[default]
+    Auto,
+    /// Algorithm (1): "distributed complete".
+    DistributedComplete,
+    /// Algorithm (2): "non-distributed complete".
+    NonDistributedComplete,
+    /// Algorithm (3): "distributed incomplete".
+    DistributedIncomplete,
+    /// Algorithm (4): the plain-SQL rewrite of Listing 4 ("reference").
+    Reference,
+    /// Extension beyond the paper (§7 future work): distributed
+    /// Sort-Filter-Skyline with presorted, insert-only windows. Complete
+    /// data only.
+    SortFilterSkyline,
+}
+
+impl Algorithm {
+    /// The paper's chart label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::Auto => "auto",
+            Algorithm::DistributedComplete => "distributed complete",
+            Algorithm::NonDistributedComplete => "non-distributed complete",
+            Algorithm::DistributedIncomplete => "distributed incomplete",
+            Algorithm::Reference => "reference",
+            Algorithm::SortFilterSkyline => "sort-filter-skyline",
+        }
+    }
+
+    /// The physical strategy override. `None` for the reference rewrite
+    /// (handled before optimization) and for `Auto` (which defers to the
+    /// session configuration's `skyline_strategy`).
+    fn strategy(self) -> Option<SkylineStrategy> {
+        match self {
+            Algorithm::Auto | Algorithm::Reference => None,
+            Algorithm::DistributedComplete => Some(SkylineStrategy::DistributedComplete),
+            Algorithm::NonDistributedComplete => {
+                Some(SkylineStrategy::NonDistributedComplete)
+            }
+            Algorithm::DistributedIncomplete => Some(SkylineStrategy::DistributedIncomplete),
+            Algorithm::SortFilterSkyline => Some(SkylineStrategy::SortFilterSkyline),
+        }
+    }
+
+    /// All four evaluated algorithms, in the paper's chart order.
+    pub fn paper_algorithms() -> [Algorithm; 4] {
+        [
+            Algorithm::DistributedComplete,
+            Algorithm::NonDistributedComplete,
+            Algorithm::DistributedIncomplete,
+            Algorithm::Reference,
+        ]
+    }
+
+    /// The algorithms applicable to incomplete datasets (§6.3: "for
+    /// incomplete datasets, the complete algorithms are not applicable").
+    pub fn incomplete_algorithms() -> [Algorithm; 2] {
+        [Algorithm::DistributedIncomplete, Algorithm::Reference]
+    }
+}
+
+/// The entry point of the engine: holds the configuration and (shared)
+/// catalog, creates [`DataFrame`]s from SQL or tables, and runs queries.
+#[derive(Clone)]
+pub struct SessionContext {
+    config: SessionConfig,
+    catalog: Arc<RwLock<SessionCatalog>>,
+}
+
+impl Default for SessionContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionContext {
+    /// Session with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(SessionConfig::default())
+    }
+
+    /// Session with a custom configuration.
+    pub fn with_config(config: SessionConfig) -> Self {
+        SessionContext {
+            config,
+            catalog: Arc::new(RwLock::new(SessionCatalog::new())),
+        }
+    }
+
+    /// A session with different configuration **sharing this session's
+    /// catalog** — the harness uses this to sweep executor counts and
+    /// algorithms without re-registering datasets.
+    pub fn with_shared_catalog(&self, config: SessionConfig) -> SessionContext {
+        SessionContext {
+            config,
+            catalog: Arc::clone(&self.catalog),
+        }
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Read access to the catalog (crate-internal).
+    pub(crate) fn catalog_read(&self) -> parking_lot::RwLockReadGuard<'_, SessionCatalog> {
+        self.catalog.read()
+    }
+
+    /// Register an in-memory table.
+    pub fn register_table(
+        &self,
+        name: impl Into<String>,
+        schema: Schema,
+        rows: Vec<Row>,
+    ) -> Result<()> {
+        self.catalog.write().register_table(name, schema, rows)
+    }
+
+    /// Declare a foreign key enabling the §5.4 skyline-join pushdown for
+    /// inner joins.
+    pub fn register_foreign_key(
+        &self,
+        from_table: impl Into<String>,
+        from_column: impl Into<String>,
+        to_table: impl Into<String>,
+        to_column: impl Into<String>,
+    ) {
+        self.catalog
+            .write()
+            .register_foreign_key(from_table, from_column, to_table, to_column);
+    }
+
+    /// Drop a table; returns whether it existed.
+    pub fn deregister_table(&self, name: &str) -> bool {
+        self.catalog.write().drop_table(name)
+    }
+
+    /// Names of registered tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.catalog.read().table_names()
+    }
+
+    /// Row count of a registered table.
+    pub fn table_row_count(&self, name: &str) -> Option<usize> {
+        self.catalog.read().table_row_count(name)
+    }
+
+    /// Parse and eagerly analyze a SQL query (errors surface here, like
+    /// Spark's eager analysis), returning a lazy [`DataFrame`].
+    pub fn sql(&self, query: &str) -> Result<DataFrame> {
+        let plan = parse_query(query)?;
+        let analyzed = {
+            let catalog = self.catalog.read();
+            Analyzer::new(&*catalog).analyze(&plan)?
+        };
+        Ok(DataFrame::new(self.clone(), analyzed))
+    }
+
+    /// A [`DataFrame`] scanning a registered table.
+    pub fn table(&self, name: &str) -> Result<DataFrame> {
+        let plan = {
+            let catalog = self.catalog.read();
+            Analyzer::new(&*catalog)
+                .analyze(&LogicalPlanBuilder::relation(name).build()?)?
+        };
+        Ok(DataFrame::new(self.clone(), plan))
+    }
+
+    /// Run the full pipeline on a logical plan with the session's default
+    /// (Listing 8 `Auto`) algorithm selection.
+    pub fn execute_plan(&self, plan: &LogicalPlan) -> Result<QueryResult> {
+        self.execute_plan_with(plan, Algorithm::Auto)
+    }
+
+    /// Run the full pipeline forcing one of the paper's four algorithms.
+    pub fn execute_plan_with(
+        &self,
+        plan: &LogicalPlan,
+        algorithm: Algorithm,
+    ) -> Result<QueryResult> {
+        let catalog = self.catalog.read();
+        let analyzer = Analyzer::new(&*catalog);
+        let analyzed = analyzer.analyze(plan)?;
+        // The output schema is fixed before optimization (rewrites may
+        // rename intermediate fields).
+        let schema = analyzed.schema()?;
+
+        let mut config = self.config.clone();
+        if let Some(strategy) = algorithm.strategy() {
+            config.skyline_strategy = strategy;
+        }
+        let to_optimize = if algorithm == Algorithm::Reference {
+            rewrite_to_reference(&analyzed)?
+        } else {
+            analyzed
+        };
+        let optimized = Optimizer::new(&config)
+            .with_catalog(&*catalog)
+            .optimize(&to_optimize)?;
+        let planner = PhysicalPlanner::new(&config, &*catalog);
+        let physical = planner.create(&optimized)?;
+
+        let ctx = TaskContext::new(config.num_executors)
+            .with_deadline(Deadline::new(config.timeout));
+        let start = Instant::now();
+        let rows = sparkline_physical::planner::collect(&physical, &ctx)?;
+        let elapsed = start.elapsed();
+        Ok(QueryResult {
+            schema,
+            rows,
+            metrics: ctx.metrics.snapshot(),
+            elapsed,
+            peak_memory_bytes: ctx.memory.peak_with_overhead(
+                config.num_executors,
+                config.executor_memory_overhead,
+            ),
+        })
+    }
+
+    /// Render all pipeline stages of a plan, like `EXPLAIN EXTENDED`.
+    pub fn explain_plan(&self, plan: &LogicalPlan, algorithm: Algorithm) -> Result<String> {
+        let catalog = self.catalog.read();
+        let analyzed = Analyzer::new(&*catalog).analyze(plan)?;
+        let mut config = self.config.clone();
+        if let Some(strategy) = algorithm.strategy() {
+            config.skyline_strategy = strategy;
+        }
+        let to_optimize = if algorithm == Algorithm::Reference {
+            rewrite_to_reference(&analyzed)?
+        } else {
+            analyzed.clone()
+        };
+        let optimized = Optimizer::new(&config)
+            .with_catalog(&*catalog)
+            .optimize(&to_optimize)?;
+        let physical = PhysicalPlanner::new(&config, &*catalog).create(&optimized)?;
+        Ok(format!(
+            "== Analyzed Logical Plan ==\n{}\n== Optimized Logical Plan ==\n{}\n\
+             == Physical Plan ==\n{}",
+            analyzed.display_indent(),
+            optimized.display_indent(),
+            display_physical(&physical),
+        ))
+    }
+}

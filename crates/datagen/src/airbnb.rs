@@ -1,0 +1,180 @@
+//! Synthetic Inside-Airbnb-style dataset (paper §6.2, Table 1).
+//!
+//! The paper uses a merged 30-day Inside Airbnb snapshot (~1.19M listings
+//! incomplete / ~0.82M after dropping NULL rows). The real download is not
+//! available offline; this generator reproduces the skyline-relevant
+//! properties: the Table 1 schema, heavy-tailed prices, small-domain
+//! correlated capacity columns, review counts with many zeros, ratings
+//! missing whenever a listing has no reviews, and per-column NULL rates
+//! that make the complete variant ≈ 69 % of the incomplete one (the
+//! paper's 820,698 / 1,193,465 ratio).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparkline_common::{DataType, Field, Row, Schema, Value};
+
+use crate::distributions::{chance, geometric, log_normal_clamped, normal, round_to};
+use crate::{Dataset, Variant};
+
+/// Table 1 column order: `id` key + six skyline dimensions.
+pub fn schema(variant: Variant) -> Schema {
+    let nullable = variant == Variant::Incomplete;
+    Schema::new(vec![
+        Field::new("id", DataType::Int64, false),
+        Field::new("price", DataType::Float64, nullable),
+        Field::new("accommodates", DataType::Int64, false),
+        Field::new("bedrooms", DataType::Int64, nullable),
+        Field::new("beds", DataType::Int64, nullable),
+        Field::new("number_of_reviews", DataType::Int64, false),
+        Field::new("review_scores_rating", DataType::Float64, nullable),
+    ])
+}
+
+/// The six skyline dimensions of Table 1, in the paper's order (queries
+/// with `d` dimensions use the first `d`).
+pub const SKYLINE_DIMS: [(&str, &str); 6] = [
+    ("price", "MIN"),
+    ("accommodates", "MAX"),
+    ("bedrooms", "MAX"),
+    ("beds", "MAX"),
+    ("number_of_reviews", "MAX"),
+    ("review_scores_rating", "MAX"),
+];
+
+/// Generate the Airbnb dataset. `n` is the size of the *incomplete*
+/// variant; `Variant::Complete` drops rows with a NULL in any skyline
+/// dimension (and is therefore smaller, as in the paper).
+pub fn generate(n: usize, seed: u64, variant: Variant) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    for id in 0..n as i64 {
+        let accommodates = 1 + geometric(&mut rng, 0.35, 15);
+        // Larger places cost more; prices are heavy-tailed with cents.
+        let base = log_normal_clamped(&mut rng, 4.0, 0.65, 15.0, 4000.0);
+        let price = round_to(base * (1.0 + 0.18 * accommodates as f64), 2);
+        let bedrooms = ((accommodates as f64 / 2.0).ceil() as i64
+            + if chance(&mut rng, 0.2) { 1 } else { 0 })
+        .max(1);
+        let beds = (accommodates + rng.gen_range(-1..=1)).max(1);
+        let number_of_reviews = if chance(&mut rng, 0.22) {
+            0
+        } else {
+            geometric(&mut rng, 0.02, 800)
+        };
+        // Ratings are high and weakly correlated with review volume.
+        let rating = round_to(
+            (normal(&mut rng, 4.55, 0.35) + (number_of_reviews as f64).ln_1p() * 0.01)
+                .clamp(1.0, 5.0),
+            2,
+        );
+
+        // NULL injection (incomplete variant only survives it).
+        let price_v = if chance(&mut rng, 0.04) {
+            Value::Null
+        } else {
+            Value::Float64(price)
+        };
+        let bedrooms_v = if chance(&mut rng, 0.04) {
+            Value::Null
+        } else {
+            Value::Int64(bedrooms)
+        };
+        let beds_v = if chance(&mut rng, 0.03) {
+            Value::Null
+        } else {
+            Value::Int64(beds)
+        };
+        // No reviews => no rating (the dominant NULL source in the data).
+        let rating_v = if number_of_reviews == 0 || chance(&mut rng, 0.02) {
+            Value::Null
+        } else {
+            Value::Float64(rating)
+        };
+
+        let row = Row::new(vec![
+            Value::Int64(id),
+            price_v,
+            Value::Int64(accommodates),
+            bedrooms_v,
+            beds_v,
+            Value::Int64(number_of_reviews),
+            rating_v,
+        ]);
+        if variant == Variant::Complete && row.values().iter().any(Value::is_null) {
+            continue;
+        }
+        rows.push(row);
+    }
+    Dataset {
+        name: match variant {
+            Variant::Complete => "airbnb".to_string(),
+            Variant::Incomplete => "airbnb_incomplete".to_string(),
+        },
+        schema: schema(variant),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = generate(500, 42, Variant::Incomplete);
+        let b = generate(500, 42, Variant::Incomplete);
+        assert_eq!(a.rows, b.rows);
+        let c = generate(500, 43, Variant::Incomplete);
+        assert_ne!(a.rows, c.rows);
+    }
+
+    #[test]
+    fn complete_variant_is_smaller_and_null_free() {
+        let incomplete = generate(2000, 1, Variant::Incomplete);
+        let complete = generate(2000, 1, Variant::Complete);
+        assert_eq!(incomplete.rows.len(), 2000);
+        assert!(complete.rows.len() < incomplete.rows.len());
+        // Paper ratio is ~0.69; accept a generous band.
+        let ratio = complete.rows.len() as f64 / incomplete.rows.len() as f64;
+        assert!((0.6..0.8).contains(&ratio), "ratio {ratio}");
+        assert!(complete
+            .rows
+            .iter()
+            .all(|r| r.values().iter().all(|v| !v.is_null())));
+    }
+
+    #[test]
+    fn incomplete_variant_has_nulls() {
+        let d = generate(1000, 7, Variant::Incomplete);
+        let with_null = d
+            .rows
+            .iter()
+            .filter(|r| r.values().iter().any(Value::is_null))
+            .count();
+        assert!(with_null > 100, "{with_null}");
+    }
+
+    #[test]
+    fn schema_matches_rows() {
+        for variant in [Variant::Complete, Variant::Incomplete] {
+            let d = generate(300, 9, variant);
+            assert_eq!(d.schema.len(), 7);
+            for row in &d.rows {
+                assert_eq!(row.width(), 7);
+            }
+        }
+    }
+
+    #[test]
+    fn values_within_realistic_ranges() {
+        let d = generate(1000, 5, Variant::Complete);
+        for row in &d.rows {
+            if let Value::Float64(p) = row.get(1) {
+                assert!((15.0..=10000.0).contains(p), "price {p}");
+            }
+            if let Value::Float64(r) = row.get(6) {
+                assert!((1.0..=5.0).contains(r), "rating {r}");
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Small distribution helpers over `rand` (no external distribution
+//! crates are used).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Standard normal sample via Box–Muller.
+pub fn normal(rng: &mut StdRng, mean: f64, std_dev: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std_dev * z
+}
+
+/// Log-normal sample clamped to `[min, max]` — heavy-tailed prices.
+pub fn log_normal_clamped(
+    rng: &mut StdRng,
+    mu: f64,
+    sigma: f64,
+    min: f64,
+    max: f64,
+) -> f64 {
+    normal(rng, mu, sigma).exp().clamp(min, max)
+}
+
+/// Geometric-ish count: number of failures before success, capped.
+pub fn geometric(rng: &mut StdRng, p: f64, cap: i64) -> i64 {
+    let mut n = 0;
+    while n < cap && rng.gen_range(0.0..1.0) > p {
+        n += 1;
+    }
+    n
+}
+
+/// Bernoulli event.
+pub fn chance(rng: &mut StdRng, p: f64) -> bool {
+    rng.gen_range(0.0..1.0) < p
+}
+
+/// Round to `decimals` decimal places (price-like values).
+pub fn round_to(v: f64, decimals: u32) -> f64 {
+    let f = 10f64.powi(decimals as i32);
+    (v * f).round() / f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_roughly_centered() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..4000).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn log_normal_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = log_normal_clamped(&mut rng, 4.0, 0.8, 10.0, 500.0);
+            assert!((10.0..=500.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn geometric_capped() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            assert!(geometric(&mut rng, 0.1, 50) <= 50);
+        }
+    }
+
+    #[test]
+    fn rounding() {
+        assert_eq!(round_to(1.23456, 2), 1.23);
+    }
+}

@@ -1,0 +1,190 @@
+#![warn(missing_docs)]
+
+//! # sparkline-datagen
+//!
+//! Seeded generators for the three datasets of the paper's evaluation
+//! (§6.2 and Appendix E):
+//!
+//! * [`airbnb`] — Inside-Airbnb-style listings (Table 1);
+//! * [`store_sales`] — DSB `store_sales` (Table 2);
+//! * [`musicbrainz`] — the recordings/tracks/meta subset behind the
+//!   complex-query experiments (Table 13).
+//!
+//! Each dataset has a complete and an incomplete [`Variant`] exactly as
+//! the paper defines them (for Airbnb the complete variant is *smaller*;
+//! for store_sales both have the same size). Registration helpers load a
+//! dataset into a [`SessionContext`].
+
+pub mod airbnb;
+pub mod distributions;
+pub mod musicbrainz;
+pub mod store_sales;
+
+use sparkline::SessionContext;
+use sparkline_common::{Result, Row, Schema};
+
+/// Complete (NULL-free skyline dimensions) vs incomplete dataset variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// No NULLs in the skyline dimensions.
+    Complete,
+    /// NULLs occur in the skyline dimensions.
+    Incomplete,
+}
+
+impl Variant {
+    /// Chart label suffix used by the harness.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Variant::Complete => "",
+            Variant::Incomplete => "_incomplete",
+        }
+    }
+}
+
+/// A generated table: name, schema, rows.
+pub struct Dataset {
+    /// Registration name.
+    pub name: String,
+    /// Schema (nullability reflects the variant).
+    pub schema: Schema,
+    /// The rows.
+    pub rows: Vec<Row>,
+}
+
+impl Dataset {
+    /// Register this dataset in a session.
+    pub fn register(self, ctx: &SessionContext) -> Result<()> {
+        ctx.register_table(self.name, self.schema, self.rows)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Register the Airbnb dataset; returns its table name and row count.
+pub fn register_airbnb(
+    ctx: &SessionContext,
+    n: usize,
+    seed: u64,
+    variant: Variant,
+) -> Result<(String, usize)> {
+    let d = airbnb::generate(n, seed, variant);
+    let name = d.name.clone();
+    let rows = d.len();
+    d.register(ctx)?;
+    Ok((name, rows))
+}
+
+/// Register the store_sales dataset; returns its table name and row count.
+pub fn register_store_sales(
+    ctx: &SessionContext,
+    n: usize,
+    seed: u64,
+    variant: Variant,
+) -> Result<(String, usize)> {
+    let d = store_sales::generate(n, seed, variant);
+    let name = d.name.clone();
+    let rows = d.len();
+    d.register(ctx)?;
+    Ok((name, rows))
+}
+
+/// Register all three MusicBrainz tables (plus the FK declarations that
+/// enable the §5.4 join pushdown); returns the recordings table name and
+/// row count.
+pub fn register_musicbrainz(
+    ctx: &SessionContext,
+    n: usize,
+    seed: u64,
+    variant: Variant,
+) -> Result<(String, usize)> {
+    let mb = musicbrainz::generate(n, seed, variant);
+    let name = mb.recordings.name.clone();
+    let rows = mb.recordings.len();
+    ctx.register_foreign_key("track", "recording", &name, "id");
+    mb.recordings.register(ctx)?;
+    mb.meta.register(ctx)?;
+    mb.track.register(ctx)?;
+    Ok((name, rows))
+}
+
+/// Build the paper's skyline query over a base table with the first `d`
+/// dimensions of the given dimension list (§6.2: "selecting the dimensions
+/// in the same order as they appear in the table").
+pub fn skyline_query_for(
+    table: &str,
+    dims: &[(&str, &str)],
+    d: usize,
+    complete_kw: bool,
+) -> String {
+    assert!((1..=dims.len()).contains(&d));
+    let dim_list = dims[..d]
+        .iter()
+        .map(|(col, ty)| format!("{col} {ty}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "SELECT * FROM {table} SKYLINE OF {}{dim_list}",
+        if complete_kw { "COMPLETE " } else { "" }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_all_datasets() {
+        let ctx = SessionContext::new();
+        let (a, n_a) = register_airbnb(&ctx, 300, 1, Variant::Complete).unwrap();
+        let (s, n_s) = register_store_sales(&ctx, 300, 1, Variant::Incomplete).unwrap();
+        let (m, n_m) = register_musicbrainz(&ctx, 100, 1, Variant::Complete).unwrap();
+        assert_eq!(ctx.table_row_count(&a), Some(n_a));
+        assert_eq!(ctx.table_row_count(&s), Some(n_s));
+        assert_eq!(ctx.table_row_count(&m), Some(n_m));
+        assert!(ctx.table_names().contains(&"track".to_string()));
+    }
+
+    #[test]
+    fn query_builder_matches_paper_order() {
+        let q = skyline_query_for("airbnb", &airbnb::SKYLINE_DIMS, 2, false);
+        assert_eq!(
+            q,
+            "SELECT * FROM airbnb SKYLINE OF price MIN, accommodates MAX"
+        );
+        let q = skyline_query_for("store_sales", &store_sales::SKYLINE_DIMS, 1, true);
+        assert_eq!(
+            q,
+            "SELECT * FROM store_sales SKYLINE OF COMPLETE ss_quantity MAX"
+        );
+    }
+
+    #[test]
+    fn airbnb_skyline_queries_run() {
+        let ctx = SessionContext::new();
+        register_airbnb(&ctx, 400, 2, Variant::Complete).unwrap();
+        for d in 1..=6 {
+            let q = skyline_query_for("airbnb", &airbnb::SKYLINE_DIMS, d, true);
+            let result = ctx.sql(&q).unwrap().collect().unwrap();
+            assert!(result.num_rows() > 0, "dims={d}");
+        }
+    }
+
+    #[test]
+    fn musicbrainz_complex_query_runs() {
+        let ctx = SessionContext::new();
+        register_musicbrainz(&ctx, 150, 3, Variant::Complete).unwrap();
+        let q = musicbrainz::skyline_query(Variant::Complete, 3);
+        let result = ctx.sql(&q).unwrap().collect().unwrap();
+        assert!(result.num_rows() > 0);
+        assert_eq!(result.schema.len(), 7);
+    }
+}

@@ -1,0 +1,247 @@
+//! Synthetic MusicBrainz subset (paper Appendix E, Table 13).
+//!
+//! Three tables drive the paper's *complex query* experiments:
+//!
+//! * `recording_complete` / `recording_incomplete` — recordings with
+//!   `length` (NULLable in the incomplete variant) and a `video` flag;
+//! * `recording_meta` — one row per recording with `rating` /
+//!   `rating_count` (NULL for unrated recordings, mirroring the paper's
+//!   ~500k rated / ~1M unrated split);
+//! * `track` — recordings appear on zero or more tracks with a position.
+//!
+//! The Appendix E base queries join these with `LEFT OUTER JOIN` +
+//! `GROUP BY` + `ifnull`, and the skyline runs on top.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparkline_common::{DataType, Field, Row, Schema, Value};
+
+use crate::distributions::{chance, geometric, normal, round_to};
+use crate::{Dataset, Variant};
+
+/// The Table 13 skyline dimensions over the base-query output, in the
+/// paper's order (queries with `d` dimensions use the first `d`).
+pub const SKYLINE_DIMS: [(&str, &str); 6] = [
+    ("rating", "MAX"),
+    ("rating_count", "MAX"),
+    ("length", "MIN"),
+    ("video", "MAX"),
+    ("num_tracks", "MAX"),
+    ("min_position", "MIN"),
+];
+
+/// All three tables of the subset.
+pub struct MusicBrainz {
+    /// `recording_complete` or `recording_incomplete`.
+    pub recordings: Dataset,
+    /// `recording_meta`.
+    pub meta: Dataset,
+    /// `track`.
+    pub track: Dataset,
+}
+
+/// Generate a MusicBrainz subset with `n` recordings.
+pub fn generate(n: usize, seed: u64, variant: Variant) -> MusicBrainz {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let incomplete = variant == Variant::Incomplete;
+
+    let rec_schema = Schema::new(vec![
+        Field::new("id", DataType::Int64, false),
+        Field::new("length", DataType::Int64, incomplete),
+        Field::new("video", DataType::Boolean, false),
+    ]);
+    let meta_schema = Schema::new(vec![
+        Field::new("id", DataType::Int64, false),
+        Field::new("rating", DataType::Float64, true),
+        Field::new("rating_count", DataType::Int64, true),
+    ]);
+    let track_schema = Schema::new(vec![
+        Field::new("id", DataType::Int64, false),
+        Field::new("recording", DataType::Int64, false),
+        Field::new("position", DataType::Int64, true),
+    ]);
+
+    let mut recordings = Vec::with_capacity(n);
+    let mut meta = Vec::with_capacity(n);
+    let mut tracks = Vec::new();
+    let mut track_id = 0i64;
+    for id in 0..n as i64 {
+        // Track lengths in milliseconds, normal around 3.5 minutes.
+        let length = normal(&mut rng, 210_000.0, 60_000.0).max(5_000.0) as i64;
+        let length_v = if incomplete && chance(&mut rng, 0.12) {
+            Value::Null
+        } else {
+            Value::Int64(length)
+        };
+        let video = chance(&mut rng, 0.06);
+        recordings.push(Row::new(vec![
+            Value::Int64(id),
+            length_v,
+            Value::Boolean(video),
+        ]));
+
+        // ~1/3 of recordings are rated (paper: 500k of 1.5M).
+        let (rating, rating_count) = if chance(&mut rng, 0.33) {
+            let count = 1 + geometric(&mut rng, 0.08, 500);
+            let rating = round_to(normal(&mut rng, 3.8, 0.8).clamp(0.0, 5.0), 2);
+            (Value::Float64(rating), Value::Int64(count))
+        } else {
+            (Value::Null, Value::Null)
+        };
+        meta.push(Row::new(vec![Value::Int64(id), rating, rating_count]));
+
+        // Popular recordings appear on several compilations.
+        let appearances = geometric(&mut rng, 0.55, 8);
+        for _ in 0..appearances {
+            let position = if chance(&mut rng, 0.02) {
+                Value::Null
+            } else {
+                Value::Int64(rng.gen_range(1..=20))
+            };
+            tracks.push(Row::new(vec![
+                Value::Int64(track_id),
+                Value::Int64(id),
+                position,
+            ]));
+            track_id += 1;
+        }
+    }
+
+    MusicBrainz {
+        recordings: Dataset {
+            name: match variant {
+                Variant::Complete => "recording_complete".to_string(),
+                Variant::Incomplete => "recording_incomplete".to_string(),
+            },
+            schema: rec_schema,
+            rows: recordings,
+        },
+        meta: Dataset {
+            name: "recording_meta".to_string(),
+            schema: meta_schema,
+            rows: meta,
+        },
+        track: Dataset {
+            name: "track".to_string(),
+            schema: track_schema,
+            rows: tracks,
+        },
+    }
+}
+
+/// The paper's complete base query (Listing 11), parameterless.
+pub fn base_query_complete() -> String {
+    "SELECT \
+       r.id, \
+       ifnull(r.length, 0) AS length, \
+       r.video, \
+       ifnull(rm.rating, 0) AS rating, \
+       ifnull(rm.rating_count, 0) AS rating_count, \
+       ifnull(recording_tracks.num_tracks, 0) AS num_tracks, \
+       ifnull(recording_tracks.min_position, 0) AS min_position \
+     FROM recording_complete r LEFT OUTER JOIN ( \
+       SELECT \
+         ri.id AS id, \
+         count(ti.recording) AS num_tracks, \
+         min(ti.position) AS min_position \
+       FROM recording_complete ri \
+       JOIN track ti ON (ti.recording = ri.id) \
+       GROUP BY ri.id \
+     ) recording_tracks USING (id) \
+     JOIN recording_meta rm USING (id)"
+        .to_string()
+}
+
+/// The paper's incomplete base query (Listing 12); NULLs flow through.
+pub fn base_query_incomplete() -> String {
+    "SELECT \
+       r.id, \
+       r.length AS length, \
+       r.video, \
+       rm.rating AS rating, \
+       rm.rating_count AS rating_count, \
+       recording_tracks.num_tracks, \
+       recording_tracks.min_position \
+     FROM recording_incomplete r LEFT OUTER JOIN ( \
+       SELECT \
+         ri.id AS id, \
+         count(ti.recording) AS num_tracks, \
+         min(ti.position) AS min_position \
+       FROM recording_incomplete ri \
+       JOIN track ti ON (ti.recording = ri.id) \
+       GROUP BY ri.id \
+     ) recording_tracks USING (id) \
+     JOIN recording_meta rm USING (id)"
+        .to_string()
+}
+
+/// The skyline query over the base query with the first `d` dimensions
+/// of Table 13 (Listing 14 shape).
+pub fn skyline_query(variant: Variant, d: usize) -> String {
+    assert!((1..=6).contains(&d));
+    let base = match variant {
+        Variant::Complete => base_query_complete(),
+        Variant::Incomplete => base_query_incomplete(),
+    };
+    let dims = SKYLINE_DIMS[..d]
+        .iter()
+        .map(|(col, ty)| format!("{col} {ty}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let complete_kw = match variant {
+        Variant::Complete => "COMPLETE ",
+        Variant::Incomplete => "",
+    };
+    format!("SELECT * FROM ( {base} ) SKYLINE OF {complete_kw}{dims}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_consistent() {
+        let mb = generate(300, 21, Variant::Complete);
+        assert_eq!(mb.recordings.rows.len(), 300);
+        assert_eq!(mb.meta.rows.len(), 300);
+        // Every track references an existing recording.
+        let n = mb.recordings.rows.len() as i64;
+        for t in &mb.track.rows {
+            match t.get(1) {
+                Value::Int64(r) => assert!((0..n).contains(r)),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn complete_recordings_have_no_null_length() {
+        let mb = generate(400, 2, Variant::Complete);
+        assert!(mb.recordings.rows.iter().all(|r| !r.get(1).is_null()));
+        let mbi = generate(400, 2, Variant::Incomplete);
+        assert!(mbi.recordings.rows.iter().any(|r| r.get(1).is_null()));
+    }
+
+    #[test]
+    fn some_recordings_unrated() {
+        let mb = generate(400, 2, Variant::Complete);
+        let unrated = mb.meta.rows.iter().filter(|r| r.get(1).is_null()).count();
+        assert!(unrated > 100, "{unrated}");
+        assert!(unrated < 400);
+    }
+
+    #[test]
+    fn query_builders() {
+        let q = skyline_query(Variant::Complete, 3);
+        assert!(q.contains("SKYLINE OF COMPLETE rating MAX, rating_count MAX, length MIN"));
+        let q = skyline_query(Variant::Incomplete, 1);
+        assert!(q.contains("SKYLINE OF rating MAX"));
+        assert!(!q.contains("COMPLETE"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dims_rejected() {
+        let _ = skyline_query(Variant::Complete, 0);
+    }
+}

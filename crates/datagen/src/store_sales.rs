@@ -1,0 +1,160 @@
+//! Synthetic DSB `store_sales` table (paper §6.2, Table 2).
+//!
+//! DSB (Ding et al., VLDB 2021) extends TPC-DS with skewed, correlated
+//! distributions. This generator reproduces the `store_sales` pricing
+//! chain the skyline queries touch: `wholesale → list (uplift) → sales
+//! (discount)` with quantities on a small uniform domain. The small
+//! `ss_quantity` domain is what produces the paper's Figure 4 effect —
+//! a huge one-dimensional skyline (every max-quantity sale) that collapses
+//! once `ss_wholesale_cost` is added.
+//!
+//! Unlike the Airbnb data, the complete and incomplete variants have the
+//! **same size** (the paper notes exactly this difference): the complete
+//! variant simply has no NULLs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparkline_common::{DataType, Field, Row, Schema, Value};
+
+use crate::distributions::{chance, round_to};
+use crate::{Dataset, Variant};
+
+/// Table 2 column order: two keys + six skyline dimensions.
+pub fn schema(variant: Variant) -> Schema {
+    let nullable = variant == Variant::Incomplete;
+    Schema::new(vec![
+        Field::new("ss_item_sk", DataType::Int64, false),
+        Field::new("ss_ticket_number", DataType::Int64, false),
+        Field::new("ss_quantity", DataType::Int64, nullable),
+        Field::new("ss_wholesale_cost", DataType::Float64, nullable),
+        Field::new("ss_list_price", DataType::Float64, nullable),
+        Field::new("ss_sales_price", DataType::Float64, nullable),
+        Field::new("ss_ext_discount_amt", DataType::Float64, nullable),
+        Field::new("ss_ext_sales_price", DataType::Float64, nullable),
+    ])
+}
+
+/// The six skyline dimensions of Table 2, in the paper's order.
+pub const SKYLINE_DIMS: [(&str, &str); 6] = [
+    ("ss_quantity", "MAX"),
+    ("ss_wholesale_cost", "MIN"),
+    ("ss_list_price", "MIN"),
+    ("ss_sales_price", "MIN"),
+    ("ss_ext_discount_amt", "MAX"),
+    ("ss_ext_sales_price", "MIN"),
+];
+
+/// Generate `n` sales rows.
+pub fn generate(n: usize, seed: u64, variant: Variant) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let incomplete = variant == Variant::Incomplete;
+    for i in 0..n as i64 {
+        let item = rng.gen_range(1..=200_000i64);
+        let ticket = i + 1;
+        // TPC-DS/DSB: quantity 1..100 (uniform, small domain).
+        let quantity = rng.gen_range(1..=100i64);
+        let wholesale = round_to(rng.gen_range(1.0..=100.0f64), 2);
+        // List price uplift 1.0x–2.5x; discounts up to 75 %.
+        let list = round_to(wholesale * rng.gen_range(1.0..=2.5), 2);
+        let discount_rate = if chance(&mut rng, 0.55) {
+            0.0
+        } else {
+            rng.gen_range(0.01..=0.75)
+        };
+        let sales = round_to(list * (1.0 - discount_rate), 2);
+        let ext_discount = round_to((list - sales) * quantity as f64, 2);
+        let ext_sales = round_to(sales * quantity as f64, 2);
+
+        // DSB store_sales nullable measure columns: inject NULLs in the
+        // incomplete variant only (~4 % per column, ~20 % of rows).
+        let maybe = |rng: &mut StdRng, v: Value| {
+            if incomplete && chance(rng, 0.04) {
+                Value::Null
+            } else {
+                v
+            }
+        };
+        let row = Row::new(vec![
+            Value::Int64(item),
+            Value::Int64(ticket),
+            maybe(&mut rng, Value::Int64(quantity)),
+            maybe(&mut rng, Value::Float64(wholesale)),
+            maybe(&mut rng, Value::Float64(list)),
+            maybe(&mut rng, Value::Float64(sales)),
+            maybe(&mut rng, Value::Float64(ext_discount)),
+            maybe(&mut rng, Value::Float64(ext_sales)),
+        ]);
+        rows.push(row);
+    }
+    Dataset {
+        name: match variant {
+            Variant::Complete => "store_sales".to_string(),
+            Variant::Incomplete => "store_sales_incomplete".to_string(),
+        },
+        schema: schema(variant),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_have_equal_size() {
+        let c = generate(1000, 3, Variant::Complete);
+        let i = generate(1000, 3, Variant::Incomplete);
+        assert_eq!(c.rows.len(), 1000);
+        assert_eq!(i.rows.len(), 1000);
+    }
+
+    #[test]
+    fn complete_has_no_nulls_incomplete_does() {
+        let c = generate(1000, 3, Variant::Complete);
+        assert!(c
+            .rows
+            .iter()
+            .all(|r| r.values().iter().all(|v| !v.is_null())));
+        let i = generate(1000, 3, Variant::Incomplete);
+        let with_null = i
+            .rows
+            .iter()
+            .filter(|r| r.values().iter().any(Value::is_null))
+            .count();
+        assert!(with_null > 100, "{with_null}");
+    }
+
+    #[test]
+    fn pricing_chain_invariants() {
+        let d = generate(500, 11, Variant::Complete);
+        for row in &d.rows {
+            let (w, l, s) = match (row.get(3), row.get(4), row.get(5)) {
+                (Value::Float64(w), Value::Float64(l), Value::Float64(s)) => (*w, *l, *s),
+                other => panic!("{other:?}"),
+            };
+            assert!(l >= w - 1e-9, "list {l} >= wholesale {w}");
+            assert!(s <= l + 1e-9, "sales {s} <= list {l}");
+        }
+    }
+
+    #[test]
+    fn quantity_domain_is_small() {
+        // Many rows share the maximum quantity — the Figure 4 effect.
+        let d = generate(5000, 13, Variant::Complete);
+        let max_count = d
+            .rows
+            .iter()
+            .filter(|r| r.get(2) == &Value::Int64(100))
+            .count();
+        assert!(max_count > 10, "{max_count} rows at max quantity");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generate(100, 5, Variant::Incomplete).rows,
+            generate(100, 5, Variant::Incomplete).rows
+        );
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # sparkline-exec
+//!
+//! The distributed execution substrate of the `sparkline` engine — the
+//! stand-in for Spark's executor runtime that the paper's algorithms run
+//! on:
+//!
+//! * [`partition`] — partitioned datasets with the distribution schemes the
+//!   skyline plans require (even split, `AllTuples` coalescing, hash /
+//!   null-bitmap partitioning);
+//! * [`runtime`] — the executor pool (`num_executors` worker threads) and
+//!   the cooperative query [`Deadline`];
+//! * [`metrics`] — row/dominance-test counters reported by the harness;
+//! * [`memory`] — byte-accounted buffer tracking with per-executor
+//!   overhead, reproducing the paper's peak-memory measurements.
+//!
+//! [`TaskContext`] bundles the per-query state every physical operator
+//! receives.
+
+pub mod memory;
+pub mod metrics;
+pub mod partition;
+pub mod runtime;
+
+use std::sync::Arc;
+
+pub use memory::{MemoryReservation, MemoryTracker};
+pub use metrics::{ExecMetrics, MetricsSnapshot};
+pub use partition::Partition;
+pub use runtime::{Deadline, Runtime};
+
+/// Per-query execution state handed to every operator.
+#[derive(Debug, Clone)]
+pub struct TaskContext {
+    /// The executor pool.
+    pub runtime: Arc<Runtime>,
+    /// Wall-clock budget.
+    pub deadline: Deadline,
+    /// Metric counters.
+    pub metrics: Arc<ExecMetrics>,
+    /// Buffer memory accounting.
+    pub memory: Arc<MemoryTracker>,
+}
+
+impl TaskContext {
+    /// Context over a pool with `num_executors`, no timeout.
+    pub fn new(num_executors: usize) -> Self {
+        TaskContext {
+            runtime: Arc::new(Runtime::new(num_executors)),
+            deadline: Deadline::unlimited(),
+            metrics: Arc::new(ExecMetrics::new()),
+            memory: Arc::new(MemoryTracker::new()),
+        }
+    }
+
+    /// Replace the deadline.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+}

@@ -1,0 +1,89 @@
+//! Execution metrics: row counts, dominance tests, exchange volume.
+//!
+//! The paper identifies dominance testing as "the main cost factor of
+//! skyline computation" (§2); the harness reports these counters alongside
+//! wall time so experiments can explain *why* an algorithm wins.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Shared, thread-safe metric counters for one query execution.
+#[derive(Debug, Default)]
+pub struct ExecMetrics {
+    /// Rows read from base tables.
+    pub rows_scanned: AtomicU64,
+    /// Rows produced by the root operator.
+    pub rows_output: AtomicU64,
+    /// Pairwise dominance tests across all skyline operators.
+    pub dominance_tests: AtomicU64,
+    /// Largest skyline window / candidate set observed.
+    pub max_window: AtomicUsize,
+    /// Rows moved through exchanges (repartitioning volume).
+    pub rows_exchanged: AtomicU64,
+    /// Rows compared by join operators (probe work).
+    pub join_comparisons: AtomicU64,
+}
+
+impl ExecMetrics {
+    /// Fresh counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add to a counter.
+    pub fn add_dominance_tests(&self, n: u64) {
+        self.dominance_tests.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Track the maximum window size.
+    pub fn observe_window(&self, size: usize) {
+        self.max_window.fetch_max(size, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+            rows_output: self.rows_output.load(Ordering::Relaxed),
+            dominance_tests: self.dominance_tests.load(Ordering::Relaxed),
+            max_window: self.max_window.load(Ordering::Relaxed),
+            rows_exchanged: self.rows_exchanged.load(Ordering::Relaxed),
+            join_comparisons: self.join_comparisons.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ExecMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Rows read from base tables.
+    pub rows_scanned: u64,
+    /// Rows produced by the root operator.
+    pub rows_output: u64,
+    /// Pairwise dominance tests.
+    pub dominance_tests: u64,
+    /// Largest skyline window observed.
+    pub max_window: usize,
+    /// Rows moved through exchanges.
+    pub rows_exchanged: u64,
+    /// Join probe comparisons.
+    pub join_comparisons: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ExecMetrics::new();
+        m.add_dominance_tests(10);
+        m.add_dominance_tests(5);
+        m.observe_window(3);
+        m.observe_window(2);
+        m.rows_scanned.fetch_add(100, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.dominance_tests, 15);
+        assert_eq!(s.max_window, 3);
+        assert_eq!(s.rows_scanned, 100);
+    }
+}

@@ -1,0 +1,154 @@
+//! Partitioned datasets: the runtime's unit of distribution.
+//!
+//! A dataset is a `Vec<Partition>`; each partition is processed by one
+//! executor, mirroring Spark's RDD partitioning. The helpers implement the
+//! distribution schemes the paper's physical plans need: even splitting
+//! (Spark's default when reading), coalescing to a single partition (the
+//! `AllTuples` requirement of the global skyline), and hash partitioning
+//! (the null-bitmap distribution of the incomplete algorithm, §5.7).
+
+use sparkline_common::Row;
+
+/// One partition of rows, processed by a single executor.
+pub type Partition = Vec<Row>;
+
+/// Split rows into `n` contiguous, evenly sized partitions.
+///
+/// Mirrors the paper's description: "if there are 10 executors available
+/// for 10,000,000 tuples ... each executor will receive roughly 1 million
+/// tuples each".
+pub fn split_evenly(rows: Vec<Row>, n: usize) -> Vec<Partition> {
+    assert!(n >= 1, "at least one partition required");
+    let total = rows.len();
+    if n == 1 || total == 0 {
+        return vec![rows];
+    }
+    let chunk = total.div_ceil(n);
+    let mut parts: Vec<Partition> = Vec::with_capacity(n);
+    let mut iter = rows.into_iter();
+    for _ in 0..n {
+        let part: Partition = iter.by_ref().take(chunk).collect();
+        parts.push(part);
+    }
+    parts
+}
+
+/// Merge all partitions into a single one (Spark's `AllTuples`
+/// distribution, required by the global skyline phase).
+pub fn coalesce(parts: Vec<Partition>) -> Vec<Partition> {
+    let total: usize = parts.iter().map(Vec::len).sum();
+    let mut merged = Vec::with_capacity(total);
+    for p in parts {
+        merged.extend(p);
+    }
+    vec![merged]
+}
+
+/// Redistribute rows into `n` partitions by a key function; rows with the
+/// same key always land in the same partition.
+pub fn hash_partition<K: std::hash::Hash>(
+    parts: Vec<Partition>,
+    n: usize,
+    key: impl Fn(&Row) -> K,
+) -> Vec<Partition> {
+    use std::hash::Hasher;
+    assert!(n >= 1);
+    let mut out: Vec<Partition> = (0..n).map(|_| Vec::new()).collect();
+    for part in parts {
+        for row in part {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            key(&row).hash(&mut hasher);
+            let slot = (hasher.finish() % n as u64) as usize;
+            out[slot].push(row);
+        }
+    }
+    out
+}
+
+/// Total number of rows across partitions.
+pub fn total_rows(parts: &[Partition]) -> usize {
+    parts.iter().map(Vec::len).sum()
+}
+
+/// Flatten partitions into a single row vector (preserving partition
+/// order), consuming the input.
+pub fn flatten(parts: Vec<Partition>) -> Vec<Row> {
+    let mut rows = Vec::with_capacity(total_rows(&parts));
+    for p in parts {
+        rows.extend(p);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkline_common::Value;
+
+    fn rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| Row::new(vec![Value::Int64(i as i64)]))
+            .collect()
+    }
+
+    #[test]
+    fn split_sizes_are_even() {
+        let parts = split_evenly(rows(10), 3);
+        assert_eq!(parts.len(), 3);
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 4 || s == 2), "{sizes:?}");
+    }
+
+    #[test]
+    fn split_single_partition() {
+        let parts = split_evenly(rows(5), 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 5);
+    }
+
+    #[test]
+    fn split_more_partitions_than_rows() {
+        let parts = split_evenly(rows(2), 5);
+        assert_eq!(parts.len(), 5);
+        assert_eq!(total_rows(&parts), 2);
+    }
+
+    #[test]
+    fn coalesce_merges_preserving_order() {
+        let parts = split_evenly(rows(9), 3);
+        let merged = coalesce(parts);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0], rows(9));
+    }
+
+    #[test]
+    fn hash_partition_groups_same_keys() {
+        let parts = split_evenly(rows(100), 4);
+        let by_parity = hash_partition(parts, 3, |r| match r.get(0) {
+            Value::Int64(i) => i % 2,
+            _ => 0,
+        });
+        assert_eq!(by_parity.len(), 3);
+        assert_eq!(total_rows(&by_parity), 100);
+        // Each non-empty partition holds only one parity class or both
+        // classes never split across partitions.
+        for class in [0i64, 1] {
+            let holding: Vec<usize> = by_parity
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| {
+                    p.iter().any(|r| matches!(r.get(0), Value::Int64(i) if i % 2 == class))
+                })
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(holding.len(), 1, "class {class} in one partition");
+        }
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let parts = split_evenly(rows(7), 2);
+        assert_eq!(flatten(parts).len(), 7);
+    }
+}

@@ -1,0 +1,153 @@
+//! Expression simplification: constant folding and boolean identities.
+
+use sparkline_common::{Result, Row, Value};
+use sparkline_plan::{BinaryOp, Expr, LogicalPlan};
+
+/// Fold literal-only subexpressions and apply boolean identities in every
+/// expression of the plan.
+pub fn simplify_expressions(plan: &LogicalPlan) -> Result<LogicalPlan> {
+    plan.transform_up(&mut |node| node.map_expressions(&mut simplify_expr))
+}
+
+/// Simplify one expression tree.
+pub fn simplify_expr(expr: Expr) -> Result<Expr> {
+    expr.transform_up(&mut |node| {
+        // Fold any operator whose inputs are all literals (evaluation over
+        // the empty row cannot touch columns).
+        if literal_only(&node) && !matches!(node, Expr::Literal(_)) {
+            if let Ok(v) = node.evaluate(&Row::empty()) {
+                return Ok(Expr::Literal(v));
+            }
+        }
+        Ok(match node {
+            // Boolean identities (Kleene-safe: `x AND true = x` and
+            // `x OR false = x` hold for NULL x as well; `false AND x =
+            // false` / `true OR x = true` hold because our expressions are
+            // side-effect free).
+            Expr::BinaryOp { left, op, right } => match (op, left, right) {
+                (BinaryOp::And, l, r) => match (*l, *r) {
+                    (Expr::Literal(Value::Boolean(true)), x)
+                    | (x, Expr::Literal(Value::Boolean(true))) => x,
+                    (Expr::Literal(Value::Boolean(false)), _)
+                    | (_, Expr::Literal(Value::Boolean(false))) => {
+                        Expr::lit(false)
+                    }
+                    (l, r) => l.and(r),
+                },
+                (BinaryOp::Or, l, r) => match (*l, *r) {
+                    (Expr::Literal(Value::Boolean(false)), x)
+                    | (x, Expr::Literal(Value::Boolean(false))) => x,
+                    (Expr::Literal(Value::Boolean(true)), _)
+                    | (_, Expr::Literal(Value::Boolean(true))) => Expr::lit(true),
+                    (l, r) => l.or(r),
+                },
+                (op, l, r) => Expr::BinaryOp {
+                    left: l,
+                    op,
+                    right: r,
+                },
+            },
+            Expr::Not(inner) => match *inner {
+                Expr::Not(x) => *x,
+                Expr::Literal(Value::Boolean(b)) => Expr::lit(!b),
+                // De-Morgan on negated EXISTS is handled by the parser;
+                // flip a stray Not(Exists) here as well.
+                Expr::Exists { subquery, negated } => Expr::Exists {
+                    subquery,
+                    negated: !negated,
+                },
+                x => Expr::Not(Box::new(x)),
+            },
+            other => other,
+        })
+    })
+}
+
+/// True if the expression references no columns (and no subqueries), so it
+/// can be evaluated at plan time.
+fn literal_only(e: &Expr) -> bool {
+    match e {
+        Expr::Literal(_) => true,
+        Expr::Column(_)
+        | Expr::BoundColumn(_)
+        | Expr::OuterColumn(_)
+        | Expr::Wildcard { .. }
+        | Expr::Exists { .. }
+        | Expr::Aggregate { .. } => false,
+        other => other.children().iter().all(|c| literal_only(c)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkline_plan::BoundColumn;
+    use sparkline_common::{DataType, Field};
+
+    fn col() -> Expr {
+        Expr::BoundColumn(BoundColumn {
+            index: 0,
+            field: Field::new("x", DataType::Int64, false),
+        })
+    }
+
+    #[test]
+    fn folds_arithmetic() {
+        let e = simplify_expr(Expr::lit(2i64).binary(BinaryOp::Plus, Expr::lit(3i64))).unwrap();
+        assert_eq!(e, Expr::lit(5i64));
+    }
+
+    #[test]
+    fn folds_nested_comparisons() {
+        let e = simplify_expr(
+            Expr::lit(2i64)
+                .lt(Expr::lit(3i64))
+                .and(col().gt(Expr::lit(1i64))),
+        )
+        .unwrap();
+        assert_eq!(e.to_string(), "(x#0 > 1)");
+    }
+
+    #[test]
+    fn and_or_identities() {
+        assert_eq!(
+            simplify_expr(col().eq(Expr::lit(1i64)).and(Expr::lit(true))).unwrap(),
+            col().eq(Expr::lit(1i64))
+        );
+        assert_eq!(
+            simplify_expr(col().eq(Expr::lit(1i64)).and(Expr::lit(false))).unwrap(),
+            Expr::lit(false)
+        );
+        assert_eq!(
+            simplify_expr(col().eq(Expr::lit(1i64)).or(Expr::lit(true))).unwrap(),
+            Expr::lit(true)
+        );
+        assert_eq!(
+            simplify_expr(col().eq(Expr::lit(1i64)).or(Expr::lit(false))).unwrap(),
+            col().eq(Expr::lit(1i64))
+        );
+    }
+
+    #[test]
+    fn double_negation() {
+        let e = simplify_expr(Expr::Not(Box::new(Expr::Not(Box::new(col().eq(
+            Expr::lit(1i64),
+        ))))))
+        .unwrap();
+        assert_eq!(e, col().eq(Expr::lit(1i64)));
+    }
+
+    #[test]
+    fn division_by_zero_not_folded_to_error() {
+        // 1/0 evaluates to NULL in our SQL semantics; folding keeps that.
+        let e = simplify_expr(Expr::lit(1i64).binary(BinaryOp::Divide, Expr::lit(0i64)))
+            .unwrap();
+        assert_eq!(e, Expr::Literal(Value::Null));
+    }
+
+    #[test]
+    fn columns_prevent_folding() {
+        let e = simplify_expr(col().binary(BinaryOp::Plus, Expr::lit(0i64))).unwrap();
+        assert_eq!(e.to_string(), "(x#0 + 0)");
+    }
+}

@@ -1,0 +1,423 @@
+//! SQL tokenizer.
+//!
+//! Words (identifiers and keywords) are produced as a single token kind;
+//! the parser decides contextually whether a word acts as a keyword. This
+//! sidesteps the classic `MIN`/`MAX` ambiguity: they are aggregate function
+//! names in expressions but dimension-type markers inside the `SKYLINE OF`
+//! clause (paper Listing 5).
+
+use std::fmt;
+
+use sparkline_common::{Error, Result};
+
+/// A lexical token with its byte position in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character in the query text.
+    pub position: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (unquoted words are case-insensitive).
+    Word(String),
+    /// Double-quoted identifier (exact case).
+    QuotedIdent(String),
+    /// Integer literal.
+    Integer(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    StringLit(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Word(w) => write!(f, "{w}"),
+            TokenKind::QuotedIdent(w) => write!(f, "\"{w}\""),
+            TokenKind::Integer(i) => write!(f, "{i}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::StringLit(s) => write!(f, "'{s}'"),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::Semicolon => f.write_str(";"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::NotEq => f.write_str("<>"),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::LtEq => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::GtEq => f.write_str(">="),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Percent => f.write_str("%"),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// Tokenize a SQL string. Supports `--` line comments and `/* */` block
+/// comments.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let start = i;
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(Error::parse_at("unterminated block comment", start));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Word(sql[start..i].to_string()),
+                    position: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &sql[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| {
+                        Error::parse_at(format!("invalid float literal '{text}'"), start)
+                    })?)
+                } else {
+                    TokenKind::Integer(text.parse().map_err(|_| {
+                        Error::parse_at(format!("integer literal '{text}' out of range"), start)
+                    })?)
+                };
+                tokens.push(Token { kind, position: start });
+            }
+            '\'' => {
+                i += 1;
+                let mut value = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(Error::parse_at("unterminated string literal", start));
+                    }
+                    if bytes[i] == b'\'' {
+                        // '' escapes a single quote.
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            value.push('\'');
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    // Multi-byte UTF-8 safe: copy by char.
+                    let ch = sql[i..].chars().next().unwrap();
+                    value.push(ch);
+                    i += ch.len_utf8();
+                }
+                tokens.push(Token {
+                    kind: TokenKind::StringLit(value),
+                    position: start,
+                });
+            }
+            '"' => {
+                i += 1;
+                let ident_start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(Error::parse_at("unterminated quoted identifier", start));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::QuotedIdent(sql[ident_start..i].to_string()),
+                    position: start,
+                });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, position: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, position: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, position: start });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, position: start });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, position: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, position: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, position: start });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token { kind: TokenKind::NotEq, position: start });
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        tokens.push(Token { kind: TokenKind::LtEq, position: start });
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        tokens.push(Token { kind: TokenKind::NotEq, position: start });
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(Token { kind: TokenKind::Lt, position: start });
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::GtEq, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, position: start });
+                    i += 1;
+                }
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, position: start });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, position: start });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, position: start });
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token { kind: TokenKind::Percent, position: start });
+                i += 1;
+            }
+            other => {
+                return Err(Error::parse_at(
+                    format!("unexpected character '{other}'"),
+                    start,
+                ));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        position: sql.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_and_symbols() {
+        let k = kinds("SELECT a, b FROM t WHERE a <= 3;");
+        assert_eq!(k[0], TokenKind::Word("SELECT".into()));
+        assert_eq!(k[2], TokenKind::Comma);
+        assert!(k.contains(&TokenKind::LtEq));
+        assert!(k.contains(&TokenKind::Semicolon));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 2.5 1e3 7"),
+            vec![
+                TokenKind::Integer(1),
+                TokenKind::Float(2.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Integer(7),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn float_requires_digit_after_dot() {
+        // `t.a` must lex as word-dot-word, not a float.
+        assert_eq!(
+            kinds("t.a"),
+            vec![
+                TokenKind::Word("t".into()),
+                TokenKind::Dot,
+                TokenKind::Word("a".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::StringLit("it's".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(
+            kinds("\"Weird Name\""),
+            vec![TokenKind::QuotedIdent("Weird Name".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("SELECT -- comment\n 1 /* block */ + 2"),
+            vec![
+                TokenKind::Word("SELECT".into()),
+                TokenKind::Integer(1),
+                TokenKind::Plus,
+                TokenKind::Integer(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= = <> !="),
+            vec![
+                TokenKind::Lt,
+                TokenKind::LtEq,
+                TokenKind::Gt,
+                TokenKind::GtEq,
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = tokenize("SELECT ?").unwrap_err();
+        match err {
+            Error::Parse { position, .. } => assert_eq!(position, Some(7)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("/* open").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(
+            kinds("'héllo'"),
+            vec![TokenKind::StringLit("héllo".into()), TokenKind::Eof]
+        );
+    }
+}

@@ -1,0 +1,333 @@
+#![warn(missing_docs)]
+
+//! # sparkline-parser
+//!
+//! SQL lexer and recursive-descent parser for the `sparkline` engine,
+//! extending the `SELECT` grammar with the paper's skyline clause
+//! (Listings 3 and 5 of *"Integration of Skyline Queries into Spark SQL"*,
+//! EDBT 2023):
+//!
+//! ```sql
+//! SELECT price, user_rating FROM hotels
+//! SKYLINE OF price MIN, user_rating MAX;
+//! ```
+//!
+//! The parser emits unresolved [`sparkline_plan::LogicalPlan`]s; name and
+//! type resolution happen in `sparkline-analyzer`.
+
+pub mod lexer;
+pub mod parser;
+
+pub use lexer::{tokenize, Token, TokenKind};
+pub use parser::{parse_expression, parse_query};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkline_common::SkylineType;
+    use sparkline_plan::{Expr, JoinCondition, JoinType, LogicalPlan};
+
+    fn parse(sql: &str) -> LogicalPlan {
+        parse_query(sql).unwrap_or_else(|e| panic!("failed to parse {sql:?}: {e}"))
+    }
+
+    #[test]
+    fn simple_select() {
+        let plan = parse("SELECT a, b FROM t");
+        let d = plan.display_indent();
+        assert!(d.contains("Projection [a, b]"), "{d}");
+        assert!(d.contains("UnresolvedRelation [t]"), "{d}");
+    }
+
+    #[test]
+    fn hotel_skyline_query_listing_2() {
+        // Listing 2 of the paper.
+        let plan = parse(
+            "SELECT price, user_rating FROM hotels SKYLINE OF price MIN, user_rating MAX;",
+        );
+        match &plan {
+            LogicalPlan::Skyline {
+                distinct,
+                complete,
+                dims,
+                input,
+            } => {
+                assert!(!distinct);
+                assert!(!complete);
+                assert_eq!(dims.len(), 2);
+                assert_eq!(dims[0].ty, SkylineType::Min);
+                assert_eq!(dims[1].ty, SkylineType::Max);
+                assert!(matches!(input.as_ref(), LogicalPlan::Projection { .. }));
+            }
+            other => panic!("expected Skyline on top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skyline_modifiers_and_diff() {
+        let plan = parse(
+            "SELECT * FROM t SKYLINE OF DISTINCT COMPLETE a MIN, b MAX, c DIFF",
+        );
+        match &plan {
+            LogicalPlan::Skyline {
+                distinct,
+                complete,
+                dims,
+                ..
+            } => {
+                assert!(*distinct && *complete);
+                assert_eq!(
+                    dims.iter().map(|d| d.ty).collect::<Vec<_>>(),
+                    vec![SkylineType::Min, SkylineType::Max, SkylineType::Diff]
+                );
+            }
+            other => panic!("expected Skyline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skyline_requires_dimension_type() {
+        let err = parse_query("SELECT * FROM t SKYLINE OF a").unwrap_err();
+        assert!(err.to_string().contains("MIN, MAX or DIFF"), "{err}");
+    }
+
+    #[test]
+    fn skyline_on_expression_dimension() {
+        let plan = parse("SELECT * FROM t SKYLINE OF price / accommodates MIN");
+        match &plan {
+            LogicalPlan::Skyline { dims, .. } => {
+                assert_eq!(dims[0].child.to_string(), "(price / accommodates)");
+            }
+            other => panic!("expected Skyline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skyline_after_having_before_order_by() {
+        let plan = parse(
+            "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 1 \
+             SKYLINE OF a MIN ORDER BY a",
+        );
+        // Sort > Skyline > Filter(HAVING) > Aggregate
+        let d = plan.display_indent();
+        let lines: Vec<&str> = d.lines().map(|l| l.trim()).collect();
+        assert!(lines[0].starts_with("Sort"), "{d}");
+        assert!(lines[1].starts_with("Skyline"), "{d}");
+        assert!(lines[2].starts_with("Filter"), "{d}");
+        assert!(lines[3].starts_with("Aggregate"), "{d}");
+    }
+
+    #[test]
+    fn plain_sql_reference_query_listing_1() {
+        // Listing 1 of the paper: the NOT EXISTS rewrite.
+        let plan = parse(
+            "SELECT price, user_rating FROM hotels AS o WHERE NOT EXISTS( \
+               SELECT * FROM hotels AS i WHERE \
+                 i.price <= o.price AND i.user_rating >= o.user_rating \
+                 AND (i.price < o.price OR i.user_rating > o.user_rating));",
+        );
+        let d = plan.display_indent();
+        assert!(d.contains("Filter [NOT EXISTS(<subquery>)]"), "{d}");
+        assert!(d.contains("SubqueryAlias [o]"), "{d}");
+    }
+
+    #[test]
+    fn joins_with_on_and_using() {
+        let plan = parse(
+            "SELECT * FROM a JOIN b ON a.id = b.id LEFT OUTER JOIN c USING (id, k)",
+        );
+        match &plan {
+            LogicalPlan::Projection { input, .. } => match input.as_ref() {
+                LogicalPlan::Join {
+                    join_type,
+                    condition,
+                    left,
+                    ..
+                } => {
+                    assert_eq!(*join_type, JoinType::LeftOuter);
+                    assert_eq!(
+                        *condition,
+                        JoinCondition::Using(vec!["id".into(), "k".into()])
+                    );
+                    assert!(matches!(
+                        left.as_ref(),
+                        LogicalPlan::Join {
+                            join_type: JoinType::Inner,
+                            ..
+                        }
+                    ));
+                }
+                other => panic!("expected join, got {other:?}"),
+            },
+            other => panic!("expected projection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comma_cross_join() {
+        let plan = parse("SELECT * FROM a, b WHERE a.x = b.x");
+        let d = plan.display_indent();
+        assert!(d.contains("Join [Cross]"), "{d}");
+    }
+
+    #[test]
+    fn derived_table_with_alias() {
+        let plan = parse("SELECT t.x FROM (SELECT a AS x FROM u) AS t");
+        let d = plan.display_indent();
+        assert!(d.contains("SubqueryAlias [t]"), "{d}");
+        assert!(d.contains("Projection [a AS x]"), "{d}");
+    }
+
+    #[test]
+    fn group_by_having_aggregates() {
+        let plan = parse(
+            "SELECT k, sum(v) AS total FROM t GROUP BY k HAVING sum(v) > 10",
+        );
+        let d = plan.display_indent();
+        assert!(d.contains("Filter [(sum(v) > 10)]"), "{d}");
+        assert!(d.contains("Aggregate [group: k; aggr: k, sum(v) AS total]"), "{d}");
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let plan = parse("SELECT count(*) FROM t");
+        assert!(matches!(plan, LogicalPlan::Aggregate { .. }));
+    }
+
+    #[test]
+    fn having_without_aggregate_rejected() {
+        assert!(parse_query("SELECT a FROM t HAVING a > 1").is_err());
+    }
+
+    #[test]
+    fn order_by_limit_distinct() {
+        let plan = parse(
+            "SELECT DISTINCT a FROM t ORDER BY a DESC NULLS FIRST, b LIMIT 10",
+        );
+        let d = plan.display_indent();
+        assert!(d.contains("Limit [10]"), "{d}");
+        assert!(d.contains("Sort [a DESC NULLS FIRST, b ASC]"), "{d}");
+        assert!(d.contains("Distinct"), "{d}");
+    }
+
+    #[test]
+    fn select_without_from() {
+        let plan = parse("SELECT 1 + 2 AS three");
+        let d = plan.display_indent();
+        assert!(d.contains("Projection [(1 + 2) AS three]"), "{d}");
+        assert!(d.contains("Values [1 rows]"), "{d}");
+    }
+
+    #[test]
+    fn expression_parsing_precedence() {
+        let e = parse_expression("a + b * c < d AND NOT e = f").unwrap();
+        assert_eq!(
+            e.to_string(),
+            "(((a + (b * c)) < d) AND (NOT (e = f)))"
+        );
+    }
+
+    #[test]
+    fn unary_minus_folds_literals() {
+        let e = parse_expression("-5").unwrap();
+        assert_eq!(e, Expr::lit(-5i64));
+        let e = parse_expression("-x").unwrap();
+        assert_eq!(e.to_string(), "(- x)");
+    }
+
+    #[test]
+    fn is_null_and_functions() {
+        let e = parse_expression("ifnull(r.length, 0) IS NOT NULL").unwrap();
+        assert_eq!(e.to_string(), "(ifnull(r.length, 0) IS NOT NULL)");
+        let e = parse_expression("coalesce(a, b, 1)").unwrap();
+        assert_eq!(e.to_string(), "coalesce(a, b, 1)");
+    }
+
+    #[test]
+    fn cast_expression() {
+        let e = parse_expression("CAST(a AS DOUBLE)").unwrap();
+        assert_eq!(e.to_string(), "CAST(a AS DOUBLE)");
+    }
+
+    #[test]
+    fn count_star_and_aggregates() {
+        let e = parse_expression("count(*)").unwrap();
+        assert_eq!(e.to_string(), "count(*)");
+        let e = parse_expression("min(ti.position)").unwrap();
+        assert_eq!(e.to_string(), "min(ti.position)");
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        assert!(parse_expression("frobnicate(x)").is_err());
+    }
+
+    #[test]
+    fn string_and_boolean_literals() {
+        let e = parse_expression("name = 'O''Hara' AND flag = TRUE OR x IS NULL").unwrap();
+        assert_eq!(
+            e.to_string(),
+            "(((name = 'O'Hara') AND (flag = true)) OR (x IS NULL))"
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_query("SELECT a FROM t extra garbage +").is_err());
+    }
+
+    #[test]
+    fn wildcard_forms() {
+        let plan = parse("SELECT *, t.* FROM t");
+        match plan {
+            LogicalPlan::Projection { exprs, .. } => {
+                assert_eq!(exprs[0], Expr::Wildcard { qualifier: None });
+                assert_eq!(
+                    exprs[1],
+                    Expr::Wildcard {
+                        qualifier: Some("t".into())
+                    }
+                );
+            }
+            other => panic!("expected projection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn musicbrainz_base_query_parses() {
+        // Listing 11 (complete base query), lightly reformatted.
+        let sql = "SELECT r.id, ifnull(r.length, 0) AS length, r.video, \
+                   ifnull(rm.rating, 0) AS rating, \
+                   ifnull(rm.rating_count, 0) AS rating_count, \
+                   recording_tracks.num_tracks, recording_tracks.min_position \
+                   FROM recording_complete r LEFT OUTER JOIN ( \
+                     SELECT ri.id AS id, count(ti.recording) AS num_tracks, \
+                            min(ti.position) AS min_position \
+                     FROM recording_complete ri \
+                     JOIN track ti ON (ti.recording = ri.id) \
+                     GROUP BY ri.id \
+                   ) recording_tracks USING (id) \
+                   JOIN recording_meta rm USING (id)";
+        let plan = parse(sql);
+        let d = plan.display_indent();
+        assert!(d.contains("Join [LeftOuter, using: id]"), "{d}");
+        assert!(d.contains("SubqueryAlias [recording_tracks]"), "{d}");
+        assert!(d.contains("Aggregate"), "{d}");
+    }
+
+    #[test]
+    fn musicbrainz_skyline_query_listing_14() {
+        let sql = "SELECT * FROM ( \
+                     SELECT r.id, ifnull(r.length, 0) AS length \
+                     FROM recording_complete r \
+                   ) SKYLINE OF COMPLETE rating MAX, length MIN";
+        let plan = parse(sql);
+        match &plan {
+            LogicalPlan::Skyline { complete, dims, .. } => {
+                assert!(*complete);
+                assert_eq!(dims.len(), 2);
+            }
+            other => panic!("expected skyline, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,762 @@
+//! Recursive-descent SQL parser producing unresolved [`LogicalPlan`]s.
+//!
+//! The grammar is the `SELECT`-statement subset the paper's workloads need
+//! (joins, subqueries in `FROM`, `GROUP BY`/`HAVING`, correlated
+//! `[NOT] EXISTS`, `ORDER BY`, `LIMIT`) extended with the skyline clause of
+//! Listing 3/5:
+//!
+//! ```sql
+//! SELECT ... FROM ... WHERE ... GROUP BY ... HAVING ...
+//! SKYLINE OF [DISTINCT] [COMPLETE] d1 [MIN|MAX|DIFF], ..., dm [MIN|MAX|DIFF]
+//! ORDER BY ... LIMIT ...
+//! ```
+//!
+//! The skyline clause is parsed *after* `HAVING` and *before* `ORDER BY`,
+//! and the resulting [`LogicalPlan::Skyline`] node is placed above the
+//! projection/aggregate — the analyzer then resolves dimensions that are
+//! missing from the projection (paper Listing 6) or that refer to
+//! aggregates (Listing 7).
+
+use std::sync::Arc;
+
+use sparkline_common::{DataType, Error, Result, SkylineType, Value};
+use sparkline_plan::{
+    AggregateFunction, BinaryOp, Column, Expr, JoinCondition, JoinType, LogicalPlan,
+    ScalarFunction, SkylineDimension, SortExpr,
+};
+
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Words that terminate an implicit (bare) alias.
+const RESERVED: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "SKYLINE", "OF",
+    "JOIN", "LEFT", "RIGHT", "FULL", "INNER", "OUTER", "CROSS", "ON", "USING", "AND", "OR",
+    "NOT", "AS", "UNION", "EXCEPT", "INTERSECT", "IS", "NULL", "EXISTS", "DISTINCT",
+    "COMPLETE", "ASC", "DESC", "NULLS", "CAST", "MIN", "MAX", "DIFF",
+];
+
+/// Parse a single SQL query (optionally `;`-terminated) into an unresolved
+/// logical plan.
+pub fn parse_query(sql: &str) -> Result<LogicalPlan> {
+    let mut p = Parser::new(sql)?;
+    let plan = p.parse_select()?;
+    p.consume(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(plan)
+}
+
+/// Parse a standalone scalar expression (used by tests and the DataFrame
+/// API's string predicates).
+pub fn parse_expression(sql: &str) -> Result<Expr> {
+    let mut p = Parser::new(sql)?;
+    let expr = p.parse_expr()?;
+    p.expect_eof()?;
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(sql: &str) -> Result<Self> {
+        Ok(Parser {
+            tokens: tokenize(sql)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn peek_ahead(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        self.pos = (self.pos + 1).min(self.tokens.len());
+        t
+    }
+
+    /// Is the current token the given (case-insensitive) keyword?
+    fn at_word(&self, kw: &str) -> bool {
+        matches!(self.peek_kind(), TokenKind::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn word_ahead(&self, n: usize, kw: &str) -> bool {
+        matches!(self.peek_ahead(n), TokenKind::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consume a keyword if present.
+    fn consume_word(&mut self, kw: &str) -> bool {
+        if self.at_word(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Require a keyword.
+    fn expect_word(&mut self, kw: &str) -> Result<()> {
+        if self.consume_word(kw) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected {kw}, found '{}'", self.peek_kind())))
+        }
+    }
+
+    /// Consume a punctuation token if present.
+    fn consume(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Require a punctuation token.
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.consume(kind) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected '{kind}', found '{}'", self.peek_kind())))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if matches!(self.peek_kind(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("unexpected trailing input '{}'", self.peek_kind())))
+        }
+    }
+
+    fn error_here(&self, message: String) -> Error {
+        Error::parse_at(message, self.peek().position)
+    }
+
+    /// An identifier (word not reserved, or quoted).
+    fn parse_ident(&mut self) -> Result<String> {
+        match self.peek_kind().clone() {
+            TokenKind::Word(w) => {
+                if RESERVED.iter().any(|r| w.eq_ignore_ascii_case(r)) {
+                    Err(self.error_here(format!("expected identifier, found keyword '{w}'")))
+                } else {
+                    self.advance();
+                    Ok(w)
+                }
+            }
+            TokenKind::QuotedIdent(w) => {
+                self.advance();
+                Ok(w)
+            }
+            other => Err(self.error_here(format!("expected identifier, found '{other}'"))),
+        }
+    }
+
+    /// Optional `AS alias` or bare alias.
+    fn parse_optional_alias(&mut self) -> Result<Option<String>> {
+        if self.consume_word("AS") {
+            return self.parse_ident().map(Some);
+        }
+        match self.peek_kind() {
+            TokenKind::Word(w)
+                if !RESERVED.iter().any(|r| w.eq_ignore_ascii_case(r)) =>
+            {
+                self.parse_ident().map(Some)
+            }
+            TokenKind::QuotedIdent(_) => self.parse_ident().map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // SELECT statements
+    // ------------------------------------------------------------------
+
+    fn parse_select(&mut self) -> Result<LogicalPlan> {
+        self.expect_word("SELECT")?;
+        let select_distinct = self.consume_word("DISTINCT");
+
+        let mut select_list = Vec::new();
+        loop {
+            select_list.push(self.parse_select_item()?);
+            if !self.consume(&TokenKind::Comma) {
+                break;
+            }
+        }
+
+        let mut plan = if self.consume_word("FROM") {
+            self.parse_table_refs()?
+        } else {
+            // Table-less SELECT: a single empty row to project literals from.
+            LogicalPlan::Values {
+                schema: sparkline_common::Schema::empty(),
+                rows: Arc::new(vec![sparkline_common::Row::empty()]),
+            }
+        };
+
+        if self.consume_word("WHERE") {
+            let predicate = self.parse_expr()?;
+            plan = LogicalPlan::Filter {
+                predicate,
+                input: Arc::new(plan),
+            };
+        }
+
+        let group_exprs = if self.consume_word("GROUP") {
+            self.expect_word("BY")?;
+            let mut exprs = vec![self.parse_expr()?];
+            while self.consume(&TokenKind::Comma) {
+                exprs.push(self.parse_expr()?);
+            }
+            exprs
+        } else {
+            vec![]
+        };
+
+        let having = if self.consume_word("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        // Decide between Aggregate and plain Projection. GROUP BY, an
+        // aggregate in the select list, or an aggregate in HAVING all force
+        // an Aggregate node (Spark resolves global aggregates the same way).
+        let has_aggregates = !group_exprs.is_empty()
+            || select_list.iter().any(|e| e.contains_aggregate())
+            || having.as_ref().is_some_and(|h| h.contains_aggregate());
+
+        if has_aggregates {
+            if select_list
+                .iter()
+                .any(|e| matches!(e, Expr::Wildcard { .. }))
+            {
+                return Err(Error::parse(
+                    "SELECT * cannot be combined with GROUP BY or aggregate functions",
+                ));
+            }
+            plan = LogicalPlan::Aggregate {
+                group_exprs,
+                aggr_exprs: select_list,
+                input: Arc::new(plan),
+            };
+        } else {
+            if having.is_some() {
+                return Err(Error::parse(
+                    "HAVING requires GROUP BY or an aggregate function",
+                ));
+            }
+            plan = LogicalPlan::Projection {
+                exprs: select_list,
+                input: Arc::new(plan),
+            };
+        }
+
+        if let Some(having_predicate) = having {
+            plan = LogicalPlan::Filter {
+                predicate: having_predicate,
+                input: Arc::new(plan),
+            };
+        }
+
+        if select_distinct {
+            plan = LogicalPlan::Distinct {
+                input: Arc::new(plan),
+            };
+        }
+
+        // The skyline clause: after HAVING, before ORDER BY (paper §5.1).
+        if self.consume_word("SKYLINE") {
+            self.expect_word("OF")?;
+            let distinct = self.consume_word("DISTINCT");
+            let complete = self.consume_word("COMPLETE");
+            let mut dims = vec![self.parse_skyline_item()?];
+            while self.consume(&TokenKind::Comma) {
+                dims.push(self.parse_skyline_item()?);
+            }
+            plan = LogicalPlan::Skyline {
+                distinct,
+                complete,
+                dims,
+                input: Arc::new(plan),
+            };
+        }
+
+        if self.consume_word("ORDER") {
+            self.expect_word("BY")?;
+            let mut exprs = vec![self.parse_sort_item()?];
+            while self.consume(&TokenKind::Comma) {
+                exprs.push(self.parse_sort_item()?);
+            }
+            plan = LogicalPlan::Sort {
+                exprs,
+                input: Arc::new(plan),
+            };
+        }
+
+        if self.consume_word("LIMIT") {
+            let n = match self.advance().kind {
+                TokenKind::Integer(n) if n >= 0 => n as usize,
+                other => {
+                    return Err(Error::parse(format!(
+                        "LIMIT expects a non-negative integer, found '{other}'"
+                    )))
+                }
+            };
+            plan = LogicalPlan::Limit {
+                n,
+                input: Arc::new(plan),
+            };
+        }
+
+        Ok(plan)
+    }
+
+    /// One `SKYLINE OF` item: `expression (MIN | MAX | DIFF)` (Listing 5).
+    fn parse_skyline_item(&mut self) -> Result<SkylineDimension> {
+        let child = self.parse_expr()?;
+        let ty = if self.consume_word("MIN") {
+            SkylineType::Min
+        } else if self.consume_word("MAX") {
+            SkylineType::Max
+        } else if self.consume_word("DIFF") {
+            SkylineType::Diff
+        } else {
+            return Err(self.error_here(format!(
+                "skyline dimension must end in MIN, MAX or DIFF, found '{}'",
+                self.peek_kind()
+            )));
+        };
+        Ok(SkylineDimension::new(child, ty))
+    }
+
+    fn parse_sort_item(&mut self) -> Result<SortExpr> {
+        let expr = self.parse_expr()?;
+        let asc = if self.consume_word("DESC") {
+            false
+        } else {
+            self.consume_word("ASC");
+            true
+        };
+        // Spark defaults: NULLS FIRST for ASC, NULLS LAST for DESC.
+        let mut nulls_first = asc;
+        if self.consume_word("NULLS") {
+            if self.consume_word("FIRST") {
+                nulls_first = true;
+            } else {
+                self.expect_word("LAST")?;
+                nulls_first = false;
+            }
+        }
+        Ok(SortExpr {
+            expr,
+            asc,
+            nulls_first,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> Result<Expr> {
+        if self.consume(&TokenKind::Star) {
+            return Ok(Expr::Wildcard { qualifier: None });
+        }
+        // `qualifier.*`
+        if matches!(self.peek_kind(), TokenKind::Word(_) | TokenKind::QuotedIdent(_))
+            && self.peek_ahead(1) == &TokenKind::Dot
+            && self.peek_ahead(2) == &TokenKind::Star
+        {
+            let qualifier = self.parse_ident()?;
+            self.expect(&TokenKind::Dot)?;
+            self.expect(&TokenKind::Star)?;
+            return Ok(Expr::Wildcard {
+                qualifier: Some(qualifier),
+            });
+        }
+        let expr = self.parse_expr()?;
+        match self.parse_optional_alias()? {
+            Some(alias) => Ok(expr.alias(alias)),
+            None => Ok(expr),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // FROM clause
+    // ------------------------------------------------------------------
+
+    fn parse_table_refs(&mut self) -> Result<LogicalPlan> {
+        let mut plan = self.parse_table_ref()?;
+        while self.consume(&TokenKind::Comma) {
+            let right = self.parse_table_ref()?;
+            plan = LogicalPlan::Join {
+                left: Arc::new(plan),
+                right: Arc::new(right),
+                join_type: JoinType::Cross,
+                condition: JoinCondition::None,
+            };
+        }
+        Ok(plan)
+    }
+
+    fn parse_table_ref(&mut self) -> Result<LogicalPlan> {
+        let mut plan = self.parse_table_primary()?;
+        loop {
+            let join_type = if self.consume_word("JOIN") {
+                JoinType::Inner
+            } else if self.at_word("INNER") && self.word_ahead(1, "JOIN") {
+                self.advance();
+                self.advance();
+                JoinType::Inner
+            } else if self.at_word("LEFT") {
+                self.advance();
+                self.consume_word("OUTER");
+                self.expect_word("JOIN")?;
+                JoinType::LeftOuter
+            } else if self.at_word("CROSS") && self.word_ahead(1, "JOIN") {
+                self.advance();
+                self.advance();
+                JoinType::Cross
+            } else {
+                break;
+            };
+            let right = self.parse_table_primary()?;
+            let condition = if self.consume_word("ON") {
+                JoinCondition::On(self.parse_expr()?)
+            } else if self.consume_word("USING") {
+                self.expect(&TokenKind::LParen)?;
+                let mut cols = vec![self.parse_ident()?];
+                while self.consume(&TokenKind::Comma) {
+                    cols.push(self.parse_ident()?);
+                }
+                self.expect(&TokenKind::RParen)?;
+                JoinCondition::Using(cols)
+            } else if join_type == JoinType::Cross {
+                JoinCondition::None
+            } else {
+                return Err(self.error_here(
+                    "expected ON or USING after JOIN".to_string(),
+                ));
+            };
+            plan = LogicalPlan::Join {
+                left: Arc::new(plan),
+                right: Arc::new(right),
+                join_type,
+                condition,
+            };
+        }
+        Ok(plan)
+    }
+
+    fn parse_table_primary(&mut self) -> Result<LogicalPlan> {
+        if self.consume(&TokenKind::LParen) {
+            // Either a derived table `(SELECT ...)` or parenthesized refs.
+            let plan = if self.at_word("SELECT") {
+                self.parse_select()?
+            } else {
+                self.parse_table_refs()?
+            };
+            self.expect(&TokenKind::RParen)?;
+            match self.parse_optional_alias()? {
+                Some(alias) => Ok(LogicalPlan::SubqueryAlias {
+                    alias,
+                    input: Arc::new(plan),
+                }),
+                // A derived table without alias keeps the inner plan as-is
+                // (Spark allows this; columns keep their inner qualifiers).
+                None => Ok(plan),
+            }
+        } else {
+            let name = self.parse_ident()?;
+            let relation = LogicalPlan::UnresolvedRelation { name };
+            match self.parse_optional_alias()? {
+                Some(alias) => Ok(LogicalPlan::SubqueryAlias {
+                    alias,
+                    input: Arc::new(relation),
+                }),
+                None => Ok(relation),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.consume_word("OR") {
+            let right = self.parse_and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.consume_word("AND") {
+            let right = self.parse_not()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.at_word("NOT") {
+            // `NOT EXISTS (...)` produces a negated Exists node directly so
+            // the planner can turn it into an anti join.
+            if self.word_ahead(1, "EXISTS") {
+                self.advance();
+                self.advance();
+                return self.parse_exists(true);
+            }
+            self.advance();
+            let inner = self.parse_not()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        if self.consume_word("EXISTS") {
+            return self.parse_exists(false);
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_exists(&mut self, negated: bool) -> Result<Expr> {
+        self.expect(&TokenKind::LParen)?;
+        let subquery = self.parse_select()?;
+        self.expect(&TokenKind::RParen)?;
+        Ok(Expr::Exists {
+            subquery: Arc::new(subquery),
+            negated,
+        })
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        // `IS [NOT] NULL` postfix.
+        if self.at_word("IS") {
+            self.advance();
+            let negated = self.consume_word("NOT");
+            self.expect_word("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let op = match self.peek_kind() {
+            TokenKind::Eq => BinaryOp::Eq,
+            TokenKind::NotEq => BinaryOp::NotEq,
+            TokenKind::Lt => BinaryOp::Lt,
+            TokenKind::LtEq => BinaryOp::LtEq,
+            TokenKind::Gt => BinaryOp::Gt,
+            TokenKind::GtEq => BinaryOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.parse_additive()?;
+        Ok(left.binary(op, right))
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinaryOp::Plus,
+                TokenKind::Minus => BinaryOp::Minus,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = left.binary(op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinaryOp::Multiply,
+                TokenKind::Slash => BinaryOp::Divide,
+                TokenKind::Percent => BinaryOp::Modulo,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            left = left.binary(op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.consume(&TokenKind::Minus) {
+            let inner = self.parse_unary()?;
+            // Fold negation of numeric literals immediately.
+            return Ok(match inner {
+                Expr::Literal(Value::Int64(i)) => Expr::Literal(Value::Int64(-i)),
+                Expr::Literal(Value::Float64(f)) => Expr::Literal(Value::Float64(-f)),
+                other => Expr::Negate(Box::new(other)),
+            });
+        }
+        if self.consume(&TokenKind::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek_kind().clone() {
+            TokenKind::Integer(i) => {
+                self.advance();
+                Ok(Expr::lit(i))
+            }
+            TokenKind::Float(f) => {
+                self.advance();
+                Ok(Expr::lit(f))
+            }
+            TokenKind::StringLit(s) => {
+                self.advance();
+                Ok(Expr::lit(s.as_str()))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Word(w) => {
+                if w.eq_ignore_ascii_case("NULL") {
+                    self.advance();
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if w.eq_ignore_ascii_case("TRUE") {
+                    self.advance();
+                    return Ok(Expr::lit(true));
+                }
+                if w.eq_ignore_ascii_case("FALSE") {
+                    self.advance();
+                    return Ok(Expr::lit(false));
+                }
+                if w.eq_ignore_ascii_case("CAST") {
+                    self.advance();
+                    self.expect(&TokenKind::LParen)?;
+                    let inner = self.parse_expr()?;
+                    self.expect_word("AS")?;
+                    let ty = self.parse_type_name()?;
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::Cast {
+                        expr: Box::new(inner),
+                        to: ty,
+                    });
+                }
+                // Function call?
+                if self.peek_ahead(1) == &TokenKind::LParen {
+                    return self.parse_function_call(&w);
+                }
+                // Column reference, possibly qualified.
+                let first = match self.peek_kind() {
+                    TokenKind::Word(w)
+                        if RESERVED.iter().any(|r| w.eq_ignore_ascii_case(r)) =>
+                    {
+                        return Err(self.error_here(format!(
+                            "unexpected keyword '{w}' in expression"
+                        )));
+                    }
+                    _ => self.parse_ident()?,
+                };
+                if self.consume(&TokenKind::Dot) {
+                    let second = self.parse_ident()?;
+                    Ok(Expr::Column(Column::qualified(first, second)))
+                } else {
+                    Ok(Expr::Column(Column::new(first)))
+                }
+            }
+            TokenKind::QuotedIdent(_) => {
+                let first = self.parse_ident()?;
+                if self.consume(&TokenKind::Dot) {
+                    let second = self.parse_ident()?;
+                    Ok(Expr::Column(Column::qualified(first, second)))
+                } else {
+                    Ok(Expr::Column(Column::new(first)))
+                }
+            }
+            other => Err(self.error_here(format!("unexpected '{other}' in expression"))),
+        }
+    }
+
+    fn parse_function_call(&mut self, name: &str) -> Result<Expr> {
+        self.advance(); // function name word
+        self.expect(&TokenKind::LParen)?;
+        if let Some(agg) = AggregateFunction::from_name(name) {
+            // count(*) has no argument.
+            if agg == AggregateFunction::Count && self.consume(&TokenKind::Star) {
+                self.expect(&TokenKind::RParen)?;
+                return Ok(Expr::Aggregate {
+                    func: agg,
+                    arg: None,
+                });
+            }
+            let arg = self.parse_expr()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::Aggregate {
+                func: agg,
+                arg: Some(Box::new(arg)),
+            });
+        }
+        if let Some(func) = ScalarFunction::from_name(name) {
+            let mut args = Vec::new();
+            if !self.consume(&TokenKind::RParen) {
+                loop {
+                    args.push(self.parse_expr()?);
+                    if !self.consume(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+            }
+            let expected = match func {
+                ScalarFunction::IfNull => Some(2),
+                ScalarFunction::Abs => Some(1),
+                ScalarFunction::Coalesce => None,
+            };
+            if let Some(n) = expected {
+                if args.len() != n {
+                    return Err(Error::parse(format!(
+                        "{}() expects {n} argument(s), got {}",
+                        func.name(),
+                        args.len()
+                    )));
+                }
+            } else if args.is_empty() {
+                return Err(Error::parse("coalesce() expects at least one argument"));
+            }
+            return Ok(Expr::ScalarFn { func, args });
+        }
+        Err(Error::parse(format!("unknown function '{name}'")))
+    }
+
+    fn parse_type_name(&mut self) -> Result<DataType> {
+        let word = match self.advance().kind {
+            TokenKind::Word(w) => w,
+            other => return Err(Error::parse(format!("expected type name, found '{other}'"))),
+        };
+        match word.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "LONG" => Ok(DataType::Int64),
+            "FLOAT" | "DOUBLE" | "REAL" => Ok(DataType::Float64),
+            "STRING" | "VARCHAR" | "TEXT" => Ok(DataType::Utf8),
+            "BOOLEAN" | "BOOL" => Ok(DataType::Boolean),
+            other => Err(Error::parse(format!("unknown type '{other}'"))),
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! Row-at-a-time operators: projection, filter, limit, distinct, sort.
+
+use std::cmp::Ordering;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use sparkline_common::{Error, Result, Row, SchemaRef, Value};
+use sparkline_exec::{partition::coalesce, Partition, TaskContext};
+use sparkline_plan::{Expr, SortExpr};
+
+use crate::ExecutionPlan;
+
+/// Evaluates one expression per output column (partition-parallel).
+#[derive(Debug)]
+pub struct ProjectExec {
+    exprs: Vec<Expr>,
+    schema: SchemaRef,
+    input: Arc<dyn ExecutionPlan>,
+}
+
+impl ProjectExec {
+    /// Projection with a precomputed output schema.
+    pub fn new(exprs: Vec<Expr>, schema: SchemaRef, input: Arc<dyn ExecutionPlan>) -> Self {
+        ProjectExec {
+            exprs,
+            schema,
+            input,
+        }
+    }
+}
+
+impl ExecutionPlan for ProjectExec {
+    fn name(&self) -> &'static str {
+        "ProjectExec"
+    }
+
+    fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    fn children(&self) -> Vec<&Arc<dyn ExecutionPlan>> {
+        vec![&self.input]
+    }
+
+    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
+        let input = self.input.execute(ctx)?;
+        let reservation = ctx.memory.reserve(crate::partitions_bytes(&input));
+        let out = ctx.runtime.map_indexed(input, |_, part| {
+            ctx.deadline.check()?;
+            let mut rows = Vec::with_capacity(part.len());
+            for row in &part {
+                let values: Vec<Value> = self
+                    .exprs
+                    .iter()
+                    .map(|e| e.evaluate(row))
+                    .collect::<Result<_>>()?;
+                rows.push(Row::new(values));
+            }
+            Ok(rows)
+        })?;
+        drop(reservation);
+        Ok(out)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "ProjectExec [{}]",
+            self.exprs
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+/// Keeps rows whose predicate evaluates to `true` (partition-parallel).
+#[derive(Debug)]
+pub struct FilterExec {
+    predicate: Expr,
+    input: Arc<dyn ExecutionPlan>,
+}
+
+impl FilterExec {
+    /// Filter with a bound boolean predicate.
+    pub fn new(predicate: Expr, input: Arc<dyn ExecutionPlan>) -> Self {
+        FilterExec { predicate, input }
+    }
+}
+
+impl ExecutionPlan for FilterExec {
+    fn name(&self) -> &'static str {
+        "FilterExec"
+    }
+
+    fn schema(&self) -> SchemaRef {
+        self.input.schema()
+    }
+
+    fn children(&self) -> Vec<&Arc<dyn ExecutionPlan>> {
+        vec![&self.input]
+    }
+
+    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
+        let input = self.input.execute(ctx)?;
+        ctx.runtime.map_indexed(input, |_, part| {
+            ctx.deadline.check()?;
+            let mut rows = Vec::new();
+            for row in part {
+                if self.predicate.evaluate(&row)? == Value::Boolean(true) {
+                    rows.push(row);
+                }
+            }
+            Ok(rows)
+        })
+    }
+
+    fn describe(&self) -> String {
+        format!("FilterExec [{}]", self.predicate)
+    }
+}
+
+/// Takes the first `n` rows (in partition order).
+#[derive(Debug)]
+pub struct LimitExec {
+    n: usize,
+    input: Arc<dyn ExecutionPlan>,
+}
+
+impl LimitExec {
+    /// Limit to `n` rows.
+    pub fn new(n: usize, input: Arc<dyn ExecutionPlan>) -> Self {
+        LimitExec { n, input }
+    }
+}
+
+impl ExecutionPlan for LimitExec {
+    fn name(&self) -> &'static str {
+        "LimitExec"
+    }
+
+    fn schema(&self) -> SchemaRef {
+        self.input.schema()
+    }
+
+    fn children(&self) -> Vec<&Arc<dyn ExecutionPlan>> {
+        vec![&self.input]
+    }
+
+    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
+        let input = self.input.execute(ctx)?;
+        let mut out = Vec::with_capacity(self.n);
+        for part in input {
+            for row in part {
+                if out.len() == self.n {
+                    return Ok(vec![out]);
+                }
+                out.push(row);
+            }
+        }
+        Ok(vec![out])
+    }
+
+    fn describe(&self) -> String {
+        format!("LimitExec [{}]", self.n)
+    }
+}
+
+/// Removes duplicate rows: parallel per-partition dedup, then a global
+/// dedup on one executor.
+#[derive(Debug)]
+pub struct DistinctExec {
+    input: Arc<dyn ExecutionPlan>,
+}
+
+impl DistinctExec {
+    /// Distinct over all columns.
+    pub fn new(input: Arc<dyn ExecutionPlan>) -> Self {
+        DistinctExec { input }
+    }
+}
+
+impl ExecutionPlan for DistinctExec {
+    fn name(&self) -> &'static str {
+        "DistinctExec"
+    }
+
+    fn schema(&self) -> SchemaRef {
+        self.input.schema()
+    }
+
+    fn children(&self) -> Vec<&Arc<dyn ExecutionPlan>> {
+        vec![&self.input]
+    }
+
+    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
+        let input = self.input.execute(ctx)?;
+        // Local dedup in parallel.
+        let local = ctx.runtime.map_indexed(input, |_, part| {
+            ctx.deadline.check()?;
+            let mut seen: HashSet<Row> = HashSet::with_capacity(part.len());
+            let mut rows = Vec::new();
+            for row in part {
+                if seen.insert(row.clone()) {
+                    rows.push(row);
+                }
+            }
+            Ok(rows)
+        })?;
+        // Global dedup on a single executor.
+        let merged = coalesce(local);
+        let reservation = ctx.memory.reserve(crate::partitions_bytes(&merged));
+        let mut seen: HashSet<Row> = HashSet::new();
+        let mut rows = Vec::new();
+        for row in merged.into_iter().next().unwrap_or_default() {
+            if seen.insert(row.clone()) {
+                rows.push(row);
+            }
+        }
+        drop(reservation);
+        Ok(vec![rows])
+    }
+}
+
+/// Total sort on a single executor (Spark would range-shuffle; a global
+/// sort is inherently a gather point for our workloads).
+#[derive(Debug)]
+pub struct SortExec {
+    exprs: Vec<SortExpr>,
+    input: Arc<dyn ExecutionPlan>,
+}
+
+impl SortExec {
+    /// Sort by the given keys.
+    pub fn new(exprs: Vec<SortExpr>, input: Arc<dyn ExecutionPlan>) -> Self {
+        SortExec { exprs, input }
+    }
+
+    fn compare_values(a: &Value, b: &Value, asc: bool, nulls_first: bool) -> Ordering {
+        let ord = match (a.is_null(), b.is_null()) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return if nulls_first { Ordering::Less } else { Ordering::Greater },
+            (false, true) => return if nulls_first { Ordering::Greater } else { Ordering::Less },
+            (false, false) => a.total_cmp(b),
+        };
+        if asc {
+            ord
+        } else {
+            ord.reverse()
+        }
+    }
+}
+
+impl ExecutionPlan for SortExec {
+    fn name(&self) -> &'static str {
+        "SortExec"
+    }
+
+    fn schema(&self) -> SchemaRef {
+        self.input.schema()
+    }
+
+    fn children(&self) -> Vec<&Arc<dyn ExecutionPlan>> {
+        vec![&self.input]
+    }
+
+    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
+        let input = self.input.execute(ctx)?;
+        let mut rows = sparkline_exec::partition::flatten(input);
+        let reservation = ctx.memory.reserve(
+            rows.iter().map(|r| r.estimated_bytes()).sum::<usize>(),
+        );
+        ctx.deadline.check()?;
+        // Precompute sort keys to avoid re-evaluating expressions in the
+        // comparator (O(n log n) comparisons).
+        let keys: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|row| {
+                self.exprs
+                    .iter()
+                    .map(|s| s.expr.evaluate(row))
+                    .collect::<Result<Vec<_>>>()
+            })
+            .collect::<Result<_>>()?;
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        order.sort_by(|&i, &j| {
+            for (k, s) in self.exprs.iter().enumerate() {
+                let ord = Self::compare_values(&keys[i][k], &keys[j][k], s.asc, s.nulls_first);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        ctx.deadline.check()?;
+        let mut sorted = Vec::with_capacity(rows.len());
+        // Reorder without cloning rows: take() via Option slots.
+        let mut slots: Vec<Option<Row>> = rows.drain(..).map(Some).collect();
+        for i in order {
+            sorted.push(slots[i].take().ok_or_else(|| {
+                Error::internal("sort permutation visited a slot twice")
+            })?);
+        }
+        drop(reservation);
+        Ok(vec![sorted])
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "SortExec [{}]",
+            self.exprs
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::ScanExec;
+    use sparkline_common::{DataType, Field, Schema};
+    use sparkline_plan::BoundColumn;
+
+    fn scan(rows: Vec<Vec<Value>>) -> Arc<dyn ExecutionPlan> {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64, true),
+            Field::new("b", DataType::Int64, true),
+        ])
+        .into_ref();
+        Arc::new(ScanExec::new(
+            "t",
+            Arc::new(rows.into_iter().map(Row::new).collect()),
+            schema,
+        ))
+    }
+
+    fn col(i: usize) -> Expr {
+        Expr::BoundColumn(BoundColumn {
+            index: i,
+            field: Field::new("c", DataType::Int64, true),
+        })
+    }
+
+    fn int_rows(data: &[(i64, i64)]) -> Vec<Vec<Value>> {
+        data.iter()
+            .map(|&(a, b)| vec![Value::Int64(a), Value::Int64(b)])
+            .collect()
+    }
+
+    fn run(plan: &dyn ExecutionPlan, executors: usize) -> Vec<Row> {
+        let ctx = TaskContext::new(executors);
+        sparkline_exec::partition::flatten(plan.execute(&ctx).unwrap())
+    }
+
+    #[test]
+    fn project_computes_expressions() {
+        let input = scan(int_rows(&[(1, 2), (3, 4)]));
+        let schema = Schema::new(vec![Field::new("s", DataType::Int64, true)]).into_ref();
+        let plan = ProjectExec::new(
+            vec![col(0).binary(sparkline_plan::BinaryOp::Plus, col(1))],
+            schema,
+            input,
+        );
+        let rows = run(&plan, 2);
+        let mut vals: Vec<i64> = rows
+            .iter()
+            .map(|r| match r.get(0) {
+                Value::Int64(v) => *v,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![3, 7]);
+    }
+
+    #[test]
+    fn filter_keeps_only_true() {
+        let input = scan(vec![
+            vec![Value::Int64(1), Value::Null],
+            vec![Value::Int64(5), Value::Int64(0)],
+            vec![Value::Int64(9), Value::Int64(0)],
+        ]);
+        let plan = FilterExec::new(col(0).gt(Expr::lit(4i64)), input);
+        assert_eq!(run(&plan, 2).len(), 2);
+    }
+
+    #[test]
+    fn filter_null_predicate_drops_row() {
+        let input = scan(vec![vec![Value::Null, Value::Null]]);
+        let plan = FilterExec::new(col(0).gt(Expr::lit(4i64)), input);
+        assert_eq!(run(&plan, 1).len(), 0);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let input = scan(int_rows(&[(1, 1), (2, 2), (3, 3), (4, 4)]));
+        let plan = LimitExec::new(2, input);
+        assert_eq!(run(&plan, 3).len(), 2);
+    }
+
+    #[test]
+    fn limit_larger_than_input() {
+        let input = scan(int_rows(&[(1, 1)]));
+        let plan = LimitExec::new(10, input);
+        assert_eq!(run(&plan, 2).len(), 1);
+    }
+
+    #[test]
+    fn distinct_dedups_across_partitions() {
+        let input = scan(int_rows(&[(1, 1), (1, 1), (2, 2), (1, 1), (2, 2)]));
+        let plan = DistinctExec::new(input);
+        assert_eq!(run(&plan, 3).len(), 2);
+    }
+
+    #[test]
+    fn sort_orders_with_nulls() {
+        let input = scan(vec![
+            vec![Value::Int64(3), Value::Int64(0)],
+            vec![Value::Null, Value::Int64(0)],
+            vec![Value::Int64(1), Value::Int64(0)],
+        ]);
+        // ASC NULLS FIRST (default).
+        let plan = SortExec::new(vec![SortExpr::asc(col(0))], input);
+        let rows = run(&plan, 2);
+        assert!(rows[0].get(0).is_null());
+        assert_eq!(rows[1].get(0), &Value::Int64(1));
+        assert_eq!(rows[2].get(0), &Value::Int64(3));
+    }
+
+    #[test]
+    fn sort_desc_nulls_last_by_default() {
+        let input = scan(vec![
+            vec![Value::Int64(3), Value::Int64(0)],
+            vec![Value::Null, Value::Int64(0)],
+            vec![Value::Int64(1), Value::Int64(0)],
+        ]);
+        let plan = SortExec::new(vec![SortExpr::desc(col(0))], input);
+        let rows = run(&plan, 2);
+        assert_eq!(rows[0].get(0), &Value::Int64(3));
+        assert!(rows[2].get(0).is_null());
+    }
+
+    #[test]
+    fn multi_key_sort() {
+        let input = scan(int_rows(&[(1, 2), (2, 1), (1, 1), (2, 2)]));
+        let plan = SortExec::new(
+            vec![SortExpr::asc(col(0)), SortExpr::desc(col(1))],
+            input,
+        );
+        let rows = run(&plan, 2);
+        let pairs: Vec<(i64, i64)> = rows
+            .iter()
+            .map(|r| match (r.get(0), r.get(1)) {
+                (Value::Int64(a), Value::Int64(b)) => (*a, *b),
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(pairs, vec![(1, 2), (1, 1), (2, 2), (2, 1)]);
+    }
+}

@@ -1,0 +1,640 @@
+//! The physical planner: optimized logical plans → executable operator
+//! trees, including the paper's skyline algorithm selection (Listing 8).
+
+use std::sync::Arc;
+
+use sparkline_common::{
+    DataType, Error, Result, Row, Schema, SchemaRef, SessionConfig, SkylineDim, SkylineSpec,
+    SkylineStrategy,
+};
+use sparkline_plan::{
+    AggregateFunction, BinaryOp, BoundColumn, Expr, JoinCondition, JoinType, LogicalPlan,
+    SkylineDimension,
+};
+
+use crate::aggregate::AggCall;
+use crate::exchange::{ExchangeExec, ExchangeMode};
+use crate::join::{HashJoinExec, NestedLoopJoinExec};
+use crate::skyline_exec::{
+    GlobalSkylineExec, IncompleteGlobalSkylineExec, LocalSkylineExec, MinMaxFilterExec,
+};
+use crate::{
+    basic::{DistinctExec, FilterExec, LimitExec, ProjectExec, SortExec},
+    scan::ScanExec,
+    ExecutionPlan,
+};
+
+/// Source of table *data* for scans (the session catalog implements this).
+pub trait ExecTableSource: Send + Sync {
+    /// The rows of a registered table, if it exists.
+    fn table_rows(&self, name: &str) -> Option<Arc<Vec<Row>>>;
+}
+
+/// Translates logical plans into physical operator trees.
+pub struct PhysicalPlanner<'a> {
+    config: &'a SessionConfig,
+    source: &'a dyn ExecTableSource,
+}
+
+impl<'a> PhysicalPlanner<'a> {
+    /// Planner over a session configuration and a data source.
+    pub fn new(config: &'a SessionConfig, source: &'a dyn ExecTableSource) -> Self {
+        PhysicalPlanner { config, source }
+    }
+
+    /// Create the physical plan for a resolved, optimized logical plan.
+    pub fn create(&self, plan: &LogicalPlan) -> Result<Arc<dyn ExecutionPlan>> {
+        Ok(match plan {
+            LogicalPlan::UnresolvedRelation { name } => {
+                return Err(Error::internal(format!(
+                    "cannot execute unresolved relation '{name}'"
+                )))
+            }
+            LogicalPlan::TableScan { name, schema } => {
+                let rows = self.source.table_rows(name).ok_or_else(|| {
+                    Error::plan(format!("no data registered for table '{name}'"))
+                })?;
+                Arc::new(ScanExec::new(name.clone(), rows, Arc::clone(schema)))
+            }
+            LogicalPlan::Values { schema, rows } => Arc::new(ScanExec::new(
+                "values",
+                Arc::new(rows.as_ref().clone()),
+                Arc::clone(schema),
+            )),
+            LogicalPlan::Projection { exprs, input } => {
+                let child = self.create(input)?;
+                Arc::new(ProjectExec::new(exprs.clone(), plan.schema()?, child))
+            }
+            LogicalPlan::Filter { predicate, input } => {
+                let child = self.create(input)?;
+                Arc::new(FilterExec::new(predicate.clone(), child))
+            }
+            LogicalPlan::Aggregate {
+                group_exprs,
+                aggr_exprs,
+                input,
+            } => {
+                let child = self.create(input)?;
+                let input_schema = input.schema()?;
+                let (calls, result_exprs) =
+                    compile_aggregate(group_exprs, aggr_exprs, &input_schema)?;
+                Arc::new(crate::aggregate::HashAggregateExec::new(
+                    group_exprs.clone(),
+                    calls,
+                    result_exprs,
+                    plan.schema()?,
+                    child,
+                ))
+            }
+            LogicalPlan::Sort { exprs, input } => {
+                let child = self.create(input)?;
+                Arc::new(SortExec::new(exprs.clone(), child))
+            }
+            LogicalPlan::Limit { n, input } => {
+                let child = self.create(input)?;
+                Arc::new(LimitExec::new(*n, child))
+            }
+            LogicalPlan::Distinct { input } => {
+                let child = self.create(input)?;
+                Arc::new(DistinctExec::new(child))
+            }
+            LogicalPlan::SubqueryAlias { input, .. } => self.create(input)?,
+            LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                condition,
+            } => self.plan_join(left, right, *join_type, condition)?,
+            LogicalPlan::Skyline {
+                distinct,
+                complete,
+                dims,
+                input,
+            } => self.plan_skyline(*distinct, *complete, dims, input)?,
+            LogicalPlan::MinMaxFilter {
+                expr,
+                direction,
+                distinct,
+                input,
+            } => {
+                let child = self.create(input)?;
+                Arc::new(MinMaxFilterExec::new(
+                    expr.clone(),
+                    *direction,
+                    *distinct,
+                    child,
+                ))
+            }
+        })
+    }
+
+    fn plan_join(
+        &self,
+        left: &LogicalPlan,
+        right: &LogicalPlan,
+        join_type: JoinType,
+        condition: &JoinCondition,
+    ) -> Result<Arc<dyn ExecutionPlan>> {
+        let left_exec = self.create(left)?;
+        let right_exec = self.create(right)?;
+        let left_len = left.schema()?.len();
+        let on = match condition {
+            JoinCondition::On(e) => Some(e.clone()),
+            JoinCondition::None => None,
+            JoinCondition::Using(_) => {
+                return Err(Error::internal("USING survived analysis"))
+            }
+        };
+        // Equality pairs enable a hash join for inner/left-outer joins.
+        if matches!(join_type, JoinType::Inner | JoinType::LeftOuter) {
+            if let Some(on) = &on {
+                let (keys, residual) = split_equi_condition(on, left_len);
+                if !keys.is_empty() {
+                    return Ok(Arc::new(HashJoinExec::new(
+                        left_exec, right_exec, keys, residual, join_type,
+                    )));
+                }
+            }
+        }
+        Ok(Arc::new(NestedLoopJoinExec::new(
+            left_exec, right_exec, on, join_type,
+        )))
+    }
+
+    /// The paper's Listing 8: select skyline nodes for the physical plan.
+    fn plan_skyline(
+        &self,
+        distinct: bool,
+        complete: bool,
+        dims: &[SkylineDimension],
+        input: &LogicalPlan,
+    ) -> Result<Arc<dyn ExecutionPlan>> {
+        let mut input_exec = self.create(input)?;
+        let input_schema = input.schema()?;
+
+        // Resolve dimensions to row positions. Computed dimensions (e.g.
+        // `price / accommodates MIN`) are appended as extra columns by a
+        // projection and stripped again afterwards.
+        let base_len = input_schema.len();
+        let mut extra_exprs: Vec<Expr> = Vec::new();
+        let mut resolved: Vec<SkylineDim> = Vec::new();
+        let mut skyline_nullable = false;
+        for d in dims {
+            let (_, nullable) = d.child.data_type_and_nullable(&input_schema)?;
+            skyline_nullable |= nullable;
+            match &d.child {
+                Expr::BoundColumn(c) => resolved.push(SkylineDim::new(c.index, d.ty)),
+                computed => {
+                    let index = base_len + extra_exprs.len();
+                    extra_exprs.push(computed.clone());
+                    resolved.push(SkylineDim::new(index, d.ty));
+                }
+            }
+        }
+        let needs_wrap = !extra_exprs.is_empty();
+        if needs_wrap {
+            let mut exprs: Vec<Expr> = (0..base_len)
+                .map(|i| {
+                    Expr::BoundColumn(BoundColumn {
+                        index: i,
+                        field: input_schema.field(i).clone(),
+                    })
+                })
+                .collect();
+            let mut fields = input_schema.fields().to_vec();
+            for (k, e) in extra_exprs.iter().enumerate() {
+                fields.push(
+                    e.to_field(&input_schema)?
+                        .with_name(format!("__skyline_dim_{k}")),
+                );
+                exprs.push(e.clone());
+            }
+            input_exec = Arc::new(ProjectExec::new(
+                exprs,
+                Schema::new(fields).into_ref(),
+                input_exec,
+            ));
+        }
+
+        let spec = SkylineSpec {
+            dims: resolved,
+            distinct,
+        };
+
+        // Listing 8, line 2: the complete algorithm may be used when the
+        // user asserted COMPLETE or no skyline dimension is nullable.
+        // Forced strategies (the harness's four algorithm series) override.
+        let use_complete = match self.config.skyline_strategy {
+            SkylineStrategy::Auto => complete || !skyline_nullable,
+            SkylineStrategy::DistributedComplete
+            | SkylineStrategy::NonDistributedComplete
+            | SkylineStrategy::SortFilterSkyline => true,
+            SkylineStrategy::DistributedIncomplete => false,
+        };
+        let distributed = !matches!(
+            self.config.skyline_strategy,
+            SkylineStrategy::NonDistributedComplete
+        );
+        let use_sfs = matches!(
+            self.config.skyline_strategy,
+            SkylineStrategy::SortFilterSkyline
+        );
+
+        let mut result: Arc<dyn ExecutionPlan> = if use_complete {
+            // Optional angle-based redistribution before the local phase
+            // (extension; the paper's default inherits the distribution).
+            let local_input: Arc<dyn ExecutionPlan> = if distributed
+                && self.config.skyline_partitioning
+                    == sparkline_common::SkylinePartitioning::AngleBased
+            {
+                Arc::new(ExchangeExec::new(
+                    ExchangeMode::AngleBased(spec.clone()),
+                    input_exec,
+                ))
+            } else {
+                input_exec
+            };
+            let local: Arc<dyn ExecutionPlan> = if !distributed {
+                local_input
+            } else if use_sfs {
+                Arc::new(LocalSkylineExec::sort_filter(spec.clone(), local_input))
+            } else {
+                Arc::new(LocalSkylineExec::new(spec.clone(), false, local_input))
+            };
+            let gathered = Arc::new(ExchangeExec::single(local));
+            if use_sfs {
+                Arc::new(GlobalSkylineExec::sort_filter(spec, gathered))
+            } else {
+                Arc::new(GlobalSkylineExec::new(spec, gathered))
+            }
+        } else {
+            // §5.7: distribute by null bitmap, local skylines per bitmap
+            // class, then the all-pairs global phase on one executor.
+            let redistributed = Arc::new(ExchangeExec::new(
+                ExchangeMode::NullBitmap(spec.clone()),
+                input_exec,
+            ));
+            let local = Arc::new(LocalSkylineExec::new(spec.clone(), true, redistributed));
+            let gathered = Arc::new(ExchangeExec::single(local));
+            Arc::new(IncompleteGlobalSkylineExec::new(spec, gathered))
+        };
+
+        if needs_wrap {
+            let exprs: Vec<Expr> = (0..base_len)
+                .map(|i| {
+                    Expr::BoundColumn(BoundColumn {
+                        index: i,
+                        field: input_schema.field(i).clone(),
+                    })
+                })
+                .collect();
+            result = Arc::new(ProjectExec::new(exprs, Arc::clone(&input_schema), result));
+        }
+        Ok(result)
+    }
+}
+
+/// Split a join condition into hashable equality key pairs and a residual
+/// predicate.
+fn split_equi_condition(on: &Expr, left_len: usize) -> (Vec<(usize, usize)>, Option<Expr>) {
+    fn conjuncts(e: &Expr, out: &mut Vec<Expr>) {
+        match e {
+            Expr::BinaryOp {
+                left,
+                op: BinaryOp::And,
+                right,
+            } => {
+                conjuncts(left, out);
+                conjuncts(right, out);
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    let mut all = Vec::new();
+    conjuncts(on, &mut all);
+    let mut keys = Vec::new();
+    let mut residual: Vec<Expr> = Vec::new();
+    for c in all {
+        if let Expr::BinaryOp {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } = &c
+        {
+            if let (Expr::BoundColumn(a), Expr::BoundColumn(b)) =
+                (left.as_ref(), right.as_ref())
+            {
+                if a.index < left_len && b.index >= left_len {
+                    keys.push((a.index, b.index - left_len));
+                    continue;
+                }
+                if b.index < left_len && a.index >= left_len {
+                    keys.push((b.index, a.index - left_len));
+                    continue;
+                }
+            }
+        }
+        residual.push(c);
+    }
+    let residual = residual.into_iter().reduce(|a, b| a.and(b));
+    (keys, residual)
+}
+
+/// Compile an `Aggregate`'s result expressions: extract the distinct
+/// aggregate calls and rewrite each result expression against the internal
+/// row layout `[group values..., aggregate values...]`.
+pub fn compile_aggregate(
+    group_exprs: &[Expr],
+    result_exprs: &[Expr],
+    input_schema: &Schema,
+) -> Result<(Vec<AggCall>, Vec<Expr>)> {
+    fn strip(e: &Expr) -> &Expr {
+        match e {
+            Expr::Alias { expr, .. } => strip(expr),
+            other => other,
+        }
+    }
+    let group_len = group_exprs.len();
+    let mut calls: Vec<AggCall> = Vec::new();
+    let mut rewritten = Vec::with_capacity(result_exprs.len());
+    for expr in result_exprs {
+        let input_schema = input_schema.clone();
+        let group_fields: Vec<sparkline_common::Field> = group_exprs
+            .iter()
+            .map(|g| g.to_field(&input_schema))
+            .collect::<Result<_>>()?;
+        let new_expr = expr.clone().transform_down(&mut |node| {
+            // A subtree equal to a group expression becomes a reference to
+            // the group-key slot.
+            if let Some(i) = group_exprs
+                .iter()
+                .position(|g| strip(g) == strip(&node))
+            {
+                return Ok(Expr::BoundColumn(BoundColumn {
+                    index: i,
+                    field: group_fields[i].clone(),
+                }));
+            }
+            // An aggregate call becomes a reference to its accumulator slot.
+            if let Expr::Aggregate { func, arg } = &node {
+                let arg_expr = arg.as_deref().cloned();
+                let input_type = match &arg_expr {
+                    Some(a) => a.data_type_and_nullable(&input_schema)?.0,
+                    None => DataType::Int64,
+                };
+                let position = calls
+                    .iter()
+                    .position(|c| c.func == *func && c.arg == arg_expr)
+                    .unwrap_or_else(|| {
+                        calls.push(AggCall {
+                            func: *func,
+                            arg: arg_expr.clone(),
+                            input_type,
+                        });
+                        calls.len() - 1
+                    });
+                let out_type = func.output_type(input_type);
+                return Ok(Expr::BoundColumn(BoundColumn {
+                    index: group_len + position,
+                    field: sparkline_common::Field::new(
+                        node.output_name(),
+                        out_type,
+                        !matches!(func, AggregateFunction::Count),
+                    ),
+                }));
+            }
+            Ok(node)
+        })?;
+        rewritten.push(new_expr);
+    }
+    Ok((calls, rewritten))
+}
+
+/// Helper for callers (core, tests): execute a physical plan and gather
+/// all rows.
+pub fn collect(
+    plan: &Arc<dyn ExecutionPlan>,
+    ctx: &sparkline_exec::TaskContext,
+) -> Result<Vec<Row>> {
+    let parts = plan.execute(ctx)?;
+    ctx.metrics.rows_output.store(
+        sparkline_exec::partition::total_rows(&parts) as u64,
+        std::sync::atomic::Ordering::Relaxed,
+    );
+    Ok(sparkline_exec::partition::flatten(parts))
+}
+
+/// Schema helper re-exported for `core`.
+pub fn output_schema(plan: &LogicalPlan) -> Result<SchemaRef> {
+    plan.schema()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkline_common::Value;
+    use sparkline_exec::TaskContext;
+    use std::collections::HashMap;
+
+    struct MapSource(HashMap<String, Arc<Vec<Row>>>);
+
+    impl ExecTableSource for MapSource {
+        fn table_rows(&self, name: &str) -> Option<Arc<Vec<Row>>> {
+            self.0.get(&name.to_ascii_lowercase()).cloned()
+        }
+    }
+
+    fn hotels_scan() -> (LogicalPlan, MapSource) {
+        let schema = Schema::new(vec![
+            sparkline_common::Field::qualified("hotels", "price", DataType::Int64, false),
+            sparkline_common::Field::qualified("hotels", "rating", DataType::Int64, false),
+        ])
+        .into_ref();
+        let rows: Vec<Row> = [(50, 9), (60, 9), (40, 5), (70, 10), (45, 9)]
+            .iter()
+            .map(|&(p, r)| Row::new(vec![Value::Int64(p), Value::Int64(r)]))
+            .collect();
+        let mut tables = HashMap::new();
+        tables.insert("hotels".to_string(), Arc::new(rows));
+        (
+            LogicalPlan::TableScan {
+                name: "hotels".into(),
+                schema,
+            },
+            MapSource(tables),
+        )
+    }
+
+    fn dim(plan: &LogicalPlan, index: usize, ty: sparkline_common::SkylineType) -> SkylineDimension {
+        let schema = plan.schema().unwrap();
+        SkylineDimension::new(
+            Expr::BoundColumn(BoundColumn {
+                index,
+                field: schema.field(index).clone(),
+            }),
+            ty,
+        )
+    }
+
+    #[test]
+    fn skyline_plan_selects_complete_nodes_listing_8() {
+        use sparkline_common::SkylineType;
+        let (scan, source) = hotels_scan();
+        let logical = LogicalPlan::Skyline {
+            distinct: false,
+            complete: false,
+            dims: vec![
+                dim(&scan, 0, SkylineType::Min),
+                dim(&scan, 1, SkylineType::Max),
+            ],
+            input: Arc::new(scan),
+        };
+        let config = SessionConfig::default();
+        let planner = PhysicalPlanner::new(&config, &source);
+        let physical = planner.create(&logical).unwrap();
+        let display = crate::display_physical(&physical);
+        // Non-nullable dims => complete algorithm even without COMPLETE.
+        assert!(display.contains("GlobalSkylineExec"), "{display}");
+        assert!(display.contains("LocalSkylineExec"), "{display}");
+        assert!(display.contains("ExchangeExec [AllTuples]"), "{display}");
+        assert!(!display.contains("Incomplete"), "{display}");
+
+        let ctx = TaskContext::new(3);
+        let rows = collect(&physical, &ctx).unwrap();
+        // Skyline of the hotel data: (40,5) is dominated by nothing? It has
+        // min price. (70,10) max rating. (45,9) dominates (50,9)/(60,9).
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn incomplete_strategy_changes_physical_nodes() {
+        use sparkline_common::SkylineType;
+        let (scan, source) = hotels_scan();
+        let logical = LogicalPlan::Skyline {
+            distinct: false,
+            complete: false,
+            dims: vec![dim(&scan, 0, SkylineType::Min), dim(&scan, 1, SkylineType::Max)],
+            input: Arc::new(scan),
+        };
+        let config = SessionConfig::default()
+            .with_skyline_strategy(SkylineStrategy::DistributedIncomplete);
+        let planner = PhysicalPlanner::new(&config, &source);
+        let physical = planner.create(&logical).unwrap();
+        let display = crate::display_physical(&physical);
+        assert!(display.contains("IncompleteGlobalSkylineExec"), "{display}");
+        assert!(display.contains("NullBitmap"), "{display}");
+        // Same answer as the complete plan on complete data.
+        let ctx = TaskContext::new(3);
+        assert_eq!(collect(&physical, &ctx).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn non_distributed_strategy_skips_local_phase() {
+        use sparkline_common::SkylineType;
+        let (scan, source) = hotels_scan();
+        let logical = LogicalPlan::Skyline {
+            distinct: false,
+            complete: true,
+            dims: vec![dim(&scan, 0, SkylineType::Min)],
+            input: Arc::new(scan),
+        };
+        let config = SessionConfig::default()
+            .with_skyline_strategy(SkylineStrategy::NonDistributedComplete);
+        let planner = PhysicalPlanner::new(&config, &source);
+        let physical = planner.create(&logical).unwrap();
+        let display = crate::display_physical(&physical);
+        assert!(!display.contains("LocalSkylineExec"), "{display}");
+        assert!(display.contains("GlobalSkylineExec"), "{display}");
+    }
+
+    #[test]
+    fn computed_dimension_gets_projection_wrap() {
+        use sparkline_common::SkylineType;
+        let (scan, source) = hotels_scan();
+        let schema = scan.schema().unwrap();
+        let computed = Expr::BoundColumn(BoundColumn {
+            index: 0,
+            field: schema.field(0).clone(),
+        })
+        .binary(
+            BinaryOp::Plus,
+            Expr::BoundColumn(BoundColumn {
+                index: 1,
+                field: schema.field(1).clone(),
+            }),
+        );
+        let logical = LogicalPlan::Skyline {
+            distinct: false,
+            complete: true,
+            dims: vec![SkylineDimension::new(computed, SkylineType::Min)],
+            input: Arc::new(scan),
+        };
+        let config = SessionConfig::default();
+        let planner = PhysicalPlanner::new(&config, &source);
+        let physical = planner.create(&logical).unwrap();
+        assert_eq!(physical.schema().len(), 2, "wrapper restores the schema");
+        let ctx = TaskContext::new(2);
+        let rows = collect(&physical, &ctx).unwrap();
+        // min(price+rating) = 45 for (40,5): single optimum row.
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0), &Value::Int64(40));
+    }
+
+    #[test]
+    fn equi_condition_split() {
+        let a = Expr::BoundColumn(BoundColumn {
+            index: 0,
+            field: sparkline_common::Field::new("a", DataType::Int64, false),
+        });
+        let b = Expr::BoundColumn(BoundColumn {
+            index: 2,
+            field: sparkline_common::Field::new("b", DataType::Int64, false),
+        });
+        let cond = a.clone().eq(b.clone()).and(a.clone().lt(b.clone()));
+        let (keys, residual) = split_equi_condition(&cond, 2);
+        assert_eq!(keys, vec![(0, 0)]);
+        assert!(residual.is_some());
+        let (keys, residual) = split_equi_condition(&a.lt(b), 2);
+        assert!(keys.is_empty());
+        assert!(residual.is_some());
+    }
+
+    #[test]
+    fn aggregate_compilation_dedups_calls() {
+        let input_schema = Schema::new(vec![
+            sparkline_common::Field::new("k", DataType::Int64, false),
+            sparkline_common::Field::new("v", DataType::Int64, true),
+        ]);
+        let k = Expr::BoundColumn(BoundColumn {
+            index: 0,
+            field: input_schema.field(0).clone(),
+        });
+        let v = Expr::BoundColumn(BoundColumn {
+            index: 1,
+            field: input_schema.field(1).clone(),
+        });
+        let sum = Expr::Aggregate {
+            func: AggregateFunction::Sum,
+            arg: Some(Box::new(v.clone())),
+        };
+        // SELECT k, sum(v) AS total, sum(v) + count(*) FROM ... GROUP BY k
+        let results = vec![
+            k.clone(),
+            sum.clone().alias("total"),
+            sum.clone().binary(
+                BinaryOp::Plus,
+                Expr::Aggregate {
+                    func: AggregateFunction::Count,
+                    arg: None,
+                },
+            ),
+        ];
+        let (calls, rewritten) =
+            compile_aggregate(&[k.clone()], &results, &input_schema).unwrap();
+        assert_eq!(calls.len(), 2, "sum(v) deduplicated");
+        // Internal layout: [k, sum, count].
+        assert_eq!(rewritten[0].to_string(), "k#0");
+        assert_eq!(rewritten[1].to_string(), "sum(v#1)#1 AS total");
+        assert_eq!(rewritten[2].to_string(), "(sum(v#1)#1 + count(*)#2)");
+    }
+}

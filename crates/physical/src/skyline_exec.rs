@@ -1,0 +1,628 @@
+//! Physical skyline operators (paper §5.5–§5.7):
+//!
+//! * [`LocalSkylineExec`] — distributed local skyline: each executor runs
+//!   the Block-Nested-Loop algorithm on its partition. In incomplete mode
+//!   it additionally groups the partition's tuples by null bitmap first, so
+//!   correctness never depends on how the exchange mapped bitmaps to
+//!   executors (Lemma 5.1 applies per bitmap class).
+//! * [`GlobalSkylineExec`] — complete-data global skyline on a single
+//!   executor (`AllTuples` distribution), seeded directly with the gathered
+//!   local skylines.
+//! * [`IncompleteGlobalSkylineExec`] — all-pairs global skyline with
+//!   deferred deletion, immune to cyclic dominance (Appendix A).
+//! * [`MinMaxFilterExec`] — the O(n) single-dimension rewrite target
+//!   (§5.4): two linear passes, keeping optimum tuples (and NULL tuples,
+//!   which are incomparable and hence skyline members).
+
+use std::sync::Arc;
+
+use sparkline_common::{Result, Row, SchemaRef, SkylineSpec, Value};
+use sparkline_exec::{partition::flatten, Partition, TaskContext};
+use sparkline_plan::{Expr, MinMaxDirection};
+use sparkline_skyline::{
+    bnl_skyline, incomplete_global_skyline, partition_by_null_bitmap, DominanceChecker,
+    SkylineStats,
+};
+
+use crate::ExecutionPlan;
+
+fn record_stats(ctx: &TaskContext, stats: &SkylineStats) {
+    ctx.metrics.add_dominance_tests(stats.dominance_tests);
+    ctx.metrics.observe_window(stats.max_window);
+}
+
+/// How a complete-data skyline phase computes its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkylineAlgo {
+    /// Block-Nested-Loop window (the paper's algorithm, §5.6).
+    Bnl,
+    /// Sort-Filter-Skyline: presorted, insert-only window (the §7
+    /// future-work extension).
+    SortFilter,
+}
+
+/// Distributed local skyline phase.
+#[derive(Debug)]
+pub struct LocalSkylineExec {
+    spec: SkylineSpec,
+    incomplete: bool,
+    algo: SkylineAlgo,
+    input: Arc<dyn ExecutionPlan>,
+}
+
+impl LocalSkylineExec {
+    /// Local skyline with the chosen dominance relation (BNL windows).
+    pub fn new(spec: SkylineSpec, incomplete: bool, input: Arc<dyn ExecutionPlan>) -> Self {
+        LocalSkylineExec {
+            spec,
+            incomplete,
+            algo: SkylineAlgo::Bnl,
+            input,
+        }
+    }
+
+    /// Local Sort-Filter-Skyline (complete data only).
+    pub fn sort_filter(spec: SkylineSpec, input: Arc<dyn ExecutionPlan>) -> Self {
+        LocalSkylineExec {
+            spec,
+            incomplete: false,
+            algo: SkylineAlgo::SortFilter,
+            input,
+        }
+    }
+}
+
+impl ExecutionPlan for LocalSkylineExec {
+    fn name(&self) -> &'static str {
+        "LocalSkylineExec"
+    }
+
+    fn schema(&self) -> SchemaRef {
+        self.input.schema()
+    }
+
+    fn children(&self) -> Vec<&Arc<dyn ExecutionPlan>> {
+        vec![&self.input]
+    }
+
+    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
+        let input = self.input.execute(ctx)?;
+        let checker = if self.incomplete {
+            DominanceChecker::incomplete(self.spec.clone())
+        } else {
+            DominanceChecker::complete(self.spec.clone())
+        };
+        let out = ctx.runtime.map_indexed(input, |_, part| {
+            ctx.deadline.check()?;
+            let bytes: usize = part.iter().map(Row::estimated_bytes).sum();
+            let reservation = ctx.memory.reserve(bytes);
+            let mut stats = SkylineStats::default();
+            let result = if self.incomplete {
+                // Group by null bitmap inside the partition: within one
+                // class the restricted dominance relation is transitive, so
+                // plain BNL is sound (paper §5.7).
+                let mut local = Vec::new();
+                for (_, group) in partition_by_null_bitmap(part, &self.spec) {
+                    ctx.deadline.check()?;
+                    local.extend(bnl_skyline(group, &checker, &mut stats));
+                }
+                local
+            } else if self.algo == SkylineAlgo::SortFilter {
+                sparkline_skyline::sfs_skyline(part, &checker, &mut stats)
+            } else {
+                bnl_skyline(part, &checker, &mut stats)
+            };
+            record_stats(ctx, &stats);
+            drop(reservation);
+            Ok(result)
+        })?;
+        Ok(out)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "LocalSkylineExec [{} dims, {}{}{}]",
+            self.spec.dims.len(),
+            if self.incomplete { "incomplete" } else { "complete" },
+            if self.algo == SkylineAlgo::SortFilter { ", SFS" } else { "" },
+            if self.spec.distinct { ", distinct" } else { "" },
+        )
+    }
+}
+
+/// Global skyline for complete data: Block-Nested-Loop (or SFS) over the
+/// gathered local skylines on a single executor.
+#[derive(Debug)]
+pub struct GlobalSkylineExec {
+    spec: SkylineSpec,
+    algo: SkylineAlgo,
+    input: Arc<dyn ExecutionPlan>,
+}
+
+impl GlobalSkylineExec {
+    /// Global complete skyline; the planner feeds it a single partition
+    /// via an `AllTuples` exchange.
+    pub fn new(spec: SkylineSpec, input: Arc<dyn ExecutionPlan>) -> Self {
+        GlobalSkylineExec {
+            spec,
+            algo: SkylineAlgo::Bnl,
+            input,
+        }
+    }
+
+    /// Global Sort-Filter-Skyline.
+    pub fn sort_filter(spec: SkylineSpec, input: Arc<dyn ExecutionPlan>) -> Self {
+        GlobalSkylineExec {
+            spec,
+            algo: SkylineAlgo::SortFilter,
+            input,
+        }
+    }
+}
+
+impl ExecutionPlan for GlobalSkylineExec {
+    fn name(&self) -> &'static str {
+        "GlobalSkylineExec"
+    }
+
+    fn schema(&self) -> SchemaRef {
+        self.input.schema()
+    }
+
+    fn children(&self) -> Vec<&Arc<dyn ExecutionPlan>> {
+        vec![&self.input]
+    }
+
+    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
+        // Defensive coalesce: correctness does not depend on the planner
+        // having inserted the exchange.
+        let rows = flatten(self.input.execute(ctx)?);
+        ctx.deadline.check()?;
+        let reservation = ctx
+            .memory
+            .reserve(rows.iter().map(Row::estimated_bytes).sum());
+        let checker = DominanceChecker::complete(self.spec.clone());
+        let mut stats = SkylineStats::default();
+        let result = if self.algo == SkylineAlgo::SortFilter {
+            sparkline_skyline::sfs_skyline(rows, &checker, &mut stats)
+        } else {
+            bnl_skyline(rows, &checker, &mut stats)
+        };
+        record_stats(ctx, &stats);
+        drop(reservation);
+        Ok(vec![result])
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "GlobalSkylineExec [{} dims{}{}]",
+            self.spec.dims.len(),
+            if self.algo == SkylineAlgo::SortFilter { ", SFS" } else { "" },
+            if self.spec.distinct { ", distinct" } else { "" }
+        )
+    }
+}
+
+/// Global skyline for (potentially) incomplete data: all-pairs dominance
+/// tests with deferred deletion on a single executor (§5.7 / Appendix A).
+#[derive(Debug)]
+pub struct IncompleteGlobalSkylineExec {
+    spec: SkylineSpec,
+    input: Arc<dyn ExecutionPlan>,
+}
+
+impl IncompleteGlobalSkylineExec {
+    /// Global incomplete skyline.
+    pub fn new(spec: SkylineSpec, input: Arc<dyn ExecutionPlan>) -> Self {
+        IncompleteGlobalSkylineExec { spec, input }
+    }
+}
+
+impl ExecutionPlan for IncompleteGlobalSkylineExec {
+    fn name(&self) -> &'static str {
+        "IncompleteGlobalSkylineExec"
+    }
+
+    fn schema(&self) -> SchemaRef {
+        self.input.schema()
+    }
+
+    fn children(&self) -> Vec<&Arc<dyn ExecutionPlan>> {
+        vec![&self.input]
+    }
+
+    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
+        let rows = flatten(self.input.execute(ctx)?);
+        ctx.deadline.check()?;
+        let reservation = ctx
+            .memory
+            .reserve(rows.iter().map(Row::estimated_bytes).sum());
+        let checker = DominanceChecker::incomplete(self.spec.clone());
+        let mut stats = SkylineStats::default();
+        // Periodic deadline checks for the quadratic phase are handled by
+        // chunking: split the all-pairs loop into deadline-checked slices.
+        let result = incomplete_global_with_deadline(rows, &checker, &mut stats, ctx)?;
+        record_stats(ctx, &stats);
+        drop(reservation);
+        Ok(vec![result])
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "IncompleteGlobalSkylineExec [{} dims{}]",
+            self.spec.dims.len(),
+            if self.spec.distinct { ", distinct" } else { "" }
+        )
+    }
+}
+
+/// All-pairs global skyline in deadline-checked chunks.
+fn incomplete_global_with_deadline(
+    rows: Vec<Row>,
+    checker: &DominanceChecker,
+    stats: &mut SkylineStats,
+    ctx: &TaskContext,
+) -> Result<Vec<Row>> {
+    // Small inputs: run directly.
+    if rows.len() <= 2048 {
+        ctx.deadline.check()?;
+        return Ok(incomplete_global_skyline(rows, checker, stats));
+    }
+    // Large inputs: reuse the library routine but check the deadline
+    // between row-blocks by replicating its flag loop.
+    let n = rows.len();
+    stats.max_window = stats.max_window.max(n);
+    let mut dominated = vec![false; n];
+    let distinct = checker.distinct();
+    for i in 0..n {
+        if i % 64 == 0 {
+            ctx.deadline.check()?;
+        }
+        for j in (i + 1)..n {
+            if dominated[i] && dominated[j] {
+                continue;
+            }
+            stats.dominance_tests += 1;
+            match checker.compare(&rows[i], &rows[j]) {
+                sparkline_skyline::Dominance::Dominates => dominated[j] = true,
+                sparkline_skyline::Dominance::DominatedBy => dominated[i] = true,
+                sparkline_skyline::Dominance::Equal => {
+                    if distinct && checker.identical_dims(&rows[i], &rows[j]) {
+                        dominated[j] = true;
+                    }
+                }
+                sparkline_skyline::Dominance::Incomparable => {}
+            }
+        }
+    }
+    Ok(rows
+        .into_iter()
+        .zip(dominated)
+        .filter_map(|(row, dom)| (!dom).then_some(row))
+        .collect())
+}
+
+/// Two-pass single-dimension optimum filter (§5.4 rewrite target).
+#[derive(Debug)]
+pub struct MinMaxFilterExec {
+    expr: Expr,
+    direction: MinMaxDirection,
+    distinct: bool,
+    input: Arc<dyn ExecutionPlan>,
+}
+
+impl MinMaxFilterExec {
+    /// Filter keeping tuples that attain the optimum of `expr` (plus NULL
+    /// tuples, which are incomparable under skyline semantics).
+    pub fn new(
+        expr: Expr,
+        direction: MinMaxDirection,
+        distinct: bool,
+        input: Arc<dyn ExecutionPlan>,
+    ) -> Self {
+        MinMaxFilterExec {
+            expr,
+            direction,
+            distinct,
+            input,
+        }
+    }
+
+    fn better(&self, a: &Value, b: &Value) -> bool {
+        match a.sql_compare(b) {
+            Some(ord) => match self.direction {
+                MinMaxDirection::Min => ord == std::cmp::Ordering::Less,
+                MinMaxDirection::Max => ord == std::cmp::Ordering::Greater,
+            },
+            None => false,
+        }
+    }
+}
+
+impl ExecutionPlan for MinMaxFilterExec {
+    fn name(&self) -> &'static str {
+        "MinMaxFilterExec"
+    }
+
+    fn schema(&self) -> SchemaRef {
+        self.input.schema()
+    }
+
+    fn children(&self) -> Vec<&Arc<dyn ExecutionPlan>> {
+        vec![&self.input]
+    }
+
+    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
+        let input = self.input.execute(ctx)?;
+        // Pass 1 (parallel): the best non-NULL value per partition.
+        let bests: Vec<Option<Value>> = ctx.runtime.map_indexed(
+            input.iter().collect::<Vec<_>>(),
+            |_, part| {
+                ctx.deadline.check()?;
+                let mut best: Option<Value> = None;
+                for row in part {
+                    let v = self.expr.evaluate(row)?;
+                    if v.is_null() {
+                        continue;
+                    }
+                    let take = match &best {
+                        None => true,
+                        Some(b) => self.better(&v, b),
+                    };
+                    if take {
+                        best = Some(v);
+                    }
+                }
+                Ok(best)
+            },
+        )?;
+        let mut global_best: Option<Value> = None;
+        for b in bests.into_iter().flatten() {
+            let take = match &global_best {
+                None => true,
+                Some(g) => self.better(&b, g),
+            };
+            if take {
+                global_best = Some(b);
+            }
+        }
+        // Pass 2 (parallel): keep NULL tuples and optimum tuples.
+        let mut out = ctx.runtime.map_indexed(input, |_, part| {
+            ctx.deadline.check()?;
+            let mut rows = Vec::new();
+            for row in part {
+                let v = self.expr.evaluate(&row)?;
+                let keep = v.is_null()
+                    || global_best
+                        .as_ref()
+                        .is_some_and(|b| v.sql_compare(b) == Some(std::cmp::Ordering::Equal));
+                if keep {
+                    rows.push(row);
+                }
+            }
+            Ok(rows)
+        })?;
+        // DISTINCT: one representative per distinct dimension value — at
+        // most one NULL tuple and one optimum tuple.
+        if self.distinct {
+            let rows = flatten(out);
+            let mut null_rep: Option<Row> = None;
+            let mut best_rep: Option<Row> = None;
+            for row in rows {
+                let v = self.expr.evaluate(&row)?;
+                if v.is_null() {
+                    null_rep.get_or_insert(row);
+                } else {
+                    best_rep.get_or_insert(row);
+                }
+            }
+            out = vec![null_rep.into_iter().chain(best_rep).collect()];
+        }
+        Ok(out)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "MinMaxFilterExec [{} {}{}]",
+            self.direction,
+            self.expr,
+            if self.distinct { ", distinct" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exchange::ExchangeExec;
+    use crate::scan::ScanExec;
+    use sparkline_common::{DataType, Field, Schema, SkylineDim};
+    use sparkline_plan::BoundColumn;
+
+    fn input(rows: Vec<Vec<Value>>) -> Arc<dyn ExecutionPlan> {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64, true),
+            Field::new("b", DataType::Int64, true),
+        ])
+        .into_ref();
+        Arc::new(ScanExec::new(
+            "t",
+            Arc::new(rows.into_iter().map(Row::new).collect()),
+            schema,
+        ))
+    }
+
+    fn int_rows(data: &[(i64, i64)]) -> Vec<Vec<Value>> {
+        data.iter()
+            .map(|&(a, b)| vec![Value::Int64(a), Value::Int64(b)])
+            .collect()
+    }
+
+    fn run(plan: &dyn ExecutionPlan, executors: usize) -> Vec<Row> {
+        let ctx = TaskContext::new(executors);
+        let mut rows = flatten(plan.execute(&ctx).unwrap());
+        rows.sort_by_key(|r| r.to_string());
+        rows
+    }
+
+    fn spec2() -> SkylineSpec {
+        SkylineSpec::new(vec![SkylineDim::min(0), SkylineDim::min(1)])
+    }
+
+    #[test]
+    fn two_phase_complete_plan_produces_skyline() {
+        let data = int_rows(&[(1, 9), (2, 7), (3, 8), (4, 4), (5, 5), (6, 1), (7, 2)]);
+        let local = Arc::new(LocalSkylineExec::new(spec2(), false, input(data)));
+        let gathered = Arc::new(ExchangeExec::single(local));
+        let global = GlobalSkylineExec::new(spec2(), gathered);
+        let rows = run(&global, 3);
+        assert_eq!(rows.len(), 4);
+        // Same result with one executor.
+        let data = int_rows(&[(1, 9), (2, 7), (3, 8), (4, 4), (5, 5), (6, 1), (7, 2)]);
+        let local = Arc::new(LocalSkylineExec::new(spec2(), false, input(data)));
+        let gathered = Arc::new(ExchangeExec::single(local));
+        let global = GlobalSkylineExec::new(spec2(), gathered);
+        assert_eq!(run(&global, 1).len(), 4);
+    }
+
+    #[test]
+    fn incomplete_plan_handles_cycles() {
+        // Appendix A cycle must yield an empty skyline.
+        let spec = SkylineSpec::new(vec![
+            SkylineDim::min(0),
+            SkylineDim::min(1),
+        ]);
+        // Build a 2-dim cycle analogue: a=(1,*), b=(*,1) are incomparable;
+        // use the 3-dim example instead via 2 columns is impossible, so
+        // check the operator end-to-end with 3 columns.
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Int64, true),
+            Field::new("y", DataType::Int64, true),
+            Field::new("z", DataType::Int64, true),
+        ])
+        .into_ref();
+        let rows = vec![
+            Row::new(vec![Value::Int64(1), Value::Null, Value::Int64(10)]),
+            Row::new(vec![Value::Int64(3), Value::Int64(2), Value::Null]),
+            Row::new(vec![Value::Null, Value::Int64(5), Value::Int64(3)]),
+        ];
+        let spec3 = SkylineSpec::new(vec![
+            SkylineDim::min(0),
+            SkylineDim::min(1),
+            SkylineDim::min(2),
+        ]);
+        let scan: Arc<dyn ExecutionPlan> =
+            Arc::new(ScanExec::new("t", Arc::new(rows), schema));
+        let bitmap_exchange = Arc::new(ExchangeExec::new(
+            crate::exchange::ExchangeMode::NullBitmap(spec3.clone()),
+            scan,
+        ));
+        let local = Arc::new(LocalSkylineExec::new(spec3.clone(), true, bitmap_exchange));
+        let gathered = Arc::new(ExchangeExec::single(local));
+        let global = IncompleteGlobalSkylineExec::new(spec3, gathered);
+        assert!(run(&global, 2).is_empty(), "cycle must cancel out");
+        let _ = spec; // silence unused in this branch
+    }
+
+    #[test]
+    fn minmax_filter_keeps_all_optima() {
+        let col = Expr::BoundColumn(BoundColumn {
+            index: 0,
+            field: Field::new("a", DataType::Int64, true),
+        });
+        let plan = MinMaxFilterExec::new(
+            col,
+            MinMaxDirection::Min,
+            false,
+            input(int_rows(&[(2, 1), (1, 2), (1, 3), (5, 4)])),
+        );
+        let rows = run(&plan, 2);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.get(0) == &Value::Int64(1)));
+    }
+
+    #[test]
+    fn minmax_filter_keeps_null_tuples() {
+        let col = Expr::BoundColumn(BoundColumn {
+            index: 0,
+            field: Field::new("a", DataType::Int64, true),
+        });
+        let plan = MinMaxFilterExec::new(
+            col,
+            MinMaxDirection::Min,
+            false,
+            Arc::new(ScanExec::new(
+                "t",
+                Arc::new(vec![
+                    Row::new(vec![Value::Null, Value::Int64(1)]),
+                    Row::new(vec![Value::Int64(3), Value::Int64(2)]),
+                    Row::new(vec![Value::Int64(7), Value::Int64(3)]),
+                ]),
+                Schema::new(vec![
+                    Field::new("a", DataType::Int64, true),
+                    Field::new("b", DataType::Int64, false),
+                ])
+                .into_ref(),
+            )),
+        );
+        let rows = run(&plan, 2);
+        // NULL tuple is incomparable => skyline member; 3 is the minimum.
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn minmax_distinct_keeps_single_representatives() {
+        let col = Expr::BoundColumn(BoundColumn {
+            index: 0,
+            field: Field::new("a", DataType::Int64, true),
+        });
+        let plan = MinMaxFilterExec::new(
+            col,
+            MinMaxDirection::Max,
+            true,
+            input(int_rows(&[(5, 1), (5, 2), (5, 3), (1, 4)])),
+        );
+        let rows = run(&plan, 2);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0), &Value::Int64(5));
+    }
+
+    #[test]
+    fn local_incomplete_groups_by_bitmap_within_partition() {
+        // Force everything into ONE partition: grouping inside the
+        // operator must still separate bitmap classes, so the cycle
+        // tuples all survive the local phase.
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Int64, true),
+            Field::new("y", DataType::Int64, true),
+            Field::new("z", DataType::Int64, true),
+        ])
+        .into_ref();
+        let rows = vec![
+            Row::new(vec![Value::Int64(1), Value::Null, Value::Int64(10)]),
+            Row::new(vec![Value::Int64(3), Value::Int64(2), Value::Null]),
+            Row::new(vec![Value::Null, Value::Int64(5), Value::Int64(3)]),
+        ];
+        let spec3 = SkylineSpec::new(vec![
+            SkylineDim::min(0),
+            SkylineDim::min(1),
+            SkylineDim::min(2),
+        ]);
+        let scan: Arc<dyn ExecutionPlan> =
+            Arc::new(ScanExec::new("t", Arc::new(rows), schema));
+        let local = LocalSkylineExec::new(spec3, true, scan);
+        // One executor => single partition holding all three bitmaps.
+        let rows = run(&local, 1);
+        assert_eq!(rows.len(), 3, "local phase must not delete cycle members");
+    }
+
+    #[test]
+    fn dominance_metrics_flow_to_context() {
+        let data = int_rows(&[(1, 2), (2, 1), (3, 3), (0, 0)]);
+        let local = LocalSkylineExec::new(spec2(), false, input(data));
+        let ctx = TaskContext::new(1);
+        local.execute(&ctx).unwrap();
+        assert!(ctx.metrics.snapshot().dominance_tests > 0);
+        assert!(ctx.metrics.snapshot().max_window > 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Fluent construction of logical plans, used by the DataFrame API and by
+//! tests. Builders produce *unresolved* plans; the analyzer binds them.
+
+use std::sync::Arc;
+
+use sparkline_common::{Result, Row, SchemaRef, SkylineType};
+
+use crate::expr::{Expr, SkylineDimension, SortExpr};
+use crate::logical::{JoinCondition, JoinType, LogicalPlan};
+
+/// Builder over a [`LogicalPlan`].
+#[derive(Debug, Clone)]
+pub struct LogicalPlanBuilder {
+    plan: LogicalPlan,
+}
+
+impl LogicalPlanBuilder {
+    /// Start from an existing plan.
+    pub fn from(plan: LogicalPlan) -> Self {
+        LogicalPlanBuilder { plan }
+    }
+
+    /// Start from a named (not yet resolved) relation.
+    pub fn relation(name: impl Into<String>) -> Self {
+        LogicalPlanBuilder {
+            plan: LogicalPlan::UnresolvedRelation { name: name.into() },
+        }
+    }
+
+    /// Start from literal rows with a known schema.
+    pub fn values(schema: SchemaRef, rows: Vec<Row>) -> Self {
+        LogicalPlanBuilder {
+            plan: LogicalPlan::Values {
+                schema,
+                rows: Arc::new(rows),
+            },
+        }
+    }
+
+    /// `SELECT exprs`.
+    pub fn project(self, exprs: Vec<Expr>) -> Self {
+        LogicalPlanBuilder {
+            plan: LogicalPlan::Projection {
+                exprs,
+                input: Arc::new(self.plan),
+            },
+        }
+    }
+
+    /// `WHERE predicate`.
+    pub fn filter(self, predicate: Expr) -> Self {
+        LogicalPlanBuilder {
+            plan: LogicalPlan::Filter {
+                predicate,
+                input: Arc::new(self.plan),
+            },
+        }
+    }
+
+    /// `GROUP BY group_exprs` with `aggr_exprs`.
+    pub fn aggregate(self, group_exprs: Vec<Expr>, aggr_exprs: Vec<Expr>) -> Self {
+        LogicalPlanBuilder {
+            plan: LogicalPlan::Aggregate {
+                group_exprs,
+                aggr_exprs,
+                input: Arc::new(self.plan),
+            },
+        }
+    }
+
+    /// `ORDER BY`.
+    pub fn sort(self, exprs: Vec<SortExpr>) -> Self {
+        LogicalPlanBuilder {
+            plan: LogicalPlan::Sort {
+                exprs,
+                input: Arc::new(self.plan),
+            },
+        }
+    }
+
+    /// `LIMIT n`.
+    pub fn limit(self, n: usize) -> Self {
+        LogicalPlanBuilder {
+            plan: LogicalPlan::Limit {
+                n,
+                input: Arc::new(self.plan),
+            },
+        }
+    }
+
+    /// Join with another plan.
+    pub fn join(self, right: LogicalPlan, join_type: JoinType, condition: JoinCondition) -> Self {
+        LogicalPlanBuilder {
+            plan: LogicalPlan::Join {
+                left: Arc::new(self.plan),
+                right: Arc::new(right),
+                join_type,
+                condition,
+            },
+        }
+    }
+
+    /// `AS alias`.
+    pub fn alias(self, alias: impl Into<String>) -> Self {
+        LogicalPlanBuilder {
+            plan: LogicalPlan::SubqueryAlias {
+                alias: alias.into(),
+                input: Arc::new(self.plan),
+            },
+        }
+    }
+
+    /// `SKYLINE OF [DISTINCT] [COMPLETE] dims`.
+    pub fn skyline(self, distinct: bool, complete: bool, dims: Vec<SkylineDimension>) -> Self {
+        LogicalPlanBuilder {
+            plan: LogicalPlan::Skyline {
+                distinct,
+                complete,
+                dims,
+                input: Arc::new(self.plan),
+            },
+        }
+    }
+
+    /// Skyline from `(expr, type)` pairs (the DataFrame API's pair form,
+    /// paper §5.8).
+    pub fn skyline_of(
+        self,
+        distinct: bool,
+        complete: bool,
+        dims: impl IntoIterator<Item = (Expr, SkylineType)>,
+    ) -> Self {
+        let dims = dims
+            .into_iter()
+            .map(|(expr, ty)| SkylineDimension::new(expr, ty))
+            .collect();
+        self.skyline(distinct, complete, dims)
+    }
+
+    /// `SELECT DISTINCT`.
+    pub fn distinct(self) -> Self {
+        LogicalPlanBuilder {
+            plan: LogicalPlan::Distinct {
+                input: Arc::new(self.plan),
+            },
+        }
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Result<LogicalPlan> {
+        Ok(self.plan)
+    }
+
+    /// Peek at the current plan.
+    pub fn plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkline_common::{DataType, Field, Schema};
+
+    #[test]
+    fn builds_nested_plan() {
+        let plan = LogicalPlanBuilder::relation("hotels")
+            .filter(Expr::col("price").lt(Expr::lit(100i64)))
+            .skyline_of(
+                false,
+                true,
+                [
+                    (Expr::col("price"), SkylineType::Min),
+                    (Expr::col("rating"), SkylineType::Max),
+                ],
+            )
+            .project(vec![Expr::col("price"), Expr::col("rating")])
+            .build()
+            .unwrap();
+        let display = plan.display_indent();
+        assert!(display.contains("Projection"));
+        assert!(display.contains("Skyline"));
+        assert!(display.contains("COMPLETE"));
+        assert!(display.contains("Filter"));
+        assert!(display.contains("UnresolvedRelation [hotels]"));
+    }
+
+    #[test]
+    fn values_is_resolved_source() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int64, false)]).into_ref();
+        let b = LogicalPlanBuilder::values(schema, vec![]);
+        assert!(b.plan().resolved());
+    }
+
+    #[test]
+    fn join_and_alias() {
+        let plan = LogicalPlanBuilder::relation("a")
+            .alias("l")
+            .join(
+                LogicalPlan::UnresolvedRelation { name: "b".into() },
+                JoinType::Inner,
+                JoinCondition::Using(vec!["id".into()]),
+            )
+            .build()
+            .unwrap();
+        assert!(plan.node_description().contains("using: id"));
+    }
+}

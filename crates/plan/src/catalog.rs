@@ -1,0 +1,139 @@
+//! Catalog abstraction used by the analyzer (name resolution) and the
+//! optimizer (non-reductive-join metadata for the skyline pushdown rule).
+
+use std::collections::HashMap;
+
+use sparkline_common::SchemaRef;
+
+/// Source of table metadata. Implemented by the session catalog in
+/// `sparkline` (core); a schema-only [`StaticCatalog`] is provided for
+/// tests of the analyzer and optimizer.
+pub trait CatalogProvider: Send + Sync {
+    /// Schema of `name`, if such a table exists. Lookup is
+    /// case-insensitive, like Spark's catalog.
+    fn table_schema(&self, name: &str) -> Option<SchemaRef>;
+
+    /// Whether every row of `left_table` is guaranteed to have at least one
+    /// join partner in `right_table` under the equi-condition
+    /// `left_table.left_col = right_table.right_col` — i.e. `left_col` is a
+    /// foreign key referencing `right_col`.
+    ///
+    /// This is the database-constraint form of Carey & Kossmann's
+    /// *non-reductive join* used by the paper's §5.4 skyline-join pushdown:
+    /// if the join cannot eliminate left tuples, the skyline may be
+    /// computed on the left side before joining.
+    fn guarantees_partner(
+        &self,
+        _left_table: &str,
+        _left_col: &str,
+        _right_table: &str,
+        _right_col: &str,
+    ) -> bool {
+        false
+    }
+}
+
+/// A declared foreign-key relationship.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ForeignKey {
+    /// Referencing table.
+    pub from_table: String,
+    /// Referencing column.
+    pub from_column: String,
+    /// Referenced table.
+    pub to_table: String,
+    /// Referenced column.
+    pub to_column: String,
+}
+
+/// A simple in-memory catalog holding schemas and foreign keys. Useful in
+/// tests and embedded by the session catalog in `sparkline`.
+#[derive(Debug, Default, Clone)]
+pub struct StaticCatalog {
+    tables: HashMap<String, SchemaRef>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl StaticCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a table schema.
+    pub fn register_table(&mut self, name: impl Into<String>, schema: SchemaRef) {
+        self.tables.insert(name.into().to_ascii_lowercase(), schema);
+    }
+
+    /// Declare that `from_table.from_column` is a foreign key referencing
+    /// `to_table.to_column` (with a NOT NULL referencing column), making
+    /// the corresponding equi-join non-reductive for the referencing side.
+    pub fn register_foreign_key(
+        &mut self,
+        from_table: impl Into<String>,
+        from_column: impl Into<String>,
+        to_table: impl Into<String>,
+        to_column: impl Into<String>,
+    ) {
+        self.foreign_keys.push(ForeignKey {
+            from_table: from_table.into().to_ascii_lowercase(),
+            from_column: from_column.into().to_ascii_lowercase(),
+            to_table: to_table.into().to_ascii_lowercase(),
+            to_column: to_column.into().to_ascii_lowercase(),
+        });
+    }
+
+    /// Names of all registered tables (lowercased), sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl CatalogProvider for StaticCatalog {
+    fn table_schema(&self, name: &str) -> Option<SchemaRef> {
+        self.tables.get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    fn guarantees_partner(
+        &self,
+        left_table: &str,
+        left_col: &str,
+        right_table: &str,
+        right_col: &str,
+    ) -> bool {
+        let (lt, lc) = (left_table.to_ascii_lowercase(), left_col.to_ascii_lowercase());
+        let (rt, rc) = (right_table.to_ascii_lowercase(), right_col.to_ascii_lowercase());
+        self.foreign_keys.iter().any(|fk| {
+            fk.from_table == lt && fk.from_column == lc && fk.to_table == rt && fk.to_column == rc
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkline_common::{DataType, Field, Schema};
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let mut c = StaticCatalog::new();
+        c.register_table(
+            "Hotels",
+            Schema::new(vec![Field::new("price", DataType::Float64, false)]).into_ref(),
+        );
+        assert!(c.table_schema("hotels").is_some());
+        assert!(c.table_schema("HOTELS").is_some());
+        assert!(c.table_schema("motels").is_none());
+        assert_eq!(c.table_names(), vec!["hotels"]);
+    }
+
+    #[test]
+    fn foreign_keys() {
+        let mut c = StaticCatalog::new();
+        c.register_foreign_key("track", "recording", "recording", "id");
+        assert!(c.guarantees_partner("TRACK", "RECORDING", "recording", "ID"));
+        assert!(!c.guarantees_partner("recording", "id", "track", "recording"));
+    }
+}

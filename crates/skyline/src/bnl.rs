@@ -1,0 +1,225 @@
+//! The Block-Nested-Loop (BNL) skyline algorithm (Börzsönyi, Kossmann,
+//! Stocker 2001), as adapted by the paper for complete data (§5.6).
+//!
+//! The algorithm keeps a *window* holding the skyline of all tuples
+//! processed so far. For each incoming tuple `t`:
+//!
+//! * if some window tuple dominates `t`, drop `t` — by transitivity `t`
+//!   cannot dominate anything in the window, so no further checks are
+//!   needed;
+//! * every window tuple dominated by `t` is evicted, and `t` enters the
+//!   window — by transitivity `t` cannot be dominated by the remaining
+//!   window tuples;
+//! * if `t` is incomparable with every window tuple, it enters the window.
+//!
+//! Correctness relies on transitivity of dominance and therefore on the
+//! **complete-data** relation. The same routine also serves as the local
+//! skyline inside one null-bitmap partition of incomplete data, where all
+//! tuples share their NULL positions and the restricted relation is
+//! transitive again (paper §5.7 / Lemma 5.1).
+
+use sparkline_common::Row;
+
+use crate::dominance::{Dominance, DominanceChecker, SkylineStats};
+
+/// Compute the skyline of `rows` with the BNL window algorithm, recording
+/// dominance-test counts into `stats`.
+///
+/// With `checker.distinct()` set, tuples whose *compared* dimensions are
+/// all equal keep a single representative (the first one encountered),
+/// implementing `SKYLINE OF DISTINCT`.
+pub fn bnl_skyline(
+    rows: impl IntoIterator<Item = Row>,
+    checker: &DominanceChecker,
+    stats: &mut SkylineStats,
+) -> Vec<Row> {
+    let mut window: Vec<Row> = Vec::new();
+    bnl_skyline_into(rows, checker, stats, &mut window);
+    window
+}
+
+/// Like [`bnl_skyline`] but feeding tuples into an existing window, which
+/// allows the global phase to reuse the first local skyline as its initial
+/// window without copying.
+///
+/// The caller must guarantee that `window` is itself a skyline (no tuple in
+/// it dominates another); the empty window trivially qualifies.
+pub fn bnl_skyline_into(
+    rows: impl IntoIterator<Item = Row>,
+    checker: &DominanceChecker,
+    stats: &mut SkylineStats,
+    window: &mut Vec<Row>,
+) {
+    let distinct = checker.distinct();
+    for tuple in rows {
+        let mut dominated = false;
+        let mut i = 0;
+        while i < window.len() {
+            stats.dominance_tests += 1;
+            match checker.compare(&tuple, &window[i]) {
+                Dominance::Dominates => {
+                    // The incoming tuple evicts a window tuple; order of
+                    // the window is irrelevant, so swap_remove is fine.
+                    window.swap_remove(i);
+                }
+                Dominance::DominatedBy => {
+                    dominated = true;
+                    break;
+                }
+                Dominance::Equal => {
+                    if distinct && checker.identical_dims(&tuple, &window[i]) {
+                        // Same values in all skyline dimensions: keep the
+                        // window's representative, drop the newcomer.
+                        dominated = true;
+                        break;
+                    }
+                    i += 1;
+                }
+                Dominance::Incomparable => i += 1,
+            }
+        }
+        if !dominated {
+            window.push(tuple);
+            stats.max_window = stats.max_window.max(window.len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkline_common::{SkylineDim, SkylineSpec, Value};
+
+    fn rows(data: &[(i64, i64)]) -> Vec<Row> {
+        data.iter()
+            .map(|&(a, b)| Row::new(vec![Value::Int64(a), Value::Int64(b)]))
+            .collect()
+    }
+
+    fn min_min(distinct: bool) -> DominanceChecker {
+        let dims = vec![SkylineDim::min(0), SkylineDim::min(1)];
+        DominanceChecker::complete(if distinct {
+            SkylineSpec::distinct(dims)
+        } else {
+            SkylineSpec::new(dims)
+        })
+    }
+
+    fn as_pairs(mut rows: Vec<Row>) -> Vec<(i64, i64)> {
+        let mut out: Vec<(i64, i64)> = rows
+            .drain(..)
+            .map(|r| {
+                let a = match r.get(0) {
+                    Value::Int64(v) => *v,
+                    other => panic!("unexpected {other:?}"),
+                };
+                let b = match r.get(1) {
+                    Value::Int64(v) => *v,
+                    other => panic!("unexpected {other:?}"),
+                };
+                (a, b)
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn hotel_example_shape() {
+        // Classic price/rating trade-off; skyline = the Pareto staircase.
+        let mut stats = SkylineStats::default();
+        let input = rows(&[(1, 9), (2, 7), (3, 8), (4, 4), (5, 5), (6, 1), (7, 2)]);
+        let sky = bnl_skyline(input, &min_min(false), &mut stats);
+        assert_eq!(as_pairs(sky), vec![(1, 9), (2, 7), (4, 4), (6, 1)]);
+        assert!(stats.dominance_tests > 0);
+        assert!(stats.max_window >= 4);
+    }
+
+    #[test]
+    fn single_tuple() {
+        let mut stats = SkylineStats::default();
+        let sky = bnl_skyline(rows(&[(5, 5)]), &min_min(false), &mut stats);
+        assert_eq!(sky.len(), 1);
+        assert_eq!(stats.dominance_tests, 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut stats = SkylineStats::default();
+        let sky = bnl_skyline(rows(&[]), &min_min(false), &mut stats);
+        assert!(sky.is_empty());
+    }
+
+    #[test]
+    fn all_dominated_by_one() {
+        let mut stats = SkylineStats::default();
+        let sky = bnl_skyline(
+            rows(&[(5, 5), (4, 4), (3, 3), (0, 0), (2, 2)]),
+            &min_min(false),
+            &mut stats,
+        );
+        assert_eq!(as_pairs(sky), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn duplicates_kept_without_distinct() {
+        let mut stats = SkylineStats::default();
+        let sky = bnl_skyline(rows(&[(1, 1), (1, 1), (1, 1)]), &min_min(false), &mut stats);
+        assert_eq!(sky.len(), 3);
+    }
+
+    #[test]
+    fn duplicates_collapsed_with_distinct() {
+        let mut stats = SkylineStats::default();
+        let sky = bnl_skyline(rows(&[(1, 1), (1, 1), (1, 1)]), &min_min(true), &mut stats);
+        assert_eq!(sky.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keeps_non_dim_payload_of_first() {
+        // Two tuples identical on skyline dims but different elsewhere:
+        // DISTINCT keeps exactly one (the first).
+        let spec = SkylineSpec::distinct(vec![SkylineDim::min(0)]);
+        let checker = DominanceChecker::complete(spec);
+        let r1 = Row::new(vec![Value::Int64(1), Value::str("first")]);
+        let r2 = Row::new(vec![Value::Int64(1), Value::str("second")]);
+        let mut stats = SkylineStats::default();
+        let sky = bnl_skyline(vec![r1.clone(), r2], &checker, &mut stats);
+        assert_eq!(sky, vec![r1]);
+    }
+
+    #[test]
+    fn eviction_of_multiple_window_tuples() {
+        // (9,9) arrives after several incomparable tuples it dominates none
+        // of; (0,0) then evicts everything.
+        let mut stats = SkylineStats::default();
+        let sky = bnl_skyline(
+            rows(&[(1, 8), (8, 1), (5, 5), (0, 0)]),
+            &min_min(false),
+            &mut stats,
+        );
+        assert_eq!(as_pairs(sky), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn bnl_into_seeds_window() {
+        let checker = min_min(false);
+        let mut stats = SkylineStats::default();
+        let mut window = bnl_skyline(rows(&[(1, 9), (9, 1)]), &checker, &mut stats);
+        bnl_skyline_into(rows(&[(0, 0)]), &checker, &mut stats, &mut window);
+        assert_eq!(as_pairs(window), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn order_independence() {
+        let checker = min_min(false);
+        let data = [(3, 1), (1, 3), (2, 2), (4, 4), (0, 5), (5, 0)];
+        let mut s1 = SkylineStats::default();
+        let forward = bnl_skyline(rows(&data), &checker, &mut s1);
+        let mut reversed = data;
+        reversed.reverse();
+        let mut s2 = SkylineStats::default();
+        let backward = bnl_skyline(rows(&reversed), &checker, &mut s2);
+        assert_eq!(as_pairs(forward), as_pairs(backward));
+    }
+}

@@ -1,0 +1,347 @@
+//! Skyline computation over incomplete (NULL-containing) data, following
+//! paper §5.7, Lemma 5.1, and Appendix A.
+//!
+//! The incomplete-data dominance relation is not transitive and may contain
+//! cycles, so the BNL window trick is unsound across tuples with different
+//! NULL patterns. The paper's approach:
+//!
+//! 1. **Partition by null bitmap.** Every tuple gets a bitmap with one bit
+//!    per skyline dimension, set iff the dimension is NULL. Tuples with the
+//!    same bitmap share their NULL positions; within one partition the
+//!    restricted relation is transitive again, so the ordinary BNL
+//!    algorithm computes each *local* skyline safely.
+//! 2. **All-pairs global phase with deferred deletion.** The union of local
+//!    skylines is compared pairwise; dominated tuples are only *flagged*,
+//!    and flagged tuples are removed after all comparisons. Deleting
+//!    eagerly is the bug of the algorithm in Gulzar et al. (see
+//!    [`premature_deletion_global_skyline`], kept here to reproduce
+//!    Appendix A's counterexample).
+//!
+//! Lemma 5.1 guarantees that the union of local skylines still contains a
+//! dominating witness for every non-skyline tuple, so phase 2 over the
+//! local skylines yields exactly `SKY(P)`.
+
+use std::collections::HashMap;
+
+use sparkline_common::{Row, SkylineSpec};
+
+use crate::bnl::bnl_skyline;
+use crate::dominance::{Dominance, DominanceChecker, SkylineStats};
+
+/// The null bitmap of a tuple over the skyline dimensions: bit `i` is set
+/// iff dimension `i` (in spec order) is NULL (paper §5.7).
+///
+/// Supports up to 64 skyline dimensions, far beyond the paper's 6.
+pub fn null_bitmap(row: &Row, spec: &SkylineSpec) -> u64 {
+    assert!(
+        spec.dims.len() <= 64,
+        "at most 64 skyline dimensions are supported"
+    );
+    let mut bitmap = 0u64;
+    for (i, dim) in spec.dims.iter().enumerate() {
+        if row.get(dim.index).is_null() {
+            bitmap |= 1 << i;
+        }
+    }
+    bitmap
+}
+
+/// Group tuples by their null bitmap. Each group corresponds to one
+/// partition `P_b` of the paper; the distributed engine instead realizes
+/// this grouping as a hash exchange on the bitmap expression, but tests and
+/// the standalone algorithms use this direct form.
+pub fn partition_by_null_bitmap(
+    rows: impl IntoIterator<Item = Row>,
+    spec: &SkylineSpec,
+) -> HashMap<u64, Vec<Row>> {
+    let mut partitions: HashMap<u64, Vec<Row>> = HashMap::new();
+    for row in rows {
+        partitions.entry(null_bitmap(&row, spec)).or_default().push(row);
+    }
+    partitions
+}
+
+/// Global skyline for (potentially) incomplete data: all-pairs dominance
+/// checks with deferred deletion (paper §5.7 / Appendix A "Correct Skyline
+/// Computation").
+///
+/// `rows` is typically the union of the per-bitmap local skylines, but the
+/// routine is correct on arbitrary input (it implements Definition 3.2
+/// directly). The checker must be an incomplete-relation checker when NULLs
+/// can occur.
+pub fn incomplete_global_skyline(
+    rows: Vec<Row>,
+    checker: &DominanceChecker,
+    stats: &mut SkylineStats,
+) -> Vec<Row> {
+    let n = rows.len();
+    stats.max_window = stats.max_window.max(n);
+    let mut dominated = vec![false; n];
+    let distinct = checker.distinct();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            // A pair where both tuples are already flagged can no longer
+            // influence the result; skip the comparison. Pairs with one
+            // flagged tuple must still run: the flagged tuple may be the
+            // only witness dominating the other (premature-deletion trap).
+            if dominated[i] && dominated[j] {
+                continue;
+            }
+            stats.dominance_tests += 1;
+            match checker.compare(&rows[i], &rows[j]) {
+                Dominance::Dominates => dominated[j] = true,
+                Dominance::DominatedBy => dominated[i] = true,
+                Dominance::Equal => {
+                    if distinct && checker.identical_dims(&rows[i], &rows[j]) {
+                        // Keep the first representative of identical tuples.
+                        dominated[j] = true;
+                    }
+                }
+                Dominance::Incomparable => {}
+            }
+        }
+    }
+    rows.into_iter()
+        .zip(dominated)
+        .filter_map(|(row, dom)| (!dom).then_some(row))
+        .collect()
+}
+
+/// Compute the full incomplete skyline of a dataset standalone: partition
+/// by null bitmap, local BNL per partition, then the flagged global phase.
+/// This is the single-node reference composition of the distributed plan.
+pub fn incomplete_skyline(
+    rows: impl IntoIterator<Item = Row>,
+    checker: &DominanceChecker,
+    stats: &mut SkylineStats,
+) -> Vec<Row> {
+    let mut candidates = Vec::new();
+    for (_, partition) in partition_by_null_bitmap(rows, checker.spec()) {
+        candidates.extend(bnl_skyline(partition, checker, stats));
+    }
+    incomplete_global_skyline(candidates, checker, stats)
+}
+
+/// The **incorrect** global-skyline procedure of Gulzar et al. (paper
+/// Appendix A), kept for demonstration and regression tests.
+///
+/// It visits the bitmap clusters in order; for the current point `p` it
+/// scans all not-yet-deleted points of *subsequent* clusters, deleting any
+/// `q` with `p ≺ q` immediately and flagging `p` when `q ≺ p`. Flagged
+/// points are deleted at the end of their iteration. Under cyclic dominance
+/// this deletes a tuple's only dominating witness before the witness is
+/// used, so a dominated tuple can survive — Appendix A's counterexample
+/// `a=(1,*,10), b=(3,2,*), c=(*,5,3)` returns `{c}` instead of `{}`.
+pub fn premature_deletion_global_skyline(
+    clusters: Vec<Vec<Row>>,
+    checker: &DominanceChecker,
+    stats: &mut SkylineStats,
+) -> Vec<Row> {
+    // alive[c][k] tracks whether point k of cluster c is still a candidate.
+    let mut alive: Vec<Vec<bool>> = clusters.iter().map(|c| vec![true; c.len()]).collect();
+    for ci in 0..clusters.len() {
+        for pi in 0..clusters[ci].len() {
+            if !alive[ci][pi] {
+                continue;
+            }
+            let mut flagged = false;
+            for cj in (ci + 1)..clusters.len() {
+                for qj in 0..clusters[cj].len() {
+                    if !alive[cj][qj] {
+                        continue;
+                    }
+                    stats.dominance_tests += 1;
+                    match checker.compare(&clusters[ci][pi], &clusters[cj][qj]) {
+                        Dominance::Dominates => alive[cj][qj] = false,
+                        Dominance::DominatedBy => flagged = true,
+                        _ => {}
+                    }
+                }
+            }
+            if flagged {
+                alive[ci][pi] = false;
+            }
+        }
+    }
+    clusters
+        .into_iter()
+        .zip(alive)
+        .flat_map(|(cluster, flags)| {
+            cluster
+                .into_iter()
+                .zip(flags)
+                .filter_map(|(row, keep)| keep.then_some(row))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkline_common::{SkylineDim, Value};
+
+    fn row(vals: &[Option<i64>]) -> Row {
+        Row::new(
+            vals.iter()
+                .map(|v| v.map(Value::Int64).unwrap_or(Value::Null))
+                .collect(),
+        )
+    }
+
+    fn spec3() -> SkylineSpec {
+        SkylineSpec::new(vec![
+            SkylineDim::min(0),
+            SkylineDim::min(1),
+            SkylineDim::min(2),
+        ])
+    }
+
+    /// The three cyclic tuples of §3 / Appendix A.
+    fn cycle() -> (Row, Row, Row) {
+        (
+            row(&[Some(1), None, Some(10)]),
+            row(&[Some(3), Some(2), None]),
+            row(&[None, Some(5), Some(3)]),
+        )
+    }
+
+    #[test]
+    fn bitmaps() {
+        let spec = spec3();
+        assert_eq!(null_bitmap(&row(&[Some(1), None, Some(10)]), &spec), 0b010);
+        assert_eq!(null_bitmap(&row(&[Some(3), Some(2), None]), &spec), 0b100);
+        assert_eq!(null_bitmap(&row(&[None, Some(5), Some(3)]), &spec), 0b001);
+        assert_eq!(null_bitmap(&row(&[Some(1), Some(2), Some(3)]), &spec), 0);
+        assert_eq!(null_bitmap(&row(&[None, None, None]), &spec), 0b111);
+    }
+
+    #[test]
+    fn bitmap_uses_dim_order_not_column_order() {
+        // Dimensions can reference columns in any order; the bitmap is in
+        // *dimension* order.
+        let spec = SkylineSpec::new(vec![SkylineDim::min(2), SkylineDim::min(0)]);
+        let r = row(&[None, Some(1), Some(2)]);
+        assert_eq!(null_bitmap(&r, &spec), 0b10);
+    }
+
+    #[test]
+    fn partitioning_groups_by_bitmap() {
+        let spec = spec3();
+        let (a, b, c) = cycle();
+        let complete1 = row(&[Some(9), Some(9), Some(9)]);
+        let complete2 = row(&[Some(8), Some(8), Some(8)]);
+        let parts = partition_by_null_bitmap(
+            vec![a, b, c, complete1, complete2],
+            &spec,
+        );
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[&0].len(), 2);
+    }
+
+    #[test]
+    fn cyclic_dominance_yields_empty_skyline() {
+        // Paper §3: a ≺ b, b ≺ c, c ≺ a — every tuple is dominated, the
+        // skyline must be empty.
+        let checker = DominanceChecker::incomplete(spec3());
+        let (a, b, c) = cycle();
+        let mut stats = SkylineStats::default();
+        let sky = incomplete_global_skyline(vec![a, b, c], &checker, &mut stats);
+        assert!(sky.is_empty(), "cyclic dominance must empty the skyline");
+    }
+
+    #[test]
+    fn appendix_a_counterexample_faulty_algorithm_returns_c() {
+        // Reproduce Appendix A: the premature-deletion algorithm of [20]
+        // wrongly returns {c} on the cycle while the correct result is {}.
+        let checker = DominanceChecker::incomplete(spec3());
+        let (a, b, c) = cycle();
+        let mut stats = SkylineStats::default();
+        let wrong = premature_deletion_global_skyline(
+            vec![vec![a], vec![b], vec![c.clone()]],
+            &checker,
+            &mut stats,
+        );
+        assert_eq!(wrong, vec![c], "the faulty algorithm keeps tuple c");
+    }
+
+    #[test]
+    fn full_incomplete_pipeline_on_cycle_plus_survivor() {
+        let checker = DominanceChecker::incomplete(spec3());
+        let (a, b, c) = cycle();
+        // This tuple is dominated by nothing: 0 is minimal on dim 0 and 2,
+        // and dim 1 is NULL, so only dims 0/2 can be compared.
+        let survivor = row(&[Some(0), None, Some(0)]);
+        let mut stats = SkylineStats::default();
+        let sky = incomplete_skyline(
+            vec![a, b, c, survivor.clone()],
+            &checker,
+            &mut stats,
+        );
+        assert_eq!(sky, vec![survivor]);
+    }
+
+    #[test]
+    fn incomplete_pipeline_equals_global_on_small_input() {
+        // The partition+local phase must not change the result, only
+        // shrink the candidate set.
+        let checker = DominanceChecker::incomplete(spec3());
+        let data = vec![
+            row(&[Some(1), Some(2), Some(3)]),
+            row(&[Some(1), Some(2), None]),
+            row(&[Some(2), Some(2), Some(3)]),
+            row(&[None, Some(1), Some(4)]),
+            row(&[Some(1), None, Some(3)]),
+        ];
+        let mut s1 = SkylineStats::default();
+        let with_partitioning = incomplete_skyline(data.clone(), &checker, &mut s1);
+        let mut s2 = SkylineStats::default();
+        let direct = incomplete_global_skyline(data, &checker, &mut s2);
+        let key = |r: &Row| format!("{r}");
+        let mut a: Vec<String> = with_partitioning.iter().map(key).collect();
+        let mut b: Vec<String> = direct.iter().map(key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn global_distinct_dedups_identical_tuples() {
+        let mut spec = spec3();
+        spec.distinct = true;
+        let checker = DominanceChecker::incomplete(spec);
+        let r = row(&[Some(1), None, Some(1)]);
+        let mut stats = SkylineStats::default();
+        let sky = incomplete_global_skyline(
+            vec![r.clone(), r.clone(), r.clone()],
+            &checker,
+            &mut stats,
+        );
+        assert_eq!(sky.len(), 1);
+    }
+
+    #[test]
+    fn complete_data_single_partition() {
+        // On complete data the bitmap partitioner degenerates to a single
+        // partition (the paper's worst case for the incomplete algorithm).
+        let spec = spec3();
+        let parts = partition_by_null_bitmap(
+            vec![
+                row(&[Some(1), Some(2), Some(3)]),
+                row(&[Some(4), Some(5), Some(6)]),
+            ],
+            &spec,
+        );
+        assert_eq!(parts.len(), 1);
+        assert!(parts.contains_key(&0));
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let checker = DominanceChecker::incomplete(spec3());
+        let (a, b, c) = cycle();
+        let mut stats = SkylineStats::default();
+        incomplete_global_skyline(vec![a, b, c], &checker, &mut stats);
+        assert_eq!(stats.dominance_tests, 3); // all pairs of 3 tuples
+        assert_eq!(stats.max_window, 3);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # sparkline-skyline
+//!
+//! Engine-independent skyline (Pareto-front) algorithms, implemented
+//! directly from *"Integration of Skyline Queries into Spark SQL"*
+//! (EDBT 2023):
+//!
+//! * [`dominance`] — the tuple dominance test of Definition 3.1, in both
+//!   the complete and the incomplete (NULL-aware) variant, with
+//!   type-matched comparisons.
+//! * [`bnl`] — the Block-Nested-Loop skyline algorithm of Börzsönyi et
+//!   al. used for local and global skylines on complete data (§5.6).
+//! * [`incomplete`] — null-bitmap partitioning and the all-pairs,
+//!   deferred-deletion global skyline for incomplete data (§5.7 and
+//!   Lemma 5.1), plus the intentionally faulty premature-deletion variant
+//!   of Appendix A used to demonstrate the cyclic-dominance pitfall.
+//! * [`naive`] — an O(n²) oracle straight from Definition 3.2, used by the
+//!   test suites as ground truth.
+//!
+//! All algorithms operate on plain [`sparkline_common::Row`]s and a
+//! resolved [`sparkline_common::SkylineSpec`]; the physical operators in
+//! `sparkline-physical` wire them into the distributed runtime.
+
+pub mod bnl;
+pub mod dominance;
+pub mod incomplete;
+pub mod naive;
+pub mod sfs;
+
+pub use bnl::{bnl_skyline, bnl_skyline_into};
+pub use dominance::{Dominance, DominanceChecker, SkylineStats};
+pub use incomplete::{
+    incomplete_global_skyline, incomplete_skyline, null_bitmap, partition_by_null_bitmap,
+    premature_deletion_global_skyline,
+};
+pub use naive::naive_skyline;
+pub use sfs::{monotone_score, sfs_skyline};

@@ -1,0 +1,200 @@
+//! Sort-Filter-Skyline (SFS) — the presorting-based algorithm class of
+//! Chomicki, Godfrey, Gryz, Liang (ICDE 2003), which the paper names as
+//! the primary future-work extension (§7: "implement additional
+//! algorithms based on other paradigms like ordering [10, 11, ...]").
+//!
+//! The input is sorted by a *monotone scoring function*: if `a` dominates
+//! `b` then `score(a) < score(b)` strictly. After sorting, no tuple can be
+//! dominated by a tuple that comes later, so the BNL window becomes
+//! **insert-only**:
+//!
+//! * a tuple dominated by the window is dropped, as in BNL;
+//! * an undominated tuple is final immediately — it enters the window and
+//!   is never evicted.
+//!
+//! This removes BNL's eviction work and makes every window insertion an
+//! output, at the cost of the O(n log n) sort. The score used here is the
+//! canonical sum of direction-normalized dimension values (`+v` for `MIN`
+//! dimensions, `-v` for `MAX`; `DIFF` dimensions contribute their value so
+//! equal-`DIFF` groups stay comparable, and dominance requires equality
+//! there anyway).
+//!
+//! SFS requires the complete-data dominance relation (the sort argument
+//! relies on transitive, acyclic dominance) and numeric dimensions (the
+//! score is a sum). [`sfs_skyline`] falls back to BNL when a dimension is
+//! non-numeric or NULL.
+
+use sparkline_common::{Row, Value};
+
+use crate::bnl::bnl_skyline;
+use crate::dominance::{Dominance, DominanceChecker, SkylineStats};
+
+/// The monotone score of a row, or `None` when a dimension value does not
+/// admit the numeric scoring function (NULL or non-numeric).
+pub fn monotone_score(row: &Row, checker: &DominanceChecker) -> Option<f64> {
+    let mut score = 0.0;
+    for dim in &checker.spec().dims {
+        let v = match row.get(dim.index) {
+            Value::Int64(i) => *i as f64,
+            Value::Float64(f) => *f,
+            Value::Boolean(b) => f64::from(*b),
+            _ => return None,
+        };
+        score += match dim.ty {
+            sparkline_common::SkylineType::Min => v,
+            sparkline_common::SkylineType::Max => -v,
+            // DIFF dims must be *equal* for dominance, so adding their
+            // value keeps the function monotone w.r.t. dominance.
+            sparkline_common::SkylineType::Diff => v,
+        };
+    }
+    score.is_finite().then_some(score)
+}
+
+/// Compute the skyline with Sort-Filter-Skyline. Requires (and assumes)
+/// the complete-data dominance relation; falls back to plain BNL when the
+/// scoring function is not applicable to some row.
+pub fn sfs_skyline(
+    rows: Vec<Row>,
+    checker: &DominanceChecker,
+    stats: &mut SkylineStats,
+) -> Vec<Row> {
+    debug_assert!(
+        !checker.is_incomplete(),
+        "SFS relies on transitive dominance; use the incomplete pipeline for NULL data"
+    );
+    let mut scored: Vec<(f64, Row)> = Vec::with_capacity(rows.len());
+    let mut iter = rows.into_iter();
+    for row in iter.by_ref() {
+        match monotone_score(&row, checker) {
+            Some(s) => scored.push((s, row)),
+            None => {
+                // Non-numeric/NULL dimension: rebuild the input and fall
+                // back to BNL, which has no scoring requirement.
+                let mut rest: Vec<Row> = scored.into_iter().map(|(_, r)| r).collect();
+                rest.push(row);
+                rest.extend(iter);
+                return bnl_skyline(rest, checker, stats);
+            }
+        }
+    }
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let distinct = checker.distinct();
+    let mut window: Vec<Row> = Vec::new();
+    'next_tuple: for (_, tuple) in scored {
+        for kept in &window {
+            stats.dominance_tests += 1;
+            match checker.compare(kept, &tuple) {
+                Dominance::Dominates => continue 'next_tuple,
+                Dominance::Equal => {
+                    if distinct && checker.identical_dims(kept, &tuple) {
+                        continue 'next_tuple;
+                    }
+                }
+                // `DominatedBy` is impossible after the monotone sort; it
+                // can only be reported for score ties, which are mutually
+                // non-dominating.
+                Dominance::DominatedBy | Dominance::Incomparable => {}
+            }
+        }
+        window.push(tuple);
+        stats.max_window = stats.max_window.max(window.len());
+    }
+    window
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkline_common::{SkylineDim, SkylineSpec};
+
+    fn rows(data: &[(i64, i64)]) -> Vec<Row> {
+        data.iter()
+            .map(|&(a, b)| Row::new(vec![Value::Int64(a), Value::Int64(b)]))
+            .collect()
+    }
+
+    fn checker() -> DominanceChecker {
+        DominanceChecker::complete(SkylineSpec::new(vec![
+            SkylineDim::min(0),
+            SkylineDim::max(1),
+        ]))
+    }
+
+    fn sorted(rows: Vec<Row>) -> Vec<String> {
+        let mut v: Vec<String> = rows.iter().map(|r| r.to_string()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn matches_bnl_on_simple_input() {
+        let data = rows(&[(1, 9), (2, 7), (3, 8), (4, 4), (5, 5), (6, 1), (1, 9)]);
+        let c = checker();
+        let mut s1 = SkylineStats::default();
+        let mut s2 = SkylineStats::default();
+        assert_eq!(
+            sorted(sfs_skyline(data.clone(), &c, &mut s1)),
+            sorted(bnl_skyline(data, &c, &mut s2))
+        );
+    }
+
+    #[test]
+    fn dominance_implies_strictly_smaller_score() {
+        let c = checker();
+        let a = Row::new(vec![Value::Int64(1), Value::Int64(9)]);
+        let b = Row::new(vec![Value::Int64(2), Value::Int64(9)]);
+        assert!(c.dominates(&a, &b));
+        assert!(monotone_score(&a, &c).unwrap() < monotone_score(&b, &c).unwrap());
+    }
+
+    #[test]
+    fn boolean_dimension_scores() {
+        let c = DominanceChecker::complete(SkylineSpec::new(vec![SkylineDim::max(0)]));
+        let yes = Row::new(vec![Value::Boolean(true)]);
+        let no = Row::new(vec![Value::Boolean(false)]);
+        assert!(monotone_score(&yes, &c).unwrap() < monotone_score(&no, &c).unwrap());
+    }
+
+    #[test]
+    fn null_falls_back_to_bnl() {
+        let c = checker();
+        let data = vec![
+            Row::new(vec![Value::Int64(1), Value::Int64(1)]),
+            Row::new(vec![Value::Null, Value::Int64(2)]),
+            Row::new(vec![Value::Int64(5), Value::Int64(0)]),
+        ];
+        let mut stats = SkylineStats::default();
+        let result = sfs_skyline(data.clone(), &c, &mut stats);
+        let mut s2 = SkylineStats::default();
+        assert_eq!(
+            sorted(result),
+            sorted(bnl_skyline(data, &c, &mut s2))
+        );
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let c = DominanceChecker::complete(SkylineSpec::distinct(vec![
+            SkylineDim::min(0),
+            SkylineDim::max(1),
+        ]));
+        let data = rows(&[(1, 9), (1, 9), (1, 9)]);
+        let mut stats = SkylineStats::default();
+        assert_eq!(sfs_skyline(data, &c, &mut stats).len(), 1);
+    }
+
+    #[test]
+    fn diff_dimension_grouping() {
+        let c = DominanceChecker::complete(SkylineSpec::new(vec![
+            SkylineDim::diff(0),
+            SkylineDim::min(1),
+        ]));
+        // Two groups; each keeps its minimum.
+        let data = rows(&[(1, 5), (1, 3), (2, 9), (2, 1), (1, 3)]);
+        let mut stats = SkylineStats::default();
+        let result = sfs_skyline(data, &c, &mut stats);
+        assert_eq!(result.len(), 3); // (1,3) twice + (2,1)
+    }
+}

@@ -1,0 +1,31 @@
+use sparkline::{SessionConfig, SessionContext};
+use sparkline_datagen::{musicbrainz, register_musicbrainz, Variant};
+
+fn main() {
+    for generic in [true, false] {
+        let ctx = SessionContext::with_config(
+            SessionConfig::default().with_generic_optimizations(generic),
+        );
+        register_musicbrainz(&ctx, 250, 5, Variant::Complete).unwrap();
+        let base = musicbrainz::base_query_complete();
+        let reference_sql = format!(
+            "SELECT * FROM ( {base} ) AS o WHERE NOT EXISTS( \
+               SELECT * FROM ( {base} ) AS i WHERE \
+                 i.rating >= o.rating AND i.rating_count >= o.rating_count AND \
+                 i.length <= o.length AND i.video >= o.video AND ( \
+                 i.rating > o.rating OR i.rating_count > o.rating_count OR \
+                 i.length < o.length OR i.video > o.video))"
+        );
+        let r = ctx.sql(&reference_sql).unwrap().collect().unwrap();
+        let i = ctx
+            .sql(&musicbrainz::skyline_query(Variant::Complete, 4))
+            .unwrap()
+            .collect()
+            .unwrap();
+        println!("generic={generic}: reference={} integrated={}", r.num_rows(), i.num_rows());
+        if generic == false && r.num_rows() != i.num_rows() {
+            let ex = ctx.sql(&reference_sql).unwrap().explain().unwrap();
+            println!("{ex}");
+        }
+    }
+}

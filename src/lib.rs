@@ -1,0 +1,12 @@
+//! # skyline-spark
+//!
+//! Root package of the reproduction of *"Integration of Skyline Queries
+//! into Spark SQL"* (EDBT 2023). The engine lives in the `sparkline`
+//! workspace crates; this package hosts the runnable examples
+//! (`examples/`), the cross-crate integration tests (`tests/`), and
+//! re-exports the public API for convenience.
+
+pub use sparkline::*;
+
+/// The dataset generators used by the examples and the evaluation harness.
+pub use sparkline_datagen as datagen;

@@ -1,0 +1,190 @@
+//! Optimizer rules must never change results — only plans and cost. Each
+//! §5.4 rule is checked for semantic neutrality and for actually firing.
+
+use sparkline::{Algorithm, SessionConfig, SessionContext};
+use sparkline_datagen::{register_airbnb, skyline_query_for, airbnb, Variant};
+
+fn session(config: SessionConfig) -> SessionContext {
+    let ctx = SessionContext::with_config(config);
+    register_airbnb(&ctx, 1000, 41, Variant::Complete).unwrap();
+    // A non-reductive join partner (1:1 on id).
+    let rows: Vec<sparkline::Row> = (0..1000i64)
+        .map(|i| sparkline::Row::new(vec![i.into(), ((i * 13) % 50).into()]))
+        .collect();
+    ctx.register_table(
+        "scores",
+        sparkline::Schema::new(vec![
+            sparkline::Field::new("listing_id", sparkline::DataType::Int64, false),
+            sparkline::Field::new("score", sparkline::DataType::Int64, false),
+        ]),
+        rows,
+    )
+    .unwrap();
+    ctx.register_foreign_key("airbnb", "id", "scores", "listing_id");
+    ctx
+}
+
+#[test]
+fn single_dim_rewrite_is_semantically_neutral() {
+    let on = session(SessionConfig::default().with_single_dim_rewrite(true));
+    let off = session(SessionConfig::default().with_single_dim_rewrite(false));
+    for (table, dims, complete) in [("airbnb", &airbnb::SKYLINE_DIMS, true)] {
+        let sql = skyline_query_for(table, dims, 1, complete);
+        let a = on.sql(&sql).unwrap();
+        let b = off.sql(&sql).unwrap();
+        assert!(a.explain().unwrap().contains("MinMaxFilterExec"));
+        assert!(!b.explain().unwrap().contains("MinMaxFilterExec"));
+        assert_eq!(
+            a.collect().unwrap().sorted_display(),
+            b.collect().unwrap().sorted_display()
+        );
+    }
+}
+
+#[test]
+fn single_dim_rewrite_handles_max_direction() {
+    let ctx = session(SessionConfig::default());
+    let sql = "SELECT * FROM airbnb SKYLINE OF accommodates MAX";
+    let result = ctx.sql(sql).unwrap().collect().unwrap();
+    assert!(result.num_rows() >= 1);
+    // All results attain the maximum.
+    let max = result
+        .rows
+        .iter()
+        .map(|r| match r.get(2) {
+            sparkline::Value::Int64(v) => *v,
+            other => panic!("{other:?}"),
+        })
+        .max()
+        .unwrap();
+    assert!(result.rows.iter().all(|r| r.get(2) == &sparkline::Value::Int64(max)));
+}
+
+#[test]
+fn left_outer_join_pushdown_is_semantically_neutral() {
+    let on = session(SessionConfig::default().with_skyline_join_pushdown(true));
+    let off = session(SessionConfig::default().with_skyline_join_pushdown(false));
+    let sql = "SELECT * FROM airbnb LEFT OUTER JOIN scores \
+               ON airbnb.id = scores.listing_id \
+               SKYLINE OF price MIN, accommodates MAX";
+    let a = on.sql(sql).unwrap();
+    let b = off.sql(sql).unwrap();
+    // With the rule: the Skyline sits below the join in the plan.
+    let explain_on = a.explain().unwrap();
+    let plan_section = explain_on
+        .split("== Optimized Logical Plan ==")
+        .nth(1)
+        .unwrap();
+    let sky_pos = plan_section.find("Skyline").unwrap();
+    let join_pos = plan_section.find("Join").unwrap();
+    assert!(sky_pos > join_pos, "skyline below join:\n{explain_on}");
+    assert_eq!(
+        a.collect().unwrap().sorted_display(),
+        b.collect().unwrap().sorted_display()
+    );
+}
+
+#[test]
+fn fk_inner_join_pushdown_is_semantically_neutral() {
+    let on = session(SessionConfig::default().with_skyline_join_pushdown(true));
+    let off = session(SessionConfig::default().with_skyline_join_pushdown(false));
+    // airbnb.id is declared as an FK into scores.listing_id, so every
+    // airbnb row has a partner: the inner join is non-reductive.
+    let sql = "SELECT * FROM airbnb JOIN scores ON airbnb.id = scores.listing_id \
+               SKYLINE OF price MIN, beds MAX";
+    assert_eq!(
+        on.sql(sql).unwrap().collect().unwrap().sorted_display(),
+        off.sql(sql).unwrap().collect().unwrap().sorted_display()
+    );
+}
+
+#[test]
+fn generic_optimizations_are_semantically_neutral() {
+    let on = session(SessionConfig::default().with_generic_optimizations(true));
+    let off = session(SessionConfig::default().with_generic_optimizations(false));
+    let sql = "SELECT price, beds FROM airbnb \
+               WHERE price < 500 AND 1 < 2 AND beds >= 1 \
+               SKYLINE OF price MIN, beds MAX ORDER BY price LIMIT 50";
+    assert_eq!(
+        on.sql(sql).unwrap().collect().unwrap().sorted_display(),
+        off.sql(sql).unwrap().collect().unwrap().sorted_display()
+    );
+}
+
+#[test]
+fn reference_algorithm_explain_shows_anti_join() {
+    let ctx = session(SessionConfig::default());
+    let sql = skyline_query_for("airbnb", &airbnb::SKYLINE_DIMS, 3, true);
+    let explain = ctx
+        .sql(&sql)
+        .unwrap()
+        .explain_with(Algorithm::Reference)
+        .unwrap();
+    assert!(explain.contains("LeftAnti"), "{explain}");
+    assert!(
+        !explain.contains("SkylineExec"),
+        "reference plan must not contain skyline operators:\n{explain}"
+    );
+}
+
+#[test]
+fn angle_partitioning_is_semantically_neutral() {
+    use sparkline::SkylinePartitioning;
+    let standard = session(SessionConfig::default().with_executors(4));
+    let angled = session(
+        SessionConfig::default()
+            .with_executors(4)
+            .with_skyline_partitioning(SkylinePartitioning::AngleBased),
+    );
+    for d in [2usize, 4, 6] {
+        let sql = skyline_query_for("airbnb", &airbnb::SKYLINE_DIMS, d, true);
+        let a = angled.sql(&sql).unwrap();
+        let s = standard.sql(&sql).unwrap();
+        if d > 1 {
+            assert!(
+                a.explain().unwrap().contains("AngleBased"),
+                "{}",
+                a.explain().unwrap()
+            );
+        }
+        assert_eq!(
+            a.collect().unwrap().sorted_display(),
+            s.collect().unwrap().sorted_display(),
+            "dims={d}"
+        );
+    }
+}
+
+#[test]
+fn sort_filter_skyline_algorithm_is_semantically_neutral() {
+    let ctx = session(SessionConfig::default().with_executors(3));
+    for d in [2usize, 4, 6] {
+        let sql = skyline_query_for("airbnb", &airbnb::SKYLINE_DIMS, d, true);
+        let df = ctx.sql(&sql).unwrap();
+        let bnl = df
+            .collect_with_algorithm(Algorithm::DistributedComplete)
+            .unwrap();
+        let sfs = df
+            .collect_with_algorithm(Algorithm::SortFilterSkyline)
+            .unwrap();
+        assert_eq!(bnl.sorted_display(), sfs.sorted_display(), "dims={d}");
+    }
+    let explain = ctx
+        .sql(&skyline_query_for("airbnb", &airbnb::SKYLINE_DIMS, 3, true))
+        .unwrap()
+        .explain_with(Algorithm::SortFilterSkyline)
+        .unwrap();
+    assert!(explain.contains("SFS"), "{explain}");
+}
+
+#[test]
+fn dominance_test_counts_reflect_optimization() {
+    // The single-dimension rewrite eliminates dominance tests entirely.
+    let ctx = session(SessionConfig::default());
+    let sql = skyline_query_for("airbnb", &airbnb::SKYLINE_DIMS, 1, true);
+    let result = ctx.sql(&sql).unwrap().collect().unwrap();
+    assert_eq!(result.metrics.dominance_tests, 0, "MinMax scan needs none");
+    let sql6 = skyline_query_for("airbnb", &airbnb::SKYLINE_DIMS, 6, true);
+    let result6 = ctx.sql(&sql6).unwrap().collect().unwrap();
+    assert!(result6.metrics.dominance_tests > 0);
+}

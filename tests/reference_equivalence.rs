@@ -1,0 +1,165 @@
+//! The paper's §5.9 correctness validation: the integrated skyline
+//! computation yields the same result as the equivalent plain-SQL query in
+//! the style of Listing 4 — across datasets, dimension counts, algorithms,
+//! and executor counts.
+
+use sparkline::{Algorithm, SessionConfig, SessionContext};
+use sparkline_datagen::{
+    airbnb, register_airbnb, register_store_sales, skyline_query_for, store_sales, Variant,
+};
+
+/// Build the Listing 4 plain-SQL rewrite for a base table.
+fn reference_sql(table: &str, dims: &[(&str, &str)], d: usize) -> String {
+    let weak: Vec<String> = dims[..d]
+        .iter()
+        .map(|(c, ty)| match *ty {
+            "MIN" => format!("i.{c} <= o.{c}"),
+            "MAX" => format!("i.{c} >= o.{c}"),
+            _ => format!("i.{c} = o.{c}"),
+        })
+        .collect();
+    let strict: Vec<String> = dims[..d]
+        .iter()
+        .filter(|(_, ty)| *ty != "DIFF")
+        .map(|(c, ty)| match *ty {
+            "MIN" => format!("i.{c} < o.{c}"),
+            _ => format!("i.{c} > o.{c}"),
+        })
+        .collect();
+    format!(
+        "SELECT * FROM {table} AS o WHERE NOT EXISTS( \
+           SELECT * FROM {table} AS i WHERE {} AND ({}))",
+        weak.join(" AND "),
+        strict.join(" OR ")
+    )
+}
+
+#[test]
+fn airbnb_integrated_equals_handwritten_reference() {
+    let ctx = SessionContext::new();
+    register_airbnb(&ctx, 1200, 11, Variant::Complete).unwrap();
+    for d in 1..=6 {
+        let integrated = ctx
+            .sql(&skyline_query_for("airbnb", &airbnb::SKYLINE_DIMS, d, true))
+            .unwrap()
+            .collect()
+            .unwrap();
+        let reference = ctx
+            .sql(&reference_sql("airbnb", &airbnb::SKYLINE_DIMS, d))
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(
+            integrated.sorted_display(),
+            reference.sorted_display(),
+            "dims={d}"
+        );
+    }
+}
+
+#[test]
+fn store_sales_integrated_equals_reference_algorithm() {
+    let ctx = SessionContext::new();
+    register_store_sales(&ctx, 1500, 13, Variant::Complete).unwrap();
+    for d in [2usize, 4, 6] {
+        let df = ctx
+            .sql(&skyline_query_for(
+                "store_sales",
+                &store_sales::SKYLINE_DIMS,
+                d,
+                true,
+            ))
+            .unwrap();
+        let integrated = df.collect().unwrap();
+        let reference = df.collect_with_algorithm(Algorithm::Reference).unwrap();
+        assert_eq!(
+            integrated.sorted_display(),
+            reference.sorted_display(),
+            "dims={d}"
+        );
+    }
+}
+
+#[test]
+fn all_algorithms_and_executor_counts_agree_on_complete_data() {
+    let base = SessionContext::new();
+    register_airbnb(&base, 800, 17, Variant::Complete).unwrap();
+    let sql = skyline_query_for("airbnb", &airbnb::SKYLINE_DIMS, 4, true);
+    let expected = base.sql(&sql).unwrap().collect().unwrap().sorted_display();
+    assert!(!expected.is_empty());
+    for executors in [1usize, 3, 7] {
+        let ctx = base.with_shared_catalog(SessionConfig::default().with_executors(executors));
+        for algorithm in Algorithm::paper_algorithms() {
+            let got = ctx
+                .sql(&sql)
+                .unwrap()
+                .collect_with_algorithm(algorithm)
+                .unwrap();
+            assert_eq!(
+                got.sorted_display(),
+                expected,
+                "{} with {executors} executors",
+                algorithm.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn diff_dimension_equivalence() {
+    // DIFF partitions the skyline per group (Definition 3.1); the
+    // reference rewrite expresses it as an equality conjunct.
+    let ctx = SessionContext::new();
+    register_store_sales(&ctx, 800, 23, Variant::Complete).unwrap();
+    let integrated = ctx
+        .sql(
+            "SELECT * FROM store_sales \
+             SKYLINE OF COMPLETE ss_quantity DIFF, ss_wholesale_cost MIN, \
+             ss_list_price MIN",
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    let reference = ctx
+        .sql(
+            "SELECT * FROM store_sales AS o WHERE NOT EXISTS( \
+               SELECT * FROM store_sales AS i WHERE \
+                 i.ss_quantity = o.ss_quantity AND \
+                 i.ss_wholesale_cost <= o.ss_wholesale_cost AND \
+                 i.ss_list_price <= o.ss_list_price AND ( \
+                 i.ss_wholesale_cost < o.ss_wholesale_cost OR \
+                 i.ss_list_price < o.ss_list_price))",
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(integrated.sorted_display(), reference.sorted_display());
+    // Every quantity group contributes at least one tuple.
+    assert!(integrated.num_rows() >= 90);
+}
+
+#[test]
+fn skyline_over_filtered_subquery_equals_reference() {
+    let ctx = SessionContext::new();
+    register_airbnb(&ctx, 1000, 29, Variant::Complete).unwrap();
+    let integrated = ctx
+        .sql(
+            "SELECT price, beds FROM airbnb WHERE accommodates >= 4 \
+             SKYLINE OF price MIN, beds MAX",
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    let reference = ctx
+        .sql(
+            "SELECT price, beds FROM airbnb AS o WHERE accommodates >= 4 \
+             AND NOT EXISTS( \
+               SELECT * FROM airbnb AS i WHERE i.accommodates >= 4 AND \
+                 i.price <= o.price AND i.beds >= o.beds AND \
+                 (i.price < o.price OR i.beds > o.beds))",
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(integrated.sorted_display(), reference.sorted_display());
+}
