@@ -213,8 +213,8 @@ impl<'a> Analyzer<'a> {
                 let keys: Vec<Expr> = exprs.iter().map(|s| s.expr.clone()).collect();
                 let spec: Vec<(bool, bool)> =
                     exprs.iter().map(|s| (s.asc, s.nulls_first)).collect();
-                let rebuild = move |new_keys: Vec<Expr>, new_input: LogicalPlan| {
-                    LogicalPlan::Sort {
+                let rebuild =
+                    move |new_keys: Vec<Expr>, new_input: LogicalPlan| LogicalPlan::Sort {
                         exprs: new_keys
                             .into_iter()
                             .zip(spec.iter())
@@ -225,8 +225,7 @@ impl<'a> Analyzer<'a> {
                             })
                             .collect(),
                         input: Arc::new(new_input),
-                    }
-                };
+                    };
                 self.resolve_operator_exprs(keys, &input, outer, rebuild)
                     .map(|resolved| resolved.unwrap_or(LogicalPlan::Sort { exprs, input }))
             }
@@ -268,10 +267,9 @@ impl<'a> Analyzer<'a> {
                     });
                 }
                 let children: Vec<Expr> = dims.iter().map(|d| d.child.clone()).collect();
-                let types: Vec<sparkline_common::SkylineType> =
-                    dims.iter().map(|d| d.ty).collect();
-                let rebuild = move |new_children: Vec<Expr>, new_input: LogicalPlan| {
-                    LogicalPlan::Skyline {
+                let types: Vec<sparkline_common::SkylineType> = dims.iter().map(|d| d.ty).collect();
+                let rebuild =
+                    move |new_children: Vec<Expr>, new_input: LogicalPlan| LogicalPlan::Skyline {
                         distinct,
                         complete,
                         dims: new_children
@@ -280,8 +278,7 @@ impl<'a> Analyzer<'a> {
                             .map(|(child, &ty)| SkylineDimension { child, ty })
                             .collect(),
                         input: Arc::new(new_input),
-                    }
-                };
+                    };
                 self.resolve_operator_exprs(children, &input, outer, rebuild)
                     .map(|resolved| {
                         resolved.unwrap_or(LogicalPlan::Skyline {
@@ -308,9 +305,7 @@ impl<'a> Analyzer<'a> {
                     });
                 }
                 match condition {
-                    JoinCondition::Using(cols) => {
-                        self.desugar_using(left, right, join_type, cols)
-                    }
+                    JoinCondition::Using(cols) => self.desugar_using(left, right, join_type, cols),
                     JoinCondition::On(e) => {
                         let combined = left.schema()?.join(right.schema()?.as_ref());
                         let scope = Scope::with_outer(&combined, outer);
@@ -437,12 +432,9 @@ impl<'a> Analyzer<'a> {
         {
             let proj_input_schema = proj_input.schema()?;
             let proj_output_schema = input.schema()?;
-            if let Some((new_exprs, new_proj)) = add_missing_columns(
-                exprs,
-                proj_exprs,
-                &proj_input_schema,
-                &proj_output_schema,
-            )? {
+            if let Some((new_exprs, new_proj)) =
+                add_missing_columns(exprs, proj_exprs, &proj_input_schema, &proj_output_schema)?
+            {
                 if new_exprs.iter().any(|e| !e.resolved()) {
                     return Ok(None);
                 }
@@ -492,9 +484,9 @@ impl<'a> Analyzer<'a> {
             left,
             right,
             join_type,
-            condition: JoinCondition::On(condition.ok_or_else(|| {
-                Error::analysis("USING requires at least one column")
-            })?),
+            condition: JoinCondition::On(
+                condition.ok_or_else(|| Error::analysis("USING requires at least one column"))?,
+            ),
         };
         if !join_type.emits_right() {
             return Ok(join);

@@ -134,11 +134,7 @@ mod tests {
         let inner = schema().with_qualifier("i");
         let outer = schema().with_qualifier("o");
         let scope = Scope::with_outer(&inner, Some(&outer));
-        let e = resolve_expr(
-            Expr::qcol("i", "a").lt_eq(Expr::qcol("o", "a")),
-            &scope,
-        )
-        .unwrap();
+        let e = resolve_expr(Expr::qcol("i", "a").lt_eq(Expr::qcol("o", "a")), &scope).unwrap();
         assert_eq!(e.to_string(), "(i.a#0 <= outer(o.a#0))");
     }
 

@@ -61,9 +61,7 @@ pub fn resolve_exprs_against_aggregate(
     let mut extras: Vec<Expr> = Vec::new();
     let base_len = result_exprs.len();
 
-    let bind_to_output = |candidate: Expr,
-                              extras: &mut Vec<Expr>|
-     -> Expr {
+    let bind_to_output = |candidate: Expr, extras: &mut Vec<Expr>| -> Expr {
         // Match against existing result expressions first.
         for (i, r) in result_exprs.iter().enumerate() {
             if strip_alias(r) == &candidate {
@@ -106,9 +104,7 @@ pub fn resolve_exprs_against_aggregate(
                     Expr::Column(c) => {
                         // Bind against the aggregate output (group columns,
                         // aliases).
-                        if let Some(i) =
-                            output_schema.find(c.qualifier.as_deref(), &c.name)?
-                        {
+                        if let Some(i) = output_schema.find(c.qualifier.as_deref(), &c.name)? {
                             return Ok(Expr::BoundColumn(BoundColumn {
                                 index: i,
                                 field: output_schema.field(i).clone(),
@@ -116,9 +112,7 @@ pub fn resolve_exprs_against_aggregate(
                         }
                         // Otherwise: maybe a grouped input column that was
                         // not selected.
-                        if let Some(i) =
-                            input_schema.find(c.qualifier.as_deref(), &c.name)?
-                        {
+                        if let Some(i) = input_schema.find(c.qualifier.as_deref(), &c.name)? {
                             let bound = Expr::BoundColumn(BoundColumn {
                                 index: i,
                                 field: input_schema.field(i).clone(),
@@ -175,8 +169,7 @@ pub fn add_missing_columns(
 ) -> Result<Option<(Vec<Expr>, Vec<Expr>)>> {
     let mut new_proj = proj_exprs.to_vec();
     // Fields of the (growing) projection output, for binding.
-    let mut out_fields: Vec<sparkline_common::Field> =
-        proj_output_schema.fields().to_vec();
+    let mut out_fields: Vec<sparkline_common::Field> = proj_output_schema.fields().to_vec();
     let mut changed = false;
 
     let rewritten: Vec<Expr> = exprs

@@ -8,9 +8,9 @@ use sparkline_plan::{Expr, JoinCondition, LogicalPlan};
 /// Validate a fully analyzed plan. Returns the first problem found.
 pub fn validate(plan: &LogicalPlan) -> Result<()> {
     if !plan.resolved() {
-        return Err(Error::analysis(first_unresolved(plan).unwrap_or_else(|| {
-            "plan did not fully resolve".to_string()
-        })));
+        return Err(Error::analysis(
+            first_unresolved(plan).unwrap_or_else(|| "plan did not fully resolve".to_string()),
+        ));
     }
     validate_node(plan)
 }
@@ -148,7 +148,9 @@ fn validate_node(plan: &LogicalPlan) -> Result<()> {
         },
         LogicalPlan::Skyline { dims, input, .. } => {
             if dims.is_empty() {
-                return Err(Error::analysis("SKYLINE OF requires at least one dimension"));
+                return Err(Error::analysis(
+                    "SKYLINE OF requires at least one dimension",
+                ));
             }
             // The incomplete pipeline encodes NULL patterns in a u64 bitmap
             // (§5.7); 64 dimensions is far beyond any practical skyline.
@@ -206,9 +208,7 @@ fn check_result_expr(e: &Expr, group_exprs: &[Expr]) -> Result<()> {
         Expr::Aggregate { arg, .. } => {
             if let Some(a) = arg {
                 if a.contains_aggregate() {
-                    return Err(Error::analysis(format!(
-                        "nested aggregate in '{stripped}'"
-                    )));
+                    return Err(Error::analysis(format!("nested aggregate in '{stripped}'")));
                 }
             }
             Ok(())

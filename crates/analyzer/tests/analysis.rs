@@ -114,9 +114,8 @@ fn non_boolean_filter_reported() {
 
 #[test]
 fn resolves_skyline_dimensions_listing_2() {
-    let plan = analyze(
-        "SELECT price, user_rating FROM hotels SKYLINE OF price MIN, user_rating MAX",
-    );
+    let plan =
+        analyze("SELECT price, user_rating FROM hotels SKYLINE OF price MIN, user_rating MAX");
     assert!(plan.resolved());
     match &plan {
         LogicalPlan::Skyline { dims, .. } => {
@@ -205,9 +204,8 @@ fn having_reuses_existing_aggregate() {
 /// filter sits between Sort and Aggregate.
 #[test]
 fn sort_on_aggregate_through_having_filter() {
-    let plan = analyze(
-        "SELECT k, sum(v) FROM sales GROUP BY k HAVING sum(v) > 0 ORDER BY count(*) DESC",
-    );
+    let plan =
+        analyze("SELECT k, sum(v) FROM sales GROUP BY k HAVING sum(v) > 0 ORDER BY count(*) DESC");
     assert!(plan.resolved(), "plan:\n{plan}");
     let schema = plan.schema().unwrap();
     assert_eq!(schema.len(), 2, "output restored:\n{plan}");
@@ -244,7 +242,10 @@ fn using_join_is_desugared() {
     let plan = analyze("SELECT hotels.price FROM hotels JOIN track USING (id)");
     assert!(plan.resolved(), "plan:\n{plan}");
     let d = plan.display_indent();
-    assert!(d.contains("Join [Inner, on: (hotels.id#0 = track.id#4)]"), "{d}");
+    assert!(
+        d.contains("Join [Inner, on: (hotels.id#0 = track.id#4)]"),
+        "{d}"
+    );
     // The merged column keeps a single copy: 4 hotel columns + 2 track
     // columns (id dropped).
     fn find_using_projection(plan: &LogicalPlan) -> Option<usize> {
@@ -253,7 +254,9 @@ fn using_join_is_desugared() {
                 return Some(exprs.len());
             }
         }
-        plan.children().iter().find_map(|c| find_using_projection(c))
+        plan.children()
+            .iter()
+            .find_map(|c| find_using_projection(c))
     }
     assert_eq!(find_using_projection(&plan), Some(6), "{d}");
 }

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sparkline::{Algorithm, SessionConfig, SessionContext};
-use sparkline_datagen::{register_airbnb, skyline_query_for, airbnb, Variant};
+use sparkline_datagen::{airbnb, register_airbnb, skyline_query_for, Variant};
 use sparkline_parser::parse_query;
 use std::hint::black_box;
 
@@ -45,7 +45,10 @@ fn bench_integrated_vs_reference(c: &mut Criterion) {
     let mut group = c.benchmark_group("integrated_vs_reference");
     group.sample_size(10);
     group.bench_function("integrated", |b| {
-        b.iter(|| df.collect_with_algorithm(Algorithm::DistributedComplete).unwrap())
+        b.iter(|| {
+            df.collect_with_algorithm(Algorithm::DistributedComplete)
+                .unwrap()
+        })
     });
     group.bench_function("reference", |b| {
         b.iter(|| df.collect_with_algorithm(Algorithm::Reference).unwrap())
@@ -58,10 +61,14 @@ fn bench_single_dim_rewrite_ablation(c: &mut Criterion) {
     let base = session(20_000);
     let sql = skyline_query_for("airbnb", &airbnb::SKYLINE_DIMS, 1, true);
     let with_rule = base.with_shared_catalog(
-        SessionConfig::default().with_executors(4).with_single_dim_rewrite(true),
+        SessionConfig::default()
+            .with_executors(4)
+            .with_single_dim_rewrite(true),
     );
     let without_rule = base.with_shared_catalog(
-        SessionConfig::default().with_executors(4).with_single_dim_rewrite(false),
+        SessionConfig::default()
+            .with_executors(4)
+            .with_single_dim_rewrite(false),
     );
     let mut group = c.benchmark_group("single_dim_rewrite");
     group.sample_size(10);

@@ -63,7 +63,9 @@ fn main() {
                 return;
             }
             "--help" | "-h" => usage_and_exit(),
-            other if other.starts_with("fig") => selected.push(other.to_string()),
+            other if other.starts_with("fig") || other.starts_with("ext") => {
+                selected.push(other.to_string())
+            }
             other => {
                 eprintln!("unknown argument '{other}'");
                 usage_and_exit();

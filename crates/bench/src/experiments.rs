@@ -29,8 +29,8 @@ pub struct Report {
 /// All experiment ids, in paper order.
 pub fn all_ids() -> Vec<&'static str> {
     vec![
-        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+        "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ext1", "ext2",
     ]
 }
 
@@ -56,6 +56,8 @@ pub fn run(id: &str, ctx: &mut EvalContext, quick: bool) -> Vec<Report> {
         "fig17" => musicbrainz_dims_grid(ctx, quick, "fig17", Metric::Memory),
         "fig18" => musicbrainz_executors_grid(ctx, quick, "fig18", Metric::Time),
         "fig19" => musicbrainz_executors_grid(ctx, quick, "fig19", Metric::Memory),
+        "ext1" => ext1_partitioning_schemes(ctx, quick),
+        "ext2" => ext2_hierarchical_merge(ctx, quick),
         other => panic!("unknown experiment '{other}'; known: {:?}", all_ids()),
     }
 }
@@ -150,12 +152,7 @@ impl DataSource {
     }
 }
 
-fn dim_query(
-    table: &str,
-    dims: &[(&str, &str)],
-    d: usize,
-    variant: Variant,
-) -> String {
+fn dim_query(table: &str, dims: &[(&str, &str)], d: usize, variant: Variant) -> String {
     skyline_query_for(table, dims, d, variant == Variant::Complete)
 }
 
@@ -427,8 +424,7 @@ fn fig9(ctx: &mut EvalContext, quick: bool) -> Vec<Report> {
             .collect();
         for &e in &executor_counts {
             let points = vec![(e.to_string(), sql.clone())];
-            let partial =
-                run_series(ctx, &algorithms(variant), e, &points, Metric::Memory, false);
+            let partial = run_series(ctx, &algorithms(variant), e, &points, Metric::Memory, false);
             for ((_, cells), (_, new)) in series.iter_mut().zip(partial) {
                 cells.extend(new);
             }
@@ -452,7 +448,15 @@ fn fig10(ctx: &mut EvalContext, quick: bool) -> Vec<Report> {
     let executor_grid: &[usize] = if quick { &[3] } else { &[3, 5, 10] };
     let mut out = Vec::new();
     for &e in executor_grid {
-        out.extend(tuples_sweep(ctx, quick, "fig10", e, Metric::Memory, false, 0));
+        out.extend(tuples_sweep(
+            ctx,
+            quick,
+            "fig10",
+            e,
+            Metric::Memory,
+            false,
+            0,
+        ));
     }
     out
 }
@@ -466,11 +470,7 @@ fn grid_dims_by_executors(
     id: &str,
     source: DataSource,
 ) -> Vec<Report> {
-    let executor_grid: Vec<usize> = if quick {
-        vec![2, 5]
-    } else {
-        vec![2, 3, 5, 10]
-    };
+    let executor_grid: Vec<usize> = if quick { vec![2, 5] } else { vec![2, 3, 5, 10] };
     let mut out = Vec::new();
     for &e in &executor_grid {
         for variant in [Variant::Complete, Variant::Incomplete] {
@@ -479,8 +479,7 @@ fn grid_dims_by_executors(
                 .iter()
                 .map(|&d| (d.to_string(), dim_query(&table, source.dims(), d, variant)))
                 .collect();
-            let series =
-                run_series(ctx, &algorithms(variant), e, &points, Metric::Time, false);
+            let series = run_series(ctx, &algorithms(variant), e, &points, Metric::Time, false);
             out.push(Report {
                 id: id.into(),
                 title: format!(
@@ -554,14 +553,8 @@ fn grid_executors_by_dims(
                         .collect();
                     for &e in &executor_counts {
                         let points = vec![(e.to_string(), sql.clone())];
-                        let partial = run_series(
-                            ctx,
-                            &algorithms(variant),
-                            e,
-                            &points,
-                            Metric::Time,
-                            false,
-                        );
+                        let partial =
+                            run_series(ctx, &algorithms(variant), e, &points, Metric::Time, false);
                         for ((_, cells), (_, new)) in series.iter_mut().zip(partial) {
                             cells.extend(new);
                         }
@@ -676,4 +669,112 @@ fn metric_name(metric: Metric) -> &'static str {
         Metric::Time => "execution time",
         Metric::Memory => "memory consumption",
     }
+}
+
+// ---------------------------------------------------------------------
+// Extension experiments (beyond the paper): the pluggable partitioning
+// subsystem and the hierarchical global merge.
+// ---------------------------------------------------------------------
+
+/// ext1: partitioning schemes vs dimensions on an anti-correlated dataset
+/// (the workload where local pruning power matters most). One series per
+/// scheme, all running the distributed complete algorithm.
+fn ext1_partitioning_schemes(ctx: &mut EvalContext, quick: bool) -> Vec<Report> {
+    use sparkline::{SessionConfig, SkylinePartitioning};
+    let n = if quick { 2_000 } else { 10_000 };
+    let max_dims = 3usize;
+    let (table, _rows) = ctx.anti_correlated(n, max_dims);
+    let dims_points: Vec<usize> = vec![2, 3];
+    let schemes = [
+        ("standard", SkylinePartitioning::Standard),
+        ("even", SkylinePartitioning::Even),
+        ("hash", SkylinePartitioning::Hash),
+        ("angle", SkylinePartitioning::AngleBased),
+        ("grid", SkylinePartitioning::Grid),
+    ];
+    let mut series = Vec::new();
+    for (label, scheme) in schemes {
+        let mut cells = Vec::new();
+        for &d in &dims_points {
+            let dim_list = (0..d)
+                .map(|i| format!("d{i} MIN"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let sql = format!("SELECT * FROM {table} SKYLINE OF COMPLETE {dim_list}");
+            eprint!("    [{label:<10}] dims={d} ... ");
+            let config = SessionConfig::default()
+                .with_executors(5)
+                .with_skyline_partitioning(scheme);
+            let m = ctx
+                .run_with_config(&sql, Algorithm::DistributedComplete, config)
+                .unwrap_or_else(|e| panic!("ext1 failed ({sql}): {e}"));
+            eprintln!("{:.3}s ({} rows)", m.secs.unwrap_or_default(), m.rows);
+            cells.push(Cell::from_measurement(&m, Metric::Time));
+        }
+        series.push((label.to_string(), cells));
+    }
+    vec![Report {
+        id: "ext1".into(),
+        title: format!(
+            "Extension 1: partitioning schemes, anti-correlated ({n} rows, 5 executors)"
+        ),
+        x_label: "dimensions",
+        x_values: dims_points.iter().map(|d| d.to_string()).collect(),
+        series,
+        metric: Metric::Time,
+        with_relative: false,
+    }]
+}
+
+/// ext2: flat vs hierarchical global merge over the executor count. The
+/// hierarchical merge pays off once the gathered local skylines are large
+/// enough that the single-executor global pass dominates the runtime.
+fn ext2_hierarchical_merge(ctx: &mut EvalContext, quick: bool) -> Vec<Report> {
+    use sparkline::SessionConfig;
+    let n = if quick { 2_000 } else { 20_000 };
+    let (table, _rows) = ctx.anti_correlated(n, 3);
+    let sql = format!("SELECT * FROM {table} SKYLINE OF COMPLETE d0 MIN, d1 MIN, d2 MIN");
+    let executor_counts: Vec<usize> = if quick { vec![2, 5] } else { vec![2, 5, 10] };
+    type ConfigFor = Box<dyn Fn(usize) -> SessionConfig>;
+    let variants: [(&str, ConfigFor); 2] = [
+        (
+            "flat merge",
+            Box::new(|e| {
+                SessionConfig::default()
+                    .with_executors(e)
+                    .with_hierarchical_merge_min_partitions(usize::MAX)
+            }),
+        ),
+        (
+            "hierarchical merge",
+            Box::new(|e| {
+                SessionConfig::default()
+                    .with_executors(e)
+                    .with_hierarchical_merge_min_partitions(2)
+                    .with_merge_fan_in(2)
+            }),
+        ),
+    ];
+    let mut series = Vec::new();
+    for (label, mk_config) in &variants {
+        let mut cells = Vec::new();
+        for &e in &executor_counts {
+            eprint!("    [{label:<20}] executors={e} ... ");
+            let m = ctx
+                .run_with_config(&sql, Algorithm::DistributedComplete, mk_config(e))
+                .unwrap_or_else(|err| panic!("ext2 failed ({sql}): {err}"));
+            eprintln!("{:.3}s ({} rows)", m.secs.unwrap_or_default(), m.rows);
+            cells.push(Cell::from_measurement(&m, Metric::Time));
+        }
+        series.push((label.to_string(), cells));
+    }
+    vec![Report {
+        id: "ext2".into(),
+        title: format!("Extension 2: flat vs hierarchical global merge ({n} rows)"),
+        x_label: "executors",
+        x_values: executor_counts.iter().map(|e| e.to_string()).collect(),
+        series,
+        metric: Metric::Time,
+        with_relative: false,
+    }]
 }

@@ -6,9 +6,7 @@ use std::collections::HashSet;
 use std::time::Duration;
 
 use sparkline::{Algorithm, Error, SessionConfig, SessionContext};
-use sparkline_datagen::{
-    register_airbnb, register_musicbrainz, Variant,
-};
+use sparkline_datagen::{register_airbnb, register_musicbrainz, Variant};
 
 /// What an experiment measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,11 +142,7 @@ impl EvalContext {
         };
         let name = format!("store_sales_{label}{}", variant.suffix());
         if self.registered.insert(name.clone()) {
-            let d = sparkline_datagen::store_sales::generate(
-                size,
-                self.settings.seed,
-                variant,
-            );
+            let d = sparkline_datagen::store_sales::generate(size, self.settings.seed, variant);
             let schema = d.schema;
             let rows = d.rows;
             self.base
@@ -179,6 +173,29 @@ impl EvalContext {
         (name, rows)
     }
 
+    /// Ensure a synthetic anti-correlated table (`dims` Float64 columns
+    /// `d0..d{dims-1}`) of `n` rows exists — the hardest skyline workload,
+    /// used by the partitioning-scheme experiments.
+    pub fn anti_correlated(&mut self, n: usize, dims: usize) -> (String, usize) {
+        use sparkline::{DataType, Field, Schema};
+        let name = format!("anti_{n}_{dims}");
+        if self.registered.insert(name.clone()) {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(self.settings.seed);
+            let rows = sparkline_datagen::distributions::anti_correlated_rows(&mut rng, n, dims);
+            let schema = Schema::new(
+                (0..dims)
+                    .map(|i| Field::new(format!("d{i}"), DataType::Float64, false))
+                    .collect(),
+            );
+            self.base
+                .register_table(name.clone(), schema, rows)
+                .expect("anti-correlated registration");
+        }
+        let rows = self.base.table_row_count(&name).unwrap_or(0);
+        (name, rows)
+    }
+
     /// Run one cell: `sql` under `algorithm` with `executors`.
     pub fn run(
         &self,
@@ -189,6 +206,19 @@ impl EvalContext {
         let config = SessionConfig::default()
             .with_executors(executors)
             .with_timeout(self.settings.timeout);
+        self.run_with_config(sql, algorithm, config)
+    }
+
+    /// Run one cell under a fully custom [`SessionConfig`] — the
+    /// partitioning / hierarchical-merge experiments use this to sweep the
+    /// strategy knobs the default [`EvalContext::run`] leaves alone.
+    pub fn run_with_config(
+        &self,
+        sql: &str,
+        algorithm: Algorithm,
+        config: SessionConfig,
+    ) -> sparkline::Result<Measurement> {
+        let config = config.with_timeout(self.settings.timeout);
         let ctx = self.base.with_shared_catalog(config);
         let df = ctx.sql(sql)?;
         match df.collect_with_algorithm(algorithm) {

@@ -46,18 +46,47 @@ impl SkylineStrategy {
 /// partitioned across executors.
 ///
 /// `Standard` keeps the child's distribution, "avoid[ing] unnecessary
-/// communication cost" (paper §2/§5.6). `AngleBased` implements the
-/// future-work alternative of Vlachou et al. cited in §7: tuples are
-/// redistributed by the angle of their (normalized) first two ranked
-/// dimensions, so tuples competing on the same trade-off land on the same
-/// executor and local pruning improves.
+/// communication cost" (paper §2/§5.6). The remaining variants select a
+/// strategy from the pluggable partitioning subsystem in
+/// `sparkline_exec::partitioner`; all of them are semantically neutral
+/// (the two-phase skyline is sound under any partitioning of complete
+/// data), differing only in balance and local pruning power.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SkylinePartitioning {
     /// Inherit the input partitioning (the paper's choice).
     #[default]
     Standard,
-    /// Angle-based repartitioning before the local phase (extension).
+    /// Contiguous even re-split across the executor count.
+    Even,
+    /// Hash on the skyline-dimension values: identical trade-offs share an
+    /// executor, collapsing ties during the local phase.
+    Hash,
+    /// Angle-based repartitioning before the local phase (Vlachou et al.,
+    /// the paper's §7 future work).
     AngleBased,
+    /// MR-GRID-style grid partitioning with dominated-cell pruning: cells
+    /// whose best corner is dominated by another cell's worst corner are
+    /// dropped before any local skyline runs.
+    Grid,
+}
+
+/// How the global skyline phase combines the gathered local skylines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MergeStrategy {
+    /// The paper's plan: gather everything onto one executor (`AllTuples`)
+    /// and run a single BNL/SFS pass — the serial bottleneck of §6.4.
+    #[default]
+    Flat,
+    /// Hierarchical (tree) merge: local skylines are merged in k-way
+    /// rounds fanned over the executor pool until one partition remains.
+    /// Always produces the same row *set* as the flat merge; with the
+    /// default BNL windows the output order is identical too (SFS order
+    /// can differ when its non-numeric fallback engages — see
+    /// `GlobalSkylineExec`).
+    Hierarchical {
+        /// How many partitions one merge task combines per round (>= 2).
+        fan_in: usize,
+    },
 }
 
 /// Per-session engine configuration.
@@ -76,6 +105,15 @@ pub struct SessionConfig {
     pub skyline_strategy: SkylineStrategy,
     /// Partitioning scheme for the distributed complete local phase.
     pub skyline_partitioning: SkylinePartitioning,
+    /// Buckets per dimension for [`SkylinePartitioning::Grid`] (>= 2).
+    pub grid_cells_per_dim: usize,
+    /// Fan-in of one hierarchical merge task (>= 2).
+    pub merge_fan_in: usize,
+    /// Minimum partition count (== executor count) at which the planner
+    /// replaces the flat single-executor global merge with the
+    /// hierarchical tree merge. Below it the tree degenerates to the flat
+    /// plan anyway, so the exchange-free path is not worth the plan churn.
+    pub hierarchical_merge_min_partitions: usize,
     /// Enable the §5.4 rewrite of single-dimension skylines into an O(n)
     /// min/max scan + filter.
     pub enable_single_dim_rewrite: bool,
@@ -97,6 +135,9 @@ impl Default for SessionConfig {
             timeout: None,
             skyline_strategy: SkylineStrategy::Auto,
             skyline_partitioning: SkylinePartitioning::Standard,
+            grid_cells_per_dim: 4,
+            merge_fan_in: 4,
+            hierarchical_merge_min_partitions: 4,
             enable_single_dim_rewrite: true,
             enable_skyline_join_pushdown: true,
             enable_generic_optimizations: true,
@@ -135,6 +176,27 @@ impl SessionConfig {
     /// Choose the local-phase partitioning scheme.
     pub fn with_skyline_partitioning(mut self, partitioning: SkylinePartitioning) -> Self {
         self.skyline_partitioning = partitioning;
+        self
+    }
+
+    /// Set the grid granularity (buckets per dimension, >= 2).
+    pub fn with_grid_cells_per_dim(mut self, cells: usize) -> Self {
+        assert!(cells >= 2, "a grid needs at least 2 cells per dimension");
+        self.grid_cells_per_dim = cells;
+        self
+    }
+
+    /// Set the hierarchical-merge fan-in (>= 2).
+    pub fn with_merge_fan_in(mut self, fan_in: usize) -> Self {
+        assert!(fan_in >= 2, "merge fan-in must be at least 2");
+        self.merge_fan_in = fan_in;
+        self
+    }
+
+    /// Set the partition count at which the hierarchical merge engages.
+    /// `usize::MAX` effectively forces the flat single-executor merge.
+    pub fn with_hierarchical_merge_min_partitions(mut self, min: usize) -> Self {
+        self.hierarchical_merge_min_partitions = min;
         self
     }
 

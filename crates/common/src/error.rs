@@ -97,7 +97,10 @@ impl fmt::Display for Error {
             Error::Timeout {
                 elapsed_ms,
                 limit_ms,
-            } => write!(f, "query timed out after {elapsed_ms} ms (limit {limit_ms} ms)"),
+            } => write!(
+                f,
+                "query timed out after {elapsed_ms} ms (limit {limit_ms} ms)"
+            ),
             Error::Internal(m) => write!(f, "internal error (engine bug): {m}"),
         }
     }

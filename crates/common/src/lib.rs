@@ -16,13 +16,15 @@ pub mod error;
 pub mod row;
 pub mod schema;
 pub mod skyline;
+pub mod strategy;
 pub mod types;
 pub mod value;
 
-pub use config::{SessionConfig, SkylinePartitioning, SkylineStrategy};
+pub use config::{MergeStrategy, SessionConfig, SkylinePartitioning, SkylineStrategy};
 pub use error::{Error, Result};
 pub use row::Row;
 pub use schema::{Field, Schema, SchemaRef};
 pub use skyline::{SkylineDim, SkylineSpec, SkylineType};
+pub use strategy::{SkylineMeta, SkylinePlan};
 pub use types::DataType;
 pub use value::Value;

@@ -27,7 +27,9 @@ impl Row {
     /// The empty row (zero columns), used as the input of a `VALUES`-less
     /// projection such as `SELECT 1`.
     pub fn empty() -> Self {
-        Row { values: Arc::new([]) }
+        Row {
+            values: Arc::new([]),
+        }
     }
 
     /// Number of columns.
@@ -70,7 +72,11 @@ impl Row {
     /// Approximate in-memory footprint, used for memory accounting.
     pub fn estimated_bytes(&self) -> usize {
         // Arc<[Value]> header (ptr + len + refcounts) plus per-value payload.
-        32 + self.values.iter().map(Value::estimated_bytes).sum::<usize>()
+        32 + self
+            .values
+            .iter()
+            .map(Value::estimated_bytes)
+            .sum::<usize>()
     }
 }
 

@@ -1,0 +1,200 @@
+//! Skyline physical-strategy selection.
+//!
+//! The paper's Listing 8 chooses between the complete and incomplete
+//! algorithm from one bit of plan metadata (can a skyline dimension be
+//! NULL?). This module generalizes that into a single, testable decision
+//! point consumed by the physical planner: given the [`SessionConfig`] and
+//! the [`SkylineMeta`] extracted from the plan, [`SkylinePlan::select`]
+//! fixes the algorithm family, the local-phase partitioning scheme, and
+//! the global merge strategy. Keeping the decision here (rather than
+//! inlined in the planner) lets the optimizer, the planner, and the
+//! benchmark harness agree on one notion of "what will this query run".
+
+use crate::config::{MergeStrategy, SessionConfig, SkylinePartitioning, SkylineStrategy};
+use crate::skyline::SkylineSpec;
+
+/// Plan metadata the strategy decision needs, extracted from the logical
+/// skyline node and its input schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkylineMeta {
+    /// Whether any skyline dimension is nullable in the input schema.
+    pub nullable: bool,
+    /// Whether the user asserted `COMPLETE` (or the optimizer inferred it).
+    pub declared_complete: bool,
+    /// Number of ranked (`MIN`/`MAX`) dimensions.
+    pub ranked_dims: usize,
+}
+
+impl SkylineMeta {
+    /// Metadata for a resolved spec.
+    pub fn new(spec: &SkylineSpec, nullable: bool, declared_complete: bool) -> Self {
+        SkylineMeta {
+            nullable,
+            declared_complete,
+            ranked_dims: spec.ranked_dims().count(),
+        }
+    }
+}
+
+/// The planner-facing outcome: which physical skyline plan to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkylinePlan {
+    /// Complete-data algorithm family (two-phase BNL / SFS) vs the
+    /// incomplete (null-bitmap + all-pairs) family.
+    pub use_complete: bool,
+    /// Whether a distributed local phase runs before the global phase.
+    pub distributed: bool,
+    /// Sort-Filter-Skyline windows instead of BNL windows.
+    pub use_sfs: bool,
+    /// Effective local-phase partitioning (downgraded where the scheme
+    /// cannot apply, e.g. a grid over fewer than two ranked dimensions).
+    pub partitioning: SkylinePartitioning,
+    /// Global merge strategy for the complete-data family.
+    pub merge: MergeStrategy,
+}
+
+impl SkylinePlan {
+    /// Listing 8, extended: select the physical plan shape from the
+    /// session configuration and the skyline's plan metadata.
+    pub fn select(config: &SessionConfig, meta: &SkylineMeta) -> Self {
+        // Listing 8, line 2: the complete algorithm may be used when the
+        // user asserted COMPLETE or no skyline dimension is nullable.
+        // Forced strategies (the harness's algorithm series) override.
+        let use_complete = match config.skyline_strategy {
+            SkylineStrategy::Auto => meta.declared_complete || !meta.nullable,
+            SkylineStrategy::DistributedComplete
+            | SkylineStrategy::NonDistributedComplete
+            | SkylineStrategy::SortFilterSkyline => true,
+            SkylineStrategy::DistributedIncomplete => false,
+        };
+        let distributed = !matches!(
+            config.skyline_strategy,
+            SkylineStrategy::NonDistributedComplete
+        );
+        let use_sfs = matches!(config.skyline_strategy, SkylineStrategy::SortFilterSkyline);
+
+        // Partitioning only applies to the distributed complete local
+        // phase; angle and grid need at least two ranked dimensions to
+        // have any structure and degrade to an even split below that.
+        let partitioning = if !use_complete || !distributed {
+            SkylinePartitioning::Standard
+        } else {
+            match config.skyline_partitioning {
+                SkylinePartitioning::AngleBased | SkylinePartitioning::Grid
+                    if meta.ranked_dims < 2 =>
+                {
+                    SkylinePartitioning::Even
+                }
+                p => p,
+            }
+        };
+
+        // The hierarchical merge replaces the paper's single-executor
+        // `AllTuples` phase once enough partitions exist for tree rounds
+        // to expose real parallelism; tiny pools keep the flat plan.
+        let merge = if use_complete
+            && distributed
+            && config.num_executors >= config.hierarchical_merge_min_partitions
+        {
+            MergeStrategy::Hierarchical {
+                fan_in: config.merge_fan_in.max(2),
+            }
+        } else {
+            MergeStrategy::Flat
+        };
+
+        SkylinePlan {
+            use_complete,
+            distributed,
+            use_sfs,
+            partitioning,
+            merge,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skyline::SkylineDim;
+
+    fn meta(ranked: usize, nullable: bool, complete: bool) -> SkylineMeta {
+        let spec = SkylineSpec::new((0..ranked).map(SkylineDim::min).collect());
+        SkylineMeta::new(&spec, nullable, complete)
+    }
+
+    #[test]
+    fn listing_8_auto_selection() {
+        let config = SessionConfig::default();
+        assert!(SkylinePlan::select(&config, &meta(2, false, false)).use_complete);
+        assert!(SkylinePlan::select(&config, &meta(2, true, true)).use_complete);
+        assert!(!SkylinePlan::select(&config, &meta(2, true, false)).use_complete);
+    }
+
+    #[test]
+    fn forced_strategies_override_metadata() {
+        let inc =
+            SessionConfig::default().with_skyline_strategy(SkylineStrategy::DistributedIncomplete);
+        assert!(!SkylinePlan::select(&inc, &meta(2, false, true)).use_complete);
+        let non_dist =
+            SessionConfig::default().with_skyline_strategy(SkylineStrategy::NonDistributedComplete);
+        let plan = SkylinePlan::select(&non_dist, &meta(2, true, false));
+        assert!(plan.use_complete);
+        assert!(!plan.distributed);
+        assert_eq!(plan.merge, MergeStrategy::Flat);
+    }
+
+    #[test]
+    fn grid_and_angle_degrade_below_two_ranked_dims() {
+        let config = SessionConfig::default().with_skyline_partitioning(SkylinePartitioning::Grid);
+        assert_eq!(
+            SkylinePlan::select(&config, &meta(1, false, false)).partitioning,
+            SkylinePartitioning::Even
+        );
+        assert_eq!(
+            SkylinePlan::select(&config, &meta(3, false, false)).partitioning,
+            SkylinePartitioning::Grid
+        );
+    }
+
+    #[test]
+    fn partitioning_is_standard_outside_the_distributed_complete_path() {
+        let config = SessionConfig::default()
+            .with_skyline_partitioning(SkylinePartitioning::Grid)
+            .with_skyline_strategy(SkylineStrategy::DistributedIncomplete);
+        assert_eq!(
+            SkylinePlan::select(&config, &meta(3, true, false)).partitioning,
+            SkylinePartitioning::Standard
+        );
+    }
+
+    #[test]
+    fn merge_strategy_tracks_executor_count() {
+        let small = SessionConfig::default().with_executors(2);
+        assert_eq!(
+            SkylinePlan::select(&small, &meta(2, false, false)).merge,
+            MergeStrategy::Flat
+        );
+        let big = SessionConfig::default().with_executors(8);
+        assert_eq!(
+            SkylinePlan::select(&big, &meta(2, false, false)).merge,
+            MergeStrategy::Hierarchical { fan_in: 4 }
+        );
+        let forced_flat = SessionConfig::default()
+            .with_executors(8)
+            .with_hierarchical_merge_min_partitions(usize::MAX);
+        assert_eq!(
+            SkylinePlan::select(&forced_flat, &meta(2, false, false)).merge,
+            MergeStrategy::Flat
+        );
+    }
+
+    #[test]
+    fn incomplete_family_always_merges_flat() {
+        let config = SessionConfig::default().with_executors(16);
+        assert_eq!(
+            SkylinePlan::select(&config, &meta(2, true, false)).merge,
+            MergeStrategy::Flat
+        );
+    }
+}

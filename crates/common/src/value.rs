@@ -376,7 +376,10 @@ mod tests {
 
     #[test]
     fn total_cmp_nulls_first() {
-        assert_eq!(Value::Null.total_cmp(&Value::Int64(i64::MIN)), Ordering::Less);
+        assert_eq!(
+            Value::Null.total_cmp(&Value::Int64(i64::MIN)),
+            Ordering::Less
+        );
         assert_eq!(Value::Int64(0).total_cmp(&Value::Null), Ordering::Greater);
         assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
     }
@@ -398,7 +401,10 @@ mod tests {
 
     #[test]
     fn hash_agrees_with_eq() {
-        assert_eq!(hash_of(&Value::Float64(-0.0)), hash_of(&Value::Float64(0.0)));
+        assert_eq!(
+            hash_of(&Value::Float64(-0.0)),
+            hash_of(&Value::Float64(0.0))
+        );
         assert_eq!(
             hash_of(&Value::Float64(f64::NAN)),
             hash_of(&Value::Float64(f64::NAN))

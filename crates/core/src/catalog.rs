@@ -32,8 +32,7 @@ impl SessionCatalog {
     ) -> Result<()> {
         let name = name.into();
         validate_rows(&name, &schema, &rows)?;
-        self.schemas
-            .register_table(name.clone(), schema.into_ref());
+        self.schemas.register_table(name.clone(), schema.into_ref());
         self.data.insert(name.to_ascii_lowercase(), Arc::new(rows));
         Ok(())
     }

@@ -181,10 +181,7 @@ impl DataFrame {
 impl SessionContext {
     /// Analyze an arbitrary (possibly DataFrame-built) plan against this
     /// session's catalog.
-    pub(crate) fn sql_plan(
-        &self,
-        plan: &LogicalPlan,
-    ) -> Result<LogicalPlan> {
+    pub(crate) fn sql_plan(&self, plan: &LogicalPlan) -> Result<LogicalPlan> {
         let catalog = self.catalog_read();
         sparkline_analyzer::Analyzer::new(&*catalog).analyze(plan)
     }

@@ -77,12 +77,10 @@ pub use session::{Algorithm, SessionContext};
 
 // Re-export the vocabulary users need without digging into sub-crates.
 pub use sparkline_common::{
-    DataType, Error, Field, Result, Row, Schema, SchemaRef, SessionConfig,
+    DataType, Error, Field, MergeStrategy, Result, Row, Schema, SchemaRef, SessionConfig,
     SkylinePartitioning, SkylineStrategy, SkylineType, Value,
 };
-pub use sparkline_plan::{
-    Expr, JoinCondition, JoinType, LogicalPlan, SkylineDimension, SortExpr,
-};
+pub use sparkline_plan::{Expr, JoinCondition, JoinType, LogicalPlan, SkylineDimension, SortExpr};
 
 #[cfg(test)]
 mod tests {
@@ -200,10 +198,14 @@ mod tests {
     fn executor_count_does_not_change_results() {
         let base = hotel_session();
         let df_sql = "SELECT * FROM hotels SKYLINE OF price MIN, rating MAX";
-        let expected = base.sql(df_sql).unwrap().collect().unwrap().sorted_display();
+        let expected = base
+            .sql(df_sql)
+            .unwrap()
+            .collect()
+            .unwrap()
+            .sorted_display();
         for executors in [1usize, 2, 3, 5, 10] {
-            let ctx = base
-                .with_shared_catalog(SessionConfig::default().with_executors(executors));
+            let ctx = base.with_shared_catalog(SessionConfig::default().with_executors(executors));
             let got = ctx.sql(df_sql).unwrap().collect().unwrap().sorted_display();
             assert_eq!(got, expected, "{executors} executors");
         }
@@ -217,18 +219,23 @@ mod tests {
             .unwrap();
         let explain = df.explain().unwrap();
         assert!(explain.contains("== Analyzed Logical Plan =="), "{explain}");
-        assert!(explain.contains("== Optimized Logical Plan =="), "{explain}");
+        assert!(
+            explain.contains("== Optimized Logical Plan =="),
+            "{explain}"
+        );
         assert!(explain.contains("== Physical Plan =="), "{explain}");
         assert!(explain.contains("GlobalSkylineExec"), "{explain}");
         let reference = df.explain_with(Algorithm::Reference).unwrap();
-        assert!(reference.contains("NestedLoopJoinExec [LeftAnti"), "{reference}");
+        assert!(
+            reference.contains("NestedLoopJoinExec [LeftAnti"),
+            "{reference}"
+        );
     }
 
     #[test]
     fn timeout_surfaces_as_error() {
-        let ctx = hotel_session().with_shared_catalog(
-            SessionConfig::default().with_timeout(std::time::Duration::ZERO),
-        );
+        let ctx = hotel_session()
+            .with_shared_catalog(SessionConfig::default().with_timeout(std::time::Duration::ZERO));
         let err = ctx
             .sql("SELECT * FROM hotels SKYLINE OF price MIN, rating MAX")
             .unwrap()
@@ -240,7 +247,9 @@ mod tests {
     #[test]
     fn single_dimension_skyline_via_minmax() {
         let ctx = hotel_session();
-        let df = ctx.sql("SELECT * FROM hotels SKYLINE OF price MIN").unwrap();
+        let df = ctx
+            .sql("SELECT * FROM hotels SKYLINE OF price MIN")
+            .unwrap();
         let explain = df.explain().unwrap();
         assert!(explain.contains("MinMaxFilterExec"), "{explain}");
         let result = df.collect().unwrap();

@@ -70,14 +70,8 @@ pub fn rewrite_to_reference(plan: &LogicalPlan) -> Result<LogicalPlan> {
             let o = d.child.clone();
             let i = shift_to_inner(&d.child)?;
             let (weak, strict) = match d.ty {
-                SkylineType::Min => (
-                    i.clone().lt_eq(o.clone()),
-                    Some(i.lt(o)),
-                ),
-                SkylineType::Max => (
-                    i.clone().gt_eq(o.clone()),
-                    Some(i.gt(o)),
-                ),
+                SkylineType::Min => (i.clone().lt_eq(o.clone()), Some(i.lt(o))),
+                SkylineType::Max => (i.clone().gt_eq(o.clone()), Some(i.gt(o))),
                 SkylineType::Diff => (i.eq(o), None),
             };
             at_least_as_good = Some(match at_least_as_good {

@@ -60,9 +60,7 @@ impl Algorithm {
         match self {
             Algorithm::Auto | Algorithm::Reference => None,
             Algorithm::DistributedComplete => Some(SkylineStrategy::DistributedComplete),
-            Algorithm::NonDistributedComplete => {
-                Some(SkylineStrategy::NonDistributedComplete)
-            }
+            Algorithm::NonDistributedComplete => Some(SkylineStrategy::NonDistributedComplete),
             Algorithm::DistributedIncomplete => Some(SkylineStrategy::DistributedIncomplete),
             Algorithm::SortFilterSkyline => Some(SkylineStrategy::SortFilterSkyline),
         }
@@ -187,8 +185,7 @@ impl SessionContext {
     pub fn table(&self, name: &str) -> Result<DataFrame> {
         let plan = {
             let catalog = self.catalog.read();
-            Analyzer::new(&*catalog)
-                .analyze(&LogicalPlanBuilder::relation(name).build()?)?
+            Analyzer::new(&*catalog).analyze(&LogicalPlanBuilder::relation(name).build()?)?
         };
         Ok(DataFrame::new(self.clone(), plan))
     }
@@ -227,8 +224,8 @@ impl SessionContext {
         let planner = PhysicalPlanner::new(&config, &*catalog);
         let physical = planner.create(&optimized)?;
 
-        let ctx = TaskContext::new(config.num_executors)
-            .with_deadline(Deadline::new(config.timeout));
+        let ctx =
+            TaskContext::new(config.num_executors).with_deadline(Deadline::new(config.timeout));
         let start = Instant::now();
         let rows = sparkline_physical::planner::collect(&physical, &ctx)?;
         let elapsed = start.elapsed();
@@ -237,10 +234,9 @@ impl SessionContext {
             rows,
             metrics: ctx.metrics.snapshot(),
             elapsed,
-            peak_memory_bytes: ctx.memory.peak_with_overhead(
-                config.num_executors,
-                config.executor_memory_overhead,
-            ),
+            peak_memory_bytes: ctx
+                .memory
+                .peak_with_overhead(config.num_executors, config.executor_memory_overhead),
         })
     }
 

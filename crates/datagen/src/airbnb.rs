@@ -55,7 +55,7 @@ pub fn generate(n: usize, seed: u64, variant: Variant) -> Dataset {
         let bedrooms = ((accommodates as f64 / 2.0).ceil() as i64
             + if chance(&mut rng, 0.2) { 1 } else { 0 })
         .max(1);
-        let beds = (accommodates + rng.gen_range(-1..=1)).max(1);
+        let beds = (accommodates + rng.gen_range(-1i64..=1)).max(1);
         let number_of_reviews = if chance(&mut rng, 0.22) {
             0
         } else {

@@ -1,8 +1,12 @@
 //! Small distribution helpers over `rand` (no external distribution
-//! crates are used).
+//! crates are used), plus the three classic skyline benchmark
+//! distributions of Börzsönyi et al. (correlated / independent /
+//! anti-correlated) used by the partitioning experiments and the
+//! partitioning property tests.
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use sparkline_common::{Row, Value};
 
 /// Standard normal sample via Box–Muller.
 pub fn normal(rng: &mut StdRng, mean: f64, std_dev: f64) -> f64 {
@@ -13,13 +17,7 @@ pub fn normal(rng: &mut StdRng, mean: f64, std_dev: f64) -> f64 {
 }
 
 /// Log-normal sample clamped to `[min, max]` — heavy-tailed prices.
-pub fn log_normal_clamped(
-    rng: &mut StdRng,
-    mu: f64,
-    sigma: f64,
-    min: f64,
-    max: f64,
-) -> f64 {
+pub fn log_normal_clamped(rng: &mut StdRng, mu: f64, sigma: f64, min: f64, max: f64) -> f64 {
     normal(rng, mu, sigma).exp().clamp(min, max)
 }
 
@@ -41,6 +39,60 @@ pub fn chance(rng: &mut StdRng, p: f64) -> bool {
 pub fn round_to(v: f64, decimals: u32) -> f64 {
     let f = 10f64.powi(decimals as i32);
     (v * f).round() / f
+}
+
+/// Independent dimensions: every value uniform in `[0, 1)` (Börzsönyi's
+/// "independent" workload — moderate skyline sizes).
+pub fn independent_rows(rng: &mut StdRng, n: usize, dims: usize) -> Vec<Row> {
+    assert!(dims >= 1);
+    (0..n)
+        .map(|_| {
+            Row::new(
+                (0..dims)
+                    .map(|_| Value::Float64(rng.gen_range(0.0..1.0)))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Correlated dimensions: values cluster around a shared per-row base, so
+/// a few rows dominate almost everything (tiny skylines — the
+/// best case for dominated-region pruning).
+pub fn correlated_rows(rng: &mut StdRng, n: usize, dims: usize) -> Vec<Row> {
+    assert!(dims >= 1);
+    (0..n)
+        .map(|_| {
+            let base = normal(rng, 0.5, 0.2).clamp(0.0, 1.0);
+            Row::new(
+                (0..dims)
+                    .map(|_| Value::Float64((base + normal(rng, 0.0, 0.05)).clamp(0.0, 1.0)))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Anti-correlated dimensions: each row sits near a hyperplane
+/// `sum(v) ≈ dims · plane`, where `plane` varies per row — rows good in
+/// one dimension are bad in others (large skylines, the paper's hardest
+/// workload). The per-row plane offset leaves genuinely dominated interior
+/// points, which is what grid pruning exploits.
+pub fn anti_correlated_rows(rng: &mut StdRng, n: usize, dims: usize) -> Vec<Row> {
+    assert!(dims >= 1);
+    (0..n)
+        .map(|_| {
+            let plane = normal(rng, 0.5, 0.15).clamp(0.05, 0.95);
+            let offsets: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.0..0.5)).collect();
+            let mean = offsets.iter().sum::<f64>() / dims as f64;
+            Row::new(
+                offsets
+                    .into_iter()
+                    .map(|o| Value::Float64((plane + o - mean).clamp(0.0, 1.0)))
+                    .collect(),
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -76,5 +128,50 @@ mod tests {
     #[test]
     fn rounding() {
         assert_eq!(round_to(1.23456, 2), 1.23);
+    }
+
+    fn as_f64(v: &Value) -> f64 {
+        match v {
+            Value::Float64(f) => *f,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn benchmark_distributions_have_expected_shapes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for rows in [
+            independent_rows(&mut rng, 500, 3),
+            correlated_rows(&mut rng, 500, 3),
+            anti_correlated_rows(&mut rng, 500, 3),
+        ] {
+            assert_eq!(rows.len(), 500);
+            for r in &rows {
+                assert_eq!(r.width(), 3);
+                for v in r.values() {
+                    assert!((0.0..=1.0).contains(&as_f64(v)));
+                }
+            }
+        }
+        // Correlated rows have small in-row spread; anti-correlated large.
+        let spread = |rows: &[Row]| {
+            rows.iter()
+                .map(|r| {
+                    let vals: Vec<f64> = r.values().iter().map(as_f64).collect();
+                    let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+                    let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+                    max - min
+                })
+                .sum::<f64>()
+                / rows.len() as f64
+        };
+        let corr = correlated_rows(&mut rng, 400, 2);
+        let anti = anti_correlated_rows(&mut rng, 400, 2);
+        assert!(
+            spread(&corr) < spread(&anti),
+            "{} vs {}",
+            spread(&corr),
+            spread(&anti)
+        );
     }
 }

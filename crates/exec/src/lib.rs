@@ -9,9 +9,13 @@
 //! * [`partition`] — partitioned datasets with the distribution schemes the
 //!   skyline plans require (even split, `AllTuples` coalescing, hash /
 //!   null-bitmap partitioning);
+//! * [`partitioner`] — the pluggable partitioning subsystem: strategy
+//!   objects (even / hash / angle-based / grid with dominated-cell
+//!   pruning) the planner selects from the session configuration;
 //! * [`runtime`] — the executor pool (`num_executors` worker threads) and
 //!   the cooperative query [`Deadline`];
-//! * [`metrics`] — row/dominance-test counters reported by the harness;
+//! * [`metrics`] — row/dominance-test counters reported by the harness,
+//!   including pruned-partition and hierarchical-merge counters;
 //! * [`memory`] — byte-accounted buffer tracking with per-executor
 //!   overhead, reproducing the paper's peak-memory measurements.
 //!
@@ -21,6 +25,7 @@
 pub mod memory;
 pub mod metrics;
 pub mod partition;
+pub mod partitioner;
 pub mod runtime;
 
 use std::sync::Arc;
@@ -28,6 +33,9 @@ use std::sync::Arc;
 pub use memory::{MemoryReservation, MemoryTracker};
 pub use metrics::{ExecMetrics, MetricsSnapshot};
 pub use partition::Partition;
+pub use partitioner::{
+    AnglePartitioner, EvenPartitioner, GridPartitioner, Partitioner, SkylineHashPartitioner,
+};
 pub use runtime::{Deadline, Runtime};
 
 /// Per-query execution state handed to every operator.

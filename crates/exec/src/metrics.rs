@@ -21,6 +21,21 @@ pub struct ExecMetrics {
     pub rows_exchanged: AtomicU64,
     /// Rows compared by join operators (probe work).
     pub join_comparisons: AtomicU64,
+    /// Grid cells discarded because another cell's worst corner dominates
+    /// their best corner (the whole cell is provably dominated).
+    pub partitions_pruned: AtomicU64,
+    /// Rows discarded with pruned grid cells — work the local skyline
+    /// phase never sees.
+    pub rows_pruned: AtomicU64,
+    /// Corner-to-corner dominance tests performed by grid pruning.
+    pub corner_tests: AtomicU64,
+    /// Rounds of the hierarchical global merge (0 for the flat merge).
+    pub merge_rounds: AtomicU64,
+    /// Merge tasks executed across all hierarchical rounds.
+    pub merge_tasks: AtomicU64,
+    /// Largest number of merge tasks in a single round — the parallelism
+    /// the tree merge actually exposed to the executor pool.
+    pub max_merge_fanout: AtomicUsize,
 }
 
 impl ExecMetrics {
@@ -39,6 +54,19 @@ impl ExecMetrics {
         self.max_window.fetch_max(size, Ordering::Relaxed);
     }
 
+    /// Record a pruned grid cell and the rows discarded with it.
+    pub fn add_pruned_partition(&self, rows: u64) {
+        self.partitions_pruned.fetch_add(1, Ordering::Relaxed);
+        self.rows_pruned.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Record one round of the hierarchical merge with `tasks` tasks.
+    pub fn add_merge_round(&self, tasks: usize) {
+        self.merge_rounds.fetch_add(1, Ordering::Relaxed);
+        self.merge_tasks.fetch_add(tasks as u64, Ordering::Relaxed);
+        self.max_merge_fanout.fetch_max(tasks, Ordering::Relaxed);
+    }
+
     /// Snapshot the counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -48,6 +76,12 @@ impl ExecMetrics {
             max_window: self.max_window.load(Ordering::Relaxed),
             rows_exchanged: self.rows_exchanged.load(Ordering::Relaxed),
             join_comparisons: self.join_comparisons.load(Ordering::Relaxed),
+            partitions_pruned: self.partitions_pruned.load(Ordering::Relaxed),
+            rows_pruned: self.rows_pruned.load(Ordering::Relaxed),
+            corner_tests: self.corner_tests.load(Ordering::Relaxed),
+            merge_rounds: self.merge_rounds.load(Ordering::Relaxed),
+            merge_tasks: self.merge_tasks.load(Ordering::Relaxed),
+            max_merge_fanout: self.max_merge_fanout.load(Ordering::Relaxed),
         }
     }
 }
@@ -67,6 +101,18 @@ pub struct MetricsSnapshot {
     pub rows_exchanged: u64,
     /// Join probe comparisons.
     pub join_comparisons: u64,
+    /// Grid cells pruned before the local skyline phase.
+    pub partitions_pruned: u64,
+    /// Rows discarded with pruned cells.
+    pub rows_pruned: u64,
+    /// Corner dominance tests spent on pruning.
+    pub corner_tests: u64,
+    /// Hierarchical merge rounds.
+    pub merge_rounds: u64,
+    /// Total hierarchical merge tasks.
+    pub merge_tasks: u64,
+    /// Largest single-round merge parallelism.
+    pub max_merge_fanout: usize,
 }
 
 #[cfg(test)]
@@ -85,5 +131,21 @@ mod tests {
         assert_eq!(s.dominance_tests, 15);
         assert_eq!(s.max_window, 3);
         assert_eq!(s.rows_scanned, 100);
+    }
+
+    #[test]
+    fn pruning_and_merge_counters() {
+        let m = ExecMetrics::new();
+        m.add_pruned_partition(40);
+        m.add_pruned_partition(2);
+        m.add_merge_round(4);
+        m.add_merge_round(2);
+        m.add_merge_round(1);
+        let s = m.snapshot();
+        assert_eq!(s.partitions_pruned, 2);
+        assert_eq!(s.rows_pruned, 42);
+        assert_eq!(s.merge_rounds, 3);
+        assert_eq!(s.merge_tasks, 7);
+        assert_eq!(s.max_merge_fanout, 4);
     }
 }

@@ -23,11 +23,17 @@ pub fn split_evenly(rows: Vec<Row>, n: usize) -> Vec<Partition> {
     if n == 1 || total == 0 {
         return vec![rows];
     }
-    let chunk = total.div_ceil(n);
+    // Distribute the remainder one row at a time so sizes differ by at
+    // most one and no partition is left empty while another holds two or
+    // more rows (ceil-sized chunks would emit empty *trailing* partitions,
+    // e.g. 4 rows / 3 executors as [2, 2, 0], idling an executor).
+    let base = total / n;
+    let extra = total % n;
     let mut parts: Vec<Partition> = Vec::with_capacity(n);
     let mut iter = rows.into_iter();
-    for _ in 0..n {
-        let part: Partition = iter.by_ref().take(chunk).collect();
+    for i in 0..n {
+        let size = base + usize::from(i < extra);
+        let part: Partition = iter.by_ref().take(size).collect();
         parts.push(part);
     }
     parts
@@ -97,7 +103,24 @@ mod tests {
         assert_eq!(parts.len(), 3);
         let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
         assert_eq!(sizes.iter().sum::<usize>(), 10);
-        assert!(sizes.iter().all(|&s| s == 4 || s == 2), "{sizes:?}");
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn split_never_leaves_an_executor_idle() {
+        // Regression: 4 rows / 3 executors used to come out as [2, 2, 0].
+        let parts = split_evenly(rows(4), 3);
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![2, 1, 1]);
+        // Whenever there are at least as many rows as partitions, every
+        // partition gets work.
+        for (total, n) in [(5usize, 4usize), (7, 3), (9, 2), (3, 3), (100, 7)] {
+            let parts = split_evenly(rows(total), n);
+            assert_eq!(parts.len(), n);
+            assert_eq!(total_rows(&parts), total);
+            assert!(parts.iter().all(|p| !p.is_empty()), "{total}/{n}");
+        }
     }
 
     #[test]
@@ -138,7 +161,8 @@ mod tests {
                 .iter()
                 .enumerate()
                 .filter(|(_, p)| {
-                    p.iter().any(|r| matches!(r.get(0), Value::Int64(i) if i % 2 == class))
+                    p.iter()
+                        .any(|r| matches!(r.get(0), Value::Int64(i) if i % 2 == class))
                 })
                 .map(|(i, _)| i)
                 .collect();

@@ -185,14 +185,13 @@ mod tests {
     #[test]
     fn first_error_propagates() {
         let rt = Runtime::new(4);
-        let result: Result<Vec<i32>> =
-            rt.map_indexed((0..20).collect::<Vec<i32>>(), |_, x| {
-                if x == 7 {
-                    Err(Error::execution("boom"))
-                } else {
-                    Ok(x)
-                }
-            });
+        let result: Result<Vec<i32>> = rt.map_indexed((0..20).collect::<Vec<i32>>(), |_, x| {
+            if x == 7 {
+                Err(Error::execution("boom"))
+            } else {
+                Ok(x)
+            }
+        });
         assert!(result.is_err());
     }
 

@@ -29,9 +29,7 @@ pub fn simplify_expr(expr: Expr) -> Result<Expr> {
                     (Expr::Literal(Value::Boolean(true)), x)
                     | (x, Expr::Literal(Value::Boolean(true))) => x,
                     (Expr::Literal(Value::Boolean(false)), _)
-                    | (_, Expr::Literal(Value::Boolean(false))) => {
-                        Expr::lit(false)
-                    }
+                    | (_, Expr::Literal(Value::Boolean(false))) => Expr::lit(false),
                     (l, r) => l.and(r),
                 },
                 (BinaryOp::Or, l, r) => match (*l, *r) {
@@ -81,8 +79,8 @@ fn literal_only(e: &Expr) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sparkline_plan::BoundColumn;
     use sparkline_common::{DataType, Field};
+    use sparkline_plan::BoundColumn;
 
     fn col() -> Expr {
         Expr::BoundColumn(BoundColumn {
@@ -130,9 +128,9 @@ mod tests {
 
     #[test]
     fn double_negation() {
-        let e = simplify_expr(Expr::Not(Box::new(Expr::Not(Box::new(col().eq(
-            Expr::lit(1i64),
-        ))))))
+        let e = simplify_expr(Expr::Not(Box::new(Expr::Not(Box::new(
+            col().eq(Expr::lit(1i64)),
+        )))))
         .unwrap();
         assert_eq!(e, col().eq(Expr::lit(1i64)));
     }
@@ -140,8 +138,7 @@ mod tests {
     #[test]
     fn division_by_zero_not_folded_to_error() {
         // 1/0 evaluates to NULL in our SQL semantics; folding keeps that.
-        let e = simplify_expr(Expr::lit(1i64).binary(BinaryOp::Divide, Expr::lit(0i64)))
-            .unwrap();
+        let e = simplify_expr(Expr::lit(1i64).binary(BinaryOp::Divide, Expr::lit(0i64))).unwrap();
         assert_eq!(e, Expr::Literal(Value::Null));
     }
 

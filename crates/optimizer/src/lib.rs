@@ -11,9 +11,10 @@
 //!   simplification, filter merging and pushdown, projection collapsing;
 //! * the `[NOT] EXISTS` → semi/anti-join rewrite that makes the paper's
 //!   *reference* plain-SQL skyline queries executable ([`subquery`]);
-//! * the two skyline-specific rules of §5.4: the O(n) single-dimension
-//!   rewrite and the pushdown of skylines below non-reductive joins
-//!   ([`skyline_rules`]).
+//! * the skyline-specific rules: §5.4's O(n) single-dimension rewrite and
+//!   pushdown of skylines below non-reductive joins, plus the metadata
+//!   rules (`COMPLETE` inference, DIFF-only removal) that feed the
+//!   physical strategy selection ([`skyline_rules`]).
 //!
 //! Rules are applied in batches to fixpoint, driven by the toggles in
 //! [`SessionConfig`] so the benchmark harness can ablate each rule.
@@ -29,7 +30,8 @@ use sparkline_plan::{CatalogProvider, LogicalPlan};
 pub use expr_simplify::simplify_expressions;
 pub use pushdown::{collapse_projections, merge_filters, push_down_filters};
 pub use skyline_rules::{
-    drop_diff_only_skyline, push_skyline_below_join, rewrite_single_dim_skyline,
+    drop_diff_only_skyline, infer_complete_skyline, push_skyline_below_join,
+    rewrite_single_dim_skyline,
 };
 pub use subquery::rewrite_exists_subqueries;
 
@@ -73,6 +75,7 @@ impl<'a> Optimizer<'a> {
                 next = collapse_projections(&next)?;
             }
             next = drop_diff_only_skyline(&next)?;
+            next = infer_complete_skyline(&next)?;
             if self.config.enable_single_dim_rewrite {
                 next = rewrite_single_dim_skyline(&next)?;
             }

@@ -238,9 +238,7 @@ pub fn collapse_projections(plan: &LogicalPlan) -> Result<LogicalPlan> {
             let child_schema = input.schema()?;
             let is_identity = exprs.len() == child_schema.len()
                 && exprs.iter().enumerate().all(|(i, e)| match e {
-                    Expr::BoundColumn(c) => {
-                        c.index == i && c.field == *child_schema.field(i)
-                    }
+                    Expr::BoundColumn(c) => c.index == i && c.field == *child_schema.field(i),
                     _ => false,
                 });
             if is_identity {
@@ -375,10 +373,7 @@ mod tests {
         let plan = LogicalPlan::Projection {
             exprs: vec![bound(0, "x")],
             input: Arc::new(LogicalPlan::Projection {
-                exprs: vec![
-                    bound(1, "b").alias("x"),
-                    bound(0, "a"),
-                ],
+                exprs: vec![bound(1, "b").alias("x"), bound(0, "a")],
                 input: Arc::new(scan()),
             }),
         };

@@ -17,6 +17,11 @@
 //!   `DIFF` cannot eliminate any tuple (dominance requires strict
 //!   improvement in some `MIN`/`MAX` dimension) and is removed when it is
 //!   not `DISTINCT`.
+//! * [`infer_complete_skyline`] — Listing 8's nullability check promoted
+//!   to a logical rewrite: a skyline none of whose dimensions can be NULL
+//!   is marked `COMPLETE`, so the plan itself carries the metadata the
+//!   physical strategy selection (`sparkline_common::strategy`) consumes
+//!   and `EXPLAIN` shows which algorithm family will run.
 
 use std::sync::Arc;
 
@@ -47,6 +52,39 @@ pub fn rewrite_single_dim_skyline(plan: &LogicalPlan) -> Result<LogicalPlan> {
             expr: dims[0].child.clone(),
             direction,
             distinct: *distinct,
+            input: Arc::clone(input),
+        })
+    })
+}
+
+/// Mark skylines over non-nullable dimensions as `COMPLETE` (Listing 8's
+/// metadata check, moved from the physical planner into the optimizer so
+/// the logical plan carries the decision).
+pub fn infer_complete_skyline(plan: &LogicalPlan) -> Result<LogicalPlan> {
+    plan.transform_up(&mut |node| {
+        let LogicalPlan::Skyline {
+            distinct,
+            complete: false,
+            dims,
+            input,
+        } = &node
+        else {
+            return Ok(node);
+        };
+        let schema = input.schema()?;
+        let any_nullable = dims
+            .iter()
+            .map(|d| Ok(d.child.data_type_and_nullable(&schema)?.1))
+            .collect::<Result<Vec<bool>>>()?
+            .into_iter()
+            .any(|nullable| nullable);
+        if any_nullable {
+            return Ok(node);
+        }
+        Ok(LogicalPlan::Skyline {
+            distinct: *distinct,
+            complete: true,
+            dims: dims.clone(),
             input: Arc::clone(input),
         })
     })
@@ -102,10 +140,7 @@ pub fn push_skyline_below_join(
                     .iter()
                     .map(|d| {
                         Ok(sparkline_plan::SkylineDimension {
-                            child: substitute_through_projection(
-                                d.child.clone(),
-                                proj_exprs,
-                            )?,
+                            child: substitute_through_projection(d.child.clone(), proj_exprs)?,
                             ty: d.ty,
                         })
                     })
@@ -138,9 +173,7 @@ pub fn push_skyline_below_join(
             JoinType::LeftOuter => true,
             // Inner equi-joins qualify when a foreign-key constraint
             // guarantees a partner for every left tuple.
-            JoinType::Inner => {
-                inner_join_guaranteed(left, right, condition, left_len, catalog)
-            }
+            JoinType::Inner => inner_join_guaranteed(left, right, condition, left_len, catalog),
             _ => false,
         };
         if !non_reductive {
@@ -253,9 +286,7 @@ mod tests {
             name: name.into(),
             schema: Schema::new(
                 cols.iter()
-                    .map(|(c, nullable)| {
-                        Field::qualified(name, *c, DataType::Int64, *nullable)
-                    })
+                    .map(|(c, nullable)| Field::qualified(name, *c, DataType::Int64, *nullable))
                     .collect(),
             )
             .into_ref(),
@@ -278,7 +309,11 @@ mod tests {
         Expr::BoundColumn(BoundColumn { index, field })
     }
 
-    fn skyline_over(input: LogicalPlan, dims: Vec<(usize, SkylineType)>, distinct: bool) -> LogicalPlan {
+    fn skyline_over(
+        input: LogicalPlan,
+        dims: Vec<(usize, SkylineType)>,
+        distinct: bool,
+    ) -> LogicalPlan {
         let dim_exprs = dims
             .into_iter()
             .map(|(i, ty)| SkylineDimension::new(bound(&input, i), ty))
@@ -314,11 +349,7 @@ mod tests {
 
     #[test]
     fn single_max_dim_with_distinct() {
-        let plan = skyline_over(
-            scan("t", &[("a", true)]),
-            vec![(0, SkylineType::Max)],
-            true,
-        );
+        let plan = skyline_over(scan("t", &[("a", true)]), vec![(0, SkylineType::Max)], true);
         let optimized = rewrite_single_dim_skyline(&plan).unwrap();
         assert!(matches!(
             optimized,
@@ -348,6 +379,56 @@ mod tests {
             false,
         );
         assert_eq!(rewrite_single_dim_skyline(&plan).unwrap(), plan);
+    }
+
+    /// Like [`skyline_over`] but without the user-declared `COMPLETE`.
+    fn undeclared_skyline_over(input: LogicalPlan, dims: Vec<(usize, SkylineType)>) -> LogicalPlan {
+        match skyline_over(input, dims, false) {
+            LogicalPlan::Skyline {
+                distinct,
+                dims,
+                input,
+                ..
+            } => LogicalPlan::Skyline {
+                distinct,
+                complete: false,
+                dims,
+                input,
+            },
+            other => other,
+        }
+    }
+
+    #[test]
+    fn non_nullable_skyline_inferred_complete() {
+        let plan = undeclared_skyline_over(
+            scan("t", &[("a", false), ("b", false)]),
+            vec![(0, SkylineType::Min), (1, SkylineType::Max)],
+        );
+        let optimized = infer_complete_skyline(&plan).unwrap();
+        assert!(
+            matches!(optimized, LogicalPlan::Skyline { complete: true, .. }),
+            "{optimized}"
+        );
+    }
+
+    #[test]
+    fn nullable_skyline_stays_incomplete() {
+        let plan = undeclared_skyline_over(
+            scan("t", &[("a", false), ("b", true)]),
+            vec![(0, SkylineType::Min), (1, SkylineType::Max)],
+        );
+        let optimized = infer_complete_skyline(&plan).unwrap();
+        assert!(
+            matches!(
+                optimized,
+                LogicalPlan::Skyline {
+                    complete: false,
+                    ..
+                }
+            ),
+            "{optimized}"
+        );
     }
 
     #[test]

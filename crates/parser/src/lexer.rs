@@ -146,7 +146,9 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 let mut is_float = false;
                 if i < bytes.len()
                     && bytes[i] == b'.'
-                    && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())
                 {
                     is_float = true;
                     i += 1;
@@ -177,7 +179,10 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                         Error::parse_at(format!("integer literal '{text}' out of range"), start)
                     })?)
                 };
-                tokens.push(Token { kind, position: start });
+                tokens.push(Token {
+                    kind,
+                    position: start,
+                });
             }
             '\'' => {
                 i += 1;
@@ -222,76 +227,125 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    position: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    position: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    position: start,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    position: start,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    position: start,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    position: start,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Eq, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    position: start,
+                });
                 i += 1;
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
-                tokens.push(Token { kind: TokenKind::NotEq, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::NotEq,
+                    position: start,
+                });
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(b'=') => {
-                        tokens.push(Token { kind: TokenKind::LtEq, position: start });
-                        i += 2;
-                    }
-                    Some(b'>') => {
-                        tokens.push(Token { kind: TokenKind::NotEq, position: start });
-                        i += 2;
-                    }
-                    _ => {
-                        tokens.push(Token { kind: TokenKind::Lt, position: start });
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token {
+                        kind: TokenKind::LtEq,
+                        position: start,
+                    });
+                    i += 2;
                 }
-            }
+                Some(b'>') => {
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        position: start,
+                    });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        position: start,
+                    });
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::GtEq, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::GtEq,
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        position: start,
+                    });
                     i += 1;
                 }
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    position: start,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Token { kind: TokenKind::Minus, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    position: start,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Slash, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    position: start,
+                });
                 i += 1;
             }
             '%' => {
-                tokens.push(Token { kind: TokenKind::Percent, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Percent,
+                    position: start,
+                });
                 i += 1;
             }
             other => {

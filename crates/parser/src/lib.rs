@@ -42,9 +42,8 @@ mod tests {
     #[test]
     fn hotel_skyline_query_listing_2() {
         // Listing 2 of the paper.
-        let plan = parse(
-            "SELECT price, user_rating FROM hotels SKYLINE OF price MIN, user_rating MAX;",
-        );
+        let plan =
+            parse("SELECT price, user_rating FROM hotels SKYLINE OF price MIN, user_rating MAX;");
         match &plan {
             LogicalPlan::Skyline {
                 distinct,
@@ -65,9 +64,7 @@ mod tests {
 
     #[test]
     fn skyline_modifiers_and_diff() {
-        let plan = parse(
-            "SELECT * FROM t SKYLINE OF DISTINCT COMPLETE a MIN, b MAX, c DIFF",
-        );
+        let plan = parse("SELECT * FROM t SKYLINE OF DISTINCT COMPLETE a MIN, b MAX, c DIFF");
         match &plan {
             LogicalPlan::Skyline {
                 distinct,
@@ -133,9 +130,7 @@ mod tests {
 
     #[test]
     fn joins_with_on_and_using() {
-        let plan = parse(
-            "SELECT * FROM a JOIN b ON a.id = b.id LEFT OUTER JOIN c USING (id, k)",
-        );
+        let plan = parse("SELECT * FROM a JOIN b ON a.id = b.id LEFT OUTER JOIN c USING (id, k)");
         match &plan {
             LogicalPlan::Projection { input, .. } => match input.as_ref() {
                 LogicalPlan::Join {
@@ -180,12 +175,13 @@ mod tests {
 
     #[test]
     fn group_by_having_aggregates() {
-        let plan = parse(
-            "SELECT k, sum(v) AS total FROM t GROUP BY k HAVING sum(v) > 10",
-        );
+        let plan = parse("SELECT k, sum(v) AS total FROM t GROUP BY k HAVING sum(v) > 10");
         let d = plan.display_indent();
         assert!(d.contains("Filter [(sum(v) > 10)]"), "{d}");
-        assert!(d.contains("Aggregate [group: k; aggr: k, sum(v) AS total]"), "{d}");
+        assert!(
+            d.contains("Aggregate [group: k; aggr: k, sum(v) AS total]"),
+            "{d}"
+        );
     }
 
     #[test]
@@ -201,9 +197,7 @@ mod tests {
 
     #[test]
     fn order_by_limit_distinct() {
-        let plan = parse(
-            "SELECT DISTINCT a FROM t ORDER BY a DESC NULLS FIRST, b LIMIT 10",
-        );
+        let plan = parse("SELECT DISTINCT a FROM t ORDER BY a DESC NULLS FIRST, b LIMIT 10");
         let d = plan.display_indent();
         assert!(d.contains("Limit [10]"), "{d}");
         assert!(d.contains("Sort [a DESC NULLS FIRST, b ASC]"), "{d}");
@@ -221,10 +215,7 @@ mod tests {
     #[test]
     fn expression_parsing_precedence() {
         let e = parse_expression("a + b * c < d AND NOT e = f").unwrap();
-        assert_eq!(
-            e.to_string(),
-            "(((a + (b * c)) < d) AND (NOT (e = f)))"
-        );
+        assert_eq!(e.to_string(), "(((a + (b * c)) < d) AND (NOT (e = f)))");
     }
 
     #[test]

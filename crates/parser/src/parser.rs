@@ -29,10 +29,44 @@ use crate::lexer::{tokenize, Token, TokenKind};
 
 /// Words that terminate an implicit (bare) alias.
 const RESERVED: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "SKYLINE", "OF",
-    "JOIN", "LEFT", "RIGHT", "FULL", "INNER", "OUTER", "CROSS", "ON", "USING", "AND", "OR",
-    "NOT", "AS", "UNION", "EXCEPT", "INTERSECT", "IS", "NULL", "EXISTS", "DISTINCT",
-    "COMPLETE", "ASC", "DESC", "NULLS", "CAST", "MIN", "MAX", "DIFF",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "ORDER",
+    "LIMIT",
+    "SKYLINE",
+    "OF",
+    "JOIN",
+    "LEFT",
+    "RIGHT",
+    "FULL",
+    "INNER",
+    "OUTER",
+    "CROSS",
+    "ON",
+    "USING",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+    "UNION",
+    "EXCEPT",
+    "INTERSECT",
+    "IS",
+    "NULL",
+    "EXISTS",
+    "DISTINCT",
+    "COMPLETE",
+    "ASC",
+    "DESC",
+    "NULLS",
+    "CAST",
+    "MIN",
+    "MAX",
+    "DIFF",
 ];
 
 /// Parse a single SQL query (optionally `;`-terminated) into an unresolved
@@ -169,9 +203,7 @@ impl Parser {
             return self.parse_ident().map(Some);
         }
         match self.peek_kind() {
-            TokenKind::Word(w)
-                if !RESERVED.iter().any(|r| w.eq_ignore_ascii_case(r)) =>
-            {
+            TokenKind::Word(w) if !RESERVED.iter().any(|r| w.eq_ignore_ascii_case(r)) => {
                 self.parse_ident().map(Some)
             }
             TokenKind::QuotedIdent(_) => self.parse_ident().map(Some),
@@ -371,8 +403,10 @@ impl Parser {
             return Ok(Expr::Wildcard { qualifier: None });
         }
         // `qualifier.*`
-        if matches!(self.peek_kind(), TokenKind::Word(_) | TokenKind::QuotedIdent(_))
-            && self.peek_ahead(1) == &TokenKind::Dot
+        if matches!(
+            self.peek_kind(),
+            TokenKind::Word(_) | TokenKind::QuotedIdent(_)
+        ) && self.peek_ahead(1) == &TokenKind::Dot
             && self.peek_ahead(2) == &TokenKind::Star
         {
             let qualifier = self.parse_ident()?;
@@ -442,9 +476,7 @@ impl Parser {
             } else if join_type == JoinType::Cross {
                 JoinCondition::None
             } else {
-                return Err(self.error_here(
-                    "expected ON or USING after JOIN".to_string(),
-                ));
+                return Err(self.error_here("expected ON or USING after JOIN".to_string()));
             };
             plan = LogicalPlan::Join {
                 left: Arc::new(plan),
@@ -666,12 +698,10 @@ impl Parser {
                 }
                 // Column reference, possibly qualified.
                 let first = match self.peek_kind() {
-                    TokenKind::Word(w)
-                        if RESERVED.iter().any(|r| w.eq_ignore_ascii_case(r)) =>
-                    {
-                        return Err(self.error_here(format!(
-                            "unexpected keyword '{w}' in expression"
-                        )));
+                    TokenKind::Word(w) if RESERVED.iter().any(|r| w.eq_ignore_ascii_case(r)) => {
+                        return Err(
+                            self.error_here(format!("unexpected keyword '{w}' in expression"))
+                        );
                     }
                     _ => self.parse_ident()?,
                 };

@@ -41,9 +41,15 @@ impl Accumulator {
             AggregateFunction::Count => Accumulator::Count(0),
             AggregateFunction::Sum => {
                 if call.input_type == DataType::Float64 {
-                    Accumulator::SumFloat { sum: 0.0, seen: false }
+                    Accumulator::SumFloat {
+                        sum: 0.0,
+                        seen: false,
+                    }
                 } else {
-                    Accumulator::SumInt { sum: 0, seen: false }
+                    Accumulator::SumInt {
+                        sum: 0,
+                        seen: false,
+                    }
                 }
             }
             AggregateFunction::Min => Accumulator::Min(None),
@@ -70,9 +76,9 @@ impl Accumulator {
                             )))
                         }
                     };
-                    *sum = sum.checked_add(add).ok_or_else(|| {
-                        Error::execution("integer overflow in sum()")
-                    })?;
+                    *sum = sum
+                        .checked_add(add)
+                        .ok_or_else(|| Error::execution("integer overflow in sum()"))?;
                     *seen = true;
                 }
             }
@@ -86,9 +92,7 @@ impl Accumulator {
                 if let Some(v) = value.filter(|v| !v.is_null()) {
                     let better = match best {
                         None => true,
-                        Some(b) => {
-                            v.sql_compare(b) == Some(std::cmp::Ordering::Less)
-                        }
+                        Some(b) => v.sql_compare(b) == Some(std::cmp::Ordering::Less),
                     };
                     if better {
                         *best = Some(v.clone());
@@ -99,9 +103,7 @@ impl Accumulator {
                 if let Some(v) = value.filter(|v| !v.is_null()) {
                     let better = match best {
                         None => true,
-                        Some(b) => {
-                            v.sql_compare(b) == Some(std::cmp::Ordering::Greater)
-                        }
+                        Some(b) => v.sql_compare(b) == Some(std::cmp::Ordering::Greater),
                     };
                     if better {
                         *best = Some(v.clone());
@@ -122,19 +124,13 @@ impl Accumulator {
         match (self, other) {
             (Accumulator::CountStar(a), Accumulator::CountStar(b)) => *a += b,
             (Accumulator::Count(a), Accumulator::Count(b)) => *a += b,
-            (
-                Accumulator::SumInt { sum, seen },
-                Accumulator::SumInt { sum: s2, seen: sn2 },
-            ) => {
+            (Accumulator::SumInt { sum, seen }, Accumulator::SumInt { sum: s2, seen: sn2 }) => {
                 *sum = sum
                     .checked_add(s2)
                     .ok_or_else(|| Error::execution("integer overflow in sum()"))?;
                 *seen |= sn2;
             }
-            (
-                Accumulator::SumFloat { sum, seen },
-                Accumulator::SumFloat { sum: s2, seen: sn2 },
-            ) => {
+            (Accumulator::SumFloat { sum, seen }, Accumulator::SumFloat { sum: s2, seen: sn2 }) => {
                 *sum += s2;
                 *seen |= sn2;
             }
@@ -160,10 +156,7 @@ impl Accumulator {
                     }
                 }
             }
-            (
-                Accumulator::Avg { sum, count },
-                Accumulator::Avg { sum: s2, count: c2 },
-            ) => {
+            (Accumulator::Avg { sum, count }, Accumulator::Avg { sum: s2, count: c2 }) => {
                 *sum += s2;
                 *count += c2;
             }

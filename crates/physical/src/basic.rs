@@ -239,8 +239,20 @@ impl SortExec {
     fn compare_values(a: &Value, b: &Value, asc: bool, nulls_first: bool) -> Ordering {
         let ord = match (a.is_null(), b.is_null()) {
             (true, true) => return Ordering::Equal,
-            (true, false) => return if nulls_first { Ordering::Less } else { Ordering::Greater },
-            (false, true) => return if nulls_first { Ordering::Greater } else { Ordering::Less },
+            (true, false) => {
+                return if nulls_first {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            (false, true) => {
+                return if nulls_first {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
             (false, false) => a.total_cmp(b),
         };
         if asc {
@@ -267,9 +279,9 @@ impl ExecutionPlan for SortExec {
     fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
         let input = self.input.execute(ctx)?;
         let mut rows = sparkline_exec::partition::flatten(input);
-        let reservation = ctx.memory.reserve(
-            rows.iter().map(|r| r.estimated_bytes()).sum::<usize>(),
-        );
+        let reservation = ctx
+            .memory
+            .reserve(rows.iter().map(|r| r.estimated_bytes()).sum::<usize>());
         ctx.deadline.check()?;
         // Precompute sort keys to avoid re-evaluating expressions in the
         // comparator (O(n log n) comparisons).
@@ -297,9 +309,11 @@ impl ExecutionPlan for SortExec {
         // Reorder without cloning rows: take() via Option slots.
         let mut slots: Vec<Option<Row>> = rows.drain(..).map(Some).collect();
         for i in order {
-            sorted.push(slots[i].take().ok_or_else(|| {
-                Error::internal("sort permutation visited a slot twice")
-            })?);
+            sorted.push(
+                slots[i]
+                    .take()
+                    .ok_or_else(|| Error::internal("sort permutation visited a slot twice"))?,
+            );
         }
         drop(reservation);
         Ok(vec![sorted])
@@ -446,10 +460,7 @@ mod tests {
     #[test]
     fn multi_key_sort() {
         let input = scan(int_rows(&[(1, 2), (2, 1), (1, 1), (2, 2)]));
-        let plan = SortExec::new(
-            vec![SortExpr::asc(col(0)), SortExpr::desc(col(1))],
-            input,
-        );
+        let plan = SortExec::new(vec![SortExpr::asc(col(0)), SortExpr::desc(col(1))], input);
         let rows = run(&plan, 2);
         let pairs: Vec<(i64, i64)> = rows
             .iter()

@@ -2,17 +2,20 @@
 //!
 //! The planner inserts exchanges to satisfy the distribution requirements
 //! of the paper's skyline plans: `Single` realizes Spark's `AllTuples`
-//! distribution (global skyline, sorts), `RoundRobin` re-balances, and
+//! distribution (flat global skyline, sorts), `RoundRobin` re-balances,
 //! `NullBitmap` is the §5.7 distribution that routes tuples with the same
-//! NULL pattern in the skyline dimensions to the same executor (built on
-//! the engine's `IsNull` evaluation, like the paper's crafted expression).
+//! NULL pattern in the skyline dimensions to the same executor, and
+//! `Custom` plugs in a strategy from the partitioning subsystem
+//! (`sparkline_exec::partitioner`): even, hash, angle-based, or grid with
+//! dominated-cell pruning — selected by the planner from the session
+//! configuration rather than hard-coded here.
 
 use std::sync::Arc;
 
 use sparkline_common::{Result, SchemaRef, SkylineSpec};
 use sparkline_exec::{
     partition::{coalesce, flatten, hash_partition, split_evenly, total_rows},
-    Partition, TaskContext,
+    Partition, Partitioner, TaskContext,
 };
 use sparkline_skyline::null_bitmap;
 
@@ -27,12 +30,8 @@ pub enum ExchangeMode {
     RoundRobin,
     /// Partition by the null bitmap of the skyline dimensions (§5.7).
     NullBitmap(SkylineSpec),
-    /// Angle-based partitioning over the first two ranked skyline
-    /// dimensions (the §7 future-work scheme of Vlachou et al.): tuples on
-    /// the same price/quality trade-off angle share an executor, which
-    /// improves local pruning. Requires two passes (global min/max for
-    /// normalization, then routing).
-    AngleBased(SkylineSpec),
+    /// A pluggable strategy from the partitioning subsystem.
+    Custom(Arc<dyn Partitioner>),
 }
 
 /// Repartitioning operator.
@@ -52,6 +51,11 @@ impl ExchangeExec {
     pub fn single(input: Arc<dyn ExecutionPlan>) -> Self {
         ExchangeExec::new(ExchangeMode::Single, input)
     }
+
+    /// Convenience: redistribute through a pluggable strategy.
+    pub fn custom(partitioner: Arc<dyn Partitioner>, input: Arc<dyn ExecutionPlan>) -> Self {
+        ExchangeExec::new(ExchangeMode::Custom(partitioner), input)
+    }
 }
 
 impl ExecutionPlan for ExchangeExec {
@@ -70,9 +74,10 @@ impl ExecutionPlan for ExchangeExec {
     fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
         let input = self.input.execute(ctx)?;
         ctx.deadline.check()?;
-        ctx.metrics
-            .rows_exchanged
-            .fetch_add(total_rows(&input) as u64, std::sync::atomic::Ordering::Relaxed);
+        ctx.metrics.rows_exchanged.fetch_add(
+            total_rows(&input) as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
         let n = ctx.runtime.num_executors();
         Ok(match &self.mode {
             ExchangeMode::Single => coalesce(input),
@@ -80,7 +85,7 @@ impl ExecutionPlan for ExchangeExec {
             ExchangeMode::NullBitmap(spec) => {
                 hash_partition(input, n, |row| null_bitmap(row, spec))
             }
-            ExchangeMode::AngleBased(spec) => angle_partition(input, n, spec),
+            ExchangeMode::Custom(partitioner) => partitioner.repartition(input, n, &ctx.metrics),
         })
     }
 
@@ -88,85 +93,14 @@ impl ExecutionPlan for ExchangeExec {
         match &self.mode {
             ExchangeMode::Single => "ExchangeExec [AllTuples]".to_string(),
             ExchangeMode::RoundRobin => "ExchangeExec [RoundRobin]".to_string(),
-            ExchangeMode::NullBitmap(spec) => format!(
-                "ExchangeExec [NullBitmap on {} dims]",
-                spec.dims.len()
-            ),
-            ExchangeMode::AngleBased(spec) => format!(
-                "ExchangeExec [AngleBased on {} dims]",
-                spec.dims.len().min(2)
-            ),
-        }
-    }
-}
-
-/// Angle-based partitioning (Vlachou et al., SIGMOD 2008, simplified to
-/// the first two ranked dimensions): normalize both dimensions to [0, 1]
-/// with MIN/MAX direction folded in (smaller = better), compute the polar
-/// angle of each tuple, and split the `[0, π/2]` range into equal sectors.
-///
-/// Correctness does not depend on the scheme — local/global skylines are
-/// sound under *any* partitioning of complete data — so tuples that do not
-/// admit the numeric mapping (NULL or non-numeric) are routed to sector 0.
-fn angle_partition(
-    parts: Vec<Partition>,
-    n: usize,
-    spec: &SkylineSpec,
-) -> Vec<Partition> {
-    let ranked: Vec<_> = spec.ranked_dims().take(2).copied().collect();
-    if ranked.len() < 2 || n == 1 {
-        // One ranked dimension has no angular structure; keep it simple.
-        return split_evenly(flatten(parts), n);
-    }
-    let numeric = |row: &sparkline_common::Row, dim: &sparkline_common::SkylineDim| {
-        match row.get(dim.index) {
-            sparkline_common::Value::Int64(i) => Some(*i as f64),
-            sparkline_common::Value::Float64(f) => Some(*f),
-            sparkline_common::Value::Boolean(b) => Some(f64::from(*b)),
-            _ => None,
-        }
-        .map(|v| {
-            if dim.ty == sparkline_common::SkylineType::Max {
-                -v
-            } else {
-                v
+            ExchangeMode::NullBitmap(spec) => {
+                format!("ExchangeExec [NullBitmap on {} dims]", spec.dims.len())
             }
-        })
-    };
-    // Pass 1: global min/max per dimension for normalization.
-    let mut lo = [f64::INFINITY; 2];
-    let mut hi = [f64::NEG_INFINITY; 2];
-    for part in &parts {
-        for row in part {
-            for (k, dim) in ranked.iter().enumerate() {
-                if let Some(v) = numeric(row, dim) {
-                    lo[k] = lo[k].min(v);
-                    hi[k] = hi[k].max(v);
-                }
+            ExchangeMode::Custom(partitioner) => {
+                format!("ExchangeExec [{}]", partitioner.describe())
             }
         }
     }
-    let span = [
-        (hi[0] - lo[0]).max(f64::MIN_POSITIVE),
-        (hi[1] - lo[1]).max(f64::MIN_POSITIVE),
-    ];
-    // Pass 2: route by polar angle sector.
-    let mut out: Vec<Partition> = (0..n).map(|_| Vec::new()).collect();
-    for part in parts {
-        for row in part {
-            let sector = match (numeric(&row, &ranked[0]), numeric(&row, &ranked[1])) {
-                (Some(x), Some(y)) => {
-                    let nx = ((x - lo[0]) / span[0]).clamp(0.0, 1.0);
-                    let ny = ((y - lo[1]) / span[1]).clamp(0.0, 1.0);
-                    let theta = ny.atan2(nx); // [0, π/2]
-                    ((theta / std::f64::consts::FRAC_PI_2) * n as f64) as usize
-                }
-                _ => 0,
-            };
-            out[sector.min(n - 1)].push(row);
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -174,6 +108,7 @@ mod tests {
     use super::*;
     use crate::scan::ScanExec;
     use sparkline_common::{DataType, Field, Row, Schema, SkylineDim, Value};
+    use sparkline_exec::{AnglePartitioner, GridPartitioner};
 
     fn input(rows: Vec<Row>) -> Arc<dyn ExecutionPlan> {
         let schema = Schema::new(vec![
@@ -187,8 +122,16 @@ mod tests {
     fn rows_with_nulls() -> Vec<Row> {
         (0..40)
             .map(|i| {
-                let a = if i % 3 == 0 { Value::Null } else { Value::Int64(i) };
-                let b = if i % 5 == 0 { Value::Null } else { Value::Int64(i) };
+                let a = if i % 3 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int64(i)
+                };
+                let b = if i % 5 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int64(i)
+                };
                 Row::new(vec![a, b])
             })
             .collect()
@@ -212,7 +155,10 @@ mod tests {
     #[test]
     fn null_bitmap_groups_same_pattern() {
         let spec = SkylineSpec::new(vec![SkylineDim::min(0), SkylineDim::min(1)]);
-        let plan = ExchangeExec::new(ExchangeMode::NullBitmap(spec.clone()), input(rows_with_nulls()));
+        let plan = ExchangeExec::new(
+            ExchangeMode::NullBitmap(spec.clone()),
+            input(rows_with_nulls()),
+        );
         let ctx = TaskContext::new(3);
         let parts = plan.execute(&ctx).unwrap();
         assert_eq!(total_rows(&parts), 40);
@@ -229,8 +175,7 @@ mod tests {
     }
 
     #[test]
-    fn angle_based_partitions_by_trade_off() {
-        use sparkline_common::SkylineDim;
+    fn custom_angle_exchange_partitions_by_trade_off() {
         // Points on two extreme trade-offs: low-a/high-b vs high-a/low-b
         // (both MIN dims) must land in different sectors.
         let rows: Vec<Row> = (0..20)
@@ -243,7 +188,12 @@ mod tests {
             })
             .collect();
         let spec = SkylineSpec::new(vec![SkylineDim::min(0), SkylineDim::min(1)]);
-        let plan = ExchangeExec::new(ExchangeMode::AngleBased(spec), input(rows));
+        let plan = ExchangeExec::custom(Arc::new(AnglePartitioner::new(spec)), input(rows));
+        assert!(
+            plan.describe().contains("AngleBased"),
+            "{}",
+            plan.describe()
+        );
         let ctx = TaskContext::new(4);
         let parts = plan.execute(&ctx).unwrap();
         assert_eq!(total_rows(&parts), 20);
@@ -253,13 +203,34 @@ mod tests {
             parts
                 .iter()
                 .enumerate()
-                .filter(|(_, p)| p.iter().any(|r| pred(r)))
+                .filter(|(_, p)| p.iter().any(pred))
                 .map(|(i, _)| i)
                 .collect()
         };
         let steep = holding(&|r| r.get(0) == &Value::Int64(1));
         let flat = holding(&|r| r.get(1) == &Value::Int64(1));
-        assert!(steep.iter().all(|s| !flat.contains(s)), "{steep:?} vs {flat:?}");
+        assert!(
+            steep.iter().all(|s| !flat.contains(s)),
+            "{steep:?} vs {flat:?}"
+        );
+    }
+
+    #[test]
+    fn custom_grid_exchange_reports_pruning_metrics() {
+        let mut rows: Vec<Row> = (0..10)
+            .map(|i| Row::new(vec![Value::Int64(i % 2), Value::Int64(i % 3)]))
+            .collect();
+        rows.extend(
+            (0..10).map(|i| Row::new(vec![Value::Int64(500 + i % 2), Value::Int64(500 + i % 3)])),
+        );
+        let spec = SkylineSpec::new(vec![SkylineDim::min(0), SkylineDim::min(1)]);
+        let plan = ExchangeExec::custom(Arc::new(GridPartitioner::new(spec, 4)), input(rows));
+        assert!(plan.describe().contains("Grid"), "{}", plan.describe());
+        let ctx = TaskContext::new(4);
+        let parts = plan.execute(&ctx).unwrap();
+        let snapshot = ctx.metrics.snapshot();
+        assert!(snapshot.partitions_pruned >= 1, "{snapshot:?}");
+        assert_eq!(total_rows(&parts) as u64 + snapshot.rows_pruned, 20);
     }
 
     #[test]

@@ -99,11 +99,7 @@ impl ExecutionPlan for HashJoinExec {
         let reservation = ctx.memory.reserve(build_bytes + right_rows.len() * 48);
         let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::with_capacity(right_rows.len());
         for row in &right_rows {
-            let key: Vec<Value> = self
-                .keys
-                .iter()
-                .map(|&(_, r)| row.get(r).clone())
-                .collect();
+            let key: Vec<Value> = self.keys.iter().map(|&(_, r)| row.get(r).clone()).collect();
             if key.iter().any(Value::is_null) {
                 continue;
             }
@@ -202,8 +198,9 @@ impl NestedLoopJoinExec {
     ) -> Result<bool> {
         ctx.metrics.join_comparisons.fetch_add(1, Ordering::Relaxed);
         match &self.predicate {
-            Some(p) => Ok(p.evaluate_joined(left_row, right_row, left_width)?
-                == Value::Boolean(true)),
+            Some(p) => {
+                Ok(p.evaluate_joined(left_row, right_row, left_width)? == Value::Boolean(true))
+            }
             None => Ok(true),
         }
     }
@@ -256,8 +253,7 @@ impl ExecutionPlan for NestedLoopJoinExec {
                         }
                         if !matched {
                             rows.push(
-                                left_row
-                                    .extend(std::iter::repeat_n(Value::Null, right_width)),
+                                left_row.extend(std::iter::repeat_n(Value::Null, right_width)),
                             );
                         }
                     }
@@ -331,9 +327,7 @@ mod tests {
     fn run(plan: &dyn ExecutionPlan, executors: usize) -> Vec<Row> {
         let ctx = TaskContext::new(executors);
         let mut rows = flatten(plan.execute(&ctx).unwrap());
-        rows.sort_by(|a, b| {
-            a.to_string().cmp(&b.to_string())
-        });
+        rows.sort_by_key(|a| a.to_string());
         rows
     }
 
@@ -354,10 +348,7 @@ mod tests {
         let join = HashJoinExec::new(l, r, vec![(0, 0)], None, JoinType::LeftOuter);
         let rows = run(&join, 2);
         assert_eq!(rows.len(), 2);
-        let unmatched = rows
-            .iter()
-            .find(|r| r.get(0) == &Value::Int64(2))
-            .unwrap();
+        let unmatched = rows.iter().find(|r| r.get(0) == &Value::Int64(2)).unwrap();
         assert!(unmatched.get(2).is_null() && unmatched.get(3).is_null());
     }
 
@@ -442,9 +433,6 @@ mod tests {
         let join = NestedLoopJoinExec::new(l, r, None, JoinType::Cross);
         let ctx = TaskContext::new(2);
         join.execute(&ctx).unwrap();
-        assert_eq!(
-            ctx.metrics.join_comparisons.load(Ordering::Relaxed),
-            4
-        );
+        assert_eq!(ctx.metrics.join_comparisons.load(Ordering::Relaxed), 4);
     }
 }

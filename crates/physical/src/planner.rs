@@ -4,8 +4,8 @@
 use std::sync::Arc;
 
 use sparkline_common::{
-    DataType, Error, Result, Row, Schema, SchemaRef, SessionConfig, SkylineDim, SkylineSpec,
-    SkylineStrategy,
+    DataType, Error, MergeStrategy, Result, Row, Schema, SchemaRef, SessionConfig, SkylineDim,
+    SkylineMeta, SkylinePartitioning, SkylinePlan, SkylineSpec,
 };
 use sparkline_plan::{
     AggregateFunction, BinaryOp, BoundColumn, Expr, JoinCondition, JoinType, LogicalPlan,
@@ -51,9 +51,10 @@ impl<'a> PhysicalPlanner<'a> {
                 )))
             }
             LogicalPlan::TableScan { name, schema } => {
-                let rows = self.source.table_rows(name).ok_or_else(|| {
-                    Error::plan(format!("no data registered for table '{name}'"))
-                })?;
+                let rows = self
+                    .source
+                    .table_rows(name)
+                    .ok_or_else(|| Error::plan(format!("no data registered for table '{name}'")))?;
                 Arc::new(ScanExec::new(name.clone(), rows, Arc::clone(schema)))
             }
             LogicalPlan::Values { schema, rows } => Arc::new(ScanExec::new(
@@ -128,6 +129,29 @@ impl<'a> PhysicalPlanner<'a> {
         })
     }
 
+    /// Build the exchange strategy object for the selected partitioning;
+    /// `None` keeps the child's distribution (`Standard`).
+    fn partitioner_for(
+        &self,
+        partitioning: SkylinePartitioning,
+        spec: &SkylineSpec,
+    ) -> Option<Arc<dyn sparkline_exec::Partitioner>> {
+        match partitioning {
+            SkylinePartitioning::Standard => None,
+            SkylinePartitioning::Even => Some(Arc::new(sparkline_exec::EvenPartitioner)),
+            SkylinePartitioning::Hash => Some(Arc::new(
+                sparkline_exec::SkylineHashPartitioner::new(spec.clone()),
+            )),
+            SkylinePartitioning::AngleBased => Some(Arc::new(
+                sparkline_exec::AnglePartitioner::new(spec.clone()),
+            )),
+            SkylinePartitioning::Grid => Some(Arc::new(sparkline_exec::GridPartitioner::new(
+                spec.clone(),
+                self.config.grid_cells_per_dim,
+            ))),
+        }
+    }
+
     fn plan_join(
         &self,
         left: &LogicalPlan,
@@ -141,9 +165,7 @@ impl<'a> PhysicalPlanner<'a> {
         let on = match condition {
             JoinCondition::On(e) => Some(e.clone()),
             JoinCondition::None => None,
-            JoinCondition::Using(_) => {
-                return Err(Error::internal("USING survived analysis"))
-            }
+            JoinCondition::Using(_) => return Err(Error::internal("USING survived analysis")),
         };
         // Equality pairs enable a hash join for inner/left-outer joins.
         if matches!(join_type, JoinType::Inner | JoinType::LeftOuter) {
@@ -221,52 +243,45 @@ impl<'a> PhysicalPlanner<'a> {
             distinct,
         };
 
-        // Listing 8, line 2: the complete algorithm may be used when the
-        // user asserted COMPLETE or no skyline dimension is nullable.
-        // Forced strategies (the harness's four algorithm series) override.
-        let use_complete = match self.config.skyline_strategy {
-            SkylineStrategy::Auto => complete || !skyline_nullable,
-            SkylineStrategy::DistributedComplete
-            | SkylineStrategy::NonDistributedComplete
-            | SkylineStrategy::SortFilterSkyline => true,
-            SkylineStrategy::DistributedIncomplete => false,
-        };
-        let distributed = !matches!(
-            self.config.skyline_strategy,
-            SkylineStrategy::NonDistributedComplete
-        );
-        let use_sfs = matches!(
-            self.config.skyline_strategy,
-            SkylineStrategy::SortFilterSkyline
-        );
+        // Strategy selection: algorithm family, local-phase partitioning,
+        // and global merge are fixed in one place from the session
+        // configuration and the skyline's plan metadata (Listing 8,
+        // extended — see `sparkline_common::strategy`).
+        let meta = SkylineMeta::new(&spec, skyline_nullable, complete);
+        let choice = SkylinePlan::select(self.config, &meta);
 
-        let mut result: Arc<dyn ExecutionPlan> = if use_complete {
-            // Optional angle-based redistribution before the local phase
-            // (extension; the paper's default inherits the distribution).
-            let local_input: Arc<dyn ExecutionPlan> = if distributed
-                && self.config.skyline_partitioning
-                    == sparkline_common::SkylinePartitioning::AngleBased
-            {
-                Arc::new(ExchangeExec::new(
-                    ExchangeMode::AngleBased(spec.clone()),
-                    input_exec,
-                ))
-            } else {
-                input_exec
-            };
-            let local: Arc<dyn ExecutionPlan> = if !distributed {
+        let mut result: Arc<dyn ExecutionPlan> = if choice.use_complete {
+            // Optional pluggable redistribution before the local phase
+            // (the paper's default inherits the distribution).
+            let local_input: Arc<dyn ExecutionPlan> =
+                match self.partitioner_for(choice.partitioning, &spec) {
+                    Some(partitioner) if choice.distributed => {
+                        Arc::new(ExchangeExec::custom(partitioner, input_exec))
+                    }
+                    _ => input_exec,
+                };
+            let local: Arc<dyn ExecutionPlan> = if !choice.distributed {
                 local_input
-            } else if use_sfs {
+            } else if choice.use_sfs {
                 Arc::new(LocalSkylineExec::sort_filter(spec.clone(), local_input))
             } else {
                 Arc::new(LocalSkylineExec::new(spec.clone(), false, local_input))
             };
-            let gathered = Arc::new(ExchangeExec::single(local));
-            if use_sfs {
-                Arc::new(GlobalSkylineExec::sort_filter(spec, gathered))
+            // The flat merge needs the `AllTuples` gather the paper
+            // describes; the hierarchical merge consumes the local
+            // skylines' distribution directly and fans merge rounds over
+            // the executor pool.
+            let (global_input, merge): (Arc<dyn ExecutionPlan>, MergeStrategy) = match choice.merge
+            {
+                MergeStrategy::Flat => (Arc::new(ExchangeExec::single(local)), MergeStrategy::Flat),
+                hierarchical => (local, hierarchical),
+            };
+            let global = if choice.use_sfs {
+                GlobalSkylineExec::sort_filter(spec, global_input)
             } else {
-                Arc::new(GlobalSkylineExec::new(spec, gathered))
-            }
+                GlobalSkylineExec::new(spec, global_input)
+            };
+            Arc::new(global.with_merge(merge))
         } else {
             // §5.7: distribute by null bitmap, local skylines per bitmap
             // class, then the all-pairs global phase on one executor.
@@ -321,9 +336,7 @@ fn split_equi_condition(on: &Expr, left_len: usize) -> (Vec<(usize, usize)>, Opt
             right,
         } = &c
         {
-            if let (Expr::BoundColumn(a), Expr::BoundColumn(b)) =
-                (left.as_ref(), right.as_ref())
-            {
+            if let (Expr::BoundColumn(a), Expr::BoundColumn(b)) = (left.as_ref(), right.as_ref()) {
                 if a.index < left_len && b.index >= left_len {
                     keys.push((a.index, b.index - left_len));
                     continue;
@@ -366,10 +379,7 @@ pub fn compile_aggregate(
         let new_expr = expr.clone().transform_down(&mut |node| {
             // A subtree equal to a group expression becomes a reference to
             // the group-key slot.
-            if let Some(i) = group_exprs
-                .iter()
-                .position(|g| strip(g) == strip(&node))
-            {
+            if let Some(i) = group_exprs.iter().position(|g| strip(g) == strip(&node)) {
                 return Ok(Expr::BoundColumn(BoundColumn {
                     index: i,
                     field: group_fields[i].clone(),
@@ -432,7 +442,7 @@ pub fn output_schema(plan: &LogicalPlan) -> Result<SchemaRef> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sparkline_common::Value;
+    use sparkline_common::{SkylineStrategy, Value};
     use sparkline_exec::TaskContext;
     use std::collections::HashMap;
 
@@ -465,7 +475,11 @@ mod tests {
         )
     }
 
-    fn dim(plan: &LogicalPlan, index: usize, ty: sparkline_common::SkylineType) -> SkylineDimension {
+    fn dim(
+        plan: &LogicalPlan,
+        index: usize,
+        ty: sparkline_common::SkylineType,
+    ) -> SkylineDimension {
         let schema = plan.schema().unwrap();
         SkylineDimension::new(
             Expr::BoundColumn(BoundColumn {
@@ -513,11 +527,14 @@ mod tests {
         let logical = LogicalPlan::Skyline {
             distinct: false,
             complete: false,
-            dims: vec![dim(&scan, 0, SkylineType::Min), dim(&scan, 1, SkylineType::Max)],
+            dims: vec![
+                dim(&scan, 0, SkylineType::Min),
+                dim(&scan, 1, SkylineType::Max),
+            ],
             input: Arc::new(scan),
         };
-        let config = SessionConfig::default()
-            .with_skyline_strategy(SkylineStrategy::DistributedIncomplete);
+        let config =
+            SessionConfig::default().with_skyline_strategy(SkylineStrategy::DistributedIncomplete);
         let planner = PhysicalPlanner::new(&config, &source);
         let physical = planner.create(&logical).unwrap();
         let display = crate::display_physical(&physical);
@@ -538,8 +555,8 @@ mod tests {
             dims: vec![dim(&scan, 0, SkylineType::Min)],
             input: Arc::new(scan),
         };
-        let config = SessionConfig::default()
-            .with_skyline_strategy(SkylineStrategy::NonDistributedComplete);
+        let config =
+            SessionConfig::default().with_skyline_strategy(SkylineStrategy::NonDistributedComplete);
         let planner = PhysicalPlanner::new(&config, &source);
         let physical = planner.create(&logical).unwrap();
         let display = crate::display_physical(&physical);
@@ -630,7 +647,7 @@ mod tests {
             ),
         ];
         let (calls, rewritten) =
-            compile_aggregate(&[k.clone()], &results, &input_schema).unwrap();
+            compile_aggregate(std::slice::from_ref(&k), &results, &input_schema).unwrap();
         assert_eq!(calls.len(), 2, "sum(v) deduplicated");
         // Internal layout: [k, sum, count].
         assert_eq!(rewritten[0].to_string(), "k#0");

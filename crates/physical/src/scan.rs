@@ -64,9 +64,7 @@ mod tests {
 
     #[test]
     fn scan_partitions_by_executor_count() {
-        let rows: Vec<Row> = (0..10)
-            .map(|i| Row::new(vec![Value::Int64(i)]))
-            .collect();
+        let rows: Vec<Row> = (0..10).map(|i| Row::new(vec![Value::Int64(i)])).collect();
         let schema = Schema::new(vec![Field::new("x", DataType::Int64, false)]).into_ref();
         let scan = ScanExec::new("t", Arc::new(rows), schema);
         let ctx = TaskContext::new(4);

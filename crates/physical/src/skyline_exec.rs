@@ -5,9 +5,10 @@
 //!   it additionally groups the partition's tuples by null bitmap first, so
 //!   correctness never depends on how the exchange mapped bitmaps to
 //!   executors (Lemma 5.1 applies per bitmap class).
-//! * [`GlobalSkylineExec`] — complete-data global skyline on a single
-//!   executor (`AllTuples` distribution), seeded directly with the gathered
-//!   local skylines.
+//! * [`GlobalSkylineExec`] — complete-data global skyline over the local
+//!   skylines: either the paper's flat single-executor pass (`AllTuples`
+//!   distribution) or the hierarchical k-way tree merge that fans merge
+//!   rounds over the executor pool (see [`MergeStrategy`]).
 //! * [`IncompleteGlobalSkylineExec`] — all-pairs global skyline with
 //!   deferred deletion, immune to cyclic dominance (Appendix A).
 //! * [`MinMaxFilterExec`] — the O(n) single-dimension rewrite target
@@ -16,7 +17,7 @@
 
 use std::sync::Arc;
 
-use sparkline_common::{Result, Row, SchemaRef, SkylineSpec, Value};
+use sparkline_common::{MergeStrategy, Result, Row, SchemaRef, SkylineSpec, Value};
 use sparkline_exec::{partition::flatten, Partition, TaskContext};
 use sparkline_plan::{Expr, MinMaxDirection};
 use sparkline_skyline::{
@@ -123,40 +124,96 @@ impl ExecutionPlan for LocalSkylineExec {
         format!(
             "LocalSkylineExec [{} dims, {}{}{}]",
             self.spec.dims.len(),
-            if self.incomplete { "incomplete" } else { "complete" },
-            if self.algo == SkylineAlgo::SortFilter { ", SFS" } else { "" },
+            if self.incomplete {
+                "incomplete"
+            } else {
+                "complete"
+            },
+            if self.algo == SkylineAlgo::SortFilter {
+                ", SFS"
+            } else {
+                ""
+            },
             if self.spec.distinct { ", distinct" } else { "" },
         )
     }
 }
 
-/// Global skyline for complete data: Block-Nested-Loop (or SFS) over the
-/// gathered local skylines on a single executor.
+/// Global skyline for complete data over the local skylines.
+///
+/// Two merge strategies (selected by the planner through
+/// [`MergeStrategy`]):
+///
+/// * **Flat** — the paper's plan: a single BNL/SFS pass over everything,
+///   fed one partition via an `AllTuples` exchange. The global phase runs
+///   on one executor — the serial bottleneck of §6.4.
+/// * **Hierarchical** — a k-way tree merge: partitions are combined in
+///   groups of `fan_in` per round, each group on its own executor, until
+///   one partition remains. Because a BNL merge preserves the relative
+///   order of surviving rows and global skyline members survive every
+///   round, the final BNL output is row-for-row identical to the flat
+///   merge; only the wall-clock distribution of the dominance tests
+///   changes. SFS merges yield the same *set* — the final round re-sorts
+///   by monotone score, but when `sfs_skyline`'s non-numeric fallback
+///   engages, the fallback's BNL order depends on arrival order and may
+///   differ from the flat plan's. Round and task counts are reported
+///   through `exec::metrics`.
 #[derive(Debug)]
 pub struct GlobalSkylineExec {
     spec: SkylineSpec,
     algo: SkylineAlgo,
+    merge: MergeStrategy,
     input: Arc<dyn ExecutionPlan>,
 }
 
 impl GlobalSkylineExec {
-    /// Global complete skyline; the planner feeds it a single partition
-    /// via an `AllTuples` exchange.
+    /// Flat global complete skyline; the planner feeds it a single
+    /// partition via an `AllTuples` exchange.
     pub fn new(spec: SkylineSpec, input: Arc<dyn ExecutionPlan>) -> Self {
         GlobalSkylineExec {
             spec,
             algo: SkylineAlgo::Bnl,
+            merge: MergeStrategy::Flat,
             input,
         }
     }
 
-    /// Global Sort-Filter-Skyline.
+    /// Flat global Sort-Filter-Skyline.
     pub fn sort_filter(spec: SkylineSpec, input: Arc<dyn ExecutionPlan>) -> Self {
         GlobalSkylineExec {
             spec,
             algo: SkylineAlgo::SortFilter,
+            merge: MergeStrategy::Flat,
             input,
         }
+    }
+
+    /// Choose the merge strategy (builder-style).
+    pub fn with_merge(mut self, merge: MergeStrategy) -> Self {
+        if let MergeStrategy::Hierarchical { fan_in } = merge {
+            assert!(fan_in >= 2, "merge fan-in must be at least 2");
+        }
+        self.merge = merge;
+        self
+    }
+
+    /// One k-way merge task: BNL/SFS over the concatenated group.
+    fn merge_group(&self, ctx: &TaskContext, group: Vec<Partition>) -> Result<Partition> {
+        ctx.deadline.check()?;
+        let rows = flatten(group);
+        let reservation = ctx
+            .memory
+            .reserve(rows.iter().map(Row::estimated_bytes).sum());
+        let checker = DominanceChecker::complete(self.spec.clone());
+        let mut stats = SkylineStats::default();
+        let merged = if self.algo == SkylineAlgo::SortFilter {
+            sparkline_skyline::sfs_skyline(rows, &checker, &mut stats)
+        } else {
+            bnl_skyline(rows, &checker, &mut stats)
+        };
+        record_stats(ctx, &stats);
+        drop(reservation);
+        Ok(merged)
     }
 }
 
@@ -174,31 +231,64 @@ impl ExecutionPlan for GlobalSkylineExec {
     }
 
     fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
-        // Defensive coalesce: correctness does not depend on the planner
-        // having inserted the exchange.
-        let rows = flatten(self.input.execute(ctx)?);
+        let input = self.input.execute(ctx)?;
         ctx.deadline.check()?;
-        let reservation = ctx
-            .memory
-            .reserve(rows.iter().map(Row::estimated_bytes).sum());
-        let checker = DominanceChecker::complete(self.spec.clone());
-        let mut stats = SkylineStats::default();
-        let result = if self.algo == SkylineAlgo::SortFilter {
-            sparkline_skyline::sfs_skyline(rows, &checker, &mut stats)
-        } else {
-            bnl_skyline(rows, &checker, &mut stats)
-        };
-        record_stats(ctx, &stats);
-        drop(reservation);
-        Ok(vec![result])
+        match self.merge {
+            MergeStrategy::Flat => {
+                // Defensive coalesce: correctness does not depend on the
+                // planner having inserted the exchange.
+                self.merge_group(ctx, input).map(|p| vec![p])
+            }
+            MergeStrategy::Hierarchical { fan_in } => {
+                let mut parts: Vec<Partition> =
+                    input.into_iter().filter(|p| !p.is_empty()).collect();
+                if parts.is_empty() {
+                    return Ok(vec![Vec::new()]);
+                }
+                while parts.len() > 1 {
+                    ctx.deadline.check()?;
+                    let groups: Vec<Vec<Partition>> = {
+                        let mut groups = Vec::with_capacity(parts.len().div_ceil(fan_in));
+                        let mut iter = parts.into_iter().peekable();
+                        while iter.peek().is_some() {
+                            groups.push(iter.by_ref().take(fan_in).collect());
+                        }
+                        groups
+                    };
+                    // A trailing singleton group is already a merged
+                    // skyline — carrying it over unchanged skips a useless
+                    // O(m²) re-scan, so only real merges count as tasks.
+                    let merging = groups.iter().filter(|g| g.len() > 1).count();
+                    ctx.metrics.add_merge_round(merging);
+                    parts = ctx.runtime.map_indexed(groups, |_, mut group| {
+                        if group.len() == 1 {
+                            return Ok(group.pop().expect("nonempty group"));
+                        }
+                        self.merge_group(ctx, group)
+                    })?;
+                }
+                Ok(parts)
+            }
+        }
     }
 
     fn describe(&self) -> String {
+        let merge = match self.merge {
+            MergeStrategy::Flat => String::new(),
+            MergeStrategy::Hierarchical { fan_in } => {
+                format!(", hierarchical fan-in {fan_in}")
+            }
+        };
         format!(
-            "GlobalSkylineExec [{} dims{}{}]",
+            "GlobalSkylineExec [{} dims{}{}{}]",
             self.spec.dims.len(),
-            if self.algo == SkylineAlgo::SortFilter { ", SFS" } else { "" },
-            if self.spec.distinct { ", distinct" } else { "" }
+            if self.algo == SkylineAlgo::SortFilter {
+                ", SFS"
+            } else {
+                ""
+            },
+            if self.spec.distinct { ", distinct" } else { "" },
+            merge,
         )
     }
 }
@@ -355,27 +445,26 @@ impl ExecutionPlan for MinMaxFilterExec {
     fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
         let input = self.input.execute(ctx)?;
         // Pass 1 (parallel): the best non-NULL value per partition.
-        let bests: Vec<Option<Value>> = ctx.runtime.map_indexed(
-            input.iter().collect::<Vec<_>>(),
-            |_, part| {
-                ctx.deadline.check()?;
-                let mut best: Option<Value> = None;
-                for row in part {
-                    let v = self.expr.evaluate(row)?;
-                    if v.is_null() {
-                        continue;
+        let bests: Vec<Option<Value>> =
+            ctx.runtime
+                .map_indexed(input.iter().collect::<Vec<_>>(), |_, part| {
+                    ctx.deadline.check()?;
+                    let mut best: Option<Value> = None;
+                    for row in part {
+                        let v = self.expr.evaluate(row)?;
+                        if v.is_null() {
+                            continue;
+                        }
+                        let take = match &best {
+                            None => true,
+                            Some(b) => self.better(&v, b),
+                        };
+                        if take {
+                            best = Some(v);
+                        }
                     }
-                    let take = match &best {
-                        None => true,
-                        Some(b) => self.better(&v, b),
-                    };
-                    if take {
-                        best = Some(v);
-                    }
-                }
-                Ok(best)
-            },
-        )?;
+                    Ok(best)
+                })?;
         let mut global_best: Option<Value> = None;
         for b in bests.into_iter().flatten() {
             let take = match &global_best {
@@ -488,10 +577,7 @@ mod tests {
     #[test]
     fn incomplete_plan_handles_cycles() {
         // Appendix A cycle must yield an empty skyline.
-        let spec = SkylineSpec::new(vec![
-            SkylineDim::min(0),
-            SkylineDim::min(1),
-        ]);
+        let spec = SkylineSpec::new(vec![SkylineDim::min(0), SkylineDim::min(1)]);
         // Build a 2-dim cycle analogue: a=(1,*), b=(*,1) are incomparable;
         // use the 3-dim example instead via 2 columns is impossible, so
         // check the operator end-to-end with 3 columns.
@@ -511,8 +597,7 @@ mod tests {
             SkylineDim::min(1),
             SkylineDim::min(2),
         ]);
-        let scan: Arc<dyn ExecutionPlan> =
-            Arc::new(ScanExec::new("t", Arc::new(rows), schema));
+        let scan: Arc<dyn ExecutionPlan> = Arc::new(ScanExec::new("t", Arc::new(rows), schema));
         let bitmap_exchange = Arc::new(ExchangeExec::new(
             crate::exchange::ExchangeMode::NullBitmap(spec3.clone()),
             scan,
@@ -608,12 +693,101 @@ mod tests {
             SkylineDim::min(1),
             SkylineDim::min(2),
         ]);
-        let scan: Arc<dyn ExecutionPlan> =
-            Arc::new(ScanExec::new("t", Arc::new(rows), schema));
+        let scan: Arc<dyn ExecutionPlan> = Arc::new(ScanExec::new("t", Arc::new(rows), schema));
         let local = LocalSkylineExec::new(spec3, true, scan);
         // One executor => single partition holding all three bitmaps.
         let rows = run(&local, 1);
         assert_eq!(rows.len(), 3, "local phase must not delete cycle members");
+    }
+
+    #[test]
+    fn hierarchical_merge_is_byte_identical_to_flat() {
+        // Many partitions of mixed data: the tree merge must produce the
+        // same rows in the same order as the flat single-executor merge.
+        let data: Vec<Vec<Value>> = (0..200)
+            .map(|i: i64| vec![Value::Int64((i * 37) % 100), Value::Int64((i * 53) % 100)])
+            .collect();
+        let run_with = |merge: MergeStrategy, executors: usize| {
+            let local = Arc::new(LocalSkylineExec::new(
+                spec2(),
+                false,
+                Arc::new(ExchangeExec::new(
+                    crate::exchange::ExchangeMode::RoundRobin,
+                    input(data.clone()),
+                )),
+            ));
+            let global: Arc<dyn ExecutionPlan> = match merge {
+                MergeStrategy::Flat => Arc::new(GlobalSkylineExec::new(
+                    spec2(),
+                    Arc::new(ExchangeExec::single(local)),
+                )),
+                hierarchical => {
+                    Arc::new(GlobalSkylineExec::new(spec2(), local).with_merge(hierarchical))
+                }
+            };
+            let ctx = TaskContext::new(executors);
+            let parts = global.execute(&ctx).unwrap();
+            assert_eq!(parts.len(), 1, "global phase yields one partition");
+            (parts.into_iter().next().unwrap(), ctx.metrics.snapshot())
+        };
+        let (flat, flat_metrics) = run_with(MergeStrategy::Flat, 8);
+        assert_eq!(flat_metrics.merge_rounds, 0);
+        for fan_in in [2usize, 3, 4] {
+            let (tree, metrics) = run_with(MergeStrategy::Hierarchical { fan_in }, 8);
+            assert_eq!(tree, flat, "fan-in {fan_in}");
+            assert!(metrics.merge_rounds >= 1, "fan-in {fan_in}: {metrics:?}");
+            assert!(
+                metrics.max_merge_fanout > 1,
+                "merge work must parallelize over executors: {metrics:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchical_merge_handles_empty_input() {
+        let global = GlobalSkylineExec::new(spec2(), input(Vec::new()))
+            .with_merge(MergeStrategy::Hierarchical { fan_in: 2 });
+        assert!(run(&global, 4).is_empty());
+    }
+
+    #[test]
+    fn hierarchical_sfs_merge_matches_flat_as_a_set() {
+        // SFS order can differ between flat and tree when its fallback
+        // engages; the row *set* must always match (compared sorted).
+        let data: Vec<Vec<Value>> = (0..120)
+            .map(|i: i64| vec![Value::Int64((i * 29) % 60), Value::Int64((i * 41) % 60)])
+            .collect();
+        let build = |merge: Option<usize>| {
+            let local = Arc::new(LocalSkylineExec::sort_filter(
+                spec2(),
+                Arc::new(ExchangeExec::new(
+                    crate::exchange::ExchangeMode::RoundRobin,
+                    input(data.clone()),
+                )),
+            ));
+            match merge {
+                None => {
+                    GlobalSkylineExec::sort_filter(spec2(), Arc::new(ExchangeExec::single(local)))
+                }
+                Some(fan_in) => GlobalSkylineExec::sort_filter(spec2(), local)
+                    .with_merge(MergeStrategy::Hierarchical { fan_in }),
+            }
+        };
+        let flat = run(&build(None), 6);
+        let tree = run(&build(Some(2)), 6);
+        assert_eq!(flat, tree, "run() sorts, so this is set equality");
+        assert!(!flat.is_empty());
+    }
+
+    #[test]
+    fn hierarchical_describe_names_the_strategy() {
+        let global = GlobalSkylineExec::new(spec2(), input(Vec::new()))
+            .with_merge(MergeStrategy::Hierarchical { fan_in: 4 });
+        assert!(
+            global.describe().contains("hierarchical fan-in 4"),
+            "{}",
+            global.describe()
+        );
     }
 
     #[test]

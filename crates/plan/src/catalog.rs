@@ -103,8 +103,14 @@ impl CatalogProvider for StaticCatalog {
         right_table: &str,
         right_col: &str,
     ) -> bool {
-        let (lt, lc) = (left_table.to_ascii_lowercase(), left_col.to_ascii_lowercase());
-        let (rt, rc) = (right_table.to_ascii_lowercase(), right_col.to_ascii_lowercase());
+        let (lt, lc) = (
+            left_table.to_ascii_lowercase(),
+            left_col.to_ascii_lowercase(),
+        );
+        let (rt, rc) = (
+            right_table.to_ascii_lowercase(),
+            right_col.to_ascii_lowercase(),
+        );
         self.foreign_keys.iter().any(|fk| {
             fk.from_table == lt && fk.from_column == lc && fk.to_table == rt && fk.to_column == rc
         })

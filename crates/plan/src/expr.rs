@@ -602,6 +602,7 @@ impl Expr {
     }
 
     /// Type and nullability of a resolved expression.
+    #[allow(clippy::only_used_in_recursion)]
     pub fn data_type_and_nullable(&self, input: &Schema) -> Result<(DataType, bool)> {
         match self {
             Expr::Column(c) => Err(Error::internal(format!(
@@ -699,11 +700,9 @@ impl Expr {
             Expr::BinaryOp { left, op, right } => {
                 // Short-circuit Kleene logic for AND/OR.
                 if *op == BinaryOp::And || *op == BinaryOp::Or {
-                    return evaluate_logical(
-                        left.evaluate_inner(row, joined)?,
-                        *op,
-                        || right.evaluate_inner(row, joined),
-                    );
+                    return evaluate_logical(left.evaluate_inner(row, joined)?, *op, || {
+                        right.evaluate_inner(row, joined)
+                    });
                 }
                 let l = left.evaluate_inner(row, joined)?;
                 let r = right.evaluate_inner(row, joined)?;
@@ -771,7 +770,12 @@ fn evaluate_logical(
     let lb = match &left {
         Value::Null => None,
         Value::Boolean(b) => Some(*b),
-        other => return Err(Error::execution(format!("{} applied to {other}", op.symbol()))),
+        other => {
+            return Err(Error::execution(format!(
+                "{} applied to {other}",
+                op.symbol()
+            )))
+        }
     };
     match (op, lb) {
         (BinaryOp::And, Some(false)) => return Ok(Value::Boolean(false)),
@@ -782,7 +786,12 @@ fn evaluate_logical(
     let rb = match &rv {
         Value::Null => None,
         Value::Boolean(b) => Some(*b),
-        other => return Err(Error::execution(format!("{} applied to {other}", op.symbol()))),
+        other => {
+            return Err(Error::execution(format!(
+                "{} applied to {other}",
+                op.symbol()
+            )))
+        }
     };
     let out = match op {
         BinaryOp::And => match (lb, rb) {
@@ -938,7 +947,11 @@ impl fmt::Display for Expr {
                 None => f.write_str("*"),
             },
             Expr::Exists { negated, .. } => {
-                write!(f, "{}EXISTS(<subquery>)", if *negated { "NOT " } else { "" })
+                write!(
+                    f,
+                    "{}EXISTS(<subquery>)",
+                    if *negated { "NOT " } else { "" }
+                )
             }
         }
     }
@@ -998,11 +1011,17 @@ mod tests {
         let fls = Expr::lit(false);
         let null = Expr::Literal(Value::Null);
         assert_eq!(
-            fls.clone().and(null.clone()).evaluate(&Row::empty()).unwrap(),
+            fls.clone()
+                .and(null.clone())
+                .evaluate(&Row::empty())
+                .unwrap(),
             Value::Boolean(false)
         );
         assert_eq!(
-            null.clone().and(fls.clone()).evaluate(&Row::empty()).unwrap(),
+            null.clone()
+                .and(fls.clone())
+                .evaluate(&Row::empty())
+                .unwrap(),
             Value::Boolean(false)
         );
         assert_eq!(
@@ -1043,7 +1062,10 @@ mod tests {
             func: ScalarFunction::IfNull,
             args: vec![bound(0, "a", DataType::Int64), Expr::lit(0i64)],
         };
-        assert_eq!(e.evaluate(&row(vec![Value::Null])).unwrap(), Value::Int64(0));
+        assert_eq!(
+            e.evaluate(&row(vec![Value::Null])).unwrap(),
+            Value::Int64(0)
+        );
         assert_eq!(
             e.evaluate(&row(vec![Value::Int64(7)])).unwrap(),
             Value::Int64(7)
@@ -1148,18 +1170,21 @@ mod tests {
             AggregateFunction::Min.output_type(DataType::Utf8),
             DataType::Utf8
         );
-        assert_eq!(AggregateFunction::from_name("SUM"), Some(AggregateFunction::Sum));
+        assert_eq!(
+            AggregateFunction::from_name("SUM"),
+            Some(AggregateFunction::Sum)
+        );
         assert_eq!(AggregateFunction::from_name("nope"), None);
     }
 
     #[test]
     fn display_round_trip_shapes() {
-        let e = Expr::qcol("t", "a").lt_eq(Expr::lit(3i64)).and(Expr::Not(
-            Box::new(Expr::IsNull {
+        let e = Expr::qcol("t", "a")
+            .lt_eq(Expr::lit(3i64))
+            .and(Expr::Not(Box::new(Expr::IsNull {
                 expr: Box::new(Expr::col("b")),
                 negated: false,
-            }),
-        ));
+            })));
         assert_eq!(e.to_string(), "((t.a <= 3) AND (NOT (b IS NULL)))");
     }
 

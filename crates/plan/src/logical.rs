@@ -35,7 +35,10 @@ pub enum JoinType {
 impl JoinType {
     /// Whether the join's output contains the right side's columns.
     pub fn emits_right(self) -> bool {
-        matches!(self, JoinType::Inner | JoinType::LeftOuter | JoinType::Cross)
+        matches!(
+            self,
+            JoinType::Inner | JoinType::LeftOuter | JoinType::Cross
+        )
     }
 
     /// Whether every left tuple appears at least once in the output
@@ -415,23 +418,19 @@ impl LogicalPlan {
                 ..
             } => group_exprs.iter().chain(aggr_exprs).cloned().collect(),
             LogicalPlan::Sort { exprs, .. } => exprs.iter().map(|s| s.expr.clone()).collect(),
-            LogicalPlan::Join { condition, .. } => match condition {
-                JoinCondition::On(e) => vec![e.clone()],
-                _ => vec![],
-            },
-            LogicalPlan::Skyline { dims, .. } => {
-                dims.iter().map(|d| d.child.clone()).collect()
-            }
+            LogicalPlan::Join {
+                condition: JoinCondition::On(e),
+                ..
+            } => vec![e.clone()],
+            LogicalPlan::Join { .. } => vec![],
+            LogicalPlan::Skyline { dims, .. } => dims.iter().map(|d| d.child.clone()).collect(),
             LogicalPlan::MinMaxFilter { expr, .. } => vec![expr.clone()],
             _ => vec![],
         }
     }
 
     /// Rewrite the expressions held directly by this node.
-    pub fn map_expressions(
-        &self,
-        f: &mut dyn FnMut(Expr) -> Result<Expr>,
-    ) -> Result<LogicalPlan> {
+    pub fn map_expressions(&self, f: &mut dyn FnMut(Expr) -> Result<Expr>) -> Result<LogicalPlan> {
         let plan = self.clone();
         Ok(match plan {
             LogicalPlan::Projection { exprs, input } => LogicalPlan::Projection {
@@ -447,7 +446,10 @@ impl LogicalPlan {
                 aggr_exprs,
                 input,
             } => LogicalPlan::Aggregate {
-                group_exprs: group_exprs.into_iter().map(&mut *f).collect::<Result<_>>()?,
+                group_exprs: group_exprs
+                    .into_iter()
+                    .map(&mut *f)
+                    .collect::<Result<_>>()?,
                 aggr_exprs: aggr_exprs.into_iter().map(&mut *f).collect::<Result<_>>()?,
                 input,
             },
@@ -552,7 +554,11 @@ impl LogicalPlan {
             LogicalPlan::Values { rows, .. } => format!("Values [{} rows]", rows.len()),
             LogicalPlan::Projection { exprs, .. } => format!(
                 "Projection [{}]",
-                exprs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(", ")
+                exprs
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
             LogicalPlan::Filter { predicate, .. } => format!("Filter [{predicate}]"),
             LogicalPlan::Aggregate {
@@ -574,7 +580,11 @@ impl LogicalPlan {
             ),
             LogicalPlan::Sort { exprs, .. } => format!(
                 "Sort [{}]",
-                exprs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(", ")
+                exprs
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
             LogicalPlan::Limit { n, .. } => format!("Limit [{n}]"),
             LogicalPlan::Join {
@@ -606,7 +616,10 @@ impl LogicalPlan {
                     "Skyline [{}{} of {}]",
                     flags.trim_start(),
                     if flags.is_empty() { "" } else { ";" },
-                    dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(", ")
+                    dims.iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )
             }
             LogicalPlan::Distinct { .. } => "Distinct".to_string(),

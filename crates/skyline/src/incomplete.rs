@@ -56,7 +56,10 @@ pub fn partition_by_null_bitmap(
 ) -> HashMap<u64, Vec<Row>> {
     let mut partitions: HashMap<u64, Vec<Row>> = HashMap::new();
     for row in rows {
-        partitions.entry(null_bitmap(&row, spec)).or_default().push(row);
+        partitions
+            .entry(null_bitmap(&row, spec))
+            .or_default()
+            .push(row);
     }
     partitions
 }
@@ -230,10 +233,7 @@ mod tests {
         let (a, b, c) = cycle();
         let complete1 = row(&[Some(9), Some(9), Some(9)]);
         let complete2 = row(&[Some(8), Some(8), Some(8)]);
-        let parts = partition_by_null_bitmap(
-            vec![a, b, c, complete1, complete2],
-            &spec,
-        );
+        let parts = partition_by_null_bitmap(vec![a, b, c, complete1, complete2], &spec);
         assert_eq!(parts.len(), 4);
         assert_eq!(parts[&0].len(), 2);
     }
@@ -272,11 +272,7 @@ mod tests {
         // and dim 1 is NULL, so only dims 0/2 can be compared.
         let survivor = row(&[Some(0), None, Some(0)]);
         let mut stats = SkylineStats::default();
-        let sky = incomplete_skyline(
-            vec![a, b, c, survivor.clone()],
-            &checker,
-            &mut stats,
-        );
+        let sky = incomplete_skyline(vec![a, b, c, survivor.clone()], &checker, &mut stats);
         assert_eq!(sky, vec![survivor]);
     }
 
@@ -311,11 +307,8 @@ mod tests {
         let checker = DominanceChecker::incomplete(spec);
         let r = row(&[Some(1), None, Some(1)]);
         let mut stats = SkylineStats::default();
-        let sky = incomplete_global_skyline(
-            vec![r.clone(), r.clone(), r.clone()],
-            &checker,
-            &mut stats,
-        );
+        let sky =
+            incomplete_global_skyline(vec![r.clone(), r.clone(), r.clone()], &checker, &mut stats);
         assert_eq!(sky.len(), 1);
     }
 

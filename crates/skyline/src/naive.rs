@@ -67,16 +67,14 @@ mod tests {
 
     #[test]
     fn identical_tuples_do_not_dominate_each_other() {
-        let checker =
-            DominanceChecker::complete(SkylineSpec::new(vec![SkylineDim::min(0)]));
+        let checker = DominanceChecker::complete(SkylineSpec::new(vec![SkylineDim::min(0)]));
         let rows = vec![row(&[Some(1)]), row(&[Some(1)])];
         assert_eq!(naive_skyline(&rows, &checker).len(), 2);
     }
 
     #[test]
     fn distinct_keeps_first_representative() {
-        let checker =
-            DominanceChecker::complete(SkylineSpec::distinct(vec![SkylineDim::min(0)]));
+        let checker = DominanceChecker::complete(SkylineSpec::distinct(vec![SkylineDim::min(0)]));
         let r1 = Row::new(vec![Value::Int64(1), Value::str("keep")]);
         let r2 = Row::new(vec![Value::Int64(1), Value::str("drop")]);
         let sky = naive_skyline(&[r1.clone(), r2], &checker);

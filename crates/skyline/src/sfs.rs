@@ -168,10 +168,7 @@ mod tests {
         let mut stats = SkylineStats::default();
         let result = sfs_skyline(data.clone(), &c, &mut stats);
         let mut s2 = SkylineStats::default();
-        assert_eq!(
-            sorted(result),
-            sorted(bnl_skyline(data, &c, &mut s2))
-        );
+        assert_eq!(sorted(result), sorted(bnl_skyline(data, &c, &mut s2)));
     }
 
     #[test]

@@ -87,9 +87,11 @@ proptest! {
         let bnl = bnl_skyline(rows.clone(), &checker, &mut stats);
         let oracle = naive_skyline(&rows, &checker);
         // Representative choice is arbitrary; compare dim-value multisets.
-        let key = |r: &Row| format!("{}|{}", r.get(0), r.get(1));
-        let mut a: Vec<String> = bnl.iter().map(|r| key(r)).collect();
-        let mut b: Vec<String> = oracle.iter().map(|r| key(r)).collect();
+        fn key(r: &Row) -> String {
+            format!("{}|{}", r.get(0), r.get(1))
+        }
+        let mut a: Vec<String> = bnl.iter().map(key).collect();
+        let mut b: Vec<String> = oracle.iter().map(key).collect();
         a.sort();
         b.sort();
         prop_assert_eq!(a, b);

@@ -1,0 +1,206 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the API subset the workspace uses — `StdRng::seed_from_u64`,
+//! `gen_range` over integer/float ranges, and `gen_bool` — on top of a
+//! SplitMix64/xoshiro256** generator. Statistical quality is more than
+//! sufficient for seeded test-data generation; this is **not** a
+//! cryptographic source.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from a range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli sample with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Marker for types uniformly sampleable from a range. Mirrors
+/// `rand::distributions::uniform::SampleUniform`; the bound is what lets
+/// type inference pick the output type at mixed-arithmetic call sites.
+pub trait SampleUniform {}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$( impl SampleUniform for $t {} )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+/// A range that knows how to sample a `T` uniformly.
+pub trait SampleRange<T> {
+    /// Draw one sample.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Map 64 random bits to a float in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                // Inclusive span; `hi - lo + 1` only overflows for the full
+                // 64-bit domain, where any value is valid.
+                let span = (hi as i128 - lo as i128) as u64;
+                let draw = if span == u64::MAX {
+                    rng.next_u64()
+                } else {
+                    rng.next_u64() % (span + 1)
+                };
+                lo.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** seeded via
+    /// SplitMix64 (the reference seeding procedure).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn split_mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            StdRng {
+                s: [
+                    split_mix(&mut state),
+                    split_mix(&mut state),
+                    split_mix(&mut state),
+                    split_mix(&mut state),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let v: i64 = rng.gen_range(-3..=3);
+            assert!((-3..=3).contains(&v));
+            let u: usize = rng.gen_range(0..5);
+            assert!(u < 5);
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn uniform_int_is_roughly_flat() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buckets = [0usize; 8];
+        for _ in 0..8000 {
+            buckets[rng.gen_range(0usize..8)] += 1;
+        }
+        assert!(
+            buckets.iter().all(|&b| (800..1200).contains(&b)),
+            "{buckets:?}"
+        );
+    }
+}

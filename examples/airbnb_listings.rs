@@ -21,7 +21,10 @@ fn main() -> sparkline::Result<()> {
     println!("Registered '{table}' with {n} listings (complete variant)\n");
 
     // Sweep dimension counts like the paper's Figure 3.
-    println!("{:<4} {:>10} {:>12} {:>14}", "dims", "skyline", "time", "dom. tests");
+    println!(
+        "{:<4} {:>10} {:>12} {:>14}",
+        "dims", "skyline", "time", "dom. tests"
+    );
     for d in 1..=6 {
         let query = skyline_query_for(&table, &airbnb::SKYLINE_DIMS, d, true);
         let started = Instant::now();

@@ -62,11 +62,9 @@ fn main() -> sparkline::Result<()> {
             .collect(),
     )?;
 
-    let without = ctx
-        .sql("SELECT * FROM measurements SKYLINE OF latency MIN, throughput MAX")?;
-    let with = ctx.sql(
-        "SELECT * FROM measurements SKYLINE OF COMPLETE latency MIN, throughput MAX",
-    )?;
+    let without = ctx.sql("SELECT * FROM measurements SKYLINE OF latency MIN, throughput MAX")?;
+    let with =
+        ctx.sql("SELECT * FROM measurements SKYLINE OF COMPLETE latency MIN, throughput MAX")?;
     println!(
         "Without COMPLETE: {}",
         first_skyline_node(&without.explain()?)

@@ -17,10 +17,10 @@ fn main() -> sparkline::Result<()> {
         ("Budget Stay", 45, 4),
         ("Grand Palace", 280, 10),
         ("City Nest", 75, 7),
-        ("Harbor View", 95, 8),   // dominated by Seaside Inn? no: cheaper!
-        ("Old Mill", 130, 6),     // dominated (City Nest is cheaper & better)
+        ("Harbor View", 95, 8), // dominated by Seaside Inn? no: cheaper!
+        ("Old Mill", 130, 6),   // dominated (City Nest is cheaper & better)
         ("Cheap Sleep", 35, 2),
-        ("Plaza Royal", 300, 9),  // dominated by Grand Palace
+        ("Plaza Royal", 300, 9), // dominated by Grand Palace
     ];
     ctx.register_table(
         "hotels",
@@ -31,9 +31,7 @@ fn main() -> sparkline::Result<()> {
         ]),
         hotels
             .iter()
-            .map(|&(n, p, r)| {
-                Row::new(vec![Value::str(n), Value::Int64(p), Value::Int64(r)])
-            })
+            .map(|&(n, p, r)| Row::new(vec![Value::str(n), Value::Int64(p), Value::Int64(r)]))
             .collect(),
     )?;
 

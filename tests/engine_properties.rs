@@ -3,9 +3,7 @@
 //! must agree with the naive Definition-3.2 oracle.
 
 use proptest::prelude::*;
-use sparkline::{
-    Algorithm, DataType, Field, Row, Schema, SessionConfig, SessionContext, Value,
-};
+use sparkline::{Algorithm, DataType, Field, Row, Schema, SessionConfig, SessionContext, Value};
 use sparkline_common::{SkylineDim, SkylineSpec, SkylineType};
 use sparkline_skyline::{naive_skyline, DominanceChecker};
 
@@ -73,9 +71,7 @@ fn run_case(case: &Case, allow_null: bool, algorithm: Algorithm) -> (Vec<String>
     expected.sort();
 
     // Engine.
-    let ctx = SessionContext::with_config(
-        SessionConfig::default().with_executors(case.executors),
-    );
+    let ctx = SessionContext::with_config(SessionConfig::default().with_executors(case.executors));
     ctx.register_table(
         "t",
         Schema::new(vec![

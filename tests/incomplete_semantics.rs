@@ -3,12 +3,10 @@
 //! and the agreement of complete and incomplete algorithms on complete
 //! data.
 
-use sparkline::{
-    Algorithm, DataType, Field, Row, Schema, SessionConfig, SessionContext, Value,
-};
+use sparkline::{Algorithm, DataType, Field, Row, Schema, SessionConfig, SessionContext, Value};
+use sparkline_common::{SkylineDim, SkylineSpec, SkylineType};
 use sparkline_datagen::{register_store_sales, skyline_query_for, store_sales, Variant};
 use sparkline_skyline::{naive_skyline, DominanceChecker};
-use sparkline_common::{SkylineDim, SkylineSpec, SkylineType};
 
 fn incomplete_session(rows: Vec<Row>) -> SessionContext {
     let ctx = SessionContext::new();
@@ -42,8 +40,7 @@ fn appendix_a_cycle_yields_empty_skyline_at_any_executor_count() {
     ];
     let base = incomplete_session(rows);
     for executors in [1usize, 2, 3, 5, 10] {
-        let ctx =
-            base.with_shared_catalog(SessionConfig::default().with_executors(executors));
+        let ctx = base.with_shared_catalog(SessionConfig::default().with_executors(executors));
         let result = ctx
             .sql("SELECT * FROM t SKYLINE OF a MIN, b MIN, c MIN")
             .unwrap()

@@ -2,7 +2,7 @@
 //! §5.4 rule is checked for semantic neutrality and for actually firing.
 
 use sparkline::{Algorithm, SessionConfig, SessionContext};
-use sparkline_datagen::{register_airbnb, skyline_query_for, airbnb, Variant};
+use sparkline_datagen::{airbnb, register_airbnb, skyline_query_for, Variant};
 
 fn session(config: SessionConfig) -> SessionContext {
     let ctx = SessionContext::with_config(config);
@@ -25,6 +25,7 @@ fn session(config: SessionConfig) -> SessionContext {
 }
 
 #[test]
+#[allow(clippy::single_element_loop)]
 fn single_dim_rewrite_is_semantically_neutral() {
     let on = session(SessionConfig::default().with_single_dim_rewrite(true));
     let off = session(SessionConfig::default().with_single_dim_rewrite(false));
@@ -57,7 +58,10 @@ fn single_dim_rewrite_handles_max_direction() {
         })
         .max()
         .unwrap();
-    assert!(result.rows.iter().all(|r| r.get(2) == &sparkline::Value::Int64(max)));
+    assert!(result
+        .rows
+        .iter()
+        .all(|r| r.get(2) == &sparkline::Value::Int64(max)));
 }
 
 #[test]

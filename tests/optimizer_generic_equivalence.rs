@@ -1,0 +1,57 @@
+//! Reference-vs-integrated equivalence on the MusicBrainz complex query,
+//! with the generic optimizer rules both on and off (promoted from the
+//! ad-hoc `examples/_dbg.rs` check into a real regression test): the
+//! hand-written `NOT EXISTS` reference query and the integrated
+//! `SKYLINE OF` query must agree row-for-row, and toggling the generic
+//! optimizations must change neither side.
+
+use sparkline::{SessionConfig, SessionContext};
+use sparkline_datagen::{musicbrainz, register_musicbrainz, Variant};
+
+fn reference_sql() -> String {
+    let base = musicbrainz::base_query_complete();
+    format!(
+        "SELECT * FROM ( {base} ) AS o WHERE NOT EXISTS( \
+           SELECT * FROM ( {base} ) AS i WHERE \
+             i.rating >= o.rating AND i.rating_count >= o.rating_count AND \
+             i.length <= o.length AND i.video >= o.video AND ( \
+             i.rating > o.rating OR i.rating_count > o.rating_count OR \
+             i.length < o.length OR i.video > o.video))"
+    )
+}
+
+#[test]
+fn reference_equals_integrated_with_and_without_generic_optimizations() {
+    let mut baseline: Option<Vec<String>> = None;
+    for generic in [true, false] {
+        let ctx = SessionContext::with_config(
+            SessionConfig::default().with_generic_optimizations(generic),
+        );
+        register_musicbrainz(&ctx, 250, 5, Variant::Complete).unwrap();
+        let reference = ctx
+            .sql(&reference_sql())
+            .unwrap()
+            .collect()
+            .unwrap()
+            .sorted_display();
+        let integrated = ctx
+            .sql(&musicbrainz::skyline_query(Variant::Complete, 4))
+            .unwrap()
+            .collect()
+            .unwrap()
+            .sorted_display();
+        assert!(!integrated.is_empty(), "generic={generic}: empty skyline");
+        assert_eq!(
+            reference, integrated,
+            "generic={generic}: reference and integrated skylines diverge"
+        );
+        // The optimizer toggle must not change the result either.
+        match &baseline {
+            None => baseline = Some(integrated),
+            Some(expected) => assert_eq!(
+                &integrated, expected,
+                "generic optimizations changed the skyline"
+            ),
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Partitioning correctness properties: the two-phase skyline must equal
+//! the naive Definition-3.2 oracle under **every** partitioning scheme
+//! (even / hash / angle / grid) on every benchmark distribution
+//! (correlated / independent / anti-correlated), for any executor count —
+//! including the empty-input and single-partition edge cases. The scheme
+//! may only change *where* tuples are processed (and, for the grid, how
+//! many provably dominated tuples are skipped), never the result.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparkline::{DataType, Field, Row, Schema, SessionConfig, SessionContext, SkylinePartitioning};
+use sparkline_common::{SkylineDim, SkylineSpec};
+use sparkline_datagen::distributions::{anti_correlated_rows, correlated_rows, independent_rows};
+use sparkline_skyline::{naive_skyline, DominanceChecker};
+
+const SCHEMES: [SkylinePartitioning; 5] = [
+    SkylinePartitioning::Standard,
+    SkylinePartitioning::Even,
+    SkylinePartitioning::Hash,
+    SkylinePartitioning::AngleBased,
+    SkylinePartitioning::Grid,
+];
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Distribution {
+    Correlated,
+    Independent,
+    AntiCorrelated,
+}
+
+fn generate(dist: Distribution, seed: u64, n: usize, dims: usize) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match dist {
+        Distribution::Correlated => correlated_rows(&mut rng, n, dims),
+        Distribution::Independent => independent_rows(&mut rng, n, dims),
+        Distribution::AntiCorrelated => anti_correlated_rows(&mut rng, n, dims),
+    }
+}
+
+/// Oracle skyline (sorted display strings) for MIN dimensions.
+fn oracle(rows: &[Row], dims: usize) -> Vec<String> {
+    let spec = SkylineSpec::new((0..dims).map(SkylineDim::min).collect());
+    let checker = DominanceChecker::complete(spec);
+    let mut v: Vec<String> = naive_skyline(rows, &checker)
+        .iter()
+        .map(|r| r.to_string())
+        .collect();
+    v.sort();
+    v
+}
+
+/// Engine skyline (sorted display strings) under one scheme.
+fn engine(
+    rows: Vec<Row>,
+    dims: usize,
+    scheme: SkylinePartitioning,
+    executors: usize,
+) -> Vec<String> {
+    let ctx = SessionContext::with_config(
+        SessionConfig::default()
+            .with_executors(executors)
+            .with_skyline_partitioning(scheme),
+    );
+    ctx.register_table(
+        "t",
+        Schema::new(
+            (0..dims)
+                .map(|i| Field::new(format!("d{i}"), DataType::Float64, false))
+                .collect(),
+        ),
+        rows,
+    )
+    .unwrap();
+    let dim_list = (0..dims)
+        .map(|i| format!("d{i} MIN"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    ctx.sql(&format!("SELECT * FROM t SKYLINE OF COMPLETE {dim_list}"))
+        .unwrap()
+        .collect()
+        .unwrap()
+        .sorted_display()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every scheme × distribution × executor count equals the oracle.
+    #[test]
+    fn partitioned_two_phase_equals_oracle(
+        seed in 0u64..1_000,
+        n in 0usize..250,
+        executors in 1usize..7,
+        dims in 2usize..4,
+    ) {
+        for dist in [
+            Distribution::Correlated,
+            Distribution::Independent,
+            Distribution::AntiCorrelated,
+        ] {
+            let rows = generate(dist, seed, n, dims);
+            let expected = oracle(&rows, dims);
+            for scheme in SCHEMES {
+                let got = engine(rows.clone(), dims, scheme, executors);
+                prop_assert_eq!(
+                    &got,
+                    &expected,
+                    "{:?} / {:?} / {} executors / {} rows",
+                    scheme,
+                    dist,
+                    executors,
+                    n
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_input_yields_empty_skyline_under_every_scheme() {
+    for scheme in SCHEMES {
+        for executors in [1usize, 4] {
+            let got = engine(Vec::new(), 2, scheme, executors);
+            assert!(got.is_empty(), "{scheme:?} with {executors} executors");
+        }
+    }
+}
+
+#[test]
+fn single_partition_degenerates_gracefully() {
+    // One executor means one partition everywhere: every scheme must
+    // degenerate to the direct skyline.
+    let rows = generate(Distribution::AntiCorrelated, 7, 300, 3);
+    let expected = oracle(&rows, 3);
+    for scheme in SCHEMES {
+        assert_eq!(
+            engine(rows.clone(), 3, scheme, 1),
+            expected,
+            "{scheme:?} single partition"
+        );
+    }
+}
+
+#[test]
+fn more_executors_than_rows_is_sound() {
+    let rows = generate(Distribution::Independent, 3, 4, 2);
+    let expected = oracle(&rows, 2);
+    for scheme in SCHEMES {
+        assert_eq!(
+            engine(rows.clone(), 2, scheme, 16),
+            expected,
+            "{scheme:?} with 16 executors / 4 rows"
+        );
+    }
+}

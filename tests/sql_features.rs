@@ -50,7 +50,10 @@ fn run(ctx: &SessionContext, sql: &str) -> Vec<String> {
 #[test]
 fn projection_arithmetic_aliases() {
     let ctx = session();
-    let rows = run(&ctx, "SELECT id, amount * 2 AS double_amount FROM orders WHERE id = 1");
+    let rows = run(
+        &ctx,
+        "SELECT id, amount * 2 AS double_amount FROM orders WHERE id = 1",
+    );
     assert_eq!(rows, vec!["(1, 20.0)"]);
 }
 
@@ -189,21 +192,30 @@ fn ifnull_and_coalesce_functions() {
         "SELECT id, ifnull(region, 'unknown') FROM orders WHERE id = 4",
     );
     assert_eq!(rows, vec!["(4, unknown)"]);
-    let rows = run(&ctx, "SELECT coalesce(NULL, region, 'x') FROM orders WHERE id = 1");
+    let rows = run(
+        &ctx,
+        "SELECT coalesce(NULL, region, 'x') FROM orders WHERE id = 1",
+    );
     assert_eq!(rows, vec!["(eu)"]);
 }
 
 #[test]
 fn cast_expression() {
     let ctx = session();
-    let rows = run(&ctx, "SELECT CAST(amount AS BIGINT) FROM orders WHERE id = 3");
+    let rows = run(
+        &ctx,
+        "SELECT CAST(amount AS BIGINT) FROM orders WHERE id = 3",
+    );
     assert_eq!(rows, vec!["(20)"]);
 }
 
 #[test]
 fn cross_join_cardinality() {
     let ctx = session();
-    let rows = run(&ctx, "SELECT orders.id, customers.name FROM orders, customers");
+    let rows = run(
+        &ctx,
+        "SELECT orders.id, customers.name FROM orders, customers",
+    );
     assert_eq!(rows.len(), 10);
 }
 
