@@ -1,0 +1,91 @@
+//! Scalar vs columnar (batched) dominance kernel micro-benchmark: one
+//! candidate tested against a full window at d ∈ {2, 4, 8} dimensions and
+//! window sizes {16, 256, 4096}. The columnar variant encodes the window
+//! once and runs the chunked struct-of-arrays kernel; the scalar variant
+//! loops the per-pair `DominanceChecker`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparkline_common::{Row, SkylineDim, SkylineSpec, Value};
+use sparkline_skyline::{ColumnarBlock, Dominance, DominanceChecker};
+use std::hint::black_box;
+
+fn rows(n: usize, dims: usize, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Row::new(
+                (0..dims)
+                    .map(|_| Value::Float64(rng.gen_range(0.0..1000.0)))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn spec(dims: usize) -> SkylineSpec {
+    SkylineSpec::new((0..dims).map(SkylineDim::min).collect())
+}
+
+fn bench_candidate_vs_window(c: &mut Criterion) {
+    for dims in [2usize, 4, 8] {
+        let mut group = c.benchmark_group(format!("candidate_vs_window_d{dims}"));
+        for window_size in [16usize, 256, 4096] {
+            let window = rows(window_size, dims, 7);
+            let candidates = rows(64, dims, 11);
+            let checker = DominanceChecker::complete(spec(dims));
+
+            group.bench_with_input(
+                BenchmarkId::new("scalar", window_size),
+                &window_size,
+                |b, _| {
+                    b.iter(|| {
+                        let mut dominated = 0u32;
+                        for cand in &candidates {
+                            for row in &window {
+                                if checker.compare(black_box(cand), black_box(row))
+                                    == Dominance::DominatedBy
+                                {
+                                    dominated += 1;
+                                }
+                            }
+                        }
+                        dominated
+                    })
+                },
+            );
+
+            let mut block = ColumnarBlock::for_checker(&checker);
+            for row in &window {
+                block.push(row);
+            }
+            assert!(!block.is_fallback());
+            group.bench_with_input(
+                BenchmarkId::new("columnar", window_size),
+                &window_size,
+                |b, _| {
+                    let mut out = Vec::with_capacity(window.len());
+                    b.iter(|| {
+                        let mut dominated = 0u32;
+                        for cand in &candidates {
+                            let enc = block.encode(black_box(cand)).expect("numeric candidate");
+                            block.compare_batch(&enc, &mut out, false);
+                            dominated +=
+                                out.iter().filter(|&&o| o == Dominance::DominatedBy).count() as u32;
+                        }
+                        dominated
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_candidate_vs_window
+);
+criterion_main!(benches);

@@ -30,7 +30,7 @@ pub struct Report {
 pub fn all_ids() -> Vec<&'static str> {
     vec![
         "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-        "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ext1", "ext2",
+        "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ext1", "ext2", "ext3",
     ]
 }
 
@@ -58,6 +58,7 @@ pub fn run(id: &str, ctx: &mut EvalContext, quick: bool) -> Vec<Report> {
         "fig19" => musicbrainz_executors_grid(ctx, quick, "fig19", Metric::Memory),
         "ext1" => ext1_partitioning_schemes(ctx, quick),
         "ext2" => ext2_hierarchical_merge(ctx, quick),
+        "ext3" => ext3_vectorized_dominance(quick),
         other => panic!("unknown experiment '{other}'; known: {:?}", all_ids()),
     }
 }
@@ -102,7 +103,18 @@ fn run_series(
                 skipping = skip_after_timeout;
                 cells.push(Cell::Timeout);
             } else {
-                eprintln!("{:.3}s ({} rows)", m.secs.unwrap_or_default(), m.rows);
+                let fallbacks = if m.sfs_fallbacks > 0 {
+                    format!(", {} sfs fallbacks", m.sfs_fallbacks)
+                } else {
+                    String::new()
+                };
+                eprintln!(
+                    "{:.3}s ({} rows, {} batched / {} scalar tests{fallbacks})",
+                    m.secs.unwrap_or_default(),
+                    m.rows,
+                    m.batched_tests,
+                    m.scalar_tests,
+                );
                 cells.push(Cell::from_measurement(&m, metric));
             }
         }
@@ -720,6 +732,53 @@ fn ext1_partitioning_schemes(ctx: &mut EvalContext, quick: bool) -> Vec<Report> 
         ),
         x_label: "dimensions",
         x_values: dims_points.iter().map(|d| d.to_string()).collect(),
+        series,
+        metric: Metric::Time,
+        with_relative: false,
+    }]
+}
+
+/// ext3: scalar vs columnar dominance kernel on the anti-correlated local
+/// phase (`ext1`'s workload), one cell per dimension count. Also writes
+/// the machine-readable `BENCH_PR2.json` (rows/s, tests/s, ns/test, the
+/// scalar/columnar ratio) so the perf trajectory is tracked from PR 2 on;
+/// set `BENCH_PR2_OUT` to redirect the file.
+fn ext3_vectorized_dominance(quick: bool) -> Vec<Report> {
+    let path = std::env::var("BENCH_PR2_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+    let bench = crate::kernel_bench::write_bench_pr2(&path, quick)
+        .unwrap_or_else(|e| panic!("ext3: cannot write {path}: {e}"));
+    eprintln!("    wrote {path}");
+    for (dims, ratio) in &bench.speedups {
+        eprintln!("    [d={dims}] scalar/columnar ns-per-test ratio: {ratio:.2}x");
+    }
+    let dims: Vec<usize> = bench.speedups.iter().map(|(d, _)| *d).collect();
+    let series: Vec<(String, Vec<Cell>)> = ["scalar", "columnar"]
+        .iter()
+        .map(|variant| {
+            (
+                variant.to_string(),
+                dims.iter()
+                    .map(|&d| {
+                        bench
+                            .cells
+                            .iter()
+                            .find(|c| c.variant == *variant && c.dims == d)
+                            .map(|c| Cell::Value(c.secs))
+                            .unwrap_or(Cell::NotApplicable)
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let rows = bench.cells.first().map(|c| c.rows).unwrap_or(0);
+    vec![Report {
+        id: "ext3".into(),
+        title: format!(
+            "Extension 3: scalar vs columnar dominance kernel, anti-correlated local \
+             phase ({rows} rows; see BENCH_PR2.json)"
+        ),
+        x_label: "dimensions",
+        x_values: dims.iter().map(|d| d.to_string()).collect(),
         series,
         metric: Metric::Time,
         with_relative: false,

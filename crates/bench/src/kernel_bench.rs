@@ -1,0 +1,220 @@
+//! Scalar-vs-columnar dominance kernel benchmark and the machine-readable
+//! `BENCH_PR2.json` trajectory file.
+//!
+//! The experiment mirrors the paper's cost model: the local skyline phase
+//! is timed at several dimension counts on the Börzsönyi anti-correlated
+//! workload (the dominance-test-heavy one), once through the scalar
+//! [`DominanceChecker`] and once through the columnar batch kernel, and
+//! the per-test cost (ns/test) plus throughput (rows/s, tests/s) are
+//! recorded. The JSON output is intentionally stable so later PRs can
+//! track the perf trajectory file-over-file.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparkline_common::{SkylineDim, SkylineSpec};
+use sparkline_datagen::distributions::anti_correlated_rows;
+use sparkline_skyline::{bnl_skyline, bnl_skyline_batched, DominanceChecker, SkylineStats};
+
+/// One timed (variant, dimension-count) cell.
+#[derive(Debug, Clone)]
+pub struct KernelCell {
+    /// `"scalar"` or `"columnar"`.
+    pub variant: &'static str,
+    /// Skyline dimension count.
+    pub dims: usize,
+    /// Input rows.
+    pub rows: usize,
+    /// Skyline size (must match between variants).
+    pub skyline: usize,
+    /// Wall-clock seconds of the local-phase BNL pass.
+    pub secs: f64,
+    /// Dominance tests performed.
+    pub dominance_tests: u64,
+    /// Tests routed through the columnar kernel.
+    pub batched_tests: u64,
+    /// Tests routed through the scalar checker.
+    pub scalar_tests: u64,
+    /// Nanoseconds per dominance test.
+    pub ns_per_test: f64,
+    /// Input rows per second.
+    pub rows_per_sec: f64,
+    /// Dominance tests per second.
+    pub tests_per_sec: f64,
+}
+
+/// The full benchmark result: cells plus the scalar/columnar ns-per-test
+/// ratio per dimension count (`> 1` means the columnar kernel is cheaper
+/// per *performed* test).
+///
+/// Read the ratio together with each cell's `dominance_tests` and `secs`:
+/// the two variants count tests differently — the scalar loop early-exits
+/// per pair while the kernel's exit is chunk-granular, so the columnar
+/// variant performs more (cheaper) tests on dominated-quickly workloads.
+/// The JSON keeps both the per-test cost and the wall clock so neither
+/// story hides the other.
+#[derive(Debug, Clone)]
+pub struct KernelBench {
+    /// All measured cells, scalar and columnar.
+    pub cells: Vec<KernelCell>,
+    /// `(dims, scalar_ns_per_test / columnar_ns_per_test)`.
+    pub speedups: Vec<(usize, f64)>,
+}
+
+fn spec(dims: usize) -> SkylineSpec {
+    SkylineSpec::new((0..dims).map(SkylineDim::min).collect())
+}
+
+fn run_cell(variant: &'static str, dims: usize, rows_n: usize, seed: u64) -> KernelCell {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = anti_correlated_rows(&mut rng, rows_n, dims);
+    let checker = DominanceChecker::complete(spec(dims));
+    // One untimed warm-up pass, then the best of several timed passes —
+    // the cells run in well under a millisecond, where a single sample is
+    // at the mercy of the scheduler and the trajectory file would jitter.
+    let _ = if variant == "columnar" {
+        bnl_skyline_batched(rows.clone(), &checker, &mut SkylineStats::default())
+    } else {
+        bnl_skyline(rows.clone(), &checker, &mut SkylineStats::default())
+    };
+    let mut secs = f64::MAX;
+    let mut stats = SkylineStats::default();
+    let mut skyline = Vec::new();
+    for _ in 0..5 {
+        let mut pass_stats = SkylineStats::default();
+        let start = Instant::now();
+        let pass = if variant == "columnar" {
+            bnl_skyline_batched(rows.clone(), &checker, &mut pass_stats)
+        } else {
+            bnl_skyline(rows.clone(), &checker, &mut pass_stats)
+        };
+        let pass_secs = start.elapsed().as_secs_f64();
+        if pass_secs < secs {
+            secs = pass_secs;
+            stats = pass_stats;
+            skyline = pass;
+        }
+    }
+    let tests = stats.dominance_tests.max(1);
+    KernelCell {
+        variant,
+        dims,
+        rows: rows_n,
+        skyline: skyline.len(),
+        secs,
+        dominance_tests: stats.dominance_tests,
+        batched_tests: stats.batched_tests,
+        scalar_tests: stats.scalar_tests,
+        ns_per_test: secs * 1e9 / tests as f64,
+        rows_per_sec: rows_n as f64 / secs.max(1e-12),
+        tests_per_sec: tests as f64 / secs.max(1e-12),
+    }
+}
+
+/// Run the scalar-vs-columnar sweep. `quick` shrinks the input so test
+/// suites stay fast; the full run uses the `ext1`-style anti-correlated
+/// workload size.
+pub fn run_kernel_bench(quick: bool) -> KernelBench {
+    let rows_n = if quick { 1_500 } else { 12_000 };
+    let dims_list: &[usize] = if quick { &[2, 4] } else { &[2, 3, 4, 6] };
+    let mut cells = Vec::new();
+    let mut speedups = Vec::new();
+    for &dims in dims_list {
+        let scalar = run_cell("scalar", dims, rows_n, 42);
+        let columnar = run_cell("columnar", dims, rows_n, 42);
+        assert_eq!(
+            scalar.skyline, columnar.skyline,
+            "scalar and columnar skylines must agree"
+        );
+        speedups.push((dims, scalar.ns_per_test / columnar.ns_per_test.max(1e-12)));
+        cells.push(scalar);
+        cells.push(columnar);
+    }
+    KernelBench { cells, speedups }
+}
+
+/// Serialize a benchmark run as the `BENCH_PR2.json` document.
+pub fn to_json(bench: &KernelBench) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": \"columnar_dominance_kernel\",\n");
+    out.push_str("  \"workload\": \"anti_correlated_bnl_local_phase\",\n");
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in bench.cells.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"variant\": \"{}\", \"dims\": {}, \"rows\": {}, \"skyline\": {}, \
+             \"secs\": {:.6}, \"dominance_tests\": {}, \"batched_tests\": {}, \
+             \"scalar_tests\": {}, \"ns_per_test\": {:.3}, \"rows_per_sec\": {:.1}, \
+             \"tests_per_sec\": {:.1}}}{}",
+            c.variant,
+            c.dims,
+            c.rows,
+            c.skyline,
+            c.secs,
+            c.dominance_tests,
+            c.batched_tests,
+            c.scalar_tests,
+            c.ns_per_test,
+            c.rows_per_sec,
+            c.tests_per_sec,
+            if i + 1 < bench.cells.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ],\n  \"scalar_over_columnar_ns_per_test\": {\n");
+    for (i, (dims, ratio)) in bench.speedups.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    \"d{dims}\": {ratio:.3}{}",
+            if i + 1 < bench.speedups.len() {
+                ","
+            } else {
+                ""
+            },
+        );
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Run the sweep and write `BENCH_PR2.json` to `path`.
+pub fn write_bench_pr2(path: &str, quick: bool) -> std::io::Result<KernelBench> {
+    let bench = run_kernel_bench(quick);
+    std::fs::write(path, to_json(&bench))?;
+    Ok(bench)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_produces_consistent_cells() {
+        let bench = run_kernel_bench(true);
+        assert_eq!(bench.cells.len(), 4);
+        assert_eq!(bench.speedups.len(), 2);
+        for cell in &bench.cells {
+            assert!(cell.dominance_tests > 0);
+            assert!(cell.ns_per_test > 0.0);
+            match cell.variant {
+                "columnar" => assert_eq!(cell.scalar_tests, 0, "{cell:?}"),
+                "scalar" => assert_eq!(cell.batched_tests, 0, "{cell:?}"),
+                other => panic!("unexpected variant {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let bench = run_kernel_bench(true);
+        let json = to_json(&bench);
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"variant\"").count(), bench.cells.len());
+        assert!(json.contains("\"scalar_over_columnar_ns_per_test\""));
+        // Balanced braces/brackets (hand-rolled serializer sanity).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

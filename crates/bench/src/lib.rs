@@ -12,8 +12,10 @@
 //! timeouts appear.
 
 pub mod experiments;
+pub mod kernel_bench;
 pub mod report;
 pub mod runner;
 
+pub use kernel_bench::{run_kernel_bench, write_bench_pr2, KernelBench};
 pub use report::{format_relative_table, format_series_table, Cell};
 pub use runner::{EvalContext, EvalSettings, Measurement, Metric};

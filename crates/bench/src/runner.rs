@@ -30,6 +30,12 @@ pub struct Measurement {
     /// Dominance tests performed by skyline operators; for the reference
     /// algorithm the equivalent quantity is the join comparisons.
     pub dominance_tests: u64,
+    /// Dominance tests answered by the columnar batch kernel.
+    pub batched_tests: u64,
+    /// Dominance tests answered by the scalar checker.
+    pub scalar_tests: u64,
+    /// Times SFS discarded its sort work and re-ran BNL.
+    pub sfs_fallbacks: u64,
 }
 
 impl Measurement {
@@ -40,6 +46,9 @@ impl Measurement {
             peak_memory: 0,
             rows: 0,
             dominance_tests: 0,
+            batched_tests: 0,
+            scalar_tests: 0,
+            sfs_fallbacks: 0,
         }
     }
 
@@ -233,6 +242,9 @@ impl EvalContext {
                     peak_memory: result.peak_memory_bytes,
                     rows: result.num_rows(),
                     dominance_tests: dominance,
+                    batched_tests: result.metrics.batched_tests,
+                    scalar_tests: result.metrics.scalar_tests,
+                    sfs_fallbacks: result.metrics.sfs_fallbacks,
                 })
             }
             Err(Error::Timeout { .. }) => Ok(Measurement::timeout()),

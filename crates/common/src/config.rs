@@ -114,6 +114,12 @@ pub struct SessionConfig {
     /// hierarchical tree merge. Below it the tree degenerates to the flat
     /// plan anyway, so the exchange-free path is not worth the plan churn.
     pub hierarchical_merge_min_partitions: usize,
+    /// Route skyline dominance tests through the columnar (struct-of-
+    /// arrays) batch kernel where the data admits it; rows the kernel
+    /// cannot represent fall back to the scalar checker per tuple. Results
+    /// are identical either way; disabling this pins every operator to the
+    /// scalar path (the benchmark harness A/B switch).
+    pub vectorized_dominance: bool,
     /// Enable the §5.4 rewrite of single-dimension skylines into an O(n)
     /// min/max scan + filter.
     pub enable_single_dim_rewrite: bool,
@@ -138,6 +144,7 @@ impl Default for SessionConfig {
             grid_cells_per_dim: 4,
             merge_fan_in: 4,
             hierarchical_merge_min_partitions: 4,
+            vectorized_dominance: true,
             enable_single_dim_rewrite: true,
             enable_skyline_join_pushdown: true,
             enable_generic_optimizations: true,
@@ -200,6 +207,12 @@ impl SessionConfig {
         self
     }
 
+    /// Toggle the columnar dominance kernel (on by default).
+    pub fn with_vectorized_dominance(mut self, on: bool) -> Self {
+        self.vectorized_dominance = on;
+        self
+    }
+
     /// Toggle the single-dimension rewrite.
     pub fn with_single_dim_rewrite(mut self, on: bool) -> Self {
         self.enable_single_dim_rewrite = on;
@@ -235,6 +248,12 @@ mod tests {
         assert_eq!(c.skyline_strategy, SkylineStrategy::DistributedIncomplete);
         assert!(!c.enable_single_dim_rewrite);
         assert!(c.enable_skyline_join_pushdown);
+        assert!(c.vectorized_dominance, "vectorized kernel defaults on");
+        assert!(
+            !SessionConfig::new()
+                .with_vectorized_dominance(false)
+                .vectorized_dominance
+        );
     }
 
     #[test]

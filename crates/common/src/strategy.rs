@@ -51,6 +51,10 @@ pub struct SkylinePlan {
     pub partitioning: SkylinePartitioning,
     /// Global merge strategy for the complete-data family.
     pub merge: MergeStrategy,
+    /// Route dominance tests through the columnar batch kernel (per
+    /// operator; unrepresentable rows still fall back to the scalar
+    /// checker tuple-by-tuple).
+    pub vectorized: bool,
 }
 
 impl SkylinePlan {
@@ -109,6 +113,10 @@ impl SkylinePlan {
             use_sfs,
             partitioning,
             merge,
+            // The kernel is semantics-preserving on every algorithm family
+            // (it falls back per tuple where it cannot represent the
+            // data), so the knob passes through unconditionally.
+            vectorized: config.vectorized_dominance,
         }
     }
 }
@@ -187,6 +195,15 @@ mod tests {
             SkylinePlan::select(&forced_flat, &meta(2, false, false)).merge,
             MergeStrategy::Flat
         );
+    }
+
+    #[test]
+    fn vectorized_knob_passes_through() {
+        let config = SessionConfig::default();
+        assert!(SkylinePlan::select(&config, &meta(2, false, false)).vectorized);
+        let off = SessionConfig::default().with_vectorized_dominance(false);
+        assert!(!SkylinePlan::select(&off, &meta(2, false, false)).vectorized);
+        assert!(!SkylinePlan::select(&off, &meta(2, true, false)).vectorized);
     }
 
     #[test]

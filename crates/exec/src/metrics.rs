@@ -15,6 +15,14 @@ pub struct ExecMetrics {
     pub rows_output: AtomicU64,
     /// Pairwise dominance tests across all skyline operators.
     pub dominance_tests: AtomicU64,
+    /// Dominance tests answered by the columnar batch kernel.
+    pub batched_tests: AtomicU64,
+    /// Dominance tests answered by the scalar checker (scalar operators,
+    /// or per-tuple fallbacks of the columnar kernel).
+    pub scalar_tests: AtomicU64,
+    /// Times the SFS scan discarded its sort work and re-ran BNL because a
+    /// row did not admit the monotone scoring function.
+    pub sfs_fallbacks: AtomicU64,
     /// Largest skyline window / candidate set observed.
     pub max_window: AtomicUsize,
     /// Rows moved through exchanges (repartitioning volume).
@@ -49,6 +57,19 @@ impl ExecMetrics {
         self.dominance_tests.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Attribute dominance tests to the columnar kernel vs the scalar
+    /// checker (both also count toward `dominance_tests` via
+    /// [`add_dominance_tests`](Self::add_dominance_tests)).
+    pub fn add_dominance_breakdown(&self, batched: u64, scalar: u64) {
+        self.batched_tests.fetch_add(batched, Ordering::Relaxed);
+        self.scalar_tests.fetch_add(scalar, Ordering::Relaxed);
+    }
+
+    /// Record SFS sort-discarding fallbacks.
+    pub fn add_sfs_fallbacks(&self, n: u64) {
+        self.sfs_fallbacks.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Track the maximum window size.
     pub fn observe_window(&self, size: usize) {
         self.max_window.fetch_max(size, Ordering::Relaxed);
@@ -73,6 +94,9 @@ impl ExecMetrics {
             rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
             rows_output: self.rows_output.load(Ordering::Relaxed),
             dominance_tests: self.dominance_tests.load(Ordering::Relaxed),
+            batched_tests: self.batched_tests.load(Ordering::Relaxed),
+            scalar_tests: self.scalar_tests.load(Ordering::Relaxed),
+            sfs_fallbacks: self.sfs_fallbacks.load(Ordering::Relaxed),
             max_window: self.max_window.load(Ordering::Relaxed),
             rows_exchanged: self.rows_exchanged.load(Ordering::Relaxed),
             join_comparisons: self.join_comparisons.load(Ordering::Relaxed),
@@ -95,6 +119,12 @@ pub struct MetricsSnapshot {
     pub rows_output: u64,
     /// Pairwise dominance tests.
     pub dominance_tests: u64,
+    /// Dominance tests answered by the columnar batch kernel.
+    pub batched_tests: u64,
+    /// Dominance tests answered by the scalar checker.
+    pub scalar_tests: u64,
+    /// SFS sort-discarding fallbacks.
+    pub sfs_fallbacks: u64,
     /// Largest skyline window observed.
     pub max_window: usize,
     /// Rows moved through exchanges.
@@ -131,6 +161,19 @@ mod tests {
         assert_eq!(s.dominance_tests, 15);
         assert_eq!(s.max_window, 3);
         assert_eq!(s.rows_scanned, 100);
+    }
+
+    #[test]
+    fn dominance_breakdown_accumulates() {
+        let m = ExecMetrics::new();
+        m.add_dominance_tests(10);
+        m.add_dominance_breakdown(7, 3);
+        m.add_dominance_breakdown(1, 0);
+        m.add_sfs_fallbacks(2);
+        let s = m.snapshot();
+        assert_eq!(s.batched_tests, 8);
+        assert_eq!(s.scalar_tests, 3);
+        assert_eq!(s.sfs_fallbacks, 2);
     }
 
     #[test]

@@ -32,6 +32,7 @@
 use std::fmt;
 
 use sparkline_common::{Row, SkylineDim, SkylineSpec, SkylineType, Value};
+use sparkline_skyline::PointBlock;
 
 use crate::metrics::ExecMetrics;
 use crate::partition::{flatten, split_evenly, Partition};
@@ -257,22 +258,6 @@ impl GridPartitioner {
     }
 }
 
-/// Does the (folded-space) corner `worst` dominate the corner `best`?
-/// True when `worst` is no larger anywhere and strictly smaller somewhere —
-/// then every tuple of `worst`'s cell dominates every tuple of `best`'s.
-fn corner_dominates(worst: &[f64], best: &[f64]) -> bool {
-    let mut strict = false;
-    for (w, b) in worst.iter().zip(best) {
-        if w > b {
-            return false;
-        }
-        if w < b {
-            strict = true;
-        }
-    }
-    strict
-}
-
 struct GridCell {
     rows: Vec<Row>,
     best: Vec<f64>,
@@ -353,22 +338,28 @@ impl Partitioner for GridPartitioner {
             cell.rows.push(row);
         }
 
-        // Pass 3: dominated-cell pruning. A cell is compared against every
-        // other cell's worst corner; transitivity of complete-data
-        // dominance makes comparing against already-pruned cells sound.
+        // Pass 3: dominated-cell pruning. Every cell's *worst* corner is
+        // encoded into a columnar point block once (the same chunked
+        // kernel the skyline windows use), and each cell's *best* corner
+        // is tested against all of them in one batched pass; transitivity
+        // of complete-data dominance makes comparing against
+        // already-pruned cells sound. A cell never "dominates itself":
+        // its worst corner is component-wise >= its best corner, which can
+        // never be strictly dominating.
         let mut survivors: Vec<GridCell> = Vec::with_capacity(cells.len());
         let all: Vec<GridCell> = cells.into_values().collect();
         if self.prune {
+            let mut worst_corners = PointBlock::new(dims.len());
+            for cell in &all {
+                worst_corners.push(&cell.worst);
+            }
             let mut corner_tests = 0u64;
-            let dominated: Vec<bool> = (0..all.len())
-                .map(|i| {
-                    all.iter().enumerate().any(|(j, other)| {
-                        if i == j {
-                            return false;
-                        }
-                        corner_tests += 1;
-                        corner_dominates(&other.worst, &all[i].best)
-                    })
+            let dominated: Vec<bool> = all
+                .iter()
+                .map(|cell| {
+                    let (tested, dominator) = worst_corners.first_dominator(&cell.best);
+                    corner_tests += tested;
+                    dominator.is_some()
                 })
                 .collect();
             metrics

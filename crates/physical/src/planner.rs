@@ -263,9 +263,15 @@ impl<'a> PhysicalPlanner<'a> {
             let local: Arc<dyn ExecutionPlan> = if !choice.distributed {
                 local_input
             } else if choice.use_sfs {
-                Arc::new(LocalSkylineExec::sort_filter(spec.clone(), local_input))
+                Arc::new(
+                    LocalSkylineExec::sort_filter(spec.clone(), local_input)
+                        .with_vectorized(choice.vectorized),
+                )
             } else {
-                Arc::new(LocalSkylineExec::new(spec.clone(), false, local_input))
+                Arc::new(
+                    LocalSkylineExec::new(spec.clone(), false, local_input)
+                        .with_vectorized(choice.vectorized),
+                )
             };
             // The flat merge needs the `AllTuples` gather the paper
             // describes; the hierarchical merge consumes the local
@@ -281,7 +287,7 @@ impl<'a> PhysicalPlanner<'a> {
             } else {
                 GlobalSkylineExec::new(spec, global_input)
             };
-            Arc::new(global.with_merge(merge))
+            Arc::new(global.with_merge(merge).with_vectorized(choice.vectorized))
         } else {
             // §5.7: distribute by null bitmap, local skylines per bitmap
             // class, then the all-pairs global phase on one executor.
@@ -289,7 +295,10 @@ impl<'a> PhysicalPlanner<'a> {
                 ExchangeMode::NullBitmap(spec.clone()),
                 input_exec,
             ));
-            let local = Arc::new(LocalSkylineExec::new(spec.clone(), true, redistributed));
+            let local = Arc::new(
+                LocalSkylineExec::new(spec.clone(), true, redistributed)
+                    .with_vectorized(choice.vectorized),
+            );
             let gathered = Arc::new(ExchangeExec::single(local));
             Arc::new(IncompleteGlobalSkylineExec::new(spec, gathered))
         };

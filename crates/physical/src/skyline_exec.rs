@@ -21,14 +21,17 @@ use sparkline_common::{MergeStrategy, Result, Row, SchemaRef, SkylineSpec, Value
 use sparkline_exec::{partition::flatten, Partition, TaskContext};
 use sparkline_plan::{Expr, MinMaxDirection};
 use sparkline_skyline::{
-    bnl_skyline, incomplete_global_skyline, partition_by_null_bitmap, DominanceChecker,
-    SkylineStats,
+    bnl_skyline, bnl_skyline_batched, bnl_skyline_into, bnl_skyline_into_batched,
+    incomplete_global_skyline, partition_by_null_bitmap, DominanceChecker, SkylineStats,
 };
 
 use crate::ExecutionPlan;
 
 fn record_stats(ctx: &TaskContext, stats: &SkylineStats) {
     ctx.metrics.add_dominance_tests(stats.dominance_tests);
+    ctx.metrics
+        .add_dominance_breakdown(stats.batched_tests, stats.scalar_tests);
+    ctx.metrics.add_sfs_fallbacks(stats.sfs_fallbacks);
     ctx.metrics.observe_window(stats.max_window);
 }
 
@@ -48,6 +51,7 @@ pub struct LocalSkylineExec {
     spec: SkylineSpec,
     incomplete: bool,
     algo: SkylineAlgo,
+    vectorized: bool,
     input: Arc<dyn ExecutionPlan>,
 }
 
@@ -58,6 +62,7 @@ impl LocalSkylineExec {
             spec,
             incomplete,
             algo: SkylineAlgo::Bnl,
+            vectorized: true,
             input,
         }
     }
@@ -68,8 +73,15 @@ impl LocalSkylineExec {
             spec,
             incomplete: false,
             algo: SkylineAlgo::SortFilter,
+            vectorized: true,
             input,
         }
+    }
+
+    /// Choose scalar vs columnar dominance testing (builder-style).
+    pub fn with_vectorized(mut self, on: bool) -> Self {
+        self.vectorized = on;
+        self
     }
 }
 
@@ -101,15 +113,28 @@ impl ExecutionPlan for LocalSkylineExec {
             let result = if self.incomplete {
                 // Group by null bitmap inside the partition: within one
                 // class the restricted dominance relation is transitive, so
-                // plain BNL is sound (paper §5.7).
+                // plain BNL is sound (paper §5.7) — and because a class
+                // shares its NULL positions, every column is uniformly
+                // NULL or non-NULL, exactly what the columnar kernel
+                // encodes.
                 let mut local = Vec::new();
                 for (_, group) in partition_by_null_bitmap(part, &self.spec) {
                     ctx.deadline.check()?;
-                    local.extend(bnl_skyline(group, &checker, &mut stats));
+                    local.extend(if self.vectorized {
+                        bnl_skyline_batched(group, &checker, &mut stats)
+                    } else {
+                        bnl_skyline(group, &checker, &mut stats)
+                    });
                 }
                 local
             } else if self.algo == SkylineAlgo::SortFilter {
-                sparkline_skyline::sfs_skyline(part, &checker, &mut stats)
+                if self.vectorized {
+                    sparkline_skyline::sfs_skyline_batched(part, &checker, &mut stats)
+                } else {
+                    sparkline_skyline::sfs_skyline(part, &checker, &mut stats)
+                }
+            } else if self.vectorized {
+                bnl_skyline_batched(part, &checker, &mut stats)
             } else {
                 bnl_skyline(part, &checker, &mut stats)
             };
@@ -122,7 +147,7 @@ impl ExecutionPlan for LocalSkylineExec {
 
     fn describe(&self) -> String {
         format!(
-            "LocalSkylineExec [{} dims, {}{}{}]",
+            "LocalSkylineExec [{} dims, {}{}{}{}]",
             self.spec.dims.len(),
             if self.incomplete {
                 "incomplete"
@@ -135,6 +160,7 @@ impl ExecutionPlan for LocalSkylineExec {
                 ""
             },
             if self.spec.distinct { ", distinct" } else { "" },
+            if self.vectorized { ", vectorized" } else { "" },
         )
     }
 }
@@ -158,11 +184,20 @@ impl ExecutionPlan for LocalSkylineExec {
 ///   engages, the fallback's BNL order depends on arrival order and may
 ///   differ from the flat plan's. Round and task counts are reported
 ///   through `exec::metrics`.
+///
+/// Input contract: the **hierarchical** merge requires every input
+/// partition to already be a skyline (the planner guarantees this — a
+/// `LocalSkylineExec` always sits below, and later rounds consume earlier
+/// merge outputs), because each merge task seeds its BNL window with the
+/// group's first partition unscanned. The **flat** merge keeps the
+/// defensive any-input behavior: it re-scans everything, so correctness
+/// does not depend on the planner having inserted the gather exchange.
 #[derive(Debug)]
 pub struct GlobalSkylineExec {
     spec: SkylineSpec,
     algo: SkylineAlgo,
     merge: MergeStrategy,
+    vectorized: bool,
     input: Arc<dyn ExecutionPlan>,
 }
 
@@ -174,6 +209,7 @@ impl GlobalSkylineExec {
             spec,
             algo: SkylineAlgo::Bnl,
             merge: MergeStrategy::Flat,
+            vectorized: true,
             input,
         }
     }
@@ -184,6 +220,7 @@ impl GlobalSkylineExec {
             spec,
             algo: SkylineAlgo::SortFilter,
             merge: MergeStrategy::Flat,
+            vectorized: true,
             input,
         }
     }
@@ -197,22 +234,70 @@ impl GlobalSkylineExec {
         self
     }
 
+    /// Choose scalar vs columnar dominance testing (builder-style).
+    pub fn with_vectorized(mut self, on: bool) -> Self {
+        self.vectorized = on;
+        self
+    }
+
     /// One k-way merge task: BNL/SFS over the concatenated group.
-    fn merge_group(&self, ctx: &TaskContext, group: Vec<Partition>) -> Result<Partition> {
+    ///
+    /// With `seed_window` the first partition of the group — which the
+    /// caller guarantees to be a skyline already (a local skyline or the
+    /// result of an earlier merge round) — becomes the initial BNL window
+    /// without being re-scanned against itself. A skyline fed through a
+    /// BNL window passes unchanged in order, so the merged result is
+    /// row-for-row identical to the unseeded pass; only the wasted
+    /// self-tests disappear. (SFS re-sorts the whole group and cannot
+    /// seed.)
+    fn merge_group(
+        &self,
+        ctx: &TaskContext,
+        group: Vec<Partition>,
+        seed_window: bool,
+    ) -> Result<Partition> {
         ctx.deadline.check()?;
-        let rows = flatten(group);
-        let reservation = ctx
-            .memory
-            .reserve(rows.iter().map(Row::estimated_bytes).sum());
         let checker = DominanceChecker::complete(self.spec.clone());
         let mut stats = SkylineStats::default();
         let merged = if self.algo == SkylineAlgo::SortFilter {
-            sparkline_skyline::sfs_skyline(rows, &checker, &mut stats)
+            let rows = flatten(group);
+            let reservation = ctx
+                .memory
+                .reserve(rows.iter().map(Row::estimated_bytes).sum());
+            let merged = if self.vectorized {
+                sparkline_skyline::sfs_skyline_batched(rows, &checker, &mut stats)
+            } else {
+                sparkline_skyline::sfs_skyline(rows, &checker, &mut stats)
+            };
+            drop(reservation);
+            merged
+        } else if seed_window {
+            let mut parts = group.into_iter();
+            let mut window: Partition = parts.next().unwrap_or_default();
+            let rest: Vec<Row> = parts.flatten().collect();
+            let bytes = window.iter().chain(&rest).map(Row::estimated_bytes).sum();
+            let reservation = ctx.memory.reserve(bytes);
+            if self.vectorized {
+                bnl_skyline_into_batched(rest, &checker, &mut stats, &mut window);
+            } else {
+                bnl_skyline_into(rest, &checker, &mut stats, &mut window);
+            }
+            drop(reservation);
+            window
         } else {
-            bnl_skyline(rows, &checker, &mut stats)
+            let rows = flatten(group);
+            let reservation = ctx
+                .memory
+                .reserve(rows.iter().map(Row::estimated_bytes).sum());
+            let merged = if self.vectorized {
+                bnl_skyline_batched(rows, &checker, &mut stats)
+            } else {
+                bnl_skyline(rows, &checker, &mut stats)
+            };
+            drop(reservation);
+            merged
         };
         record_stats(ctx, &stats);
-        drop(reservation);
         Ok(merged)
     }
 }
@@ -236,8 +321,10 @@ impl ExecutionPlan for GlobalSkylineExec {
         match self.merge {
             MergeStrategy::Flat => {
                 // Defensive coalesce: correctness does not depend on the
-                // planner having inserted the exchange.
-                self.merge_group(ctx, input).map(|p| vec![p])
+                // planner having inserted the exchange. The gathered
+                // partition is a *concatenation* of local skylines (not a
+                // skyline itself), so the window cannot be seeded here.
+                self.merge_group(ctx, input, false).map(|p| vec![p])
             }
             MergeStrategy::Hierarchical { fan_in } => {
                 let mut parts: Vec<Partition> =
@@ -264,7 +351,11 @@ impl ExecutionPlan for GlobalSkylineExec {
                         if group.len() == 1 {
                             return Ok(group.pop().expect("nonempty group"));
                         }
-                        self.merge_group(ctx, group)
+                        // Every partition entering a merge round is a
+                        // skyline (a local skyline or an earlier round's
+                        // output): the first one seeds the window,
+                        // encode-once.
+                        self.merge_group(ctx, group, true)
                     })?;
                 }
                 Ok(parts)
@@ -280,7 +371,7 @@ impl ExecutionPlan for GlobalSkylineExec {
             }
         };
         format!(
-            "GlobalSkylineExec [{} dims{}{}{}]",
+            "GlobalSkylineExec [{} dims{}{}{}{}]",
             self.spec.dims.len(),
             if self.algo == SkylineAlgo::SortFilter {
                 ", SFS"
@@ -289,6 +380,7 @@ impl ExecutionPlan for GlobalSkylineExec {
             },
             if self.spec.distinct { ", distinct" } else { "" },
             merge,
+            if self.vectorized { ", vectorized" } else { "" },
         )
     }
 }
@@ -785,6 +877,73 @@ mod tests {
             .with_merge(MergeStrategy::Hierarchical { fan_in: 4 });
         assert!(
             global.describe().contains("hierarchical fan-in 4"),
+            "{}",
+            global.describe()
+        );
+    }
+
+    #[test]
+    fn vectorized_and_scalar_plans_are_byte_identical() {
+        let data: Vec<Vec<Value>> = (0..200)
+            .map(|i: i64| vec![Value::Int64((i * 37) % 80), Value::Int64((i * 53) % 80)])
+            .collect();
+        let run_plan = |vectorized: bool, merge: MergeStrategy| {
+            let local = Arc::new(
+                LocalSkylineExec::new(
+                    spec2(),
+                    false,
+                    Arc::new(ExchangeExec::new(
+                        crate::exchange::ExchangeMode::RoundRobin,
+                        input(data.clone()),
+                    )),
+                )
+                .with_vectorized(vectorized),
+            );
+            let global: Arc<dyn ExecutionPlan> = match merge {
+                MergeStrategy::Flat => Arc::new(
+                    GlobalSkylineExec::new(spec2(), Arc::new(ExchangeExec::single(local)))
+                        .with_vectorized(vectorized),
+                ),
+                hierarchical => Arc::new(
+                    GlobalSkylineExec::new(spec2(), local)
+                        .with_merge(hierarchical)
+                        .with_vectorized(vectorized),
+                ),
+            };
+            let ctx = TaskContext::new(6);
+            let parts = global.execute(&ctx).unwrap();
+            (flatten(parts), ctx.metrics.snapshot())
+        };
+        let (scalar_rows, s) = run_plan(false, MergeStrategy::Flat);
+        assert_eq!(s.batched_tests, 0, "scalar plan must not batch: {s:?}");
+        assert!(s.scalar_tests > 0);
+        assert_eq!(s.scalar_tests, s.dominance_tests);
+        for merge in [
+            MergeStrategy::Flat,
+            MergeStrategy::Hierarchical { fan_in: 2 },
+        ] {
+            let (vec_rows, v) = run_plan(true, merge);
+            // Row-for-row identical, including order.
+            assert_eq!(scalar_rows, vec_rows, "{merge:?}");
+            assert!(v.batched_tests > 0, "{merge:?}: {v:?}");
+            assert_eq!(v.scalar_tests, 0, "{merge:?}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn vectorized_describe_names_the_kernel() {
+        let local = LocalSkylineExec::new(spec2(), false, input(Vec::new()));
+        assert!(
+            local.describe().contains("vectorized"),
+            "{}",
+            local.describe()
+        );
+        let scalar =
+            LocalSkylineExec::new(spec2(), false, input(Vec::new())).with_vectorized(false);
+        assert!(!scalar.describe().contains("vectorized"));
+        let global = GlobalSkylineExec::new(spec2(), input(Vec::new()));
+        assert!(
+            global.describe().contains("vectorized"),
             "{}",
             global.describe()
         );

@@ -20,6 +20,7 @@
 
 use sparkline_common::Row;
 
+use crate::columnar::{ColumnarBlock, EncodedCandidate};
 use crate::dominance::{Dominance, DominanceChecker, SkylineStats};
 
 /// Compute the skyline of `rows` with the BNL window algorithm, recording
@@ -50,38 +51,187 @@ pub fn bnl_skyline_into(
     stats: &mut SkylineStats,
     window: &mut Vec<Row>,
 ) {
-    let distinct = checker.distinct();
+    // A pre-seeded window is window occupancy even when every incoming
+    // tuple is dominated; record it before the scan.
+    stats.max_window = stats.max_window.max(window.len());
     for tuple in rows {
-        let mut dominated = false;
-        let mut i = 0;
-        while i < window.len() {
-            stats.dominance_tests += 1;
-            match checker.compare(&tuple, &window[i]) {
-                Dominance::Dominates => {
-                    // The incoming tuple evicts a window tuple; order of
-                    // the window is irrelevant, so swap_remove is fine.
-                    window.swap_remove(i);
+        scalar_window_step(tuple, checker, stats, window, None);
+    }
+}
+
+/// One scalar BNL window step: test `tuple` against the window, evict
+/// dominated window tuples, insert `tuple` unless dominated (or, with
+/// `DISTINCT`, identical to a window tuple). When a [`ColumnarBlock`]
+/// mirror is supplied, its rows are kept index-aligned with the window.
+fn scalar_window_step(
+    tuple: Row,
+    checker: &DominanceChecker,
+    stats: &mut SkylineStats,
+    window: &mut Vec<Row>,
+    mut block: Option<&mut ColumnarBlock>,
+) {
+    let distinct = checker.distinct();
+    let mut dominated = false;
+    let mut i = 0;
+    while i < window.len() {
+        stats.add_scalar();
+        match checker.compare(&tuple, &window[i]) {
+            Dominance::Dominates => {
+                // The incoming tuple evicts a window tuple; order of
+                // the window is irrelevant, so swap_remove is fine.
+                window.swap_remove(i);
+                if let Some(b) = block.as_deref_mut() {
+                    b.swap_remove(i);
                 }
-                Dominance::DominatedBy => {
+            }
+            Dominance::DominatedBy => {
+                dominated = true;
+                break;
+            }
+            Dominance::Equal => {
+                if distinct && checker.identical_dims(&tuple, &window[i]) {
+                    // Same values in all skyline dimensions: keep the
+                    // window's representative, drop the newcomer.
                     dominated = true;
                     break;
                 }
-                Dominance::Equal => {
-                    if distinct && checker.identical_dims(&tuple, &window[i]) {
-                        // Same values in all skyline dimensions: keep the
-                        // window's representative, drop the newcomer.
+                i += 1;
+            }
+            Dominance::Incomparable => i += 1,
+        }
+    }
+    if !dominated {
+        if let Some(b) = block {
+            b.push(&tuple);
+        }
+        window.push(tuple);
+        stats.max_window = stats.max_window.max(window.len());
+    }
+}
+
+/// [`bnl_skyline`] with the candidate-vs-window tests routed through the
+/// columnar batch kernel. Produces a byte-identical window (same rows,
+/// same order) as the scalar variant. Test *counts* differ: the kernel's
+/// early exit is chunk-granular (and the incomplete replay scans the whole
+/// window), so `dominance_tests` can exceed the scalar loop's — each
+/// performed test is just much cheaper. `batched_tests` / `scalar_tests`
+/// record which checker answered them.
+pub fn bnl_skyline_batched(
+    rows: impl IntoIterator<Item = Row>,
+    checker: &DominanceChecker,
+    stats: &mut SkylineStats,
+) -> Vec<Row> {
+    let mut window: Vec<Row> = Vec::new();
+    bnl_skyline_into_batched(rows, checker, stats, &mut window);
+    window
+}
+
+/// [`bnl_skyline_into`] on the columnar batch kernel: the seeded window is
+/// encoded into a [`ColumnarBlock`] once, every incoming tuple is tested
+/// against the whole window in one chunked pass (early-exiting when a
+/// dominator is found), and evictions keep the block index-aligned with
+/// the row window. Rows the kernel cannot represent — see the fallback
+/// rules in [`crate::columnar`] — take the scalar step instead, so the
+/// result is always byte-identical to [`bnl_skyline_into`].
+pub fn bnl_skyline_into_batched(
+    rows: impl IntoIterator<Item = Row>,
+    checker: &DominanceChecker,
+    stats: &mut SkylineStats,
+    window: &mut Vec<Row>,
+) {
+    stats.max_window = stats.max_window.max(window.len());
+    let distinct = checker.distinct();
+    let mut block = ColumnarBlock::for_checker(checker);
+    for row in window.iter() {
+        block.push(row);
+    }
+    let mut out: Vec<Dominance> = Vec::new();
+    let mut cand = EncodedCandidate::new();
+    for tuple in rows {
+        if block.is_fallback() {
+            // The block is dead for good; no point mirroring into it.
+            scalar_window_step(tuple, checker, stats, window, None);
+            continue;
+        }
+        if !block.encode_into(&tuple, &mut cand) {
+            // Only this tuple needs the scalar path; keep the block alive
+            // and aligned for the following tuples.
+            scalar_window_step(tuple, checker, stats, window, Some(&mut block));
+            continue;
+        }
+        if checker.is_incomplete() {
+            // The incomplete relation is not transitive: the scalar loop
+            // may evict window rows *before* discovering the tuple is
+            // dominated, so its behavior on mixed-bitmap input can only be
+            // matched by replaying it verbatim. Compute all outcomes in
+            // one batched pass (no early exit), then replay.
+            let res = block.compare_batch(&cand, &mut out, false);
+            stats.add_batched(res.tested);
+            let mut dominated = false;
+            let mut i = 0;
+            while i < out.len() {
+                match out[i] {
+                    Dominance::Dominates => {
+                        window.swap_remove(i);
+                        block.swap_remove(i);
+                        out.swap_remove(i);
+                    }
+                    Dominance::DominatedBy => {
                         dominated = true;
                         break;
                     }
-                    i += 1;
+                    Dominance::Equal => {
+                        if distinct && checker.identical_dims(&tuple, &window[i]) {
+                            dominated = true;
+                            break;
+                        }
+                        i += 1;
+                    }
+                    Dominance::Incomparable => i += 1,
                 }
-                Dominance::Incomparable => i += 1,
+            }
+            if !dominated {
+                block.push(&tuple);
+                window.push(tuple);
+                stats.max_window = stats.max_window.max(window.len());
+            }
+            continue;
+        }
+        let res = block.compare_batch(&cand, &mut out, true);
+        stats.add_batched(res.tested);
+        if res.dominated_at.is_some() {
+            continue;
+        }
+        // Complete-data relation from here on: dominance is transitive and
+        // the window holds no mutually dominating rows, so a tuple that is
+        // dominated (or DISTINCT-identical to a window tuple) dominates
+        // nothing in the window — dropping it without evictions matches
+        // the scalar loop exactly, which is what makes the chunked early
+        // exit above sound.
+        if distinct
+            && out
+                .iter()
+                .enumerate()
+                .any(|(i, &o)| o == Dominance::Equal && checker.identical_dims(&tuple, &window[i]))
+        {
+            continue;
+        }
+        // Replay the scalar loop's eviction order (swap_remove pulls the
+        // last row in, which is then re-examined at the same index) so the
+        // final window order is byte-identical.
+        let mut i = 0;
+        while i < out.len() {
+            if out[i] == Dominance::Dominates {
+                window.swap_remove(i);
+                block.swap_remove(i);
+                out.swap_remove(i);
+            } else {
+                i += 1;
             }
         }
-        if !dominated {
-            window.push(tuple);
-            stats.max_window = stats.max_window.max(window.len());
-        }
+        block.push(&tuple);
+        window.push(tuple);
+        stats.max_window = stats.max_window.max(window.len());
     }
 }
 
@@ -208,6 +358,71 @@ mod tests {
         let mut window = bnl_skyline(rows(&[(1, 9), (9, 1)]), &checker, &mut stats);
         bnl_skyline_into(rows(&[(0, 0)]), &checker, &mut stats, &mut window);
         assert_eq!(as_pairs(window), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn seeded_window_counts_toward_max_window() {
+        let checker = min_min(false);
+        let mut stats = SkylineStats::default();
+        let mut window = bnl_skyline(rows(&[(1, 9), (9, 1), (5, 5)]), &checker, &mut stats);
+        assert_eq!(window.len(), 3);
+        // Every incoming tuple is dominated, so the window never grows —
+        // the pre-seeded occupancy must still be reported.
+        let mut stats2 = SkylineStats::default();
+        bnl_skyline_into(rows(&[(2, 9), (9, 2)]), &checker, &mut stats2, &mut window);
+        assert_eq!(stats2.max_window, 3);
+        let mut stats3 = SkylineStats::default();
+        bnl_skyline_into_batched(rows(&[(3, 9), (9, 3)]), &checker, &mut stats3, &mut window);
+        assert_eq!(stats3.max_window, 3);
+    }
+
+    #[test]
+    fn batched_is_byte_identical_to_scalar() {
+        // Mixed workload with evictions, duplicates, and incomparables;
+        // result vectors must match row-for-row (same order), not just as
+        // sets.
+        let data: Vec<(i64, i64)> = (0..120).map(|i| ((i * 37) % 50, (i * 53) % 50)).collect();
+        for distinct in [false, true] {
+            let checker = min_min(distinct);
+            let mut s1 = SkylineStats::default();
+            let scalar = bnl_skyline(rows(&data), &checker, &mut s1);
+            let mut s2 = SkylineStats::default();
+            let batched = bnl_skyline_batched(rows(&data), &checker, &mut s2);
+            assert_eq!(scalar, batched, "distinct={distinct}");
+            assert!(s2.batched_tests > 0);
+            assert_eq!(s2.scalar_tests, 0);
+            assert_eq!(s2.dominance_tests, s2.batched_tests);
+        }
+    }
+
+    #[test]
+    fn batched_falls_back_on_non_numeric_dims() {
+        let spec = SkylineSpec::new(vec![SkylineDim::min(0), SkylineDim::min(1)]);
+        let checker = DominanceChecker::complete(spec);
+        let data: Vec<Row> = (0..20)
+            .map(|i: i64| Row::new(vec![Value::str(format!("s{:02}", i % 7)), Value::Int64(i)]))
+            .collect();
+        let mut s1 = SkylineStats::default();
+        let scalar = bnl_skyline(data.clone(), &checker, &mut s1);
+        let mut s2 = SkylineStats::default();
+        let batched = bnl_skyline_batched(data, &checker, &mut s2);
+        assert_eq!(scalar, batched);
+        assert_eq!(s2.batched_tests, 0, "strings must demote to scalar");
+        assert_eq!(s2.scalar_tests, s2.dominance_tests);
+        assert!(s2.scalar_tests > 0);
+    }
+
+    #[test]
+    fn batched_seeded_window_merge_matches_scalar() {
+        let checker = min_min(false);
+        let mut stats = SkylineStats::default();
+        let seed_rows = rows(&[(1, 9), (9, 1), (4, 4)]);
+        let incoming = rows(&[(0, 10), (3, 3), (10, 0), (5, 5)]);
+        let mut w_scalar = bnl_skyline(seed_rows.clone(), &checker, &mut stats);
+        let mut w_batched = w_scalar.clone();
+        bnl_skyline_into(incoming.clone(), &checker, &mut stats, &mut w_scalar);
+        bnl_skyline_into_batched(incoming, &checker, &mut stats, &mut w_batched);
+        assert_eq!(w_scalar, w_batched);
     }
 
     #[test]

@@ -1,0 +1,962 @@
+//! Columnar (struct-of-arrays) dominance kernel.
+//!
+//! The paper treats the number of dominance tests as the main cost factor
+//! of skyline computation (§2), but the *per-test constant* matters just as
+//! much once the test count is fixed: the scalar [`DominanceChecker`] walks
+//! a `Vec<Value>` enum per row, re-matching on type tags and re-resolving
+//! `dim.index` for every pair. This module batches that work: the skyline
+//! dimensions of a row window are transposed into contiguous,
+//! sign-normalized column buffers once, and a candidate tuple is then
+//! tested against the *entire* window in a tight per-dimension loop over
+//! flat `i64`/`f64` slices (64-row chunks with early exit, amenable to
+//! auto-vectorization).
+//!
+//! # Block layout and encode rules
+//!
+//! A [`ColumnarBlock`] holds one column per skyline dimension plus one
+//! `any_null` bit per row:
+//!
+//! * **Sign normalization** — `MIN` dimensions are stored as-is, `MAX`
+//!   dimensions are stored negated, so the kernel only ever asks "is
+//!   smaller better"; the MIN/MAX branch disappears from the inner loop.
+//!   (`i64::MIN` cannot be negated; a row carrying it in a `MAX` dimension
+//!   demotes the block to scalar fallback.)
+//! * **Column classes** — a column materializes as `i64` (all `Int64`, or
+//!   all `Boolean` encoded 0/1), or `f64` (all `Float64`, or a mix of
+//!   `Float64` and `Int64` where every integer round-trips through `f64`
+//!   exactly — otherwise the lossless integer comparison of
+//!   `Value::sql_compare` could not be reproduced and the block falls back
+//!   to scalar). `Utf8` values and class mixes whose scalar comparison is
+//!   not a plain numeric ordering (e.g. `Boolean` vs `Int64`) mark the
+//!   block scalar-fallback.
+//! * **Null mask semantics** — under the complete-data relation a NULL (or
+//!   NaN, which compares like NULL under `sql_compare`) in *any* dimension
+//!   of *either* tuple makes the pair incomparable, so the block only
+//!   tracks one `any_null` bit per row and the kernel forces
+//!   [`Dominance::Incomparable`] wherever the candidate's or the row's bit
+//!   is set. Under the incomplete relation a NULL restricts the comparison
+//!   to the shared non-NULL dimensions instead; the kernel supports the
+//!   case that arises in practice — the local phase runs per null-bitmap
+//!   class, where a dimension is NULL either in *every* row (the column
+//!   stays unmaterialized and is skipped) or in *none* — and demotes mixed
+//!   columns to scalar fallback.
+//! * **`DIFF` dimensions** mark the block scalar-fallback: dominance then
+//!   additionally requires equality on those dimensions, which the ranked
+//!   kernel does not model.
+//!
+//! Fallback is never an error: callers keep the row window authoritative
+//! and simply route comparisons through the scalar checker when
+//! [`ColumnarBlock::is_fallback`] reports `true` (whole-block) or
+//! [`ColumnarBlock::encode`] returns `None` (single candidate). The
+//! batched and scalar paths produce byte-identical *skylines*; the test
+//! counters differ — the chunked early exit makes the kernel perform more
+//! (much cheaper) tests than the scalar loop's per-pair exit, which
+//! `batched_tests` / `scalar_tests` make visible per path.
+//!
+//! Follow-up (see ROADMAP): the chunked masks are written so the compiler
+//! can auto-vectorize the per-dimension loops; explicit SIMD intrinsics and
+//! a widened (multi-candidate) kernel are the next step.
+
+use sparkline_common::{Row, SkylineSpec, SkylineType, Value};
+
+use crate::dominance::{Dominance, DominanceChecker};
+
+/// Maximum rows per kernel chunk: outcomes are derived from `u64` bit
+/// masks, and a chunk is also the early-exit granularity when a dominator
+/// is found.
+pub const CHUNK: usize = 64;
+
+/// First chunk size of a candidate scan. BNL windows keep their most
+/// dominant tuples near the front, so most dominated candidates die within
+/// a few comparisons; starting small (then doubling up to [`CHUNK`]) keeps
+/// the early exit nearly as fine-grained as the scalar loop's while large
+/// windows still run full-width chunks.
+const FIRST_CHUNK: usize = 4;
+
+/// One encoded skyline dimension of a candidate tuple, matched against the
+/// corresponding block column's class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CandDim {
+    /// Dimension contributes nothing for any row (unmaterialized column, or
+    /// a NULL-like value under the incomplete relation).
+    Skip,
+    /// Sign-normalized integer compared against an `i64` column.
+    Int(i64),
+    /// Sign-normalized float compared against an `f64` column.
+    Float(f64),
+}
+
+/// A candidate tuple's skyline dimensions, encoded once and then compared
+/// against every row of the block.
+#[derive(Debug, Clone)]
+pub struct EncodedCandidate {
+    dims: Vec<CandDim>,
+    /// Complete relation only: the candidate has a NULL-like value (NULL,
+    /// NaN, or a class mismatch) in some dimension, so it is incomparable
+    /// with every row regardless of the buffers.
+    all_incomparable: bool,
+}
+
+impl EncodedCandidate {
+    /// Empty buffer for [`ColumnarBlock::encode_into`] reuse.
+    pub fn new() -> Self {
+        EncodedCandidate {
+            dims: Vec::new(),
+            all_incomparable: false,
+        }
+    }
+}
+
+impl Default for EncodedCandidate {
+    fn default() -> Self {
+        EncodedCandidate::new()
+    }
+}
+
+/// Result of one candidate-vs-block kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchResult {
+    /// Pairwise dominance tests performed (chunk-granular under early
+    /// exit).
+    pub tested: u64,
+    /// Index of the first row that dominates the candidate, when the call
+    /// asked to stop there.
+    pub dominated_at: Option<usize>,
+}
+
+/// Storage of one dimension column.
+#[derive(Debug, Clone)]
+enum ColumnData {
+    /// No non-NULL value seen yet; rows are tracked only through the null
+    /// machinery until a value fixes the class.
+    Pending,
+    /// All-`Int64` (or all-`Boolean`, encoded 0/1) column.
+    Ints(Vec<i64>),
+    /// `Float64` column, possibly holding exactly-converted integers.
+    Floats(Vec<f64>),
+    /// All-`Boolean` column, encoded 0/1. Kept distinct from [`Ints`]
+    /// because `Boolean` and `Int64` are *not* comparable under
+    /// `sql_compare`.
+    Bools(Vec<i64>),
+}
+
+#[derive(Debug, Clone)]
+struct Column {
+    /// Column position in the input rows.
+    index: usize,
+    /// Sign normalization: negate values of `MAX` dimensions on encode.
+    negate: bool,
+    /// NULL (or NaN) seen in this column.
+    saw_null: bool,
+    data: ColumnData,
+}
+
+impl Column {
+    fn fold_i64(&self, v: i64) -> Option<i64> {
+        fold_i64(v, self.negate)
+    }
+
+    fn fold_f64(&self, v: f64) -> f64 {
+        fold_f64(v, self.negate)
+    }
+}
+
+fn fold_i64(v: i64, negate: bool) -> Option<i64> {
+    if negate {
+        v.checked_neg()
+    } else {
+        Some(v)
+    }
+}
+
+fn fold_f64(v: f64, negate: bool) -> f64 {
+    if negate {
+        -v
+    } else {
+        v
+    }
+}
+
+/// Whether an `i64` survives the round trip through `f64` unchanged, i.e.
+/// comparisons performed in the `f64` domain are exact for it.
+///
+/// `i64::MAX` must be rejected explicitly: `i64::MAX as f64` rounds *up*
+/// to 2^63 and the saturating `f64 -> i64` cast folds that back to
+/// `i64::MAX`, so the round-trip alone would falsely report exactness.
+fn int_is_f64_exact(v: i64) -> bool {
+    v != i64::MAX && (v as f64) as i64 == v
+}
+
+/// A float that behaves like NULL under `sql_compare` (NaN compares `None`
+/// against every value, including itself).
+fn is_null_like(v: &Value) -> bool {
+    match v {
+        Value::Null => true,
+        Value::Float64(f) => f.is_nan(),
+        _ => false,
+    }
+}
+
+/// Struct-of-arrays window of the skyline dimensions of a row batch.
+///
+/// The block mirrors a caller-owned `Vec<Row>` window: encode rows once
+/// with [`push`](Self::push), keep evictions in sync with
+/// [`swap_remove`](Self::swap_remove), and test a candidate against all
+/// rows with [`compare_batch`](Self::compare_batch). See the module docs
+/// for the encode rules and the fallback contract.
+#[derive(Debug, Clone)]
+pub struct ColumnarBlock {
+    cols: Vec<Column>,
+    /// Complete relation: per-row "has a NULL-like value in some skyline
+    /// dimension" bit (forces `Incomparable` against everything).
+    any_null: Vec<bool>,
+    incomplete: bool,
+    len: usize,
+    fallback: Option<&'static str>,
+}
+
+impl ColumnarBlock {
+    /// Empty block for `spec` under the chosen dominance relation.
+    ///
+    /// A spec with `DIFF` dimensions (or no dimensions) starts in scalar
+    /// fallback; pushes and encodes are then inert and the caller must use
+    /// the scalar checker.
+    pub fn new(spec: &SkylineSpec, incomplete: bool) -> Self {
+        let fallback = if spec.dims.is_empty() {
+            Some("no skyline dimensions")
+        } else if spec.diff_dims().count() > 0 {
+            Some("DIFF dimensions require equality tests")
+        } else {
+            None
+        };
+        ColumnarBlock {
+            cols: spec
+                .dims
+                .iter()
+                .map(|d| Column {
+                    index: d.index,
+                    negate: d.ty == SkylineType::Max,
+                    saw_null: false,
+                    data: ColumnData::Pending,
+                })
+                .collect(),
+            any_null: Vec::new(),
+            incomplete,
+            len: 0,
+            fallback,
+        }
+    }
+
+    /// Block matching a checker's spec and relation.
+    pub fn for_checker(checker: &DominanceChecker) -> Self {
+        ColumnarBlock::new(checker.spec(), checker.is_incomplete())
+    }
+
+    /// Number of encoded rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the block holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the block has been demoted to scalar fallback.
+    pub fn is_fallback(&self) -> bool {
+        self.fallback.is_some()
+    }
+
+    /// Why the block fell back to scalar comparisons, if it did.
+    pub fn fallback_reason(&self) -> Option<&'static str> {
+        self.fallback
+    }
+
+    fn demote(&mut self, reason: &'static str) {
+        self.fallback = Some(reason);
+    }
+
+    /// Append a row's skyline dimensions to the column buffers.
+    ///
+    /// May demote the block to scalar fallback (non-numeric value, class
+    /// mix, inexact int↔float conversion, `i64::MIN` under `MAX`, or a
+    /// partially-NULL column under the incomplete relation); the push is
+    /// then abandoned and the block must no longer be consulted.
+    pub fn push(&mut self, row: &Row) {
+        if self.is_fallback() {
+            return;
+        }
+        let mut row_null = false;
+        for c in 0..self.cols.len() {
+            let value = row.get(self.cols[c].index).clone();
+            if let Err(reason) = self.push_value(c, &value) {
+                self.demote(reason);
+                return;
+            }
+            if is_null_like(&value) {
+                row_null = true;
+            }
+        }
+        self.any_null.push(row_null);
+        self.len += 1;
+    }
+
+    fn push_value(&mut self, c: usize, value: &Value) -> Result<(), &'static str> {
+        let len = self.len;
+        let incomplete = self.incomplete;
+        let col = &mut self.cols[c];
+        let negate = col.negate;
+        if is_null_like(value) {
+            // Incomplete relation: a column mixing NULL and non-NULL rows
+            // would need per-dimension restriction; demote. (All-NULL
+            // columns stay `Pending` and are simply skipped.)
+            if incomplete && !matches!(col.data, ColumnData::Pending) {
+                return Err("NULL mixed into a materialized column (incomplete relation)");
+            }
+            col.saw_null = true;
+            // Complete relation: keep indices aligned with a placeholder;
+            // the row's `any_null` bit makes every comparison against it
+            // incomparable before the buffers are consulted.
+            match &mut col.data {
+                ColumnData::Pending => {}
+                ColumnData::Ints(b) | ColumnData::Bools(b) => b.push(0),
+                ColumnData::Floats(b) => b.push(0.0),
+            }
+            return Ok(());
+        }
+        if incomplete && col.saw_null {
+            return Err("non-NULL mixed into a NULL column (incomplete relation)");
+        }
+        match (value, &mut col.data) {
+            (Value::Boolean(v), ColumnData::Bools(b)) => {
+                let folded = fold_i64(i64::from(*v), negate).expect("0/1 negation is safe");
+                b.push(folded);
+                Ok(())
+            }
+            (Value::Boolean(v), ColumnData::Pending) => {
+                let folded = fold_i64(i64::from(*v), negate).expect("0/1 negation is safe");
+                let mut b = vec![0i64; len];
+                b.push(folded);
+                col.data = ColumnData::Bools(b);
+                Ok(())
+            }
+            (Value::Int64(v), ColumnData::Ints(b)) => {
+                let folded = fold_i64(*v, negate).ok_or("i64::MIN under a MAX dimension")?;
+                b.push(folded);
+                Ok(())
+            }
+            (Value::Int64(v), ColumnData::Pending) => {
+                let folded = fold_i64(*v, negate).ok_or("i64::MIN under a MAX dimension")?;
+                let mut b = vec![0i64; len];
+                b.push(folded);
+                col.data = ColumnData::Ints(b);
+                Ok(())
+            }
+            (Value::Int64(v), ColumnData::Floats(b)) => {
+                if !int_is_f64_exact(*v) {
+                    return Err("integer not exactly representable as f64");
+                }
+                b.push(fold_f64(*v as f64, negate));
+                Ok(())
+            }
+            (Value::Float64(v), ColumnData::Floats(b)) => {
+                b.push(fold_f64(*v, negate));
+                Ok(())
+            }
+            (Value::Float64(v), ColumnData::Pending) => {
+                let mut b = vec![0.0f64; len];
+                b.push(fold_f64(*v, negate));
+                col.data = ColumnData::Floats(b);
+                Ok(())
+            }
+            (Value::Float64(v), ColumnData::Ints(ints)) => {
+                // Upgrade the integer column to floats; every stored value
+                // must convert exactly or lossless comparison is lost.
+                if ints.iter().any(|&i| !int_is_f64_exact(i)) {
+                    return Err("integer column not exactly convertible to f64");
+                }
+                let mut b: Vec<f64> = ints.iter().map(|&i| i as f64).collect();
+                b.push(fold_f64(*v, negate));
+                col.data = ColumnData::Floats(b);
+                Ok(())
+            }
+            (Value::Utf8(_), _) => Err("non-numeric skyline dimension"),
+            (Value::Boolean(_), _) | (_, ColumnData::Bools(_)) => {
+                Err("BOOLEAN mixed with numeric values")
+            }
+            (Value::Null, _) => unreachable!("handled above"),
+        }
+    }
+
+    /// Remove row `i`, moving the last row into its place — the exact
+    /// eviction order of the BNL window's `Vec::swap_remove`, keeping block
+    /// and row window index-aligned.
+    pub fn swap_remove(&mut self, i: usize) {
+        if self.is_fallback() {
+            return;
+        }
+        debug_assert!(i < self.len);
+        for col in &mut self.cols {
+            match &mut col.data {
+                ColumnData::Pending => {}
+                ColumnData::Ints(b) | ColumnData::Bools(b) => {
+                    b.swap_remove(i);
+                }
+                ColumnData::Floats(b) => {
+                    b.swap_remove(i);
+                }
+            }
+        }
+        self.any_null.swap_remove(i);
+        self.len -= 1;
+    }
+
+    /// Encode a candidate tuple against this block's column classes.
+    ///
+    /// `None` means this one tuple needs the scalar path (e.g. a
+    /// non-integral float against an integer column); the block itself
+    /// stays valid.
+    pub fn encode(&self, row: &Row) -> Option<EncodedCandidate> {
+        let mut cand = EncodedCandidate {
+            dims: Vec::new(),
+            all_incomparable: false,
+        };
+        self.encode_into(row, &mut cand).then_some(cand)
+    }
+
+    /// [`encode`](Self::encode) into a caller-owned buffer, avoiding the
+    /// per-candidate allocation on the hot BNL/SFS loops. Returns `false`
+    /// when this tuple needs the scalar path (`cand` is then unspecified).
+    pub fn encode_into(&self, row: &Row, cand: &mut EncodedCandidate) -> bool {
+        cand.dims.clear();
+        cand.all_incomparable = false;
+        if self.is_fallback() {
+            return false;
+        }
+        for col in &self.cols {
+            let value = row.get(col.index);
+            let dim = if is_null_like(value) {
+                if self.incomplete {
+                    // Restricted relation: the dimension is skipped for
+                    // every pair.
+                    CandDim::Skip
+                } else {
+                    cand.all_incomparable = true;
+                    return true;
+                }
+            } else {
+                match (value, &col.data) {
+                    // Unmaterialized column: all rows are NULL there, so
+                    // the dimension never differentiates (complete mode
+                    // forces Incomparable through `any_null` anyway).
+                    (_, ColumnData::Pending) => CandDim::Skip,
+                    (Value::Boolean(v), ColumnData::Bools(_)) => {
+                        CandDim::Int(col.fold_i64(i64::from(*v)).expect("0/1 negation is safe"))
+                    }
+                    (Value::Int64(v), ColumnData::Ints(_)) => match col.fold_i64(*v) {
+                        Some(folded) => CandDim::Int(folded),
+                        None => return false,
+                    },
+                    (Value::Int64(v), ColumnData::Floats(_)) => {
+                        if !int_is_f64_exact(*v) {
+                            return false;
+                        }
+                        CandDim::Float(col.fold_f64(*v as f64))
+                    }
+                    (Value::Float64(v), ColumnData::Floats(_)) => CandDim::Float(col.fold_f64(*v)),
+                    (Value::Float64(v), ColumnData::Ints(_)) => {
+                        // Exact only when the float is an in-range integer;
+                        // otherwise fall back to the scalar comparison.
+                        if v.fract() == 0.0 && *v >= i64::MIN as f64 && *v < i64::MAX as f64 + 1.0 {
+                            match col.fold_i64(*v as i64) {
+                                Some(folded) => CandDim::Int(folded),
+                                None => return false,
+                            }
+                        } else {
+                            return false;
+                        }
+                    }
+                    // Any remaining combination compares `None` under
+                    // `sql_compare` (Utf8 vs numeric, Boolean vs Int64, …):
+                    // NULL-like for the pair, for every row of the column.
+                    _ => {
+                        if self.incomplete {
+                            CandDim::Skip
+                        } else {
+                            cand.all_incomparable = true;
+                            return true;
+                        }
+                    }
+                }
+            };
+            cand.dims.push(dim);
+        }
+        true
+    }
+
+    /// Test `cand` against every row: `out` receives one [`Dominance`] per
+    /// *tested* row, where `out[i]` is `compare(candidate, row_i)` of the
+    /// scalar checker.
+    ///
+    /// With `stop_at_dominator`, scanning stops after the first chunk
+    /// containing a row that dominates the candidate (`DominatedBy`) and
+    /// its index is reported — the BNL/SFS early exit.
+    pub fn compare_batch(
+        &self,
+        cand: &EncodedCandidate,
+        out: &mut Vec<Dominance>,
+        stop_at_dominator: bool,
+    ) -> BatchResult {
+        out.clear();
+        debug_assert!(!self.is_fallback(), "compare_batch on a fallback block");
+        if cand.all_incomparable {
+            out.resize(self.len, Dominance::Incomparable);
+            return BatchResult {
+                tested: self.len as u64,
+                dominated_at: None,
+            };
+        }
+        let mut tested = 0u64;
+        let mut dominated_at = None;
+        let mut base = 0;
+        let mut width = if stop_at_dominator {
+            FIRST_CHUNK
+        } else {
+            CHUNK
+        };
+        while base < self.len {
+            let m = width.min(self.len - base);
+            width = (width * 2).min(CHUNK);
+            // Candidate-better / row-better bits, accumulated per dim over
+            // the chunk's contiguous buffer slice.
+            let mut a: u64 = 0;
+            let mut b: u64 = 0;
+            for (col, dim) in self.cols.iter().zip(&cand.dims) {
+                match (&col.data, dim) {
+                    (ColumnData::Ints(buf), CandDim::Int(v))
+                    | (ColumnData::Bools(buf), CandDim::Int(v)) => {
+                        for (k, &x) in buf[base..base + m].iter().enumerate() {
+                            a |= u64::from(*v < x) << k;
+                            b |= u64::from(x < *v) << k;
+                        }
+                    }
+                    (ColumnData::Floats(buf), CandDim::Float(v)) => {
+                        for (k, &x) in buf[base..base + m].iter().enumerate() {
+                            a |= u64::from(*v < x) << k;
+                            b |= u64::from(x < *v) << k;
+                        }
+                    }
+                    (_, CandDim::Skip) | (ColumnData::Pending, _) => {}
+                    mismatch => unreachable!("encode/class invariant violated: {mismatch:?}"),
+                }
+            }
+            for k in 0..m {
+                let bit = 1u64 << k;
+                let outcome = if !self.incomplete && self.any_null[base + k] {
+                    Dominance::Incomparable
+                } else {
+                    match (a & bit != 0, b & bit != 0) {
+                        (true, true) => Dominance::Incomparable,
+                        (true, false) => Dominance::Dominates,
+                        (false, true) => Dominance::DominatedBy,
+                        (false, false) => Dominance::Equal,
+                    }
+                };
+                if outcome == Dominance::DominatedBy && dominated_at.is_none() {
+                    dominated_at = Some(base + k);
+                }
+                out.push(outcome);
+            }
+            tested += m as u64;
+            if stop_at_dominator && dominated_at.is_some() {
+                break;
+            }
+            base += m;
+        }
+        BatchResult {
+            tested,
+            dominated_at,
+        }
+    }
+}
+
+/// Struct-of-arrays block of plain `f64` points in folded ("smaller is
+/// better") space — the grid partitioner's cell corners live here, so the
+/// corner-dominance pruning pass runs on the same chunked kernel as the
+/// row windows.
+#[derive(Debug, Clone)]
+pub struct PointBlock {
+    dims: usize,
+    len: usize,
+    cols: Vec<Vec<f64>>,
+}
+
+impl PointBlock {
+    /// Empty block of `dims`-dimensional points.
+    pub fn new(dims: usize) -> Self {
+        PointBlock {
+            dims,
+            len: 0,
+            cols: (0..dims).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the block holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one point.
+    pub fn push(&mut self, point: &[f64]) {
+        assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
+        for (col, &v) in self.cols.iter_mut().zip(point) {
+            col.push(v);
+        }
+        self.len += 1;
+    }
+
+    /// First stored point that strictly dominates `point` (component-wise
+    /// `<=` everywhere and `<` somewhere, smaller-is-better), plus the
+    /// number of point-vs-point tests performed (chunk-granular early
+    /// exit).
+    pub fn first_dominator(&self, point: &[f64]) -> (u64, Option<usize>) {
+        assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
+        let mut tested = 0u64;
+        let mut base = 0;
+        while base < self.len {
+            let m = CHUNK.min(self.len - base);
+            let mut a: u64 = 0; // candidate strictly better somewhere
+            let mut b: u64 = 0; // stored point strictly better somewhere
+            for (col, &v) in self.cols.iter().zip(point) {
+                for (k, &x) in col[base..base + m].iter().enumerate() {
+                    a |= u64::from(v < x) << k;
+                    b |= u64::from(x < v) << k;
+                }
+            }
+            tested += m as u64;
+            // Dominator: never better on the candidate side, strictly
+            // better somewhere on the stored side.
+            let dominators = b & !a & mask(m);
+            if dominators != 0 {
+                return (tested, Some(base + dominators.trailing_zeros() as usize));
+            }
+            base += m;
+        }
+        (tested, None)
+    }
+}
+
+fn mask(m: usize) -> u64 {
+    if m >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << m) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkline_common::SkylineDim;
+
+    fn spec_mm() -> SkylineSpec {
+        SkylineSpec::new(vec![SkylineDim::min(0), SkylineDim::max(1)])
+    }
+
+    fn block_of(rows: &[Row], incomplete: bool) -> ColumnarBlock {
+        let mut b = ColumnarBlock::new(&spec_mm(), incomplete);
+        for r in rows {
+            b.push(r);
+        }
+        b
+    }
+
+    fn int_row(a: i64, b: i64) -> Row {
+        Row::new(vec![Value::Int64(a), Value::Int64(b)])
+    }
+
+    /// Oracle: batch outcomes must equal the scalar checker pairwise.
+    fn assert_agrees(rows: &[Row], cand: &Row, incomplete: bool) {
+        let checker = if incomplete {
+            DominanceChecker::incomplete(spec_mm())
+        } else {
+            DominanceChecker::complete(spec_mm())
+        };
+        let block = block_of(rows, incomplete);
+        assert!(!block.is_fallback(), "{:?}", block.fallback_reason());
+        let enc = block.encode(cand).expect("encodable candidate");
+        let mut out = Vec::new();
+        let res = block.compare_batch(&enc, &mut out, false);
+        assert_eq!(res.tested, rows.len() as u64);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(
+                out[i],
+                checker.compare(cand, row),
+                "row {i}: cand={cand} row={row}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_on_ints() {
+        let rows: Vec<Row> = (0..10).map(|i| int_row(i, 10 - i)).collect();
+        for c in [int_row(0, 10), int_row(5, 5), int_row(9, 9), int_row(4, 2)] {
+            assert_agrees(&rows, &c, false);
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_on_floats_and_mixed() {
+        let rows = vec![
+            Row::new(vec![Value::Float64(1.5), Value::Int64(3)]),
+            Row::new(vec![Value::Int64(2), Value::Int64(9)]),
+            Row::new(vec![Value::Float64(0.25), Value::Float64(-2.0)]),
+        ];
+        let c = Row::new(vec![Value::Float64(1.0), Value::Float64(3.0)]);
+        assert_agrees(&rows, &c, false);
+    }
+
+    #[test]
+    fn complete_null_rows_are_incomparable() {
+        let rows = vec![
+            int_row(1, 1),
+            Row::new(vec![Value::Null, Value::Int64(99)]),
+            Row::new(vec![Value::Int64(0), Value::Float64(f64::NAN)]),
+        ];
+        // NaN promotes the second column to floats before the NaN row; use
+        // a float column from the start.
+        let rows: Vec<Row> = rows
+            .into_iter()
+            .map(|r| {
+                Row::new(
+                    r.values()
+                        .iter()
+                        .map(|v| match v {
+                            Value::Int64(i) => Value::Float64(*i as f64),
+                            other => other.clone(),
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        assert_agrees(
+            &rows,
+            &Row::new(vec![Value::Float64(0.0), Value::Float64(0.0)]),
+            false,
+        );
+    }
+
+    #[test]
+    fn null_candidate_is_incomparable_to_everything() {
+        let rows: Vec<Row> = (0..70).map(|i| int_row(i, i)).collect();
+        let block = block_of(&rows, false);
+        let cand = Row::new(vec![Value::Null, Value::Int64(5)]);
+        let enc = block.encode(&cand).unwrap();
+        let mut out = Vec::new();
+        let res = block.compare_batch(&enc, &mut out, true);
+        assert_eq!(res.dominated_at, None);
+        assert!(out.iter().all(|&o| o == Dominance::Incomparable));
+    }
+
+    #[test]
+    fn early_exit_stops_at_dominator_chunk() {
+        // Row 3 dominates the candidate; with 200 rows, the scan must stop
+        // after the first (progressively sized) chunk.
+        let mut rows: Vec<Row> = vec![int_row(9, 1), int_row(8, 2), int_row(9, 3), int_row(0, 99)];
+        rows.extend((0..200).map(|i| int_row(50 + i, 50)));
+        let block = block_of(&rows, false);
+        let enc = block.encode(&int_row(5, 5)).unwrap();
+        let mut out = Vec::new();
+        let res = block.compare_batch(&enc, &mut out, true);
+        assert_eq!(res.dominated_at, Some(3));
+        assert_eq!(res.tested, 4);
+        assert_eq!(out.len(), 4);
+        // Without the early exit the whole window is tested.
+        let res = block.compare_batch(&enc, &mut out, false);
+        assert_eq!(res.tested, rows.len() as u64);
+        assert_eq!(out.len(), rows.len());
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer() {
+        let rows: Vec<Row> = (0..5).map(|i| int_row(i, i)).collect();
+        let block = block_of(&rows, false);
+        let mut cand = EncodedCandidate::new();
+        assert!(block.encode_into(&int_row(2, 2), &mut cand));
+        let mut out = Vec::new();
+        block.compare_batch(&cand, &mut out, false);
+        assert_eq!(out[2], Dominance::Equal);
+        // A NULL candidate flips the buffer to all-incomparable.
+        assert!(block.encode_into(&Row::new(vec![Value::Null, Value::Int64(1)]), &mut cand));
+        block.compare_batch(&cand, &mut out, false);
+        assert!(out.iter().all(|&o| o == Dominance::Incomparable));
+    }
+
+    #[test]
+    fn swap_remove_mirrors_vec_semantics() {
+        let mut rows: Vec<Row> = (0..5).map(|i| int_row(i, i)).collect();
+        let mut block = block_of(&rows, false);
+        rows.swap_remove(1);
+        block.swap_remove(1);
+        let checker = DominanceChecker::complete(spec_mm());
+        let cand = int_row(2, 2);
+        let enc = block.encode(&cand).unwrap();
+        let mut out = Vec::new();
+        block.compare_batch(&enc, &mut out, false);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(out[i], checker.compare(&cand, row));
+        }
+    }
+
+    #[test]
+    fn diff_spec_falls_back() {
+        let spec = SkylineSpec::new(vec![SkylineDim::diff(0), SkylineDim::min(1)]);
+        let block = ColumnarBlock::new(&spec, false);
+        assert!(block.is_fallback());
+    }
+
+    #[test]
+    fn utf8_demotes_block() {
+        let mut block = ColumnarBlock::new(&spec_mm(), false);
+        block.push(&Row::new(vec![Value::str("x"), Value::Int64(1)]));
+        assert!(block.is_fallback());
+    }
+
+    #[test]
+    fn bool_int_mix_demotes_block() {
+        let mut block = ColumnarBlock::new(&spec_mm(), false);
+        block.push(&Row::new(vec![Value::Boolean(true), Value::Int64(1)]));
+        block.push(&int_row(3, 4));
+        assert!(block.is_fallback());
+    }
+
+    #[test]
+    fn huge_int_in_float_column_demotes_block() {
+        let mut block = ColumnarBlock::new(&spec_mm(), false);
+        block.push(&Row::new(vec![Value::Float64(1.0), Value::Int64(0)]));
+        block.push(&Row::new(vec![
+            Value::Int64((1i64 << 60) + 1),
+            Value::Int64(0),
+        ]));
+        assert!(block.is_fallback());
+    }
+
+    #[test]
+    fn i64_max_in_float_column_demotes_block() {
+        // `i64::MAX as f64` rounds up to 2^63 and the saturating cast back
+        // hides it; the kernel must treat i64::MAX as inexact or it would
+        // compare equal to Float64(2^63) where the scalar checker says
+        // Incomparable-breaking Greater.
+        let mut block = ColumnarBlock::new(&spec_mm(), false);
+        block.push(&Row::new(vec![Value::Float64(1.0e10), Value::Int64(0)]));
+        block.push(&Row::new(vec![Value::Int64(i64::MAX), Value::Int64(0)]));
+        assert!(block.is_fallback());
+        // Same as an already-float column's candidate.
+        let block = block_of(
+            &[Row::new(vec![
+                Value::Float64(9_223_372_036_854_775_808.0),
+                Value::Int64(0),
+            ])],
+            false,
+        );
+        assert!(block
+            .encode(&Row::new(vec![Value::Int64(i64::MAX), Value::Int64(0)]))
+            .is_none());
+        // End to end, batched must still equal scalar via the fallback.
+        let rows = vec![
+            Row::new(vec![Value::Float64(1.0e10), Value::Int64(100)]),
+            Row::new(vec![Value::Int64(i64::MAX), Value::Int64(3)]),
+            Row::new(vec![
+                Value::Float64(9_223_372_036_854_775_808.0),
+                Value::Int64(2),
+            ]),
+        ];
+        let checker = DominanceChecker::complete(SkylineSpec::new(vec![
+            SkylineDim::min(0),
+            SkylineDim::min(1),
+        ]));
+        let mut s1 = crate::SkylineStats::default();
+        let scalar = crate::bnl_skyline(rows.clone(), &checker, &mut s1);
+        let mut s2 = crate::SkylineStats::default();
+        let batched = crate::bnl_skyline_batched(rows, &checker, &mut s2);
+        assert_eq!(scalar, batched);
+    }
+
+    #[test]
+    fn i64_min_under_max_dim_demotes_block() {
+        let mut block = ColumnarBlock::new(&spec_mm(), false);
+        block.push(&Row::new(vec![Value::Int64(0), Value::Int64(i64::MIN)]));
+        assert!(block.is_fallback());
+    }
+
+    #[test]
+    fn incomplete_mixed_null_column_demotes_block() {
+        let mut block = ColumnarBlock::new(&spec_mm(), true);
+        block.push(&Row::new(vec![Value::Null, Value::Int64(1)]));
+        block.push(&int_row(1, 2));
+        assert!(block.is_fallback());
+    }
+
+    #[test]
+    fn incomplete_all_null_column_is_skipped() {
+        // One null-bitmap class: dim 0 NULL everywhere, dim 1 ranked MAX.
+        let rows = vec![
+            Row::new(vec![Value::Null, Value::Int64(5)]),
+            Row::new(vec![Value::Null, Value::Int64(9)]),
+        ];
+        let checker = DominanceChecker::incomplete(spec_mm());
+        let mut block = ColumnarBlock::new(&spec_mm(), true);
+        for r in &rows {
+            block.push(r);
+        }
+        assert!(!block.is_fallback());
+        let cand = Row::new(vec![Value::Null, Value::Int64(7)]);
+        let enc = block.encode(&cand).unwrap();
+        let mut out = Vec::new();
+        block.compare_batch(&enc, &mut out, false);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(out[i], checker.compare(&cand, row));
+        }
+    }
+
+    #[test]
+    fn non_integral_float_candidate_on_int_column_needs_scalar() {
+        let block = block_of(&[int_row(1, 1)], false);
+        let cand = Row::new(vec![Value::Float64(1.5), Value::Int64(0)]);
+        assert!(block.encode(&cand).is_none());
+    }
+
+    #[test]
+    fn point_block_finds_first_dominator() {
+        let mut pb = PointBlock::new(2);
+        pb.push(&[5.0, 5.0]); // incomparable corner
+        pb.push(&[2.0, 2.0]); // dominator
+        pb.push(&[0.0, 0.0]); // also a dominator, but later
+        let (tested, hit) = pb.first_dominator(&[3.0, 3.0]);
+        assert_eq!(hit, Some(1));
+        assert_eq!(tested, 3);
+        // Equal corner is not a strict dominator.
+        let (_, none) = pb.first_dominator(&[0.0, 0.0]);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn point_block_early_exits_between_chunks() {
+        let mut pb = PointBlock::new(2);
+        for i in 0..70 {
+            pb.push(&[100.0 + i as f64, 100.0]);
+        }
+        pb.push(&[0.0, 0.0]);
+        for _ in 0..70 {
+            pb.push(&[100.0, 100.0]);
+        }
+        let (tested, hit) = pb.first_dominator(&[50.0, 50.0]);
+        assert_eq!(hit, Some(70));
+        assert_eq!(tested, 128);
+    }
+}

@@ -29,6 +29,16 @@ pub struct SkylineStats {
     /// Largest window (complete BNL) or candidate set (incomplete global)
     /// observed, in tuples.
     pub max_window: usize,
+    /// Dominance tests answered by the columnar batch kernel
+    /// (`columnar::ColumnarBlock`). Always `<= dominance_tests`.
+    pub batched_tests: u64,
+    /// Dominance tests answered by the scalar [`DominanceChecker`] —
+    /// either because the scalar path was selected or because the columnar
+    /// kernel fell back. Always `<= dominance_tests`.
+    pub scalar_tests: u64,
+    /// Times `sfs_skyline` discarded its sort work and re-ran BNL because
+    /// a row did not admit the monotone scoring function.
+    pub sfs_fallbacks: u64,
 }
 
 impl SkylineStats {
@@ -37,6 +47,21 @@ impl SkylineStats {
     pub fn merge(&mut self, other: &SkylineStats) {
         self.dominance_tests += other.dominance_tests;
         self.max_window = self.max_window.max(other.max_window);
+        self.batched_tests += other.batched_tests;
+        self.scalar_tests += other.scalar_tests;
+        self.sfs_fallbacks += other.sfs_fallbacks;
+    }
+
+    /// Record `n` dominance tests performed by the columnar batch kernel.
+    pub fn add_batched(&mut self, n: u64) {
+        self.dominance_tests += n;
+        self.batched_tests += n;
+    }
+
+    /// Record one dominance test performed by the scalar checker.
+    pub fn add_scalar(&mut self) {
+        self.dominance_tests += 1;
+        self.scalar_tests += 1;
     }
 }
 
@@ -338,13 +363,22 @@ mod tests {
         let mut a = SkylineStats {
             dominance_tests: 10,
             max_window: 4,
+            batched_tests: 6,
+            scalar_tests: 4,
+            sfs_fallbacks: 1,
         };
         let b = SkylineStats {
             dominance_tests: 5,
             max_window: 9,
+            batched_tests: 0,
+            scalar_tests: 5,
+            sfs_fallbacks: 2,
         };
         a.merge(&b);
         assert_eq!(a.dominance_tests, 15);
         assert_eq!(a.max_window, 9);
+        assert_eq!(a.batched_tests, 6);
+        assert_eq!(a.scalar_tests, 9);
+        assert_eq!(a.sfs_fallbacks, 3);
     }
 }

@@ -11,6 +11,11 @@
 //!   type-matched comparisons.
 //! * [`bnl`] — the Block-Nested-Loop skyline algorithm of Börzsönyi et
 //!   al. used for local and global skylines on complete data (§5.6).
+//! * [`columnar`] — the struct-of-arrays dominance kernel: row windows are
+//!   transposed into sign-normalized `i64`/`f64` column buffers once, and
+//!   one candidate is tested against the whole window in a chunked pass;
+//!   the batched BNL/SFS variants and the grid partitioner's corner
+//!   pruning run on it.
 //! * [`incomplete`] — null-bitmap partitioning and the all-pairs,
 //!   deferred-deletion global skyline for incomplete data (§5.7 and
 //!   Lemma 5.1), plus the intentionally faulty premature-deletion variant
@@ -23,16 +28,18 @@
 //! `sparkline-physical` wire them into the distributed runtime.
 
 pub mod bnl;
+pub mod columnar;
 pub mod dominance;
 pub mod incomplete;
 pub mod naive;
 pub mod sfs;
 
-pub use bnl::{bnl_skyline, bnl_skyline_into};
+pub use bnl::{bnl_skyline, bnl_skyline_batched, bnl_skyline_into, bnl_skyline_into_batched};
+pub use columnar::{BatchResult, ColumnarBlock, EncodedCandidate, PointBlock};
 pub use dominance::{Dominance, DominanceChecker, SkylineStats};
 pub use incomplete::{
     incomplete_global_skyline, incomplete_skyline, null_bitmap, partition_by_null_bitmap,
     premature_deletion_global_skyline,
 };
 pub use naive::naive_skyline;
-pub use sfs::{monotone_score, sfs_skyline};
+pub use sfs::{monotone_score, sfs_skyline, sfs_skyline_batched};

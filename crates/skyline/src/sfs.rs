@@ -26,7 +26,8 @@
 
 use sparkline_common::{Row, Value};
 
-use crate::bnl::bnl_skyline;
+use crate::bnl::{bnl_skyline, bnl_skyline_batched};
+use crate::columnar::{ColumnarBlock, EncodedCandidate};
 use crate::dominance::{Dominance, DominanceChecker, SkylineStats};
 
 /// The monotone score of a row, or `None` when a dimension value does not
@@ -53,11 +54,34 @@ pub fn monotone_score(row: &Row, checker: &DominanceChecker) -> Option<f64> {
 
 /// Compute the skyline with Sort-Filter-Skyline. Requires (and assumes)
 /// the complete-data dominance relation; falls back to plain BNL when the
-/// scoring function is not applicable to some row.
+/// scoring function is not applicable to some row (recorded in
+/// `stats.sfs_fallbacks`).
 pub fn sfs_skyline(
     rows: Vec<Row>,
     checker: &DominanceChecker,
     stats: &mut SkylineStats,
+) -> Vec<Row> {
+    sfs_skyline_impl(rows, checker, stats, false)
+}
+
+/// [`sfs_skyline`] with the insert-only window scan routed through the
+/// columnar batch kernel: the window is encoded once and each presorted
+/// tuple is tested against it in one chunked pass. Same skyline, same
+/// order as the scalar variant (the BNL fallback also takes its batched
+/// counterpart).
+pub fn sfs_skyline_batched(
+    rows: Vec<Row>,
+    checker: &DominanceChecker,
+    stats: &mut SkylineStats,
+) -> Vec<Row> {
+    sfs_skyline_impl(rows, checker, stats, true)
+}
+
+fn sfs_skyline_impl(
+    rows: Vec<Row>,
+    checker: &DominanceChecker,
+    stats: &mut SkylineStats,
+    batched: bool,
 ) -> Vec<Row> {
     debug_assert!(
         !checker.is_incomplete(),
@@ -70,11 +94,18 @@ pub fn sfs_skyline(
             Some(s) => scored.push((s, row)),
             None => {
                 // Non-numeric/NULL dimension: rebuild the input and fall
-                // back to BNL, which has no scoring requirement.
+                // back to BNL, which has no scoring requirement. The
+                // discarded sort work is recorded so the bench harness can
+                // report how often the presorted path failed to engage.
+                stats.sfs_fallbacks += 1;
                 let mut rest: Vec<Row> = scored.into_iter().map(|(_, r)| r).collect();
                 rest.push(row);
                 rest.extend(iter);
-                return bnl_skyline(rest, checker, stats);
+                return if batched {
+                    bnl_skyline_batched(rest, checker, stats)
+                } else {
+                    bnl_skyline(rest, checker, stats)
+                };
             }
         }
     }
@@ -82,9 +113,40 @@ pub fn sfs_skyline(
 
     let distinct = checker.distinct();
     let mut window: Vec<Row> = Vec::new();
+    let mut block = if batched {
+        Some(ColumnarBlock::for_checker(checker))
+    } else {
+        None
+    };
+    let mut out: Vec<Dominance> = Vec::new();
+    let mut cand = EncodedCandidate::new();
     'next_tuple: for (_, tuple) in scored {
+        let use_kernel = block.as_ref().is_some_and(|b| !b.is_fallback());
+        if use_kernel {
+            let b = block.as_mut().expect("kernel block");
+            if b.encode_into(&tuple, &mut cand) {
+                // `compare_batch` reports compare(tuple, kept); a window
+                // tuple dominating the candidate shows up as DominatedBy.
+                let res = b.compare_batch(&cand, &mut out, true);
+                stats.add_batched(res.tested);
+                if res.dominated_at.is_some() {
+                    continue 'next_tuple;
+                }
+                if distinct
+                    && out.iter().enumerate().any(|(i, &o)| {
+                        o == Dominance::Equal && checker.identical_dims(&window[i], &tuple)
+                    })
+                {
+                    continue 'next_tuple;
+                }
+                b.push(&tuple);
+                window.push(tuple);
+                stats.max_window = stats.max_window.max(window.len());
+                continue 'next_tuple;
+            }
+        }
         for kept in &window {
-            stats.dominance_tests += 1;
+            stats.add_scalar();
             match checker.compare(kept, &tuple) {
                 Dominance::Dominates => continue 'next_tuple,
                 Dominance::Equal => {
@@ -97,6 +159,11 @@ pub fn sfs_skyline(
                 // non-dominating.
                 Dominance::DominatedBy | Dominance::Incomparable => {}
             }
+        }
+        if let Some(b) = block.as_mut() {
+            // Keep the block aligned for later tuples (the push may demote
+            // it, after which every tuple takes the scalar loop).
+            b.push(&tuple);
         }
         window.push(tuple);
         stats.max_window = stats.max_window.max(window.len());
@@ -180,6 +247,54 @@ mod tests {
         let data = rows(&[(1, 9), (1, 9), (1, 9)]);
         let mut stats = SkylineStats::default();
         assert_eq!(sfs_skyline(data, &c, &mut stats).len(), 1);
+    }
+
+    #[test]
+    fn batched_is_byte_identical_to_scalar() {
+        let data: Vec<Row> = (0..150)
+            .map(|i: i64| {
+                Row::new(vec![
+                    Value::Int64((i * 31) % 60),
+                    Value::Int64((i * 47) % 60),
+                ])
+            })
+            .collect();
+        let c = checker();
+        let mut s1 = SkylineStats::default();
+        let scalar = sfs_skyline(data.clone(), &c, &mut s1);
+        let mut s2 = SkylineStats::default();
+        let batched = sfs_skyline_batched(data, &c, &mut s2);
+        assert_eq!(scalar, batched);
+        assert!(s2.batched_tests > 0);
+        assert_eq!(s2.sfs_fallbacks, 0);
+    }
+
+    #[test]
+    fn fallback_is_counted_and_batched_variant_agrees() {
+        let c = checker();
+        let data = vec![
+            Row::new(vec![Value::Int64(1), Value::Int64(1)]),
+            Row::new(vec![Value::Null, Value::Int64(2)]),
+            Row::new(vec![Value::Int64(5), Value::Int64(0)]),
+        ];
+        let mut s1 = SkylineStats::default();
+        let scalar = sfs_skyline(data.clone(), &c, &mut s1);
+        assert_eq!(s1.sfs_fallbacks, 1);
+        let mut s2 = SkylineStats::default();
+        let batched = sfs_skyline_batched(data, &c, &mut s2);
+        assert_eq!(s2.sfs_fallbacks, 1);
+        assert_eq!(sorted(scalar), sorted(batched));
+    }
+
+    #[test]
+    fn batched_distinct_dedups() {
+        let c = DominanceChecker::complete(SkylineSpec::distinct(vec![
+            SkylineDim::min(0),
+            SkylineDim::max(1),
+        ]));
+        let data = rows(&[(1, 9), (1, 9), (2, 9), (1, 9)]);
+        let mut stats = SkylineStats::default();
+        assert_eq!(sfs_skyline_batched(data, &c, &mut stats).len(), 1);
     }
 
     #[test]
