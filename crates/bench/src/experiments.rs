@@ -30,7 +30,7 @@ pub struct Report {
 pub fn all_ids() -> Vec<&'static str> {
     vec![
         "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-        "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ext1", "ext2", "ext3",
+        "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ext1", "ext2", "ext3", "ext4",
     ]
 }
 
@@ -59,6 +59,7 @@ pub fn run(id: &str, ctx: &mut EvalContext, quick: bool) -> Vec<Report> {
         "ext1" => ext1_partitioning_schemes(ctx, quick),
         "ext2" => ext2_hierarchical_merge(ctx, quick),
         "ext3" => ext3_vectorized_dominance(quick),
+        "ext4" => ext4_streaming_execution(quick),
         other => panic!("unknown experiment '{other}'; known: {:?}", all_ids()),
     }
 }
@@ -109,11 +110,14 @@ fn run_series(
                     String::new()
                 };
                 eprintln!(
-                    "{:.3}s ({} rows, {} batched / {} scalar tests{fallbacks})",
+                    "{:.3}s ({} rows, {} batched / {} scalar tests{fallbacks}, \
+                     {} batches, peak {} rows in flight)",
                     m.secs.unwrap_or_default(),
                     m.rows,
                     m.batched_tests,
                     m.scalar_tests,
+                    m.batches_emitted,
+                    m.peak_rows_in_flight,
                 );
                 cells.push(Cell::from_measurement(&m, metric));
             }
@@ -680,6 +684,7 @@ fn metric_name(metric: Metric) -> &'static str {
     match metric {
         Metric::Time => "execution time",
         Metric::Memory => "memory consumption",
+        Metric::Rows => "peak rows in flight",
     }
 }
 
@@ -834,6 +839,55 @@ fn ext2_hierarchical_merge(ctx: &mut EvalContext, quick: bool) -> Vec<Report> {
         x_values: executor_counts.iter().map(|e| e.to_string()).collect(),
         series,
         metric: Metric::Time,
+        with_relative: false,
+    }]
+}
+
+/// ext4: pipelined stream model vs the materialized (seed) execution on
+/// the scan → filter → skyline → limit pipeline, per Börzsönyi
+/// distribution. Also writes the machine-readable `BENCH_PR3.json`
+/// (peak rows in flight, batches, wall clock per mode) so the streaming
+/// trajectory is tracked from PR 3 on; set `BENCH_PR3_OUT` to redirect
+/// the file.
+fn ext4_streaming_execution(quick: bool) -> Vec<Report> {
+    let path = std::env::var("BENCH_PR3_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
+    let bench = crate::stream_bench::write_bench_pr3(&path, quick)
+        .unwrap_or_else(|e| panic!("ext4: cannot write {path}: {e}"));
+    eprintln!("    wrote {path}");
+    for (distribution, ratio) in &bench.peak_ratios {
+        eprintln!("    [{distribution}] materialized/streaming peak rows in flight: {ratio:.2}x");
+    }
+    let distributions: Vec<&'static str> = bench.peak_ratios.iter().map(|(d, _)| *d).collect();
+    let series: Vec<(String, Vec<Cell>)> = ["streaming", "materialized"]
+        .iter()
+        .map(|mode| {
+            (
+                mode.to_string(),
+                distributions
+                    .iter()
+                    .map(|&d| {
+                        bench
+                            .cells
+                            .iter()
+                            .find(|c| c.mode == *mode && c.distribution == d)
+                            .map(|c| Cell::Value(c.peak_rows_in_flight as f64))
+                            .unwrap_or(Cell::NotApplicable)
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let rows = bench.cells.first().map(|c| c.rows).unwrap_or(0);
+    vec![Report {
+        id: "ext4".into(),
+        title: format!(
+            "Extension 4: peak rows in flight, streaming vs materialized execution \
+             (scan→filter→skyline→limit, {rows} rows; see BENCH_PR3.json)"
+        ),
+        x_label: "distribution",
+        x_values: distributions.iter().map(|d| d.to_string()).collect(),
+        series,
+        metric: Metric::Rows,
         with_relative: false,
     }]
 }

@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod kernel_bench;
 pub mod report;
 pub mod runner;
+pub mod stream_bench;
 
 pub use kernel_bench::{run_kernel_bench, write_bench_pr2, KernelBench};
 pub use report::{format_relative_table, format_series_table, Cell};

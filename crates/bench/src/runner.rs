@@ -15,6 +15,8 @@ pub enum Metric {
     Time,
     /// Peak memory (Figures 8–10, 17, 19).
     Memory,
+    /// Peak rows simultaneously in flight (the ext4 streaming chart).
+    Rows,
 }
 
 /// One measured cell.
@@ -36,6 +38,10 @@ pub struct Measurement {
     pub scalar_tests: u64,
     /// Times SFS discarded its sort work and re-ran BNL.
     pub sfs_fallbacks: u64,
+    /// Batches yielded across all partition streams.
+    pub batches_emitted: u64,
+    /// Peak rows simultaneously held by batches and operator buffers.
+    pub peak_rows_in_flight: usize,
 }
 
 impl Measurement {
@@ -49,6 +55,8 @@ impl Measurement {
             batched_tests: 0,
             scalar_tests: 0,
             sfs_fallbacks: 0,
+            batches_emitted: 0,
+            peak_rows_in_flight: 0,
         }
     }
 
@@ -245,6 +253,8 @@ impl EvalContext {
                     batched_tests: result.metrics.batched_tests,
                     scalar_tests: result.metrics.scalar_tests,
                     sfs_fallbacks: result.metrics.sfs_fallbacks,
+                    batches_emitted: result.metrics.batches_emitted,
+                    peak_rows_in_flight: result.metrics.peak_rows_in_flight,
                 })
             }
             Err(Error::Timeout { .. }) => Ok(Measurement::timeout()),

@@ -1,0 +1,214 @@
+//! Streaming-vs-materialized execution benchmark and the machine-readable
+//! `BENCH_PR3.json` trajectory file.
+//!
+//! The workload is the multi-operator pipeline the pull-based refactor
+//! targets — scan → filter → two-phase skyline → limit — on the Börzsönyi
+//! correlated / independent / anti-correlated distributions. Each cell
+//! runs once through the pipelined stream model and once through the
+//! materialized adapter (`SessionConfig::streaming_execution = false`,
+//! which re-materializes a full `Vec<Partition>` at every operator
+//! boundary — the seed execution model), recording wall clock and the
+//! `peak_rows_in_flight` gauge. Results must be byte-identical; the
+//! interesting number is the peak-rows ratio, which is the bounded-memory
+//! story of the stream model.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparkline::{Algorithm, DataType, Field, Row, Schema, SessionConfig, SessionContext};
+use sparkline_datagen::distributions::{anti_correlated_rows, correlated_rows, independent_rows};
+
+/// One timed (distribution, mode) cell.
+#[derive(Debug, Clone)]
+pub struct StreamCell {
+    /// `"correlated"`, `"independent"`, or `"anti_correlated"`.
+    pub distribution: &'static str,
+    /// `"streaming"` or `"materialized"`.
+    pub mode: &'static str,
+    /// Input rows.
+    pub rows: usize,
+    /// Result rows (after the skyline + limit).
+    pub result_rows: usize,
+    /// Wall-clock seconds of the query.
+    pub secs: f64,
+    /// Peak rows simultaneously in flight (batches + operator buffers).
+    pub peak_rows_in_flight: usize,
+    /// Batches yielded across all partition streams.
+    pub batches_emitted: u64,
+    /// Peak tracked bytes incl. per-executor overhead.
+    pub peak_memory_bytes: usize,
+}
+
+/// The full benchmark: cells plus the materialized/streaming
+/// peak-rows-in-flight ratio per distribution (`> 1` means the stream
+/// model holds fewer rows at its peak).
+#[derive(Debug, Clone)]
+pub struct StreamBench {
+    /// All measured cells.
+    pub cells: Vec<StreamCell>,
+    /// `(distribution, materialized_peak / streaming_peak)`.
+    pub peak_ratios: Vec<(&'static str, f64)>,
+}
+
+fn dataset(distribution: &str, n: usize, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match distribution {
+        "correlated" => correlated_rows(&mut rng, n, 3),
+        "independent" => independent_rows(&mut rng, n, 3),
+        "anti_correlated" => anti_correlated_rows(&mut rng, n, 3),
+        other => panic!("unknown distribution {other}"),
+    }
+}
+
+fn run_cell(
+    distribution: &'static str,
+    mode: &'static str,
+    n: usize,
+    executors: usize,
+) -> (StreamCell, Vec<Row>) {
+    // A finer batch than the 4096 default: with ~5k-row partitions the
+    // default leaves only 1–2 batches per pipeline, so the measured peak
+    // would mostly reflect scheduler timing rather than the model.
+    let config = SessionConfig::default()
+        .with_executors(executors)
+        .with_batch_size(1024)
+        .with_streaming_execution(mode == "streaming");
+    let ctx = SessionContext::with_config(config);
+    let schema = Schema::new(
+        (0..3)
+            .map(|i| Field::new(format!("d{i}"), DataType::Float64, false))
+            .collect(),
+    );
+    ctx.register_table("t", schema, dataset(distribution, n, 42))
+        .expect("register bench table");
+    // The pipeline the refactor targets: scan → filter → local/global
+    // skyline → limit.
+    let sql = "SELECT * FROM t WHERE d0 <= 0.95 \
+               SKYLINE OF d0 MIN, d1 MIN, d2 MIN LIMIT 32";
+    let df = ctx.sql(sql).expect("parse bench query");
+    let start = Instant::now();
+    let result = df
+        .collect_with_algorithm(Algorithm::DistributedComplete)
+        .expect("bench query");
+    let secs = start.elapsed().as_secs_f64();
+    let cell = StreamCell {
+        distribution,
+        mode,
+        rows: n,
+        result_rows: result.num_rows(),
+        secs,
+        peak_rows_in_flight: result.metrics.peak_rows_in_flight,
+        batches_emitted: result.metrics.batches_emitted,
+        peak_memory_bytes: result.peak_memory_bytes,
+    };
+    (cell, result.rows)
+}
+
+/// Run the streaming-vs-materialized sweep. `quick` shrinks the input so
+/// test suites stay fast.
+pub fn run_stream_bench(quick: bool) -> StreamBench {
+    let n = if quick { 2_000 } else { 20_000 };
+    let executors = 4;
+    let mut cells = Vec::new();
+    let mut peak_ratios = Vec::new();
+    for distribution in ["correlated", "independent", "anti_correlated"] {
+        let (streaming, s_rows) = run_cell(distribution, "streaming", n, executors);
+        let (materialized, m_rows) = run_cell(distribution, "materialized", n, executors);
+        assert_eq!(
+            s_rows, m_rows,
+            "streaming and materialized results must be byte-identical"
+        );
+        assert!(
+            streaming.peak_rows_in_flight < materialized.peak_rows_in_flight,
+            "streaming peak ({}) must be strictly below materialized ({}) on {distribution}",
+            streaming.peak_rows_in_flight,
+            materialized.peak_rows_in_flight,
+        );
+        peak_ratios.push((
+            distribution,
+            materialized.peak_rows_in_flight as f64 / (streaming.peak_rows_in_flight.max(1)) as f64,
+        ));
+        cells.push(streaming);
+        cells.push(materialized);
+    }
+    StreamBench { cells, peak_ratios }
+}
+
+/// Serialize a benchmark run as the `BENCH_PR3.json` document.
+pub fn to_json(bench: &StreamBench) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": \"streaming_execution\",\n");
+    out.push_str("  \"workload\": \"scan_filter_skyline_limit_pipeline\",\n");
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in bench.cells.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"distribution\": \"{}\", \"mode\": \"{}\", \"rows\": {}, \
+             \"result_rows\": {}, \"secs\": {:.6}, \"peak_rows_in_flight\": {}, \
+             \"batches_emitted\": {}, \"peak_memory_bytes\": {}}}{}",
+            c.distribution,
+            c.mode,
+            c.rows,
+            c.result_rows,
+            c.secs,
+            c.peak_rows_in_flight,
+            c.batches_emitted,
+            c.peak_memory_bytes,
+            if i + 1 < bench.cells.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ],\n  \"materialized_over_streaming_peak_rows\": {\n");
+    for (i, (distribution, ratio)) in bench.peak_ratios.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    \"{distribution}\": {ratio:.3}{}",
+            if i + 1 < bench.peak_ratios.len() {
+                ","
+            } else {
+                ""
+            },
+        );
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Run the sweep and write `BENCH_PR3.json` to `path`.
+pub fn write_bench_pr3(path: &str, quick: bool) -> std::io::Result<StreamBench> {
+    let bench = run_stream_bench(quick);
+    std::fs::write(path, to_json(&bench))?;
+    Ok(bench)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_shows_streaming_below_materialized() {
+        let bench = run_stream_bench(true);
+        assert_eq!(bench.cells.len(), 6);
+        assert_eq!(bench.peak_ratios.len(), 3);
+        for (distribution, ratio) in &bench.peak_ratios {
+            assert!(*ratio > 1.0, "{distribution}: ratio {ratio}");
+        }
+        for cell in &bench.cells {
+            assert!(cell.batches_emitted > 0, "{cell:?}");
+            assert!(cell.result_rows <= 32, "{cell:?}");
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let bench = run_stream_bench(true);
+        let json = to_json(&bench);
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"mode\"").count(), bench.cells.len());
+        assert!(json.contains("\"materialized_over_streaming_peak_rows\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -101,6 +101,13 @@ pub struct SessionConfig {
     pub num_executors: usize,
     /// Wall-clock limit for a single query; `None` disables the check.
     pub timeout: Option<Duration>,
+    /// Rows per batch in the pull-based stream pipeline (>= 1).
+    pub batch_size: usize,
+    /// Execute through the pipelined stream model (default). Disabling it
+    /// materializes a full `Vec<Partition>` at every operator boundary —
+    /// the seed execution model, kept as the A/B baseline for the
+    /// streaming benchmarks. Results are byte-identical either way.
+    pub streaming_execution: bool,
     /// Physical skyline algorithm selection override.
     pub skyline_strategy: SkylineStrategy,
     /// Partitioning scheme for the distributed complete local phase.
@@ -139,6 +146,8 @@ impl Default for SessionConfig {
         SessionConfig {
             num_executors: 2,
             timeout: None,
+            batch_size: 4096,
+            streaming_execution: true,
             skyline_strategy: SkylineStrategy::Auto,
             skyline_partitioning: SkylinePartitioning::Standard,
             grid_cells_per_dim: 4,
@@ -171,6 +180,20 @@ impl SessionConfig {
     /// Set the query timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
+        self
+    }
+
+    /// Set the stream batch size (>= 1).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size >= 1, "batch size must be at least 1");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Toggle the pipelined stream model (on by default); `false` selects
+    /// the materialized per-boundary model.
+    pub fn with_streaming_execution(mut self, on: bool) -> Self {
+        self.streaming_execution = on;
         self
     }
 
@@ -248,6 +271,13 @@ mod tests {
         assert_eq!(c.skyline_strategy, SkylineStrategy::DistributedIncomplete);
         assert!(!c.enable_single_dim_rewrite);
         assert!(c.enable_skyline_join_pushdown);
+        assert_eq!(c.batch_size, 4096, "default batch size");
+        assert!(c.streaming_execution, "streaming defaults on");
+        let c = SessionConfig::new()
+            .with_batch_size(64)
+            .with_streaming_execution(false);
+        assert_eq!(c.batch_size, 64);
+        assert!(!c.streaming_execution);
         assert!(c.vectorized_dominance, "vectorized kernel defaults on");
         assert!(
             !SessionConfig::new()

@@ -176,6 +176,18 @@ impl DataFrame {
     pub fn explain_with(&self, algorithm: Algorithm) -> Result<String> {
         self.session.explain_plan(&self.plan, algorithm)
     }
+
+    /// `EXPLAIN ANALYZE`: execute and render the physical plan with the
+    /// measured metrics, including the stream gauges (`batches emitted`,
+    /// `peak rows in flight`).
+    pub fn explain_analyze(&self) -> Result<String> {
+        self.session.explain_analyze(&self.plan, Algorithm::Auto)
+    }
+
+    /// [`explain_analyze`](Self::explain_analyze) forcing an algorithm.
+    pub fn explain_analyze_with(&self, algorithm: Algorithm) -> Result<String> {
+        self.session.explain_analyze(&self.plan, algorithm)
+    }
 }
 
 impl SessionContext {

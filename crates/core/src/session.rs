@@ -202,6 +202,19 @@ impl SessionContext {
         plan: &LogicalPlan,
         algorithm: Algorithm,
     ) -> Result<QueryResult> {
+        self.execute_pipeline(plan, algorithm)
+            .map(|(_, result)| result)
+    }
+
+    /// The shared pipeline: analyze → optimize → plan → execute via the
+    /// stream model (or the materialized adapter when
+    /// `streaming_execution` is off), returning the physical plan display
+    /// alongside the result.
+    fn execute_pipeline(
+        &self,
+        plan: &LogicalPlan,
+        algorithm: Algorithm,
+    ) -> Result<(String, QueryResult)> {
         let catalog = self.catalog.read();
         let analyzer = Analyzer::new(&*catalog);
         let analyzed = analyzer.analyze(plan)?;
@@ -223,13 +236,16 @@ impl SessionContext {
             .optimize(&to_optimize)?;
         let planner = PhysicalPlanner::new(&config, &*catalog);
         let physical = planner.create(&optimized)?;
+        let display = display_physical(&physical);
 
-        let ctx =
-            TaskContext::new(config.num_executors).with_deadline(Deadline::new(config.timeout));
+        let ctx = TaskContext::new(config.num_executors)
+            .with_deadline(Deadline::new(config.timeout))
+            .with_batch_size(config.batch_size)
+            .with_materialized(!config.streaming_execution);
         let start = Instant::now();
         let rows = sparkline_physical::planner::collect(&physical, &ctx)?;
         let elapsed = start.elapsed();
-        Ok(QueryResult {
+        let result = QueryResult {
             schema,
             rows,
             metrics: ctx.metrics.snapshot(),
@@ -237,7 +253,40 @@ impl SessionContext {
             peak_memory_bytes: ctx
                 .memory
                 .peak_with_overhead(config.num_executors, config.executor_memory_overhead),
-        })
+        };
+        Ok((display, result))
+    }
+
+    /// `EXPLAIN ANALYZE`: execute the plan and render the physical
+    /// operators together with the measured execution metrics — including
+    /// the stream gauges (`batches_emitted`, `peak_rows_in_flight`) that
+    /// tell the pipelining story.
+    pub fn explain_analyze(&self, plan: &LogicalPlan, algorithm: Algorithm) -> Result<String> {
+        let (display, result) = self.execute_pipeline(plan, algorithm)?;
+        let m = &result.metrics;
+        let mut out = String::new();
+        out.push_str("== Physical Plan ==\n");
+        out.push_str(&display);
+        out.push_str("== Execution Metrics ==\n");
+        out.push_str(&format!("rows scanned: {}\n", m.rows_scanned));
+        out.push_str(&format!("rows output: {}\n", m.rows_output));
+        out.push_str(&format!("batches emitted: {}\n", m.batches_emitted));
+        out.push_str(&format!("peak rows in flight: {}\n", m.peak_rows_in_flight));
+        out.push_str(&format!(
+            "dominance tests: {} ({} batched, {} scalar)\n",
+            m.dominance_tests, m.batched_tests, m.scalar_tests
+        ));
+        out.push_str(&format!("rows exchanged: {}\n", m.rows_exchanged));
+        out.push_str(&format!("max window: {}\n", m.max_window));
+        out.push_str(&format!(
+            "peak memory: {} bytes\n",
+            result.peak_memory_bytes
+        ));
+        out.push_str(&format!(
+            "elapsed: {:.3} ms\n",
+            result.elapsed.as_secs_f64() * 1e3
+        ));
+        Ok(out)
     }
 
     /// Render all pipeline stages of a plan, like `EXPLAIN EXTENDED`.

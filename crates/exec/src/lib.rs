@@ -6,37 +6,48 @@
 //! stand-in for Spark's executor runtime that the paper's algorithms run
 //! on:
 //!
-//! * [`partition`] — partitioned datasets with the distribution schemes the
-//!   skyline plans require (even split, `AllTuples` coalescing, hash /
-//!   null-bitmap partitioning);
+//! * [`stream`] — the pull-based, batched execution substrate:
+//!   [`PartitionStream`]s yielding [`stream::RowBatch`]es with in-flight
+//!   accounting, plus the shared pipeline-breaker and lazy-build stage
+//!   helpers;
+//! * [`partition`] — materialized partition helpers with the distribution
+//!   schemes the skyline plans require (even split, `AllTuples`
+//!   coalescing, hash / null-bitmap partitioning), used by breaker stages
+//!   and the materialized adapter;
 //! * [`partitioner`] — the pluggable partitioning subsystem: strategy
 //!   objects (even / hash / angle-based / grid with dominated-cell
 //!   pruning) the planner selects from the session configuration;
-//! * [`runtime`] — the executor pool (`num_executors` worker threads) and
-//!   the cooperative query [`Deadline`];
+//! * [`runtime`] — the executor pool (`num_executors` worker threads), the
+//!   stream fan-out (`Runtime::drain_streams`), and the cooperative query
+//!   [`Deadline`];
 //! * [`metrics`] — row/dominance-test counters reported by the harness,
-//!   including pruned-partition and hierarchical-merge counters;
+//!   including the stream gauges (`batches_emitted`,
+//!   `peak_rows_in_flight`) and pruned-partition / hierarchical-merge
+//!   counters;
 //! * [`memory`] — byte-accounted buffer tracking with per-executor
 //!   overhead, reproducing the paper's peak-memory measurements.
 //!
 //! [`TaskContext`] bundles the per-query state every physical operator
-//! receives.
+//! receives, including the stream batch size and the materialized-mode
+//! switch (the seed model's memory profile, kept for A/B benchmarks).
 
 pub mod memory;
 pub mod metrics;
 pub mod partition;
 pub mod partitioner;
 pub mod runtime;
+pub mod stream;
 
 use std::sync::Arc;
 
 pub use memory::{MemoryReservation, MemoryTracker};
-pub use metrics::{ExecMetrics, MetricsSnapshot};
+pub use metrics::{ExecMetrics, InFlightRows, MetricsSnapshot};
 pub use partition::Partition;
 pub use partitioner::{
     AnglePartitioner, EvenPartitioner, GridPartitioner, Partitioner, SkylineHashPartitioner,
 };
 pub use runtime::{Deadline, Runtime};
+pub use stream::{PartitionStream, RowBatch, DEFAULT_BATCH_SIZE};
 
 /// Per-query execution state handed to every operator.
 #[derive(Debug, Clone)]
@@ -49,22 +60,43 @@ pub struct TaskContext {
     pub metrics: Arc<ExecMetrics>,
     /// Buffer memory accounting.
     pub memory: Arc<MemoryTracker>,
+    /// Rows per stream batch.
+    pub batch_size: usize,
+    /// Materialize every operator boundary (the seed model) instead of
+    /// pipelining batches — the A/B switch of the streaming benchmarks.
+    pub materialized: bool,
 }
 
 impl TaskContext {
-    /// Context over a pool with `num_executors`, no timeout.
+    /// Context over a pool with `num_executors`, no timeout, streaming
+    /// execution with the default batch size.
     pub fn new(num_executors: usize) -> Self {
         TaskContext {
             runtime: Arc::new(Runtime::new(num_executors)),
             deadline: Deadline::unlimited(),
             metrics: Arc::new(ExecMetrics::new()),
             memory: Arc::new(MemoryTracker::new()),
+            batch_size: DEFAULT_BATCH_SIZE,
+            materialized: false,
         }
     }
 
     /// Replace the deadline.
     pub fn with_deadline(mut self, deadline: Deadline) -> Self {
         self.deadline = deadline;
+        self
+    }
+
+    /// Set the stream batch size (>= 1).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size >= 1, "batch size must be at least 1");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Toggle the materialized (per-boundary `Vec<Partition>`) model.
+    pub fn with_materialized(mut self, materialized: bool) -> Self {
+        self.materialized = materialized;
         self
     }
 }

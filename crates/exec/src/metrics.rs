@@ -5,12 +5,21 @@
 //! wall time so experiments can explain *why* an algorithm wins.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Shared, thread-safe metric counters for one query execution.
 #[derive(Debug, Default)]
 pub struct ExecMetrics {
     /// Rows read from base tables.
     pub rows_scanned: AtomicU64,
+    /// Batches yielded across all partition streams (every operator
+    /// boundary counts its own batches — a proxy for pipeline work).
+    pub batches_emitted: AtomicU64,
+    /// Rows currently held by live batches and operator buffers.
+    pub rows_in_flight: AtomicUsize,
+    /// High-water mark of [`rows_in_flight`](Self::rows_in_flight) — the
+    /// peak-memory story of the stream model, in rows.
+    pub peak_rows_in_flight: AtomicUsize,
     /// Rows produced by the root operator.
     pub rows_output: AtomicU64,
     /// Pairwise dominance tests across all skyline operators.
@@ -75,6 +84,23 @@ impl ExecMetrics {
         self.max_window.fetch_max(size, Ordering::Relaxed);
     }
 
+    /// Record a batch entering flight (yielded by a partition stream).
+    pub fn begin_batch(&self, rows: usize) {
+        self.batches_emitted.fetch_add(1, Ordering::Relaxed);
+        self.add_rows_in_flight(rows);
+    }
+
+    /// Add buffered/in-transit rows to the in-flight gauge.
+    pub fn add_rows_in_flight(&self, rows: usize) {
+        let new = self.rows_in_flight.fetch_add(rows, Ordering::Relaxed) + rows;
+        self.peak_rows_in_flight.fetch_max(new, Ordering::Relaxed);
+    }
+
+    /// Release in-flight rows (batch consumed / buffer dropped).
+    pub fn sub_rows_in_flight(&self, rows: usize) {
+        self.rows_in_flight.fetch_sub(rows, Ordering::Relaxed);
+    }
+
     /// Record a pruned grid cell and the rows discarded with it.
     pub fn add_pruned_partition(&self, rows: u64) {
         self.partitions_pruned.fetch_add(1, Ordering::Relaxed);
@@ -92,6 +118,8 @@ impl ExecMetrics {
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+            batches_emitted: self.batches_emitted.load(Ordering::Relaxed),
+            peak_rows_in_flight: self.peak_rows_in_flight.load(Ordering::Relaxed),
             rows_output: self.rows_output.load(Ordering::Relaxed),
             dominance_tests: self.dominance_tests.load(Ordering::Relaxed),
             batched_tests: self.batched_tests.load(Ordering::Relaxed),
@@ -115,6 +143,10 @@ impl ExecMetrics {
 pub struct MetricsSnapshot {
     /// Rows read from base tables.
     pub rows_scanned: u64,
+    /// Batches yielded across all partition streams.
+    pub batches_emitted: u64,
+    /// Peak rows simultaneously held by batches and operator buffers.
+    pub peak_rows_in_flight: usize,
     /// Rows produced by the root operator.
     pub rows_output: u64,
     /// Pairwise dominance tests.
@@ -143,6 +175,44 @@ pub struct MetricsSnapshot {
     pub merge_tasks: u64,
     /// Largest single-round merge parallelism.
     pub max_merge_fanout: usize,
+}
+
+/// RAII gauge for rows buffered by a pipeline-breaker stage (sort buffers,
+/// hash tables, skyline windows, materialized partitions): counts toward
+/// `rows_in_flight` / `peak_rows_in_flight` until dropped.
+#[derive(Debug)]
+pub struct InFlightRows {
+    metrics: Arc<ExecMetrics>,
+    rows: usize,
+}
+
+impl InFlightRows {
+    /// Register `rows` buffered rows.
+    pub fn new(metrics: Arc<ExecMetrics>, rows: usize) -> Self {
+        metrics.add_rows_in_flight(rows);
+        InFlightRows { metrics, rows }
+    }
+
+    /// Adjust the gauge to a new buffer size (windows grow and shrink).
+    pub fn set(&mut self, rows: usize) {
+        if rows > self.rows {
+            self.metrics.add_rows_in_flight(rows - self.rows);
+        } else {
+            self.metrics.sub_rows_in_flight(self.rows - rows);
+        }
+        self.rows = rows;
+    }
+
+    /// Rows currently registered by this guard.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+impl Drop for InFlightRows {
+    fn drop(&mut self) {
+        self.metrics.sub_rows_in_flight(self.rows);
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +244,22 @@ mod tests {
         assert_eq!(s.batched_tests, 8);
         assert_eq!(s.scalar_tests, 3);
         assert_eq!(s.sfs_fallbacks, 2);
+    }
+
+    #[test]
+    fn in_flight_gauge_tracks_peak() {
+        let m = Arc::new(ExecMetrics::new());
+        m.begin_batch(100);
+        {
+            let mut g = InFlightRows::new(Arc::clone(&m), 50);
+            g.set(300);
+            g.set(10);
+        }
+        m.sub_rows_in_flight(100);
+        let s = m.snapshot();
+        assert_eq!(s.batches_emitted, 1);
+        assert_eq!(s.peak_rows_in_flight, 400);
+        assert_eq!(m.rows_in_flight.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -1,11 +1,19 @@
-//! Partitioned datasets: the runtime's unit of distribution.
+//! Materialized partitions: the unit of distribution *at pipeline-breaker
+//! stages* of the stream model.
 //!
-//! A dataset is a `Vec<Partition>`; each partition is processed by one
-//! executor, mirroring Spark's RDD partitioning. The helpers implement the
-//! distribution schemes the paper's physical plans need: even splitting
-//! (Spark's default when reading), coalescing to a single partition (the
-//! `AllTuples` requirement of the global skyline), and hash partitioning
-//! (the null-bitmap distribution of the incomplete algorithm, §5.7).
+//! Since the pull-based refactor, operators no longer exchange
+//! `Vec<Partition>` between every stage — they exchange
+//! [`PartitionStream`](crate::stream::PartitionStream)s of row batches,
+//! and a `Partition` (one `Vec<Row>`) only materializes where an
+//! algorithm genuinely needs buffered rows: repartitioning exchanges,
+//! sorts, aggregation tables, join build sides, and the skyline merge
+//! phases. The helpers here implement the distribution schemes those
+//! breaker stages need — even splitting (Spark's default when reading),
+//! coalescing to a single partition (the `AllTuples` requirement of the
+//! flat global skyline), and hash partitioning (the null-bitmap
+//! distribution of the incomplete algorithm, §5.7) — plus the
+//! flatten/drain adapters the tests and the bench harness use to compare
+//! against the materialized model.
 
 use sparkline_common::Row;
 
@@ -18,25 +26,42 @@ pub type Partition = Vec<Row>;
 /// for 10,000,000 tuples ... each executor will receive roughly 1 million
 /// tuples each".
 pub fn split_evenly(rows: Vec<Row>, n: usize) -> Vec<Partition> {
-    assert!(n >= 1, "at least one partition required");
     let total = rows.len();
     if n == 1 || total == 0 {
+        assert!(n >= 1, "at least one partition required");
         return vec![rows];
     }
-    // Distribute the remainder one row at a time so sizes differ by at
-    // most one and no partition is left empty while another holds two or
-    // more rows (ceil-sized chunks would emit empty *trailing* partitions,
-    // e.g. 4 rows / 3 executors as [2, 2, 0], idling an executor).
-    let base = total / n;
-    let extra = total % n;
     let mut parts: Vec<Partition> = Vec::with_capacity(n);
     let mut iter = rows.into_iter();
-    for i in 0..n {
-        let size = base + usize::from(i < extra);
-        let part: Partition = iter.by_ref().take(size).collect();
+    for (start, end) in even_ranges(total, n) {
+        let part: Partition = iter.by_ref().take(end - start).collect();
         parts.push(part);
     }
     parts
+}
+
+/// The `(start, end)` index ranges [`split_evenly`] cuts `total` rows
+/// into — shared with the streaming scan so both models produce identical
+/// partition boundaries. The remainder is spread one row at a time over
+/// the leading ranges, so sizes differ by at most one and no partition is
+/// left empty while another holds two or more rows (ceil-sized chunks
+/// would emit empty *trailing* partitions, e.g. 4 rows / 3 executors as
+/// [2, 2, 0], idling an executor).
+pub fn even_ranges(total: usize, n: usize) -> Vec<(usize, usize)> {
+    assert!(n >= 1, "at least one partition required");
+    if n == 1 || total == 0 {
+        return vec![(0, total)];
+    }
+    let (base, extra) = (total / n, total % n);
+    let mut start = 0;
+    (0..n)
+        .map(|i| {
+            let size = base + usize::from(i < extra);
+            let range = (start, start + size);
+            start += size;
+            range
+        })
+        .collect()
 }
 
 /// Merge all partitions into a single one (Spark's `AllTuples`

@@ -347,7 +347,13 @@ impl Partitioner for GridPartitioner {
         // its worst corner is component-wise >= its best corner, which can
         // never be strictly dominating.
         let mut survivors: Vec<GridCell> = Vec::with_capacity(cells.len());
-        let all: Vec<GridCell> = cells.into_values().collect();
+        // Deterministic cell order: the greedy packing below breaks size
+        // ties by arrival order, so iterating the hash map directly would
+        // make the partition composition — and with it the result *order*
+        // of every downstream skyline — vary run to run.
+        let mut ordered: Vec<(usize, GridCell)> = cells.into_iter().collect();
+        ordered.sort_by_key(|(id, _)| *id);
+        let all: Vec<GridCell> = ordered.into_iter().map(|(_, c)| c).collect();
         if self.prune {
             let mut worst_corners = PointBlock::new(dims.len());
             for cell in &all {

@@ -72,6 +72,18 @@ impl Runtime {
         self.num_executors
     }
 
+    /// Drain a set of partition streams concurrently, one stream per
+    /// executor slot — the fan-out point of the stream model: a pipeline
+    /// breaker (or the final collect) pulls all upstream pipelines to
+    /// completion in parallel, which is where the `num_executors`-way
+    /// parallelism of the materialized model re-enters the pull model.
+    pub fn drain_streams(
+        &self,
+        streams: Vec<crate::stream::PartitionStream>,
+    ) -> Result<Vec<crate::partition::Partition>> {
+        self.map_indexed(streams, |_, stream| stream.drain())
+    }
+
     /// Run `task` over every input concurrently on up to `num_executors`
     /// executors, preserving input order in the result. The first error
     /// wins; remaining tasks are drained without being run.

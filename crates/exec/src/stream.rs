@@ -1,0 +1,547 @@
+//! Pull-based batched execution streams — the substrate of the engine's
+//! streaming model.
+//!
+//! A physical operator no longer materializes a `Vec<Partition>`; it
+//! returns one [`PartitionStream`] per output partition. A stream is a
+//! pull iterator yielding [`RowBatch`]es of at most
+//! `SessionConfig::batch_size` rows, plus the output schema and
+//! close/metrics hooks. Narrow operators (scan, project, filter, limit,
+//! distinct, join probe sides) are pipelined: pulling one batch from the
+//! root pulls exactly one batch through the whole chain, so peak memory is
+//! `O(batch_size × pipeline depth)` instead of the sum of all
+//! intermediates, and `LIMIT k` stops upstream work after
+//! `O(k / batch_size)` batches. Pipeline breakers (sort, aggregation,
+//! exchange, skyline phases, join build sides) consume their input stream
+//! batch-by-batch into their internal state and only then start emitting.
+//!
+//! Accounting: every yielded batch counts toward
+//! `ExecMetrics::batches_emitted` and is held in the
+//! `rows_in_flight` gauge until the consumer pulls the next batch (or
+//! closes the stream); breaker buffers register through
+//! [`InFlightRows`](crate::metrics::InFlightRows). The high-water mark is
+//! reported as `peak_rows_in_flight`.
+//!
+//! [`breaker_streams`] and [`LazyBuild`] are the two sharing primitives
+//! breakers need: the former computes all output partitions once on first
+//! pull (any output stream may be pulled first, from any executor
+//! thread), the latter computes a shared build-side structure once.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sparkline_common::{Error, Result, Row, SchemaRef};
+
+use crate::memory::MemoryReservation;
+use crate::metrics::{ExecMetrics, InFlightRows};
+use crate::partition::Partition;
+use crate::TaskContext;
+
+/// A batch of rows flowing through the stream pipeline.
+pub type RowBatch = Vec<Row>;
+
+/// Default rows per batch (`SessionConfig::batch_size`).
+pub const DEFAULT_BATCH_SIZE: usize = 4096;
+
+/// One output partition of an operator: a pull iterator over row batches
+/// with the partition's schema and metric accounting attached.
+///
+/// The stream releases the previously yielded batch from the in-flight
+/// gauge on every pull (the pull protocol means the consumer is done with
+/// it) and registers the new one; [`close`](Self::close) / `Drop` release
+/// the last batch and drop the producer state (which recursively drops
+/// upstream streams — this is what makes `LIMIT` cancel upstream work).
+pub struct PartitionStream {
+    schema: SchemaRef,
+    metrics: Arc<ExecMetrics>,
+    outstanding: usize,
+    done: bool,
+    /// Pass-through adapters (e.g. [`chain_streams`]) skip the
+    /// batch/in-flight accounting: their batches are the wrapped streams'
+    /// batches, already counted there.
+    accounted: bool,
+    next: Box<dyn FnMut() -> Result<Option<RowBatch>> + Send>,
+}
+
+impl fmt::Debug for PartitionStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PartitionStream")
+            .field("outstanding", &self.outstanding)
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+impl PartitionStream {
+    /// Stream over a producer closure. The closure yields `Ok(Some(_))`
+    /// per batch and `Ok(None)` at end-of-partition.
+    pub fn new(
+        schema: SchemaRef,
+        metrics: Arc<ExecMetrics>,
+        next: impl FnMut() -> Result<Option<RowBatch>> + Send + 'static,
+    ) -> Self {
+        PartitionStream {
+            schema,
+            metrics,
+            outstanding: 0,
+            done: false,
+            accounted: true,
+            next: Box::new(next),
+        }
+    }
+
+    /// Like [`new`](Self::new) but without batch/in-flight accounting —
+    /// for pass-through adapters that merely forward batches some wrapped
+    /// stream already counts.
+    pub fn new_passthrough(
+        schema: SchemaRef,
+        metrics: Arc<ExecMetrics>,
+        next: impl FnMut() -> Result<Option<RowBatch>> + Send + 'static,
+    ) -> Self {
+        let mut stream = PartitionStream::new(schema, metrics, next);
+        stream.accounted = false;
+        stream
+    }
+
+    /// An empty partition.
+    pub fn empty(schema: SchemaRef, metrics: Arc<ExecMetrics>) -> Self {
+        PartitionStream::new(schema, metrics, || Ok(None))
+    }
+
+    /// Stream an in-memory partition out in `batch_size`d chunks. With
+    /// `hold`, the whole buffer counts as in flight for the stream's
+    /// lifetime — the honest accounting for a materialized intermediate
+    /// (pipeline-breaker output, materialized-adapter boundary).
+    pub fn from_partition(
+        schema: SchemaRef,
+        metrics: Arc<ExecMetrics>,
+        batch_size: usize,
+        part: Partition,
+        hold: bool,
+    ) -> Self {
+        let guard = hold.then(|| InFlightRows::new(Arc::clone(&metrics), part.len()));
+        Self::from_buffer(schema, metrics, batch_size, part, guard)
+    }
+
+    /// Like [`from_partition`](Self::from_partition) with an existing
+    /// in-flight guard (kept alive until the stream is dropped).
+    pub fn from_buffer(
+        schema: SchemaRef,
+        metrics: Arc<ExecMetrics>,
+        batch_size: usize,
+        part: Partition,
+        guard: Option<InFlightRows>,
+    ) -> Self {
+        let batch_size = batch_size.max(1);
+        let mut iter = part.into_iter();
+        let mut guard = guard;
+        PartitionStream::new(schema, metrics, move || {
+            let batch: RowBatch = iter.by_ref().take(batch_size).collect();
+            if batch.is_empty() {
+                guard.take();
+                return Ok(None);
+            }
+            Ok(Some(batch))
+        })
+    }
+
+    /// The partition's schema.
+    pub fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    /// Pull the next batch. Returns `Ok(None)` once the partition is
+    /// exhausted (and stays exhausted).
+    pub fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.metrics.sub_rows_in_flight(self.outstanding);
+        self.outstanding = 0;
+        match (self.next)() {
+            Ok(Some(batch)) => {
+                if self.accounted {
+                    self.outstanding = batch.len();
+                    self.metrics.begin_batch(batch.len());
+                }
+                Ok(Some(batch))
+            }
+            Ok(None) => {
+                self.finish();
+                Ok(None)
+            }
+            Err(e) => {
+                self.finish();
+                Err(e)
+            }
+        }
+    }
+
+    /// Close early: release accounting and drop the producer (and with it
+    /// the upstream streams) without draining.
+    pub fn close(&mut self) {
+        self.metrics.sub_rows_in_flight(self.outstanding);
+        self.outstanding = 0;
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        self.done = true;
+        // Replace the producer so captured upstream state is freed now,
+        // not when the handle happens to be dropped.
+        self.next = Box::new(|| Ok(None));
+    }
+
+    /// Drain the remaining batches into one partition (the materialized
+    /// adapter used by `ExecutionPlan::execute`, tests, and breakers).
+    pub fn drain(mut self) -> Result<Partition> {
+        let mut rows: Partition = Vec::new();
+        while let Some(batch) = self.next_batch()? {
+            rows.extend(batch);
+        }
+        Ok(rows)
+    }
+}
+
+impl Drop for PartitionStream {
+    fn drop(&mut self) {
+        self.metrics.sub_rows_in_flight(self.outstanding);
+        self.outstanding = 0;
+    }
+}
+
+/// Wrap materialized partitions as held buffer streams (used by the
+/// materialized execution mode and by breakers emitting their results).
+pub fn streams_from_partitions(
+    schema: SchemaRef,
+    ctx: &TaskContext,
+    parts: Vec<Partition>,
+) -> Vec<PartitionStream> {
+    parts
+        .into_iter()
+        .map(|p| {
+            PartitionStream::from_partition(
+                Arc::clone(&schema),
+                Arc::clone(&ctx.metrics),
+                ctx.batch_size,
+                p,
+                true,
+            )
+        })
+        .collect()
+}
+
+/// Chain several streams into one, preserving stream order — the
+/// streaming analogue of `partition::coalesce` for consumers that want a
+/// single sequential view.
+pub fn chain_streams(
+    schema: SchemaRef,
+    metrics: Arc<ExecMetrics>,
+    streams: Vec<PartitionStream>,
+) -> PartitionStream {
+    let mut queue: VecDeque<PartitionStream> = streams.into();
+    PartitionStream::new_passthrough(schema, metrics, move || loop {
+        let Some(front) = queue.front_mut() else {
+            return Ok(None);
+        };
+        match front.next_batch()? {
+            Some(batch) => return Ok(Some(batch)),
+            None => {
+                queue.pop_front();
+            }
+        }
+    })
+}
+
+enum BreakerStage {
+    /// Not yet computed; holds the one-shot compute closure.
+    Pending(Box<dyn FnOnce() -> Result<Vec<Partition>> + Send>),
+    /// Computed; one slot per output stream (taken on first pull).
+    Ready(Vec<Option<(Partition, InFlightRows, MemoryReservation)>>),
+    /// The compute closure failed; every puller (whichever thread wins
+    /// the race) receives a clone of the real error — so a timeout stays
+    /// a timeout instead of degrading into a sibling-stream placeholder.
+    Failed(Error),
+}
+
+/// A shared pipeline-breaker stage.
+///
+/// The first output stream pulled runs `compute` exactly once — producing
+/// *all* output partitions — then every output stream emits its own
+/// partition in batches. Each computed partition is registered with the
+/// in-flight gauge and the byte-accounting memory tracker until its
+/// stream is dropped. `compute` results with fewer than `n_outputs`
+/// partitions are padded with empty ones (partition counts must be fixed
+/// before execution in the stream model).
+pub fn breaker_streams(
+    schema: SchemaRef,
+    ctx: &TaskContext,
+    n_outputs: usize,
+    compute: impl FnOnce() -> Result<Vec<Partition>> + Send + 'static,
+) -> Vec<PartitionStream> {
+    let core = Arc::new(Mutex::new(BreakerStage::Pending(Box::new(compute))));
+    let metrics = Arc::clone(&ctx.metrics);
+    let memory = Arc::clone(&ctx.memory);
+    let batch_size = ctx.batch_size.max(1);
+    (0..n_outputs.max(1))
+        .map(|i| {
+            let core = Arc::clone(&core);
+            let metrics = Arc::clone(&metrics);
+            let memory = Arc::clone(&memory);
+            let stream_metrics = Arc::clone(&metrics);
+            let mut slot: Option<(std::vec::IntoIter<Row>, InFlightRows, MemoryReservation)> = None;
+            let mut started = false;
+            PartitionStream::new(Arc::clone(&schema), stream_metrics, move || {
+                if !started {
+                    started = true;
+                    let mut stage = core.lock();
+                    if let BreakerStage::Pending(_) = &*stage {
+                        let placeholder = BreakerStage::Failed(Error::internal(
+                            "pipeline-breaker stage re-entered while computing",
+                        ));
+                        let BreakerStage::Pending(compute) =
+                            std::mem::replace(&mut *stage, placeholder)
+                        else {
+                            unreachable!()
+                        };
+                        match compute() {
+                            Ok(mut parts) => {
+                                debug_assert!(
+                                    parts.len() <= n_outputs.max(1),
+                                    "breaker produced more partitions than declared"
+                                );
+                                parts.truncate(n_outputs.max(1));
+                                parts.resize_with(n_outputs.max(1), Vec::new);
+                                let slots = parts
+                                    .into_iter()
+                                    .map(|p| {
+                                        let bytes: usize = p.iter().map(Row::estimated_bytes).sum();
+                                        let guard =
+                                            InFlightRows::new(Arc::clone(&metrics), p.len());
+                                        let reservation = memory.reserve(bytes);
+                                        Some((p, guard, reservation))
+                                    })
+                                    .collect();
+                                *stage = BreakerStage::Ready(slots);
+                            }
+                            Err(e) => {
+                                *stage = BreakerStage::Failed(e.clone());
+                                return Err(e);
+                            }
+                        }
+                    }
+                    match &mut *stage {
+                        BreakerStage::Ready(slots) => {
+                            if let Some((p, guard, reservation)) =
+                                slots.get_mut(i).and_then(|s| s.take())
+                            {
+                                slot = Some((p.into_iter(), guard, reservation));
+                            }
+                        }
+                        BreakerStage::Failed(e) => return Err(e.clone()),
+                        BreakerStage::Pending(_) => unreachable!(),
+                    }
+                }
+                let Some((iter, _, _)) = slot.as_mut() else {
+                    return Ok(None);
+                };
+                let batch: RowBatch = iter.by_ref().take(batch_size).collect();
+                if batch.is_empty() {
+                    slot.take();
+                    return Ok(None);
+                }
+                Ok(Some(batch))
+            })
+        })
+        .collect()
+}
+
+enum LazyState<T> {
+    Pending(Box<dyn FnOnce() -> Result<T> + Send>),
+    Ready(Arc<T>),
+    Failed(Error),
+}
+
+/// A lazily computed, shared build stage (hash-join build side,
+/// nested-loop inner side): the first probe stream that pulls runs the
+/// build once; every stream then shares the result.
+pub struct LazyBuild<T> {
+    state: Mutex<LazyState<T>>,
+}
+
+impl<T: Send + Sync> LazyBuild<T> {
+    /// Wrap a one-shot build closure.
+    pub fn new(build: impl FnOnce() -> Result<T> + Send + 'static) -> Arc<Self> {
+        Arc::new(LazyBuild {
+            state: Mutex::new(LazyState::Pending(Box::new(build))),
+        })
+    }
+
+    /// The built value, computing it on first call. A build failure is
+    /// replayed (cloned) to every later caller, so the real error — a
+    /// timeout in particular — survives whichever stream reports first.
+    pub fn get(&self) -> Result<Arc<T>> {
+        let mut state = self.state.lock();
+        match &*state {
+            LazyState::Ready(v) => Ok(Arc::clone(v)),
+            LazyState::Failed(e) => Err(e.clone()),
+            LazyState::Pending(_) => {
+                let placeholder = LazyState::Failed(Error::internal(
+                    "shared build stage re-entered while computing",
+                ));
+                let LazyState::Pending(build) = std::mem::replace(&mut *state, placeholder) else {
+                    unreachable!()
+                };
+                match build() {
+                    Ok(value) => {
+                        let value = Arc::new(value);
+                        *state = LazyState::Ready(Arc::clone(&value));
+                        Ok(value)
+                    }
+                    Err(e) => {
+                        *state = LazyState::Failed(e.clone());
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkline_common::{DataType, Field, Schema, Value};
+    use std::sync::atomic::Ordering;
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![Field::new("x", DataType::Int64, false)]).into_ref()
+    }
+
+    fn rows(n: usize) -> Partition {
+        (0..n)
+            .map(|i| Row::new(vec![Value::Int64(i as i64)]))
+            .collect()
+    }
+
+    #[test]
+    fn buffer_stream_batches_and_accounts() {
+        let m = Arc::new(ExecMetrics::new());
+        let mut s = PartitionStream::from_partition(schema(), Arc::clone(&m), 4, rows(10), false);
+        let mut seen = 0;
+        let mut batches = 0;
+        while let Some(b) = s.next_batch().unwrap() {
+            assert!(b.len() <= 4);
+            seen += b.len();
+            batches += 1;
+        }
+        assert_eq!(seen, 10);
+        assert_eq!(batches, 3);
+        let snap = m.snapshot();
+        assert_eq!(snap.batches_emitted, 3);
+        assert!(snap.peak_rows_in_flight >= 4);
+        assert_eq!(m.rows_in_flight.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn held_buffer_counts_whole_partition() {
+        let m = Arc::new(ExecMetrics::new());
+        let s = PartitionStream::from_partition(schema(), Arc::clone(&m), 4, rows(10), true);
+        assert_eq!(m.rows_in_flight.load(Ordering::Relaxed), 10);
+        drop(s);
+        assert_eq!(m.rows_in_flight.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn close_releases_without_draining() {
+        let m = Arc::new(ExecMetrics::new());
+        let mut s = PartitionStream::from_partition(schema(), Arc::clone(&m), 4, rows(10), false);
+        let _ = s.next_batch().unwrap();
+        assert_eq!(m.rows_in_flight.load(Ordering::Relaxed), 4);
+        s.close();
+        assert_eq!(m.rows_in_flight.load(Ordering::Relaxed), 0);
+        assert!(s.next_batch().unwrap().is_none());
+    }
+
+    #[test]
+    fn chained_streams_preserve_order() {
+        let m = Arc::new(ExecMetrics::new());
+        let parts = vec![rows(3), rows(2)];
+        let streams: Vec<PartitionStream> = parts
+            .into_iter()
+            .map(|p| PartitionStream::from_partition(schema(), Arc::clone(&m), 2, p, false))
+            .collect();
+        let chained = chain_streams(schema(), Arc::clone(&m), streams);
+        let all = chained.drain().unwrap();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[3], Row::new(vec![Value::Int64(0)]));
+    }
+
+    #[test]
+    fn breaker_computes_once_and_pads() {
+        let ctx = TaskContext::new(2);
+        let count = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        let streams = breaker_streams(schema(), &ctx, 3, move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+            Ok(vec![rows(5)])
+        });
+        assert_eq!(streams.len(), 3);
+        let drained: Vec<Partition> = streams.into_iter().map(|s| s.drain().unwrap()).collect();
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        assert_eq!(drained[0].len(), 5);
+        assert!(drained[1].is_empty() && drained[2].is_empty());
+        assert_eq!(ctx.metrics.rows_in_flight.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn lazy_build_runs_once() {
+        let count = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        let build = LazyBuild::new(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+            Ok(41usize + 1)
+        });
+        assert_eq!(*build.get().unwrap(), 42);
+        assert_eq!(*build.get().unwrap(), 42);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn lazy_build_error_poisons() {
+        let build: Arc<LazyBuild<usize>> = LazyBuild::new(|| Err(Error::execution("boom")));
+        assert!(build.get().is_err());
+        assert!(build.get().is_err());
+    }
+
+    #[test]
+    fn breaker_replays_the_real_error_to_every_stream() {
+        // A timeout inside the compute closure must surface as a timeout
+        // on every output stream, not as a sibling-failure placeholder —
+        // the bench harness distinguishes timeouts from hard errors.
+        let ctx = TaskContext::new(2);
+        let streams = breaker_streams(schema(), &ctx, 3, move || {
+            Err(Error::Timeout {
+                elapsed_ms: 10,
+                limit_ms: 5,
+            })
+        });
+        for mut s in streams {
+            let err = s.next_batch().unwrap_err();
+            assert!(err.is_timeout(), "{err}");
+        }
+    }
+
+    #[test]
+    fn lazy_build_replays_timeouts() {
+        let build: Arc<LazyBuild<usize>> = LazyBuild::new(|| {
+            Err(Error::Timeout {
+                elapsed_ms: 10,
+                limit_ms: 5,
+            })
+        });
+        assert!(build.get().unwrap_err().is_timeout());
+        assert!(build.get().unwrap_err().is_timeout(), "replayed clone");
+    }
+}

@@ -28,7 +28,7 @@ use sparkline_common::{Result, SessionConfig};
 use sparkline_plan::{CatalogProvider, LogicalPlan};
 
 pub use expr_simplify::simplify_expressions;
-pub use pushdown::{collapse_projections, merge_filters, push_down_filters};
+pub use pushdown::{collapse_projections, merge_filters, push_down_filters, push_down_limits};
 pub use skyline_rules::{
     drop_diff_only_skyline, infer_complete_skyline, push_skyline_below_join,
     rewrite_single_dim_skyline,
@@ -72,6 +72,7 @@ impl<'a> Optimizer<'a> {
                 next = simplify_expressions(&next)?;
                 next = merge_filters(&next)?;
                 next = push_down_filters(&next)?;
+                next = push_down_limits(&next)?;
                 next = collapse_projections(&next)?;
             }
             next = drop_diff_only_skyline(&next)?;

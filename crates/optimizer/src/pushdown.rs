@@ -189,6 +189,51 @@ pub fn push_down_filters(plan: &LogicalPlan) -> Result<LogicalPlan> {
     })
 }
 
+/// Push `Limit` below row-preserving narrow operators — projections and
+/// subquery aliases — and merge stacked limits.
+///
+/// A projection emits exactly one row per input row in input order, so
+/// `Limit(Project(x))` and `Project(Limit(x))` are equivalent; pushing the
+/// limit down lets the streaming scan's short-circuit see it, so a
+/// `SELECT expr FROM t LIMIT k` reads `O(k)` rows instead of evaluating
+/// the projection over the whole table. Filters, sorts, aggregates,
+/// distinct, joins, and skylines are *not* row-preserving — a limit never
+/// moves below those.
+pub fn push_down_limits(plan: &LogicalPlan) -> Result<LogicalPlan> {
+    plan.transform_up(&mut |node| {
+        let LogicalPlan::Limit { n, input } = &node else {
+            return Ok(node);
+        };
+        Ok(match input.as_ref() {
+            // Limit(Project) → Project(Limit).
+            LogicalPlan::Projection { exprs, input: p_in } => LogicalPlan::Projection {
+                exprs: exprs.clone(),
+                input: Arc::new(LogicalPlan::Limit {
+                    n: *n,
+                    input: Arc::clone(p_in),
+                }),
+            },
+            // Limit(Alias) → Alias(Limit).
+            LogicalPlan::SubqueryAlias { alias, input: a_in } => LogicalPlan::SubqueryAlias {
+                alias: alias.clone(),
+                input: Arc::new(LogicalPlan::Limit {
+                    n: *n,
+                    input: Arc::clone(a_in),
+                }),
+            },
+            // Limit(Limit) → the tighter limit.
+            LogicalPlan::Limit {
+                n: inner,
+                input: l_in,
+            } => LogicalPlan::Limit {
+                n: (*n).min(*inner),
+                input: Arc::clone(l_in),
+            },
+            _ => node,
+        })
+    })
+}
+
 /// Replace bound references in `e` with the projection expressions they
 /// point at (inlining through a projection).
 fn substitute(e: Expr, proj_exprs: &[Expr]) -> Result<Expr> {
@@ -366,6 +411,88 @@ mod tests {
             matches!(optimized, LogicalPlan::Filter { .. }),
             "right-side filter must stay above a left outer join"
         );
+    }
+
+    #[test]
+    fn pushes_limit_below_projection() {
+        let plan = LogicalPlan::Limit {
+            n: 5,
+            input: Arc::new(LogicalPlan::Projection {
+                exprs: vec![bound(1, "b").alias("x")],
+                input: Arc::new(scan()),
+            }),
+        };
+        let optimized = push_down_limits(&plan).unwrap();
+        match &optimized {
+            LogicalPlan::Projection { input, .. } => match input.as_ref() {
+                LogicalPlan::Limit { n, input } => {
+                    assert_eq!(*n, 5);
+                    assert!(matches!(input.as_ref(), LogicalPlan::TableScan { .. }));
+                }
+                other => panic!("expected limit below projection, got {other}"),
+            },
+            other => panic!("expected projection on top, got {other}"),
+        }
+    }
+
+    #[test]
+    fn merges_stacked_limits_and_passes_aliases() {
+        let plan = LogicalPlan::Limit {
+            n: 3,
+            input: Arc::new(LogicalPlan::SubqueryAlias {
+                alias: "s".into(),
+                input: Arc::new(LogicalPlan::Limit {
+                    n: 10,
+                    input: Arc::new(scan()),
+                }),
+            }),
+        };
+        // Fixpoint: one pass moves the limit through the alias, the next
+        // merges it with the inner one.
+        let mut optimized = plan;
+        for _ in 0..3 {
+            optimized = push_down_limits(&optimized).unwrap();
+        }
+        match &optimized {
+            LogicalPlan::SubqueryAlias { input, .. } => match input.as_ref() {
+                LogicalPlan::Limit { n, input } => {
+                    assert_eq!(*n, 3, "tighter limit wins");
+                    assert!(matches!(input.as_ref(), LogicalPlan::TableScan { .. }));
+                }
+                other => panic!("expected merged limit, got {other}"),
+            },
+            other => panic!("expected alias on top, got {other}"),
+        }
+    }
+
+    #[test]
+    fn limit_never_pushed_below_non_row_preserving_ops() {
+        use sparkline_common::SkylineType;
+        use sparkline_plan::SkylineDimension;
+        let below_filter = LogicalPlan::Limit {
+            n: 2,
+            input: Arc::new(LogicalPlan::Filter {
+                predicate: bound(0, "a").gt(Expr::lit(1i64)),
+                input: Arc::new(scan()),
+            }),
+        };
+        assert!(matches!(
+            push_down_limits(&below_filter).unwrap(),
+            LogicalPlan::Limit { .. }
+        ));
+        let below_skyline = LogicalPlan::Limit {
+            n: 2,
+            input: Arc::new(LogicalPlan::Skyline {
+                distinct: false,
+                complete: true,
+                dims: vec![SkylineDimension::new(bound(0, "a"), SkylineType::Min)],
+                input: Arc::new(scan()),
+            }),
+        };
+        assert!(matches!(
+            push_down_limits(&below_skyline).unwrap(),
+            LogicalPlan::Limit { .. }
+        ));
     }
 
     #[test]

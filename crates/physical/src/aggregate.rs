@@ -5,7 +5,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use sparkline_common::{DataType, Error, Result, Row, SchemaRef, Value};
-use sparkline_exec::{partition::split_evenly, Partition, TaskContext};
+use sparkline_exec::{
+    partition::split_evenly, stream::breaker_streams, PartitionStream, TaskContext,
+};
 use sparkline_plan::{AggregateFunction, Expr};
 
 use crate::ExecutionPlan;
@@ -236,32 +238,77 @@ impl HashAggregateExec {
             input,
         }
     }
+}
 
-    fn partial(
-        &self,
-        part: &Partition,
-        ctx: &TaskContext,
-    ) -> Result<HashMap<Vec<Value>, Vec<Accumulator>>> {
-        let mut table: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
-        for row in part {
-            ctx.deadline.check()?;
-            let key: Vec<Value> = self
-                .group_exprs
-                .iter()
-                .map(|e| e.evaluate(row))
-                .collect::<Result<_>>()?;
-            let accs = table
-                .entry(key)
-                .or_insert_with(|| self.agg_calls.iter().map(Accumulator::new).collect());
-            for (acc, call) in accs.iter_mut().zip(&self.agg_calls) {
-                match &call.arg {
-                    Some(arg) => acc.update(Some(&arg.evaluate(row)?))?,
-                    None => acc.update(None)?,
+/// Phase 2 + 3 of the hash aggregation: merge the partial tables on one
+/// executor and evaluate the result expressions over the internal row
+/// layout `[group values..., aggregate values...]`.
+fn aggregate_final(
+    ctx: &TaskContext,
+    partials: Vec<HashMap<Vec<Value>, Vec<Accumulator>>>,
+    group_exprs: &[Expr],
+    agg_calls: &[AggCall],
+    result_exprs: &[Expr],
+    n: usize,
+) -> Result<Vec<sparkline_exec::Partition>> {
+    let mut merged: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+    for table in partials {
+        ctx.deadline.check()?;
+        for (key, accs) in table {
+            match merged.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (a, b) in e.get_mut().iter_mut().zip(accs) {
+                        a.merge(b)?;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(accs);
                 }
             }
         }
-        Ok(table)
     }
+    // A global aggregate over empty input still yields one row.
+    if merged.is_empty() && group_exprs.is_empty() {
+        merged.insert(vec![], agg_calls.iter().map(Accumulator::new).collect());
+    }
+    // Phase 3: evaluate result expressions over internal rows.
+    let mut rows = Vec::with_capacity(merged.len());
+    for (key, accs) in merged {
+        let mut internal = key;
+        internal.extend(accs.into_iter().map(Accumulator::finalize));
+        let internal_row = Row::new(internal);
+        let values: Vec<Value> = result_exprs
+            .iter()
+            .map(|e| e.evaluate(&internal_row))
+            .collect::<Result<_>>()?;
+        rows.push(Row::new(values));
+    }
+    Ok(split_evenly(rows, n))
+}
+
+/// Fold one batch into a partial-aggregation table.
+fn partial_batch(
+    group_exprs: &[Expr],
+    agg_calls: &[AggCall],
+    table: &mut HashMap<Vec<Value>, Vec<Accumulator>>,
+    batch: &[Row],
+) -> Result<()> {
+    for row in batch {
+        let key: Vec<Value> = group_exprs
+            .iter()
+            .map(|e| e.evaluate(row))
+            .collect::<Result<_>>()?;
+        let accs = table
+            .entry(key)
+            .or_insert_with(|| agg_calls.iter().map(Accumulator::new).collect());
+        for (acc, call) in accs.iter_mut().zip(agg_calls) {
+            match &call.arg {
+                Some(arg) => acc.update(Some(&arg.evaluate(row)?))?,
+                None => acc.update(None)?,
+            }
+        }
+    }
+    Ok(())
 }
 
 impl ExecutionPlan for HashAggregateExec {
@@ -277,54 +324,28 @@ impl ExecutionPlan for HashAggregateExec {
         vec![&self.input]
     }
 
-    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
-        let input = self.input.execute(ctx)?;
-        // Phase 1: parallel partial aggregation.
-        let partials = ctx
-            .runtime
-            .map_indexed(input, |_, part| self.partial(&part, ctx))?;
-        // Phase 2: merge on one executor.
-        let mut merged: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
-        for table in partials {
-            ctx.deadline.check()?;
-            for (key, accs) in table {
-                match merged.entry(key) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        for (a, b) in e.get_mut().iter_mut().zip(accs) {
-                            a.merge(b)?;
-                        }
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(accs);
-                    }
+    fn execute_stream(&self, ctx: &TaskContext) -> Result<Vec<PartitionStream>> {
+        let inputs = crate::input_streams(&self.input, ctx)?;
+        let group_exprs = self.group_exprs.clone();
+        let agg_calls = self.agg_calls.clone();
+        let result_exprs = self.result_exprs.clone();
+        let n = ctx.runtime.num_executors();
+        let ctx2 = ctx.clone();
+        Ok(breaker_streams(self.schema(), ctx, n, move || {
+            // Phase 1: parallel partial aggregation, one stream per
+            // executor, folding batch-by-batch — the buffered state is the
+            // partial hash table (bounded by the number of groups), never
+            // the input.
+            let partials = ctx2.runtime.map_indexed(inputs, |_, mut stream| {
+                let mut table: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+                while let Some(batch) = stream.next_batch()? {
+                    ctx2.deadline.check()?;
+                    partial_batch(&group_exprs, &agg_calls, &mut table, &batch)?;
                 }
-            }
-        }
-        // A global aggregate over empty input still yields one row.
-        if merged.is_empty() && self.group_exprs.is_empty() {
-            merged.insert(
-                vec![],
-                self.agg_calls.iter().map(Accumulator::new).collect(),
-            );
-        }
-        let reservation = ctx
-            .memory
-            .reserve(merged.len() * (self.group_exprs.len() + self.agg_calls.len()) * 16);
-        // Phase 3: evaluate result expressions over internal rows.
-        let mut rows = Vec::with_capacity(merged.len());
-        for (key, accs) in merged {
-            let mut internal = key;
-            internal.extend(accs.into_iter().map(Accumulator::finalize));
-            let internal_row = Row::new(internal);
-            let values: Vec<Value> = self
-                .result_exprs
-                .iter()
-                .map(|e| e.evaluate(&internal_row))
-                .collect::<Result<_>>()?;
-            rows.push(Row::new(values));
-        }
-        drop(reservation);
-        Ok(split_evenly(rows, ctx.runtime.num_executors()))
+                Ok(table)
+            })?;
+            aggregate_final(&ctx2, partials, &group_exprs, &agg_calls, &result_exprs, n)
+        }))
     }
 
     fn describe(&self) -> String {

@@ -1,11 +1,23 @@
-//! Row-at-a-time operators: projection, filter, limit, distinct, sort.
+//! Pipelined narrow operators (projection, filter, limit, distinct) and
+//! the sort pipeline breaker.
+//!
+//! The narrow operators transform one pulled batch at a time and hold no
+//! buffered state beyond it (`DistinctExec` keeps the seen-set, which is
+//! bounded by the *output* size); `LimitExec` stops pulling — and drops
+//! its upstream streams, cancelling their remaining work — the moment the
+//! limit is reached. `SortExec` is a genuine breaker: a total sort needs
+//! every row, so it drains its input (fanned over the executor pool)
+//! before emitting.
 
 use std::cmp::Ordering;
 use std::collections::HashSet;
 use std::sync::Arc;
 
 use sparkline_common::{Error, Result, Row, SchemaRef, Value};
-use sparkline_exec::{partition::coalesce, Partition, TaskContext};
+use sparkline_exec::{
+    stream::{breaker_streams, chain_streams},
+    PartitionStream, TaskContext,
+};
 use sparkline_plan::{Expr, SortExpr};
 
 use crate::ExecutionPlan;
@@ -42,24 +54,30 @@ impl ExecutionPlan for ProjectExec {
         vec![&self.input]
     }
 
-    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
-        let input = self.input.execute(ctx)?;
-        let reservation = ctx.memory.reserve(crate::partitions_bytes(&input));
-        let out = ctx.runtime.map_indexed(input, |_, part| {
-            ctx.deadline.check()?;
-            let mut rows = Vec::with_capacity(part.len());
-            for row in &part {
-                let values: Vec<Value> = self
-                    .exprs
-                    .iter()
-                    .map(|e| e.evaluate(row))
-                    .collect::<Result<_>>()?;
-                rows.push(Row::new(values));
-            }
-            Ok(rows)
-        })?;
-        drop(reservation);
-        Ok(out)
+    fn execute_stream(&self, ctx: &TaskContext) -> Result<Vec<PartitionStream>> {
+        let inputs = crate::input_streams(&self.input, ctx)?;
+        Ok(inputs
+            .into_iter()
+            .map(|mut input| {
+                let exprs = self.exprs.clone();
+                let ctx = ctx.clone();
+                PartitionStream::new(self.schema(), Arc::clone(&ctx.metrics), move || {
+                    ctx.deadline.check()?;
+                    let Some(batch) = input.next_batch()? else {
+                        return Ok(None);
+                    };
+                    let mut rows = Vec::with_capacity(batch.len());
+                    for row in &batch {
+                        let values: Vec<Value> = exprs
+                            .iter()
+                            .map(|e| e.evaluate(row))
+                            .collect::<Result<_>>()?;
+                        rows.push(Row::new(values));
+                    }
+                    Ok(Some(rows))
+                })
+            })
+            .collect())
     }
 
     fn describe(&self) -> String {
@@ -101,18 +119,32 @@ impl ExecutionPlan for FilterExec {
         vec![&self.input]
     }
 
-    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
-        let input = self.input.execute(ctx)?;
-        ctx.runtime.map_indexed(input, |_, part| {
-            ctx.deadline.check()?;
-            let mut rows = Vec::new();
-            for row in part {
-                if self.predicate.evaluate(&row)? == Value::Boolean(true) {
-                    rows.push(row);
-                }
-            }
-            Ok(rows)
-        })
+    fn execute_stream(&self, ctx: &TaskContext) -> Result<Vec<PartitionStream>> {
+        let inputs = crate::input_streams(&self.input, ctx)?;
+        Ok(inputs
+            .into_iter()
+            .map(|mut input| {
+                let predicate = self.predicate.clone();
+                let ctx = ctx.clone();
+                PartitionStream::new(self.schema(), Arc::clone(&ctx.metrics), move || loop {
+                    ctx.deadline.check()?;
+                    let Some(batch) = input.next_batch()? else {
+                        return Ok(None);
+                    };
+                    let mut rows = Vec::new();
+                    for row in batch {
+                        if predicate.evaluate(&row)? == Value::Boolean(true) {
+                            rows.push(row);
+                        }
+                    }
+                    // Keep pulling until something passes: downstream
+                    // operators never see useless empty batches.
+                    if !rows.is_empty() {
+                        return Ok(Some(rows));
+                    }
+                })
+            })
+            .collect())
     }
 
     fn describe(&self) -> String {
@@ -147,18 +179,39 @@ impl ExecutionPlan for LimitExec {
         vec![&self.input]
     }
 
-    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
-        let input = self.input.execute(ctx)?;
-        let mut out = Vec::with_capacity(self.n);
-        for part in input {
-            for row in part {
-                if out.len() == self.n {
-                    return Ok(vec![out]);
-                }
-                out.push(row);
+    fn execute_stream(&self, ctx: &TaskContext) -> Result<Vec<PartitionStream>> {
+        let mut input = chain_streams(
+            self.schema(),
+            Arc::clone(&ctx.metrics),
+            crate::input_streams(&self.input, ctx)?,
+        );
+        let n = self.n;
+        let ctx2 = ctx.clone();
+        let mut taken = 0usize;
+        // One output partition, like the materialized model. The
+        // short-circuit: once `n` rows are out, the chained upstream is
+        // closed — unpulled scan batches are never cloned, unpulled
+        // pipeline work never runs.
+        let stream = PartitionStream::new(self.schema(), Arc::clone(&ctx.metrics), move || loop {
+            if taken >= n {
+                input.close();
+                return Ok(None);
             }
-        }
-        Ok(vec![out])
+            ctx2.deadline.check()?;
+            let Some(mut batch) = input.next_batch()? else {
+                return Ok(None);
+            };
+            if batch.is_empty() {
+                continue;
+            }
+            batch.truncate(n - taken);
+            taken += batch.len();
+            if taken >= n {
+                input.close();
+            }
+            return Ok(Some(batch));
+        });
+        Ok(vec![stream])
     }
 
     fn describe(&self) -> String {
@@ -193,32 +246,34 @@ impl ExecutionPlan for DistinctExec {
         vec![&self.input]
     }
 
-    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
-        let input = self.input.execute(ctx)?;
-        // Local dedup in parallel.
-        let local = ctx.runtime.map_indexed(input, |_, part| {
-            ctx.deadline.check()?;
-            let mut seen: HashSet<Row> = HashSet::with_capacity(part.len());
+    fn execute_stream(&self, ctx: &TaskContext) -> Result<Vec<PartitionStream>> {
+        let mut input = chain_streams(
+            self.schema(),
+            Arc::clone(&ctx.metrics),
+            crate::input_streams(&self.input, ctx)?,
+        );
+        let ctx2 = ctx.clone();
+        // First-occurrence dedup is associative over concatenation, so one
+        // streaming pass in partition order yields exactly the seed's
+        // local-then-global result; the seen-set is bounded by the number
+        // of *distinct* rows, not the input size.
+        let mut seen: HashSet<Row> = HashSet::new();
+        let stream = PartitionStream::new(self.schema(), Arc::clone(&ctx.metrics), move || loop {
+            ctx2.deadline.check()?;
+            let Some(batch) = input.next_batch()? else {
+                return Ok(None);
+            };
             let mut rows = Vec::new();
-            for row in part {
+            for row in batch {
                 if seen.insert(row.clone()) {
                     rows.push(row);
                 }
             }
-            Ok(rows)
-        })?;
-        // Global dedup on a single executor.
-        let merged = coalesce(local);
-        let reservation = ctx.memory.reserve(crate::partitions_bytes(&merged));
-        let mut seen: HashSet<Row> = HashSet::new();
-        let mut rows = Vec::new();
-        for row in merged.into_iter().next().unwrap_or_default() {
-            if seen.insert(row.clone()) {
-                rows.push(row);
+            if !rows.is_empty() {
+                return Ok(Some(rows));
             }
-        }
-        drop(reservation);
-        Ok(vec![rows])
+        });
+        Ok(vec![stream])
     }
 }
 
@@ -276,47 +331,24 @@ impl ExecutionPlan for SortExec {
         vec![&self.input]
     }
 
-    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
-        let input = self.input.execute(ctx)?;
-        let mut rows = sparkline_exec::partition::flatten(input);
-        let reservation = ctx
-            .memory
-            .reserve(rows.iter().map(|r| r.estimated_bytes()).sum::<usize>());
-        ctx.deadline.check()?;
-        // Precompute sort keys to avoid re-evaluating expressions in the
-        // comparator (O(n log n) comparisons).
-        let keys: Vec<Vec<Value>> = rows
-            .iter()
-            .map(|row| {
-                self.exprs
-                    .iter()
-                    .map(|s| s.expr.evaluate(row))
-                    .collect::<Result<Vec<_>>>()
-            })
-            .collect::<Result<_>>()?;
-        let mut order: Vec<usize> = (0..rows.len()).collect();
-        order.sort_by(|&i, &j| {
-            for (k, s) in self.exprs.iter().enumerate() {
-                let ord = Self::compare_values(&keys[i][k], &keys[j][k], s.asc, s.nulls_first);
-                if ord != Ordering::Equal {
-                    return ord;
-                }
-            }
-            Ordering::Equal
-        });
-        ctx.deadline.check()?;
-        let mut sorted = Vec::with_capacity(rows.len());
-        // Reorder without cloning rows: take() via Option slots.
-        let mut slots: Vec<Option<Row>> = rows.drain(..).map(Some).collect();
-        for i in order {
-            sorted.push(
-                slots[i]
-                    .take()
-                    .ok_or_else(|| Error::internal("sort permutation visited a slot twice"))?,
-            );
-        }
-        drop(reservation);
-        Ok(vec![sorted])
+    fn execute_stream(&self, ctx: &TaskContext) -> Result<Vec<PartitionStream>> {
+        let inputs = crate::input_streams(&self.input, ctx)?;
+        let exprs = self.exprs.clone();
+        let ctx2 = ctx.clone();
+        Ok(breaker_streams(self.schema(), ctx, 1, move || {
+            // A total sort needs every row: drain the upstream pipelines
+            // in parallel, then sort the gathered buffer on one executor.
+            let input = ctx2.runtime.drain_streams(inputs)?;
+            let rows = sparkline_exec::partition::flatten(input);
+            let reservation = ctx2
+                .memory
+                .reserve(rows.iter().map(Row::estimated_bytes).sum());
+            ctx2.deadline.check()?;
+            let sorted = sort_rows(&exprs, rows)?;
+            ctx2.deadline.check()?;
+            drop(reservation);
+            Ok(vec![sorted])
+        }))
     }
 
     fn describe(&self) -> String {
@@ -329,6 +361,41 @@ impl ExecutionPlan for SortExec {
                 .join(", ")
         )
     }
+}
+
+/// Total sort by the given keys, precomputing them once to avoid
+/// re-evaluating expressions in the comparator (O(n log n) comparisons).
+fn sort_rows(exprs: &[SortExpr], mut rows: Vec<Row>) -> Result<Vec<Row>> {
+    let keys: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|row| {
+            exprs
+                .iter()
+                .map(|s| s.expr.evaluate(row))
+                .collect::<Result<Vec<_>>>()
+        })
+        .collect::<Result<_>>()?;
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    order.sort_by(|&i, &j| {
+        for (k, s) in exprs.iter().enumerate() {
+            let ord = SortExec::compare_values(&keys[i][k], &keys[j][k], s.asc, s.nulls_first);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    let mut sorted = Vec::with_capacity(rows.len());
+    // Reorder without cloning rows: take() via Option slots.
+    let mut slots: Vec<Option<Row>> = rows.drain(..).map(Some).collect();
+    for i in order {
+        sorted.push(
+            slots[i]
+                .take()
+                .ok_or_else(|| Error::internal("sort permutation visited a slot twice"))?,
+        );
+    }
+    Ok(sorted)
 }
 
 #[cfg(test)]

@@ -15,7 +15,8 @@ use std::sync::Arc;
 use sparkline_common::{Result, SchemaRef, SkylineSpec};
 use sparkline_exec::{
     partition::{coalesce, flatten, hash_partition, split_evenly, total_rows},
-    Partition, Partitioner, TaskContext,
+    stream::breaker_streams,
+    PartitionStream, Partitioner, TaskContext,
 };
 use sparkline_skyline::null_bitmap;
 
@@ -71,22 +72,38 @@ impl ExecutionPlan for ExchangeExec {
         vec![&self.input]
     }
 
-    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
-        let input = self.input.execute(ctx)?;
-        ctx.deadline.check()?;
-        ctx.metrics.rows_exchanged.fetch_add(
-            total_rows(&input) as u64,
-            std::sync::atomic::Ordering::Relaxed,
-        );
+    fn execute_stream(&self, ctx: &TaskContext) -> Result<Vec<PartitionStream>> {
+        let inputs = crate::input_streams(&self.input, ctx)?;
+        let mode = self.mode.clone();
+        let ctx2 = ctx.clone();
         let n = ctx.runtime.num_executors();
-        Ok(match &self.mode {
-            ExchangeMode::Single => coalesce(input),
-            ExchangeMode::RoundRobin => split_evenly(flatten(input), n),
-            ExchangeMode::NullBitmap(spec) => {
-                hash_partition(input, n, |row| null_bitmap(row, spec))
-            }
-            ExchangeMode::Custom(partitioner) => partitioner.repartition(input, n, &ctx.metrics),
-        })
+        // Every redistribution needs the full input (a gather is a stage
+        // boundary even in Spark); the exchange is therefore a breaker
+        // that drains the upstream pipelines in parallel — this is where
+        // the local phases below an `AllTuples` gather actually run
+        // concurrently — and re-emits the shuffled partitions.
+        let n_outputs = match &mode {
+            ExchangeMode::Single => 1,
+            _ => n,
+        };
+        Ok(breaker_streams(self.schema(), ctx, n_outputs, move || {
+            let input = ctx2.runtime.drain_streams(inputs)?;
+            ctx2.deadline.check()?;
+            ctx2.metrics.rows_exchanged.fetch_add(
+                total_rows(&input) as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+            Ok(match &mode {
+                ExchangeMode::Single => coalesce(input),
+                ExchangeMode::RoundRobin => split_evenly(flatten(input), n),
+                ExchangeMode::NullBitmap(spec) => {
+                    hash_partition(input, n, |row| null_bitmap(row, spec))
+                }
+                ExchangeMode::Custom(partitioner) => {
+                    partitioner.repartition(input, n, &ctx2.metrics)
+                }
+            })
+        }))
     }
 
     fn describe(&self) -> String {

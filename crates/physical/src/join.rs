@@ -10,7 +10,10 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use sparkline_common::{Result, Row, Schema, SchemaRef, Value};
-use sparkline_exec::{partition::flatten, Partition, TaskContext};
+use sparkline_exec::{
+    partition::flatten, stream::LazyBuild, InFlightRows, MemoryReservation, PartitionStream,
+    TaskContext,
+};
 use sparkline_plan::{Expr, JoinType};
 
 use crate::ExecutionPlan;
@@ -31,6 +34,16 @@ fn join_schema(left: &Schema, right: &Schema, join_type: JoinType) -> SchemaRef 
         }
         _ => left.join(right).into_ref(),
     }
+}
+
+/// The shared hash-join build side: the buffered right rows, the key
+/// index into them, and the accounting guards that keep the buffer
+/// charged against the in-flight/memory gauges while probes run.
+struct HashBuild {
+    rows: Vec<Row>,
+    table: HashMap<Vec<Value>, Vec<usize>>,
+    _guard: InFlightRows,
+    _reservation: MemoryReservation,
 }
 
 /// Hash join on equality columns, with an optional residual predicate
@@ -87,62 +100,94 @@ impl ExecutionPlan for HashJoinExec {
         vec![&self.left, &self.right]
     }
 
-    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
-        let left_parts = self.left.execute(ctx)?;
-        let right_rows = flatten(self.right.execute(ctx)?);
+    fn execute_stream(&self, ctx: &TaskContext) -> Result<Vec<PartitionStream>> {
+        let left_streams = crate::input_streams(&self.left, ctx)?;
         let right_width = self.right.schema().len();
         let left_width = self.left.schema().len();
 
-        // Build side: hash the right input on its key columns. Rows with a
+        // Build side: a pipeline breaker shared by every probe stream —
+        // the first probe batch pulled drains the right input (fanned over
+        // the executor pool) and hashes it on the key columns. Rows with a
         // NULL key never match (SQL equality semantics).
-        let build_bytes: usize = right_rows.iter().map(|r| r.estimated_bytes()).sum();
-        let reservation = ctx.memory.reserve(build_bytes + right_rows.len() * 48);
-        let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::with_capacity(right_rows.len());
-        for row in &right_rows {
-            let key: Vec<Value> = self.keys.iter().map(|&(_, r)| row.get(r).clone()).collect();
-            if key.iter().any(Value::is_null) {
-                continue;
+        let right = Arc::clone(&self.right);
+        let keys = self.keys.clone();
+        let build_ctx = ctx.clone();
+        let build = LazyBuild::new(move || {
+            let rows = flatten(
+                build_ctx
+                    .runtime
+                    .drain_streams(crate::input_streams(&right, &build_ctx)?)?,
+            );
+            let bytes: usize = rows.iter().map(|r| r.estimated_bytes()).sum();
+            let guard = InFlightRows::new(Arc::clone(&build_ctx.metrics), rows.len());
+            let reservation = build_ctx.memory.reserve(bytes + rows.len() * 48);
+            let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(rows.len());
+            for (i, row) in rows.iter().enumerate() {
+                let key: Vec<Value> = keys.iter().map(|&(_, r)| row.get(r).clone()).collect();
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                table.entry(key).or_default().push(i);
             }
-            table.entry(key).or_default().push(row);
-        }
+            Ok(HashBuild {
+                rows,
+                table,
+                _guard: guard,
+                _reservation: reservation,
+            })
+        });
 
-        // Probe side: parallel over left partitions.
-        let out = ctx.runtime.map_indexed(left_parts, |_, part| {
-            ctx.deadline.check()?;
-            let mut rows: Vec<Row> = Vec::new();
-            for left_row in &part {
-                let key: Vec<Value> = self
-                    .keys
-                    .iter()
-                    .map(|&(l, _)| left_row.get(l).clone())
-                    .collect();
-                let mut matched = false;
-                if !key.iter().any(Value::is_null) {
-                    if let Some(candidates) = table.get(&key) {
-                        for right_row in candidates {
-                            ctx.metrics.join_comparisons.fetch_add(1, Ordering::Relaxed);
-                            let keep = match &self.residual {
-                                Some(p) => {
-                                    p.evaluate_joined(left_row, right_row, left_width)?
-                                        == Value::Boolean(true)
+        // Probe side: pipelined over the left streams.
+        Ok(left_streams
+            .into_iter()
+            .map(|mut input| {
+                let build = Arc::clone(&build);
+                let keys = self.keys.clone();
+                let residual = self.residual.clone();
+                let join_type = self.join_type;
+                let ctx = ctx.clone();
+                PartitionStream::new(self.schema(), Arc::clone(&ctx.metrics), move || loop {
+                    ctx.deadline.check()?;
+                    let Some(batch) = input.next_batch()? else {
+                        return Ok(None);
+                    };
+                    let build = build.get()?;
+                    let mut rows: Vec<Row> = Vec::new();
+                    for left_row in &batch {
+                        let key: Vec<Value> =
+                            keys.iter().map(|&(l, _)| left_row.get(l).clone()).collect();
+                        let mut matched = false;
+                        if !key.iter().any(Value::is_null) {
+                            if let Some(candidates) = build.table.get(&key) {
+                                for &r in candidates {
+                                    let right_row = &build.rows[r];
+                                    ctx.metrics.join_comparisons.fetch_add(1, Ordering::Relaxed);
+                                    let keep = match &residual {
+                                        Some(p) => {
+                                            p.evaluate_joined(left_row, right_row, left_width)?
+                                                == Value::Boolean(true)
+                                        }
+                                        None => true,
+                                    };
+                                    if keep {
+                                        matched = true;
+                                        rows.push(left_row.concat(right_row));
+                                    }
                                 }
-                                None => true,
-                            };
-                            if keep {
-                                matched = true;
-                                rows.push(left_row.concat(right_row));
                             }
                         }
+                        if !matched && join_type == JoinType::LeftOuter {
+                            rows.push(
+                                left_row.extend(std::iter::repeat_n(Value::Null, right_width)),
+                            );
+                        }
                     }
-                }
-                if !matched && self.join_type == JoinType::LeftOuter {
-                    rows.push(left_row.extend(std::iter::repeat_n(Value::Null, right_width)));
-                }
-            }
-            Ok(rows)
-        })?;
-        drop(reservation);
-        Ok(out)
+                    if !rows.is_empty() {
+                        return Ok(Some(rows));
+                    }
+                })
+            })
+            .collect())
     }
 
     fn describe(&self) -> String {
@@ -156,6 +201,13 @@ impl ExecutionPlan for HashJoinExec {
             }
         )
     }
+}
+
+/// The shared nested-loop inner side with its accounting guards.
+struct NestedLoopBuild {
+    rows: Vec<Row>,
+    _guard: InFlightRows,
+    _reservation: MemoryReservation,
 }
 
 /// Nested-loop join evaluating an arbitrary predicate per pair. Supports
@@ -188,21 +240,21 @@ impl NestedLoopJoinExec {
             schema,
         }
     }
+}
 
-    fn pair_matches(
-        &self,
-        left_row: &Row,
-        right_row: &Row,
-        left_width: usize,
-        ctx: &TaskContext,
-    ) -> Result<bool> {
-        ctx.metrics.join_comparisons.fetch_add(1, Ordering::Relaxed);
-        match &self.predicate {
-            Some(p) => {
-                Ok(p.evaluate_joined(left_row, right_row, left_width)? == Value::Boolean(true))
-            }
-            None => Ok(true),
-        }
+/// Evaluate the join predicate for one (left, right) pair, counting the
+/// comparison.
+fn pair_matches(
+    predicate: &Option<Expr>,
+    left_row: &Row,
+    right_row: &Row,
+    left_width: usize,
+    ctx: &TaskContext,
+) -> Result<bool> {
+    ctx.metrics.join_comparisons.fetch_add(1, Ordering::Relaxed);
+    match predicate {
+        Some(p) => Ok(p.evaluate_joined(left_row, right_row, left_width)? == Value::Boolean(true)),
+        None => Ok(true),
     }
 }
 
@@ -219,70 +271,107 @@ impl ExecutionPlan for NestedLoopJoinExec {
         vec![&self.left, &self.right]
     }
 
-    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
-        let left_parts = self.left.execute(ctx)?;
-        let right_rows = flatten(self.right.execute(ctx)?);
+    fn execute_stream(&self, ctx: &TaskContext) -> Result<Vec<PartitionStream>> {
+        let left_streams = crate::input_streams(&self.left, ctx)?;
         let right_width = self.right.schema().len();
         let left_width = self.left.schema().len();
-        let reservation = ctx
-            .memory
-            .reserve(right_rows.iter().map(|r| r.estimated_bytes()).sum());
+
+        // Inner side: buffered once, shared by every probe stream.
+        let right = Arc::clone(&self.right);
+        let build_ctx = ctx.clone();
+        let build = LazyBuild::new(move || {
+            let rows = flatten(
+                build_ctx
+                    .runtime
+                    .drain_streams(crate::input_streams(&right, &build_ctx)?)?,
+            );
+            let bytes: usize = rows.iter().map(|r| r.estimated_bytes()).sum();
+            let guard = InFlightRows::new(Arc::clone(&build_ctx.metrics), rows.len());
+            let reservation = build_ctx.memory.reserve(bytes);
+            Ok(NestedLoopBuild {
+                rows,
+                _guard: guard,
+                _reservation: reservation,
+            })
+        });
 
         // The paper notes the reference plan is "still somewhat
-        // distributed": the outer loop parallelizes over left partitions
-        // while every executor scans the whole right side.
-        let out = ctx.runtime.map_indexed(left_parts, |_, part| {
-            let mut rows: Vec<Row> = Vec::new();
-            for left_row in &part {
-                ctx.deadline.check()?;
-                match self.join_type {
-                    JoinType::Inner | JoinType::Cross => {
-                        for right_row in &right_rows {
-                            if self.pair_matches(left_row, right_row, left_width, ctx)? {
-                                rows.push(left_row.concat(right_row));
+        // distributed": the outer loop pipelines over left batches while
+        // every probe scans the whole right side.
+        Ok(left_streams
+            .into_iter()
+            .map(|mut input| {
+                let build = Arc::clone(&build);
+                let predicate = self.predicate.clone();
+                let join_type = self.join_type;
+                let ctx = ctx.clone();
+                PartitionStream::new(self.schema(), Arc::clone(&ctx.metrics), move || loop {
+                    let Some(batch) = input.next_batch()? else {
+                        return Ok(None);
+                    };
+                    let right_rows = &build.get()?.rows;
+                    let mut rows: Vec<Row> = Vec::new();
+                    for left_row in &batch {
+                        ctx.deadline.check()?;
+                        match join_type {
+                            JoinType::Inner | JoinType::Cross => {
+                                for right_row in right_rows {
+                                    if pair_matches(
+                                        &predicate, left_row, right_row, left_width, &ctx,
+                                    )? {
+                                        rows.push(left_row.concat(right_row));
+                                    }
+                                }
+                            }
+                            JoinType::LeftOuter => {
+                                let mut matched = false;
+                                for right_row in right_rows {
+                                    if pair_matches(
+                                        &predicate, left_row, right_row, left_width, &ctx,
+                                    )? {
+                                        matched = true;
+                                        rows.push(left_row.concat(right_row));
+                                    }
+                                }
+                                if !matched {
+                                    rows.push(
+                                        left_row
+                                            .extend(std::iter::repeat_n(Value::Null, right_width)),
+                                    );
+                                }
+                            }
+                            JoinType::LeftSemi => {
+                                for right_row in right_rows {
+                                    if pair_matches(
+                                        &predicate, left_row, right_row, left_width, &ctx,
+                                    )? {
+                                        rows.push(left_row.clone());
+                                        break;
+                                    }
+                                }
+                            }
+                            JoinType::LeftAnti => {
+                                let mut matched = false;
+                                for right_row in right_rows {
+                                    if pair_matches(
+                                        &predicate, left_row, right_row, left_width, &ctx,
+                                    )? {
+                                        matched = true;
+                                        break;
+                                    }
+                                }
+                                if !matched {
+                                    rows.push(left_row.clone());
+                                }
                             }
                         }
                     }
-                    JoinType::LeftOuter => {
-                        let mut matched = false;
-                        for right_row in &right_rows {
-                            if self.pair_matches(left_row, right_row, left_width, ctx)? {
-                                matched = true;
-                                rows.push(left_row.concat(right_row));
-                            }
-                        }
-                        if !matched {
-                            rows.push(
-                                left_row.extend(std::iter::repeat_n(Value::Null, right_width)),
-                            );
-                        }
+                    if !rows.is_empty() {
+                        return Ok(Some(rows));
                     }
-                    JoinType::LeftSemi => {
-                        for right_row in &right_rows {
-                            if self.pair_matches(left_row, right_row, left_width, ctx)? {
-                                rows.push(left_row.clone());
-                                break;
-                            }
-                        }
-                    }
-                    JoinType::LeftAnti => {
-                        let mut matched = false;
-                        for right_row in &right_rows {
-                            if self.pair_matches(left_row, right_row, left_width, ctx)? {
-                                matched = true;
-                                break;
-                            }
-                        }
-                        if !matched {
-                            rows.push(left_row.clone());
-                        }
-                    }
-                }
-            }
-            Ok(rows)
-        })?;
-        drop(reservation);
-        Ok(out)
+                })
+            })
+            .collect())
     }
 
     fn describe(&self) -> String {

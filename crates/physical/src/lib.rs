@@ -10,10 +10,28 @@
 //! incomplete data is hash-distributed by null bitmap for the local phase
 //! and finished by the all-pairs `IncompleteGlobalSkylineExec`.
 //!
-//! Operators follow a materialized, partition-parallel model: an operator
-//! consumes its children's partitions and produces new partitions, with
-//! per-partition work fanned out over the executor pool — the same
-//! local/global structure Spark gives the paper's plans.
+//! Operators follow a **pull-based, batched stream model** (the analogue
+//! of Spark's pipelined narrow transformations): `execute_stream` returns
+//! one [`PartitionStream`] per output partition, and each stream yields
+//! `RowBatch`es of `SessionConfig::batch_size` rows on demand. Narrow
+//! operators — scan, project, filter, limit, distinct, join probe sides —
+//! are true pipelined transforms: pulling one batch from the root pulls
+//! exactly one batch through the whole chain, so peak memory is bounded
+//! by `batch_size × pipeline depth` (plus breaker state) instead of the
+//! sum of all intermediates, and `LIMIT k` cancels upstream work after
+//! `O(k / batch_size)` batches. Pipeline breakers — sort, aggregation,
+//! exchanges, the skyline phases, join build sides — consume their input
+//! streams batch-by-batch into their internal state (the skyline
+//! operators feed batches straight into the columnar kernel's
+//! encode-once window builders) and fan the draining of multiple input
+//! streams over the executor pool, which is where the `num_executors`-way
+//! parallelism of the paper's local/global structure lives.
+//!
+//! The provided [`ExecutionPlan::execute`] adapter drains all streams
+//! back into the seed's `Vec<Partition>` form — byte-identical results —
+//! and `SessionConfig::streaming_execution = false` additionally
+//! re-materializes every operator boundary, reproducing the seed model's
+//! memory profile for A/B benchmarks (`peak_rows_in_flight`).
 
 pub mod aggregate;
 pub mod basic;
@@ -27,7 +45,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use sparkline_common::{Result, SchemaRef};
-use sparkline_exec::{Partition, TaskContext};
+use sparkline_exec::{Partition, PartitionStream, TaskContext};
 
 pub use aggregate::HashAggregateExec;
 pub use basic::{DistinctExec, FilterExec, LimitExec, ProjectExec, SortExec};
@@ -50,8 +68,17 @@ pub trait ExecutionPlan: fmt::Debug + Send + Sync {
     /// Child operators.
     fn children(&self) -> Vec<&Arc<dyn ExecutionPlan>>;
 
-    /// Execute, producing output partitions.
-    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>>;
+    /// Execute, producing one pull-based batch stream per output
+    /// partition. Streams are lazy: no work happens until a batch is
+    /// pulled, and dropping a stream cancels its remaining upstream work.
+    fn execute_stream(&self, ctx: &TaskContext) -> Result<Vec<PartitionStream>>;
+
+    /// Materialized adapter: drain every partition stream (fanned over
+    /// the executor pool). Byte-identical to consuming the streams
+    /// directly; kept for tests and the bench harness.
+    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
+        ctx.runtime.drain_streams(self.execute_stream(ctx)?)
+    }
 
     /// One-line description (operator plus parameters).
     fn describe(&self) -> String {
@@ -74,10 +101,24 @@ pub fn display_physical(plan: &Arc<dyn ExecutionPlan>) -> String {
     out
 }
 
-/// Estimated bytes held by a set of partitions (memory accounting).
-pub(crate) fn partitions_bytes(parts: &[Partition]) -> usize {
-    parts
-        .iter()
-        .map(|p| p.iter().map(|r| r.estimated_bytes()).sum::<usize>())
-        .sum()
+/// An operator's view of its child: the child's streams, re-materialized
+/// at this boundary when the context runs the seed's materialized model
+/// (`SessionConfig::streaming_execution = false`). The re-materialized
+/// buffers count fully toward `rows_in_flight` for as long as the
+/// consumer holds the streams — exactly the peak-memory profile of the
+/// materialize-everything model the streaming benchmarks compare against.
+pub(crate) fn input_streams(
+    plan: &Arc<dyn ExecutionPlan>,
+    ctx: &TaskContext,
+) -> Result<Vec<PartitionStream>> {
+    let streams = plan.execute_stream(ctx)?;
+    if !ctx.materialized {
+        return Ok(streams);
+    }
+    let parts = ctx.runtime.drain_streams(streams)?;
+    Ok(sparkline_exec::stream::streams_from_partitions(
+        plan.schema(),
+        ctx,
+        parts,
+    ))
 }

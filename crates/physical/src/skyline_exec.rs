@@ -18,14 +18,160 @@
 use std::sync::Arc;
 
 use sparkline_common::{MergeStrategy, Result, Row, SchemaRef, SkylineSpec, Value};
-use sparkline_exec::{partition::flatten, Partition, TaskContext};
+use sparkline_exec::{
+    partition::flatten, stream::breaker_streams, InFlightRows, Partition, PartitionStream,
+    TaskContext,
+};
 use sparkline_plan::{Expr, MinMaxDirection};
 use sparkline_skyline::{
     bnl_skyline, bnl_skyline_batched, bnl_skyline_into, bnl_skyline_into_batched,
-    incomplete_global_skyline, partition_by_null_bitmap, DominanceChecker, SkylineStats,
+    incomplete_global_skyline, sfs_skyline, sfs_skyline_batched, BnlBuilder, DominanceChecker,
+    GroupedBnlBuilder, SkylineStats,
 };
 
 use crate::ExecutionPlan;
+
+/// The incremental consumer of one skyline phase: input batches are fed
+/// straight into the phase's algorithm state — the columnar kernel's
+/// encode-once BNL window, the per-bitmap-class window map, or (for the
+/// sort-based variants, which inherently need all rows) a plain buffer.
+enum SkylineSink {
+    /// Complete-data BNL window (scalar or columnar).
+    Bnl(BnlBuilder),
+    /// Sort-Filter-Skyline: buffers, then sorts and scans at finish.
+    Sfs {
+        rows: Vec<Row>,
+        checker: DominanceChecker,
+        vectorized: bool,
+    },
+    /// Incomplete local phase: one BNL window per null-bitmap class.
+    Grouped(GroupedBnlBuilder),
+    /// Incomplete global phase: buffers for the all-pairs deferred-
+    /// deletion pass.
+    AllPairs {
+        rows: Vec<Row>,
+        checker: DominanceChecker,
+    },
+}
+
+impl SkylineSink {
+    fn push_batch(&mut self, batch: Vec<Row>) {
+        match self {
+            SkylineSink::Bnl(b) => b.push_batch(batch),
+            SkylineSink::Grouped(g) => g.push_batch(batch),
+            SkylineSink::Sfs { rows, .. } | SkylineSink::AllPairs { rows, .. } => {
+                rows.extend(batch)
+            }
+        }
+    }
+
+    /// Rows currently buffered (the phase's working-set size — for the
+    /// BNL sinks this is the running skyline, not the consumed input).
+    fn buffered(&self) -> usize {
+        match self {
+            SkylineSink::Bnl(b) => b.window_len(),
+            SkylineSink::Grouped(g) => g.window_len(),
+            SkylineSink::Sfs { rows, .. } | SkylineSink::AllPairs { rows, .. } => rows.len(),
+        }
+    }
+
+    /// Whether the sink buffers its raw input (the sort-based and
+    /// all-pairs variants) rather than folding it into a window.
+    fn buffers_input(&self) -> bool {
+        matches!(self, SkylineSink::Sfs { .. } | SkylineSink::AllPairs { .. })
+    }
+
+    fn finish(self, ctx: &TaskContext) -> Result<(Vec<Row>, SkylineStats)> {
+        match self {
+            SkylineSink::Bnl(b) => Ok(b.finish()),
+            SkylineSink::Grouped(g) => Ok(g.finish()),
+            SkylineSink::Sfs {
+                rows,
+                checker,
+                vectorized,
+            } => {
+                let mut stats = SkylineStats::default();
+                let result = if vectorized {
+                    sfs_skyline_batched(rows, &checker, &mut stats)
+                } else {
+                    sfs_skyline(rows, &checker, &mut stats)
+                };
+                Ok((result, stats))
+            }
+            SkylineSink::AllPairs { rows, checker } => {
+                let mut stats = SkylineStats::default();
+                let result = incomplete_global_with_deadline(rows, &checker, &mut stats, ctx)?;
+                Ok((result, stats))
+            }
+        }
+    }
+}
+
+/// One skyline phase as a stream: pull the input streams (in order) to
+/// exhaustion feeding the sink, record the stats, then emit the resulting
+/// skyline in batches. The in-flight gauge follows the sink's working
+/// set, so a BNL phase charges only its window — the memory story that
+/// makes the streamed local phase survive inputs the materialized model
+/// cannot hold.
+fn skyline_phase_stream(
+    schema: SchemaRef,
+    ctx: &TaskContext,
+    inputs: Vec<PartitionStream>,
+    sink: SkylineSink,
+) -> PartitionStream {
+    let ctx = ctx.clone();
+    let batch_size = ctx.batch_size.max(1);
+    let mut input =
+        sparkline_exec::stream::chain_streams(schema.clone(), Arc::clone(&ctx.metrics), inputs);
+    let mut sink = Some(sink);
+    let mut guard = InFlightRows::new(Arc::clone(&ctx.metrics), 0);
+    // Byte accounting mirrors the row gauge: buffering sinks charge their
+    // input as it accumulates, every sink charges its result while it is
+    // being emitted.
+    let mut reservation = Some(ctx.memory.reserve(0));
+    let mut emit: Option<std::vec::IntoIter<Row>> = None;
+    PartitionStream::new(schema, Arc::clone(&ctx.metrics), move || loop {
+        if let Some(iter) = emit.as_mut() {
+            let batch: Vec<Row> = iter.by_ref().take(batch_size).collect();
+            if batch.is_empty() {
+                guard.set(0);
+                reservation.take();
+                return Ok(None);
+            }
+            return Ok(Some(batch));
+        }
+        ctx.deadline.check()?;
+        match input.next_batch()? {
+            Some(batch) => {
+                let sink = sink.as_mut().expect("sink live while consuming");
+                if sink.buffers_input() {
+                    if let Some(r) = reservation.as_mut() {
+                        r.grow(batch.iter().map(Row::estimated_bytes).sum());
+                    }
+                }
+                sink.push_batch(batch);
+                guard.set(sink.buffered());
+            }
+            None => {
+                // The sink consumes its buffer into the result; release
+                // the input reservation before charging the output so the
+                // two are not double counted.
+                reservation.take();
+                let (rows, stats) = sink
+                    .take()
+                    .expect("sink consumed exactly once")
+                    .finish(&ctx)?;
+                record_stats(&ctx, &stats);
+                guard.set(rows.len());
+                reservation = Some(
+                    ctx.memory
+                        .reserve(rows.iter().map(Row::estimated_bytes).sum()),
+                );
+                emit = Some(rows.into_iter());
+            }
+        }
+    })
+}
 
 fn record_stats(ctx: &TaskContext, stats: &SkylineStats) {
     ctx.metrics.add_dominance_tests(stats.dominance_tests);
@@ -98,51 +244,36 @@ impl ExecutionPlan for LocalSkylineExec {
         vec![&self.input]
     }
 
-    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
-        let input = self.input.execute(ctx)?;
+    fn execute_stream(&self, ctx: &TaskContext) -> Result<Vec<PartitionStream>> {
+        let inputs = crate::input_streams(&self.input, ctx)?;
         let checker = if self.incomplete {
             DominanceChecker::incomplete(self.spec.clone())
         } else {
             DominanceChecker::complete(self.spec.clone())
         };
-        let out = ctx.runtime.map_indexed(input, |_, part| {
-            ctx.deadline.check()?;
-            let bytes: usize = part.iter().map(Row::estimated_bytes).sum();
-            let reservation = ctx.memory.reserve(bytes);
-            let mut stats = SkylineStats::default();
-            let result = if self.incomplete {
-                // Group by null bitmap inside the partition: within one
-                // class the restricted dominance relation is transitive, so
-                // plain BNL is sound (paper §5.7) — and because a class
-                // shares its NULL positions, every column is uniformly
-                // NULL or non-NULL, exactly what the columnar kernel
-                // encodes.
-                let mut local = Vec::new();
-                for (_, group) in partition_by_null_bitmap(part, &self.spec) {
-                    ctx.deadline.check()?;
-                    local.extend(if self.vectorized {
-                        bnl_skyline_batched(group, &checker, &mut stats)
-                    } else {
-                        bnl_skyline(group, &checker, &mut stats)
-                    });
-                }
-                local
-            } else if self.algo == SkylineAlgo::SortFilter {
-                if self.vectorized {
-                    sparkline_skyline::sfs_skyline_batched(part, &checker, &mut stats)
+        Ok(inputs
+            .into_iter()
+            .map(|input| {
+                let sink = if self.incomplete {
+                    // Route by null bitmap inside the partition: within one
+                    // class the restricted dominance relation is transitive,
+                    // so plain BNL is sound (paper §5.7) — and because a
+                    // class shares its NULL positions, every column is
+                    // uniformly NULL or non-NULL, exactly what the columnar
+                    // kernel encodes.
+                    SkylineSink::Grouped(GroupedBnlBuilder::new(checker.clone(), self.vectorized))
+                } else if self.algo == SkylineAlgo::SortFilter {
+                    SkylineSink::Sfs {
+                        rows: Vec::new(),
+                        checker: checker.clone(),
+                        vectorized: self.vectorized,
+                    }
                 } else {
-                    sparkline_skyline::sfs_skyline(part, &checker, &mut stats)
-                }
-            } else if self.vectorized {
-                bnl_skyline_batched(part, &checker, &mut stats)
-            } else {
-                bnl_skyline(part, &checker, &mut stats)
-            };
-            record_stats(ctx, &stats);
-            drop(reservation);
-            Ok(result)
-        })?;
-        Ok(out)
+                    SkylineSink::Bnl(BnlBuilder::new(checker.clone(), self.vectorized))
+                };
+                skyline_phase_stream(self.schema(), ctx, vec![input], sink)
+            })
+            .collect())
     }
 
     fn describe(&self) -> String {
@@ -239,67 +370,69 @@ impl GlobalSkylineExec {
         self.vectorized = on;
         self
     }
+}
 
-    /// One k-way merge task: BNL/SFS over the concatenated group.
-    ///
-    /// With `seed_window` the first partition of the group — which the
-    /// caller guarantees to be a skyline already (a local skyline or the
-    /// result of an earlier merge round) — becomes the initial BNL window
-    /// without being re-scanned against itself. A skyline fed through a
-    /// BNL window passes unchanged in order, so the merged result is
-    /// row-for-row identical to the unseeded pass; only the wasted
-    /// self-tests disappear. (SFS re-sorts the whole group and cannot
-    /// seed.)
-    fn merge_group(
-        &self,
-        ctx: &TaskContext,
-        group: Vec<Partition>,
-        seed_window: bool,
-    ) -> Result<Partition> {
-        ctx.deadline.check()?;
-        let checker = DominanceChecker::complete(self.spec.clone());
-        let mut stats = SkylineStats::default();
-        let merged = if self.algo == SkylineAlgo::SortFilter {
-            let rows = flatten(group);
-            let reservation = ctx
-                .memory
-                .reserve(rows.iter().map(Row::estimated_bytes).sum());
-            let merged = if self.vectorized {
-                sparkline_skyline::sfs_skyline_batched(rows, &checker, &mut stats)
-            } else {
-                sparkline_skyline::sfs_skyline(rows, &checker, &mut stats)
-            };
-            drop(reservation);
-            merged
-        } else if seed_window {
-            let mut parts = group.into_iter();
-            let mut window: Partition = parts.next().unwrap_or_default();
-            let rest: Vec<Row> = parts.flatten().collect();
-            let bytes = window.iter().chain(&rest).map(Row::estimated_bytes).sum();
-            let reservation = ctx.memory.reserve(bytes);
-            if self.vectorized {
-                bnl_skyline_into_batched(rest, &checker, &mut stats, &mut window);
-            } else {
-                bnl_skyline_into(rest, &checker, &mut stats, &mut window);
-            }
-            drop(reservation);
-            window
+/// One k-way merge task: BNL/SFS over the concatenated group.
+///
+/// With `seed_window` the first partition of the group — which the
+/// caller guarantees to be a skyline already (a local skyline or the
+/// result of an earlier merge round) — becomes the initial BNL window
+/// without being re-scanned against itself. A skyline fed through a
+/// BNL window passes unchanged in order, so the merged result is
+/// row-for-row identical to the unseeded pass; only the wasted
+/// self-tests disappear. (SFS re-sorts the whole group and cannot
+/// seed.)
+fn merge_group(
+    ctx: &TaskContext,
+    spec: &SkylineSpec,
+    algo: SkylineAlgo,
+    vectorized: bool,
+    group: Vec<Partition>,
+    seed_window: bool,
+) -> Result<Partition> {
+    ctx.deadline.check()?;
+    let checker = DominanceChecker::complete(spec.clone());
+    let mut stats = SkylineStats::default();
+    let merged = if algo == SkylineAlgo::SortFilter {
+        let rows = flatten(group);
+        let reservation = ctx
+            .memory
+            .reserve(rows.iter().map(Row::estimated_bytes).sum());
+        let merged = if vectorized {
+            sfs_skyline_batched(rows, &checker, &mut stats)
         } else {
-            let rows = flatten(group);
-            let reservation = ctx
-                .memory
-                .reserve(rows.iter().map(Row::estimated_bytes).sum());
-            let merged = if self.vectorized {
-                bnl_skyline_batched(rows, &checker, &mut stats)
-            } else {
-                bnl_skyline(rows, &checker, &mut stats)
-            };
-            drop(reservation);
-            merged
+            sfs_skyline(rows, &checker, &mut stats)
         };
-        record_stats(ctx, &stats);
-        Ok(merged)
-    }
+        drop(reservation);
+        merged
+    } else if seed_window {
+        let mut parts = group.into_iter();
+        let mut window: Partition = parts.next().unwrap_or_default();
+        let rest: Vec<Row> = parts.flatten().collect();
+        let bytes = window.iter().chain(&rest).map(Row::estimated_bytes).sum();
+        let reservation = ctx.memory.reserve(bytes);
+        if vectorized {
+            bnl_skyline_into_batched(rest, &checker, &mut stats, &mut window);
+        } else {
+            bnl_skyline_into(rest, &checker, &mut stats, &mut window);
+        }
+        drop(reservation);
+        window
+    } else {
+        let rows = flatten(group);
+        let reservation = ctx
+            .memory
+            .reserve(rows.iter().map(Row::estimated_bytes).sum());
+        let merged = if vectorized {
+            bnl_skyline_batched(rows, &checker, &mut stats)
+        } else {
+            bnl_skyline(rows, &checker, &mut stats)
+        };
+        drop(reservation);
+        merged
+    };
+    record_stats(ctx, &stats);
+    Ok(merged)
 }
 
 impl ExecutionPlan for GlobalSkylineExec {
@@ -315,50 +448,74 @@ impl ExecutionPlan for GlobalSkylineExec {
         vec![&self.input]
     }
 
-    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
-        let input = self.input.execute(ctx)?;
-        ctx.deadline.check()?;
+    fn execute_stream(&self, ctx: &TaskContext) -> Result<Vec<PartitionStream>> {
+        let inputs = crate::input_streams(&self.input, ctx)?;
         match self.merge {
             MergeStrategy::Flat => {
-                // Defensive coalesce: correctness does not depend on the
-                // planner having inserted the exchange. The gathered
-                // partition is a *concatenation* of local skylines (not a
-                // skyline itself), so the window cannot be seeded here.
-                self.merge_group(ctx, input, false).map(|p| vec![p])
+                // The paper's plan: one pass over the gathered local
+                // skylines on a single executor. Streamed, the pass feeds
+                // input batches straight into an (unseeded) BNL window —
+                // the gathered concatenation is *not* a skyline, and
+                // correctness does not depend on the planner having
+                // inserted the exchange — so the only buffered state is
+                // the window itself. SFS must buffer: it re-sorts.
+                let checker = DominanceChecker::complete(self.spec.clone());
+                let sink = if self.algo == SkylineAlgo::SortFilter {
+                    SkylineSink::Sfs {
+                        rows: Vec::new(),
+                        checker,
+                        vectorized: self.vectorized,
+                    }
+                } else {
+                    SkylineSink::Bnl(BnlBuilder::new(checker, self.vectorized))
+                };
+                Ok(vec![skyline_phase_stream(self.schema(), ctx, inputs, sink)])
             }
             MergeStrategy::Hierarchical { fan_in } => {
-                let mut parts: Vec<Partition> =
-                    input.into_iter().filter(|p| !p.is_empty()).collect();
-                if parts.is_empty() {
-                    return Ok(vec![Vec::new()]);
-                }
-                while parts.len() > 1 {
-                    ctx.deadline.check()?;
-                    let groups: Vec<Vec<Partition>> = {
-                        let mut groups = Vec::with_capacity(parts.len().div_ceil(fan_in));
-                        let mut iter = parts.into_iter().peekable();
-                        while iter.peek().is_some() {
-                            groups.push(iter.by_ref().take(fan_in).collect());
-                        }
-                        groups
-                    };
-                    // A trailing singleton group is already a merged
-                    // skyline — carrying it over unchanged skips a useless
-                    // O(m²) re-scan, so only real merges count as tasks.
-                    let merging = groups.iter().filter(|g| g.len() > 1).count();
-                    ctx.metrics.add_merge_round(merging);
-                    parts = ctx.runtime.map_indexed(groups, |_, mut group| {
-                        if group.len() == 1 {
-                            return Ok(group.pop().expect("nonempty group"));
-                        }
-                        // Every partition entering a merge round is a
-                        // skyline (a local skyline or an earlier round's
-                        // output): the first one seeds the window,
-                        // encode-once.
-                        self.merge_group(ctx, group, true)
-                    })?;
-                }
-                Ok(parts)
+                // A breaker: the input streams (each a local skyline
+                // pipeline) are drained in parallel over the executor
+                // pool, then merged in k-way rounds.
+                let spec = self.spec.clone();
+                let algo = self.algo;
+                let vectorized = self.vectorized;
+                let ctx2 = ctx.clone();
+                Ok(breaker_streams(self.schema(), ctx, 1, move || {
+                    let input = ctx2.runtime.drain_streams(inputs)?;
+                    ctx2.deadline.check()?;
+                    let mut parts: Vec<Partition> =
+                        input.into_iter().filter(|p| !p.is_empty()).collect();
+                    if parts.is_empty() {
+                        return Ok(vec![Vec::new()]);
+                    }
+                    while parts.len() > 1 {
+                        ctx2.deadline.check()?;
+                        let groups: Vec<Vec<Partition>> = {
+                            let mut groups = Vec::with_capacity(parts.len().div_ceil(fan_in));
+                            let mut iter = parts.into_iter().peekable();
+                            while iter.peek().is_some() {
+                                groups.push(iter.by_ref().take(fan_in).collect());
+                            }
+                            groups
+                        };
+                        // A trailing singleton group is already a merged
+                        // skyline — carrying it over unchanged skips a
+                        // useless O(m²) re-scan, so only real merges count
+                        // as tasks.
+                        let merging = groups.iter().filter(|g| g.len() > 1).count();
+                        ctx2.metrics.add_merge_round(merging);
+                        parts = ctx2.runtime.map_indexed(groups, |_, mut group| {
+                            if group.len() == 1 {
+                                return Ok(group.pop().expect("nonempty group"));
+                            }
+                            // Every partition entering a merge round is a
+                            // skyline (a local skyline or an earlier
+                            // round's output): the first one seeds the
+                            // window, encode-once.
+                            merge_group(&ctx2, &spec, algo, vectorized, group, true)
+                        })?;
+                    }
+                    Ok(parts)
+                }))
             }
         }
     }
@@ -413,20 +570,16 @@ impl ExecutionPlan for IncompleteGlobalSkylineExec {
         vec![&self.input]
     }
 
-    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
-        let rows = flatten(self.input.execute(ctx)?);
-        ctx.deadline.check()?;
-        let reservation = ctx
-            .memory
-            .reserve(rows.iter().map(Row::estimated_bytes).sum());
-        let checker = DominanceChecker::incomplete(self.spec.clone());
-        let mut stats = SkylineStats::default();
-        // Periodic deadline checks for the quadratic phase are handled by
-        // chunking: split the all-pairs loop into deadline-checked slices.
-        let result = incomplete_global_with_deadline(rows, &checker, &mut stats, ctx)?;
-        record_stats(ctx, &stats);
-        drop(reservation);
-        Ok(vec![result])
+    fn execute_stream(&self, ctx: &TaskContext) -> Result<Vec<PartitionStream>> {
+        let inputs = crate::input_streams(&self.input, ctx)?;
+        // The all-pairs pass needs every candidate buffered; the sink
+        // consumes the gathered stream batch-by-batch and runs the
+        // deadline-chunked flag loop at finish.
+        let sink = SkylineSink::AllPairs {
+            rows: Vec::new(),
+            checker: DominanceChecker::incomplete(self.spec.clone()),
+        };
+        Ok(vec![skyline_phase_stream(self.schema(), ctx, inputs, sink)])
     }
 
     fn describe(&self) -> String {
@@ -509,15 +662,16 @@ impl MinMaxFilterExec {
             input,
         }
     }
+}
 
-    fn better(&self, a: &Value, b: &Value) -> bool {
-        match a.sql_compare(b) {
-            Some(ord) => match self.direction {
-                MinMaxDirection::Min => ord == std::cmp::Ordering::Less,
-                MinMaxDirection::Max => ord == std::cmp::Ordering::Greater,
-            },
-            None => false,
-        }
+/// Whether `a` beats `b` in the filter's direction.
+fn minmax_better(direction: MinMaxDirection, a: &Value, b: &Value) -> bool {
+    match a.sql_compare(b) {
+        Some(ord) => match direction {
+            MinMaxDirection::Min => ord == std::cmp::Ordering::Less,
+            MinMaxDirection::Max => ord == std::cmp::Ordering::Greater,
+        },
+        None => false,
     }
 }
 
@@ -534,72 +688,87 @@ impl ExecutionPlan for MinMaxFilterExec {
         vec![&self.input]
     }
 
-    fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
-        let input = self.input.execute(ctx)?;
-        // Pass 1 (parallel): the best non-NULL value per partition.
-        let bests: Vec<Option<Value>> =
-            ctx.runtime
-                .map_indexed(input.iter().collect::<Vec<_>>(), |_, part| {
-                    ctx.deadline.check()?;
-                    let mut best: Option<Value> = None;
-                    for row in part {
-                        let v = self.expr.evaluate(row)?;
-                        if v.is_null() {
-                            continue;
+    fn execute_stream(&self, ctx: &TaskContext) -> Result<Vec<PartitionStream>> {
+        let inputs = crate::input_streams(&self.input, ctx)?;
+        // The filter needs two passes over its input, so it is a breaker:
+        // the streamed input is drained (fanned over the executor pool)
+        // and the two O(n) passes run on the buffer.
+        let n_outputs = if self.distinct {
+            1
+        } else {
+            inputs.len().max(1)
+        };
+        let expr = self.expr.clone();
+        let direction = self.direction;
+        let distinct = self.distinct;
+        let ctx2 = ctx.clone();
+        Ok(breaker_streams(self.schema(), ctx, n_outputs, move || {
+            let input = ctx2.runtime.drain_streams(inputs)?;
+            // Pass 1 (parallel): the best non-NULL value per partition.
+            let bests: Vec<Option<Value>> =
+                ctx2.runtime
+                    .map_indexed(input.iter().collect::<Vec<_>>(), |_, part| {
+                        ctx2.deadline.check()?;
+                        let mut best: Option<Value> = None;
+                        for row in part {
+                            let v = expr.evaluate(row)?;
+                            if v.is_null() {
+                                continue;
+                            }
+                            let take = match &best {
+                                None => true,
+                                Some(b) => minmax_better(direction, &v, b),
+                            };
+                            if take {
+                                best = Some(v);
+                            }
                         }
-                        let take = match &best {
-                            None => true,
-                            Some(b) => self.better(&v, b),
-                        };
-                        if take {
-                            best = Some(v);
-                        }
+                        Ok(best)
+                    })?;
+            let mut global_best: Option<Value> = None;
+            for b in bests.into_iter().flatten() {
+                let take = match &global_best {
+                    None => true,
+                    Some(g) => minmax_better(direction, &b, g),
+                };
+                if take {
+                    global_best = Some(b);
+                }
+            }
+            // Pass 2 (parallel): keep NULL tuples and optimum tuples.
+            let mut out = ctx2.runtime.map_indexed(input, |_, part| {
+                ctx2.deadline.check()?;
+                let mut rows = Vec::new();
+                for row in part {
+                    let v = expr.evaluate(&row)?;
+                    let keep = v.is_null()
+                        || global_best
+                            .as_ref()
+                            .is_some_and(|b| v.sql_compare(b) == Some(std::cmp::Ordering::Equal));
+                    if keep {
+                        rows.push(row);
                     }
-                    Ok(best)
-                })?;
-        let mut global_best: Option<Value> = None;
-        for b in bests.into_iter().flatten() {
-            let take = match &global_best {
-                None => true,
-                Some(g) => self.better(&b, g),
-            };
-            if take {
-                global_best = Some(b);
-            }
-        }
-        // Pass 2 (parallel): keep NULL tuples and optimum tuples.
-        let mut out = ctx.runtime.map_indexed(input, |_, part| {
-            ctx.deadline.check()?;
-            let mut rows = Vec::new();
-            for row in part {
-                let v = self.expr.evaluate(&row)?;
-                let keep = v.is_null()
-                    || global_best
-                        .as_ref()
-                        .is_some_and(|b| v.sql_compare(b) == Some(std::cmp::Ordering::Equal));
-                if keep {
-                    rows.push(row);
                 }
-            }
-            Ok(rows)
-        })?;
-        // DISTINCT: one representative per distinct dimension value — at
-        // most one NULL tuple and one optimum tuple.
-        if self.distinct {
-            let rows = flatten(out);
-            let mut null_rep: Option<Row> = None;
-            let mut best_rep: Option<Row> = None;
-            for row in rows {
-                let v = self.expr.evaluate(&row)?;
-                if v.is_null() {
-                    null_rep.get_or_insert(row);
-                } else {
-                    best_rep.get_or_insert(row);
+                Ok(rows)
+            })?;
+            // DISTINCT: one representative per distinct dimension value —
+            // at most one NULL tuple and one optimum tuple.
+            if distinct {
+                let rows = flatten(out);
+                let mut null_rep: Option<Row> = None;
+                let mut best_rep: Option<Row> = None;
+                for row in rows {
+                    let v = expr.evaluate(&row)?;
+                    if v.is_null() {
+                        null_rep.get_or_insert(row);
+                    } else {
+                        best_rep.get_or_insert(row);
+                    }
                 }
+                out = vec![null_rep.into_iter().chain(best_rep).collect()];
             }
-            out = vec![null_rep.into_iter().chain(best_rep).collect()];
-        }
-        Ok(out)
+            Ok(out)
+        }))
     }
 
     fn describe(&self) -> String {

@@ -51,11 +51,200 @@ pub fn bnl_skyline_into(
     stats: &mut SkylineStats,
     window: &mut Vec<Row>,
 ) {
-    // A pre-seeded window is window occupancy even when every incoming
-    // tuple is dominated; record it before the scan.
-    stats.max_window = stats.max_window.max(window.len());
-    for tuple in rows {
-        scalar_window_step(tuple, checker, stats, window, None);
+    let mut builder = BnlBuilder::with_seed(checker.clone(), false, std::mem::take(window));
+    builder.push_batch(rows);
+    let (merged, builder_stats) = builder.finish();
+    stats.merge(&builder_stats);
+    *window = merged;
+}
+
+/// Incremental Block-Nested-Loop skyline — the batch-feeding entry point
+/// of the streaming operators.
+///
+/// The window *is* the running skyline, so a stream operator can push row
+/// batches as they are pulled from upstream and drop them immediately:
+/// peak memory is bounded by the skyline size plus one batch, never by
+/// the input size. With `vectorized`, the window is mirrored into the
+/// columnar kernel's [`ColumnarBlock`] (encode-once, evict-by-index) and
+/// every pushed tuple is tested against the whole window in one chunked
+/// pass; rows the kernel cannot represent take the scalar step, so the
+/// result is always byte-identical to the scalar builder.
+///
+/// [`bnl_skyline_into`] / [`bnl_skyline_into_batched`] are one-shot
+/// wrappers around this builder.
+pub struct BnlBuilder {
+    checker: DominanceChecker,
+    window: Vec<Row>,
+    /// `Some` on the vectorized path (even after a fallback demotion, so
+    /// the per-tuple routing below stays cheap), `None` on the scalar one.
+    block: Option<ColumnarBlock>,
+    cand: EncodedCandidate,
+    out: Vec<Dominance>,
+    stats: SkylineStats,
+}
+
+impl BnlBuilder {
+    /// An empty builder.
+    pub fn new(checker: DominanceChecker, vectorized: bool) -> Self {
+        Self::with_seed(checker, vectorized, Vec::new())
+    }
+
+    /// Seed the window with an existing skyline (the hierarchical merge's
+    /// encode-once path). The caller must guarantee `window` is a skyline.
+    pub fn with_seed(checker: DominanceChecker, vectorized: bool, window: Vec<Row>) -> Self {
+        let block = vectorized.then(|| {
+            let mut block = ColumnarBlock::for_checker(&checker);
+            for row in &window {
+                block.push(row);
+            }
+            block
+        });
+        // A pre-seeded window is window occupancy even when every incoming
+        // tuple is dominated; record it before the scan.
+        let stats = SkylineStats {
+            max_window: window.len(),
+            ..SkylineStats::default()
+        };
+        BnlBuilder {
+            checker,
+            window,
+            block,
+            cand: EncodedCandidate::new(),
+            out: Vec::new(),
+            stats,
+        }
+    }
+
+    /// Current window occupancy (== the running skyline size).
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SkylineStats {
+        &self.stats
+    }
+
+    /// Feed one batch of rows.
+    pub fn push_batch(&mut self, rows: impl IntoIterator<Item = Row>) {
+        for row in rows {
+            self.push(row);
+        }
+    }
+
+    /// Feed one tuple through the BNL window step.
+    pub fn push(&mut self, tuple: Row) {
+        let Some(block) = self.block.as_mut() else {
+            scalar_window_step(
+                tuple,
+                &self.checker,
+                &mut self.stats,
+                &mut self.window,
+                None,
+            );
+            return;
+        };
+        if block.is_fallback() {
+            // The block is dead for good; no point mirroring into it.
+            scalar_window_step(
+                tuple,
+                &self.checker,
+                &mut self.stats,
+                &mut self.window,
+                None,
+            );
+            return;
+        }
+        if !block.encode_into(&tuple, &mut self.cand) {
+            // Only this tuple needs the scalar path; keep the block alive
+            // and aligned for the following tuples.
+            scalar_window_step(
+                tuple,
+                &self.checker,
+                &mut self.stats,
+                &mut self.window,
+                Some(block),
+            );
+            return;
+        }
+        let distinct = self.checker.distinct();
+        if self.checker.is_incomplete() {
+            // The incomplete relation is not transitive: the scalar loop
+            // may evict window rows *before* discovering the tuple is
+            // dominated, so its behavior on mixed-bitmap input can only be
+            // matched by replaying it verbatim. Compute all outcomes in
+            // one batched pass (no early exit), then replay.
+            let res = block.compare_batch(&self.cand, &mut self.out, false);
+            self.stats.add_batched(res.tested);
+            let mut dominated = false;
+            let mut i = 0;
+            while i < self.out.len() {
+                match self.out[i] {
+                    Dominance::Dominates => {
+                        self.window.swap_remove(i);
+                        block.swap_remove(i);
+                        self.out.swap_remove(i);
+                    }
+                    Dominance::DominatedBy => {
+                        dominated = true;
+                        break;
+                    }
+                    Dominance::Equal => {
+                        if distinct && self.checker.identical_dims(&tuple, &self.window[i]) {
+                            dominated = true;
+                            break;
+                        }
+                        i += 1;
+                    }
+                    Dominance::Incomparable => i += 1,
+                }
+            }
+            if !dominated {
+                block.push(&tuple);
+                self.window.push(tuple);
+                self.stats.max_window = self.stats.max_window.max(self.window.len());
+            }
+            return;
+        }
+        let res = block.compare_batch(&self.cand, &mut self.out, true);
+        self.stats.add_batched(res.tested);
+        if res.dominated_at.is_some() {
+            return;
+        }
+        // Complete-data relation from here on: dominance is transitive and
+        // the window holds no mutually dominating rows, so a tuple that is
+        // dominated (or DISTINCT-identical to a window tuple) dominates
+        // nothing in the window — dropping it without evictions matches
+        // the scalar loop exactly, which is what makes the chunked early
+        // exit above sound.
+        if distinct
+            && self.out.iter().enumerate().any(|(i, &o)| {
+                o == Dominance::Equal && self.checker.identical_dims(&tuple, &self.window[i])
+            })
+        {
+            return;
+        }
+        // Replay the scalar loop's eviction order (swap_remove pulls the
+        // last row in, which is then re-examined at the same index) so the
+        // final window order is byte-identical.
+        let mut i = 0;
+        while i < self.out.len() {
+            if self.out[i] == Dominance::Dominates {
+                self.window.swap_remove(i);
+                block.swap_remove(i);
+                self.out.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        block.push(&tuple);
+        self.window.push(tuple);
+        self.stats.max_window = self.stats.max_window.max(self.window.len());
+    }
+
+    /// The skyline window and the accumulated statistics.
+    pub fn finish(self) -> (Vec<Row>, SkylineStats) {
+        (self.window, self.stats)
     }
 }
 
@@ -139,100 +328,11 @@ pub fn bnl_skyline_into_batched(
     stats: &mut SkylineStats,
     window: &mut Vec<Row>,
 ) {
-    stats.max_window = stats.max_window.max(window.len());
-    let distinct = checker.distinct();
-    let mut block = ColumnarBlock::for_checker(checker);
-    for row in window.iter() {
-        block.push(row);
-    }
-    let mut out: Vec<Dominance> = Vec::new();
-    let mut cand = EncodedCandidate::new();
-    for tuple in rows {
-        if block.is_fallback() {
-            // The block is dead for good; no point mirroring into it.
-            scalar_window_step(tuple, checker, stats, window, None);
-            continue;
-        }
-        if !block.encode_into(&tuple, &mut cand) {
-            // Only this tuple needs the scalar path; keep the block alive
-            // and aligned for the following tuples.
-            scalar_window_step(tuple, checker, stats, window, Some(&mut block));
-            continue;
-        }
-        if checker.is_incomplete() {
-            // The incomplete relation is not transitive: the scalar loop
-            // may evict window rows *before* discovering the tuple is
-            // dominated, so its behavior on mixed-bitmap input can only be
-            // matched by replaying it verbatim. Compute all outcomes in
-            // one batched pass (no early exit), then replay.
-            let res = block.compare_batch(&cand, &mut out, false);
-            stats.add_batched(res.tested);
-            let mut dominated = false;
-            let mut i = 0;
-            while i < out.len() {
-                match out[i] {
-                    Dominance::Dominates => {
-                        window.swap_remove(i);
-                        block.swap_remove(i);
-                        out.swap_remove(i);
-                    }
-                    Dominance::DominatedBy => {
-                        dominated = true;
-                        break;
-                    }
-                    Dominance::Equal => {
-                        if distinct && checker.identical_dims(&tuple, &window[i]) {
-                            dominated = true;
-                            break;
-                        }
-                        i += 1;
-                    }
-                    Dominance::Incomparable => i += 1,
-                }
-            }
-            if !dominated {
-                block.push(&tuple);
-                window.push(tuple);
-                stats.max_window = stats.max_window.max(window.len());
-            }
-            continue;
-        }
-        let res = block.compare_batch(&cand, &mut out, true);
-        stats.add_batched(res.tested);
-        if res.dominated_at.is_some() {
-            continue;
-        }
-        // Complete-data relation from here on: dominance is transitive and
-        // the window holds no mutually dominating rows, so a tuple that is
-        // dominated (or DISTINCT-identical to a window tuple) dominates
-        // nothing in the window — dropping it without evictions matches
-        // the scalar loop exactly, which is what makes the chunked early
-        // exit above sound.
-        if distinct
-            && out
-                .iter()
-                .enumerate()
-                .any(|(i, &o)| o == Dominance::Equal && checker.identical_dims(&tuple, &window[i]))
-        {
-            continue;
-        }
-        // Replay the scalar loop's eviction order (swap_remove pulls the
-        // last row in, which is then re-examined at the same index) so the
-        // final window order is byte-identical.
-        let mut i = 0;
-        while i < out.len() {
-            if out[i] == Dominance::Dominates {
-                window.swap_remove(i);
-                block.swap_remove(i);
-                out.swap_remove(i);
-            } else {
-                i += 1;
-            }
-        }
-        block.push(&tuple);
-        window.push(tuple);
-        stats.max_window = stats.max_window.max(window.len());
-    }
+    let mut builder = BnlBuilder::with_seed(checker.clone(), true, std::mem::take(window));
+    builder.push_batch(rows);
+    let (merged, builder_stats) = builder.finish();
+    stats.merge(&builder_stats);
+    *window = merged;
 }
 
 #[cfg(test)]
@@ -423,6 +523,42 @@ mod tests {
         bnl_skyline_into(incoming.clone(), &checker, &mut stats, &mut w_scalar);
         bnl_skyline_into_batched(incoming, &checker, &mut stats, &mut w_batched);
         assert_eq!(w_scalar, w_batched);
+    }
+
+    #[test]
+    fn incremental_builder_matches_one_shot_across_batch_splits() {
+        let data: Vec<(i64, i64)> = (0..150).map(|i| ((i * 37) % 60, (i * 53) % 60)).collect();
+        for vectorized in [false, true] {
+            for distinct in [false, true] {
+                let checker = min_min(distinct);
+                let mut stats = SkylineStats::default();
+                let one_shot = if vectorized {
+                    bnl_skyline_batched(rows(&data), &checker, &mut stats)
+                } else {
+                    bnl_skyline(rows(&data), &checker, &mut stats)
+                };
+                // Feed the same rows in ragged batches.
+                let mut builder = BnlBuilder::new(checker.clone(), vectorized);
+                for chunk in rows(&data).chunks(7) {
+                    builder.push_batch(chunk.to_vec());
+                }
+                let (incremental, inc_stats) = builder.finish();
+                assert_eq!(one_shot, incremental, "v={vectorized} d={distinct}");
+                assert_eq!(stats.dominance_tests, inc_stats.dominance_tests);
+                assert_eq!(stats.max_window, inc_stats.max_window);
+            }
+        }
+    }
+
+    #[test]
+    fn builder_window_len_tracks_running_skyline() {
+        let checker = min_min(false);
+        let mut b = BnlBuilder::new(checker, true);
+        b.push_batch(rows(&[(1, 9), (9, 1)]));
+        assert_eq!(b.window_len(), 2);
+        b.push_batch(rows(&[(0, 0)]));
+        assert_eq!(b.window_len(), 1, "dominator evicts the whole window");
+        assert!(b.stats().dominance_tests > 0);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::collections::HashMap;
 
 use sparkline_common::{Row, SkylineSpec};
 
-use crate::bnl::bnl_skyline;
+use crate::bnl::{bnl_skyline, BnlBuilder};
 use crate::dominance::{Dominance, DominanceChecker, SkylineStats};
 
 /// The null bitmap of a tuple over the skyline dimensions: bit `i` is set
@@ -62,6 +62,75 @@ pub fn partition_by_null_bitmap(
             .push(row);
     }
     partitions
+}
+
+/// Incremental per-null-bitmap local skyline for incomplete data — the
+/// batch-feeding entry point of the streaming local phase (§5.7).
+///
+/// Rows are routed to one BNL window per bitmap class as they stream in;
+/// within one class every tuple shares its NULL positions, the restricted
+/// dominance relation is transitive again (Lemma 5.1), and — because a
+/// class is uniformly NULL or non-NULL per column — each class window runs
+/// on the columnar kernel when `vectorized`. `finish` concatenates the
+/// class windows in **first-seen order**, making the streamed local phase
+/// deterministic (the materialized seed iterated a `HashMap`).
+pub struct GroupedBnlBuilder {
+    checker: DominanceChecker,
+    vectorized: bool,
+    index: HashMap<u64, usize>,
+    groups: Vec<BnlBuilder>,
+}
+
+impl GroupedBnlBuilder {
+    /// A builder over the checker's spec (must be an incomplete-relation
+    /// checker when NULLs can occur).
+    pub fn new(checker: DominanceChecker, vectorized: bool) -> Self {
+        GroupedBnlBuilder {
+            checker,
+            vectorized,
+            index: HashMap::new(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Feed one tuple into its bitmap class's window.
+    pub fn push(&mut self, row: Row) {
+        let bitmap = null_bitmap(&row, self.checker.spec());
+        let slot = match self.index.get(&bitmap) {
+            Some(&i) => i,
+            None => {
+                self.groups
+                    .push(BnlBuilder::new(self.checker.clone(), self.vectorized));
+                self.index.insert(bitmap, self.groups.len() - 1);
+                self.groups.len() - 1
+            }
+        };
+        self.groups[slot].push(row);
+    }
+
+    /// Feed one batch of rows.
+    pub fn push_batch(&mut self, rows: impl IntoIterator<Item = Row>) {
+        for row in rows {
+            self.push(row);
+        }
+    }
+
+    /// Total window occupancy across all bitmap classes.
+    pub fn window_len(&self) -> usize {
+        self.groups.iter().map(BnlBuilder::window_len).sum()
+    }
+
+    /// Concatenate the class skylines (first-seen order) and merge stats.
+    pub fn finish(self) -> (Vec<Row>, SkylineStats) {
+        let mut rows = Vec::new();
+        let mut stats = SkylineStats::default();
+        for builder in self.groups {
+            let (window, group_stats) = builder.finish();
+            rows.extend(window);
+            stats.merge(&group_stats);
+        }
+        (rows, stats)
+    }
 }
 
 /// Global skyline for (potentially) incomplete data: all-pairs dominance

@@ -34,12 +34,14 @@ pub mod incomplete;
 pub mod naive;
 pub mod sfs;
 
-pub use bnl::{bnl_skyline, bnl_skyline_batched, bnl_skyline_into, bnl_skyline_into_batched};
+pub use bnl::{
+    bnl_skyline, bnl_skyline_batched, bnl_skyline_into, bnl_skyline_into_batched, BnlBuilder,
+};
 pub use columnar::{BatchResult, ColumnarBlock, EncodedCandidate, PointBlock};
 pub use dominance::{Dominance, DominanceChecker, SkylineStats};
 pub use incomplete::{
     incomplete_global_skyline, incomplete_skyline, null_bitmap, partition_by_null_bitmap,
-    premature_deletion_global_skyline,
+    premature_deletion_global_skyline, GroupedBnlBuilder,
 };
 pub use naive::naive_skyline;
 pub use sfs::{monotone_score, sfs_skyline, sfs_skyline_batched};
