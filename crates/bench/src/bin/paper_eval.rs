@@ -13,7 +13,8 @@
 //! ```
 //!
 //! Options: `--scale F` (dataset scale, default 1.0 ≙ 1:100 of the paper),
-//! `--timeout SECS` (default 30), `--seed N`, `--quick` (reduced grids),
+//! `--timeout SECS` (default 30), `--seed N`, `--quick` / `--smoke`
+//! (reduced grids),
 //! `--out DIR` (CSV dumps).
 
 use std::io::Write;
@@ -48,7 +49,9 @@ fn main() {
             "--seed" => {
                 settings.seed = next_value(&args, &mut i, "--seed");
             }
-            "--quick" => quick = true,
+            // `--smoke` is the CI alias: same reduced grids, named for the
+            // per-push smoke runs of the extension experiments.
+            "--quick" | "--smoke" => quick = true,
             "--all" => all = true,
             "--out" => {
                 i += 1;
@@ -158,7 +161,7 @@ fn next_value<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) 
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: paper_eval [--all | fig3 fig4 ...] [--scale F] [--timeout SECS] \
-         [--seed N] [--quick] [--out DIR] | list"
+         [--seed N] [--quick|--smoke] [--out DIR] | list"
     );
     std::process::exit(2);
 }

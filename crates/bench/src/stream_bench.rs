@@ -68,12 +68,14 @@ fn run_cell(
     n: usize,
     executors: usize,
 ) -> (StreamCell, Vec<Row>) {
-    // A finer batch than the 4096 default: with ~5k-row partitions the
-    // default leaves only 1–2 batches per pipeline, so the measured peak
-    // would mostly reflect scheduler timing rather than the model.
+    // A finer batch than the 4096 default, scaled to leave ~8 batches per
+    // partition: a batch that spans half a partition would make the
+    // measured peak mostly reflect scheduler timing rather than the
+    // model.
+    let batch_size = (n / executors / 8).max(64);
     let config = SessionConfig::default()
         .with_executors(executors)
-        .with_batch_size(1024)
+        .with_batch_size(batch_size)
         .with_streaming_execution(mode == "streaming");
     let ctx = SessionContext::with_config(config);
     let schema = Schema::new(

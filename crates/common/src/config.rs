@@ -29,6 +29,14 @@ pub enum SkylineStrategy {
     /// local and global phase. Only valid on complete data with numeric
     /// dimensions (non-numeric inputs fall back to BNL per partition).
     SortFilterSkyline,
+    /// Extension beyond the paper: statistics-driven planning. The
+    /// algorithm family still follows Listing 8 (like `Auto`), but the
+    /// local-phase partitioning scheme, the global merge strategy, the
+    /// grid granularity, and the representative-point pre-filter are
+    /// chosen from a seeded sample of the input
+    /// (`sparkline_common::stats`) instead of the static config knobs.
+    /// Any fixed setting preserves the old behavior.
+    Adaptive,
 }
 
 impl SkylineStrategy {
@@ -37,7 +45,9 @@ impl SkylineStrategy {
     pub fn handles_incomplete(self) -> bool {
         matches!(
             self,
-            SkylineStrategy::Auto | SkylineStrategy::DistributedIncomplete
+            SkylineStrategy::Auto
+                | SkylineStrategy::Adaptive
+                | SkylineStrategy::DistributedIncomplete
         )
     }
 }
@@ -139,6 +149,23 @@ pub struct SessionConfig {
     /// accountant. Models the paper's observation that each Spark executor
     /// loads its whole JVM execution environment (§6.5 / Appendix C).
     pub executor_memory_overhead: usize,
+    /// Reservoir-sample size for the adaptive planner's dataset
+    /// statistics and the representative pre-filter (>= 1).
+    pub sample_size: usize,
+    /// Seed of the planner's reservoir sampler. Fixed per session so
+    /// repeated `EXPLAIN`s of the same query report the same chosen
+    /// strategy.
+    pub sample_seed: u64,
+    /// Cap on the representative-point pre-filter broadcast to every
+    /// partition stream under [`SkylineStrategy::Adaptive`]; the filter is
+    /// the sample's skyline truncated to this many points.
+    pub prefilter_max_points: usize,
+    /// Enable the representative-point pre-filter (adaptive plans only;
+    /// the complete-data family — the incomplete relation is not
+    /// transitive, so discarding dominated tuples early is unsound
+    /// there). Disabling it is the A/B switch of the `ext5` benchmark and
+    /// the pre-filter property tests.
+    pub representative_prefilter: bool,
 }
 
 impl Default for SessionConfig {
@@ -160,6 +187,10 @@ impl Default for SessionConfig {
             // ~300 MB per executor in the paper's charts; scaled 1:1000 to
             // keep reproduction numbers readable alongside real row bytes.
             executor_memory_overhead: 300 * 1024,
+            sample_size: 1024,
+            sample_seed: 0x5EED_1A7E,
+            prefilter_max_points: 64,
+            representative_prefilter: true,
         }
     }
 }
@@ -253,6 +284,32 @@ impl SessionConfig {
         self.enable_generic_optimizations = on;
         self
     }
+
+    /// Set the planner's reservoir-sample size (>= 1).
+    pub fn with_sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the planner's sampling seed.
+    pub fn with_sample_seed(mut self, seed: u64) -> Self {
+        self.sample_seed = seed;
+        self
+    }
+
+    /// Set the representative pre-filter cap (0 disables the filter).
+    pub fn with_prefilter_max_points(mut self, n: usize) -> Self {
+        self.prefilter_max_points = n;
+        self
+    }
+
+    /// Toggle the representative-point pre-filter (on by default; only
+    /// active under [`SkylineStrategy::Adaptive`]).
+    pub fn with_representative_prefilter(mut self, on: bool) -> Self {
+        self.representative_prefilter = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -295,8 +352,26 @@ mod tests {
     #[test]
     fn strategy_incomplete_handling() {
         assert!(SkylineStrategy::Auto.handles_incomplete());
+        assert!(SkylineStrategy::Adaptive.handles_incomplete());
         assert!(SkylineStrategy::DistributedIncomplete.handles_incomplete());
         assert!(!SkylineStrategy::DistributedComplete.handles_incomplete());
         assert!(!SkylineStrategy::NonDistributedComplete.handles_incomplete());
+    }
+
+    #[test]
+    fn sampling_knobs_default_and_chain() {
+        let c = SessionConfig::new();
+        assert_eq!(c.sample_size, 1024);
+        assert_eq!(c.prefilter_max_points, 64);
+        assert!(c.representative_prefilter);
+        let c = SessionConfig::new()
+            .with_sample_size(32)
+            .with_sample_seed(99)
+            .with_prefilter_max_points(0)
+            .with_representative_prefilter(false);
+        assert_eq!(c.sample_size, 32);
+        assert_eq!(c.sample_seed, 99);
+        assert_eq!(c.prefilter_max_points, 0);
+        assert!(!c.representative_prefilter);
     }
 }

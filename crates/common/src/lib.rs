@@ -16,6 +16,7 @@ pub mod error;
 pub mod row;
 pub mod schema;
 pub mod skyline;
+pub mod stats;
 pub mod strategy;
 pub mod types;
 pub mod value;
@@ -25,6 +26,7 @@ pub use error::{Error, Result};
 pub use row::Row;
 pub use schema::{Field, Schema, SchemaRef};
 pub use skyline::{SkylineDim, SkylineSpec, SkylineType};
+pub use stats::{reservoir_sample, DatasetStats, DimStats, Reservoir};
 pub use strategy::{SkylineMeta, SkylinePlan};
 pub use types::DataType;
 pub use value::Value;

@@ -12,6 +12,7 @@
 
 use crate::config::{MergeStrategy, SessionConfig, SkylinePartitioning, SkylineStrategy};
 use crate::skyline::SkylineSpec;
+use crate::stats::DatasetStats;
 
 /// Plan metadata the strategy decision needs, extracted from the logical
 /// skyline node and its input schema.
@@ -55,6 +56,17 @@ pub struct SkylinePlan {
     /// operator; unrepresentable rows still fall back to the scalar
     /// checker tuple-by-tuple).
     pub vectorized: bool,
+    /// Buckets per dimension for the grid partitioner (adaptive plans size
+    /// this from the statistics; static plans copy the config knob).
+    pub grid_cells_per_dim: usize,
+    /// Cap on the representative-point pre-filter broadcast before the
+    /// local phase; `0` disables the filter (always `0` outside the
+    /// distributed complete family — the incomplete relation is not
+    /// transitive, so early discards are unsound there).
+    pub prefilter_max_points: usize,
+    /// Whether dataset statistics drove this plan (the `Adaptive`
+    /// strategy with a usable sample).
+    pub adaptive: bool,
 }
 
 impl SkylinePlan {
@@ -65,7 +77,9 @@ impl SkylinePlan {
         // user asserted COMPLETE or no skyline dimension is nullable.
         // Forced strategies (the harness's algorithm series) override.
         let use_complete = match config.skyline_strategy {
-            SkylineStrategy::Auto => meta.declared_complete || !meta.nullable,
+            SkylineStrategy::Auto | SkylineStrategy::Adaptive => {
+                meta.declared_complete || !meta.nullable
+            }
             SkylineStrategy::DistributedComplete
             | SkylineStrategy::NonDistributedComplete
             | SkylineStrategy::SortFilterSkyline => true,
@@ -117,7 +131,101 @@ impl SkylinePlan {
             // (it falls back per tuple where it cannot represent the
             // data), so the knob passes through unconditionally.
             vectorized: config.vectorized_dominance,
+            grid_cells_per_dim: config.grid_cells_per_dim,
+            prefilter_max_points: 0,
+            adaptive: false,
         }
+    }
+
+    /// Statistics-driven selection for [`SkylineStrategy::Adaptive`]: the
+    /// algorithm family still follows Listing 8 (via [`Self::select`]),
+    /// but the partitioning scheme, merge strategy, grid granularity, and
+    /// pre-filter budget are derived from the sampled [`DatasetStats`]
+    /// instead of the static config knobs.
+    ///
+    /// The heuristics encode the shape of the paper's §6 results and the
+    /// partitioning experiments (`ext1`), keyed on the sample's skyline
+    /// fraction (the direct dominance-selectivity predictor) with the
+    /// Spearman estimate as a secondary trade-off signal:
+    ///
+    /// * **dominance-heavy** data (small skyline fraction, non-negative
+    ///   correlation, ≤ 3 ranked dims) → **grid** partitioning: most
+    ///   cells are provably dominated and pruned before any local phase;
+    /// * **trade-off-heavy** data (large skyline fraction or clearly
+    ///   negative correlation, ≤ 3 ranked dims) → **angle-based**
+    ///   partitioning: rows on the same trade-off must compete in one
+    ///   partition for the local phase to prune anything;
+    /// * everything else (independent data, > 3 ranked dims where neither
+    ///   grid corners nor 2-d angles capture the structure) → **even**
+    ///   split for balance;
+    /// * the **hierarchical merge** engages only when enough executors
+    ///   exist *and* the skyline fraction is large — a dominance-heavy
+    ///   dataset's global phase is too small to amortize tree rounds;
+    /// * the **grid granularity** targets a bounded cell count per
+    ///   executor instead of the fixed `grid_cells_per_dim`.
+    ///
+    /// Every choice is semantically neutral (any partitioning of complete
+    /// data is sound, the merge strategies agree, the pre-filter only
+    /// discards provably dominated tuples); the statistics steer cost
+    /// only. The decision is a pure function of config + meta + stats, so
+    /// repeated `EXPLAIN`s of one query agree.
+    pub fn select_adaptive(
+        config: &SessionConfig,
+        meta: &SkylineMeta,
+        stats: &DatasetStats,
+    ) -> Self {
+        let mut plan = SkylinePlan::select(config, meta);
+        if !plan.use_complete || !plan.distributed {
+            // Incomplete family (or no local phase): nothing to steer —
+            // partitioning is fixed by the null-bitmap exchange and the
+            // pre-filter is unsound under the non-transitive relation.
+            return plan;
+        }
+        plan.adaptive = true;
+        let corr = stats.correlation;
+        let frac = stats.skyline_fraction;
+        plan.partitioning = if meta.ranked_dims < 2 || meta.ranked_dims > 3 {
+            SkylinePartitioning::Even
+        } else if frac >= 0.35 || corr <= -0.25 {
+            SkylinePartitioning::AngleBased
+        } else if frac <= 0.15 && corr >= 0.0 {
+            SkylinePartitioning::Grid
+        } else {
+            SkylinePartitioning::Even
+        };
+        // Grid granularity: aim for ~8 cells per executor (enough for the
+        // LPT packing to balance) but never a finer grid than the sample
+        // can populate.
+        if plan.partitioning == SkylinePartitioning::Grid {
+            let g = meta.ranked_dims.min(3) as f64;
+            let target = (config.num_executors * 8).max(16) as f64;
+            let by_executors = target.powf(1.0 / g).round() as usize;
+            let by_sample = (stats.sample_rows.max(1) as f64).powf(1.0 / g) as usize;
+            plan.grid_cells_per_dim = by_executors.min(by_sample.max(2)).clamp(2, 16);
+        }
+        // Merge: tree rounds pay off when the local skylines gathered into
+        // the global phase are large (trade-off-heavy data); tiny
+        // skylines keep the flat single-executor pass.
+        plan.merge =
+            if config.num_executors >= config.hierarchical_merge_min_partitions && frac >= 0.15 {
+                MergeStrategy::Hierarchical {
+                    fan_in: (config.num_executors / 2).clamp(2, config.merge_fan_in.max(2)),
+                }
+            } else {
+                MergeStrategy::Flat
+            };
+        if config.representative_prefilter && config.prefilter_max_points > 0 {
+            // Budget the filter by expected selectivity: on trade-off-heavy
+            // data most tuples survive, so every tuple pays a scan over the
+            // whole point set — a quarter of the budget keeps most of the
+            // pruning at a quarter of the per-tuple cost.
+            plan.prefilter_max_points = if frac >= 0.35 {
+                (config.prefilter_max_points / 4).max(1)
+            } else {
+                config.prefilter_max_points
+            };
+        }
+        plan
     }
 }
 
@@ -213,5 +321,106 @@ mod tests {
             SkylinePlan::select(&config, &meta(2, true, false)).merge,
             MergeStrategy::Flat
         );
+    }
+
+    fn stats_with(correlation: f64, skyline_fraction: f64, sample_rows: usize) -> DatasetStats {
+        DatasetStats {
+            sample_rows,
+            total_rows: sample_rows * 10,
+            dims: 2,
+            per_dim: Vec::new(),
+            correlation,
+            skyline_fraction,
+        }
+    }
+
+    #[test]
+    fn adaptive_picks_grid_on_dominance_heavy_angle_on_trade_off_heavy() {
+        let config = SessionConfig::default()
+            .with_executors(5)
+            .with_skyline_strategy(SkylineStrategy::Adaptive);
+        let m = meta(2, false, false);
+        let grid = SkylinePlan::select_adaptive(&config, &m, &stats_with(0.8, 0.02, 500));
+        assert_eq!(grid.partitioning, SkylinePartitioning::Grid);
+        assert!(grid.adaptive);
+        assert!(grid.grid_cells_per_dim >= 2);
+        assert_eq!(grid.merge, MergeStrategy::Flat, "tiny skyline: flat merge");
+        let angle = SkylinePlan::select_adaptive(&config, &m, &stats_with(0.3, 0.6, 500));
+        assert_eq!(angle.partitioning, SkylinePartitioning::AngleBased);
+        let angle2 = SkylinePlan::select_adaptive(&config, &m, &stats_with(-0.8, 0.2, 500));
+        assert_eq!(
+            angle2.partitioning,
+            SkylinePartitioning::AngleBased,
+            "negative correlation alone also selects angles"
+        );
+        let even = SkylinePlan::select_adaptive(&config, &m, &stats_with(0.0, 0.25, 500));
+        assert_eq!(even.partitioning, SkylinePartitioning::Even);
+    }
+
+    #[test]
+    fn adaptive_high_dims_fall_back_to_even() {
+        let config = SessionConfig::default()
+            .with_executors(5)
+            .with_skyline_strategy(SkylineStrategy::Adaptive);
+        let plan = SkylinePlan::select_adaptive(
+            &config,
+            &meta(8, false, false),
+            &stats_with(0.9, 0.02, 500),
+        );
+        assert_eq!(plan.partitioning, SkylinePartitioning::Even);
+    }
+
+    #[test]
+    fn adaptive_merge_tracks_skyline_size_and_executors() {
+        let config = SessionConfig::default()
+            .with_executors(8)
+            .with_skyline_strategy(SkylineStrategy::Adaptive);
+        let m = meta(2, false, false);
+        let big = SkylinePlan::select_adaptive(&config, &m, &stats_with(-0.5, 0.5, 500));
+        assert!(matches!(big.merge, MergeStrategy::Hierarchical { .. }));
+        let tiny = SkylinePlan::select_adaptive(&config, &m, &stats_with(0.9, 0.01, 500));
+        assert_eq!(tiny.merge, MergeStrategy::Flat);
+        let small_pool = SessionConfig::default()
+            .with_executors(2)
+            .with_skyline_strategy(SkylineStrategy::Adaptive);
+        let plan = SkylinePlan::select_adaptive(&small_pool, &m, &stats_with(-0.5, 0.5, 500));
+        assert_eq!(plan.merge, MergeStrategy::Flat, "tiny pool keeps flat");
+    }
+
+    #[test]
+    fn adaptive_prefilter_budget_follows_config() {
+        let m = meta(2, false, false);
+        let stats = stats_with(0.0, 0.1, 500);
+        let on = SessionConfig::default().with_skyline_strategy(SkylineStrategy::Adaptive);
+        assert_eq!(
+            SkylinePlan::select_adaptive(&on, &m, &stats).prefilter_max_points,
+            on.prefilter_max_points
+        );
+        let off = on.clone().with_representative_prefilter(false);
+        assert_eq!(
+            SkylinePlan::select_adaptive(&off, &m, &stats).prefilter_max_points,
+            0
+        );
+        // Static plans never carry a pre-filter budget.
+        assert_eq!(SkylinePlan::select(&on, &m).prefilter_max_points, 0);
+    }
+
+    #[test]
+    fn adaptive_leaves_the_incomplete_family_alone() {
+        let config = SessionConfig::default()
+            .with_executors(8)
+            .with_skyline_strategy(SkylineStrategy::Adaptive);
+        // Nullable, not declared complete: Listing 8 selects the
+        // incomplete family; partitioning stays Standard and the
+        // pre-filter must stay off (non-transitive relation).
+        let plan = SkylinePlan::select_adaptive(
+            &config,
+            &meta(2, true, false),
+            &stats_with(-0.9, 0.5, 500),
+        );
+        assert!(!plan.use_complete);
+        assert_eq!(plan.partitioning, SkylinePartitioning::Standard);
+        assert_eq!(plan.prefilter_max_points, 0);
+        assert!(!plan.adaptive);
     }
 }

@@ -276,6 +276,15 @@ impl SessionContext {
             "dominance tests: {} ({} batched, {} scalar)\n",
             m.dominance_tests, m.batched_tests, m.scalar_tests
         ));
+        out.push_str(&format!(
+            "chosen partitioning: {}\n",
+            m.chosen_partitioning_label()
+        ));
+        out.push_str(&format!("sample rows: {}\n", m.sample_rows));
+        out.push_str(&format!(
+            "prefilter rows dropped: {}\n",
+            m.prefilter_rows_dropped
+        ));
         out.push_str(&format!("rows exchanged: {}\n", m.rows_exchanged));
         out.push_str(&format!("max window: {}\n", m.max_window));
         out.push_str(&format!(

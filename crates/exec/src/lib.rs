@@ -41,7 +41,9 @@ pub mod stream;
 use std::sync::Arc;
 
 pub use memory::{MemoryReservation, MemoryTracker};
-pub use metrics::{ExecMetrics, InFlightRows, MetricsSnapshot};
+pub use metrics::{
+    partitioning_code, partitioning_label, ExecMetrics, InFlightRows, MetricsSnapshot,
+};
 pub use partition::Partition;
 pub use partitioner::{
     AnglePartitioner, EvenPartitioner, GridPartitioner, Partitioner, SkylineHashPartitioner,

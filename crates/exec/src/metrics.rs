@@ -53,6 +53,43 @@ pub struct ExecMetrics {
     /// Largest number of merge tasks in a single round — the parallelism
     /// the tree merge actually exposed to the executor pool.
     pub max_merge_fanout: AtomicUsize,
+    /// Rows discarded by the representative-point pre-filter before they
+    /// reached any skyline window.
+    pub prefilter_rows_dropped: AtomicU64,
+    /// Rows in the planner's reservoir sample (0 when no skyline operator
+    /// was planned adaptively).
+    pub sample_rows: AtomicU64,
+    /// Local-phase partitioning scheme chosen by the planner, as a code
+    /// (see [`partitioning_code`]); 0 = standard / inherited distribution.
+    /// Aggregated with `max` so the value is deterministic when several
+    /// custom exchanges run concurrently — for the (rare) query with
+    /// multiple differently-partitioned skylines this is a summary of the
+    /// schemes involved, not a per-operator attribution (the plan display
+    /// names each exchange's scheme exactly).
+    pub chosen_partitioning: AtomicU64,
+}
+
+/// Stable code for a partitioner name ([`crate::Partitioner::name`]);
+/// `0` means the input distribution was inherited (`Standard`).
+pub fn partitioning_code(name: &str) -> u64 {
+    match name {
+        "Even" => 1,
+        "Hash" => 2,
+        "AngleBased" => 3,
+        "Grid" => 4,
+        _ => 0,
+    }
+}
+
+/// Human-readable label for a [`partitioning_code`] value.
+pub fn partitioning_label(code: u64) -> &'static str {
+    match code {
+        1 => "even",
+        2 => "hash",
+        3 => "angle",
+        4 => "grid",
+        _ => "standard",
+    }
 }
 
 impl ExecMetrics {
@@ -114,6 +151,23 @@ impl ExecMetrics {
         self.max_merge_fanout.fetch_max(tasks, Ordering::Relaxed);
     }
 
+    /// Record rows discarded by the representative pre-filter.
+    pub fn add_prefilter_dropped(&self, rows: u64) {
+        self.prefilter_rows_dropped
+            .fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Record the planner's sample size (idempotent across partitions).
+    pub fn note_sample_rows(&self, rows: u64) {
+        self.sample_rows.fetch_max(rows, Ordering::Relaxed);
+    }
+
+    /// Record the partitioning scheme a custom exchange applied.
+    pub fn note_partitioning(&self, name: &str) {
+        self.chosen_partitioning
+            .fetch_max(partitioning_code(name), Ordering::Relaxed);
+    }
+
     /// Snapshot the counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -134,6 +188,9 @@ impl ExecMetrics {
             merge_rounds: self.merge_rounds.load(Ordering::Relaxed),
             merge_tasks: self.merge_tasks.load(Ordering::Relaxed),
             max_merge_fanout: self.max_merge_fanout.load(Ordering::Relaxed),
+            prefilter_rows_dropped: self.prefilter_rows_dropped.load(Ordering::Relaxed),
+            sample_rows: self.sample_rows.load(Ordering::Relaxed),
+            chosen_partitioning: self.chosen_partitioning.load(Ordering::Relaxed),
         }
     }
 }
@@ -175,6 +232,19 @@ pub struct MetricsSnapshot {
     pub merge_tasks: u64,
     /// Largest single-round merge parallelism.
     pub max_merge_fanout: usize,
+    /// Rows discarded by the representative pre-filter.
+    pub prefilter_rows_dropped: u64,
+    /// Rows in the planner's reservoir sample.
+    pub sample_rows: u64,
+    /// Chosen local-phase partitioning scheme (see [`partitioning_code`]).
+    pub chosen_partitioning: u64,
+}
+
+impl MetricsSnapshot {
+    /// Label of the partitioning scheme the plan applied.
+    pub fn chosen_partitioning_label(&self) -> &'static str {
+        partitioning_label(self.chosen_partitioning)
+    }
 }
 
 /// RAII gauge for rows buffered by a pipeline-breaker stage (sort buffers,
@@ -260,6 +330,32 @@ mod tests {
         assert_eq!(s.batches_emitted, 1);
         assert_eq!(s.peak_rows_in_flight, 400);
         assert_eq!(m.rows_in_flight.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn prefilter_and_strategy_counters() {
+        let m = ExecMetrics::new();
+        m.add_prefilter_dropped(40);
+        m.add_prefilter_dropped(2);
+        m.note_sample_rows(128);
+        m.note_sample_rows(128);
+        m.note_partitioning("Grid");
+        let s = m.snapshot();
+        assert_eq!(s.prefilter_rows_dropped, 42);
+        assert_eq!(s.sample_rows, 128);
+        assert_eq!(s.chosen_partitioning, partitioning_code("Grid"));
+        assert_eq!(s.chosen_partitioning_label(), "grid");
+        assert_eq!(
+            MetricsSnapshot::default().chosen_partitioning_label(),
+            "standard"
+        );
+        for name in ["Even", "Hash", "AngleBased", "Grid"] {
+            assert_ne!(
+                partitioning_label(partitioning_code(name)),
+                "standard",
+                "{name}"
+            );
+        }
     }
 
     #[test]

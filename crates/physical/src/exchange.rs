@@ -39,13 +39,20 @@ pub enum ExchangeMode {
 #[derive(Debug)]
 pub struct ExchangeExec {
     mode: ExchangeMode,
+    /// Planner-sample size behind an adaptively chosen `Custom` scheme
+    /// (0 = statically configured); surfaced as the `sample_rows` metric.
+    sample_rows: usize,
     input: Arc<dyn ExecutionPlan>,
 }
 
 impl ExchangeExec {
     /// Exchange with the given mode.
     pub fn new(mode: ExchangeMode, input: Arc<dyn ExecutionPlan>) -> Self {
-        ExchangeExec { mode, input }
+        ExchangeExec {
+            mode,
+            sample_rows: 0,
+            input,
+        }
     }
 
     /// Convenience: gather everything onto one executor.
@@ -56,6 +63,13 @@ impl ExchangeExec {
     /// Convenience: redistribute through a pluggable strategy.
     pub fn custom(partitioner: Arc<dyn Partitioner>, input: Arc<dyn ExecutionPlan>) -> Self {
         ExchangeExec::new(ExchangeMode::Custom(partitioner), input)
+    }
+
+    /// Record that an adaptive planner chose this exchange's strategy
+    /// from a sample of `rows` rows (builder-style).
+    pub fn with_sample_rows(mut self, rows: usize) -> Self {
+        self.sample_rows = rows;
+        self
     }
 }
 
@@ -75,6 +89,7 @@ impl ExecutionPlan for ExchangeExec {
     fn execute_stream(&self, ctx: &TaskContext) -> Result<Vec<PartitionStream>> {
         let inputs = crate::input_streams(&self.input, ctx)?;
         let mode = self.mode.clone();
+        let sample_rows = self.sample_rows;
         let ctx2 = ctx.clone();
         let n = ctx.runtime.num_executors();
         // Every redistribution needs the full input (a gather is a stage
@@ -100,6 +115,11 @@ impl ExecutionPlan for ExchangeExec {
                     hash_partition(input, n, |row| null_bitmap(row, spec))
                 }
                 ExchangeMode::Custom(partitioner) => {
+                    // Surface the applied scheme and, for adaptive plans,
+                    // the sample behind it (`EXPLAIN ANALYZE` reports
+                    // both — even when the pre-filter is disabled).
+                    ctx2.metrics.note_partitioning(partitioner.name());
+                    ctx2.metrics.note_sample_rows(sample_rows as u64);
                     partitioner.repartition(input, n, &ctx2.metrics)
                 }
             })

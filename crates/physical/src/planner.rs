@@ -4,8 +4,9 @@
 use std::sync::Arc;
 
 use sparkline_common::{
-    DataType, Error, MergeStrategy, Result, Row, Schema, SchemaRef, SessionConfig, SkylineDim,
-    SkylineMeta, SkylinePartitioning, SkylinePlan, SkylineSpec,
+    reservoir_sample, DataType, DatasetStats, Error, MergeStrategy, Result, Row, Schema, SchemaRef,
+    SessionConfig, SkylineDim, SkylineMeta, SkylinePartitioning, SkylinePlan, SkylineSpec,
+    SkylineStrategy, Value,
 };
 use sparkline_plan::{
     AggregateFunction, BinaryOp, BoundColumn, Expr, JoinCondition, JoinType, LogicalPlan,
@@ -17,6 +18,7 @@ use crate::exchange::{ExchangeExec, ExchangeMode};
 use crate::join::{HashJoinExec, NestedLoopJoinExec};
 use crate::skyline_exec::{
     GlobalSkylineExec, IncompleteGlobalSkylineExec, LocalSkylineExec, MinMaxFilterExec,
+    SkylinePreFilterExec,
 };
 use crate::{
     basic::{DistinctExec, FilterExec, LimitExec, ProjectExec, SortExec},
@@ -130,11 +132,14 @@ impl<'a> PhysicalPlanner<'a> {
     }
 
     /// Build the exchange strategy object for the selected partitioning;
-    /// `None` keeps the child's distribution (`Standard`).
+    /// `None` keeps the child's distribution (`Standard`). `grid_cells`
+    /// comes from the [`SkylinePlan`] (the config knob for static plans,
+    /// a statistics-derived granularity for adaptive ones).
     fn partitioner_for(
         &self,
         partitioning: SkylinePartitioning,
         spec: &SkylineSpec,
+        grid_cells: usize,
     ) -> Option<Arc<dyn sparkline_exec::Partitioner>> {
         match partitioning {
             SkylinePartitioning::Standard => None,
@@ -147,9 +152,75 @@ impl<'a> PhysicalPlanner<'a> {
             )),
             SkylinePartitioning::Grid => Some(Arc::new(sparkline_exec::GridPartitioner::new(
                 spec.clone(),
-                self.config.grid_cells_per_dim,
+                grid_cells.max(2),
             ))),
         }
+    }
+
+    /// Plan-time sample of a skyline input: the base relation is streamed
+    /// through the chain of filters/projections above it into a seeded
+    /// reservoir, so the sample is a uniform `cap`-row draw from the
+    /// operator's *actual* input — a selective `WHERE` shrinks the
+    /// population, not the sample, and every pre-filter point is a real
+    /// input row (the soundness requirement). The reported population is
+    /// exact (rows surviving the chain). Costs one pass of the chain's
+    /// expressions over the base rows, the same order of work one
+    /// execution of those operators performs anyway.
+    ///
+    /// Returns `None` when the input shape is not sampleable — joins,
+    /// aggregates, and nested skylines reshape rows beyond plan-time
+    /// evaluation, and a `LIMIT` drops rows the sample might contain —
+    /// in which case the adaptive planner falls back to the static knobs.
+    fn sample_input(&self, plan: &LogicalPlan, cap: usize, seed: u64) -> Option<(Vec<Row>, usize)> {
+        enum Step<'p> {
+            Filter(&'p Expr),
+            Project(&'p [Expr]),
+        }
+        // Walk down to the base relation, collecting the transforms.
+        // SubqueryAlias/Sort/Distinct are value-preserving: every sampled
+        // row's dimension values still occur in the node's output.
+        let mut steps: Vec<Step<'_>> = Vec::new();
+        let mut node = plan;
+        let base_rows: Arc<Vec<Row>> = loop {
+            match node {
+                LogicalPlan::TableScan { name, .. } => break self.source.table_rows(name)?,
+                LogicalPlan::Values { rows, .. } => break Arc::clone(rows),
+                LogicalPlan::Filter { predicate, input } => {
+                    steps.push(Step::Filter(predicate));
+                    node = input;
+                }
+                LogicalPlan::Projection { exprs, input } => {
+                    steps.push(Step::Project(exprs));
+                    node = input;
+                }
+                LogicalPlan::SubqueryAlias { input, .. }
+                | LogicalPlan::Sort { input, .. }
+                | LogicalPlan::Distinct { input } => node = input,
+                _ => return None,
+            }
+        };
+        steps.reverse(); // innermost transform first
+        let mut reservoir = sparkline_common::stats::Reservoir::new(cap, seed);
+        'rows: for row in base_rows.iter() {
+            let mut row = row.clone();
+            for step in &steps {
+                match step {
+                    Step::Filter(predicate) => match predicate.evaluate(&row) {
+                        Ok(Value::Boolean(true)) => {}
+                        Ok(_) => continue 'rows,
+                        Err(_) => return None,
+                    },
+                    Step::Project(exprs) => {
+                        let values: std::result::Result<Vec<Value>, _> =
+                            exprs.iter().map(|e| e.evaluate(&row)).collect();
+                        row = Row::new(values.ok()?);
+                    }
+                }
+            }
+            reservoir.push(row);
+        }
+        let total = reservoir.seen();
+        Some((reservoir.into_rows(), total))
     }
 
     fn plan_join(
@@ -246,18 +317,95 @@ impl<'a> PhysicalPlanner<'a> {
         // Strategy selection: algorithm family, local-phase partitioning,
         // and global merge are fixed in one place from the session
         // configuration and the skyline's plan metadata (Listing 8,
-        // extended — see `sparkline_common::strategy`).
+        // extended — see `sparkline_common::strategy`). Under the
+        // `Adaptive` strategy a seeded reservoir sample of the input
+        // additionally supplies dataset statistics (and, from the same
+        // sample, the representative pre-filter points); the sampling is
+        // deterministic per session config, so repeated `EXPLAIN`s of one
+        // query agree on the chosen plan.
         let meta = SkylineMeta::new(&spec, skyline_nullable, complete);
-        let choice = SkylinePlan::select(self.config, &meta);
+        let sample = if self.config.skyline_strategy == SkylineStrategy::Adaptive {
+            self.sample_input(input, self.config.sample_size, self.config.sample_seed)
+                .map(|(mut rows, total)| {
+                    // Mirror the computed-dimension wrapper on the sample
+                    // so the resolved dim indices stay valid.
+                    if needs_wrap {
+                        rows.retain_mut(|row| {
+                            let mut values = row.values().to_vec();
+                            for e in &extra_exprs {
+                                match e.evaluate(row) {
+                                    Ok(v) => values.push(v),
+                                    Err(_) => return false,
+                                }
+                            }
+                            *row = Row::new(values);
+                            true
+                        });
+                    }
+                    (rows, total)
+                })
+        } else {
+            None
+        };
+        let choice = match &sample {
+            Some((rows, total)) => {
+                let stats = DatasetStats::from_sample(rows, *total, &spec);
+                SkylinePlan::select_adaptive(self.config, &meta, &stats)
+            }
+            None => SkylinePlan::select(self.config, &meta),
+        };
 
         let mut result: Arc<dyn ExecutionPlan> = if choice.use_complete {
+            // Representative pre-filter (adaptive plans): discard tuples
+            // strictly dominated by the sample skyline during the scan,
+            // before the exchange and the local windows ever see them.
+            let mut input_exec = input_exec;
+            if choice.prefilter_max_points > 0 {
+                if let Some((rows, _)) = &sample {
+                    // Cap the sample-skyline computation: a few hundred
+                    // rows already saturate a <=64-point budget, and the
+                    // plan-time BNL pass is O(rows × window). Re-sample
+                    // (seeded) rather than slicing a prefix — the sample
+                    // preserves input order when the table fits the
+                    // reservoir, and a prefix of a sorted table would
+                    // yield a one-sided filter.
+                    const PREFILTER_SAMPLE_CAP: usize = 512;
+                    let capped;
+                    let filter_input: &[Row] = if rows.len() > PREFILTER_SAMPLE_CAP {
+                        capped = reservoir_sample(
+                            rows,
+                            PREFILTER_SAMPLE_CAP,
+                            self.config.sample_seed.wrapping_add(1),
+                        );
+                        &capped
+                    } else {
+                        rows
+                    };
+                    let points = sparkline_skyline::representative_points(
+                        filter_input,
+                        &spec,
+                        choice.prefilter_max_points,
+                    );
+                    if !points.is_empty() {
+                        input_exec = Arc::new(
+                            SkylinePreFilterExec::new(spec.clone(), points, rows.len(), input_exec)
+                                .with_vectorized(choice.vectorized),
+                        );
+                    }
+                }
+            }
             // Optional pluggable redistribution before the local phase
             // (the paper's default inherits the distribution).
+            let sample_rows = if choice.adaptive {
+                sample.as_ref().map_or(0, |(rows, _)| rows.len())
+            } else {
+                0
+            };
             let local_input: Arc<dyn ExecutionPlan> =
-                match self.partitioner_for(choice.partitioning, &spec) {
-                    Some(partitioner) if choice.distributed => {
-                        Arc::new(ExchangeExec::custom(partitioner, input_exec))
-                    }
+                match self.partitioner_for(choice.partitioning, &spec, choice.grid_cells_per_dim) {
+                    Some(partitioner) if choice.distributed => Arc::new(
+                        ExchangeExec::custom(partitioner, input_exec).with_sample_rows(sample_rows),
+                    ),
                     _ => input_exec,
                 };
             let local: Arc<dyn ExecutionPlan> = if !choice.distributed {

@@ -26,7 +26,7 @@ use sparkline_plan::{Expr, MinMaxDirection};
 use sparkline_skyline::{
     bnl_skyline, bnl_skyline_batched, bnl_skyline_into, bnl_skyline_into_batched,
     incomplete_global_skyline, sfs_skyline, sfs_skyline_batched, BnlBuilder, DominanceChecker,
-    GroupedBnlBuilder, SkylineStats,
+    GroupedBnlBuilder, RepresentativeFilter, SkylineStats,
 };
 
 use crate::ExecutionPlan;
@@ -306,11 +306,13 @@ impl ExecutionPlan for LocalSkylineExec {
 ///   on one executor — the serial bottleneck of §6.4.
 /// * **Hierarchical** — a k-way tree merge: partitions are combined in
 ///   groups of `fan_in` per round, each group on its own executor, until
-///   one partition remains. Because a BNL merge preserves the relative
-///   order of surviving rows and global skyline members survive every
-///   round, the final BNL output is row-for-row identical to the flat
-///   merge; only the wall-clock distribution of the dominance tests
-///   changes. SFS merges yield the same *set* — the final round re-sorts
+///   one partition remains. Because BNL evictions are order-preserving
+///   (`Vec::remove`), a BNL pass always yields the skyline members of its
+///   input in arrival order — so the tree merge, which consumes groups in
+///   partition order, is row-for-row identical to the flat merge no
+///   matter how rounds interleave; only the wall-clock distribution of
+///   the dominance tests changes. SFS merges yield the same *set* — the
+///   final round re-sorts
 ///   by monotone score, but when `sfs_skyline`'s non-numeric fallback
 ///   engages, the fallback's BNL order depends on arrival order and may
 ///   differ from the flat plan's. Round and task counts are reported
@@ -537,6 +539,108 @@ impl ExecutionPlan for GlobalSkylineExec {
             },
             if self.spec.distinct { ", distinct" } else { "" },
             merge,
+            if self.vectorized { ", vectorized" } else { "" },
+        )
+    }
+}
+
+/// Representative-point pre-filter (adaptive plans): tests every scanned
+/// tuple against a small broadcast set of sample-skyline points and drops
+/// the strictly dominated ones before they reach the exchange or any BNL
+/// window — Ciaccia & Martinenghi's representative filtering, complementing
+/// the grid partitioner's cell pruning exactly where the grid is weakest
+/// (correlation structures no axis-aligned cell captures).
+///
+/// A pipelined narrow operator: each partition stream encodes the filter
+/// set once into the columnar kernel (`sparkline_skyline::prefilter`) and
+/// filters batch-at-a-time, so the stream model's memory story is
+/// unchanged. Sound only under the complete-data relation — the planner
+/// never inserts this node for the incomplete family (see the prefilter
+/// module docs). Dropped rows flow into `prefilter_rows_dropped`; the
+/// planner's sample size is surfaced as `sample_rows`.
+#[derive(Debug)]
+pub struct SkylinePreFilterExec {
+    spec: SkylineSpec,
+    points: Arc<Vec<Row>>,
+    sample_rows: usize,
+    vectorized: bool,
+    input: Arc<dyn ExecutionPlan>,
+}
+
+impl SkylinePreFilterExec {
+    /// Pre-filter with `points` (the capped sample skyline) computed by
+    /// the planner from a `sample_rows`-row reservoir sample.
+    pub fn new(
+        spec: SkylineSpec,
+        points: Vec<Row>,
+        sample_rows: usize,
+        input: Arc<dyn ExecutionPlan>,
+    ) -> Self {
+        SkylinePreFilterExec {
+            spec,
+            points: Arc::new(points),
+            sample_rows,
+            vectorized: true,
+            input,
+        }
+    }
+
+    /// Choose scalar vs columnar dominance testing (builder-style).
+    pub fn with_vectorized(mut self, on: bool) -> Self {
+        self.vectorized = on;
+        self
+    }
+}
+
+impl ExecutionPlan for SkylinePreFilterExec {
+    fn name(&self) -> &'static str {
+        "SkylinePreFilterExec"
+    }
+
+    fn schema(&self) -> SchemaRef {
+        self.input.schema()
+    }
+
+    fn children(&self) -> Vec<&Arc<dyn ExecutionPlan>> {
+        vec![&self.input]
+    }
+
+    fn execute_stream(&self, ctx: &TaskContext) -> Result<Vec<PartitionStream>> {
+        let inputs = crate::input_streams(&self.input, ctx)?;
+        ctx.metrics.note_sample_rows(self.sample_rows as u64);
+        Ok(inputs
+            .into_iter()
+            .map(|mut input| {
+                let mut filter = RepresentativeFilter::new(
+                    self.points.as_ref().clone(),
+                    &self.spec,
+                    self.vectorized,
+                );
+                let ctx = ctx.clone();
+                PartitionStream::new(self.schema(), Arc::clone(&ctx.metrics), move || loop {
+                    ctx.deadline.check()?;
+                    let Some(batch) = input.next_batch()? else {
+                        return Ok(None);
+                    };
+                    let mut stats = SkylineStats::default();
+                    let (kept, dropped) = filter.retain_batch(batch, &mut stats);
+                    record_stats(&ctx, &stats);
+                    ctx.metrics.add_prefilter_dropped(dropped);
+                    // Like FilterExec: keep pulling until something
+                    // survives, so downstream never sees empty batches.
+                    if !kept.is_empty() {
+                        return Ok(Some(kept));
+                    }
+                })
+            })
+            .collect())
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "SkylinePreFilterExec [{} representative points from {} sampled rows{}]",
+            self.points.len(),
+            self.sample_rows,
             if self.vectorized { ", vectorized" } else { "" },
         )
     }
@@ -1116,6 +1220,40 @@ mod tests {
             "{}",
             global.describe()
         );
+    }
+
+    #[test]
+    fn prefilter_exec_drops_only_dominated_rows() {
+        let data = int_rows(&[(0, 2), (2, 2), (1, 1), (5, 5), (2, 0)]);
+        let points = vec![Row::new(vec![Value::Int64(1), Value::Int64(1)])];
+        for vectorized in [false, true] {
+            let plan = SkylinePreFilterExec::new(spec2(), points.clone(), 3, input(data.clone()))
+                .with_vectorized(vectorized);
+            let ctx = TaskContext::new(2);
+            let rows = run(&plan, 2);
+            // (2,2) and (5,5) are strictly dominated by (1,1); the tie
+            // (1,1) and the incomparable trade-offs survive.
+            assert_eq!(rows.len(), 3, "vectorized={vectorized}");
+            let s = ctx.metrics.snapshot();
+            assert_eq!(s.prefilter_rows_dropped, 0, "fresh context");
+            let parts = plan.execute(&ctx).unwrap();
+            assert_eq!(flatten(parts).len(), 3);
+            let s = ctx.metrics.snapshot();
+            assert_eq!(s.prefilter_rows_dropped, 2, "vectorized={vectorized}");
+            assert_eq!(s.sample_rows, 3);
+            assert!(s.dominance_tests > 0);
+        }
+    }
+
+    #[test]
+    fn prefilter_exec_with_no_points_passes_everything() {
+        let data = int_rows(&[(1, 2), (2, 1)]);
+        let plan = SkylinePreFilterExec::new(spec2(), Vec::new(), 0, input(data));
+        let ctx = TaskContext::new(2);
+        let parts = plan.execute(&ctx).unwrap();
+        assert_eq!(flatten(parts).len(), 2);
+        assert_eq!(ctx.metrics.snapshot().prefilter_rows_dropped, 0);
+        assert!(plan.describe().contains("0 representative points"));
     }
 
     #[test]

@@ -181,9 +181,9 @@ impl BnlBuilder {
             while i < self.out.len() {
                 match self.out[i] {
                     Dominance::Dominates => {
-                        self.window.swap_remove(i);
-                        block.swap_remove(i);
-                        self.out.swap_remove(i);
+                        self.window.remove(i);
+                        block.remove(i);
+                        self.out.remove(i);
                     }
                     Dominance::DominatedBy => {
                         dominated = true;
@@ -224,19 +224,20 @@ impl BnlBuilder {
         {
             return;
         }
-        // Replay the scalar loop's eviction order (swap_remove pulls the
-        // last row in, which is then re-examined at the same index) so the
-        // final window order is byte-identical.
+        // Evict every dominated window row in one order-preserving
+        // compaction (identical survivors, same relative order as the
+        // scalar loop's per-row `Vec::remove`, without shifting the tail
+        // once per eviction). All verdicts are precomputed in `out`, so
+        // no mid-scan state needs replaying here — unlike the incomplete
+        // branch above.
+        let out = &self.out;
         let mut i = 0;
-        while i < self.out.len() {
-            if self.out[i] == Dominance::Dominates {
-                self.window.swap_remove(i);
-                block.swap_remove(i);
-                self.out.swap_remove(i);
-            } else {
-                i += 1;
-            }
-        }
+        self.window.retain(|_| {
+            let keep = out[i] != Dominance::Dominates;
+            i += 1;
+            keep
+        });
+        block.retain(|i| out[i] != Dominance::Dominates);
         block.push(&tuple);
         self.window.push(tuple);
         self.stats.max_window = self.stats.max_window.max(self.window.len());
@@ -266,11 +267,15 @@ fn scalar_window_step(
         stats.add_scalar();
         match checker.compare(&tuple, &window[i]) {
             Dominance::Dominates => {
-                // The incoming tuple evicts a window tuple; order of
-                // the window is irrelevant, so swap_remove is fine.
-                window.swap_remove(i);
+                // The incoming tuple evicts a window tuple. Eviction is
+                // order-preserving (`Vec::remove`): the final window is
+                // then exactly the skyline members in arrival order, no
+                // matter which dominated tuples transiently entered it —
+                // the invariant that makes the flat and hierarchical
+                // merges (and the pre-filtered plans) byte-identical.
+                window.remove(i);
                 if let Some(b) = block.as_deref_mut() {
-                    b.swap_remove(i);
+                    b.remove(i);
                 }
             }
             Dominance::DominatedBy => {

@@ -201,7 +201,7 @@ fn is_null_like(v: &Value) -> bool {
 ///
 /// The block mirrors a caller-owned `Vec<Row>` window: encode rows once
 /// with [`push`](Self::push), keep evictions in sync with
-/// [`swap_remove`](Self::swap_remove), and test a candidate against all
+/// [`remove`](Self::remove), and test a candidate against all
 /// rows with [`compare_batch`](Self::compare_batch). See the module docs
 /// for the encode rules and the fallback contract.
 #[derive(Debug, Clone)]
@@ -388,10 +388,14 @@ impl ColumnarBlock {
         }
     }
 
-    /// Remove row `i`, moving the last row into its place — the exact
-    /// eviction order of the BNL window's `Vec::swap_remove`, keeping block
-    /// and row window index-aligned.
-    pub fn swap_remove(&mut self, i: usize) {
+    /// Remove row `i`, shifting later rows down — the exact (order-
+    /// preserving) eviction of the BNL window's `Vec::remove`, keeping
+    /// block and row window index-aligned. Ordered eviction is what makes
+    /// the BNL output "skyline members in arrival order" independently of
+    /// which dominated tuples transiently entered the window — the
+    /// property the flat/hierarchical merge and pre-filter byte-identity
+    /// guarantees rest on.
+    pub fn remove(&mut self, i: usize) {
         if self.is_fallback() {
             return;
         }
@@ -400,15 +404,43 @@ impl ColumnarBlock {
             match &mut col.data {
                 ColumnData::Pending => {}
                 ColumnData::Ints(b) | ColumnData::Bools(b) => {
-                    b.swap_remove(i);
+                    b.remove(i);
                 }
                 ColumnData::Floats(b) => {
-                    b.swap_remove(i);
+                    b.remove(i);
                 }
             }
         }
-        self.any_null.swap_remove(i);
+        self.any_null.remove(i);
         self.len -= 1;
+    }
+
+    /// Keep only the rows `keep(i)` approves, preserving order — the
+    /// batched equivalent of one [`remove`](Self::remove) per evicted
+    /// row, but with a single compaction pass over every buffer instead
+    /// of one tail shift per eviction.
+    pub fn retain<F: FnMut(usize) -> bool>(&mut self, mut keep: F) {
+        if self.is_fallback() {
+            return;
+        }
+        let mask: Vec<bool> = (0..self.len).map(&mut keep).collect();
+        fn compact<T>(buf: &mut Vec<T>, mask: &[bool]) {
+            let mut i = 0;
+            buf.retain(|_| {
+                let k = mask[i];
+                i += 1;
+                k
+            });
+        }
+        for col in &mut self.cols {
+            match &mut col.data {
+                ColumnData::Pending => {}
+                ColumnData::Ints(b) | ColumnData::Bools(b) => compact(b, &mask),
+                ColumnData::Floats(b) => compact(b, &mask),
+            }
+        }
+        compact(&mut self.any_null, &mask);
+        self.len = mask.iter().filter(|&&k| k).count();
     }
 
     /// Encode a candidate tuple against this block's column classes.
@@ -798,11 +830,33 @@ mod tests {
     }
 
     #[test]
-    fn swap_remove_mirrors_vec_semantics() {
+    fn retain_mirrors_vec_semantics() {
+        let mut rows: Vec<Row> = (0..6).map(|i| int_row(i, 5 - i)).collect();
+        let mut block = block_of(&rows, false);
+        let mut k = 0;
+        rows.retain(|_| {
+            let keep = k % 2 == 0;
+            k += 1;
+            keep
+        });
+        block.retain(|i| i % 2 == 0);
+        assert_eq!(block.len(), rows.len());
+        let checker = DominanceChecker::complete(spec_mm());
+        let cand = int_row(3, 3);
+        let enc = block.encode(&cand).unwrap();
+        let mut out = Vec::new();
+        block.compare_batch(&enc, &mut out, false);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(out[i], checker.compare(&cand, row));
+        }
+    }
+
+    #[test]
+    fn remove_mirrors_vec_semantics() {
         let mut rows: Vec<Row> = (0..5).map(|i| int_row(i, i)).collect();
         let mut block = block_of(&rows, false);
-        rows.swap_remove(1);
-        block.swap_remove(1);
+        rows.remove(1);
+        block.remove(1);
         let checker = DominanceChecker::complete(spec_mm());
         let cand = int_row(2, 2);
         let enc = block.encode(&cand).unwrap();

@@ -20,6 +20,11 @@
 //!   deferred-deletion global skyline for incomplete data (§5.7 and
 //!   Lemma 5.1), plus the intentionally faulty premature-deletion variant
 //!   of Appendix A used to demonstrate the cyclic-dominance pitfall.
+//! * [`prefilter`] — representative-point pre-filtering (Ciaccia &
+//!   Martinenghi): the skyline of a seeded input sample, encoded once into
+//!   the columnar kernel, discards strictly dominated tuples during the
+//!   scan before they reach any BNL window (complete data only — see the
+//!   module docs for the soundness argument).
 //! * [`naive`] — an O(n²) oracle straight from Definition 3.2, used by the
 //!   test suites as ground truth.
 //!
@@ -32,6 +37,7 @@ pub mod columnar;
 pub mod dominance;
 pub mod incomplete;
 pub mod naive;
+pub mod prefilter;
 pub mod sfs;
 
 pub use bnl::{
@@ -44,4 +50,5 @@ pub use incomplete::{
     premature_deletion_global_skyline, GroupedBnlBuilder,
 };
 pub use naive::naive_skyline;
+pub use prefilter::{representative_points, RepresentativeFilter};
 pub use sfs::{monotone_score, sfs_skyline, sfs_skyline_batched};
