@@ -14,15 +14,12 @@
 //! while no single fixed scheme wins all three distributions).
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sparkline::{
-    DataType, Field, Row, Schema, SessionConfig, SessionContext, SkylinePartitioning,
-    SkylineStrategy,
+    DataType, Field, Schema, SessionConfig, SessionContext, SkylinePartitioning, SkylineStrategy,
 };
-use sparkline_datagen::distributions::{anti_correlated_rows, correlated_rows, independent_rows};
+
+use crate::harness::{best_of_three, borzsonyi_rows, skyline_sql};
 
 const DIMS: usize = 3;
 const EXECUTORS: usize = 5;
@@ -82,16 +79,6 @@ pub struct AdaptiveBench {
     pub summaries: Vec<AdaptiveSummary>,
 }
 
-fn dataset(distribution: &str, n: usize, seed: u64) -> Vec<Row> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    match distribution {
-        "correlated" => correlated_rows(&mut rng, n, DIMS),
-        "independent" => independent_rows(&mut rng, n, DIMS),
-        "anti_correlated" => anti_correlated_rows(&mut rng, n, DIMS),
-        other => panic!("unknown distribution {other}"),
-    }
-}
-
 fn session(distribution: &str, n: usize) -> SessionContext {
     let ctx = SessionContext::new();
     ctx.register_table(
@@ -101,14 +88,13 @@ fn session(distribution: &str, n: usize) -> SessionContext {
                 .map(|i| Field::new(format!("d{i}"), DataType::Float64, false))
                 .collect(),
         ),
-        dataset(distribution, n, 42),
+        borzsonyi_rows(distribution, n, DIMS, 42),
     )
     .expect("register bench table");
     ctx
 }
 
-/// Run one plan variant three times (warm + measured; the best run
-/// absorbs scheduler noise) and report the fastest.
+/// Run one plan variant under the shared best-of-three protocol.
 fn run_cell(
     base: &SessionContext,
     distribution: &'static str,
@@ -116,25 +102,11 @@ fn run_cell(
     config: SessionConfig,
     n: usize,
 ) -> (AdaptiveCell, Vec<String>) {
-    let sql = {
-        let dim_list = (0..DIMS)
-            .map(|i| format!("d{i} MIN"))
-            .collect::<Vec<_>>()
-            .join(", ");
-        format!("SELECT * FROM t SKYLINE OF COMPLETE {dim_list}")
-    };
     let ctx = base.with_shared_catalog(config.with_executors(EXECUTORS));
-    let df = ctx.sql(&sql).expect("parse bench query");
-    let mut best: Option<(f64, sparkline::QueryResult)> = None;
-    for _ in 0..3 {
-        let start = Instant::now();
-        let result = df.collect().expect("bench query");
-        let secs = start.elapsed().as_secs_f64();
-        if best.as_ref().is_none_or(|(b, _)| secs < *b) {
-            best = Some((secs, result));
-        }
-    }
-    let (secs, result) = best.expect("measured runs");
+    let df = ctx
+        .sql(&skyline_sql(DIMS, true))
+        .expect("parse bench query");
+    let (secs, result) = best_of_three(&df);
     let cell = AdaptiveCell {
         distribution,
         variant,

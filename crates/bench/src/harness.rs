@@ -1,0 +1,75 @@
+//! Shared measurement scaffolding for the extension benchmarks, so the
+//! `BENCH_PR*.json` trajectories are recorded under one protocol: one
+//! Börzsönyi dataset generator (with optional NULL injection), one
+//! skyline-query builder, and one best-of-N timing loop. A change to the
+//! measurement protocol (warm-up policy, repeat count) lands here once
+//! instead of drifting per experiment.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparkline::{DataFrame, QueryResult, Row, Value};
+use sparkline_datagen::distributions::{anti_correlated_rows, correlated_rows, independent_rows};
+
+/// Seeded rows of one named Börzsönyi distribution.
+pub fn borzsonyi_rows(distribution: &str, n: usize, dims: usize, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match distribution {
+        "correlated" => correlated_rows(&mut rng, n, dims),
+        "independent" => independent_rows(&mut rng, n, dims),
+        "anti_correlated" => anti_correlated_rows(&mut rng, n, dims),
+        other => panic!("unknown distribution {other}"),
+    }
+}
+
+/// NULL-bearing variant: each value independently NULLed with probability
+/// `fraction` (seeded), spreading tuples over up to `2^dims` bitmap
+/// classes.
+pub fn inject_nulls(rows: Vec<Row>, fraction: f64, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rows.into_iter()
+        .map(|row| {
+            Row::new(
+                row.values()
+                    .iter()
+                    .map(|v| {
+                        if rng.gen_bool(fraction) {
+                            Value::Null
+                        } else {
+                            v.clone()
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// `SELECT * FROM t SKYLINE OF [COMPLETE] d0 MIN, ..., dN MIN` over the
+/// benchmark tables' `d{i}` column convention.
+pub fn skyline_sql(dims: usize, complete: bool) -> String {
+    let dim_list = (0..dims)
+        .map(|i| format!("d{i} MIN"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "SELECT * FROM t SKYLINE OF {}{dim_list}",
+        if complete { "COMPLETE " } else { "" }
+    )
+}
+
+/// Run a query three times (warm + measured; the best run absorbs
+/// scheduler noise) and return the fastest wall clock with its result.
+pub fn best_of_three(df: &DataFrame) -> (f64, QueryResult) {
+    let mut best: Option<(f64, QueryResult)> = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let result = df.collect().expect("bench query");
+        let secs = start.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(b, _)| secs < *b) {
+            best = Some((secs, result));
+        }
+    }
+    best.expect("measured runs")
+}

@@ -1,0 +1,258 @@
+//! Flat-vs-tree incomplete global merge benchmark and the machine-readable
+//! `BENCH_PR5.json` trajectory file (the `ext6` experiment).
+//!
+//! For each Börzsönyi distribution (correlated / independent /
+//! anti-correlated, 3 dims) with NULLs injected at a fixed per-value
+//! fraction, the same incomplete-family skyline query runs once with the
+//! global phase pinned to the paper's flat single-executor all-pairs pass
+//! (`incomplete_tree_merge = false`) and once with the bitmap-class-aware
+//! hierarchical merge (PR 5). Results must agree exactly and the two plans
+//! must flag the same `deferred_deletions` (the merge algebra's
+//! invariant); the interesting numbers are the wall clocks — the tree
+//! merge fans the all-pairs work over the executor pool, removing the
+//! engine's last single-executor stage — and the `classes_merged` count
+//! telling how many bitmap classes the merge actually combined.
+
+use std::fmt::Write as _;
+
+use sparkline::{DataType, Field, Schema, SessionConfig, SessionContext};
+
+use crate::harness::{best_of_three, borzsonyi_rows, inject_nulls, skyline_sql};
+
+const DIMS: usize = 3;
+const EXECUTORS: usize = 5;
+const NULL_FRACTION: f64 = 0.3;
+
+/// One timed (distribution, merge-variant) cell.
+#[derive(Debug, Clone)]
+pub struct IncompleteCell {
+    /// `"correlated"`, `"independent"`, or `"anti_correlated"`.
+    pub distribution: &'static str,
+    /// `"flat"` or `"tree"`.
+    pub variant: &'static str,
+    /// Input rows.
+    pub rows: usize,
+    /// Per-value NULL fraction injected into the input.
+    pub null_fraction: f64,
+    /// Skyline size.
+    pub result_rows: usize,
+    /// Wall-clock seconds (best of three runs).
+    pub secs: f64,
+    /// Tuples flagged by the deferred-deletion global phase.
+    pub deferred_deletions: u64,
+    /// Bitmap classes combined by the hierarchical merge (0 for flat).
+    pub classes_merged: u64,
+    /// Hierarchical merge rounds (0 for flat).
+    pub merge_rounds: u64,
+}
+
+/// Per-distribution summary: tree against flat.
+#[derive(Debug, Clone)]
+pub struct IncompleteSummary {
+    /// The distribution.
+    pub distribution: &'static str,
+    /// Flat (single-executor all-pairs) wall clock.
+    pub flat_secs: f64,
+    /// Hierarchical (tree) merge wall clock.
+    pub tree_secs: f64,
+    /// Tuples flagged — identical on both plans by construction.
+    pub deferred_deletions: u64,
+    /// Bitmap classes the tree merge combined.
+    pub classes_merged: u64,
+}
+
+/// The full benchmark.
+#[derive(Debug, Clone)]
+pub struct IncompleteBench {
+    /// All measured cells (flat + tree per distribution).
+    pub cells: Vec<IncompleteCell>,
+    /// One summary per distribution.
+    pub summaries: Vec<IncompleteSummary>,
+}
+
+fn session(distribution: &str, n: usize) -> SessionContext {
+    let ctx = SessionContext::new();
+    ctx.register_table(
+        "t",
+        Schema::new(
+            (0..DIMS)
+                .map(|i| Field::new(format!("d{i}"), DataType::Float64, true))
+                .collect(),
+        ),
+        // NULL-bearing Börzsönyi data: the injection spreads tuples over
+        // (up to) 2^DIMS bitmap classes.
+        inject_nulls(borzsonyi_rows(distribution, n, DIMS, 42), NULL_FRACTION, 42),
+    )
+    .expect("register bench table");
+    ctx
+}
+
+/// Run one merge variant under the shared best-of-three protocol.
+fn run_cell(
+    base: &SessionContext,
+    distribution: &'static str,
+    variant: &'static str,
+    config: SessionConfig,
+    n: usize,
+) -> (IncompleteCell, Vec<String>) {
+    let ctx = base.with_shared_catalog(config.with_executors(EXECUTORS));
+    let df = ctx
+        .sql(&skyline_sql(DIMS, false))
+        .expect("parse bench query");
+    let (secs, result) = best_of_three(&df);
+    let cell = IncompleteCell {
+        distribution,
+        variant,
+        rows: n,
+        null_fraction: NULL_FRACTION,
+        result_rows: result.num_rows(),
+        secs,
+        deferred_deletions: result.metrics.deferred_deletions,
+        classes_merged: result.metrics.classes_merged,
+        merge_rounds: result.metrics.merge_rounds,
+    };
+    (cell, result.sorted_display())
+}
+
+/// Run the flat-vs-tree sweep. `quick` shrinks the input so test suites
+/// and CI smoke runs stay fast.
+pub fn run_incomplete_bench(quick: bool) -> IncompleteBench {
+    let n = if quick { 2_500 } else { 30_000 };
+    let mut cells = Vec::new();
+    let mut summaries = Vec::new();
+    for distribution in ["correlated", "independent", "anti_correlated"] {
+        let base = session(distribution, n);
+        let (flat, expected) = run_cell(
+            &base,
+            distribution,
+            "flat",
+            SessionConfig::default().with_incomplete_tree_merge(false),
+            n,
+        );
+        assert_eq!(flat.merge_rounds, 0, "{distribution}: flat plan ran rounds");
+        let (tree, tree_rows) = run_cell(
+            &base,
+            distribution,
+            "tree",
+            SessionConfig::default().with_hierarchical_merge_min_partitions(2),
+            n,
+        );
+        assert_eq!(
+            tree_rows, expected,
+            "{distribution}: tree merge disagrees with flat"
+        );
+        assert_eq!(
+            tree.deferred_deletions, flat.deferred_deletions,
+            "{distribution}: the plans flagged different tuples"
+        );
+        assert!(
+            tree.merge_rounds >= 1 && tree.classes_merged >= 2,
+            "{distribution}: tree merge did not engage: {tree:?}"
+        );
+        // The acceptance bar: the tree merge is never slower than the
+        // flat single-executor pass. Only the full release benchmark
+        // asserts the clock (debug builds and millisecond-scale smoke
+        // cells measure scheduler jitter, not the algorithms); smoke runs
+        // check structure.
+        if cfg!(not(debug_assertions)) && !quick {
+            assert!(
+                tree.secs <= flat.secs * 1.05 + 0.002,
+                "{distribution}: tree {:.4}s slower than flat {:.4}s",
+                tree.secs,
+                flat.secs,
+            );
+        }
+        summaries.push(IncompleteSummary {
+            distribution,
+            flat_secs: flat.secs,
+            tree_secs: tree.secs,
+            deferred_deletions: tree.deferred_deletions,
+            classes_merged: tree.classes_merged,
+        });
+        cells.push(flat);
+        cells.push(tree);
+    }
+    IncompleteBench { cells, summaries }
+}
+
+/// Serialize a benchmark run as the `BENCH_PR5.json` document.
+pub fn to_json(bench: &IncompleteBench) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": \"incomplete_hierarchical_merge\",\n");
+    out.push_str("  \"workload\": \"skyline_3d_incomplete_flat_vs_tree_merge\",\n");
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in bench.cells.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"distribution\": \"{}\", \"variant\": \"{}\", \"rows\": {}, \
+             \"null_fraction\": {:.2}, \"result_rows\": {}, \"secs\": {:.6}, \
+             \"deferred_deletions\": {}, \"classes_merged\": {}, \"merge_rounds\": {}}}{}",
+            c.distribution,
+            c.variant,
+            c.rows,
+            c.null_fraction,
+            c.result_rows,
+            c.secs,
+            c.deferred_deletions,
+            c.classes_merged,
+            c.merge_rounds,
+            if i + 1 < bench.cells.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ],\n  \"summary\": [\n");
+    for (i, s) in bench.summaries.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"distribution\": \"{}\", \"flat_secs\": {:.6}, \"tree_secs\": {:.6}, \
+             \"speedup\": {:.3}, \"deferred_deletions\": {}, \"classes_merged\": {}}}{}",
+            s.distribution,
+            s.flat_secs,
+            s.tree_secs,
+            s.flat_secs / s.tree_secs.max(1e-9),
+            s.deferred_deletions,
+            s.classes_merged,
+            if i + 1 < bench.summaries.len() {
+                ","
+            } else {
+                ""
+            },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Run the sweep and write `BENCH_PR5.json` to `path`.
+pub fn write_bench_pr5(path: &str, quick: bool) -> std::io::Result<IncompleteBench> {
+    let bench = run_incomplete_bench(quick);
+    std::fs::write(path, to_json(&bench))?;
+    Ok(bench)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_exercises_both_merges() {
+        let bench = run_incomplete_bench(true);
+        assert_eq!(bench.cells.len(), 6, "flat + tree × 3");
+        assert_eq!(bench.summaries.len(), 3);
+        for s in &bench.summaries {
+            assert!(s.deferred_deletions > 0, "{s:?}");
+            assert!(s.classes_merged >= 2, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let bench = run_incomplete_bench(true);
+        let json = to_json(&bench);
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"variant\"").count(), bench.cells.len());
+        assert_eq!(json.matches("\"flat_secs\"").count(), bench.summaries.len());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -131,6 +131,15 @@ pub struct SessionConfig {
     /// hierarchical tree merge. Below it the tree degenerates to the flat
     /// plan anyway, so the exchange-free path is not worth the plan churn.
     pub hierarchical_merge_min_partitions: usize,
+    /// Allow the hierarchical (tree) merge for the **incomplete** family's
+    /// global phase: per-bitmap-class partial results with deferred-
+    /// deletion bookkeeping are merged in k-way rounds over the executor
+    /// pool instead of gathering every candidate onto one executor for the
+    /// §5.7 all-pairs pass. Byte-identical results either way (see
+    /// `sparkline_skyline::incomplete` for the soundness argument);
+    /// disabling it pins the incomplete family to the paper's flat
+    /// single-executor plan — the A/B switch of the `ext6` benchmark.
+    pub incomplete_tree_merge: bool,
     /// Route skyline dominance tests through the columnar (struct-of-
     /// arrays) batch kernel where the data admits it; rows the kernel
     /// cannot represent fall back to the scalar checker per tuple. Results
@@ -180,6 +189,7 @@ impl Default for SessionConfig {
             grid_cells_per_dim: 4,
             merge_fan_in: 4,
             hierarchical_merge_min_partitions: 4,
+            incomplete_tree_merge: true,
             vectorized_dominance: true,
             enable_single_dim_rewrite: true,
             enable_skyline_join_pushdown: true,
@@ -258,6 +268,14 @@ impl SessionConfig {
     /// `usize::MAX` effectively forces the flat single-executor merge.
     pub fn with_hierarchical_merge_min_partitions(mut self, min: usize) -> Self {
         self.hierarchical_merge_min_partitions = min;
+        self
+    }
+
+    /// Toggle the hierarchical merge for the incomplete family's global
+    /// phase (on by default; engages once the executor count reaches
+    /// [`Self::with_hierarchical_merge_min_partitions`]).
+    pub fn with_incomplete_tree_merge(mut self, on: bool) -> Self {
+        self.incomplete_tree_merge = on;
         self
     }
 
@@ -373,5 +391,15 @@ mod tests {
         assert_eq!(c.sample_seed, 99);
         assert_eq!(c.prefilter_max_points, 0);
         assert!(!c.representative_prefilter);
+    }
+
+    #[test]
+    fn incomplete_tree_merge_knob_defaults_on() {
+        assert!(SessionConfig::new().incomplete_tree_merge);
+        assert!(
+            !SessionConfig::new()
+                .with_incomplete_tree_merge(false)
+                .incomplete_tree_merge
+        );
     }
 }

@@ -109,10 +109,13 @@ impl SkylinePlan {
 
         // The hierarchical merge replaces the paper's single-executor
         // `AllTuples` phase once enough partitions exist for tree rounds
-        // to expose real parallelism; tiny pools keep the flat plan.
-        let merge = if use_complete
-            && distributed
+        // to expose real parallelism; tiny pools keep the flat plan. The
+        // incomplete family joins in via its deferred-deletion partial
+        // merge (`sparkline_skyline::incomplete`) unless the
+        // `incomplete_tree_merge` knob pins it to the paper's flat plan.
+        let merge = if distributed
             && config.num_executors >= config.hierarchical_merge_min_partitions
+            && (use_complete || config.incomplete_tree_merge)
         {
             MergeStrategy::Hierarchical {
                 fan_in: config.merge_fan_in.max(2),
@@ -176,9 +179,31 @@ impl SkylinePlan {
     ) -> Self {
         let mut plan = SkylinePlan::select(config, meta);
         if !plan.use_complete || !plan.distributed {
-            // Incomplete family (or no local phase): nothing to steer —
-            // partitioning is fixed by the null-bitmap exchange and the
-            // pre-filter is unsound under the non-transitive relation.
+            // Incomplete family (or no local phase): partitioning is fixed
+            // by the null-bitmap exchange and the pre-filter is unsound
+            // under the non-transitive relation — but the per-dimension
+            // NULL fractions still steer the *global merge*. A sample
+            // without NULLs means a single bitmap class: the local phase
+            // degenerates to one partition, the global phase receives one
+            // already-merged skyline, and tree rounds would only add plan
+            // churn — the merge is refused (flat). NULL-bearing samples
+            // spread candidates over several classes and partitions, where
+            // the deferred-deletion tree merge parallelizes the §5.7
+            // all-pairs phase.
+            if !plan.use_complete && plan.distributed {
+                plan.adaptive = true;
+                let null_frac = stats.max_null_fraction();
+                plan.merge = if config.incomplete_tree_merge
+                    && config.num_executors >= config.hierarchical_merge_min_partitions
+                    && null_frac > 0.0
+                {
+                    MergeStrategy::Hierarchical {
+                        fan_in: (config.num_executors / 2).clamp(2, config.merge_fan_in.max(2)),
+                    }
+                } else {
+                    MergeStrategy::Flat
+                };
+            }
             return plan;
         }
         plan.adaptive = true;
@@ -315,10 +340,26 @@ mod tests {
     }
 
     #[test]
-    fn incomplete_family_always_merges_flat() {
+    fn incomplete_family_tree_merges_with_enough_executors() {
+        // The §5.7 global phase is no longer pinned to one executor: with
+        // a big enough pool the deferred-deletion tree merge engages.
         let config = SessionConfig::default().with_executors(16);
         assert_eq!(
             SkylinePlan::select(&config, &meta(2, true, false)).merge,
+            MergeStrategy::Hierarchical { fan_in: 4 }
+        );
+        // The knob restores the paper's flat single-executor plan.
+        let pinned = SessionConfig::default()
+            .with_executors(16)
+            .with_incomplete_tree_merge(false);
+        assert_eq!(
+            SkylinePlan::select(&pinned, &meta(2, true, false)).merge,
+            MergeStrategy::Flat
+        );
+        // Tiny pools keep the flat plan, exactly like the complete family.
+        let small = SessionConfig::default().with_executors(2);
+        assert_eq!(
+            SkylinePlan::select(&small, &meta(2, true, false)).merge,
             MergeStrategy::Flat
         );
     }
@@ -332,6 +373,18 @@ mod tests {
             correlation,
             skyline_fraction,
         }
+    }
+
+    fn with_null_fraction(mut stats: DatasetStats, null_fraction: f64) -> DatasetStats {
+        stats.per_dim = vec![
+            crate::stats::DimStats {
+                min: Some(0.0),
+                max: Some(1.0),
+                null_fraction,
+            };
+            stats.dims
+        ];
+        stats
     }
 
     #[test]
@@ -406,21 +459,65 @@ mod tests {
     }
 
     #[test]
-    fn adaptive_leaves_the_incomplete_family_alone() {
+    fn adaptive_incomplete_keeps_partitioning_and_prefilter_fixed() {
         let config = SessionConfig::default()
             .with_executors(8)
             .with_skyline_strategy(SkylineStrategy::Adaptive);
         // Nullable, not declared complete: Listing 8 selects the
         // incomplete family; partitioning stays Standard and the
-        // pre-filter must stay off (non-transitive relation).
+        // pre-filter must stay off (non-transitive relation) — only the
+        // global merge is steered by the statistics.
         let plan = SkylinePlan::select_adaptive(
             &config,
             &meta(2, true, false),
-            &stats_with(-0.9, 0.5, 500),
+            &with_null_fraction(stats_with(-0.9, 0.5, 500), 0.3),
         );
         assert!(!plan.use_complete);
         assert_eq!(plan.partitioning, SkylinePartitioning::Standard);
         assert_eq!(plan.prefilter_max_points, 0);
-        assert!(!plan.adaptive);
+        assert!(plan.adaptive, "the merge choice is statistics-driven");
+    }
+
+    #[test]
+    fn adaptive_incomplete_merge_follows_null_fractions() {
+        let config = SessionConfig::default()
+            .with_executors(8)
+            .with_skyline_strategy(SkylineStrategy::Adaptive);
+        let m = meta(2, true, false);
+        // NULL-bearing sample: several bitmap classes → tree merge.
+        let tree = SkylinePlan::select_adaptive(
+            &config,
+            &m,
+            &with_null_fraction(stats_with(0.0, 0.3, 500), 0.4),
+        );
+        assert!(
+            matches!(tree.merge, MergeStrategy::Hierarchical { .. }),
+            "{tree:?}"
+        );
+        // A sample without NULLs predicts a single bitmap class: the
+        // global phase receives one already-merged local skyline, so the
+        // tree merge is refused even though the static knobs allow it.
+        let flat = SkylinePlan::select_adaptive(
+            &config,
+            &m,
+            &with_null_fraction(stats_with(0.0, 0.3, 500), 0.0),
+        );
+        assert_eq!(flat.merge, MergeStrategy::Flat);
+        assert!(flat.adaptive);
+        // The knob and the executor floor still gate the tree.
+        let pinned = SkylinePlan::select_adaptive(
+            &config.clone().with_incomplete_tree_merge(false),
+            &m,
+            &with_null_fraction(stats_with(0.0, 0.3, 500), 0.4),
+        );
+        assert_eq!(pinned.merge, MergeStrategy::Flat);
+        let small = SkylinePlan::select_adaptive(
+            &SessionConfig::default()
+                .with_executors(2)
+                .with_skyline_strategy(SkylineStrategy::Adaptive),
+            &m,
+            &with_null_fraction(stats_with(0.0, 0.3, 500), 0.4),
+        );
+        assert_eq!(small.merge, MergeStrategy::Flat);
     }
 }

@@ -56,6 +56,17 @@ pub struct ExecMetrics {
     /// Rows discarded by the representative-point pre-filter before they
     /// reached any skyline window.
     pub prefilter_rows_dropped: AtomicU64,
+    /// Tuples flagged as dominated during the incomplete global phase —
+    /// the deferred deletions of §5.7: flagged tuples keep traveling as
+    /// dominance witnesses (flat: until the final filter; hierarchical:
+    /// with their partial result) and are removed only at the end. The
+    /// flat and tree merges flag the same tuples, so this counter is
+    /// plan-shape invariant — the bench harness records it as a structural
+    /// check alongside wall clock.
+    pub deferred_deletions: AtomicU64,
+    /// Distinct null-bitmap classes consumed by the hierarchical
+    /// incomplete merge (0 for the flat single-executor global phase).
+    pub classes_merged: AtomicU64,
     /// Rows in the planner's reservoir sample (0 when no skyline operator
     /// was planned adaptively).
     pub sample_rows: AtomicU64,
@@ -157,6 +168,18 @@ impl ExecMetrics {
             .fetch_add(rows, Ordering::Relaxed);
     }
 
+    /// Record tuples flagged (deferred-deleted) by an incomplete global
+    /// phase.
+    pub fn add_deferred_deletions(&self, tuples: u64) {
+        self.deferred_deletions.fetch_add(tuples, Ordering::Relaxed);
+    }
+
+    /// Record bitmap classes consumed by the hierarchical incomplete
+    /// merge.
+    pub fn add_classes_merged(&self, classes: u64) {
+        self.classes_merged.fetch_add(classes, Ordering::Relaxed);
+    }
+
     /// Record the planner's sample size (idempotent across partitions).
     pub fn note_sample_rows(&self, rows: u64) {
         self.sample_rows.fetch_max(rows, Ordering::Relaxed);
@@ -189,6 +212,8 @@ impl ExecMetrics {
             merge_tasks: self.merge_tasks.load(Ordering::Relaxed),
             max_merge_fanout: self.max_merge_fanout.load(Ordering::Relaxed),
             prefilter_rows_dropped: self.prefilter_rows_dropped.load(Ordering::Relaxed),
+            deferred_deletions: self.deferred_deletions.load(Ordering::Relaxed),
+            classes_merged: self.classes_merged.load(Ordering::Relaxed),
             sample_rows: self.sample_rows.load(Ordering::Relaxed),
             chosen_partitioning: self.chosen_partitioning.load(Ordering::Relaxed),
         }
@@ -234,6 +259,10 @@ pub struct MetricsSnapshot {
     pub max_merge_fanout: usize,
     /// Rows discarded by the representative pre-filter.
     pub prefilter_rows_dropped: u64,
+    /// Tuples flagged (deferred-deleted) by incomplete global phases.
+    pub deferred_deletions: u64,
+    /// Bitmap classes consumed by the hierarchical incomplete merge.
+    pub classes_merged: u64,
     /// Rows in the planner's reservoir sample.
     pub sample_rows: u64,
     /// Chosen local-phase partitioning scheme (see [`partitioning_code`]).
@@ -337,11 +366,16 @@ mod tests {
         let m = ExecMetrics::new();
         m.add_prefilter_dropped(40);
         m.add_prefilter_dropped(2);
+        m.add_deferred_deletions(5);
+        m.add_deferred_deletions(2);
+        m.add_classes_merged(3);
         m.note_sample_rows(128);
         m.note_sample_rows(128);
         m.note_partitioning("Grid");
         let s = m.snapshot();
         assert_eq!(s.prefilter_rows_dropped, 42);
+        assert_eq!(s.deferred_deletions, 7);
+        assert_eq!(s.classes_merged, 3);
         assert_eq!(s.sample_rows, 128);
         assert_eq!(s.chosen_partitioning, partitioning_code("Grid"));
         assert_eq!(s.chosen_partitioning_label(), "grid");

@@ -347,11 +347,11 @@ impl<'a> PhysicalPlanner<'a> {
         } else {
             None
         };
-        let choice = match &sample {
-            Some((rows, total)) => {
-                let stats = DatasetStats::from_sample(rows, *total, &spec);
-                SkylinePlan::select_adaptive(self.config, &meta, &stats)
-            }
+        let sample_stats = sample
+            .as_ref()
+            .map(|(rows, total)| DatasetStats::from_sample(rows, *total, &spec));
+        let choice = match &sample_stats {
+            Some(stats) => SkylinePlan::select_adaptive(self.config, &meta, stats),
             None => SkylinePlan::select(self.config, &meta),
         };
 
@@ -437,18 +437,53 @@ impl<'a> PhysicalPlanner<'a> {
             };
             Arc::new(global.with_merge(merge).with_vectorized(choice.vectorized))
         } else {
-            // §5.7: distribute by null bitmap, local skylines per bitmap
-            // class, then the all-pairs global phase on one executor.
+            // §5.7: distribute by null bitmap, then the global phase —
+            // the paper's plan (per-class local skylines + an all-pairs
+            // pass on one executor) when flat, or the deferred-deletion
+            // tree merge consuming the exchange's distribution directly:
+            // its leaf builders *are* the per-class local phase (plus the
+            // cross-class closure), so a separate `LocalSkylineExec`
+            // would only repeat the window work.
             let redistributed = Arc::new(ExchangeExec::new(
                 ExchangeMode::NullBitmap(spec.clone()),
                 input_exec,
             ));
-            let local = Arc::new(
-                LocalSkylineExec::new(spec.clone(), true, redistributed)
-                    .with_vectorized(choice.vectorized),
-            );
-            let gathered = Arc::new(ExchangeExec::single(local));
-            Arc::new(IncompleteGlobalSkylineExec::new(spec, gathered))
+            // Adaptive plans surface *why* the merge was chosen or refused
+            // — the per-dimension NULL fractions now drive strategy, not
+            // just the Listing 8 semantics decision.
+            let note = match (&sample_stats, choice.adaptive) {
+                (Some(stats), true) => Some(match choice.merge {
+                    MergeStrategy::Flat => format!(
+                        "adaptive: flat (max NULL fraction {:.2} in {} sampled rows)",
+                        stats.max_null_fraction(),
+                        stats.sample_rows,
+                    ),
+                    MergeStrategy::Hierarchical { .. } => format!(
+                        "adaptive: tree (max NULL fraction {:.2} in {} sampled rows, {} executors)",
+                        stats.max_null_fraction(),
+                        stats.sample_rows,
+                        self.config.num_executors,
+                    ),
+                }),
+                _ => None,
+            };
+            let (global_input, merge): (Arc<dyn ExecutionPlan>, MergeStrategy) = match choice.merge
+            {
+                MergeStrategy::Flat => {
+                    let local = Arc::new(
+                        LocalSkylineExec::new(spec.clone(), true, redistributed)
+                            .with_vectorized(choice.vectorized),
+                    );
+                    (Arc::new(ExchangeExec::single(local)), MergeStrategy::Flat)
+                }
+                hierarchical => (redistributed, hierarchical),
+            };
+            Arc::new(
+                IncompleteGlobalSkylineExec::new(spec, global_input)
+                    .with_merge(merge)
+                    .with_vectorized(choice.vectorized)
+                    .with_plan_note(note),
+            )
         };
 
         if needs_wrap {

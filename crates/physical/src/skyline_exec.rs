@@ -9,8 +9,12 @@
 //!   skylines: either the paper's flat single-executor pass (`AllTuples`
 //!   distribution) or the hierarchical k-way tree merge that fans merge
 //!   rounds over the executor pool (see [`MergeStrategy`]).
-//! * [`IncompleteGlobalSkylineExec`] — all-pairs global skyline with
-//!   deferred deletion, immune to cyclic dominance (Appendix A).
+//! * [`IncompleteGlobalSkylineExec`] — global skyline over the per-class
+//!   local skylines of incomplete data: either the paper's single-executor
+//!   all-pairs pass with deferred deletion (immune to cyclic dominance,
+//!   Appendix A) or the bitmap-class-aware hierarchical merge, whose
+//!   partial results carry their deferred-deletion sets as traveling
+//!   witnesses (see `sparkline_skyline::incomplete`).
 //! * [`MinMaxFilterExec`] — the O(n) single-dimension rewrite target
 //!   (§5.4): two linear passes, keeping optimum tuples (and NULL tuples,
 //!   which are incomparable and hence skyline members).
@@ -25,8 +29,9 @@ use sparkline_exec::{
 use sparkline_plan::{Expr, MinMaxDirection};
 use sparkline_skyline::{
     bnl_skyline, bnl_skyline_batched, bnl_skyline_into, bnl_skyline_into_batched,
-    incomplete_global_skyline, sfs_skyline, sfs_skyline_batched, BnlBuilder, DominanceChecker,
-    GroupedBnlBuilder, RepresentativeFilter, SkylineStats,
+    incomplete_global_skyline, merge_incomplete_partials, sfs_skyline, sfs_skyline_batched,
+    BnlBuilder, DominanceChecker, GroupedBnlBuilder, IncompletePartial, IncompletePartialBuilder,
+    RepresentativeFilter, SkylineStats,
 };
 
 use crate::ExecutionPlan;
@@ -100,7 +105,12 @@ impl SkylineSink {
             }
             SkylineSink::AllPairs { rows, checker } => {
                 let mut stats = SkylineStats::default();
+                let candidates = rows.len();
                 let result = incomplete_global_with_deadline(rows, &checker, &mut stats, ctx)?;
+                // Every dropped candidate carried a deferred-deletion flag
+                // until this final filter.
+                ctx.metrics
+                    .add_deferred_deletions((candidates - result.len()) as u64);
                 Ok((result, stats))
             }
         }
@@ -437,6 +447,40 @@ fn merge_group(
     Ok(merged)
 }
 
+/// The k-way round scheduler shared by the complete and incomplete
+/// hierarchical merges: combine `parts` in groups of `fan_in` per round,
+/// each group merged by `merge` on its own executor, until at most one
+/// remains. A trailing singleton group is already a merged result —
+/// carrying it over unchanged skips a useless re-scan, so only real merges
+/// count as tasks (and toward `merge_rounds` / `max_merge_fanout`).
+fn kway_merge_rounds<T: Send>(
+    ctx: &TaskContext,
+    mut parts: Vec<T>,
+    fan_in: usize,
+    merge: impl Fn(Vec<T>) -> Result<T> + Sync,
+) -> Result<Option<T>> {
+    while parts.len() > 1 {
+        ctx.deadline.check()?;
+        let groups: Vec<Vec<T>> = {
+            let mut groups = Vec::with_capacity(parts.len().div_ceil(fan_in));
+            let mut iter = parts.into_iter().peekable();
+            while iter.peek().is_some() {
+                groups.push(iter.by_ref().take(fan_in).collect());
+            }
+            groups
+        };
+        let merging = groups.iter().filter(|g| g.len() > 1).count();
+        ctx.metrics.add_merge_round(merging);
+        parts = ctx.runtime.map_indexed(groups, |_, mut group| {
+            if group.len() == 1 {
+                return Ok(group.pop().expect("nonempty group"));
+            }
+            merge(group)
+        })?;
+    }
+    Ok(parts.pop())
+}
+
 impl ExecutionPlan for GlobalSkylineExec {
     fn name(&self) -> &'static str {
         "GlobalSkylineExec"
@@ -484,39 +528,16 @@ impl ExecutionPlan for GlobalSkylineExec {
                 Ok(breaker_streams(self.schema(), ctx, 1, move || {
                     let input = ctx2.runtime.drain_streams(inputs)?;
                     ctx2.deadline.check()?;
-                    let mut parts: Vec<Partition> =
+                    let parts: Vec<Partition> =
                         input.into_iter().filter(|p| !p.is_empty()).collect();
-                    if parts.is_empty() {
-                        return Ok(vec![Vec::new()]);
-                    }
-                    while parts.len() > 1 {
-                        ctx2.deadline.check()?;
-                        let groups: Vec<Vec<Partition>> = {
-                            let mut groups = Vec::with_capacity(parts.len().div_ceil(fan_in));
-                            let mut iter = parts.into_iter().peekable();
-                            while iter.peek().is_some() {
-                                groups.push(iter.by_ref().take(fan_in).collect());
-                            }
-                            groups
-                        };
-                        // A trailing singleton group is already a merged
-                        // skyline — carrying it over unchanged skips a
-                        // useless O(m²) re-scan, so only real merges count
-                        // as tasks.
-                        let merging = groups.iter().filter(|g| g.len() > 1).count();
-                        ctx2.metrics.add_merge_round(merging);
-                        parts = ctx2.runtime.map_indexed(groups, |_, mut group| {
-                            if group.len() == 1 {
-                                return Ok(group.pop().expect("nonempty group"));
-                            }
-                            // Every partition entering a merge round is a
-                            // skyline (a local skyline or an earlier
-                            // round's output): the first one seeds the
-                            // window, encode-once.
-                            merge_group(&ctx2, &spec, algo, vectorized, group, true)
-                        })?;
-                    }
-                    Ok(parts)
+                    let merged = kway_merge_rounds(&ctx2, parts, fan_in, |group| {
+                        // Every partition entering a merge round is a
+                        // skyline (a local skyline or an earlier round's
+                        // output): the first one seeds the window,
+                        // encode-once.
+                        merge_group(&ctx2, &spec, algo, vectorized, group, true)
+                    })?;
+                    Ok(vec![merged.unwrap_or_default()])
                 }))
             }
         }
@@ -646,18 +667,72 @@ impl ExecutionPlan for SkylinePreFilterExec {
     }
 }
 
-/// Global skyline for (potentially) incomplete data: all-pairs dominance
-/// tests with deferred deletion on a single executor (§5.7 / Appendix A).
+/// Global skyline for (potentially) incomplete data (§5.7 / Appendix A).
+///
+/// Two merge strategies, mirroring [`GlobalSkylineExec`]:
+///
+/// * **Flat** — the paper's plan: every candidate is gathered onto one
+///   executor (`AllTuples`) for the all-pairs deferred-deletion pass —
+///   the engine's last serial bottleneck before this operator learned to
+///   tree-merge.
+/// * **Hierarchical** — the bitmap-class-aware tree merge: each input
+///   partition is consumed incrementally into an
+///   [`IncompletePartialBuilder`] (per-class BNL windows + cross-class
+///   flag closure), and the resulting [`IncompletePartial`]s — per-class
+///   candidate windows plus the deferred-deletion set that must keep
+///   traveling as dominance witnesses — are combined in k-way rounds over
+///   the executor pool. The leaf builders *fuse the local phase*: the
+///   planner feeds this operator the null-bitmap exchange directly (no
+///   `LocalSkylineExec` below, whose window work the leaves would only
+///   repeat), and input that already is a per-class local skyline passes
+///   through the leaf windows unchanged. Byte-identical to the flat pass
+///   (same rows, same order — see `sparkline_skyline::incomplete` for the
+///   argument); `merge_rounds` / `merge_tasks` / `deferred_deletions` /
+///   `classes_merged` flow through `exec::metrics`.
 #[derive(Debug)]
 pub struct IncompleteGlobalSkylineExec {
     spec: SkylineSpec,
+    merge: MergeStrategy,
+    vectorized: bool,
+    /// Planner-provided note on how the merge strategy was chosen
+    /// (adaptive plans); rendered in EXPLAIN.
+    plan_note: Option<String>,
     input: Arc<dyn ExecutionPlan>,
 }
 
 impl IncompleteGlobalSkylineExec {
-    /// Global incomplete skyline.
+    /// Flat global incomplete skyline; the planner feeds it a single
+    /// partition via an `AllTuples` exchange.
     pub fn new(spec: SkylineSpec, input: Arc<dyn ExecutionPlan>) -> Self {
-        IncompleteGlobalSkylineExec { spec, input }
+        IncompleteGlobalSkylineExec {
+            spec,
+            merge: MergeStrategy::Flat,
+            vectorized: true,
+            plan_note: None,
+            input,
+        }
+    }
+
+    /// Choose the merge strategy (builder-style).
+    pub fn with_merge(mut self, merge: MergeStrategy) -> Self {
+        if let MergeStrategy::Hierarchical { fan_in } = merge {
+            assert!(fan_in >= 2, "merge fan-in must be at least 2");
+        }
+        self.merge = merge;
+        self
+    }
+
+    /// Choose scalar vs columnar dominance testing inside the tree merge
+    /// (builder-style; the flat all-pairs pass is scalar either way).
+    pub fn with_vectorized(mut self, on: bool) -> Self {
+        self.vectorized = on;
+        self
+    }
+
+    /// Attach the planner's merge-selection note for EXPLAIN.
+    pub fn with_plan_note(mut self, note: Option<String>) -> Self {
+        self.plan_note = note;
+        self
     }
 }
 
@@ -676,21 +751,94 @@ impl ExecutionPlan for IncompleteGlobalSkylineExec {
 
     fn execute_stream(&self, ctx: &TaskContext) -> Result<Vec<PartitionStream>> {
         let inputs = crate::input_streams(&self.input, ctx)?;
-        // The all-pairs pass needs every candidate buffered; the sink
-        // consumes the gathered stream batch-by-batch and runs the
-        // deadline-chunked flag loop at finish.
-        let sink = SkylineSink::AllPairs {
-            rows: Vec::new(),
-            checker: DominanceChecker::incomplete(self.spec.clone()),
-        };
-        Ok(vec![skyline_phase_stream(self.schema(), ctx, inputs, sink)])
+        match self.merge {
+            MergeStrategy::Flat => {
+                // The all-pairs pass needs every candidate buffered; the
+                // sink consumes the gathered stream batch-by-batch and
+                // runs the deadline-chunked flag loop at finish.
+                let sink = SkylineSink::AllPairs {
+                    rows: Vec::new(),
+                    checker: DominanceChecker::incomplete(self.spec.clone()),
+                };
+                Ok(vec![skyline_phase_stream(self.schema(), ctx, inputs, sink)])
+            }
+            MergeStrategy::Hierarchical { fan_in } => {
+                let spec = self.spec.clone();
+                let vectorized = self.vectorized;
+                let ctx2 = ctx.clone();
+                Ok(breaker_streams(self.schema(), ctx, 1, move || {
+                    let checker = DominanceChecker::incomplete(spec.clone());
+                    // Leaf phase (parallel over the pool): consume each
+                    // input partition stream incrementally into a
+                    // per-class partial. The builder fuses the local phase
+                    // — its per-class windows plus one batch are the only
+                    // buffered state while the stream drains, which the
+                    // in-flight gauge charges like any other window sink.
+                    let mut parts: Vec<IncompletePartial> =
+                        ctx2.runtime.map_indexed(inputs, |_, mut stream| {
+                            let mut builder =
+                                IncompletePartialBuilder::new(checker.clone(), vectorized);
+                            let mut guard = InFlightRows::new(Arc::clone(&ctx2.metrics), 0);
+                            while let Some(batch) = stream.next_batch()? {
+                                ctx2.deadline.check()?;
+                                builder.push_batch(batch);
+                                guard.set(builder.window_len());
+                            }
+                            let (partial, stats) = builder.finish();
+                            record_stats(&ctx2, &stats);
+                            guard.set(partial.len());
+                            Ok(partial)
+                        })?;
+                    parts.retain(|p| !p.is_empty());
+                    // k-way rounds, exactly like the complete tree merge;
+                    // deferred candidates travel with their partial.
+                    let merged = kway_merge_rounds(&ctx2, parts, fan_in, |group| {
+                        ctx2.deadline.check()?;
+                        let mut stats = SkylineStats::default();
+                        let mut iter = group.into_iter();
+                        let mut acc = iter.next().expect("nonempty group");
+                        for next in iter {
+                            acc = merge_incomplete_partials(
+                                acc, next, &checker, vectorized, &mut stats,
+                            );
+                        }
+                        record_stats(&ctx2, &stats);
+                        Ok(acc)
+                    })?;
+                    let Some(root) = merged else {
+                        return Ok(vec![Vec::new()]);
+                    };
+                    ctx2.metrics
+                        .add_deferred_deletions(root.deferred_len() as u64);
+                    ctx2.metrics.add_classes_merged(root.class_count() as u64);
+                    Ok(vec![root.finish()])
+                }))
+            }
+        }
     }
 
     fn describe(&self) -> String {
+        let merge = match self.merge {
+            MergeStrategy::Flat => String::new(),
+            MergeStrategy::Hierarchical { fan_in } => {
+                format!(", hierarchical fan-in {fan_in}")
+            }
+        };
+        let note = match &self.plan_note {
+            Some(note) => format!(", {note}"),
+            None => String::new(),
+        };
         format!(
-            "IncompleteGlobalSkylineExec [{} dims{}]",
+            "IncompleteGlobalSkylineExec [{} dims{}{}{}{}]",
             self.spec.dims.len(),
-            if self.spec.distinct { ", distinct" } else { "" }
+            if self.spec.distinct { ", distinct" } else { "" },
+            merge,
+            if self.vectorized && !matches!(self.merge, MergeStrategy::Flat) {
+                ", vectorized"
+            } else {
+                ""
+            },
+            note,
         )
     }
 }
@@ -972,6 +1120,133 @@ mod tests {
         let global = IncompleteGlobalSkylineExec::new(spec3, gathered);
         assert!(run(&global, 2).is_empty(), "cycle must cancel out");
         let _ = spec; // silence unused in this branch
+    }
+
+    #[test]
+    fn incomplete_hierarchical_merge_is_byte_identical_to_flat() {
+        // Mixed-bitmap data over several partitions: the deferred-deletion
+        // tree merge must produce the same rows in the same order as the
+        // paper's flat all-pairs pass, and flag the same tuples.
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Int64, true),
+            Field::new("y", DataType::Int64, true),
+            Field::new("z", DataType::Int64, true),
+        ])
+        .into_ref();
+        let rows: Vec<Row> = (0..180)
+            .map(|i: i64| {
+                let v = |k: i64| {
+                    if (i * 7 + k * 3) % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int64((i * (11 + k)) % 9)
+                    }
+                };
+                Row::new(vec![v(0), v(1), v(2)])
+            })
+            .collect();
+        let spec3 = SkylineSpec::new(vec![
+            SkylineDim::min(0),
+            SkylineDim::min(1),
+            SkylineDim::min(2),
+        ]);
+        let build = |merge: Option<(usize, bool)>| {
+            let scan: Arc<dyn ExecutionPlan> =
+                Arc::new(ScanExec::new("t", Arc::new(rows.clone()), schema.clone()));
+            let bitmap_exchange = Arc::new(ExchangeExec::new(
+                crate::exchange::ExchangeMode::NullBitmap(spec3.clone()),
+                scan,
+            ));
+            let local = Arc::new(LocalSkylineExec::new(spec3.clone(), true, bitmap_exchange));
+            match merge {
+                None => Arc::new(IncompleteGlobalSkylineExec::new(
+                    spec3.clone(),
+                    Arc::new(ExchangeExec::single(local)),
+                )),
+                Some((fan_in, vectorized)) => Arc::new(
+                    IncompleteGlobalSkylineExec::new(spec3.clone(), local)
+                        .with_merge(MergeStrategy::Hierarchical { fan_in })
+                        .with_vectorized(vectorized),
+                ),
+            }
+        };
+        let flat_ctx = TaskContext::new(6);
+        let flat = flatten(build(None).execute(&flat_ctx).unwrap());
+        let flat_deferred = flat_ctx.metrics.snapshot().deferred_deletions;
+        assert!(!flat.is_empty());
+        for fan_in in [2usize, 3] {
+            for vectorized in [false, true] {
+                let ctx = TaskContext::new(6);
+                let plan = build(Some((fan_in, vectorized)));
+                let parts = plan.execute(&ctx).unwrap();
+                assert_eq!(parts.len(), 1, "global phase yields one partition");
+                let tree = flatten(parts);
+                assert_eq!(tree, flat, "fan-in {fan_in}, vectorized {vectorized}");
+                let m = ctx.metrics.snapshot();
+                assert_eq!(
+                    m.deferred_deletions, flat_deferred,
+                    "flat and tree flag the same tuples"
+                );
+                assert!(m.classes_merged > 0, "{m:?}");
+                assert!(m.merge_rounds >= 1, "{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn incomplete_hierarchical_merge_handles_cycles_and_empty_input() {
+        let spec3 = SkylineSpec::new(vec![
+            SkylineDim::min(0),
+            SkylineDim::min(1),
+            SkylineDim::min(2),
+        ]);
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Int64, true),
+            Field::new("y", DataType::Int64, true),
+            Field::new("z", DataType::Int64, true),
+        ])
+        .into_ref();
+        let cycle = vec![
+            Row::new(vec![Value::Int64(1), Value::Null, Value::Int64(10)]),
+            Row::new(vec![Value::Int64(3), Value::Int64(2), Value::Null]),
+            Row::new(vec![Value::Null, Value::Int64(5), Value::Int64(3)]),
+        ];
+        let build = |rows: Vec<Row>| {
+            let scan: Arc<dyn ExecutionPlan> =
+                Arc::new(ScanExec::new("t", Arc::new(rows), schema.clone()));
+            let bitmap_exchange = Arc::new(ExchangeExec::new(
+                crate::exchange::ExchangeMode::NullBitmap(spec3.clone()),
+                scan,
+            ));
+            let local = Arc::new(LocalSkylineExec::new(spec3.clone(), true, bitmap_exchange));
+            IncompleteGlobalSkylineExec::new(spec3.clone(), local)
+                .with_merge(MergeStrategy::Hierarchical { fan_in: 2 })
+        };
+        let ctx = TaskContext::new(3);
+        assert!(
+            flatten(build(cycle).execute(&ctx).unwrap()).is_empty(),
+            "cycle must cancel out across merge tasks"
+        );
+        assert_eq!(ctx.metrics.snapshot().deferred_deletions, 3);
+        assert!(flatten(build(Vec::new()).execute(&ctx).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn incomplete_describe_names_the_merge() {
+        let spec3 = SkylineSpec::new(vec![SkylineDim::min(0)]);
+        let flat = IncompleteGlobalSkylineExec::new(spec3.clone(), input(Vec::new()));
+        assert!(
+            !flat.describe().contains("hierarchical"),
+            "{}",
+            flat.describe()
+        );
+        let tree = IncompleteGlobalSkylineExec::new(spec3.clone(), input(Vec::new()))
+            .with_merge(MergeStrategy::Hierarchical { fan_in: 3 })
+            .with_plan_note(Some("adaptive: tree (max NULL fraction 0.25)".into()));
+        let describe = tree.describe();
+        assert!(describe.contains("hierarchical fan-in 3"), "{describe}");
+        assert!(describe.contains("adaptive: tree"), "{describe}");
+        assert!(describe.contains("vectorized"), "{describe}");
     }
 
     #[test]

@@ -18,8 +18,11 @@
 //!   pruning run on it.
 //! * [`incomplete`] — null-bitmap partitioning and the all-pairs,
 //!   deferred-deletion global skyline for incomplete data (§5.7 and
-//!   Lemma 5.1), plus the intentionally faulty premature-deletion variant
-//!   of Appendix A used to demonstrate the cyclic-dominance pitfall.
+//!   Lemma 5.1); the mergeable bitmap-class-aware partial results that
+//!   turn that global phase into a hierarchical tree merge (see the
+//!   module docs for the soundness argument); plus the intentionally
+//!   faulty premature-deletion variant of Appendix A used to demonstrate
+//!   the cyclic-dominance pitfall.
 //! * [`prefilter`] — representative-point pre-filtering (Ciaccia &
 //!   Martinenghi): the skyline of a seeded input sample, encoded once into
 //!   the columnar kernel, discards strictly dominated tuples during the
@@ -46,8 +49,9 @@ pub use bnl::{
 pub use columnar::{BatchResult, ColumnarBlock, EncodedCandidate, PointBlock};
 pub use dominance::{Dominance, DominanceChecker, SkylineStats};
 pub use incomplete::{
-    incomplete_global_skyline, incomplete_skyline, null_bitmap, partition_by_null_bitmap,
-    premature_deletion_global_skyline, GroupedBnlBuilder,
+    incomplete_global_skyline, incomplete_skyline, merge_incomplete_partials, null_bitmap,
+    partition_by_null_bitmap, premature_deletion_global_skyline, GroupedBnlBuilder,
+    IncompletePartial, IncompletePartialBuilder,
 };
 pub use naive::naive_skyline;
 pub use prefilter::{representative_points, RepresentativeFilter};

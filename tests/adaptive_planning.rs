@@ -15,6 +15,9 @@
 //! and runs agree) and the pre-filter's no-lost-skyline-point property
 //! over random schemas with MIN/MAX/DIFF dims and NULLs.
 
+mod common;
+
+use common::{generate, oracle, run, session_with, skyline_sql, DISTRIBUTIONS};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,90 +26,14 @@ use sparkline::{
     SkylineStrategy, Value,
 };
 use sparkline_common::{SkylineDim, SkylineSpec, SkylineType};
-use sparkline_datagen::distributions::{anti_correlated_rows, correlated_rows, independent_rows};
 use sparkline_skyline::{naive_skyline, DominanceChecker};
 
-const DISTRIBUTIONS: [&str; 3] = ["correlated", "independent", "anti_correlated"];
 const FIXED_SCHEMES: [SkylinePartitioning; 4] = [
     SkylinePartitioning::Even,
     SkylinePartitioning::Hash,
     SkylinePartitioning::AngleBased,
     SkylinePartitioning::Grid,
 ];
-
-fn generate(dist: &str, seed: u64, n: usize, dims: usize, with_nulls: bool) -> Vec<Row> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut rows = match dist {
-        "correlated" => correlated_rows(&mut rng, n, dims),
-        "independent" => independent_rows(&mut rng, n, dims),
-        "anti_correlated" => anti_correlated_rows(&mut rng, n, dims),
-        other => panic!("unknown distribution {other}"),
-    };
-    if with_nulls {
-        // Deterministic incompleteness: every 5th row loses one value.
-        for (i, row) in rows.iter_mut().enumerate() {
-            if i % 5 == 0 {
-                let mut values = row.values().to_vec();
-                values[i % dims] = Value::Null;
-                *row = Row::new(values);
-            }
-        }
-    }
-    rows
-}
-
-/// Oracle: naive Definition-3.2 skyline under the relation the engine
-/// will select (complete for NULL-free data, incomplete otherwise).
-fn oracle(rows: &[Row], dims: usize, incomplete: bool) -> Vec<String> {
-    let spec = SkylineSpec::new((0..dims).map(SkylineDim::min).collect());
-    let checker = if incomplete {
-        DominanceChecker::incomplete(spec)
-    } else {
-        DominanceChecker::complete(spec)
-    };
-    let mut v: Vec<String> = naive_skyline(rows, &checker)
-        .iter()
-        .map(|r| r.to_string())
-        .collect();
-    v.sort();
-    v
-}
-
-fn session_with(
-    rows: Vec<Row>,
-    dims: usize,
-    nullable: bool,
-    config: SessionConfig,
-) -> SessionContext {
-    let ctx = SessionContext::with_config(config);
-    ctx.register_table(
-        "t",
-        Schema::new(
-            (0..dims)
-                .map(|i| Field::new(format!("d{i}"), DataType::Float64, nullable))
-                .collect(),
-        ),
-        rows,
-    )
-    .unwrap();
-    ctx
-}
-
-fn skyline_sql(dims: usize) -> String {
-    let dim_list = (0..dims)
-        .map(|i| format!("d{i} MIN"))
-        .collect::<Vec<_>>()
-        .join(", ");
-    format!("SELECT * FROM t SKYLINE OF {dim_list}")
-}
-
-fn run(ctx: &SessionContext, dims: usize) -> Vec<String> {
-    ctx.sql(&skyline_sql(dims))
-        .unwrap()
-        .collect()
-        .unwrap()
-        .sorted_display()
-}
 
 /// Every fixed plan-shape combination: scheme × merge × kernel × model.
 fn fixed_configs() -> Vec<(String, SessionConfig)> {

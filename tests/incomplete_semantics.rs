@@ -3,33 +3,13 @@
 //! and the agreement of complete and incomplete algorithms on complete
 //! data.
 
-use sparkline::{Algorithm, DataType, Field, Row, Schema, SessionConfig, SessionContext, Value};
+mod common;
+
+use common::{incomplete_session, row3};
+use sparkline::{Algorithm, Row, SessionConfig, SessionContext};
 use sparkline_common::{SkylineDim, SkylineSpec, SkylineType};
 use sparkline_datagen::{register_store_sales, skyline_query_for, store_sales, Variant};
 use sparkline_skyline::{naive_skyline, DominanceChecker};
-
-fn incomplete_session(rows: Vec<Row>) -> SessionContext {
-    let ctx = SessionContext::new();
-    ctx.register_table(
-        "t",
-        Schema::new(vec![
-            Field::new("a", DataType::Int64, true),
-            Field::new("b", DataType::Int64, true),
-            Field::new("c", DataType::Int64, true),
-        ]),
-        rows,
-    )
-    .unwrap();
-    ctx
-}
-
-fn row3(a: Option<i64>, b: Option<i64>, c: Option<i64>) -> Row {
-    Row::new(vec![
-        a.map(Value::Int64).unwrap_or(Value::Null),
-        b.map(Value::Int64).unwrap_or(Value::Null),
-        c.map(Value::Int64).unwrap_or(Value::Null),
-    ])
-}
 
 #[test]
 fn appendix_a_cycle_yields_empty_skyline_at_any_executor_count() {

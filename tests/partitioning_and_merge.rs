@@ -191,7 +191,23 @@ fn grid_pruning_respects_nullable_dimensions() {
     assert!(!explain.contains("Grid"), "{explain}");
     let result = df.collect().unwrap();
     assert_eq!(result.metrics.partitions_pruned, 0);
-    assert_eq!(result.metrics.merge_rounds, 0);
+    // The incomplete family now tree-merges its global phase at this
+    // executor count (PR 5); only the *grid* machinery must stay out.
+    // Pinning the merge flat via the knob restores the paper's plan.
+    let flat_ctx = ctx.with_shared_catalog(
+        SessionConfig::default()
+            .with_executors(5)
+            .with_skyline_partitioning(SkylinePartitioning::Grid)
+            .with_incomplete_tree_merge(false),
+    );
+    let flat = flat_ctx
+        .sql("SELECT * FROM t SKYLINE OF a MIN, b MIN")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(flat.metrics.merge_rounds, 0);
+    assert_eq!(flat.metrics.partitions_pruned, 0);
+    assert_eq!(flat.sorted_display(), result.sorted_display());
 }
 
 #[test]

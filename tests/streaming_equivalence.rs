@@ -12,56 +12,38 @@
 //! * the streamed pipeline's `peak_rows_in_flight` must stay strictly
 //!   below the materialized model's on a multi-operator pipeline.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sparkline::{Algorithm, DataType, Field, Row, Schema, SessionConfig, SessionContext, Value};
-use sparkline_datagen::distributions::{anti_correlated_rows, correlated_rows, independent_rows};
+mod common;
 
-/// A session over the given config with a set of shared test tables.
+use common::{distribution_rows, generate_with_null_fraction, DISTRIBUTIONS};
+use proptest::prelude::*;
+use sparkline::{Algorithm, DataType, Field, Row, Schema, SessionConfig, SessionContext, Value};
+
+/// A session over the given config with a set of shared test tables, all
+/// drawn from the shared distribution matrix generator.
 fn session_with(config: SessionConfig) -> SessionContext {
     let ctx = SessionContext::with_config(config);
-    let mut rng = StdRng::seed_from_u64(7);
-    for (name, rows) in [
-        ("corr", correlated_rows(&mut rng, 400, 3)),
-        ("indep", independent_rows(&mut rng, 400, 3)),
-        ("anti", anti_correlated_rows(&mut rng, 400, 3)),
-    ] {
+    for (name, dist) in ["corr", "indep", "anti"].iter().zip(DISTRIBUTIONS) {
         let schema = Schema::new(
             (0..3)
                 .map(|i| Field::new(format!("d{i}"), DataType::Float64, false))
                 .collect(),
         );
-        ctx.register_table(name, schema, rows).unwrap();
+        ctx.register_table(*name, schema, distribution_rows(dist, 7, 400, 3))
+            .unwrap();
     }
-    // An incomplete variant of the independent data: every 5th/7th value
-    // NULLed out, exercising the null-bitmap plan.
-    let mut rng = StdRng::seed_from_u64(7);
-    let incomplete: Vec<Row> = independent_rows(&mut rng, 300, 3)
-        .into_iter()
-        .enumerate()
-        .map(|(i, row)| {
-            let values: Vec<Value> = row
-                .values()
-                .iter()
-                .enumerate()
-                .map(|(d, v)| {
-                    if (i + d) % 5 == 0 || (i * d) % 7 == 3 {
-                        Value::Null
-                    } else {
-                        v.clone()
-                    }
-                })
-                .collect();
-            Row::new(values)
-        })
-        .collect();
+    // An incomplete variant of the independent data, exercising the
+    // null-bitmap plan.
     let schema = Schema::new(
         (0..3)
             .map(|i| Field::new(format!("d{i}"), DataType::Float64, true))
             .collect(),
     );
-    ctx.register_table("inc", schema, incomplete).unwrap();
+    ctx.register_table(
+        "inc",
+        schema,
+        generate_with_null_fraction("independent", 7, 300, 3, 0.25),
+    )
+    .unwrap();
     // Small integer tables for joins / aggregates / distinct.
     let g_schema = Schema::new(vec![
         Field::new("k", DataType::Int64, false),
