@@ -31,7 +31,7 @@ pub fn all_ids() -> Vec<&'static str> {
     vec![
         "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
         "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ext1", "ext2", "ext3", "ext4",
-        "ext5", "ext6",
+        "ext5", "ext6", "ext7",
     ]
 }
 
@@ -63,6 +63,7 @@ pub fn run(id: &str, ctx: &mut EvalContext, quick: bool) -> Vec<Report> {
         "ext4" => ext4_streaming_execution(quick),
         "ext5" => ext5_adaptive_planning(quick),
         "ext6" => ext6_incomplete_merge(quick),
+        "ext7" => ext7_simd_kernel(quick),
         other => panic!("unknown experiment '{other}'; known: {:?}", all_ids()),
     }
 }
@@ -795,6 +796,63 @@ fn ext6_incomplete_merge(quick: bool) -> Vec<Report> {
         ),
         x_label: "distribution",
         x_values: distributions.iter().map(|d| d.to_string()).collect(),
+        series,
+        metric: Metric::Time,
+        with_relative: false,
+    }]
+}
+
+/// ext7: the explicit-SIMD multi-candidate dominance kernel (PR 6) vs
+/// the PR 2 chunked kernel and the scalar checker, per dimension count on
+/// the anti-correlated local phase. Also writes the machine-readable
+/// `BENCH_PR6.json` (the full knob × admission-mode grid, the headline
+/// speedup per dimension count, and the `CANDIDATE_FIRST_CHUNK` tuning
+/// curve); set `BENCH_PR6_OUT` to redirect the file.
+fn ext7_simd_kernel(quick: bool) -> Vec<Report> {
+    let path = std::env::var("BENCH_PR6_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
+    let bench = crate::kernel_bench::write_bench_pr6(&path, quick)
+        .unwrap_or_else(|e| panic!("ext7: cannot write {path}: {e}"));
+    eprintln!("    wrote {path} (simd tier: {})", bench.simd_tier);
+    for (dims, ratio) in &bench.speedups {
+        eprintln!("    [{dims} dims] simd multi-candidate is {ratio:.2}x the PR 2 chunked kernel");
+    }
+    let dims_list: Vec<usize> = bench.speedups.iter().map(|(d, _)| *d).collect();
+    let series_for = |kernel: &str, mode: &str| -> Vec<Cell> {
+        dims_list
+            .iter()
+            .map(|&d| {
+                bench
+                    .cells
+                    .iter()
+                    .find(|c| c.kernel == kernel && c.mode == mode && c.dims == d)
+                    .map(|c| Cell::Value(c.ns_per_test))
+                    .unwrap_or(Cell::NotApplicable)
+            })
+            .collect()
+    };
+    let series: Vec<(String, Vec<Cell>)> = vec![
+        (
+            "scalar ×1".to_string(),
+            series_for("scalar", "one_candidate"),
+        ),
+        (
+            "chunked ×1 (PR 2)".to_string(),
+            series_for("chunked", "one_candidate"),
+        ),
+        (
+            format!("{} ×{}", bench.simd_tier, sparkline_skyline::MULTI_LANES),
+            series_for("simd", "multi_candidate"),
+        ),
+    ];
+    let rows = bench.cells.first().map(|c| c.rows).unwrap_or(0);
+    vec![Report {
+        id: "ext7".into(),
+        title: format!(
+            "Extension 7: dominance kernel ns/test by tier and admission width \
+             ({rows} rows, anti-correlated; see BENCH_PR6.json)"
+        ),
+        x_label: "dimensions",
+        x_values: dims_list.iter().map(|d| d.to_string()).collect(),
         series,
         metric: Metric::Time,
         with_relative: false,

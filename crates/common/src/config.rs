@@ -80,6 +80,40 @@ pub enum SkylinePartitioning {
     Grid,
 }
 
+/// Which dominance-kernel implementation the skyline operators run on.
+///
+/// The columnar block (`sparkline_skyline::columnar`) ships three compare
+/// tiers — explicit AVX2 and SSE2 intrinsic loops plus the portable
+/// chunked-scalar loop — and `Scalar` bypasses the block entirely, testing
+/// every pair through the row-at-a-time `DominanceChecker`. All four
+/// selections produce byte-identical skylines (only the performed-test
+/// counters differ); the non-`Auto` values exist for A/B benchmarking and
+/// for pinning CI to the portable paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DominanceKernel {
+    /// Runtime dispatch: the widest SIMD tier the CPU supports
+    /// (`is_x86_feature_detected!`), falling back to the chunked loop on
+    /// targets without SSE2/AVX2.
+    #[default]
+    Auto,
+    /// Force the explicit-SIMD tier (still runtime-detected AVX2 vs SSE2;
+    /// degrades to the chunked loop off x86-64).
+    Simd,
+    /// Force the portable chunked-scalar mask loop (the PR 2 kernel,
+    /// kept verbatim as the differential oracle for the SIMD tiers).
+    Chunked,
+    /// Bypass the columnar block; every test runs the scalar checker.
+    Scalar,
+}
+
+impl DominanceKernel {
+    /// Whether this selection routes tests through the columnar block at
+    /// all (everything but [`DominanceKernel::Scalar`]).
+    pub fn is_vectorized(self) -> bool {
+        self != DominanceKernel::Scalar
+    }
+}
+
 /// How the global skyline phase combines the gathered local skylines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MergeStrategy {
@@ -146,6 +180,11 @@ pub struct SessionConfig {
     /// are identical either way; disabling this pins every operator to the
     /// scalar path (the benchmark harness A/B switch).
     pub vectorized_dominance: bool,
+    /// Which compare tier the columnar kernel runs
+    /// ([`DominanceKernel::Auto`] dispatches on CPU features at runtime).
+    /// Ignored when [`Self::vectorized_dominance`] is off, which pins the
+    /// scalar path regardless.
+    pub dominance_kernel: DominanceKernel,
     /// Enable the §5.4 rewrite of single-dimension skylines into an O(n)
     /// min/max scan + filter.
     pub enable_single_dim_rewrite: bool,
@@ -191,6 +230,7 @@ impl Default for SessionConfig {
             hierarchical_merge_min_partitions: 4,
             incomplete_tree_merge: true,
             vectorized_dominance: true,
+            dominance_kernel: DominanceKernel::Auto,
             enable_single_dim_rewrite: true,
             enable_skyline_join_pushdown: true,
             enable_generic_optimizations: true,
@@ -285,6 +325,12 @@ impl SessionConfig {
         self
     }
 
+    /// Select the dominance-kernel tier (runtime-dispatched by default).
+    pub fn with_dominance_kernel(mut self, kernel: DominanceKernel) -> Self {
+        self.dominance_kernel = kernel;
+        self
+    }
+
     /// Toggle the single-dimension rewrite.
     pub fn with_single_dim_rewrite(mut self, on: bool) -> Self {
         self.enable_single_dim_rewrite = on;
@@ -359,6 +405,17 @@ mod tests {
                 .with_vectorized_dominance(false)
                 .vectorized_dominance
         );
+        assert_eq!(c.dominance_kernel, DominanceKernel::Auto, "kernel default");
+        assert_eq!(
+            SessionConfig::new()
+                .with_dominance_kernel(DominanceKernel::Chunked)
+                .dominance_kernel,
+            DominanceKernel::Chunked
+        );
+        assert!(DominanceKernel::Auto.is_vectorized());
+        assert!(DominanceKernel::Simd.is_vectorized());
+        assert!(DominanceKernel::Chunked.is_vectorized());
+        assert!(!DominanceKernel::Scalar.is_vectorized());
     }
 
     #[test]

@@ -21,7 +21,9 @@ pub mod strategy;
 pub mod types;
 pub mod value;
 
-pub use config::{MergeStrategy, SessionConfig, SkylinePartitioning, SkylineStrategy};
+pub use config::{
+    DominanceKernel, MergeStrategy, SessionConfig, SkylinePartitioning, SkylineStrategy,
+};
 pub use error::{Error, Result};
 pub use row::Row;
 pub use schema::{Field, Schema, SchemaRef};

@@ -10,7 +10,9 @@
 //! inlined in the planner) lets the optimizer, the planner, and the
 //! benchmark harness agree on one notion of "what will this query run".
 
-use crate::config::{MergeStrategy, SessionConfig, SkylinePartitioning, SkylineStrategy};
+use crate::config::{
+    DominanceKernel, MergeStrategy, SessionConfig, SkylinePartitioning, SkylineStrategy,
+};
 use crate::skyline::SkylineSpec;
 use crate::stats::DatasetStats;
 
@@ -54,8 +56,12 @@ pub struct SkylinePlan {
     pub merge: MergeStrategy,
     /// Route dominance tests through the columnar batch kernel (per
     /// operator; unrepresentable rows still fall back to the scalar
-    /// checker tuple-by-tuple).
+    /// checker tuple-by-tuple). Always equals `kernel.is_vectorized()`.
     pub vectorized: bool,
+    /// Which compare tier the columnar kernel runs (`Scalar` when the
+    /// `vectorized_dominance` knob is off, otherwise the session's
+    /// `dominance_kernel` selection).
+    pub kernel: DominanceKernel,
     /// Buckets per dimension for the grid partitioner (adaptive plans size
     /// this from the statistics; static plans copy the config knob).
     pub grid_cells_per_dim: usize,
@@ -124,16 +130,25 @@ impl SkylinePlan {
             MergeStrategy::Flat
         };
 
+        // The kernel is semantics-preserving on every algorithm family
+        // (it falls back per tuple where it cannot represent the data),
+        // so the knob passes through unconditionally. Turning the legacy
+        // `vectorized_dominance` toggle off pins the scalar path
+        // regardless of the tier selection.
+        let kernel = if config.vectorized_dominance {
+            config.dominance_kernel
+        } else {
+            DominanceKernel::Scalar
+        };
+
         SkylinePlan {
             use_complete,
             distributed,
             use_sfs,
             partitioning,
             merge,
-            // The kernel is semantics-preserving on every algorithm family
-            // (it falls back per tuple where it cannot represent the
-            // data), so the knob passes through unconditionally.
-            vectorized: config.vectorized_dominance,
+            vectorized: kernel.is_vectorized(),
+            kernel,
             grid_cells_per_dim: config.grid_cells_per_dim,
             prefilter_max_points: 0,
             adaptive: false,
@@ -333,10 +348,37 @@ mod tests {
     #[test]
     fn vectorized_knob_passes_through() {
         let config = SessionConfig::default();
-        assert!(SkylinePlan::select(&config, &meta(2, false, false)).vectorized);
+        let plan = SkylinePlan::select(&config, &meta(2, false, false));
+        assert!(plan.vectorized);
+        assert_eq!(plan.kernel, DominanceKernel::Auto);
         let off = SessionConfig::default().with_vectorized_dominance(false);
-        assert!(!SkylinePlan::select(&off, &meta(2, false, false)).vectorized);
+        let plan = SkylinePlan::select(&off, &meta(2, false, false));
+        assert!(!plan.vectorized);
+        assert_eq!(plan.kernel, DominanceKernel::Scalar);
         assert!(!SkylinePlan::select(&off, &meta(2, true, false)).vectorized);
+    }
+
+    #[test]
+    fn kernel_knob_passes_through() {
+        for kernel in [
+            DominanceKernel::Auto,
+            DominanceKernel::Simd,
+            DominanceKernel::Chunked,
+            DominanceKernel::Scalar,
+        ] {
+            let config = SessionConfig::default().with_dominance_kernel(kernel);
+            let plan = SkylinePlan::select(&config, &meta(2, false, false));
+            assert_eq!(plan.kernel, kernel);
+            assert_eq!(plan.vectorized, kernel.is_vectorized());
+        }
+        // `vectorized_dominance = false` wins over any tier selection.
+        let off = SessionConfig::default()
+            .with_dominance_kernel(DominanceKernel::Simd)
+            .with_vectorized_dominance(false);
+        assert_eq!(
+            SkylinePlan::select(&off, &meta(2, false, false)).kernel,
+            DominanceKernel::Scalar
+        );
     }
 
     #[test]

@@ -77,8 +77,8 @@ pub use session::{Algorithm, SessionContext};
 
 // Re-export the vocabulary users need without digging into sub-crates.
 pub use sparkline_common::{
-    DataType, Error, Field, MergeStrategy, Result, Row, Schema, SchemaRef, SessionConfig,
-    SkylinePartitioning, SkylineStrategy, SkylineType, Value,
+    DataType, DominanceKernel, Error, Field, MergeStrategy, Result, Row, Schema, SchemaRef,
+    SessionConfig, SkylinePartitioning, SkylineStrategy, SkylineType, Value,
 };
 pub use sparkline_plan::{Expr, JoinCondition, JoinType, LogicalPlan, SkylineDimension, SortExpr};
 

@@ -277,6 +277,10 @@ impl SessionContext {
             m.dominance_tests, m.batched_tests, m.scalar_tests
         ));
         out.push_str(&format!(
+            "simd tests: {} ({} multi-candidate passes)\n",
+            m.simd_tests, m.multi_candidate_passes
+        ));
+        out.push_str(&format!(
             "chosen partitioning: {}\n",
             m.chosen_partitioning_label()
         ));

@@ -29,6 +29,13 @@ pub struct ExecMetrics {
     /// Dominance tests answered by the scalar checker (scalar operators,
     /// or per-tuple fallbacks of the columnar kernel).
     pub scalar_tests: AtomicU64,
+    /// Dominance tests answered by an explicit-SIMD compare tier (a subset
+    /// of `batched_tests`; 0 when the chunked tier or the scalar checker
+    /// served every test).
+    pub simd_tests: AtomicU64,
+    /// Multi-candidate kernel passes: window walks amortized over a batch
+    /// of candidates instead of one.
+    pub multi_candidate_passes: AtomicU64,
     /// Times the SFS scan discarded its sort work and re-ran BNL because a
     /// row did not admit the monotone scoring function.
     pub sfs_fallbacks: AtomicU64,
@@ -122,6 +129,15 @@ impl ExecMetrics {
         self.scalar_tests.fetch_add(scalar, Ordering::Relaxed);
     }
 
+    /// Attribute kernel work to the SIMD tier and count multi-candidate
+    /// passes (`simd` is a subset of the `batched` count reported through
+    /// [`add_dominance_breakdown`](Self::add_dominance_breakdown)).
+    pub fn add_kernel_breakdown(&self, simd: u64, multi_passes: u64) {
+        self.simd_tests.fetch_add(simd, Ordering::Relaxed);
+        self.multi_candidate_passes
+            .fetch_add(multi_passes, Ordering::Relaxed);
+    }
+
     /// Record SFS sort-discarding fallbacks.
     pub fn add_sfs_fallbacks(&self, n: u64) {
         self.sfs_fallbacks.fetch_add(n, Ordering::Relaxed);
@@ -201,6 +217,8 @@ impl ExecMetrics {
             dominance_tests: self.dominance_tests.load(Ordering::Relaxed),
             batched_tests: self.batched_tests.load(Ordering::Relaxed),
             scalar_tests: self.scalar_tests.load(Ordering::Relaxed),
+            simd_tests: self.simd_tests.load(Ordering::Relaxed),
+            multi_candidate_passes: self.multi_candidate_passes.load(Ordering::Relaxed),
             sfs_fallbacks: self.sfs_fallbacks.load(Ordering::Relaxed),
             max_window: self.max_window.load(Ordering::Relaxed),
             rows_exchanged: self.rows_exchanged.load(Ordering::Relaxed),
@@ -237,6 +255,11 @@ pub struct MetricsSnapshot {
     pub batched_tests: u64,
     /// Dominance tests answered by the scalar checker.
     pub scalar_tests: u64,
+    /// Dominance tests answered by an explicit-SIMD tier (subset of
+    /// `batched_tests`).
+    pub simd_tests: u64,
+    /// Multi-candidate kernel passes.
+    pub multi_candidate_passes: u64,
     /// SFS sort-discarding fallbacks.
     pub sfs_fallbacks: u64,
     /// Largest skyline window observed.
@@ -338,10 +361,14 @@ mod tests {
         m.add_dominance_tests(10);
         m.add_dominance_breakdown(7, 3);
         m.add_dominance_breakdown(1, 0);
+        m.add_kernel_breakdown(5, 2);
+        m.add_kernel_breakdown(0, 1);
         m.add_sfs_fallbacks(2);
         let s = m.snapshot();
         assert_eq!(s.batched_tests, 8);
         assert_eq!(s.scalar_tests, 3);
+        assert_eq!(s.simd_tests, 5);
+        assert_eq!(s.multi_candidate_passes, 3);
         assert_eq!(s.sfs_fallbacks, 2);
     }
 

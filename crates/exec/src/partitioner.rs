@@ -32,7 +32,7 @@
 use std::fmt;
 
 use sparkline_common::{Row, SkylineDim, SkylineSpec, SkylineType, Value};
-use sparkline_skyline::PointBlock;
+use sparkline_skyline::{PointBlock, MULTI_LANES};
 
 use crate::metrics::ExecMetrics;
 use crate::partition::{flatten, split_evenly, Partition};
@@ -359,15 +359,16 @@ impl Partitioner for GridPartitioner {
             for cell in &all {
                 worst_corners.push(&cell.worst);
             }
+            // Best corners are tested MULTI_LANES at a time: one walk over
+            // the worst-corner block serves the whole lane group.
             let mut corner_tests = 0u64;
-            let dominated: Vec<bool> = all
-                .iter()
-                .map(|cell| {
-                    let (tested, dominator) = worst_corners.first_dominator(&cell.best);
-                    corner_tests += tested;
-                    dominator.is_some()
-                })
-                .collect();
+            let mut dominated: Vec<bool> = Vec::with_capacity(all.len());
+            let mut lanes: Vec<Option<usize>> = Vec::new();
+            for group in all.chunks(MULTI_LANES) {
+                let points: Vec<&[f64]> = group.iter().map(|c| c.best.as_slice()).collect();
+                corner_tests += worst_corners.first_dominators(&points, &mut lanes);
+                dominated.extend(lanes.iter().map(Option::is_some));
+            }
             metrics
                 .corner_tests
                 .fetch_add(corner_tests, std::sync::atomic::Ordering::Relaxed);

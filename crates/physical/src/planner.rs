@@ -389,7 +389,7 @@ impl<'a> PhysicalPlanner<'a> {
                     if !points.is_empty() {
                         input_exec = Arc::new(
                             SkylinePreFilterExec::new(spec.clone(), points, rows.len(), input_exec)
-                                .with_vectorized(choice.vectorized),
+                                .with_kernel(choice.kernel),
                         );
                     }
                 }
@@ -413,12 +413,12 @@ impl<'a> PhysicalPlanner<'a> {
             } else if choice.use_sfs {
                 Arc::new(
                     LocalSkylineExec::sort_filter(spec.clone(), local_input)
-                        .with_vectorized(choice.vectorized),
+                        .with_kernel(choice.kernel),
                 )
             } else {
                 Arc::new(
                     LocalSkylineExec::new(spec.clone(), false, local_input)
-                        .with_vectorized(choice.vectorized),
+                        .with_kernel(choice.kernel),
                 )
             };
             // The flat merge needs the `AllTuples` gather the paper
@@ -435,7 +435,7 @@ impl<'a> PhysicalPlanner<'a> {
             } else {
                 GlobalSkylineExec::new(spec, global_input)
             };
-            Arc::new(global.with_merge(merge).with_vectorized(choice.vectorized))
+            Arc::new(global.with_merge(merge).with_kernel(choice.kernel))
         } else {
             // §5.7: distribute by null bitmap, then the global phase —
             // the paper's plan (per-class local skylines + an all-pairs
@@ -472,7 +472,7 @@ impl<'a> PhysicalPlanner<'a> {
                 MergeStrategy::Flat => {
                     let local = Arc::new(
                         LocalSkylineExec::new(spec.clone(), true, redistributed)
-                            .with_vectorized(choice.vectorized),
+                            .with_kernel(choice.kernel),
                     );
                     (Arc::new(ExchangeExec::single(local)), MergeStrategy::Flat)
                 }
@@ -481,7 +481,7 @@ impl<'a> PhysicalPlanner<'a> {
             Arc::new(
                 IncompleteGlobalSkylineExec::new(spec, global_input)
                     .with_merge(merge)
-                    .with_vectorized(choice.vectorized)
+                    .with_kernel(choice.kernel)
                     .with_plan_note(note),
             )
         };

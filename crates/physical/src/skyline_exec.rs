@@ -21,17 +21,19 @@
 
 use std::sync::Arc;
 
-use sparkline_common::{MergeStrategy, Result, Row, SchemaRef, SkylineSpec, Value};
+use sparkline_common::{
+    DominanceKernel, MergeStrategy, Result, Row, SchemaRef, SkylineSpec, Value,
+};
 use sparkline_exec::{
     partition::flatten, stream::breaker_streams, InFlightRows, Partition, PartitionStream,
     TaskContext,
 };
 use sparkline_plan::{Expr, MinMaxDirection};
 use sparkline_skyline::{
-    bnl_skyline, bnl_skyline_batched, bnl_skyline_into, bnl_skyline_into_batched,
-    incomplete_global_skyline, merge_incomplete_partials, sfs_skyline, sfs_skyline_batched,
-    BnlBuilder, DominanceChecker, GroupedBnlBuilder, IncompletePartial, IncompletePartialBuilder,
-    RepresentativeFilter, SkylineStats,
+    bnl_skyline_into_kernel, bnl_skyline_kernel, incomplete_global_skyline, kernel_label,
+    merge_incomplete_partials_kernel, sfs_skyline_kernel, BnlBuilder, DominanceChecker,
+    GroupedBnlBuilder, IncompletePartial, IncompletePartialBuilder, RepresentativeFilter,
+    SkylineStats,
 };
 
 use crate::ExecutionPlan;
@@ -47,7 +49,7 @@ enum SkylineSink {
     Sfs {
         rows: Vec<Row>,
         checker: DominanceChecker,
-        vectorized: bool,
+        kernel: DominanceKernel,
     },
     /// Incomplete local phase: one BNL window per null-bitmap class.
     Grouped(GroupedBnlBuilder),
@@ -93,14 +95,10 @@ impl SkylineSink {
             SkylineSink::Sfs {
                 rows,
                 checker,
-                vectorized,
+                kernel,
             } => {
                 let mut stats = SkylineStats::default();
-                let result = if vectorized {
-                    sfs_skyline_batched(rows, &checker, &mut stats)
-                } else {
-                    sfs_skyline(rows, &checker, &mut stats)
-                };
+                let result = sfs_skyline_kernel(rows, &checker, &mut stats, kernel);
                 Ok((result, stats))
             }
             SkylineSink::AllPairs { rows, checker } => {
@@ -187,8 +185,29 @@ fn record_stats(ctx: &TaskContext, stats: &SkylineStats) {
     ctx.metrics.add_dominance_tests(stats.dominance_tests);
     ctx.metrics
         .add_dominance_breakdown(stats.batched_tests, stats.scalar_tests);
+    ctx.metrics
+        .add_kernel_breakdown(stats.simd_tests, stats.multi_candidate_passes);
     ctx.metrics.add_sfs_fallbacks(stats.sfs_fallbacks);
     ctx.metrics.observe_window(stats.max_window);
+}
+
+/// The EXPLAIN fragment naming the operator's compare kernel: empty for
+/// the scalar path, `", vectorized: simd(avx2), lanes=8"`-style otherwise.
+fn kernel_fragment(kernel: DominanceKernel) -> String {
+    if kernel.is_vectorized() {
+        format!(", vectorized: {}", kernel_label(kernel))
+    } else {
+        String::new()
+    }
+}
+
+/// Builder-compat mapping of the old boolean knob onto the kernel enum.
+fn kernel_from_flag(on: bool) -> DominanceKernel {
+    if on {
+        DominanceKernel::Auto
+    } else {
+        DominanceKernel::Scalar
+    }
 }
 
 /// How a complete-data skyline phase computes its result.
@@ -207,7 +226,7 @@ pub struct LocalSkylineExec {
     spec: SkylineSpec,
     incomplete: bool,
     algo: SkylineAlgo,
-    vectorized: bool,
+    kernel: DominanceKernel,
     input: Arc<dyn ExecutionPlan>,
 }
 
@@ -218,7 +237,7 @@ impl LocalSkylineExec {
             spec,
             incomplete,
             algo: SkylineAlgo::Bnl,
-            vectorized: true,
+            kernel: DominanceKernel::Auto,
             input,
         }
     }
@@ -229,14 +248,19 @@ impl LocalSkylineExec {
             spec,
             incomplete: false,
             algo: SkylineAlgo::SortFilter,
-            vectorized: true,
+            kernel: DominanceKernel::Auto,
             input,
         }
     }
 
     /// Choose scalar vs columnar dominance testing (builder-style).
-    pub fn with_vectorized(mut self, on: bool) -> Self {
-        self.vectorized = on;
+    pub fn with_vectorized(self, on: bool) -> Self {
+        self.with_kernel(kernel_from_flag(on))
+    }
+
+    /// Choose the compare kernel (builder-style).
+    pub fn with_kernel(mut self, kernel: DominanceKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -271,15 +295,18 @@ impl ExecutionPlan for LocalSkylineExec {
                     // class shares its NULL positions, every column is
                     // uniformly NULL or non-NULL, exactly what the columnar
                     // kernel encodes.
-                    SkylineSink::Grouped(GroupedBnlBuilder::new(checker.clone(), self.vectorized))
+                    SkylineSink::Grouped(GroupedBnlBuilder::with_kernel(
+                        checker.clone(),
+                        self.kernel,
+                    ))
                 } else if self.algo == SkylineAlgo::SortFilter {
                     SkylineSink::Sfs {
                         rows: Vec::new(),
                         checker: checker.clone(),
-                        vectorized: self.vectorized,
+                        kernel: self.kernel,
                     }
                 } else {
-                    SkylineSink::Bnl(BnlBuilder::new(checker.clone(), self.vectorized))
+                    SkylineSink::Bnl(BnlBuilder::with_kernel(checker.clone(), self.kernel))
                 };
                 skyline_phase_stream(self.schema(), ctx, vec![input], sink)
             })
@@ -301,7 +328,7 @@ impl ExecutionPlan for LocalSkylineExec {
                 ""
             },
             if self.spec.distinct { ", distinct" } else { "" },
-            if self.vectorized { ", vectorized" } else { "" },
+            kernel_fragment(self.kernel),
         )
     }
 }
@@ -340,7 +367,7 @@ pub struct GlobalSkylineExec {
     spec: SkylineSpec,
     algo: SkylineAlgo,
     merge: MergeStrategy,
-    vectorized: bool,
+    kernel: DominanceKernel,
     input: Arc<dyn ExecutionPlan>,
 }
 
@@ -352,7 +379,7 @@ impl GlobalSkylineExec {
             spec,
             algo: SkylineAlgo::Bnl,
             merge: MergeStrategy::Flat,
-            vectorized: true,
+            kernel: DominanceKernel::Auto,
             input,
         }
     }
@@ -363,7 +390,7 @@ impl GlobalSkylineExec {
             spec,
             algo: SkylineAlgo::SortFilter,
             merge: MergeStrategy::Flat,
-            vectorized: true,
+            kernel: DominanceKernel::Auto,
             input,
         }
     }
@@ -378,8 +405,13 @@ impl GlobalSkylineExec {
     }
 
     /// Choose scalar vs columnar dominance testing (builder-style).
-    pub fn with_vectorized(mut self, on: bool) -> Self {
-        self.vectorized = on;
+    pub fn with_vectorized(self, on: bool) -> Self {
+        self.with_kernel(kernel_from_flag(on))
+    }
+
+    /// Choose the compare kernel (builder-style).
+    pub fn with_kernel(mut self, kernel: DominanceKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -398,7 +430,7 @@ fn merge_group(
     ctx: &TaskContext,
     spec: &SkylineSpec,
     algo: SkylineAlgo,
-    vectorized: bool,
+    kernel: DominanceKernel,
     group: Vec<Partition>,
     seed_window: bool,
 ) -> Result<Partition> {
@@ -410,11 +442,7 @@ fn merge_group(
         let reservation = ctx
             .memory
             .reserve(rows.iter().map(Row::estimated_bytes).sum());
-        let merged = if vectorized {
-            sfs_skyline_batched(rows, &checker, &mut stats)
-        } else {
-            sfs_skyline(rows, &checker, &mut stats)
-        };
+        let merged = sfs_skyline_kernel(rows, &checker, &mut stats, kernel);
         drop(reservation);
         merged
     } else if seed_window {
@@ -423,11 +451,7 @@ fn merge_group(
         let rest: Vec<Row> = parts.flatten().collect();
         let bytes = window.iter().chain(&rest).map(Row::estimated_bytes).sum();
         let reservation = ctx.memory.reserve(bytes);
-        if vectorized {
-            bnl_skyline_into_batched(rest, &checker, &mut stats, &mut window);
-        } else {
-            bnl_skyline_into(rest, &checker, &mut stats, &mut window);
-        }
+        bnl_skyline_into_kernel(rest, &checker, &mut stats, &mut window, kernel);
         drop(reservation);
         window
     } else {
@@ -435,11 +459,7 @@ fn merge_group(
         let reservation = ctx
             .memory
             .reserve(rows.iter().map(Row::estimated_bytes).sum());
-        let merged = if vectorized {
-            bnl_skyline_batched(rows, &checker, &mut stats)
-        } else {
-            bnl_skyline(rows, &checker, &mut stats)
-        };
+        let merged = bnl_skyline_kernel(rows, &checker, &mut stats, kernel);
         drop(reservation);
         merged
     };
@@ -510,10 +530,10 @@ impl ExecutionPlan for GlobalSkylineExec {
                     SkylineSink::Sfs {
                         rows: Vec::new(),
                         checker,
-                        vectorized: self.vectorized,
+                        kernel: self.kernel,
                     }
                 } else {
-                    SkylineSink::Bnl(BnlBuilder::new(checker, self.vectorized))
+                    SkylineSink::Bnl(BnlBuilder::with_kernel(checker, self.kernel))
                 };
                 Ok(vec![skyline_phase_stream(self.schema(), ctx, inputs, sink)])
             }
@@ -523,7 +543,7 @@ impl ExecutionPlan for GlobalSkylineExec {
                 // pool, then merged in k-way rounds.
                 let spec = self.spec.clone();
                 let algo = self.algo;
-                let vectorized = self.vectorized;
+                let kernel = self.kernel;
                 let ctx2 = ctx.clone();
                 Ok(breaker_streams(self.schema(), ctx, 1, move || {
                     let input = ctx2.runtime.drain_streams(inputs)?;
@@ -535,7 +555,7 @@ impl ExecutionPlan for GlobalSkylineExec {
                         // skyline (a local skyline or an earlier round's
                         // output): the first one seeds the window,
                         // encode-once.
-                        merge_group(&ctx2, &spec, algo, vectorized, group, true)
+                        merge_group(&ctx2, &spec, algo, kernel, group, true)
                     })?;
                     Ok(vec![merged.unwrap_or_default()])
                 }))
@@ -560,7 +580,7 @@ impl ExecutionPlan for GlobalSkylineExec {
             },
             if self.spec.distinct { ", distinct" } else { "" },
             merge,
-            if self.vectorized { ", vectorized" } else { "" },
+            kernel_fragment(self.kernel),
         )
     }
 }
@@ -584,7 +604,7 @@ pub struct SkylinePreFilterExec {
     spec: SkylineSpec,
     points: Arc<Vec<Row>>,
     sample_rows: usize,
-    vectorized: bool,
+    kernel: DominanceKernel,
     input: Arc<dyn ExecutionPlan>,
 }
 
@@ -601,14 +621,19 @@ impl SkylinePreFilterExec {
             spec,
             points: Arc::new(points),
             sample_rows,
-            vectorized: true,
+            kernel: DominanceKernel::Auto,
             input,
         }
     }
 
     /// Choose scalar vs columnar dominance testing (builder-style).
-    pub fn with_vectorized(mut self, on: bool) -> Self {
-        self.vectorized = on;
+    pub fn with_vectorized(self, on: bool) -> Self {
+        self.with_kernel(kernel_from_flag(on))
+    }
+
+    /// Choose the compare kernel (builder-style).
+    pub fn with_kernel(mut self, kernel: DominanceKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -632,10 +657,10 @@ impl ExecutionPlan for SkylinePreFilterExec {
         Ok(inputs
             .into_iter()
             .map(|mut input| {
-                let mut filter = RepresentativeFilter::new(
+                let mut filter = RepresentativeFilter::with_kernel(
                     self.points.as_ref().clone(),
                     &self.spec,
-                    self.vectorized,
+                    self.kernel,
                 );
                 let ctx = ctx.clone();
                 PartitionStream::new(self.schema(), Arc::clone(&ctx.metrics), move || loop {
@@ -662,7 +687,7 @@ impl ExecutionPlan for SkylinePreFilterExec {
             "SkylinePreFilterExec [{} representative points from {} sampled rows{}]",
             self.points.len(),
             self.sample_rows,
-            if self.vectorized { ", vectorized" } else { "" },
+            kernel_fragment(self.kernel),
         )
     }
 }
@@ -693,7 +718,7 @@ impl ExecutionPlan for SkylinePreFilterExec {
 pub struct IncompleteGlobalSkylineExec {
     spec: SkylineSpec,
     merge: MergeStrategy,
-    vectorized: bool,
+    kernel: DominanceKernel,
     /// Planner-provided note on how the merge strategy was chosen
     /// (adaptive plans); rendered in EXPLAIN.
     plan_note: Option<String>,
@@ -707,7 +732,7 @@ impl IncompleteGlobalSkylineExec {
         IncompleteGlobalSkylineExec {
             spec,
             merge: MergeStrategy::Flat,
-            vectorized: true,
+            kernel: DominanceKernel::Auto,
             plan_note: None,
             input,
         }
@@ -724,8 +749,13 @@ impl IncompleteGlobalSkylineExec {
 
     /// Choose scalar vs columnar dominance testing inside the tree merge
     /// (builder-style; the flat all-pairs pass is scalar either way).
-    pub fn with_vectorized(mut self, on: bool) -> Self {
-        self.vectorized = on;
+    pub fn with_vectorized(self, on: bool) -> Self {
+        self.with_kernel(kernel_from_flag(on))
+    }
+
+    /// Choose the compare kernel (builder-style).
+    pub fn with_kernel(mut self, kernel: DominanceKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -764,7 +794,7 @@ impl ExecutionPlan for IncompleteGlobalSkylineExec {
             }
             MergeStrategy::Hierarchical { fan_in } => {
                 let spec = self.spec.clone();
-                let vectorized = self.vectorized;
+                let kernel = self.kernel;
                 let ctx2 = ctx.clone();
                 Ok(breaker_streams(self.schema(), ctx, 1, move || {
                     let checker = DominanceChecker::incomplete(spec.clone());
@@ -777,7 +807,7 @@ impl ExecutionPlan for IncompleteGlobalSkylineExec {
                     let mut parts: Vec<IncompletePartial> =
                         ctx2.runtime.map_indexed(inputs, |_, mut stream| {
                             let mut builder =
-                                IncompletePartialBuilder::new(checker.clone(), vectorized);
+                                IncompletePartialBuilder::with_kernel(checker.clone(), kernel);
                             let mut guard = InFlightRows::new(Arc::clone(&ctx2.metrics), 0);
                             while let Some(batch) = stream.next_batch()? {
                                 ctx2.deadline.check()?;
@@ -798,8 +828,8 @@ impl ExecutionPlan for IncompleteGlobalSkylineExec {
                         let mut iter = group.into_iter();
                         let mut acc = iter.next().expect("nonempty group");
                         for next in iter {
-                            acc = merge_incomplete_partials(
-                                acc, next, &checker, vectorized, &mut stats,
+                            acc = merge_incomplete_partials_kernel(
+                                acc, next, &checker, kernel, &mut stats,
                             );
                         }
                         record_stats(&ctx2, &stats);
@@ -833,10 +863,10 @@ impl ExecutionPlan for IncompleteGlobalSkylineExec {
             self.spec.dims.len(),
             if self.spec.distinct { ", distinct" } else { "" },
             merge,
-            if self.vectorized && !matches!(self.merge, MergeStrategy::Flat) {
-                ", vectorized"
+            if matches!(self.merge, MergeStrategy::Flat) {
+                String::new()
             } else {
-                ""
+                kernel_fragment(self.kernel)
             },
             note,
         )
@@ -1480,9 +1510,14 @@ mod tests {
 
     #[test]
     fn vectorized_describe_names_the_kernel() {
+        // The default (Auto) must resolve to a concrete tier label; the
+        // exact tier depends on the host CPU, so assert via kernel_label.
+        let auto_label = kernel_label(DominanceKernel::Auto);
         let local = LocalSkylineExec::new(spec2(), false, input(Vec::new()));
         assert!(
-            local.describe().contains("vectorized"),
+            local
+                .describe()
+                .contains(&format!("vectorized: {auto_label}")),
             "{}",
             local.describe()
         );
@@ -1491,10 +1526,73 @@ mod tests {
         assert!(!scalar.describe().contains("vectorized"));
         let global = GlobalSkylineExec::new(spec2(), input(Vec::new()));
         assert!(
-            global.describe().contains("vectorized"),
+            global
+                .describe()
+                .contains(&format!("vectorized: {auto_label}")),
             "{}",
             global.describe()
         );
+        // Pinned knobs render their own tier.
+        let chunked = GlobalSkylineExec::new(spec2(), input(Vec::new()))
+            .with_kernel(DominanceKernel::Chunked);
+        assert!(
+            chunked.describe().contains("vectorized: chunked"),
+            "{}",
+            chunked.describe()
+        );
+        let prefilter = SkylinePreFilterExec::new(spec2(), Vec::new(), 0, input(Vec::new()))
+            .with_kernel(DominanceKernel::Simd);
+        assert!(
+            prefilter.describe().contains(&format!(
+                "vectorized: {}",
+                kernel_label(DominanceKernel::Simd)
+            )),
+            "{}",
+            prefilter.describe()
+        );
+    }
+
+    #[test]
+    fn kernel_knob_plans_are_byte_identical() {
+        // Forcing every knob through the physical operators must not
+        // change a single row; the counters attribute the work instead.
+        let data: Vec<Vec<Value>> = (0..300)
+            .map(|i: i64| vec![Value::Int64((i * 37) % 80), Value::Int64((i * 53) % 80)])
+            .collect();
+        let run_plan = |kernel: DominanceKernel| {
+            let local = Arc::new(
+                LocalSkylineExec::new(
+                    spec2(),
+                    false,
+                    Arc::new(ExchangeExec::new(
+                        crate::exchange::ExchangeMode::RoundRobin,
+                        input(data.clone()),
+                    )),
+                )
+                .with_kernel(kernel),
+            );
+            let global = GlobalSkylineExec::new(spec2(), Arc::new(ExchangeExec::single(local)))
+                .with_kernel(kernel);
+            let ctx = TaskContext::new(4);
+            let parts = global.execute(&ctx).unwrap();
+            (flatten(parts), ctx.metrics.snapshot())
+        };
+        let (expected, s) = run_plan(DominanceKernel::Scalar);
+        assert_eq!(s.simd_tests, 0);
+        assert_eq!(s.multi_candidate_passes, 0);
+        for kernel in [
+            DominanceKernel::Auto,
+            DominanceKernel::Simd,
+            DominanceKernel::Chunked,
+        ] {
+            let (rows, m) = run_plan(kernel);
+            assert_eq!(rows, expected, "{kernel:?}");
+            assert!(m.batched_tests > 0, "{kernel:?}: {m:?}");
+            assert!(m.multi_candidate_passes > 0, "{kernel:?}: {m:?}");
+            if kernel == DominanceKernel::Chunked {
+                assert_eq!(m.simd_tests, 0, "{m:?}");
+            }
+        }
     }
 
     #[test]

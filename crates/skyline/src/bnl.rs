@@ -18,10 +18,19 @@
 //! tuples share their NULL positions and the restricted relation is
 //! transitive again (paper §5.7 / Lemma 5.1).
 
-use sparkline_common::Row;
+use sparkline_common::{DominanceKernel, Row};
 
-use crate::columnar::{ColumnarBlock, EncodedCandidate};
+use crate::columnar::{ColumnarBlock, EncodedCandidate, MULTI_LANES};
 use crate::dominance::{Dominance, DominanceChecker, SkylineStats};
+
+/// Kernel knob equivalent of the legacy `vectorized` flag.
+pub(crate) fn kernel_for(vectorized: bool) -> DominanceKernel {
+    if vectorized {
+        DominanceKernel::Auto
+    } else {
+        DominanceKernel::Scalar
+    }
+}
 
 /// Compute the skyline of `rows` with the BNL window algorithm, recording
 /// dominance-test counts into `stats`.
@@ -78,22 +87,41 @@ pub struct BnlBuilder {
     /// `Some` on the vectorized path (even after a fallback demotion, so
     /// the per-tuple routing below stays cheap), `None` on the scalar one.
     block: Option<ColumnarBlock>,
+    /// Whether the dominance relation in effect is transitive — the
+    /// complete relation, or the incomplete relation on class-pure input
+    /// (one null-bitmap class, Lemma 5.1). Gates the multi-candidate
+    /// admission pre-pass in [`push_batch`](Self::push_batch).
+    transitive: bool,
     cand: EncodedCandidate,
     out: Vec<Dominance>,
     stats: SkylineStats,
 }
 
 impl BnlBuilder {
-    /// An empty builder.
+    /// An empty builder ([`DominanceKernel::Auto`] when `vectorized`).
     pub fn new(checker: DominanceChecker, vectorized: bool) -> Self {
         Self::with_seed(checker, vectorized, Vec::new())
+    }
+
+    /// An empty builder on an explicit kernel knob.
+    pub fn with_kernel(checker: DominanceChecker, kernel: DominanceKernel) -> Self {
+        Self::with_seed_kernel(checker, kernel, Vec::new())
     }
 
     /// Seed the window with an existing skyline (the hierarchical merge's
     /// encode-once path). The caller must guarantee `window` is a skyline.
     pub fn with_seed(checker: DominanceChecker, vectorized: bool, window: Vec<Row>) -> Self {
-        let block = vectorized.then(|| {
-            let mut block = ColumnarBlock::for_checker(&checker);
+        Self::with_seed_kernel(checker, kernel_for(vectorized), window)
+    }
+
+    /// [`with_seed`](Self::with_seed) on an explicit kernel knob.
+    pub fn with_seed_kernel(
+        checker: DominanceChecker,
+        kernel: DominanceKernel,
+        window: Vec<Row>,
+    ) -> Self {
+        let block = kernel.is_vectorized().then(|| {
+            let mut block = ColumnarBlock::for_checker_with(&checker, kernel);
             for row in &window {
                 block.push(row);
             }
@@ -105,14 +133,25 @@ impl BnlBuilder {
             max_window: window.len(),
             ..SkylineStats::default()
         };
+        let transitive = !checker.is_incomplete();
         BnlBuilder {
             checker,
             window,
             block,
+            transitive,
             cand: EncodedCandidate::new(),
             out: Vec::new(),
             stats,
         }
+    }
+
+    /// Declare the input class-pure: every row pushed shares one null
+    /// bitmap, so the restricted incomplete relation is transitive within
+    /// it (paper Lemma 5.1) and the multi-candidate admission pre-pass is
+    /// sound. Used by the per-class builders of
+    /// [`GroupedBnlBuilder`](crate::incomplete::GroupedBnlBuilder).
+    pub(crate) fn mark_class_pure(&mut self) {
+        self.transitive = true;
     }
 
     /// Current window occupancy (== the running skyline size).
@@ -126,8 +165,97 @@ impl BnlBuilder {
     }
 
     /// Feed one batch of rows.
+    ///
+    /// Under a transitive relation with a live kernel block, incoming rows
+    /// are admitted in groups of [`MULTI_LANES`]: one multi-candidate
+    /// kernel pass tests the whole group against the current window
+    /// snapshot and drops the strictly dominated rows before the
+    /// sequential insert-eviction steps run for the survivors.
     pub fn push_batch(&mut self, rows: impl IntoIterator<Item = Row>) {
-        for row in rows {
+        if !self.transitive || self.block.is_none() {
+            for row in rows {
+                self.push(row);
+            }
+            return;
+        }
+        let mut rows = rows.into_iter();
+        let mut group: Vec<Row> = Vec::with_capacity(MULTI_LANES);
+        let mut encoded: Vec<EncodedCandidate> = Vec::new();
+        let mut lanes: Vec<usize> = Vec::with_capacity(MULTI_LANES);
+        let mut dominated: Vec<Option<usize>> = Vec::new();
+        loop {
+            group.clear();
+            group.extend(rows.by_ref().take(MULTI_LANES));
+            if group.is_empty() {
+                return;
+            }
+            self.admit_group(&mut group, &mut encoded, &mut lanes, &mut dominated);
+        }
+    }
+
+    /// Multi-candidate admission of one group of at most [`MULTI_LANES`]
+    /// rows (see [`push_batch`](Self::push_batch)).
+    ///
+    /// Soundness of pre-dropping (transitive relations only): a window
+    /// snapshot row dominating candidate `c` is either still in the window
+    /// at `c`'s sequential turn, or was evicted by a chain of dominating
+    /// rows whose live end dominates `c` by transitivity — so `c` would be
+    /// dropped at its turn anyway; and since the window is an antichain, a
+    /// dominated `c` evicts nothing, so the other rows are unaffected.
+    /// Only *strict* `DominatedBy` lanes are dropped (never `Equal`), so
+    /// `SKYLINE OF DISTINCT` dedup still happens in the sequential steps.
+    fn admit_group(
+        &mut self,
+        group: &mut Vec<Row>,
+        encoded: &mut Vec<EncodedCandidate>,
+        lanes: &mut Vec<usize>,
+        dominated: &mut Vec<Option<usize>>,
+    ) {
+        debug_assert!(group.len() <= MULTI_LANES);
+        let prepass = group.len() > 1
+            && self
+                .block
+                .as_ref()
+                .is_some_and(|b| !b.is_fallback() && !b.is_empty());
+        if prepass {
+            let mut pass: Option<(u64, bool)> = None;
+            {
+                let block = self.block.as_ref().expect("prepass checked the block");
+                if encoded.len() < group.len() {
+                    encoded.resize_with(group.len(), EncodedCandidate::new);
+                }
+                lanes.clear();
+                let mut n = 0;
+                for (i, row) in group.iter().enumerate() {
+                    // Rows the kernel cannot represent skip the pre-pass
+                    // and take their normal (scalar) sequential step.
+                    if block.encode_into(row, &mut encoded[n]) {
+                        lanes.push(i);
+                        n += 1;
+                    }
+                }
+                if n > 0 {
+                    let res = block.first_dominators(&encoded[..n], dominated);
+                    pass = Some((res.tested, block.is_simd()));
+                }
+            }
+            if let Some((tested, simd)) = pass {
+                self.stats.add_multi_pass(tested, simd);
+                let mut keep = [true; MULTI_LANES];
+                for (j, d) in dominated.iter().enumerate() {
+                    if d.is_some() {
+                        keep[lanes[j]] = false;
+                    }
+                }
+                let mut i = 0;
+                group.retain(|_| {
+                    let k = keep[i];
+                    i += 1;
+                    k
+                });
+            }
+        }
+        for row in group.drain(..) {
             self.push(row);
         }
     }
@@ -175,7 +303,7 @@ impl BnlBuilder {
             // matched by replaying it verbatim. Compute all outcomes in
             // one batched pass (no early exit), then replay.
             let res = block.compare_batch(&self.cand, &mut self.out, false);
-            self.stats.add_batched(res.tested);
+            self.stats.add_block_tests(res.tested, block.is_simd());
             let mut dominated = false;
             let mut i = 0;
             while i < self.out.len() {
@@ -207,7 +335,7 @@ impl BnlBuilder {
             return;
         }
         let res = block.compare_batch(&self.cand, &mut self.out, true);
-        self.stats.add_batched(res.tested);
+        self.stats.add_block_tests(res.tested, block.is_simd());
         if res.dominated_at.is_some() {
             return;
         }
@@ -334,6 +462,36 @@ pub fn bnl_skyline_into_batched(
     window: &mut Vec<Row>,
 ) {
     let mut builder = BnlBuilder::with_seed(checker.clone(), true, std::mem::take(window));
+    builder.push_batch(rows);
+    let (merged, builder_stats) = builder.finish();
+    stats.merge(&builder_stats);
+    *window = merged;
+}
+
+/// [`bnl_skyline`] on an explicit kernel knob: `Scalar` matches
+/// [`bnl_skyline`], everything else routes through the columnar kernel on
+/// the knob's resolved compare tier. All knobs produce byte-identical
+/// windows.
+pub fn bnl_skyline_kernel(
+    rows: impl IntoIterator<Item = Row>,
+    checker: &DominanceChecker,
+    stats: &mut SkylineStats,
+    kernel: DominanceKernel,
+) -> Vec<Row> {
+    let mut window: Vec<Row> = Vec::new();
+    bnl_skyline_into_kernel(rows, checker, stats, &mut window, kernel);
+    window
+}
+
+/// [`bnl_skyline_into`] on an explicit kernel knob.
+pub fn bnl_skyline_into_kernel(
+    rows: impl IntoIterator<Item = Row>,
+    checker: &DominanceChecker,
+    stats: &mut SkylineStats,
+    window: &mut Vec<Row>,
+    kernel: DominanceKernel,
+) {
+    let mut builder = BnlBuilder::with_seed_kernel(checker.clone(), kernel, std::mem::take(window));
     builder.push_batch(rows);
     let (merged, builder_stats) = builder.finish();
     stats.merge(&builder_stats);
@@ -549,10 +707,72 @@ mod tests {
                 }
                 let (incremental, inc_stats) = builder.finish();
                 assert_eq!(one_shot, incremental, "v={vectorized} d={distinct}");
-                assert_eq!(stats.dominance_tests, inc_stats.dominance_tests);
+                // The multi-candidate admission pre-pass makes vectorized
+                // test *counts* batch-boundary-dependent (group sizes
+                // differ between one big batch and chunks of 7); only the
+                // scalar path counts identically. The window itself — and
+                // its peak size — never depends on batch splits.
+                if !vectorized {
+                    assert_eq!(stats.dominance_tests, inc_stats.dominance_tests);
+                }
                 assert_eq!(stats.max_window, inc_stats.max_window);
             }
         }
+    }
+
+    #[test]
+    fn kernel_knobs_are_byte_identical() {
+        let data: Vec<(i64, i64)> = (0..200).map(|i| ((i * 37) % 70, (i * 53) % 70)).collect();
+        for distinct in [false, true] {
+            let checker = min_min(distinct);
+            let mut s_ref = SkylineStats::default();
+            let reference = bnl_skyline(rows(&data), &checker, &mut s_ref);
+            for kernel in [
+                DominanceKernel::Scalar,
+                DominanceKernel::Chunked,
+                DominanceKernel::Simd,
+                DominanceKernel::Auto,
+            ] {
+                let mut s = SkylineStats::default();
+                let sky = bnl_skyline_kernel(rows(&data), &checker, &mut s, kernel);
+                assert_eq!(reference, sky, "kernel={kernel:?} distinct={distinct}");
+                if kernel == DominanceKernel::Scalar {
+                    assert_eq!(s.batched_tests, 0);
+                    assert_eq!(s.simd_tests, 0);
+                    assert_eq!(s.multi_candidate_passes, 0);
+                } else {
+                    assert!(s.batched_tests > 0);
+                    assert_eq!(s.scalar_tests, 0);
+                    assert!(s.multi_candidate_passes > 0, "kernel={kernel:?}");
+                    if kernel == DominanceKernel::Chunked {
+                        assert_eq!(s.simd_tests, 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepass_batched_matches_scalar_with_nulls_and_floats() {
+        // NULL rows (all-incomparable lanes) and float columns through the
+        // grouped admission pre-pass.
+        let checker = min_min(false);
+        let data: Vec<Row> = (0..90)
+            .map(|i: i64| {
+                let v0 = if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(((i * 37) % 50) as f64 / 2.0)
+                };
+                Row::new(vec![v0, Value::Float64(((i * 53) % 50) as f64)])
+            })
+            .collect();
+        let mut s1 = SkylineStats::default();
+        let scalar = bnl_skyline(data.clone(), &checker, &mut s1);
+        let mut s2 = SkylineStats::default();
+        let batched = bnl_skyline_batched(data, &checker, &mut s2);
+        assert_eq!(scalar, batched);
+        assert!(s2.multi_candidate_passes > 0);
     }
 
     #[test]

@@ -8,8 +8,43 @@
 //! dimensions of a row window are transposed into contiguous,
 //! sign-normalized column buffers once, and a candidate tuple is then
 //! tested against the *entire* window in a tight per-dimension loop over
-//! flat `i64`/`f64` slices (64-row chunks with early exit, amenable to
-//! auto-vectorization).
+//! flat `i64`/`f64` slices (64-row chunks with early exit).
+//!
+//! # Compare tiers and runtime dispatch
+//!
+//! The per-chunk mask computation ships in three tiers, selected once per
+//! block from the [`DominanceKernel`] knob via
+//! `is_x86_feature_detected!`-based runtime dispatch ([`KernelTier`]):
+//!
+//! * **`simd(avx2)`** — explicit `core::arch::x86_64` intrinsics, four
+//!   64-bit lanes per instruction: `_mm256_cmpgt_epi64` both directions
+//!   for integer columns, `_mm256_cmp_pd` (ordered, non-signalling) for
+//!   float columns, sign-extracted into the chunk masks with
+//!   `movemask`. Float buffers never contain NaN (NaN is NULL-like and
+//!   becomes a placeholder plus an `any_null` bit), so the ordered
+//!   compares are exact.
+//! * **`simd(sse2)`** — the x86-64 baseline tier: two-lane `_mm_cmplt_pd`
+//!   / `_mm_cmpneq_pd` for float columns; integer columns take the
+//!   chunked loop (SSE2 has no 64-bit signed compare).
+//! * **`chunked`** — the portable PR 2 mask loop, kept verbatim. It is
+//!   both the fallback for non-x86-64 targets and the differential
+//!   oracle the SIMD tiers are tested against: all tiers produce
+//!   bit-identical `(a, b, neq)` masks, hence byte-identical outcomes.
+//!
+//! # Multi-candidate passes
+//!
+//! [`ColumnarBlock::first_dominators`] widens the kernel to a batch of
+//! [`MULTI_LANES`] candidates per window walk: each 64-row chunk of the
+//! sign-normalized buffers (and its null bits) is visited once while all
+//! live candidate lanes compute their masks against it, amortizing the
+//! memory traffic of the window walk across the lanes. Each lane keeps a
+//! per-candidate outcome in the form of its first dominating row index;
+//! a lane goes dead once a dominator is found, and the walk stops —
+//! chunk-granular — when every lane is dead. Callers that hold many
+//! candidates at once (BNL batch admission, the representative
+//! pre-filter, grid corner pruning) use it as a sound pre-pass: only
+//! *strict* `DominatedBy` outcomes are consumed, which under a
+//! transitive relation are stable against any later window evolution.
 //!
 //! # Block layout and encode rules
 //!
@@ -40,9 +75,13 @@
 //!   class, where a dimension is NULL either in *every* row (the column
 //!   stays unmaterialized and is skipped) or in *none* — and demotes mixed
 //!   columns to scalar fallback.
-//! * **`DIFF` dimensions** mark the block scalar-fallback: dominance then
-//!   additionally requires equality on those dimensions, which the ranked
-//!   kernel does not model.
+//! * **`DIFF` dimensions** are stored un-negated; dominance additionally
+//!   requires *equality* on them, which the kernel folds in as a third
+//!   per-chunk mask: any inequality (`neq`) bit forces
+//!   [`Dominance::Incomparable`] for that pair, mirroring the scalar
+//!   checker's immediate exit on a `DIFF` mismatch. Non-numeric `DIFF`
+//!   values demote the block through the same class rules as ranked
+//!   dimensions.
 //!
 //! Fallback is never an error: callers keep the row window authoritative
 //! and simply route comparisons through the scalar checker when
@@ -51,13 +90,11 @@
 //! batched and scalar paths produce byte-identical *skylines*; the test
 //! counters differ — the chunked early exit makes the kernel perform more
 //! (much cheaper) tests than the scalar loop's per-pair exit, which
-//! `batched_tests` / `scalar_tests` make visible per path.
-//!
-//! Follow-up (see ROADMAP): the chunked masks are written so the compiler
-//! can auto-vectorize the per-dimension loops; explicit SIMD intrinsics and
-//! a widened (multi-candidate) kernel are the next step.
+//! `batched_tests` / `scalar_tests` make visible per path, and the
+//! `simd_tests` counter additionally splits out tests performed on a SIMD
+//! tier.
 
-use sparkline_common::{Row, SkylineSpec, SkylineType, Value};
+use sparkline_common::{DominanceKernel, Row, SkylineSpec, SkylineType, Value};
 
 use crate::dominance::{Dominance, DominanceChecker};
 
@@ -66,12 +103,254 @@ use crate::dominance::{Dominance, DominanceChecker};
 /// is found.
 pub const CHUNK: usize = 64;
 
-/// First chunk size of a candidate scan. BNL windows keep their most
+/// First chunk size of a single-candidate scan. BNL windows keep their most
 /// dominant tuples near the front, so most dominated candidates die within
 /// a few comparisons; starting small (then doubling up to [`CHUNK`]) keeps
 /// the early exit nearly as fine-grained as the scalar loop's while large
 /// windows still run full-width chunks.
-const FIRST_CHUNK: usize = 4;
+///
+/// Re-tuned against the explicit-SIMD tiers (the `first_chunk_tuning`
+/// section of BENCH_PR6.json records the sweep): the curve is flat to
+/// within scheduler noise — small starts (1–4) trade blows with
+/// full-width chunks on the anti-correlated window — so 4 is kept; the
+/// win comes from aborting *before* the first full-width chunk, and SIMD
+/// makes wide chunks cheaper without making early exits less valuable.
+/// Multi-candidate passes
+/// ([`ColumnarBlock::first_dominators`]) start at full [`CHUNK`] width
+/// instead: their walk only stops once *every* lane has found a
+/// dominator, which rarely happens inside the first few rows, so
+/// progressive sizing would add per-lane bookkeeping for nothing.
+pub const CANDIDATE_FIRST_CHUNK: usize = 4;
+
+/// Candidate lanes per multi-candidate window pass
+/// ([`ColumnarBlock::first_dominators`]): callers slice their pending
+/// candidates into groups of this size, each group amortizing one walk
+/// over the block buffers and null bits.
+pub const MULTI_LANES: usize = 8;
+
+/// Compare tier a block dispatches its per-chunk mask computation to,
+/// resolved once per block from the [`DominanceKernel`] knob and the host
+/// CPU (`is_x86_feature_detected!`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelTier {
+    /// Portable chunked-scalar mask loop (the PR 2 kernel, kept verbatim):
+    /// the fallback for non-x86-64 targets and the differential oracle the
+    /// SIMD tiers are tested against.
+    Chunked,
+    /// x86-64 baseline tier: two-lane SSE2 float compares; integer columns
+    /// take the chunked loop (SSE2 has no 64-bit signed compare).
+    Sse2,
+    /// Four-lane AVX2 integer and float compares.
+    Avx2,
+}
+
+impl KernelTier {
+    /// Tier for a kernel knob on this CPU. `Auto` and `Simd` resolve to
+    /// the best detected SIMD tier; `Chunked` (and `Scalar`, for callers
+    /// that build a block anyway) pin the portable loop.
+    pub fn resolve(kernel: DominanceKernel) -> KernelTier {
+        match kernel {
+            DominanceKernel::Auto | DominanceKernel::Simd => KernelTier::detect(),
+            DominanceKernel::Chunked | DominanceKernel::Scalar => KernelTier::Chunked,
+        }
+    }
+
+    /// Best SIMD tier the host CPU supports;
+    /// [`Chunked`](KernelTier::Chunked) off x86-64.
+    pub fn detect() -> KernelTier {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                KernelTier::Avx2
+            } else {
+                // SSE2 is part of the x86-64 baseline, always present.
+                KernelTier::Sse2
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            KernelTier::Chunked
+        }
+    }
+
+    /// Every tier runnable on this CPU, for differential tests and
+    /// benchmarks.
+    pub fn available() -> Vec<KernelTier> {
+        #[allow(unused_mut)]
+        let mut tiers = vec![KernelTier::Chunked];
+        #[cfg(target_arch = "x86_64")]
+        {
+            tiers.push(KernelTier::Sse2);
+            if std::arch::is_x86_feature_detected!("avx2") {
+                tiers.push(KernelTier::Avx2);
+            }
+        }
+        tiers
+    }
+
+    /// Whether the tier runs explicit SIMD intrinsics (feeds the
+    /// `simd_tests` metric).
+    pub fn is_simd(self) -> bool {
+        !matches!(self, KernelTier::Chunked)
+    }
+
+    /// EXPLAIN label of the tier.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelTier::Chunked => "chunked",
+            KernelTier::Sse2 => "simd(sse2)",
+            KernelTier::Avx2 => "simd(avx2)",
+        }
+    }
+}
+
+/// EXPLAIN description of a kernel knob as resolved on this CPU, e.g.
+/// `scalar`, `chunked`, or `simd(avx2), lanes=8`.
+pub fn kernel_label(kernel: DominanceKernel) -> String {
+    match kernel {
+        DominanceKernel::Scalar => "scalar".to_string(),
+        _ => {
+            let tier = KernelTier::resolve(kernel);
+            if tier.is_simd() {
+                format!("{}, lanes={MULTI_LANES}", tier.label())
+            } else {
+                tier.label().to_string()
+            }
+        }
+    }
+}
+
+/// Explicit-SIMD per-column mask kernels. Every function produces the
+/// exact same `a`/`b`/`neq` bits as the chunked loops in
+/// `ColumnarBlock::chunk_masks_chunked`; the differential suites assert
+/// that equivalence on every tier the CPU offers. Buffers never contain
+/// NaN (NaN is NULL-like and encodes as a placeholder plus an `any_null`
+/// bit), so the ordered float compares are exact.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use std::arch::x86_64::*;
+
+    /// `a |= (v < x) << k`, `b |= (x < v) << k` over up to 64 `i64`s.
+    ///
+    /// # Safety
+    /// AVX2 must be available; callers dispatch on [`KernelTier::Avx2`],
+    /// which is only produced after `is_x86_feature_detected!("avx2")`.
+    ///
+    /// [`KernelTier::Avx2`]: super::KernelTier::Avx2
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn ranked_i64_avx2(buf: &[i64], v: i64, a: &mut u64, b: &mut u64) {
+        let splat = _mm256_set1_epi64x(v);
+        let mut k = 0;
+        while k + 4 <= buf.len() {
+            let x = _mm256_loadu_si256(buf.as_ptr().add(k) as *const __m256i);
+            let gt = _mm256_cmpgt_epi64(x, splat); // x > v  ⇒  v < x  ⇒  a
+            let lt = _mm256_cmpgt_epi64(splat, x); // v > x  ⇒  x < v  ⇒  b
+            *a |= (_mm256_movemask_pd(_mm256_castsi256_pd(gt)) as u32 as u64) << k;
+            *b |= (_mm256_movemask_pd(_mm256_castsi256_pd(lt)) as u32 as u64) << k;
+            k += 4;
+        }
+        for (i, &x) in buf[k..].iter().enumerate() {
+            *a |= u64::from(v < x) << (k + i);
+            *b |= u64::from(x < v) << (k + i);
+        }
+    }
+
+    /// `neq |= (x != v) << k` over up to 64 `i64`s of a `DIFF` column.
+    ///
+    /// # Safety
+    /// AVX2 must be available (see [`ranked_i64_avx2`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn diff_i64_avx2(buf: &[i64], v: i64, neq: &mut u64) {
+        let splat = _mm256_set1_epi64x(v);
+        let mut k = 0;
+        while k + 4 <= buf.len() {
+            let x = _mm256_loadu_si256(buf.as_ptr().add(k) as *const __m256i);
+            let eq = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(x, splat)));
+            *neq |= (!(eq as u32 as u64) & 0xF) << k;
+            k += 4;
+        }
+        for (i, &x) in buf[k..].iter().enumerate() {
+            *neq |= u64::from(x != v) << (k + i);
+        }
+    }
+
+    /// `a |= (v < x) << k`, `b |= (x < v) << k` over up to 64 `f64`s.
+    ///
+    /// # Safety
+    /// AVX2 must be available (see [`ranked_i64_avx2`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn ranked_f64_avx2(buf: &[f64], v: f64, a: &mut u64, b: &mut u64) {
+        let splat = _mm256_set1_pd(v);
+        let mut k = 0;
+        while k + 4 <= buf.len() {
+            let x = _mm256_loadu_pd(buf.as_ptr().add(k));
+            let gt = _mm256_cmp_pd::<_CMP_GT_OQ>(x, splat);
+            let lt = _mm256_cmp_pd::<_CMP_LT_OQ>(x, splat);
+            *a |= (_mm256_movemask_pd(gt) as u32 as u64) << k;
+            *b |= (_mm256_movemask_pd(lt) as u32 as u64) << k;
+            k += 4;
+        }
+        for (i, &x) in buf[k..].iter().enumerate() {
+            *a |= u64::from(v < x) << (k + i);
+            *b |= u64::from(x < v) << (k + i);
+        }
+    }
+
+    /// `neq |= (x != v) << k` over up to 64 `f64`s of a `DIFF` column.
+    ///
+    /// # Safety
+    /// AVX2 must be available (see [`ranked_i64_avx2`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn diff_f64_avx2(buf: &[f64], v: f64, neq: &mut u64) {
+        let splat = _mm256_set1_pd(v);
+        let mut k = 0;
+        while k + 4 <= buf.len() {
+            let x = _mm256_loadu_pd(buf.as_ptr().add(k));
+            let ne = _mm256_cmp_pd::<_CMP_NEQ_OQ>(x, splat);
+            *neq |= (_mm256_movemask_pd(ne) as u32 as u64) << k;
+            k += 4;
+        }
+        for (i, &x) in buf[k..].iter().enumerate() {
+            *neq |= u64::from(x != v) << (k + i);
+        }
+    }
+
+    /// Two-lane SSE2 variant of [`ranked_f64_avx2`]. SSE2 is in the
+    /// x86-64 baseline, so this is a safe function.
+    pub fn ranked_f64_sse2(buf: &[f64], v: f64, a: &mut u64, b: &mut u64) {
+        unsafe {
+            let splat = _mm_set1_pd(v);
+            let mut k = 0;
+            while k + 2 <= buf.len() {
+                let x = _mm_loadu_pd(buf.as_ptr().add(k));
+                *a |= (_mm_movemask_pd(_mm_cmpgt_pd(x, splat)) as u32 as u64) << k;
+                *b |= (_mm_movemask_pd(_mm_cmplt_pd(x, splat)) as u32 as u64) << k;
+                k += 2;
+            }
+            if k < buf.len() {
+                let x = buf[k];
+                *a |= u64::from(v < x) << k;
+                *b |= u64::from(x < v) << k;
+            }
+        }
+    }
+
+    /// Two-lane SSE2 variant of [`diff_f64_avx2`].
+    pub fn diff_f64_sse2(buf: &[f64], v: f64, neq: &mut u64) {
+        unsafe {
+            let splat = _mm_set1_pd(v);
+            let mut k = 0;
+            while k + 2 <= buf.len() {
+                let x = _mm_loadu_pd(buf.as_ptr().add(k));
+                *neq |= (_mm_movemask_pd(_mm_cmpneq_pd(x, splat)) as u32 as u64) << k;
+                k += 2;
+            }
+            if k < buf.len() {
+                *neq |= u64::from(buf[k] != v) << k;
+            }
+        }
+    }
+}
 
 /// One encoded skyline dimension of a candidate tuple, matched against the
 /// corresponding block column's class.
@@ -124,6 +403,17 @@ pub struct BatchResult {
     pub dominated_at: Option<usize>,
 }
 
+/// Result of one multi-candidate window pass
+/// ([`ColumnarBlock::first_dominators`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiBatchResult {
+    /// Pairwise dominance tests performed across all lanes (chunk-granular
+    /// per live lane).
+    pub tested: u64,
+    /// Number of candidate lanes in the pass.
+    pub lanes: usize,
+}
+
 /// Storage of one dimension column.
 #[derive(Debug, Clone)]
 enum ColumnData {
@@ -145,7 +435,11 @@ struct Column {
     /// Column position in the input rows.
     index: usize,
     /// Sign normalization: negate values of `MAX` dimensions on encode.
+    /// `DIFF` columns are stored un-negated.
     negate: bool,
+    /// `DIFF` dimension: compared for equality (`neq` mask) instead of
+    /// order (`a`/`b` masks).
+    is_diff: bool,
     /// NULL (or NaN) seen in this column.
     saw_null: bool,
     data: ColumnData,
@@ -213,19 +507,31 @@ pub struct ColumnarBlock {
     incomplete: bool,
     len: usize,
     fallback: Option<&'static str>,
+    tier: KernelTier,
 }
 
 impl ColumnarBlock {
-    /// Empty block for `spec` under the chosen dominance relation.
+    /// Empty block for `spec` under the chosen dominance relation, with
+    /// the compare tier auto-detected ([`DominanceKernel::Auto`]).
     ///
-    /// A spec with `DIFF` dimensions (or no dimensions) starts in scalar
-    /// fallback; pushes and encodes are then inert and the caller must use
-    /// the scalar checker.
+    /// A spec with no dimensions starts in scalar fallback; pushes and
+    /// encodes are then inert and the caller must use the scalar checker.
     pub fn new(spec: &SkylineSpec, incomplete: bool) -> Self {
+        ColumnarBlock::with_tier(spec, incomplete, KernelTier::detect())
+    }
+
+    /// Empty block dispatching to the tier the `kernel` knob resolves to
+    /// on this CPU.
+    pub fn with_kernel(spec: &SkylineSpec, incomplete: bool, kernel: DominanceKernel) -> Self {
+        ColumnarBlock::with_tier(spec, incomplete, KernelTier::resolve(kernel))
+    }
+
+    /// Empty block pinned to an explicit tier (differential tests and
+    /// benchmarks; [`new`](Self::new) / [`with_kernel`](Self::with_kernel)
+    /// otherwise).
+    pub fn with_tier(spec: &SkylineSpec, incomplete: bool, tier: KernelTier) -> Self {
         let fallback = if spec.dims.is_empty() {
             Some("no skyline dimensions")
-        } else if spec.diff_dims().count() > 0 {
-            Some("DIFF dimensions require equality tests")
         } else {
             None
         };
@@ -236,6 +542,7 @@ impl ColumnarBlock {
                 .map(|d| Column {
                     index: d.index,
                     negate: d.ty == SkylineType::Max,
+                    is_diff: d.ty == SkylineType::Diff,
                     saw_null: false,
                     data: ColumnData::Pending,
                 })
@@ -244,12 +551,30 @@ impl ColumnarBlock {
             incomplete,
             len: 0,
             fallback,
+            tier,
         }
     }
 
-    /// Block matching a checker's spec and relation.
+    /// Block matching a checker's spec and relation, tier auto-detected.
     pub fn for_checker(checker: &DominanceChecker) -> Self {
         ColumnarBlock::new(checker.spec(), checker.is_incomplete())
+    }
+
+    /// Block matching a checker's spec and relation, tier resolved from
+    /// the `kernel` knob.
+    pub fn for_checker_with(checker: &DominanceChecker, kernel: DominanceKernel) -> Self {
+        ColumnarBlock::with_kernel(checker.spec(), checker.is_incomplete(), kernel)
+    }
+
+    /// Resolved compare tier of this block.
+    pub fn tier(&self) -> KernelTier {
+        self.tier
+    }
+
+    /// Whether comparisons run on a SIMD tier (feeds the `simd_tests`
+    /// metric).
+    pub fn is_simd(&self) -> bool {
+        self.tier.is_simd()
     }
 
     /// Number of encoded rows.
@@ -539,6 +864,20 @@ impl ColumnarBlock {
         out: &mut Vec<Dominance>,
         stop_at_dominator: bool,
     ) -> BatchResult {
+        self.compare_batch_tuned(cand, out, stop_at_dominator, CANDIDATE_FIRST_CHUNK)
+    }
+
+    /// [`compare_batch`](Self::compare_batch) with an explicit first-chunk
+    /// size — the tuning hook behind [`CANDIDATE_FIRST_CHUNK`] (the
+    /// BENCH_PR6 sweep measures candidates through here; production code
+    /// uses `compare_batch`).
+    pub fn compare_batch_tuned(
+        &self,
+        cand: &EncodedCandidate,
+        out: &mut Vec<Dominance>,
+        stop_at_dominator: bool,
+        first_chunk: usize,
+    ) -> BatchResult {
         out.clear();
         debug_assert!(!self.is_fallback(), "compare_batch on a fallback block");
         if cand.all_incomparable {
@@ -552,39 +891,17 @@ impl ColumnarBlock {
         let mut dominated_at = None;
         let mut base = 0;
         let mut width = if stop_at_dominator {
-            FIRST_CHUNK
+            first_chunk.clamp(1, CHUNK)
         } else {
             CHUNK
         };
         while base < self.len {
             let m = width.min(self.len - base);
             width = (width * 2).min(CHUNK);
-            // Candidate-better / row-better bits, accumulated per dim over
-            // the chunk's contiguous buffer slice.
-            let mut a: u64 = 0;
-            let mut b: u64 = 0;
-            for (col, dim) in self.cols.iter().zip(&cand.dims) {
-                match (&col.data, dim) {
-                    (ColumnData::Ints(buf), CandDim::Int(v))
-                    | (ColumnData::Bools(buf), CandDim::Int(v)) => {
-                        for (k, &x) in buf[base..base + m].iter().enumerate() {
-                            a |= u64::from(*v < x) << k;
-                            b |= u64::from(x < *v) << k;
-                        }
-                    }
-                    (ColumnData::Floats(buf), CandDim::Float(v)) => {
-                        for (k, &x) in buf[base..base + m].iter().enumerate() {
-                            a |= u64::from(*v < x) << k;
-                            b |= u64::from(x < *v) << k;
-                        }
-                    }
-                    (_, CandDim::Skip) | (ColumnData::Pending, _) => {}
-                    mismatch => unreachable!("encode/class invariant violated: {mismatch:?}"),
-                }
-            }
+            let (a, b, neq) = self.chunk_masks(cand, base, m);
             for k in 0..m {
                 let bit = 1u64 << k;
-                let outcome = if !self.incomplete && self.any_null[base + k] {
+                let outcome = if (!self.incomplete && self.any_null[base + k]) || neq & bit != 0 {
                     Dominance::Incomparable
                 } else {
                     match (a & bit != 0, b & bit != 0) {
@@ -610,6 +927,189 @@ impl ColumnarBlock {
             dominated_at,
         }
     }
+
+    /// Multi-candidate window pass: find, for every candidate lane, the
+    /// first block row that strictly dominates it (`DominatedBy`, never
+    /// `Equal`), walking the buffers chunk-major so each 64-row chunk is
+    /// visited once for all live lanes. A lane goes dead once its
+    /// dominator is found; the walk stops — chunk-granular — when every
+    /// lane is dead.
+    ///
+    /// Callers use this as a *pre-pass* and must only rely on strict
+    /// dominance being stable, which holds under a transitive relation
+    /// (the complete relation, or the incomplete relation within one
+    /// null-bitmap class).
+    pub fn first_dominators(
+        &self,
+        cands: &[EncodedCandidate],
+        dominated: &mut Vec<Option<usize>>,
+    ) -> MultiBatchResult {
+        debug_assert!(!self.is_fallback(), "first_dominators on a fallback block");
+        dominated.clear();
+        dominated.resize(cands.len(), None);
+        // All-incomparable candidates (NULL-like under the complete
+        // relation) are never dominated; their lanes start dead.
+        let mut live = cands.iter().filter(|c| !c.all_incomparable).count();
+        let mut tested = 0u64;
+        let mut base = 0;
+        while base < self.len && live > 0 {
+            let m = CHUNK.min(self.len - base);
+            // Complete relation: rows with NULL-like values dominate
+            // nothing, whatever their placeholder buffers say.
+            let mut nulls: u64 = 0;
+            if !self.incomplete {
+                for (k, &n) in self.any_null[base..base + m].iter().enumerate() {
+                    nulls |= u64::from(n) << k;
+                }
+            }
+            for (lane, cand) in cands.iter().enumerate() {
+                if dominated[lane].is_some() || cand.all_incomparable {
+                    continue;
+                }
+                let (a, b, neq) = self.chunk_masks(cand, base, m);
+                tested += m as u64;
+                // Strict dominators: row strictly better somewhere, the
+                // candidate nowhere, equal on every DIFF dim, NULL-free.
+                let dom = b & !a & !neq & !nulls & mask(m);
+                if dom != 0 {
+                    dominated[lane] = Some(base + dom.trailing_zeros() as usize);
+                    live -= 1;
+                }
+            }
+            base += m;
+        }
+        MultiBatchResult {
+            tested,
+            lanes: cands.len(),
+        }
+    }
+
+    /// Candidate-better (`a`), row-better (`b`), and DIFF-inequality
+    /// (`neq`) bits for rows `[base, base + m)`, dispatched to the block's
+    /// compare tier.
+    fn chunk_masks(&self, cand: &EncodedCandidate, base: usize, m: usize) -> (u64, u64, u64) {
+        match self.tier {
+            KernelTier::Chunked => self.chunk_masks_chunked(cand, base, m),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Sse2 => self.chunk_masks_simd(cand, base, m, false),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx2 => self.chunk_masks_simd(cand, base, m, true),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => self.chunk_masks_chunked(cand, base, m),
+        }
+    }
+
+    /// Portable chunked-scalar mask loop — the PR 2 kernel, kept verbatim
+    /// per ranked column; the differential oracle for the SIMD tiers.
+    fn chunk_masks_chunked(
+        &self,
+        cand: &EncodedCandidate,
+        base: usize,
+        m: usize,
+    ) -> (u64, u64, u64) {
+        // Candidate-better / row-better / DIFF-inequality bits,
+        // accumulated per dim over the chunk's contiguous buffer slice.
+        let mut a: u64 = 0;
+        let mut b: u64 = 0;
+        let mut neq: u64 = 0;
+        for (col, dim) in self.cols.iter().zip(&cand.dims) {
+            match (&col.data, dim) {
+                (ColumnData::Ints(buf), CandDim::Int(v))
+                | (ColumnData::Bools(buf), CandDim::Int(v)) => {
+                    if col.is_diff {
+                        for (k, &x) in buf[base..base + m].iter().enumerate() {
+                            neq |= u64::from(x != *v) << k;
+                        }
+                    } else {
+                        for (k, &x) in buf[base..base + m].iter().enumerate() {
+                            a |= u64::from(*v < x) << k;
+                            b |= u64::from(x < *v) << k;
+                        }
+                    }
+                }
+                (ColumnData::Floats(buf), CandDim::Float(v)) => {
+                    if col.is_diff {
+                        for (k, &x) in buf[base..base + m].iter().enumerate() {
+                            neq |= u64::from(x != *v) << k;
+                        }
+                    } else {
+                        for (k, &x) in buf[base..base + m].iter().enumerate() {
+                            a |= u64::from(*v < x) << k;
+                            b |= u64::from(x < *v) << k;
+                        }
+                    }
+                }
+                (_, CandDim::Skip) | (ColumnData::Pending, _) => {}
+                mismatch => unreachable!("encode/class invariant violated: {mismatch:?}"),
+            }
+        }
+        (a, b, neq)
+    }
+
+    /// SIMD mask computation: AVX2 four-lane compares when `avx2`,
+    /// otherwise the SSE2 baseline tier (two-lane floats, chunked
+    /// integers).
+    #[cfg(target_arch = "x86_64")]
+    fn chunk_masks_simd(
+        &self,
+        cand: &EncodedCandidate,
+        base: usize,
+        m: usize,
+        avx2: bool,
+    ) -> (u64, u64, u64) {
+        let mut a: u64 = 0;
+        let mut b: u64 = 0;
+        let mut neq: u64 = 0;
+        for (col, dim) in self.cols.iter().zip(&cand.dims) {
+            match (&col.data, dim) {
+                (ColumnData::Ints(buf), CandDim::Int(v))
+                | (ColumnData::Bools(buf), CandDim::Int(v)) => {
+                    let s = &buf[base..base + m];
+                    if avx2 {
+                        // SAFETY: the `Avx2` tier is only resolved after
+                        // `is_x86_feature_detected!("avx2")`.
+                        unsafe {
+                            if col.is_diff {
+                                simd::diff_i64_avx2(s, *v, &mut neq);
+                            } else {
+                                simd::ranked_i64_avx2(s, *v, &mut a, &mut b);
+                            }
+                        }
+                    } else if col.is_diff {
+                        for (k, &x) in s.iter().enumerate() {
+                            neq |= u64::from(x != *v) << k;
+                        }
+                    } else {
+                        for (k, &x) in s.iter().enumerate() {
+                            a |= u64::from(*v < x) << k;
+                            b |= u64::from(x < *v) << k;
+                        }
+                    }
+                }
+                (ColumnData::Floats(buf), CandDim::Float(v)) => {
+                    let s = &buf[base..base + m];
+                    if avx2 {
+                        // SAFETY: as above — `Avx2` implies runtime
+                        // detection succeeded.
+                        unsafe {
+                            if col.is_diff {
+                                simd::diff_f64_avx2(s, *v, &mut neq);
+                            } else {
+                                simd::ranked_f64_avx2(s, *v, &mut a, &mut b);
+                            }
+                        }
+                    } else if col.is_diff {
+                        simd::diff_f64_sse2(s, *v, &mut neq);
+                    } else {
+                        simd::ranked_f64_sse2(s, *v, &mut a, &mut b);
+                    }
+                }
+                (_, CandDim::Skip) | (ColumnData::Pending, _) => {}
+                mismatch => unreachable!("encode/class invariant violated: {mismatch:?}"),
+            }
+        }
+        (a, b, neq)
+    }
 }
 
 /// Struct-of-arrays block of plain `f64` points in folded ("smaller is
@@ -621,16 +1121,38 @@ pub struct PointBlock {
     dims: usize,
     len: usize,
     cols: Vec<Vec<f64>>,
+    tier: KernelTier,
 }
 
 impl PointBlock {
-    /// Empty block of `dims`-dimensional points.
+    /// Empty block of `dims`-dimensional points, tier auto-detected.
     pub fn new(dims: usize) -> Self {
+        PointBlock::with_tier(dims, KernelTier::detect())
+    }
+
+    /// Empty block dispatching to the tier the `kernel` knob resolves to.
+    pub fn with_kernel(dims: usize, kernel: DominanceKernel) -> Self {
+        PointBlock::with_tier(dims, KernelTier::resolve(kernel))
+    }
+
+    /// Empty block pinned to an explicit compare tier.
+    pub fn with_tier(dims: usize, tier: KernelTier) -> Self {
         PointBlock {
             dims,
             len: 0,
             cols: (0..dims).map(|_| Vec::new()).collect(),
+            tier,
         }
+    }
+
+    /// Resolved compare tier of this block.
+    pub fn tier(&self) -> KernelTier {
+        self.tier
+    }
+
+    /// Whether comparisons run on a SIMD tier.
+    pub fn is_simd(&self) -> bool {
+        self.tier.is_simd()
     }
 
     /// Number of stored points.
@@ -662,14 +1184,7 @@ impl PointBlock {
         let mut base = 0;
         while base < self.len {
             let m = CHUNK.min(self.len - base);
-            let mut a: u64 = 0; // candidate strictly better somewhere
-            let mut b: u64 = 0; // stored point strictly better somewhere
-            for (col, &v) in self.cols.iter().zip(point) {
-                for (k, &x) in col[base..base + m].iter().enumerate() {
-                    a |= u64::from(v < x) << k;
-                    b |= u64::from(x < v) << k;
-                }
-            }
+            let (a, b) = self.point_masks(point, base, m);
             tested += m as u64;
             // Dominator: never better on the candidate side, strictly
             // better somewhere on the stored side.
@@ -680,6 +1195,73 @@ impl PointBlock {
             base += m;
         }
         (tested, None)
+    }
+
+    /// Multi-point variant of [`first_dominator`](Self::first_dominator):
+    /// one chunk-major walk over the stored points serves every query
+    /// point, with per-lane early exit and a chunk-granular stop once all
+    /// lanes found a dominator. Returns the number of point-vs-point tests
+    /// performed.
+    pub fn first_dominators(&self, points: &[&[f64]], dominated: &mut Vec<Option<usize>>) -> u64 {
+        for p in points {
+            assert_eq!(p.len(), self.dims, "point dimensionality mismatch");
+        }
+        dominated.clear();
+        dominated.resize(points.len(), None);
+        let mut live = points.len();
+        let mut tested = 0u64;
+        let mut base = 0;
+        while base < self.len && live > 0 {
+            let m = CHUNK.min(self.len - base);
+            for (lane, point) in points.iter().enumerate() {
+                if dominated[lane].is_some() {
+                    continue;
+                }
+                let (a, b) = self.point_masks(point, base, m);
+                tested += m as u64;
+                let dom = b & !a & mask(m);
+                if dom != 0 {
+                    dominated[lane] = Some(base + dom.trailing_zeros() as usize);
+                    live -= 1;
+                }
+            }
+            base += m;
+        }
+        tested
+    }
+
+    /// Query-better (`a`) / stored-better (`b`) bits for points
+    /// `[base, base + m)`, dispatched to the block's compare tier.
+    fn point_masks(&self, point: &[f64], base: usize, m: usize) -> (u64, u64) {
+        let mut a: u64 = 0; // candidate strictly better somewhere
+        let mut b: u64 = 0; // stored point strictly better somewhere
+        match self.tier {
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx2 => {
+                for (col, &v) in self.cols.iter().zip(point) {
+                    // SAFETY: the `Avx2` tier is only resolved after
+                    // `is_x86_feature_detected!("avx2")`.
+                    unsafe {
+                        simd::ranked_f64_avx2(&col[base..base + m], v, &mut a, &mut b);
+                    }
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Sse2 => {
+                for (col, &v) in self.cols.iter().zip(point) {
+                    simd::ranked_f64_sse2(&col[base..base + m], v, &mut a, &mut b);
+                }
+            }
+            _ => {
+                for (col, &v) in self.cols.iter().zip(point) {
+                    for (k, &x) in col[base..base + m].iter().enumerate() {
+                        a |= u64::from(v < x) << k;
+                        b |= u64::from(x < v) << k;
+                    }
+                }
+            }
+        }
+        (a, b)
     }
 }
 
@@ -868,10 +1450,211 @@ mod tests {
     }
 
     #[test]
-    fn diff_spec_falls_back() {
-        let spec = SkylineSpec::new(vec![SkylineDim::diff(0), SkylineDim::min(1)]);
-        let block = ColumnarBlock::new(&spec, false);
+    fn empty_spec_falls_back() {
+        let block = ColumnarBlock::new(&SkylineSpec::new(vec![]), false);
         assert!(block.is_fallback());
+    }
+
+    #[test]
+    fn diff_dims_stay_on_fast_path() {
+        let spec = SkylineSpec::new(vec![SkylineDim::diff(0), SkylineDim::min(1)]);
+        let checker = DominanceChecker::complete(spec.clone());
+        for tier in KernelTier::available() {
+            let mut block = ColumnarBlock::with_tier(&spec, false, tier);
+            let rows: Vec<Row> = (0..70)
+                .map(|i| Row::new(vec![Value::Int64(i % 3), Value::Int64(70 - i)]))
+                .collect();
+            for r in &rows {
+                block.push(r);
+            }
+            assert!(!block.is_fallback(), "{:?}", block.fallback_reason());
+            let mut out = Vec::new();
+            for c in 0..6 {
+                let cand = Row::new(vec![Value::Int64(c % 3), Value::Int64(30 + c)]);
+                let enc = block.encode(&cand).expect("encodable DIFF candidate");
+                block.compare_batch(&enc, &mut out, false);
+                for (i, row) in rows.iter().enumerate() {
+                    assert_eq!(
+                        out[i],
+                        checker.compare(&cand, row),
+                        "tier {tier:?} cand={cand} row={row}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn float_diff_dims_match_scalar() {
+        let spec = SkylineSpec::new(vec![SkylineDim::diff(0), SkylineDim::min(1)]);
+        let checker = DominanceChecker::complete(spec.clone());
+        for tier in KernelTier::available() {
+            let mut block = ColumnarBlock::with_tier(&spec, false, tier);
+            let rows: Vec<Row> = (0..9)
+                .map(|i| {
+                    Row::new(vec![
+                        Value::Float64(f64::from(i % 2) * 0.5),
+                        Value::Float64(f64::from(9 - i)),
+                    ])
+                })
+                .collect();
+            for r in &rows {
+                block.push(r);
+            }
+            assert!(!block.is_fallback());
+            let cand = Row::new(vec![Value::Float64(0.5), Value::Float64(4.0)]);
+            let enc = block.encode(&cand).unwrap();
+            let mut out = Vec::new();
+            block.compare_batch(&enc, &mut out, false);
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(out[i], checker.compare(&cand, row), "tier {tier:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_numeric_diff_demotes_block() {
+        let spec = SkylineSpec::new(vec![SkylineDim::diff(0), SkylineDim::min(1)]);
+        let mut block = ColumnarBlock::new(&spec, false);
+        block.push(&Row::new(vec![Value::str("group-a"), Value::Int64(1)]));
+        assert!(block.is_fallback());
+    }
+
+    /// Deterministic pseudo-random mixed dataset exercising ints, floats,
+    /// NULLs, and ties across > 64 rows.
+    fn mixed_rows(n: usize) -> Vec<Row> {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..n)
+            .map(|_| {
+                let a = next();
+                let b = next();
+                let v0 = if a % 11 == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64((a % 100) as f64 / 4.0)
+                };
+                let v1 = Value::Float64((b % 50) as f64);
+                Row::new(vec![v0, v1])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_tiers_produce_identical_outcomes() {
+        let rows = mixed_rows(150);
+        let cands = mixed_rows(40);
+        let mut oracle: Option<Vec<Vec<Dominance>>> = None;
+        for tier in KernelTier::available() {
+            let mut block = ColumnarBlock::with_tier(&spec_mm(), false, tier);
+            for r in &rows {
+                block.push(r);
+            }
+            assert!(!block.is_fallback());
+            let mut all = Vec::new();
+            let mut out = Vec::new();
+            for c in &cands {
+                let enc = block.encode(c).unwrap();
+                block.compare_batch(&enc, &mut out, false);
+                all.push(out.clone());
+            }
+            match &oracle {
+                None => oracle = Some(all),
+                Some(expected) => assert_eq!(expected, &all, "tier {tier:?} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn first_dominators_matches_single_candidate_scans() {
+        let rows = mixed_rows(200);
+        let cands = mixed_rows(20);
+        for tier in KernelTier::available() {
+            let mut block = ColumnarBlock::with_tier(&spec_mm(), false, tier);
+            for r in &rows {
+                block.push(r);
+            }
+            let encoded: Vec<EncodedCandidate> =
+                cands.iter().map(|c| block.encode(c).unwrap()).collect();
+            let mut dominated = Vec::new();
+            let res = block.first_dominators(&encoded, &mut dominated);
+            assert_eq!(res.lanes, cands.len());
+            assert!(res.tested > 0);
+            let mut out = Vec::new();
+            for (lane, enc) in encoded.iter().enumerate() {
+                block.compare_batch(enc, &mut out, false);
+                let expected = out.iter().position(|&o| o == Dominance::DominatedBy);
+                assert_eq!(dominated[lane], expected, "tier {tier:?} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_dominators_early_exits_when_all_lanes_die() {
+        // Every candidate is dominated by row 0; the walk must stop after
+        // the first chunk instead of scanning all 1000 rows.
+        let mut block = ColumnarBlock::new(&spec_mm(), false);
+        block.push(&int_row(0, 100));
+        for i in 0..1000 {
+            block.push(&int_row(50 + i, 50));
+        }
+        let cands: Vec<EncodedCandidate> = (0..8)
+            .map(|i| block.encode(&int_row(10 + i, 10)).unwrap())
+            .collect();
+        let mut dominated = Vec::new();
+        let res = block.first_dominators(&cands, &mut dominated);
+        assert!(dominated.iter().all(|d| *d == Some(0)));
+        assert_eq!(res.tested, 8 * CHUNK as u64);
+    }
+
+    #[test]
+    fn first_dominators_never_reports_equal_rows() {
+        let mut block = ColumnarBlock::new(&spec_mm(), false);
+        block.push(&int_row(5, 5));
+        let cands = vec![block.encode(&int_row(5, 5)).unwrap()];
+        let mut dominated = Vec::new();
+        block.first_dominators(&cands, &mut dominated);
+        assert_eq!(dominated[0], None);
+    }
+
+    #[test]
+    fn first_dominators_ignores_null_rows_and_null_candidates() {
+        let spec = SkylineSpec::new(vec![SkylineDim::min(0), SkylineDim::min(1)]);
+        let mut block = ColumnarBlock::new(&spec, false);
+        block.push(&Row::new(vec![Value::Null, Value::Float64(0.0)]));
+        block.push(&Row::new(vec![Value::Float64(0.0), Value::Float64(0.0)]));
+        let cands = vec![
+            block
+                .encode(&Row::new(vec![Value::Float64(5.0), Value::Float64(5.0)]))
+                .unwrap(),
+            block
+                .encode(&Row::new(vec![Value::Null, Value::Float64(9.0)]))
+                .unwrap(),
+        ];
+        let mut dominated = Vec::new();
+        block.first_dominators(&cands, &mut dominated);
+        // The NULL row (index 0) dominates nothing; row 1 dominates the
+        // first candidate. The NULL candidate is incomparable to all.
+        assert_eq!(dominated, vec![Some(1), None]);
+    }
+
+    #[test]
+    fn kernel_labels_are_stable() {
+        assert_eq!(kernel_label(DominanceKernel::Scalar), "scalar");
+        assert_eq!(kernel_label(DominanceKernel::Chunked), "chunked");
+        let auto = kernel_label(DominanceKernel::Auto);
+        if KernelTier::detect().is_simd() {
+            assert!(auto.starts_with("simd("), "{auto}");
+            assert!(auto.ends_with(&format!("lanes={MULTI_LANES}")), "{auto}");
+        } else {
+            assert_eq!(auto, "chunked");
+        }
+        assert_eq!(auto, kernel_label(DominanceKernel::Simd));
     }
 
     #[test]
@@ -1012,5 +1795,43 @@ mod tests {
         let (tested, hit) = pb.first_dominator(&[50.0, 50.0]);
         assert_eq!(hit, Some(70));
         assert_eq!(tested, 128);
+    }
+
+    #[test]
+    fn point_block_tiers_and_multi_agree() {
+        let mut points: Vec<Vec<f64>> = Vec::new();
+        let mut state = 1u64;
+        for _ in 0..150 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = (state >> 33) % 100;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let y = (state >> 33) % 100;
+            points.push(vec![x as f64, y as f64]);
+        }
+        let queries: Vec<Vec<f64>> = points
+            .iter()
+            .take(30)
+            .map(|p| vec![p[0] + 1.0, p[1] + 1.0])
+            .collect();
+        let mut oracle: Option<Vec<Option<usize>>> = None;
+        for tier in KernelTier::available() {
+            let mut pb = PointBlock::with_tier(2, tier);
+            for p in &points {
+                pb.push(p);
+            }
+            // Single-point scans agree across tiers...
+            let singles: Vec<Option<usize>> =
+                queries.iter().map(|q| pb.first_dominator(q).1).collect();
+            match &oracle {
+                None => oracle = Some(singles.clone()),
+                Some(expected) => assert_eq!(expected, &singles, "tier {tier:?} diverged"),
+            }
+            // ...and the multi-point walk matches them lane for lane.
+            let refs: Vec<&[f64]> = queries.iter().map(|q| q.as_slice()).collect();
+            let mut dominated = Vec::new();
+            let tested = pb.first_dominators(&refs, &mut dominated);
+            assert!(tested > 0);
+            assert_eq!(dominated, singles, "tier {tier:?}");
+        }
     }
 }

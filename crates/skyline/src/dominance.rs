@@ -39,6 +39,14 @@ pub struct SkylineStats {
     /// Times `sfs_skyline` discarded its sort work and re-ran BNL because
     /// a row did not admit the monotone scoring function.
     pub sfs_fallbacks: u64,
+    /// Dominance tests answered on an explicit-SIMD compare tier. Always
+    /// `<= batched_tests` (SIMD tests are batched tests).
+    pub simd_tests: u64,
+    /// Multi-candidate window passes performed
+    /// (`columnar::ColumnarBlock::first_dominators` and the `PointBlock`
+    /// grid-corner variant): one walk over a block's buffers amortized
+    /// across up to `columnar::MULTI_LANES` candidates.
+    pub multi_candidate_passes: u64,
 }
 
 impl SkylineStats {
@@ -50,12 +58,32 @@ impl SkylineStats {
         self.batched_tests += other.batched_tests;
         self.scalar_tests += other.scalar_tests;
         self.sfs_fallbacks += other.sfs_fallbacks;
+        self.simd_tests += other.simd_tests;
+        self.multi_candidate_passes += other.multi_candidate_passes;
     }
 
-    /// Record `n` dominance tests performed by the columnar batch kernel.
+    /// Record `n` dominance tests performed by the columnar batch kernel
+    /// on its portable (chunked) tier.
     pub fn add_batched(&mut self, n: u64) {
         self.dominance_tests += n;
         self.batched_tests += n;
+    }
+
+    /// Record `n` dominance tests performed by the columnar batch kernel,
+    /// attributing them to the SIMD counter when the block's resolved
+    /// tier is a SIMD one.
+    pub fn add_block_tests(&mut self, n: u64, simd: bool) {
+        self.dominance_tests += n;
+        self.batched_tests += n;
+        if simd {
+            self.simd_tests += n;
+        }
+    }
+
+    /// Record one multi-candidate window pass of `tested` pairwise tests.
+    pub fn add_multi_pass(&mut self, tested: u64, simd: bool) {
+        self.add_block_tests(tested, simd);
+        self.multi_candidate_passes += 1;
     }
 
     /// Record one dominance test performed by the scalar checker.
@@ -366,6 +394,8 @@ mod tests {
             batched_tests: 6,
             scalar_tests: 4,
             sfs_fallbacks: 1,
+            simd_tests: 3,
+            multi_candidate_passes: 2,
         };
         let b = SkylineStats {
             dominance_tests: 5,
@@ -373,6 +403,8 @@ mod tests {
             batched_tests: 0,
             scalar_tests: 5,
             sfs_fallbacks: 2,
+            simd_tests: 0,
+            multi_candidate_passes: 1,
         };
         a.merge(&b);
         assert_eq!(a.dominance_tests, 15);
@@ -380,5 +412,26 @@ mod tests {
         assert_eq!(a.batched_tests, 6);
         assert_eq!(a.scalar_tests, 9);
         assert_eq!(a.sfs_fallbacks, 3);
+        assert_eq!(a.simd_tests, 3);
+        assert_eq!(a.multi_candidate_passes, 3);
+    }
+
+    #[test]
+    fn stats_kernel_helpers() {
+        let mut s = SkylineStats::default();
+        s.add_block_tests(10, false);
+        assert_eq!(
+            (s.dominance_tests, s.batched_tests, s.simd_tests),
+            (10, 10, 0)
+        );
+        s.add_block_tests(5, true);
+        assert_eq!(
+            (s.dominance_tests, s.batched_tests, s.simd_tests),
+            (15, 15, 5)
+        );
+        s.add_multi_pass(64, true);
+        assert_eq!(s.multi_candidate_passes, 1);
+        assert_eq!(s.simd_tests, 69);
+        assert_eq!(s.dominance_tests, 79);
     }
 }

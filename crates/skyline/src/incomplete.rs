@@ -70,9 +70,9 @@
 
 use std::collections::HashMap;
 
-use sparkline_common::{Row, SkylineSpec};
+use sparkline_common::{DominanceKernel, Row, SkylineSpec};
 
-use crate::bnl::{bnl_skyline, BnlBuilder};
+use crate::bnl::{bnl_skyline, kernel_for, BnlBuilder};
 use crate::columnar::{ColumnarBlock, EncodedCandidate};
 use crate::dominance::{Dominance, DominanceChecker, SkylineStats};
 
@@ -119,12 +119,15 @@ pub fn partition_by_null_bitmap(
 /// within one class every tuple shares its NULL positions, the restricted
 /// dominance relation is transitive again (Lemma 5.1), and — because a
 /// class is uniformly NULL or non-NULL per column — each class window runs
-/// on the columnar kernel when `vectorized`. `finish` concatenates the
-/// class windows in **first-seen order**, making the streamed local phase
-/// deterministic (the materialized seed iterated a `HashMap`).
+/// on the columnar kernel when the kernel knob allows it. Because the
+/// restricted relation *is* transitive inside a class, each class window
+/// is marked class-pure and admits batches through the multi-candidate
+/// pre-pass. `finish` concatenates the class windows in **first-seen
+/// order**, making the streamed local phase deterministic (the
+/// materialized seed iterated a `HashMap`).
 pub struct GroupedBnlBuilder {
     checker: DominanceChecker,
-    vectorized: bool,
+    kernel: DominanceKernel,
     index: HashMap<u64, usize>,
     groups: Vec<BnlBuilder>,
 }
@@ -133,33 +136,59 @@ impl GroupedBnlBuilder {
     /// A builder over the checker's spec (must be an incomplete-relation
     /// checker when NULLs can occur).
     pub fn new(checker: DominanceChecker, vectorized: bool) -> Self {
+        Self::with_kernel(checker, kernel_for(vectorized))
+    }
+
+    /// As [`Self::new`], with an explicit compare-kernel selection.
+    pub fn with_kernel(checker: DominanceChecker, kernel: DominanceKernel) -> Self {
         GroupedBnlBuilder {
             checker,
-            vectorized,
+            kernel,
             index: HashMap::new(),
             groups: Vec::new(),
         }
     }
 
-    /// Feed one tuple into its bitmap class's window.
-    pub fn push(&mut self, row: Row) {
-        let bitmap = null_bitmap(&row, self.checker.spec());
-        let slot = match self.index.get(&bitmap) {
+    /// The window slot of a row's bitmap class, creating the class window
+    /// on first sight. New windows are marked class-pure: within one class
+    /// the restricted relation is transitive (Lemma 5.1), so the
+    /// multi-candidate pre-pass is sound.
+    fn slot_for(&mut self, row: &Row) -> usize {
+        let bitmap = null_bitmap(row, self.checker.spec());
+        match self.index.get(&bitmap) {
             Some(&i) => i,
             None => {
-                self.groups
-                    .push(BnlBuilder::new(self.checker.clone(), self.vectorized));
+                let mut builder = BnlBuilder::with_kernel(self.checker.clone(), self.kernel);
+                builder.mark_class_pure();
+                self.groups.push(builder);
                 self.index.insert(bitmap, self.groups.len() - 1);
                 self.groups.len() - 1
             }
-        };
+        }
+    }
+
+    /// Feed one tuple into its bitmap class's window.
+    pub fn push(&mut self, row: Row) {
+        let slot = self.slot_for(&row);
         self.groups[slot].push(row);
     }
 
-    /// Feed one batch of rows.
+    /// Feed one batch of rows: the batch is routed per class first so each
+    /// class window can admit its share through the multi-candidate
+    /// pre-pass instead of row-at-a-time.
     pub fn push_batch(&mut self, rows: impl IntoIterator<Item = Row>) {
+        let mut routed: Vec<(usize, Vec<Row>)> = Vec::new();
+        let mut at: HashMap<usize, usize> = HashMap::new();
         for row in rows {
-            self.push(row);
+            let slot = self.slot_for(&row);
+            let i = *at.entry(slot).or_insert_with(|| {
+                routed.push((slot, Vec::new()));
+                routed.len() - 1
+            });
+            routed[i].1.push(row);
+        }
+        for (slot, class_rows) in routed {
+            self.groups[slot].push_batch(class_rows);
         }
     }
 
@@ -272,17 +301,22 @@ impl IncompletePartial {
 /// unchanged, so the leaf is also correct (and idempotent) on raw input.
 pub struct IncompletePartialBuilder {
     checker: DominanceChecker,
-    vectorized: bool,
+    kernel: DominanceKernel,
     grouped: GroupedBnlBuilder,
 }
 
 impl IncompletePartialBuilder {
     /// A builder over an incomplete-relation checker.
     pub fn new(checker: DominanceChecker, vectorized: bool) -> Self {
+        Self::with_kernel(checker, kernel_for(vectorized))
+    }
+
+    /// As [`Self::new`], with an explicit compare-kernel selection.
+    pub fn with_kernel(checker: DominanceChecker, kernel: DominanceKernel) -> Self {
         IncompletePartialBuilder {
-            grouped: GroupedBnlBuilder::new(checker.clone(), vectorized),
+            grouped: GroupedBnlBuilder::with_kernel(checker.clone(), kernel),
             checker,
-            vectorized,
+            kernel,
         }
     }
 
@@ -321,11 +355,11 @@ impl IncompletePartialBuilder {
                     })
                     .collect(),
             };
-            partial = merge_incomplete_partials(
+            partial = merge_incomplete_partials_kernel(
                 partial,
                 class_partial,
                 &self.checker,
-                self.vectorized,
+                self.kernel,
                 &mut stats,
             );
         }
@@ -343,17 +377,29 @@ impl IncompletePartialBuilder {
 /// kernel cannot represent fall back to the scalar checker. Results are
 /// byte-identical either way.
 pub fn merge_incomplete_partials(
+    a: IncompletePartial,
+    b: IncompletePartial,
+    checker: &DominanceChecker,
+    vectorized: bool,
+    stats: &mut SkylineStats,
+) -> IncompletePartial {
+    merge_incomplete_partials_kernel(a, b, checker, kernel_for(vectorized), stats)
+}
+
+/// As [`merge_incomplete_partials`], with an explicit compare-kernel
+/// selection for the per-class blocks of the cross pass.
+pub fn merge_incomplete_partials_kernel(
     mut a: IncompletePartial,
     mut b: IncompletePartial,
     checker: &DominanceChecker,
-    vectorized: bool,
+    kernel: DominanceKernel,
     stats: &mut SkylineStats,
 ) -> IncompletePartial {
     if a.is_empty() {
         return b;
     }
     if !b.is_empty() {
-        cross_flag(&mut a.entries, &mut b.entries, checker, vectorized, stats);
+        cross_flag(&mut a.entries, &mut b.entries, checker, kernel, stats);
         a.entries.append(&mut b.entries);
     }
     stats.max_window = stats.max_window.max(a.entries.len());
@@ -367,17 +413,17 @@ fn cross_flag(
     a: &mut [PartialEntry],
     b: &mut [PartialEntry],
     checker: &DominanceChecker,
-    vectorized: bool,
+    kernel: DominanceKernel,
     stats: &mut SkylineStats,
 ) {
-    if vectorized {
+    if kernel.is_vectorized() {
         // Encode once per class of `b`; flags never evict, so the blocks
         // stay valid for the whole pass.
         let mut blocks: Vec<(ColumnarBlock, Vec<usize>)> = Vec::new();
         let mut slots: HashMap<u64, usize> = HashMap::new();
         for (j, entry) in b.iter().enumerate() {
             let slot = *slots.entry(entry.bitmap).or_insert_with(|| {
-                blocks.push((ColumnarBlock::for_checker(checker), Vec::new()));
+                blocks.push((ColumnarBlock::for_checker_with(checker, kernel), Vec::new()));
                 blocks.len() - 1
             });
             let (block, members) = &mut blocks[slot];
@@ -396,7 +442,7 @@ fn cross_flag(
                 // No early exit: a dominated candidate must still flag the
                 // rows it dominates (it is a deferred witness, not dead).
                 let res = block.compare_batch(&cand, &mut out, false);
-                stats.add_batched(res.tested);
+                stats.add_block_tests(res.tested, block.is_simd());
                 for (&j, outcome) in members.iter().zip(&out) {
                     match outcome {
                         Dominance::Dominates => b[j].deferred = true,
@@ -784,6 +830,34 @@ mod tests {
         let root = partials.pop().unwrap_or_default();
         let deferred = root.deferred_len();
         (root.finish(), deferred)
+    }
+
+    #[test]
+    fn grouped_builder_kernel_knobs_are_byte_identical() {
+        // Per-class windows are class-pure, so the vectorized knobs run
+        // the multi-candidate pre-pass; every knob must produce the same
+        // rows in the same order.
+        let checker = DominanceChecker::incomplete(spec3());
+        let data = mixed_rows(240, 3, 7);
+        let mut baseline = GroupedBnlBuilder::with_kernel(checker.clone(), DominanceKernel::Scalar);
+        baseline.push_batch(data.clone());
+        let (expected, base_stats) = baseline.finish();
+        assert_eq!(base_stats.multi_candidate_passes, 0);
+        for kernel in [
+            DominanceKernel::Auto,
+            DominanceKernel::Simd,
+            DominanceKernel::Chunked,
+        ] {
+            let mut builder = GroupedBnlBuilder::with_kernel(checker.clone(), kernel);
+            builder.push_batch(data.clone());
+            let (rows, stats) = builder.finish();
+            assert_eq!(rows, expected, "kernel {kernel:?}");
+            assert_eq!(stats.max_window, base_stats.max_window);
+            assert!(
+                stats.multi_candidate_passes > 0,
+                "class-pure windows must batch candidates under {kernel:?}"
+            );
+        }
     }
 
     #[test]

@@ -13,9 +13,11 @@
 //!   al. used for local and global skylines on complete data (§5.6).
 //! * [`columnar`] — the struct-of-arrays dominance kernel: row windows are
 //!   transposed into sign-normalized `i64`/`f64` column buffers once, and
-//!   one candidate is tested against the whole window in a chunked pass;
-//!   the batched BNL/SFS variants and the grid partitioner's corner
-//!   pruning run on it.
+//!   candidates are tested against the whole window in chunked or
+//!   explicit-SIMD passes (AVX2/SSE2, runtime-dispatched), one candidate
+//!   at a time or [`columnar::MULTI_LANES`] at once; the batched BNL/SFS
+//!   variants, the pre-filter, the incomplete family's class blocks, and
+//!   the grid partitioner's corner pruning run on it.
 //! * [`incomplete`] — null-bitmap partitioning and the all-pairs,
 //!   deferred-deletion global skyline for incomplete data (§5.7 and
 //!   Lemma 5.1); the mergeable bitmap-class-aware partial results that
@@ -44,15 +46,20 @@ pub mod prefilter;
 pub mod sfs;
 
 pub use bnl::{
-    bnl_skyline, bnl_skyline_batched, bnl_skyline_into, bnl_skyline_into_batched, BnlBuilder,
+    bnl_skyline, bnl_skyline_batched, bnl_skyline_into, bnl_skyline_into_batched,
+    bnl_skyline_into_kernel, bnl_skyline_kernel, BnlBuilder,
 };
-pub use columnar::{BatchResult, ColumnarBlock, EncodedCandidate, PointBlock};
+pub use columnar::{
+    kernel_label, BatchResult, ColumnarBlock, EncodedCandidate, KernelTier, MultiBatchResult,
+    PointBlock, CANDIDATE_FIRST_CHUNK, CHUNK, MULTI_LANES,
+};
 pub use dominance::{Dominance, DominanceChecker, SkylineStats};
 pub use incomplete::{
-    incomplete_global_skyline, incomplete_skyline, merge_incomplete_partials, null_bitmap,
-    partition_by_null_bitmap, premature_deletion_global_skyline, GroupedBnlBuilder,
-    IncompletePartial, IncompletePartialBuilder,
+    incomplete_global_skyline, incomplete_skyline, merge_incomplete_partials,
+    merge_incomplete_partials_kernel, null_bitmap, partition_by_null_bitmap,
+    premature_deletion_global_skyline, GroupedBnlBuilder, IncompletePartial,
+    IncompletePartialBuilder,
 };
 pub use naive::naive_skyline;
 pub use prefilter::{representative_points, RepresentativeFilter};
-pub use sfs::{monotone_score, sfs_skyline, sfs_skyline_batched};
+pub use sfs::{monotone_score, sfs_skyline, sfs_skyline_batched, sfs_skyline_kernel};

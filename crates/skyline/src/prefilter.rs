@@ -33,10 +33,10 @@
 //! pass with early exit; rows the kernel cannot represent take the scalar
 //! checker, so filtering is exact either way.
 
-use sparkline_common::{Row, SkylineSpec};
+use sparkline_common::{DominanceKernel, Row, SkylineSpec};
 
-use crate::bnl::bnl_skyline;
-use crate::columnar::{ColumnarBlock, EncodedCandidate};
+use crate::bnl::{bnl_skyline, kernel_for};
+use crate::columnar::{ColumnarBlock, EncodedCandidate, MULTI_LANES};
 use crate::dominance::{Dominance, DominanceChecker, SkylineStats};
 
 /// Compute the representative filter set for a sample: the sample's
@@ -72,11 +72,17 @@ pub struct RepresentativeFilter {
 
 impl RepresentativeFilter {
     /// Filter over `points` (from [`representative_points`]) under the
-    /// complete relation of `spec`.
+    /// complete relation of `spec` ([`DominanceKernel::Auto`] when
+    /// `vectorized`).
     pub fn new(points: Vec<Row>, spec: &SkylineSpec, vectorized: bool) -> Self {
+        Self::with_kernel(points, spec, kernel_for(vectorized))
+    }
+
+    /// [`new`](Self::new) on an explicit kernel knob.
+    pub fn with_kernel(points: Vec<Row>, spec: &SkylineSpec, kernel: DominanceKernel) -> Self {
         let checker = DominanceChecker::complete(spec.clone());
-        let block = vectorized.then(|| {
-            let mut block = ColumnarBlock::for_checker(&checker);
+        let block = kernel.is_vectorized().then(|| {
+            let mut block = ColumnarBlock::for_checker_with(&checker, kernel);
             for p in &points {
                 block.push(p);
             }
@@ -106,36 +112,99 @@ impl RepresentativeFilter {
         if let Some(block) = self.block.as_ref() {
             if !block.is_fallback() && block.encode_into(row, &mut self.cand) {
                 let res = block.compare_batch(&self.cand, &mut self.out, true);
-                stats.add_batched(res.tested);
+                stats.add_block_tests(res.tested, block.is_simd());
                 return res.dominated_at.is_some();
             }
         }
-        for point in &self.points {
-            stats.add_scalar();
-            if self.checker.compare(row, point) == Dominance::DominatedBy {
-                return true;
-            }
-        }
-        false
+        scalar_dominated(&self.checker, &self.points, row, stats)
     }
 
     /// Keep the rows of `batch` no representative point strictly
     /// dominates, preserving order; returns the survivors and the number
     /// of rows dropped.
+    ///
+    /// On the kernel path the batch is filtered in multi-candidate
+    /// passes: groups of [`MULTI_LANES`] rows share one walk over the
+    /// encoded points. The filter only consumes strict-dominator hits, so
+    /// the multi pass *is* the complete filter decision for every
+    /// encodable row; rows the kernel cannot represent take the scalar
+    /// loop, exactly as before.
     pub fn retain_batch(&mut self, batch: Vec<Row>, stats: &mut SkylineStats) -> (Vec<Row>, u64) {
         if self.points.is_empty() {
             return (batch, 0);
         }
         let before = batch.len();
         let mut kept = Vec::with_capacity(batch.len());
-        for row in batch {
-            if !self.dominated(&row, stats) {
-                kept.push(row);
+        if self.block.as_ref().is_some_and(|b| !b.is_fallback()) {
+            let block = self.block.as_ref().expect("kernel block");
+            let simd = block.is_simd();
+            let mut iter = batch.into_iter();
+            let mut group: Vec<Row> = Vec::with_capacity(MULTI_LANES);
+            let mut encoded: Vec<EncodedCandidate> = Vec::new();
+            let mut lanes: Vec<usize> = Vec::with_capacity(MULTI_LANES);
+            let mut dominated: Vec<Option<usize>> = Vec::new();
+            loop {
+                group.clear();
+                group.extend(iter.by_ref().take(MULTI_LANES));
+                if group.is_empty() {
+                    break;
+                }
+                if encoded.len() < group.len() {
+                    encoded.resize_with(group.len(), EncodedCandidate::new);
+                }
+                lanes.clear();
+                let mut drop = [false; MULTI_LANES];
+                let mut n = 0;
+                for (i, row) in group.iter().enumerate() {
+                    if block.encode_into(row, &mut encoded[n]) {
+                        lanes.push(i);
+                        n += 1;
+                    } else {
+                        drop[i] = scalar_dominated(&self.checker, &self.points, row, stats);
+                    }
+                }
+                if n > 0 {
+                    let res = block.first_dominators(&encoded[..n], &mut dominated);
+                    stats.add_multi_pass(res.tested, simd);
+                    for (j, d) in dominated.iter().enumerate() {
+                        if d.is_some() {
+                            drop[lanes[j]] = true;
+                        }
+                    }
+                }
+                let mut i = 0;
+                kept.extend(group.drain(..).filter(|_| {
+                    let keep = !drop[i];
+                    i += 1;
+                    keep
+                }));
+            }
+        } else {
+            for row in batch {
+                if !self.dominated(&row, stats) {
+                    kept.push(row);
+                }
             }
         }
         let dropped = (before - kept.len()) as u64;
         (kept, dropped)
     }
+}
+
+/// Scalar filter decision: some point strictly dominates `row`.
+fn scalar_dominated(
+    checker: &DominanceChecker,
+    points: &[Row],
+    row: &Row,
+    stats: &mut SkylineStats,
+) -> bool {
+    for point in points {
+        stats.add_scalar();
+        if checker.compare(row, point) == Dominance::DominatedBy {
+            return true;
+        }
+    }
+    false
 }
 
 #[cfg(test)]

@@ -24,9 +24,9 @@
 //! score is a sum). [`sfs_skyline`] falls back to BNL when a dimension is
 //! non-numeric or NULL.
 
-use sparkline_common::{Row, Value};
+use sparkline_common::{DominanceKernel, Row, Value};
 
-use crate::bnl::{bnl_skyline, bnl_skyline_batched};
+use crate::bnl::bnl_skyline_kernel;
 use crate::columnar::{ColumnarBlock, EncodedCandidate};
 use crate::dominance::{Dominance, DominanceChecker, SkylineStats};
 
@@ -61,7 +61,7 @@ pub fn sfs_skyline(
     checker: &DominanceChecker,
     stats: &mut SkylineStats,
 ) -> Vec<Row> {
-    sfs_skyline_impl(rows, checker, stats, false)
+    sfs_skyline_impl(rows, checker, stats, DominanceKernel::Scalar)
 }
 
 /// [`sfs_skyline`] with the insert-only window scan routed through the
@@ -74,14 +74,26 @@ pub fn sfs_skyline_batched(
     checker: &DominanceChecker,
     stats: &mut SkylineStats,
 ) -> Vec<Row> {
-    sfs_skyline_impl(rows, checker, stats, true)
+    sfs_skyline_impl(rows, checker, stats, DominanceKernel::Auto)
+}
+
+/// [`sfs_skyline`] on an explicit kernel knob: `Scalar` matches
+/// [`sfs_skyline`], everything else routes the window scan through the
+/// columnar kernel on the knob's resolved compare tier.
+pub fn sfs_skyline_kernel(
+    rows: Vec<Row>,
+    checker: &DominanceChecker,
+    stats: &mut SkylineStats,
+    kernel: DominanceKernel,
+) -> Vec<Row> {
+    sfs_skyline_impl(rows, checker, stats, kernel)
 }
 
 fn sfs_skyline_impl(
     rows: Vec<Row>,
     checker: &DominanceChecker,
     stats: &mut SkylineStats,
-    batched: bool,
+    kernel: DominanceKernel,
 ) -> Vec<Row> {
     debug_assert!(
         !checker.is_incomplete(),
@@ -101,11 +113,7 @@ fn sfs_skyline_impl(
                 let mut rest: Vec<Row> = scored.into_iter().map(|(_, r)| r).collect();
                 rest.push(row);
                 rest.extend(iter);
-                return if batched {
-                    bnl_skyline_batched(rest, checker, stats)
-                } else {
-                    bnl_skyline(rest, checker, stats)
-                };
+                return bnl_skyline_kernel(rest, checker, stats, kernel);
             }
         }
     }
@@ -113,11 +121,9 @@ fn sfs_skyline_impl(
 
     let distinct = checker.distinct();
     let mut window: Vec<Row> = Vec::new();
-    let mut block = if batched {
-        Some(ColumnarBlock::for_checker(checker))
-    } else {
-        None
-    };
+    let mut block = kernel
+        .is_vectorized()
+        .then(|| ColumnarBlock::for_checker_with(checker, kernel));
     let mut out: Vec<Dominance> = Vec::new();
     let mut cand = EncodedCandidate::new();
     'next_tuple: for (_, tuple) in scored {
@@ -128,7 +134,7 @@ fn sfs_skyline_impl(
                 // `compare_batch` reports compare(tuple, kept); a window
                 // tuple dominating the candidate shows up as DominatedBy.
                 let res = b.compare_batch(&cand, &mut out, true);
-                stats.add_batched(res.tested);
+                stats.add_block_tests(res.tested, b.is_simd());
                 if res.dominated_at.is_some() {
                     continue 'next_tuple;
                 }
@@ -174,6 +180,7 @@ fn sfs_skyline_impl(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bnl::bnl_skyline;
     use sparkline_common::{SkylineDim, SkylineSpec};
 
     fn rows(data: &[(i64, i64)]) -> Vec<Row> {
