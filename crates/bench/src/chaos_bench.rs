@@ -1,0 +1,336 @@
+//! Chaos benchmark: retry overhead under deterministic fault injection
+//! and degradation-vs-failure under tight memory budgets, written as the
+//! machine-readable `BENCH_PR7.json` trajectory file.
+//!
+//! Two sweeps. The **fault sweep** runs the scan → filter → two-phase
+//! skyline → limit pipeline at injected fault rates 0 / 1% / 5% with
+//! retries enabled, asserts the retried results are byte-identical to the
+//! fault-free run, and records wall clock plus the `faults_injected` /
+//! `retries_attempted` counters — the cost of the lineage-based recovery
+//! path. The **budget sweep** runs the materialized execution model under
+//! an unbounded, a half-table, and a one-byte memory budget: the first
+//! completes untouched, the second is denied at its first operator
+//! boundary and degrades to streaming (same rows, `degraded_paths ≥ 1`),
+//! the third exhausts the degradation ladder and surfaces a clean
+//! `ResourceExhausted` error.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparkline::{Algorithm, DataType, Field, Row, Schema, SessionConfig, SessionContext};
+use sparkline_datagen::distributions::{anti_correlated_rows, correlated_rows, independent_rows};
+
+/// One timed (distribution, fault-rate) cell of the fault sweep.
+#[derive(Debug, Clone)]
+pub struct FaultCell {
+    /// `"correlated"`, `"independent"`, or `"anti_correlated"`.
+    pub distribution: &'static str,
+    /// Injected transient-fault probability per site.
+    pub fault_rate: f64,
+    /// Input rows.
+    pub rows: usize,
+    /// Result rows (after the skyline + limit).
+    pub result_rows: usize,
+    /// Wall-clock seconds of the query.
+    pub secs: f64,
+    /// Transient faults the injector fired.
+    pub faults_injected: u64,
+    /// Partition retries the recovery path ran.
+    pub retries_attempted: u64,
+}
+
+/// One cell of the budget sweep.
+#[derive(Debug, Clone)]
+pub struct BudgetCell {
+    /// `"unbounded"`, `"half_table"`, or `"one_byte"`.
+    pub budget: &'static str,
+    /// `"ok"`, `"degraded"`, or `"resource_exhausted"`.
+    pub outcome: &'static str,
+    /// Times the ladder re-planned with a downgraded config.
+    pub degraded_paths: u64,
+    /// Reservation requests the budget denied.
+    pub budget_denials: u64,
+}
+
+/// The full chaos benchmark: both sweeps plus the retried-over-fault-free
+/// wall-clock ratio per (distribution, rate > 0) cell.
+#[derive(Debug, Clone)]
+pub struct ChaosBench {
+    /// Fault-sweep cells (one per distribution × rate).
+    pub fault_cells: Vec<FaultCell>,
+    /// Budget-sweep cells.
+    pub budget_cells: Vec<BudgetCell>,
+    /// `(distribution, rate, faulty_secs / fault_free_secs)`.
+    pub retry_overheads: Vec<(&'static str, f64, f64)>,
+}
+
+/// Fault rates of the sweep; index 0 is the fault-free baseline.
+pub const FAULT_RATES: [f64; 3] = [0.0, 0.01, 0.05];
+
+fn dataset(distribution: &str, n: usize, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match distribution {
+        "correlated" => correlated_rows(&mut rng, n, 3),
+        "independent" => independent_rows(&mut rng, n, 3),
+        "anti_correlated" => anti_correlated_rows(&mut rng, n, 3),
+        other => panic!("unknown distribution {other}"),
+    }
+}
+
+fn session(rows: Vec<Row>, config: SessionConfig) -> SessionContext {
+    let ctx = SessionContext::with_config(config);
+    let schema = Schema::new(
+        (0..3)
+            .map(|i| Field::new(format!("d{i}"), DataType::Float64, false))
+            .collect(),
+    );
+    ctx.register_table("t", schema, rows)
+        .expect("register bench table");
+    ctx
+}
+
+const SQL: &str = "SELECT * FROM t WHERE d0 <= 0.95 \
+                   SKYLINE OF d0 MIN, d1 MIN, d2 MIN LIMIT 32";
+
+fn run_fault_cell(
+    distribution: &'static str,
+    fault_rate: f64,
+    n: usize,
+    executors: usize,
+) -> (FaultCell, Vec<Row>) {
+    let batch_size = (n / executors / 8).max(64);
+    let mut config = SessionConfig::default()
+        .with_executors(executors)
+        .with_batch_size(batch_size);
+    if fault_rate > 0.0 {
+        // Seed pinned so the whole run is reproducible; 16 retries is far
+        // above the deepest fire-once fault chain at these rates.
+        config = config
+            .with_fault_injection(0xC4A0_5BEC, fault_rate)
+            .with_max_retries(16);
+    }
+    let ctx = session(dataset(distribution, n, 42), config);
+    let df = ctx.sql(SQL).expect("parse bench query");
+    let start = Instant::now();
+    let result = df
+        .collect_with_algorithm(Algorithm::DistributedComplete)
+        .expect("bench query");
+    let secs = start.elapsed().as_secs_f64();
+    let cell = FaultCell {
+        distribution,
+        fault_rate,
+        rows: n,
+        result_rows: result.num_rows(),
+        secs,
+        faults_injected: result.metrics.faults_injected,
+        retries_attempted: result.metrics.retries_attempted,
+    };
+    (cell, result.rows)
+}
+
+fn run_budget_sweep(n: usize, executors: usize) -> Vec<BudgetCell> {
+    let rows = dataset("correlated", n, 42);
+    let table_bytes: usize = rows.iter().map(Row::estimated_bytes).sum();
+    let base = || {
+        SessionConfig::default()
+            .with_executors(executors)
+            .with_batch_size((n / executors / 8).max(64))
+            // The materialized model holds the full scanned table at its
+            // first operator boundary — the budget lever under test.
+            .with_streaming_execution(false)
+    };
+    let baseline = session(rows.clone(), base())
+        .sql(SQL)
+        .expect("parse bench query")
+        .collect_with_algorithm(Algorithm::DistributedComplete)
+        .expect("unbounded budget run");
+    let mut cells = vec![BudgetCell {
+        budget: "unbounded",
+        outcome: "ok",
+        degraded_paths: baseline.metrics.degraded_paths,
+        budget_denials: baseline.metrics.budget_denials,
+    }];
+
+    // Half the table: the materialized boundary is denied, the ladder
+    // falls back to streaming, and the rows still match.
+    let degraded = session(rows.clone(), base().with_memory_budget(table_bytes / 2))
+        .sql(SQL)
+        .expect("parse bench query")
+        .collect_with_algorithm(Algorithm::DistributedComplete)
+        .expect("half-table budget must degrade, not fail");
+    assert_eq!(
+        degraded.rows, baseline.rows,
+        "degraded run diverged from the unbounded run"
+    );
+    assert!(
+        degraded.metrics.degraded_paths >= 1,
+        "no downgrade recorded"
+    );
+    cells.push(BudgetCell {
+        budget: "half_table",
+        outcome: "degraded",
+        degraded_paths: degraded.metrics.degraded_paths,
+        budget_denials: degraded.metrics.budget_denials,
+    });
+
+    // One byte: nothing fits even after the ladder runs dry — the error
+    // must be the typed ResourceExhausted, never a panic.
+    let err = session(rows, base().with_memory_budget(1))
+        .sql(SQL)
+        .expect("parse bench query")
+        .collect_with_algorithm(Algorithm::DistributedComplete)
+        .expect_err("a 1-byte budget cannot run a skyline");
+    assert!(
+        err.is_resource_exhausted(),
+        "expected ResourceExhausted, got: {err}"
+    );
+    cells.push(BudgetCell {
+        budget: "one_byte",
+        outcome: "resource_exhausted",
+        degraded_paths: 0,
+        budget_denials: 0,
+    });
+    cells
+}
+
+/// Run both sweeps. `quick` shrinks the input so test suites and the CI
+/// `--smoke` lane stay fast.
+pub fn run_chaos_bench(quick: bool) -> ChaosBench {
+    let n = if quick { 2_000 } else { 20_000 };
+    let executors = 4;
+    let mut fault_cells = Vec::new();
+    let mut retry_overheads = Vec::new();
+    for distribution in ["correlated", "independent", "anti_correlated"] {
+        let (baseline, clean_rows) = run_fault_cell(distribution, FAULT_RATES[0], n, executors);
+        let baseline_secs = baseline.secs;
+        fault_cells.push(baseline);
+        for &rate in &FAULT_RATES[1..] {
+            let (cell, rows) = run_fault_cell(distribution, rate, n, executors);
+            assert_eq!(
+                rows, clean_rows,
+                "{distribution} @ rate {rate}: retried run diverged from fault-free run"
+            );
+            retry_overheads.push((distribution, rate, cell.secs / baseline_secs.max(1e-9)));
+            fault_cells.push(cell);
+        }
+    }
+    let budget_cells = run_budget_sweep(n, executors);
+    ChaosBench {
+        fault_cells,
+        budget_cells,
+        retry_overheads,
+    }
+}
+
+/// Serialize a benchmark run as the `BENCH_PR7.json` document.
+pub fn to_json(bench: &ChaosBench) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": \"fault_tolerance_chaos\",\n");
+    out.push_str("  \"workload\": \"scan_filter_skyline_limit_pipeline\",\n");
+    out.push_str("  \"fault_cells\": [\n");
+    for (i, c) in bench.fault_cells.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"distribution\": \"{}\", \"fault_rate\": {}, \"rows\": {}, \
+             \"result_rows\": {}, \"secs\": {:.6}, \"faults_injected\": {}, \
+             \"retries_attempted\": {}}}{}",
+            c.distribution,
+            c.fault_rate,
+            c.rows,
+            c.result_rows,
+            c.secs,
+            c.faults_injected,
+            c.retries_attempted,
+            if i + 1 < bench.fault_cells.len() {
+                ","
+            } else {
+                ""
+            },
+        );
+    }
+    out.push_str("  ],\n  \"budget_cells\": [\n");
+    for (i, c) in bench.budget_cells.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"budget\": \"{}\", \"outcome\": \"{}\", \"degraded_paths\": {}, \
+             \"budget_denials\": {}}}{}",
+            c.budget,
+            c.outcome,
+            c.degraded_paths,
+            c.budget_denials,
+            if i + 1 < bench.budget_cells.len() {
+                ","
+            } else {
+                ""
+            },
+        );
+    }
+    out.push_str("  ],\n  \"retry_overhead_vs_fault_free\": [\n");
+    for (i, (distribution, rate, ratio)) in bench.retry_overheads.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"distribution\": \"{distribution}\", \"fault_rate\": {rate}, \
+             \"ratio\": {ratio:.3}}}{}",
+            if i + 1 < bench.retry_overheads.len() {
+                ","
+            } else {
+                ""
+            },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Run the sweeps and write `BENCH_PR7.json` to `path`.
+pub fn write_bench_pr7(path: &str, quick: bool) -> std::io::Result<ChaosBench> {
+    let bench = run_chaos_bench(quick);
+    std::fs::write(path, to_json(&bench))?;
+    Ok(bench)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_recovers_and_degrades() {
+        let bench = run_chaos_bench(true);
+        assert_eq!(bench.fault_cells.len(), 9);
+        assert_eq!(bench.retry_overheads.len(), 6);
+        let fired: u64 = bench
+            .fault_cells
+            .iter()
+            .filter(|c| c.fault_rate > 0.0)
+            .map(|c| c.faults_injected)
+            .sum();
+        assert!(fired > 0, "no fault fired across the whole sweep");
+        for c in &bench.fault_cells {
+            if c.fault_rate == 0.0 {
+                assert_eq!(c.faults_injected, 0, "{c:?}");
+                assert_eq!(c.retries_attempted, 0, "{c:?}");
+            } else {
+                assert!(c.retries_attempted >= c.faults_injected, "{c:?}");
+            }
+        }
+        let outcomes: Vec<&str> = bench.budget_cells.iter().map(|c| c.outcome).collect();
+        assert_eq!(outcomes, ["ok", "degraded", "resource_exhausted"]);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let bench = run_chaos_bench(true);
+        let json = to_json(&bench);
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert_eq!(
+            json.matches("\"fault_rate\"").count(),
+            bench.fault_cells.len() + bench.retry_overheads.len()
+        );
+        assert!(json.contains("\"budget_cells\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

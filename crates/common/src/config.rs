@@ -214,6 +214,30 @@ pub struct SessionConfig {
     /// there). Disabling it is the A/B switch of the `ext5` benchmark and
     /// the pre-filter property tests.
     pub representative_prefilter: bool,
+    /// Seed of the deterministic fault injector. With the same seed, rate,
+    /// and plan, the same (site, partition, seq) steps fault on every run
+    /// — the reproducibility contract of the chaos tests.
+    pub fault_seed: u64,
+    /// Probability in `[0, 1]` that an injection site fires a transient
+    /// [`Error::Injected`](crate::Error::Injected) the first time a
+    /// (site, partition, seq) step executes. `0.0` (the default) disables
+    /// injection entirely.
+    pub fault_rate: f64,
+    /// How many times a failed partition is recomputed from its source
+    /// before the error is surfaced. Only transient (injected) faults are
+    /// retried; `0` disables retry.
+    pub max_retries: u32,
+    /// Base sleep between retry attempts; attempt `k` backs off
+    /// `k * retry_backoff` (linear). Zero (the default) retries
+    /// immediately — recomputation in-process has no external resource to
+    /// wait out, but a service deployment would raise this.
+    pub retry_backoff: Duration,
+    /// Per-query cap on tracked buffer bytes (excluding the fixed
+    /// per-executor overhead). `None` (the default) leaves reservations
+    /// unbounded; with a budget, reservations past the cap fail with
+    /// [`Error::ResourceExhausted`](crate::Error::ResourceExhausted) after
+    /// the session has exhausted its graceful-degradation ladder.
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for SessionConfig {
@@ -241,6 +265,11 @@ impl Default for SessionConfig {
             sample_seed: 0x5EED_1A7E,
             prefilter_max_points: 64,
             representative_prefilter: true,
+            fault_seed: 0xFA17_5EED,
+            fault_rate: 0.0,
+            max_retries: 3,
+            retry_backoff: Duration::ZERO,
+            memory_budget: None,
         }
     }
 }
@@ -372,6 +401,36 @@ impl SessionConfig {
     /// active under [`SkylineStrategy::Adaptive`]).
     pub fn with_representative_prefilter(mut self, on: bool) -> Self {
         self.representative_prefilter = on;
+        self
+    }
+
+    /// Enable deterministic fault injection with a seed and a per-step
+    /// firing probability in `[0, 1]`.
+    pub fn with_fault_injection(mut self, seed: u64, rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "fault rate must be a probability"
+        );
+        self.fault_seed = seed;
+        self.fault_rate = rate;
+        self
+    }
+
+    /// Set the per-partition retry cap (0 disables retry).
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Set the linear retry backoff base.
+    pub fn with_retry_backoff(mut self, backoff: Duration) -> Self {
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Cap the query's tracked buffer bytes.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
         self
     }
 }

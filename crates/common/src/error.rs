@@ -37,6 +37,37 @@ pub enum Error {
         /// The configured limit, in milliseconds.
         limit_ms: u64,
     },
+    /// A transient failure fired by the deterministic fault-injection
+    /// facility (`fault_seed` / `fault_rate` session knobs). Retryable:
+    /// recomputing the failed partition from its source succeeds, because
+    /// each injected fault fires exactly once per (site, partition, seq)
+    /// key.
+    Injected {
+        /// Injection site label (`"scan"`, `"exchange"`, `"merge"`,
+        /// `"skyline-sink"`).
+        site: &'static str,
+        /// Partition (or merge-group) index the fault fired in.
+        partition: usize,
+        /// Per-partition sequence number of the faulting step.
+        seq: u64,
+    },
+    /// A reservation was denied because it would push the query past its
+    /// configured `memory_budget`. Not retryable as-is; the session
+    /// degrades the plan (streaming sinks, no pre-filter, smaller batches)
+    /// before surfacing this to the caller.
+    ResourceExhausted {
+        /// Bytes the denied reservation asked for.
+        requested: usize,
+        /// Bytes already reserved when the request was denied.
+        used: usize,
+        /// The per-query budget, in bytes.
+        budget: usize,
+    },
+    /// The query was cancelled via its [`QueryControl`] handle
+    /// (`SessionContext::cancel`).
+    ///
+    /// [`QueryControl`]: crate::control::QueryControl
+    Cancelled,
     /// An internal invariant was violated; indicates a bug in the engine.
     Internal(String),
 }
@@ -82,6 +113,24 @@ impl Error {
     pub fn is_timeout(&self) -> bool {
         matches!(self, Error::Timeout { .. })
     }
+
+    /// Whether recomputing the failed partition can succeed. Only injected
+    /// (transient) faults qualify: timeouts, cancellation, and budget
+    /// denials are deterministic — retrying would repeat the failure —
+    /// and everything else signals a real planning/execution problem.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Injected { .. })
+    }
+
+    /// Whether this error is a memory-budget denial.
+    pub fn is_resource_exhausted(&self) -> bool {
+        matches!(self, Error::ResourceExhausted { .. })
+    }
+
+    /// Whether this error is the cancellation marker.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, Error::Cancelled)
+    }
 }
 
 impl fmt::Display for Error {
@@ -101,6 +150,24 @@ impl fmt::Display for Error {
                 f,
                 "query timed out after {elapsed_ms} ms (limit {limit_ms} ms)"
             ),
+            Error::Injected {
+                site,
+                partition,
+                seq,
+            } => write!(
+                f,
+                "injected transient fault at {site} (partition {partition}, seq {seq})"
+            ),
+            Error::ResourceExhausted {
+                requested,
+                used,
+                budget,
+            } => write!(
+                f,
+                "memory budget exhausted: requested {requested} bytes with \
+                 {used} of {budget} already reserved"
+            ),
+            Error::Cancelled => write!(f, "query cancelled"),
             Error::Internal(m) => write!(f, "internal error (engine bug): {m}"),
         }
     }
@@ -126,6 +193,38 @@ mod tests {
         assert!(Error::plan("x").to_string().contains("planning"));
         assert!(Error::execution("x").to_string().contains("execution"));
         assert!(Error::internal("x").to_string().contains("bug"));
+    }
+
+    #[test]
+    fn retryability_split() {
+        let injected = Error::Injected {
+            site: "scan",
+            partition: 3,
+            seq: 7,
+        };
+        assert!(injected.is_retryable());
+        assert!(injected.to_string().contains("scan"));
+        let exhausted = Error::ResourceExhausted {
+            requested: 100,
+            used: 900,
+            budget: 1000,
+        };
+        assert!(!exhausted.is_retryable());
+        assert!(exhausted.is_resource_exhausted());
+        assert!(exhausted.to_string().contains("900 of 1000"));
+        assert!(Error::Cancelled.is_cancelled());
+        assert!(!Error::Cancelled.is_retryable());
+        for fatal in [
+            Error::parse("x"),
+            Error::execution("x"),
+            Error::internal("x"),
+            Error::Timeout {
+                elapsed_ms: 1,
+                limit_ms: 1,
+            },
+        ] {
+            assert!(!fatal.is_retryable(), "{fatal}");
+        }
     }
 
     #[test]

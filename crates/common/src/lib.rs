@@ -12,6 +12,7 @@
 //! other crate in the workspace can build on it without cycles.
 
 pub mod config;
+pub mod control;
 pub mod error;
 pub mod row;
 pub mod schema;
@@ -24,6 +25,7 @@ pub mod value;
 pub use config::{
     DominanceKernel, MergeStrategy, SessionConfig, SkylinePartitioning, SkylineStrategy,
 };
+pub use control::{Deadline, QueryControl, CONTROL_CHECK_ROWS};
 pub use error::{Error, Result};
 pub use row::Row;
 pub use schema::{Field, Schema, SchemaRef};

@@ -2,13 +2,14 @@
 //! (parse → analyze → optimize → physical planning → execution), mirroring
 //! the paper's Figure 2.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::RwLock;
 use sparkline_analyzer::Analyzer;
 use sparkline_common::{Result, Row, Schema, SessionConfig, SkylineStrategy};
-use sparkline_exec::{Deadline, TaskContext};
+use sparkline_exec::{Deadline, FaultInjector, QueryControl, TaskContext};
 use sparkline_optimizer::Optimizer;
 use sparkline_parser::parse_query;
 use sparkline_physical::{display_physical, PhysicalPlanner};
@@ -89,6 +90,9 @@ impl Algorithm {
 pub struct SessionContext {
     config: SessionConfig,
     catalog: Arc<RwLock<SessionCatalog>>,
+    /// Cooperative cancellation flag shared with every running query's
+    /// [`QueryControl`]; clones of the session share it.
+    cancel: Arc<AtomicBool>,
 }
 
 impl Default for SessionContext {
@@ -108,17 +112,41 @@ impl SessionContext {
         SessionContext {
             config,
             catalog: Arc::new(RwLock::new(SessionCatalog::new())),
+            cancel: Arc::new(AtomicBool::new(false)),
         }
     }
 
     /// A session with different configuration **sharing this session's
     /// catalog** — the harness uses this to sweep executor counts and
-    /// algorithms without re-registering datasets.
+    /// algorithms without re-registering datasets. The new session gets
+    /// its own cancellation flag.
     pub fn with_shared_catalog(&self, config: SessionConfig) -> SessionContext {
         SessionContext {
             config,
             catalog: Arc::clone(&self.catalog),
+            cancel: Arc::new(AtomicBool::new(false)),
         }
+    }
+
+    /// Request cancellation of the queries running on this session (or
+    /// any clone of it). Cooperative: each query aborts with
+    /// `Error::Cancelled` at its next control check, unwinding through
+    /// `Result` so every memory reservation is released. The flag is
+    /// sticky — new queries fail immediately until [`reset_cancel`]
+    /// (`SessionContext::reset_cancel`) is called.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Clear a previous [`cancel`](SessionContext::cancel), re-enabling
+    /// query execution on this session.
+    pub fn reset_cancel(&self) {
+        self.cancel.store(false, Ordering::Relaxed);
     }
 
     /// The session configuration.
@@ -234,27 +262,66 @@ impl SessionContext {
         let optimized = Optimizer::new(&config)
             .with_catalog(&*catalog)
             .optimize(&to_optimize)?;
-        let planner = PhysicalPlanner::new(&config, &*catalog);
-        let physical = planner.create(&optimized)?;
-        let display = display_physical(&physical);
 
-        let ctx = TaskContext::new(config.num_executors)
-            .with_deadline(Deadline::new(config.timeout))
-            .with_batch_size(config.batch_size)
-            .with_materialized(!config.streaming_execution);
         let start = Instant::now();
-        let rows = sparkline_physical::planner::collect(&physical, &ctx)?;
-        let elapsed = start.elapsed();
-        let result = QueryResult {
-            schema,
-            rows,
-            metrics: ctx.metrics.snapshot(),
-            elapsed,
-            peak_memory_bytes: ctx
-                .memory
-                .peak_with_overhead(config.num_executors, config.executor_memory_overhead),
+        // Graceful degradation: when the enforced memory budget denies a
+        // reservation, re-plan with a cheaper configuration instead of
+        // failing the query — (1) streaming instead of materialized
+        // operator boundaries, (2) no representative pre-filter, (3) a
+        // smaller batch size — recording each downgrade in
+        // `degraded_paths`. Resilience counters accumulate across
+        // attempts, so the final snapshot tells the whole story.
+        let mut carried: Option<sparkline_exec::MetricsSnapshot> = None;
+        loop {
+            let planner = PhysicalPlanner::new(&config, &*catalog);
+            let physical = planner.create(&optimized)?;
+            let display = display_physical(&physical);
+            let ctx = self.task_context(&config);
+            if let Some(prior) = carried.take() {
+                ctx.metrics.absorb_resilience(&prior);
+                ctx.metrics.add_degraded_path();
+            }
+            match sparkline_physical::planner::collect(&physical, &ctx) {
+                Ok(rows) => {
+                    let result = QueryResult {
+                        schema: schema.clone(),
+                        rows,
+                        metrics: ctx.metrics.snapshot(),
+                        elapsed: start.elapsed(),
+                        peak_memory_bytes: ctx.memory.peak_with_overhead(
+                            config.num_executors,
+                            config.executor_memory_overhead,
+                        ),
+                    };
+                    return Ok((display, result));
+                }
+                Err(e) if e.is_resource_exhausted() && downgrade(&mut config) => {
+                    carried = Some(ctx.metrics.snapshot());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The per-query execution context: the session's cancellation flag
+    /// behind a fresh deadline, the seeded fault injector, the retry
+    /// policy, and the enforced memory budget — all from `config`.
+    fn task_context(&self, config: &SessionConfig) -> TaskContext {
+        let faults = if config.fault_rate > 0.0 {
+            Arc::new(FaultInjector::new(config.fault_seed, config.fault_rate))
+        } else {
+            FaultInjector::disabled()
         };
-        Ok((display, result))
+        TaskContext::new(config.num_executors)
+            .with_control(QueryControl::with_cancel_flag(
+                Deadline::new(config.timeout),
+                Arc::clone(&self.cancel),
+            ))
+            .with_fault_injector(faults)
+            .with_retry_policy(config.max_retries, config.retry_backoff)
+            .with_memory_budget(config.memory_budget)
+            .with_batch_size(config.batch_size)
+            .with_materialized(!config.streaming_execution)
     }
 
     /// `EXPLAIN ANALYZE`: execute the plan and render the physical
@@ -293,6 +360,10 @@ impl SessionContext {
         out.push_str(&format!("classes merged: {}\n", m.classes_merged));
         out.push_str(&format!("rows exchanged: {}\n", m.rows_exchanged));
         out.push_str(&format!("max window: {}\n", m.max_window));
+        out.push_str(&format!("faults injected: {}\n", m.faults_injected));
+        out.push_str(&format!("retries attempted: {}\n", m.retries_attempted));
+        out.push_str(&format!("budget denials: {}\n", m.budget_denials));
+        out.push_str(&format!("degraded paths: {}\n", m.degraded_paths));
         out.push_str(&format!(
             "peak memory: {} bytes\n",
             result.peak_memory_bytes
@@ -329,4 +400,27 @@ impl SessionContext {
             display_physical(&physical),
         ))
     }
+}
+
+/// Apply the next rung of the degradation ladder to `config`; `false`
+/// when nothing cheaper is left and the budget error must surface. The
+/// order moves from the biggest memory lever to the smallest: the
+/// materialized execution model buffers every operator boundary, the
+/// representative pre-filter holds a broadcast point set (and its
+/// sample) per partition stream, and the batch size bounds the rows in
+/// flight per pipeline step.
+fn downgrade(config: &mut SessionConfig) -> bool {
+    if !config.streaming_execution {
+        config.streaming_execution = true;
+        return true;
+    }
+    if config.representative_prefilter {
+        config.representative_prefilter = false;
+        return true;
+    }
+    if config.batch_size > 64 {
+        config.batch_size = (config.batch_size / 4).max(64);
+        return true;
+    }
+    false
 }

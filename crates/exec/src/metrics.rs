@@ -85,6 +85,17 @@ pub struct ExecMetrics {
     /// schemes involved, not a per-operator attribution (the plan display
     /// names each exchange's scheme exactly).
     pub chosen_partitioning: AtomicU64,
+    /// Transient faults fired by the deterministic injector
+    /// (`fault_rate` > 0). The differential chaos suite asserts this is
+    /// positive to prove the fault-free-identical results were earned.
+    pub faults_injected: AtomicU64,
+    /// Partition recomputations triggered by retryable failures.
+    pub retries_attempted: AtomicU64,
+    /// Reservations denied by the per-query memory budget.
+    pub budget_denials: AtomicU64,
+    /// Graceful-degradation steps the session took before this execution
+    /// (streaming sinks, dropped pre-filter, shrunk batches).
+    pub degraded_paths: AtomicU64,
 }
 
 /// Stable code for a partitioner name ([`crate::Partitioner::name`]);
@@ -207,6 +218,41 @@ impl ExecMetrics {
             .fetch_max(partitioning_code(name), Ordering::Relaxed);
     }
 
+    /// Record one injected transient fault.
+    pub fn add_fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one partition retry (recomputation from source).
+    pub fn add_retry_attempted(&self) {
+        self.retries_attempted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one memory-budget denial.
+    pub fn add_budget_denial(&self) {
+        self.budget_denials.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one graceful-degradation step.
+    pub fn add_degraded_path(&self) {
+        self.degraded_paths.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Carry the resilience counters of an abandoned execution attempt
+    /// (the session's degradation ladder re-executes with fresh metrics;
+    /// faults fired and denials suffered on the way are part of the
+    /// query's story and must survive into the final snapshot).
+    pub fn absorb_resilience(&self, prior: &MetricsSnapshot) {
+        self.faults_injected
+            .fetch_add(prior.faults_injected, Ordering::Relaxed);
+        self.retries_attempted
+            .fetch_add(prior.retries_attempted, Ordering::Relaxed);
+        self.budget_denials
+            .fetch_add(prior.budget_denials, Ordering::Relaxed);
+        self.degraded_paths
+            .fetch_add(prior.degraded_paths, Ordering::Relaxed);
+    }
+
     /// Snapshot the counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -234,6 +280,10 @@ impl ExecMetrics {
             classes_merged: self.classes_merged.load(Ordering::Relaxed),
             sample_rows: self.sample_rows.load(Ordering::Relaxed),
             chosen_partitioning: self.chosen_partitioning.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            retries_attempted: self.retries_attempted.load(Ordering::Relaxed),
+            budget_denials: self.budget_denials.load(Ordering::Relaxed),
+            degraded_paths: self.degraded_paths.load(Ordering::Relaxed),
         }
     }
 }
@@ -290,6 +340,14 @@ pub struct MetricsSnapshot {
     pub sample_rows: u64,
     /// Chosen local-phase partitioning scheme (see [`partitioning_code`]).
     pub chosen_partitioning: u64,
+    /// Transient faults fired by the deterministic injector.
+    pub faults_injected: u64,
+    /// Partition recomputations triggered by retryable failures.
+    pub retries_attempted: u64,
+    /// Reservations denied by the per-query memory budget.
+    pub budget_denials: u64,
+    /// Graceful-degradation steps taken by the session.
+    pub degraded_paths: u64,
 }
 
 impl MetricsSnapshot {
@@ -417,6 +475,28 @@ mod tests {
                 "{name}"
             );
         }
+    }
+
+    #[test]
+    fn resilience_counters_accumulate_and_carry() {
+        let m = ExecMetrics::new();
+        m.add_fault_injected();
+        m.add_fault_injected();
+        m.add_retry_attempted();
+        m.add_budget_denial();
+        m.add_degraded_path();
+        let s = m.snapshot();
+        assert_eq!(s.faults_injected, 2);
+        assert_eq!(s.retries_attempted, 1);
+        assert_eq!(s.budget_denials, 1);
+        assert_eq!(s.degraded_paths, 1);
+        let next = ExecMetrics::new();
+        next.absorb_resilience(&s);
+        next.add_retry_attempted();
+        let carried = next.snapshot();
+        assert_eq!(carried.faults_injected, 2);
+        assert_eq!(carried.retries_attempted, 2);
+        assert_eq!(carried.degraded_paths, 1);
     }
 
     #[test]

@@ -1,58 +1,39 @@
-//! The executor pool: a thread-based stand-in for Spark's executors.
+//! The executor pool: a thread-based stand-in for Spark's executors,
+//! with the partition-retry semantics that make Spark's model viable.
 //!
 //! `num_executors` worker threads process partitions concurrently — the
 //! same parallelism model the paper sweeps in its `--num-executors`
 //! experiments (§6.4, Figures 6/7): the local skyline phase scales with
 //! executors, while `AllTuples` phases run on a single executor.
+//!
+//! # Failure semantics
+//!
+//! [`Runtime::map_indexed`] is fail-fast: the first task error stops the
+//! pool from *starting* new tasks, and that error propagates to the
+//! caller. Finished sibling tasks keep their results — a failure never
+//! invalidates work that already completed.
+//!
+//! [`Runtime::drain_streams_with_retry`] layers Spark's lineage story on
+//! top: each partition stream is drained inside a bounded retry loop, and
+//! when a drain fails with a *retryable* error ([`Error::is_retryable`] —
+//! in this engine, injected transient faults), the partition is recomputed
+//! from its source via the caller-supplied `recreate` factory (re-running
+//! `execute_stream` on the immutable plan subtree) with linear backoff.
+//! Retries are per-partition and happen inside the owning task, so sibling
+//! partitions are never recomputed. Fatal errors (timeout, cancellation,
+//! budget denial, real execution errors) surface immediately.
+//!
+//! The query [`Deadline`] and cancellation handle live in
+//! `sparkline_common::control` (re-exported here) so the skyline kernels
+//! below this crate can observe them inside their hot loops.
 
 use std::collections::VecDeque;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use sparkline_common::{Error, Result};
 
-/// Wall-clock budget for a query (the paper uses 3600 s; the reproduction
-/// harness scales this down). Cheap to clone; checked cooperatively by
-/// operators.
-#[derive(Debug, Clone, Copy)]
-pub struct Deadline {
-    started: Instant,
-    limit: Option<Duration>,
-}
-
-impl Deadline {
-    /// A deadline starting now.
-    pub fn new(limit: Option<Duration>) -> Self {
-        Deadline {
-            started: Instant::now(),
-            limit,
-        }
-    }
-
-    /// Unlimited deadline.
-    pub fn unlimited() -> Self {
-        Deadline::new(None)
-    }
-
-    /// Elapsed time since the query started.
-    pub fn elapsed(&self) -> Duration {
-        self.started.elapsed()
-    }
-
-    /// Error with [`Error::Timeout`] if the budget is exhausted.
-    pub fn check(&self) -> Result<()> {
-        if let Some(limit) = self.limit {
-            let elapsed = self.started.elapsed();
-            if elapsed > limit {
-                return Err(Error::Timeout {
-                    elapsed_ms: elapsed.as_millis() as u64,
-                    limit_ms: limit.as_millis() as u64,
-                });
-            }
-        }
-        Ok(())
-    }
-}
+pub use sparkline_common::control::{Deadline, QueryControl, CONTROL_CHECK_ROWS};
 
 /// The executor pool.
 #[derive(Debug, Clone)]
@@ -77,11 +58,57 @@ impl Runtime {
     /// breaker (or the final collect) pulls all upstream pipelines to
     /// completion in parallel, which is where the `num_executors`-way
     /// parallelism of the materialized model re-enters the pull model.
+    ///
+    /// No retry: a failed partition fails the drain. Use
+    /// [`drain_streams_with_retry`](Self::drain_streams_with_retry) (or
+    /// `TaskContext::drain_streams_retrying`, which wires the session's
+    /// retry policy) where the streams are re-creatable from their source.
     pub fn drain_streams(
         &self,
         streams: Vec<crate::stream::PartitionStream>,
     ) -> Result<Vec<crate::partition::Partition>> {
         self.map_indexed(streams, |_, stream| stream.drain())
+    }
+
+    /// Drain partition streams with bounded per-partition retry.
+    ///
+    /// When partition `i` fails with a retryable error and fewer than
+    /// `max_retries` attempts have been burned, `on_retry(i, error)` is
+    /// notified (metrics hook), the task sleeps `attempt * backoff`, and
+    /// `recreate(i)` rebuilds the stream from its source for the next
+    /// attempt. The retry loop runs inside partition `i`'s own task:
+    /// sibling partitions keep draining (and keep their results)
+    /// undisturbed.
+    pub fn drain_streams_with_retry<R, N>(
+        &self,
+        streams: Vec<crate::stream::PartitionStream>,
+        max_retries: u32,
+        backoff: Duration,
+        recreate: R,
+        on_retry: N,
+    ) -> Result<Vec<crate::partition::Partition>>
+    where
+        R: Fn(usize) -> Result<crate::stream::PartitionStream> + Sync,
+        N: Fn(usize, &Error) + Sync,
+    {
+        self.map_indexed(streams, |i, stream| {
+            let mut current = stream;
+            let mut attempt = 0u32;
+            loop {
+                match current.drain() {
+                    Ok(partition) => return Ok(partition),
+                    Err(e) if e.is_retryable() && attempt < max_retries => {
+                        attempt += 1;
+                        on_retry(i, &e);
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff * attempt);
+                        }
+                        current = recreate(i)?;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        })
     }
 
     /// Run `task` over every input concurrently on up to `num_executors`
@@ -152,7 +179,11 @@ impl Runtime {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::ExecMetrics;
+    use crate::stream::PartitionStream;
+    use sparkline_common::{DataType, Field, Row, Schema, SchemaRef, Value};
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn maps_in_order() {
@@ -222,5 +253,123 @@ mod tests {
         assert!(err.is_timeout());
         assert!(Deadline::unlimited().check().is_ok());
         assert!(Deadline::new(Some(Duration::from_secs(60))).check().is_ok());
+    }
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![Field::new("x", DataType::Int64, false)]).into_ref()
+    }
+
+    /// A stream that fails with a retryable error until `fail_left`
+    /// attempts have been burned, then yields one row.
+    fn flaky_stream(
+        metrics: &Arc<ExecMetrics>,
+        attempts: Arc<AtomicUsize>,
+        fail_first: usize,
+    ) -> PartitionStream {
+        let metrics = Arc::clone(metrics);
+        PartitionStream::new(schema(), Arc::clone(&metrics), move || {
+            let n = attempts.fetch_add(1, Ordering::SeqCst);
+            if n < fail_first {
+                Err(Error::Injected {
+                    site: "scan",
+                    partition: 0,
+                    seq: n as u64,
+                })
+            } else {
+                Ok(None)
+            }
+        })
+    }
+
+    #[test]
+    fn retry_recomputes_only_the_failed_partition() {
+        let rt = Runtime::new(2);
+        let metrics = Arc::new(ExecMetrics::new());
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let recreations = Arc::new(AtomicUsize::new(0));
+        let streams = vec![
+            flaky_stream(&metrics, Arc::clone(&attempts), 2),
+            PartitionStream::from_partition(
+                schema(),
+                Arc::clone(&metrics),
+                4,
+                vec![Row::new(vec![Value::Int64(7)])],
+                false,
+            ),
+        ];
+        let retried = Arc::new(AtomicUsize::new(0));
+        let out = rt
+            .drain_streams_with_retry(
+                streams,
+                3,
+                Duration::ZERO,
+                |i| {
+                    assert_eq!(i, 0, "only the flaky partition is recreated");
+                    recreations.fetch_add(1, Ordering::SeqCst);
+                    Ok(flaky_stream(&metrics, Arc::clone(&attempts), 2))
+                },
+                |_, e| {
+                    assert!(e.is_retryable());
+                    retried.fetch_add(1, Ordering::SeqCst);
+                },
+            )
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out[0].is_empty());
+        assert_eq!(out[1].len(), 1);
+        assert_eq!(retried.load(Ordering::SeqCst), 2);
+        assert_eq!(recreations.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_surfaces_the_fault() {
+        let rt = Runtime::new(1);
+        let metrics = Arc::new(ExecMetrics::new());
+        // Fails forever: every recreation fails again.
+        let make = |metrics: &Arc<ExecMetrics>| {
+            let metrics = Arc::clone(metrics);
+            PartitionStream::new(schema(), metrics, move || {
+                Err(Error::Injected {
+                    site: "scan",
+                    partition: 0,
+                    seq: 0,
+                })
+            })
+        };
+        let err = rt
+            .drain_streams_with_retry(
+                vec![make(&metrics)],
+                2,
+                Duration::ZERO,
+                |_| Ok(make(&metrics)),
+                |_, _| {},
+            )
+            .unwrap_err();
+        assert!(err.is_retryable(), "{err}");
+    }
+
+    #[test]
+    fn fatal_errors_are_not_retried() {
+        let rt = Runtime::new(1);
+        let metrics = Arc::new(ExecMetrics::new());
+        let stream = PartitionStream::new(schema(), Arc::clone(&metrics), move || {
+            Err(Error::execution("deterministic failure"))
+        });
+        let recreations = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&recreations);
+        let err = rt
+            .drain_streams_with_retry(
+                vec![stream],
+                5,
+                Duration::ZERO,
+                move |_| {
+                    r2.fetch_add(1, Ordering::SeqCst);
+                    Err(Error::internal("recreate must not be called"))
+                },
+                |_, _| {},
+            )
+            .unwrap_err();
+        assert_eq!(err, Error::execution("deterministic failure"));
+        assert_eq!(recreations.load(Ordering::SeqCst), 0);
     }
 }

@@ -232,6 +232,44 @@ pub fn streams_from_partitions(
         .collect()
 }
 
+/// Like [`streams_from_partitions`], but each buffer additionally holds a
+/// budget-checked byte reservation for its lifetime — the honest
+/// accounting for the materialized execution model, where every operator
+/// boundary keeps a full intermediate alive. Under an enforced memory
+/// budget this is what makes the materialized model *fail* where the
+/// streaming model fits, driving the session's graceful-degradation
+/// ladder.
+pub fn streams_from_partitions_reserved(
+    schema: SchemaRef,
+    ctx: &TaskContext,
+    parts: Vec<Partition>,
+) -> Result<Vec<PartitionStream>> {
+    let batch_size = ctx.batch_size.max(1);
+    parts
+        .into_iter()
+        .map(|p| {
+            let reservation = ctx.try_reserve(p.iter().map(Row::estimated_bytes).sum())?;
+            let mut guard = Some((
+                InFlightRows::new(Arc::clone(&ctx.metrics), p.len()),
+                reservation,
+            ));
+            let mut iter = p.into_iter();
+            Ok(PartitionStream::new(
+                Arc::clone(&schema),
+                Arc::clone(&ctx.metrics),
+                move || {
+                    let batch: RowBatch = iter.by_ref().take(batch_size).collect();
+                    if batch.is_empty() {
+                        guard.take();
+                        return Ok(None);
+                    }
+                    Ok(Some(batch))
+                },
+            ))
+        })
+        .collect()
+}
+
 /// Chain several streams into one, preserving stream order — the
 /// streaming analogue of `partition::coalesce` for consumers that want a
 /// single sequential view.
@@ -303,29 +341,40 @@ pub fn breaker_streams(
                         let BreakerStage::Pending(compute) =
                             std::mem::replace(&mut *stage, placeholder)
                         else {
-                            unreachable!()
+                            return Err(Error::internal(
+                                "pipeline-breaker stage lost its compute closure",
+                            ));
                         };
-                        match compute() {
-                            Ok(mut parts) => {
-                                debug_assert!(
-                                    parts.len() <= n_outputs.max(1),
-                                    "breaker produced more partitions than declared"
-                                );
-                                parts.truncate(n_outputs.max(1));
-                                parts.resize_with(n_outputs.max(1), Vec::new);
-                                let slots = parts
-                                    .into_iter()
-                                    .map(|p| {
-                                        let bytes: usize = p.iter().map(Row::estimated_bytes).sum();
-                                        let guard =
-                                            InFlightRows::new(Arc::clone(&metrics), p.len());
-                                        let reservation = memory.reserve(bytes);
-                                        Some((p, guard, reservation))
-                                    })
-                                    .collect();
+                        // Reserve the computed partitions against the
+                        // (possibly budgeted) tracker; a denial fails the
+                        // stage like any compute error, releasing the
+                        // partial reservations via RAII.
+                        let reserve_all = |mut parts: Vec<Partition>| -> Result<
+                            Vec<Option<(Partition, InFlightRows, MemoryReservation)>>,
+                        > {
+                            debug_assert!(
+                                parts.len() <= n_outputs.max(1),
+                                "breaker produced more partitions than declared"
+                            );
+                            parts.truncate(n_outputs.max(1));
+                            parts.resize_with(n_outputs.max(1), Vec::new);
+                            let mut slots = Vec::with_capacity(parts.len());
+                            for p in parts {
+                                let bytes: usize = p.iter().map(Row::estimated_bytes).sum();
+                                let guard = InFlightRows::new(Arc::clone(&metrics), p.len());
+                                let reservation = memory.try_reserve(bytes)?;
+                                slots.push(Some((p, guard, reservation)));
+                            }
+                            Ok(slots)
+                        };
+                        match compute().and_then(reserve_all) {
+                            Ok(slots) => {
                                 *stage = BreakerStage::Ready(slots);
                             }
                             Err(e) => {
+                                if e.is_resource_exhausted() {
+                                    metrics.add_budget_denial();
+                                }
                                 *stage = BreakerStage::Failed(e.clone());
                                 return Err(e);
                             }
@@ -340,7 +389,11 @@ pub fn breaker_streams(
                             }
                         }
                         BreakerStage::Failed(e) => return Err(e.clone()),
-                        BreakerStage::Pending(_) => unreachable!(),
+                        BreakerStage::Pending(_) => {
+                            return Err(Error::internal(
+                                "pipeline-breaker stage still pending after compute",
+                            ))
+                        }
                     }
                 }
                 let Some((iter, _, _)) = slot.as_mut() else {
@@ -391,7 +444,7 @@ impl<T: Send + Sync> LazyBuild<T> {
                     "shared build stage re-entered while computing",
                 ));
                 let LazyState::Pending(build) = std::mem::replace(&mut *state, placeholder) else {
-                    unreachable!()
+                    return Err(Error::internal("shared build stage lost its closure"));
                 };
                 match build() {
                     Ok(value) => {

@@ -253,7 +253,7 @@ fn aggregate_final(
 ) -> Result<Vec<sparkline_exec::Partition>> {
     let mut merged: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
     for table in partials {
-        ctx.deadline.check()?;
+        ctx.control.check()?;
         for (key, accs) in table {
             match merged.entry(key) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -339,7 +339,7 @@ impl ExecutionPlan for HashAggregateExec {
             let partials = ctx2.runtime.map_indexed(inputs, |_, mut stream| {
                 let mut table: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
                 while let Some(batch) = stream.next_batch()? {
-                    ctx2.deadline.check()?;
+                    ctx2.control.check()?;
                     partial_batch(&group_exprs, &agg_calls, &mut table, &batch)?;
                 }
                 Ok(table)

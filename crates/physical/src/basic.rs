@@ -62,7 +62,7 @@ impl ExecutionPlan for ProjectExec {
                 let exprs = self.exprs.clone();
                 let ctx = ctx.clone();
                 PartitionStream::new(self.schema(), Arc::clone(&ctx.metrics), move || {
-                    ctx.deadline.check()?;
+                    ctx.control.check()?;
                     let Some(batch) = input.next_batch()? else {
                         return Ok(None);
                     };
@@ -127,7 +127,7 @@ impl ExecutionPlan for FilterExec {
                 let predicate = self.predicate.clone();
                 let ctx = ctx.clone();
                 PartitionStream::new(self.schema(), Arc::clone(&ctx.metrics), move || loop {
-                    ctx.deadline.check()?;
+                    ctx.control.check()?;
                     let Some(batch) = input.next_batch()? else {
                         return Ok(None);
                     };
@@ -197,7 +197,7 @@ impl ExecutionPlan for LimitExec {
                 input.close();
                 return Ok(None);
             }
-            ctx2.deadline.check()?;
+            ctx2.control.check()?;
             let Some(mut batch) = input.next_batch()? else {
                 return Ok(None);
             };
@@ -259,7 +259,7 @@ impl ExecutionPlan for DistinctExec {
         // of *distinct* rows, not the input size.
         let mut seen: HashSet<Row> = HashSet::new();
         let stream = PartitionStream::new(self.schema(), Arc::clone(&ctx.metrics), move || loop {
-            ctx2.deadline.check()?;
+            ctx2.control.check()?;
             let Some(batch) = input.next_batch()? else {
                 return Ok(None);
             };
@@ -340,12 +340,10 @@ impl ExecutionPlan for SortExec {
             // in parallel, then sort the gathered buffer on one executor.
             let input = ctx2.runtime.drain_streams(inputs)?;
             let rows = sparkline_exec::partition::flatten(input);
-            let reservation = ctx2
-                .memory
-                .reserve(rows.iter().map(Row::estimated_bytes).sum());
-            ctx2.deadline.check()?;
+            let reservation = ctx2.try_reserve(rows.iter().map(Row::estimated_bytes).sum())?;
+            ctx2.control.check()?;
             let sorted = sort_rows(&exprs, rows)?;
-            ctx2.deadline.check()?;
+            ctx2.control.check()?;
             drop(reservation);
             Ok(vec![sorted])
         }))

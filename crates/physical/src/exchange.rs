@@ -16,7 +16,7 @@ use sparkline_common::{Result, SchemaRef, SkylineSpec};
 use sparkline_exec::{
     partition::{coalesce, flatten, hash_partition, split_evenly, total_rows},
     stream::breaker_streams,
-    PartitionStream, Partitioner, TaskContext,
+    FaultSite, PartitionStream, Partitioner, TaskContext,
 };
 use sparkline_skyline::null_bitmap;
 
@@ -91,6 +91,7 @@ impl ExecutionPlan for ExchangeExec {
         let mode = self.mode.clone();
         let sample_rows = self.sample_rows;
         let ctx2 = ctx.clone();
+        let input_plan = Arc::clone(&self.input);
         let n = ctx.runtime.num_executors();
         // Every redistribution needs the full input (a gather is a stage
         // boundary even in Spark); the exchange is therefore a breaker
@@ -102,8 +103,19 @@ impl ExecutionPlan for ExchangeExec {
             _ => n,
         };
         Ok(breaker_streams(self.schema(), ctx, n_outputs, move || {
-            let input = ctx2.runtime.drain_streams(inputs)?;
-            ctx2.deadline.check()?;
+            // A shuffle fault fails the whole stage (as in Spark, where a
+            // lost map output fails the reduce task); recovery happens by
+            // re-running this subtree through the consumer's retry path.
+            ctx2.maybe_inject(FaultSite::Exchange, 0, 0)?;
+            // Transient faults below the exchange are recovered here, at
+            // the stage boundary: the failed upstream partition is
+            // recomputed from the input plan's lineage while the sibling
+            // partitions keep their drained results.
+            let expected = inputs.len();
+            let input = ctx2.drain_streams_retrying(inputs, |i| {
+                crate::recreate_partition_stream(input_plan.as_ref(), &ctx2, expected, i)
+            })?;
+            ctx2.control.check()?;
             ctx2.metrics.rows_exchanged.fetch_add(
                 total_rows(&input) as u64,
                 std::sync::atomic::Ordering::Relaxed,

@@ -147,7 +147,7 @@ impl ExecutionPlan for HashJoinExec {
                 let join_type = self.join_type;
                 let ctx = ctx.clone();
                 PartitionStream::new(self.schema(), Arc::clone(&ctx.metrics), move || loop {
-                    ctx.deadline.check()?;
+                    ctx.control.check()?;
                     let Some(batch) = input.next_batch()? else {
                         return Ok(None);
                     };
@@ -312,7 +312,7 @@ impl ExecutionPlan for NestedLoopJoinExec {
                     let right_rows = &build.get()?.rows;
                     let mut rows: Vec<Row> = Vec::new();
                     for left_row in &batch {
-                        ctx.deadline.check()?;
+                        ctx.control.check()?;
                         match join_type {
                             JoinType::Inner | JoinType::Cross => {
                                 for right_row in right_rows {

@@ -44,7 +44,7 @@ pub mod skyline_exec;
 use std::fmt;
 use std::sync::Arc;
 
-use sparkline_common::{Result, SchemaRef};
+use sparkline_common::{Error, Result, SchemaRef};
 use sparkline_exec::{Partition, PartitionStream, TaskContext};
 
 pub use aggregate::HashAggregateExec;
@@ -76,14 +76,44 @@ pub trait ExecutionPlan: fmt::Debug + Send + Sync {
     /// Materialized adapter: drain every partition stream (fanned over
     /// the executor pool). Byte-identical to consuming the streams
     /// directly; kept for tests and the bench harness.
+    ///
+    /// Transient (retryable) partition failures are recovered by
+    /// re-running `execute_stream` on this immutable plan subtree — the
+    /// lineage — and recomputing only the failed partition, up to the
+    /// context's retry budget. Finished sibling partitions keep their
+    /// results.
     fn execute(&self, ctx: &TaskContext) -> Result<Vec<Partition>> {
-        ctx.runtime.drain_streams(self.execute_stream(ctx)?)
+        let streams = self.execute_stream(ctx)?;
+        let expected = streams.len();
+        ctx.drain_streams_retrying(streams, |i| {
+            recreate_partition_stream(self, ctx, expected, i)
+        })
     }
 
     /// One-line description (operator plus parameters).
     fn describe(&self) -> String {
         self.name().to_string()
     }
+}
+
+/// Re-run `execute_stream` on an immutable plan subtree and keep only the
+/// stream for partition `i` — the lineage-based recomputation behind
+/// partition retry. Errors if the re-execution yields a different
+/// partition count (the plan is immutable, so that would be a bug).
+pub(crate) fn recreate_partition_stream<P: ExecutionPlan + ?Sized>(
+    plan: &P,
+    ctx: &TaskContext,
+    expected: usize,
+    i: usize,
+) -> Result<PartitionStream> {
+    let mut fresh = plan.execute_stream(ctx)?;
+    if fresh.len() != expected || i >= fresh.len() {
+        return Err(Error::internal(format!(
+            "retry of partition {i} re-planned {} streams, expected {expected}",
+            fresh.len()
+        )));
+    }
+    Ok(fresh.swap_remove(i))
 }
 
 /// Render a physical plan tree, one operator per line.
@@ -115,10 +145,12 @@ pub(crate) fn input_streams(
     if !ctx.materialized {
         return Ok(streams);
     }
-    let parts = ctx.runtime.drain_streams(streams)?;
-    Ok(sparkline_exec::stream::streams_from_partitions(
-        plan.schema(),
-        ctx,
-        parts,
-    ))
+    let expected = streams.len();
+    let parts = ctx.drain_streams_retrying(streams, |i| {
+        recreate_partition_stream(plan.as_ref(), ctx, expected, i)
+    })?;
+    // The re-materialized buffers hold budget-checked byte reservations
+    // for as long as the consumer keeps the streams — the materialized
+    // model's peak-memory profile, now enforced against the query budget.
+    sparkline_exec::stream::streams_from_partitions_reserved(plan.schema(), ctx, parts)
 }

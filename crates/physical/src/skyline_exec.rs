@@ -22,15 +22,16 @@
 use std::sync::Arc;
 
 use sparkline_common::{
-    DominanceKernel, MergeStrategy, Result, Row, SchemaRef, SkylineSpec, Value,
+    DominanceKernel, Error, MergeStrategy, QueryControl, Result, Row, SchemaRef, SkylineSpec,
+    Value, CONTROL_CHECK_ROWS,
 };
 use sparkline_exec::{
-    partition::flatten, stream::breaker_streams, InFlightRows, Partition, PartitionStream,
-    TaskContext,
+    partition::flatten, stream::breaker_streams, FaultSite, InFlightRows, Partition,
+    PartitionStream, TaskContext,
 };
 use sparkline_plan::{Expr, MinMaxDirection};
 use sparkline_skyline::{
-    bnl_skyline_into_kernel, bnl_skyline_kernel, incomplete_global_skyline, kernel_label,
+    bnl_skyline_into_kernel, incomplete_global_skyline, kernel_label,
     merge_incomplete_partials_kernel, sfs_skyline_kernel, BnlBuilder, DominanceChecker,
     GroupedBnlBuilder, IncompletePartial, IncompletePartialBuilder, RepresentativeFilter,
     SkylineStats,
@@ -62,12 +63,17 @@ enum SkylineSink {
 }
 
 impl SkylineSink {
-    fn push_batch(&mut self, batch: Vec<Row>) {
+    /// Fold one batch into the phase state, checking the query control at
+    /// [`CONTROL_CHECK_ROWS`] granularity inside the window sinks (whose
+    /// admission loops do the dominance work; the buffering sinks only
+    /// append and rely on the per-batch check in the stream loop).
+    fn push_batch_checked(&mut self, batch: Vec<Row>, control: &QueryControl) -> Result<()> {
         match self {
-            SkylineSink::Bnl(b) => b.push_batch(batch),
-            SkylineSink::Grouped(g) => g.push_batch(batch),
+            SkylineSink::Bnl(b) => b.push_batch_checked(batch, control),
+            SkylineSink::Grouped(g) => g.push_batch_checked(batch, control),
             SkylineSink::Sfs { rows, .. } | SkylineSink::AllPairs { rows, .. } => {
-                rows.extend(batch)
+                rows.extend(batch);
+                Ok(())
             }
         }
     }
@@ -124,6 +130,7 @@ impl SkylineSink {
 fn skyline_phase_stream(
     schema: SchemaRef,
     ctx: &TaskContext,
+    part: usize,
     inputs: Vec<PartitionStream>,
     sink: SkylineSink,
 ) -> PartitionStream {
@@ -135,8 +142,11 @@ fn skyline_phase_stream(
     let mut guard = InFlightRows::new(Arc::clone(&ctx.metrics), 0);
     // Byte accounting mirrors the row gauge: buffering sinks charge their
     // input as it accumulates, every sink charges its result while it is
-    // being emitted.
+    // being emitted. Growth is budget-checked: a phase whose buffer would
+    // exceed the query's memory budget fails with `ResourceExhausted`
+    // instead of allocating past the limit.
     let mut reservation = Some(ctx.memory.reserve(0));
+    let mut seq = 0u64;
     let mut emit: Option<std::vec::IntoIter<Row>> = None;
     PartitionStream::new(schema, Arc::clone(&ctx.metrics), move || loop {
         if let Some(iter) = emit.as_mut() {
@@ -148,16 +158,20 @@ fn skyline_phase_stream(
             }
             return Ok(Some(batch));
         }
-        ctx.deadline.check()?;
+        ctx.control.check()?;
         match input.next_batch()? {
             Some(batch) => {
-                let sink = sink.as_mut().expect("sink live while consuming");
+                ctx.maybe_inject(FaultSite::SkylineSink, part, seq)?;
+                seq += 1;
+                let sink = sink
+                    .as_mut()
+                    .ok_or_else(|| Error::internal("skyline sink gone while input remains"))?;
                 if sink.buffers_input() {
                     if let Some(r) = reservation.as_mut() {
-                        r.grow(batch.iter().map(Row::estimated_bytes).sum());
+                        ctx.try_grow(r, batch.iter().map(Row::estimated_bytes).sum())?;
                     }
                 }
-                sink.push_batch(batch);
+                sink.push_batch_checked(batch, &ctx.control)?;
                 guard.set(sink.buffered());
             }
             None => {
@@ -167,14 +181,11 @@ fn skyline_phase_stream(
                 reservation.take();
                 let (rows, stats) = sink
                     .take()
-                    .expect("sink consumed exactly once")
+                    .ok_or_else(|| Error::internal("skyline sink finished twice"))?
                     .finish(&ctx)?;
                 record_stats(&ctx, &stats);
                 guard.set(rows.len());
-                reservation = Some(
-                    ctx.memory
-                        .reserve(rows.iter().map(Row::estimated_bytes).sum()),
-                );
+                reservation = Some(ctx.try_reserve(rows.iter().map(Row::estimated_bytes).sum())?);
                 emit = Some(rows.into_iter());
             }
         }
@@ -287,7 +298,8 @@ impl ExecutionPlan for LocalSkylineExec {
         };
         Ok(inputs
             .into_iter()
-            .map(|input| {
+            .enumerate()
+            .map(|(part, input)| {
                 let sink = if self.incomplete {
                     // Route by null bitmap inside the partition: within one
                     // class the restricted dominance relation is transitive,
@@ -308,7 +320,7 @@ impl ExecutionPlan for LocalSkylineExec {
                 } else {
                     SkylineSink::Bnl(BnlBuilder::with_kernel(checker.clone(), self.kernel))
                 };
-                skyline_phase_stream(self.schema(), ctx, vec![input], sink)
+                skyline_phase_stream(self.schema(), ctx, part, vec![input], sink)
             })
             .collect())
     }
@@ -434,34 +446,37 @@ fn merge_group(
     group: Vec<Partition>,
     seed_window: bool,
 ) -> Result<Partition> {
-    ctx.deadline.check()?;
+    ctx.control.check()?;
     let checker = DominanceChecker::complete(spec.clone());
     let mut stats = SkylineStats::default();
     let merged = if algo == SkylineAlgo::SortFilter {
         let rows = flatten(group);
-        let reservation = ctx
-            .memory
-            .reserve(rows.iter().map(Row::estimated_bytes).sum());
+        let reservation = ctx.try_reserve(rows.iter().map(Row::estimated_bytes).sum())?;
         let merged = sfs_skyline_kernel(rows, &checker, &mut stats, kernel);
         drop(reservation);
         merged
-    } else if seed_window {
+    } else {
         let mut parts = group.into_iter();
-        let mut window: Partition = parts.next().unwrap_or_default();
+        let mut window: Partition = if seed_window {
+            parts.next().unwrap_or_default()
+        } else {
+            Vec::new()
+        };
         let rest: Vec<Row> = parts.flatten().collect();
         let bytes = window.iter().chain(&rest).map(Row::estimated_bytes).sum();
-        let reservation = ctx.memory.reserve(bytes);
-        bnl_skyline_into_kernel(rest, &checker, &mut stats, &mut window, kernel);
+        let reservation = ctx.try_reserve(bytes)?;
+        // Admit candidates in CONTROL_CHECK_ROWS chunks so a timeout or
+        // cancel lands between multi-candidate kernel passes instead of
+        // waiting out an entire merge task. BNL admission is sequential
+        // per candidate, so the chunked result is row-for-row identical.
+        let mut rest = rest.into_iter().peekable();
+        while rest.peek().is_some() {
+            ctx.control.check()?;
+            let chunk: Vec<Row> = rest.by_ref().take(CONTROL_CHECK_ROWS).collect();
+            bnl_skyline_into_kernel(chunk, &checker, &mut stats, &mut window, kernel);
+        }
         drop(reservation);
         window
-    } else {
-        let rows = flatten(group);
-        let reservation = ctx
-            .memory
-            .reserve(rows.iter().map(Row::estimated_bytes).sum());
-        let merged = bnl_skyline_kernel(rows, &checker, &mut stats, kernel);
-        drop(reservation);
-        merged
     };
     record_stats(ctx, &stats);
     Ok(merged)
@@ -479,8 +494,9 @@ fn kway_merge_rounds<T: Send>(
     fan_in: usize,
     merge: impl Fn(Vec<T>) -> Result<T> + Sync,
 ) -> Result<Option<T>> {
+    let mut round = 0u64;
     while parts.len() > 1 {
-        ctx.deadline.check()?;
+        ctx.control.check()?;
         let groups: Vec<Vec<T>> = {
             let mut groups = Vec::with_capacity(parts.len().div_ceil(fan_in));
             let mut iter = parts.into_iter().peekable();
@@ -491,12 +507,18 @@ fn kway_merge_rounds<T: Send>(
         };
         let merging = groups.iter().filter(|g| g.len() > 1).count();
         ctx.metrics.add_merge_round(merging);
-        parts = ctx.runtime.map_indexed(groups, |_, mut group| {
+        parts = ctx.runtime.map_indexed(groups, |gi, mut group| {
             if group.len() == 1 {
-                return Ok(group.pop().expect("nonempty group"));
+                return group
+                    .pop()
+                    .ok_or_else(|| Error::internal("empty merge group"));
             }
+            // A lost merge task fails the stage; the consumer's retry
+            // path recomputes the subtree from lineage.
+            ctx.maybe_inject(FaultSite::Merge, gi, round)?;
             merge(group)
         })?;
+        round += 1;
     }
     Ok(parts.pop())
 }
@@ -535,7 +557,13 @@ impl ExecutionPlan for GlobalSkylineExec {
                 } else {
                     SkylineSink::Bnl(BnlBuilder::with_kernel(checker, self.kernel))
                 };
-                Ok(vec![skyline_phase_stream(self.schema(), ctx, inputs, sink)])
+                Ok(vec![skyline_phase_stream(
+                    self.schema(),
+                    ctx,
+                    0,
+                    inputs,
+                    sink,
+                )])
             }
             MergeStrategy::Hierarchical { fan_in } => {
                 // A breaker: the input streams (each a local skyline
@@ -545,9 +573,16 @@ impl ExecutionPlan for GlobalSkylineExec {
                 let algo = self.algo;
                 let kernel = self.kernel;
                 let ctx2 = ctx.clone();
+                let input_plan = Arc::clone(&self.input);
                 Ok(breaker_streams(self.schema(), ctx, 1, move || {
-                    let input = ctx2.runtime.drain_streams(inputs)?;
-                    ctx2.deadline.check()?;
+                    // Transient faults in a local-skyline pipeline are
+                    // recovered per partition: recompute only the failed
+                    // stream from the input plan's lineage.
+                    let expected = inputs.len();
+                    let input = ctx2.drain_streams_retrying(inputs, |i| {
+                        crate::recreate_partition_stream(input_plan.as_ref(), &ctx2, expected, i)
+                    })?;
+                    ctx2.control.check()?;
                     let parts: Vec<Partition> =
                         input.into_iter().filter(|p| !p.is_empty()).collect();
                     let merged = kway_merge_rounds(&ctx2, parts, fan_in, |group| {
@@ -664,7 +699,7 @@ impl ExecutionPlan for SkylinePreFilterExec {
                 );
                 let ctx = ctx.clone();
                 PartitionStream::new(self.schema(), Arc::clone(&ctx.metrics), move || loop {
-                    ctx.deadline.check()?;
+                    ctx.control.check()?;
                     let Some(batch) = input.next_batch()? else {
                         return Ok(None);
                     };
@@ -790,12 +825,19 @@ impl ExecutionPlan for IncompleteGlobalSkylineExec {
                     rows: Vec::new(),
                     checker: DominanceChecker::incomplete(self.spec.clone()),
                 };
-                Ok(vec![skyline_phase_stream(self.schema(), ctx, inputs, sink)])
+                Ok(vec![skyline_phase_stream(
+                    self.schema(),
+                    ctx,
+                    0,
+                    inputs,
+                    sink,
+                )])
             }
             MergeStrategy::Hierarchical { fan_in } => {
                 let spec = self.spec.clone();
                 let kernel = self.kernel;
                 let ctx2 = ctx.clone();
+                let input_plan = Arc::clone(&self.input);
                 Ok(breaker_streams(self.schema(), ctx, 1, move || {
                     let checker = DominanceChecker::incomplete(spec.clone());
                     // Leaf phase (parallel over the pool): consume each
@@ -804,29 +846,50 @@ impl ExecutionPlan for IncompleteGlobalSkylineExec {
                     // — its per-class windows plus one batch are the only
                     // buffered state while the stream drains, which the
                     // in-flight gauge charges like any other window sink.
+                    // A transient fault mid-stream restarts only this
+                    // leaf: the stream is recomputed from the input plan's
+                    // lineage and the builder starts over, up to the
+                    // context's retry budget.
+                    let expected = inputs.len();
                     let mut parts: Vec<IncompletePartial> =
-                        ctx2.runtime.map_indexed(inputs, |_, mut stream| {
-                            let mut builder =
-                                IncompletePartialBuilder::with_kernel(checker.clone(), kernel);
-                            let mut guard = InFlightRows::new(Arc::clone(&ctx2.metrics), 0);
-                            while let Some(batch) = stream.next_batch()? {
-                                ctx2.deadline.check()?;
-                                builder.push_batch(batch);
-                                guard.set(builder.window_len());
+                        ctx2.runtime.map_indexed(inputs, |i, mut stream| {
+                            let mut attempt = 0u32;
+                            loop {
+                                match consume_incomplete_partial(
+                                    &ctx2,
+                                    &checker,
+                                    kernel,
+                                    i,
+                                    &mut stream,
+                                ) {
+                                    Ok(partial) => return Ok(partial),
+                                    Err(e) if e.is_retryable() && attempt < ctx2.max_retries => {
+                                        attempt += 1;
+                                        ctx2.metrics.add_retry_attempted();
+                                        if !ctx2.retry_backoff.is_zero() {
+                                            std::thread::sleep(ctx2.retry_backoff * attempt);
+                                        }
+                                        stream = crate::recreate_partition_stream(
+                                            input_plan.as_ref(),
+                                            &ctx2,
+                                            expected,
+                                            i,
+                                        )?;
+                                    }
+                                    Err(e) => return Err(e),
+                                }
                             }
-                            let (partial, stats) = builder.finish();
-                            record_stats(&ctx2, &stats);
-                            guard.set(partial.len());
-                            Ok(partial)
                         })?;
                     parts.retain(|p| !p.is_empty());
                     // k-way rounds, exactly like the complete tree merge;
                     // deferred candidates travel with their partial.
                     let merged = kway_merge_rounds(&ctx2, parts, fan_in, |group| {
-                        ctx2.deadline.check()?;
+                        ctx2.control.check()?;
                         let mut stats = SkylineStats::default();
                         let mut iter = group.into_iter();
-                        let mut acc = iter.next().expect("nonempty group");
+                        let mut acc = iter
+                            .next()
+                            .ok_or_else(|| Error::internal("empty merge group"))?;
                         for next in iter {
                             acc = merge_incomplete_partials_kernel(
                                 acc, next, &checker, kernel, &mut stats,
@@ -873,6 +936,33 @@ impl ExecutionPlan for IncompleteGlobalSkylineExec {
     }
 }
 
+/// Drain one input partition stream into an incomplete-skyline partial —
+/// the leaf task of the bitmap-class-aware tree merge. Fault-injection
+/// site `skyline-sink` fires here (per consumed batch), and the window
+/// work runs control-checked at [`CONTROL_CHECK_ROWS`] granularity.
+fn consume_incomplete_partial(
+    ctx: &TaskContext,
+    checker: &DominanceChecker,
+    kernel: DominanceKernel,
+    part: usize,
+    stream: &mut PartitionStream,
+) -> Result<IncompletePartial> {
+    let mut builder = IncompletePartialBuilder::with_kernel(checker.clone(), kernel);
+    let mut guard = InFlightRows::new(Arc::clone(&ctx.metrics), 0);
+    let mut seq = 0u64;
+    while let Some(batch) = stream.next_batch()? {
+        ctx.control.check()?;
+        ctx.maybe_inject(FaultSite::SkylineSink, part, seq)?;
+        seq += 1;
+        builder.push_batch_checked(batch, &ctx.control)?;
+        guard.set(builder.window_len());
+    }
+    let (partial, stats) = builder.finish();
+    record_stats(ctx, &stats);
+    guard.set(partial.len());
+    Ok(partial)
+}
+
 /// All-pairs global skyline in deadline-checked chunks.
 fn incomplete_global_with_deadline(
     rows: Vec<Row>,
@@ -882,7 +972,7 @@ fn incomplete_global_with_deadline(
 ) -> Result<Vec<Row>> {
     // Small inputs: run directly.
     if rows.len() <= 2048 {
-        ctx.deadline.check()?;
+        ctx.control.check()?;
         return Ok(incomplete_global_skyline(rows, checker, stats));
     }
     // Large inputs: reuse the library routine but check the deadline
@@ -893,7 +983,7 @@ fn incomplete_global_with_deadline(
     let distinct = checker.distinct();
     for i in 0..n {
         if i % 64 == 0 {
-            ctx.deadline.check()?;
+            ctx.control.check()?;
         }
         for j in (i + 1)..n {
             if dominated[i] && dominated[j] {
@@ -990,7 +1080,7 @@ impl ExecutionPlan for MinMaxFilterExec {
             let bests: Vec<Option<Value>> =
                 ctx2.runtime
                     .map_indexed(input.iter().collect::<Vec<_>>(), |_, part| {
-                        ctx2.deadline.check()?;
+                        ctx2.control.check()?;
                         let mut best: Option<Value> = None;
                         for row in part {
                             let v = expr.evaluate(row)?;
@@ -1019,7 +1109,7 @@ impl ExecutionPlan for MinMaxFilterExec {
             }
             // Pass 2 (parallel): keep NULL tuples and optimum tuples.
             let mut out = ctx2.runtime.map_indexed(input, |_, part| {
-                ctx2.deadline.check()?;
+                ctx2.control.check()?;
                 let mut rows = Vec::new();
                 for row in part {
                     let v = expr.evaluate(&row)?;

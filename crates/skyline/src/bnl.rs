@@ -18,7 +18,7 @@
 //! tuples share their NULL positions and the restricted relation is
 //! transitive again (paper §5.7 / Lemma 5.1).
 
-use sparkline_common::{DominanceKernel, Row};
+use sparkline_common::{DominanceKernel, QueryControl, Result, Row, CONTROL_CHECK_ROWS};
 
 use crate::columnar::{ColumnarBlock, EncodedCandidate, MULTI_LANES};
 use crate::dominance::{Dominance, DominanceChecker, SkylineStats};
@@ -191,6 +191,27 @@ impl BnlBuilder {
             }
             self.admit_group(&mut group, &mut encoded, &mut lanes, &mut dominated);
         }
+    }
+
+    /// [`push_batch`](Self::push_batch) under cooperative query control:
+    /// the deadline/cancellation flag is consulted every
+    /// [`CONTROL_CHECK_ROWS`] rows, bounding the staleness of a timeout
+    /// or cancel to one chunk of admission work. The chunks feed the same
+    /// multi-candidate pre-pass, so admitted rows are byte-identical to
+    /// the unchecked path.
+    ///
+    /// [`CONTROL_CHECK_ROWS`]: sparkline_common::CONTROL_CHECK_ROWS
+    pub fn push_batch_checked(
+        &mut self,
+        rows: impl IntoIterator<Item = Row>,
+        control: &QueryControl,
+    ) -> Result<()> {
+        let mut rows = rows.into_iter().peekable();
+        while rows.peek().is_some() {
+            control.check()?;
+            self.push_batch(rows.by_ref().take(CONTROL_CHECK_ROWS));
+        }
+        Ok(())
     }
 
     /// Multi-candidate admission of one group of at most [`MULTI_LANES`]
@@ -784,6 +805,31 @@ mod tests {
         b.push_batch(rows(&[(0, 0)]));
         assert_eq!(b.window_len(), 1, "dominator evicts the whole window");
         assert!(b.stats().dominance_tests > 0);
+    }
+
+    #[test]
+    fn checked_push_matches_unchecked_and_observes_cancel() {
+        let data: Vec<(i64, i64)> = (0..3000).map(|i| (i % 57, (i * 31) % 53)).collect();
+        let mut plain = BnlBuilder::new(min_min(true), true);
+        plain.push_batch(rows(&data));
+        let mut checked = BnlBuilder::new(min_min(true), true);
+        checked
+            .push_batch_checked(rows(&data), &QueryControl::unlimited())
+            .unwrap();
+        assert_eq!(
+            as_pairs(plain.finish().0),
+            as_pairs(checked.finish().0),
+            "control checks must not change admission"
+        );
+
+        let control = QueryControl::unlimited();
+        control.cancel();
+        let mut cancelled = BnlBuilder::new(min_min(true), true);
+        let err = cancelled
+            .push_batch_checked(rows(&data), &control)
+            .unwrap_err();
+        assert!(err.is_cancelled());
+        assert_eq!(cancelled.window_len(), 0, "cancel fires before any chunk");
     }
 
     #[test]

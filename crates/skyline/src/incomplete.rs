@@ -70,7 +70,9 @@
 
 use std::collections::HashMap;
 
-use sparkline_common::{DominanceKernel, Row, SkylineSpec};
+use sparkline_common::{
+    DominanceKernel, QueryControl, Result, Row, SkylineSpec, CONTROL_CHECK_ROWS,
+};
 
 use crate::bnl::{bnl_skyline, kernel_for, BnlBuilder};
 use crate::columnar::{ColumnarBlock, EncodedCandidate};
@@ -190,6 +192,21 @@ impl GroupedBnlBuilder {
         for (slot, class_rows) in routed {
             self.groups[slot].push_batch(class_rows);
         }
+    }
+
+    /// [`push_batch`](Self::push_batch) under cooperative query control,
+    /// checked every [`CONTROL_CHECK_ROWS`] routed rows.
+    pub fn push_batch_checked(
+        &mut self,
+        rows: impl IntoIterator<Item = Row>,
+        control: &QueryControl,
+    ) -> Result<()> {
+        let mut rows = rows.into_iter().peekable();
+        while rows.peek().is_some() {
+            control.check()?;
+            self.push_batch(rows.by_ref().take(CONTROL_CHECK_ROWS));
+        }
+        Ok(())
     }
 
     /// Total window occupancy across all bitmap classes.
@@ -328,6 +345,16 @@ impl IncompletePartialBuilder {
     /// Feed one batch of rows.
     pub fn push_batch(&mut self, rows: impl IntoIterator<Item = Row>) {
         self.grouped.push_batch(rows);
+    }
+
+    /// Feed one batch under cooperative query control (checked every
+    /// [`CONTROL_CHECK_ROWS`] rows).
+    pub fn push_batch_checked(
+        &mut self,
+        rows: impl IntoIterator<Item = Row>,
+        control: &QueryControl,
+    ) -> Result<()> {
+        self.grouped.push_batch_checked(rows, control)
     }
 
     /// Current window occupancy across all class windows.

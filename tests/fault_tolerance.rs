@@ -1,0 +1,228 @@
+//! Fault-tolerance differential suite: deterministic fault injection,
+//! partition retry, enforced memory budgets, graceful degradation, and
+//! cancellation.
+//!
+//! The core contract under test: a run with `fault_rate > 0` and retries
+//! enabled must return **byte-identical** rows to the fault-free run of
+//! the same query (the injector is deterministic and fire-once, so every
+//! retry makes strict progress and recomputes the same partition from the
+//! same immutable lineage), while a run with retries disabled must fail
+//! with a clean, typed error — never a panic.
+
+mod common;
+
+use proptest::prelude::*;
+use sparkline::{QueryResult, SessionConfig, SessionContext};
+use sparkline_common::Row;
+use sparkline_exec::{stream::breaker_streams, TaskContext};
+
+const DIMS: usize = 3;
+
+fn run_query(ctx: &SessionContext) -> QueryResult {
+    ctx.sql(&common::skyline_sql(DIMS))
+        .unwrap()
+        .collect()
+        .unwrap()
+}
+
+fn try_query(ctx: &SessionContext) -> sparkline::Result<QueryResult> {
+    ctx.sql(&common::skyline_sql(DIMS))?.collect()
+}
+
+/// The faulty config mirrored by every differential case: deterministic
+/// seed, enough retries to absorb every fire-once fault on a partition.
+fn faulty(seed: u64, rate: f64) -> SessionConfig {
+    SessionConfig::new()
+        .with_executors(4)
+        .with_fault_injection(seed, rate)
+        .with_max_retries(16)
+}
+
+#[test]
+fn injected_faults_recover_to_identical_results() {
+    let mut total_faults = 0;
+    let mut total_retries = 0;
+    for dist in common::DISTRIBUTIONS {
+        for with_nulls in [false, true] {
+            let rows = common::generate(dist, 7, 400, DIMS, with_nulls);
+            let clean = common::session_with(
+                rows.clone(),
+                DIMS,
+                with_nulls,
+                SessionConfig::new().with_executors(4),
+            );
+            let chaotic = common::session_with(rows, DIMS, with_nulls, faulty(0xFA17_5EED, 0.15));
+            let expected = run_query(&clean);
+            let got = run_query(&chaotic);
+            assert_eq!(
+                got.rows, expected.rows,
+                "{dist} nulls={with_nulls}: retried run diverged from fault-free run"
+            );
+            total_faults += got.metrics.faults_injected;
+            total_retries += got.metrics.retries_attempted;
+        }
+    }
+    assert!(total_faults > 0, "no fault fired across the whole matrix");
+    assert!(
+        total_retries >= total_faults,
+        "every injected fault needs at least one retry ({total_retries} < {total_faults})"
+    );
+}
+
+#[test]
+fn pinned_seed_reproduces_the_same_fault_pattern() {
+    let rows = common::generate("independent", 11, 300, DIMS, false);
+    let first = run_query(&common::session_with(
+        rows.clone(),
+        DIMS,
+        false,
+        faulty(42, 0.2),
+    ));
+    let second = run_query(&common::session_with(rows, DIMS, false, faulty(42, 0.2)));
+    assert!(first.metrics.faults_injected > 0, "pinned seed never fired");
+    assert_eq!(
+        first.metrics.faults_injected, second.metrics.faults_injected,
+        "same seed, same rate, different fault pattern"
+    );
+    assert_eq!(first.rows, second.rows);
+}
+
+#[test]
+fn retries_disabled_surface_a_clean_typed_error() {
+    let rows = common::generate("independent", 3, 200, DIMS, false);
+    let ctx = common::session_with(
+        rows,
+        DIMS,
+        false,
+        SessionConfig::new()
+            .with_executors(4)
+            .with_fault_injection(1, 1.0)
+            .with_max_retries(0),
+    );
+    let err = try_query(&ctx).expect_err("rate 1.0 with no retries must fail");
+    assert!(
+        err.is_retryable(),
+        "the surfaced error must be the injected transient fault, got: {err}"
+    );
+}
+
+#[test]
+fn impossible_budget_is_a_clean_resource_exhausted_error() {
+    let rows = common::generate("correlated", 5, 300, DIMS, false);
+    let ctx = common::session_with(
+        rows,
+        DIMS,
+        false,
+        SessionConfig::new().with_executors(4).with_memory_budget(1),
+    );
+    let err = try_query(&ctx).expect_err("a 1-byte budget cannot run a skyline");
+    assert!(
+        err.is_resource_exhausted(),
+        "expected ResourceExhausted after the degradation ladder ran dry, got: {err}"
+    );
+}
+
+#[test]
+fn tight_budget_degrades_materialized_to_streaming() {
+    let rows = common::generate("correlated", 9, 600, DIMS, false);
+    let table_bytes: usize = rows.iter().map(Row::estimated_bytes).sum();
+    let baseline = run_query(&common::session_with(
+        rows.clone(),
+        DIMS,
+        false,
+        SessionConfig::new().with_executors(4),
+    ));
+    // A budget the materialized model (which holds the full scanned
+    // table at its first operator boundary) must blow, but the streaming
+    // model (whose buffered state is the skyline windows) fits
+    // comfortably — the correlated distribution keeps the skyline tiny.
+    let ctx = common::session_with(
+        rows,
+        DIMS,
+        false,
+        SessionConfig::new()
+            .with_executors(4)
+            .with_streaming_execution(false)
+            .with_memory_budget(table_bytes / 2),
+    );
+    let result = run_query(&ctx);
+    assert_eq!(result.sorted_display(), baseline.sorted_display());
+    assert!(
+        result.metrics.degraded_paths >= 1,
+        "the run must record its downgrade: {:?}",
+        result.metrics
+    );
+    assert!(
+        result.metrics.budget_denials >= 1,
+        "the downgrade must have been driven by a denial: {:?}",
+        result.metrics
+    );
+}
+
+#[test]
+fn session_cancel_aborts_and_reset_recovers() {
+    let rows = common::generate("independent", 13, 200, DIMS, false);
+    let ctx = common::session_with(rows, DIMS, false, SessionConfig::new().with_executors(2));
+    ctx.cancel();
+    assert!(ctx.is_cancelled());
+    let err = try_query(&ctx).expect_err("a cancelled session must not run queries");
+    assert!(err.is_cancelled(), "expected Cancelled, got: {err}");
+    ctx.reset_cancel();
+    assert!(!run_query(&ctx).rows.is_empty());
+}
+
+#[test]
+fn abandoning_a_cancelled_query_releases_every_reservation() {
+    let schema = sparkline_common::Schema::new(vec![sparkline_common::Field::new(
+        "x",
+        sparkline_common::DataType::Int64,
+        false,
+    )])
+    .into_ref();
+    let ctx = TaskContext::new(2).with_batch_size(8);
+    let parts: Vec<Vec<Row>> = (0..2)
+        .map(|p| {
+            (0..64)
+                .map(|i| Row::new(vec![sparkline_common::Value::Int64(p * 64 + i)]))
+                .collect()
+        })
+        .collect();
+    let mut streams = breaker_streams(schema, &ctx, 2, move || Ok(parts));
+    // First pull runs the breaker compute; both result slots now hold
+    // byte reservations.
+    assert!(streams[0].next_batch().unwrap().is_some());
+    assert!(
+        ctx.memory.current_bytes() > 0,
+        "breaker results must be charged while their streams live"
+    );
+    // Cancel mid-emission, the way an operator's consumer loop would
+    // observe it, then abandon the streams.
+    ctx.control.cancel();
+    let err = ctx.control.check().unwrap_err();
+    assert!(err.is_cancelled());
+    drop(streams);
+    assert_eq!(
+        ctx.memory.current_bytes(),
+        0,
+        "abandoning the query must release every reservation"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any seed, any firing pattern: the retried run converges to the
+    /// fault-free result, byte for byte.
+    #[test]
+    fn retried_runs_match_fault_free_for_any_seed(seed in 0u64..(1u64 << 48)) {
+        let rows = common::generate("anti_correlated", 17, 240, DIMS, false);
+        let clean = common::session_with(
+            rows.clone(),
+            DIMS,
+            false,
+            SessionConfig::new().with_executors(3),
+        );
+        let chaotic = common::session_with(rows, DIMS, false, faulty(seed, 0.1).with_executors(3));
+        prop_assert_eq!(run_query(&chaotic).rows, run_query(&clean).rows);
+    }
+}
