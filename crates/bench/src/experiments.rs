@@ -31,7 +31,7 @@ pub fn all_ids() -> Vec<&'static str> {
     vec![
         "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
         "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ext1", "ext2", "ext3", "ext4",
-        "ext5", "ext6", "ext7", "ext8",
+        "ext5", "ext6", "ext7", "ext8", "ext9",
     ]
 }
 
@@ -65,6 +65,7 @@ pub fn run(id: &str, ctx: &mut EvalContext, quick: bool) -> Vec<Report> {
         "ext6" => ext6_incomplete_merge(quick),
         "ext7" => ext7_simd_kernel(quick),
         "ext8" => ext8_chaos(quick),
+        "ext9" => ext9_storage(quick),
         other => panic!("unknown experiment '{other}'; known: {:?}", all_ids()),
     }
 }
@@ -913,6 +914,74 @@ fn ext8_chaos(quick: bool) -> Vec<Report> {
         x_values: crate::chaos_bench::FAULT_RATES
             .iter()
             .map(|r| format!("{:.0}%", r * 100.0))
+            .collect(),
+        series,
+        metric: Metric::Time,
+        with_relative: false,
+    }]
+}
+
+/// ext9: out-of-core columnar storage (PR 8) — disk-scan wall clock per
+/// distribution with block skipping off / min-max / min-max + dominance,
+/// the block and byte counters showing where the speedup comes from, and
+/// the out-of-core cell (a query over a file ~8× the memory budget that
+/// must complete by streaming one block at a time). Also writes the
+/// machine-readable `BENCH_PR8.json`; set `BENCH_PR8_OUT` to redirect
+/// the file.
+fn ext9_storage(quick: bool) -> Vec<Report> {
+    let path = std::env::var("BENCH_PR8_OUT").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
+    let bench = crate::storage_bench::write_bench_pr8(&path, quick)
+        .unwrap_or_else(|e| panic!("ext9: cannot write {path}: {e}"));
+    eprintln!("    wrote {path}");
+    for c in &bench.scan_cells {
+        eprintln!(
+            "    [{} / {}] {:.0} rows/s (blocks: {} read, {} skipped min/max, \
+             {} skipped dominance; {} bytes decoded)",
+            c.distribution,
+            c.mode,
+            c.rows_per_sec,
+            c.blocks_read,
+            c.blocks_skipped_minmax,
+            c.blocks_skipped_dominance,
+            c.bytes_decoded
+        );
+    }
+    let o = &bench.out_of_core;
+    eprintln!(
+        "    [out-of-core] {} result rows from a {} B file under a {} B budget \
+         ({} budget denials)",
+        o.result_rows, o.file_bytes, o.memory_budget, o.budget_denials
+    );
+    let distributions = ["correlated", "independent", "anti_correlated"];
+    let series: Vec<(String, Vec<Cell>)> = distributions
+        .iter()
+        .map(|&distribution| {
+            let cells = crate::storage_bench::MODES
+                .iter()
+                .map(|&mode| {
+                    bench
+                        .scan_cells
+                        .iter()
+                        .find(|c| c.distribution == distribution && c.mode == mode)
+                        .map(|c| Cell::Value(c.secs))
+                        .unwrap_or(Cell::NotApplicable)
+                })
+                .collect();
+            (distribution.to_string(), cells)
+        })
+        .collect();
+    let rows = bench.scan_cells.first().map(|c| c.rows).unwrap_or(0);
+    vec![Report {
+        id: "ext9".into(),
+        title: format!(
+            "Extension 9: filtered-skyline wall clock over a disk table by \
+             block-skipping mode ({rows} rows; see BENCH_PR8.json for the \
+             block/byte counters and the out-of-core budget cell)"
+        ),
+        x_label: "skipping",
+        x_values: crate::storage_bench::MODES
+            .iter()
+            .map(|m| m.to_string())
             .collect(),
         series,
         metric: Metric::Time,

@@ -42,6 +42,14 @@ pub struct Measurement {
     pub batches_emitted: u64,
     /// Peak rows simultaneously held by batches and operator buffers.
     pub peak_rows_in_flight: usize,
+    /// Storage blocks read (decoded) by disk scans.
+    pub blocks_read: u64,
+    /// Storage blocks skipped by min/max refutation of pushed-down filters.
+    pub blocks_skipped_minmax: u64,
+    /// Storage blocks skipped by corner-dominance against pre-filter points.
+    pub blocks_skipped_dominance: u64,
+    /// Raw block bytes read and decoded by disk scans.
+    pub bytes_decoded: u64,
 }
 
 impl Measurement {
@@ -57,6 +65,10 @@ impl Measurement {
             sfs_fallbacks: 0,
             batches_emitted: 0,
             peak_rows_in_flight: 0,
+            blocks_read: 0,
+            blocks_skipped_minmax: 0,
+            blocks_skipped_dominance: 0,
+            bytes_decoded: 0,
         }
     }
 
@@ -255,6 +267,10 @@ impl EvalContext {
                     sfs_fallbacks: result.metrics.sfs_fallbacks,
                     batches_emitted: result.metrics.batches_emitted,
                     peak_rows_in_flight: result.metrics.peak_rows_in_flight,
+                    blocks_read: result.metrics.blocks_read,
+                    blocks_skipped_minmax: result.metrics.blocks_skipped_minmax,
+                    blocks_skipped_dominance: result.metrics.blocks_skipped_dominance,
+                    bytes_decoded: result.metrics.bytes_decoded,
                 })
             }
             Err(Error::Timeout { .. }) => Ok(Measurement::timeout()),

@@ -238,6 +238,17 @@ pub struct SessionConfig {
     /// [`Error::ResourceExhausted`](crate::Error::ResourceExhausted) after
     /// the session has exhausted its graceful-degradation ladder.
     pub memory_budget: Option<usize>,
+    /// Rows per block written by `COPY`-style disk-table writes (>= 1) —
+    /// the skipping and decode granularity of the out-of-core scan.
+    pub storage_block_rows: usize,
+    /// Skip disk blocks whose per-column min/max prove no row passes a
+    /// pushed-down filter conjunct. Sound on its own (the `Filter` stays
+    /// in the plan); the switch exists for A/B benchmarks.
+    pub disk_minmax_skipping: bool,
+    /// Skip disk blocks whose best dominance corner is strictly dominated
+    /// by a representative pre-filter point (complete-family skyline
+    /// plans only). The `ext9` benchmark's headline A/B switch.
+    pub disk_dominance_skipping: bool,
 }
 
 impl Default for SessionConfig {
@@ -270,6 +281,9 @@ impl Default for SessionConfig {
             max_retries: 3,
             retry_backoff: Duration::ZERO,
             memory_budget: None,
+            storage_block_rows: 2048,
+            disk_minmax_skipping: true,
+            disk_dominance_skipping: true,
         }
     }
 }
@@ -433,6 +447,25 @@ impl SessionConfig {
         self.memory_budget = Some(bytes);
         self
     }
+
+    /// Set the disk-table block granularity in rows (>= 1).
+    pub fn with_storage_block_rows(mut self, rows: usize) -> Self {
+        assert!(rows >= 1, "a block holds at least one row");
+        self.storage_block_rows = rows;
+        self
+    }
+
+    /// Toggle min/max block skipping for disk scans (on by default).
+    pub fn with_disk_minmax_skipping(mut self, on: bool) -> Self {
+        self.disk_minmax_skipping = on;
+        self
+    }
+
+    /// Toggle dominance block skipping for disk scans (on by default).
+    pub fn with_disk_dominance_skipping(mut self, on: bool) -> Self {
+        self.disk_dominance_skipping = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -507,6 +540,21 @@ mod tests {
         assert_eq!(c.sample_seed, 99);
         assert_eq!(c.prefilter_max_points, 0);
         assert!(!c.representative_prefilter);
+    }
+
+    #[test]
+    fn storage_knobs_default_and_chain() {
+        let c = SessionConfig::new();
+        assert_eq!(c.storage_block_rows, 2048);
+        assert!(c.disk_minmax_skipping);
+        assert!(c.disk_dominance_skipping);
+        let c = SessionConfig::new()
+            .with_storage_block_rows(256)
+            .with_disk_minmax_skipping(false)
+            .with_disk_dominance_skipping(false);
+        assert_eq!(c.storage_block_rows, 256);
+        assert!(!c.disk_minmax_skipping);
+        assert!(!c.disk_dominance_skipping);
     }
 
     #[test]

@@ -8,12 +8,14 @@ use std::sync::Arc;
 use sparkline_common::{Error, Result, Row, Schema, SchemaRef};
 use sparkline_physical::ExecTableSource;
 use sparkline_plan::{CatalogProvider, StaticCatalog};
+use sparkline_storage::DiskTable;
 
 /// In-memory catalog with data.
 #[derive(Debug, Default)]
 pub struct SessionCatalog {
     schemas: StaticCatalog,
     data: HashMap<String, Arc<Vec<Row>>>,
+    disk: HashMap<String, Arc<DiskTable>>,
 }
 
 impl SessionCatalog {
@@ -37,6 +39,23 @@ impl SessionCatalog {
         Ok(())
     }
 
+    /// Register a disk-resident table (an opened block file): its schema
+    /// enters the catalog like any table's, but scans stream the file's
+    /// blocks through `DiskScanExec` instead of copying rows into memory.
+    /// Replaces any same-named in-memory registration.
+    pub fn register_disk_table(&mut self, name: impl Into<String>, table: Arc<DiskTable>) {
+        let name = name.into();
+        self.schemas.register_table(name.clone(), table.schema());
+        let key = name.to_ascii_lowercase();
+        self.data.remove(&key);
+        self.disk.insert(key, table);
+    }
+
+    /// The disk table registered under `name`, if any.
+    pub fn disk_table_named(&self, name: &str) -> Option<Arc<DiskTable>> {
+        self.disk.get(&name.to_ascii_lowercase()).cloned()
+    }
+
     /// Declare a foreign key (used by the §5.4 skyline-join pushdown; see
     /// [`StaticCatalog::register_foreign_key`]).
     pub fn register_foreign_key(
@@ -52,7 +71,9 @@ impl SessionCatalog {
 
     /// Remove a table.
     pub fn drop_table(&mut self, name: &str) -> bool {
-        self.data.remove(&name.to_ascii_lowercase()).is_some()
+        let key = name.to_ascii_lowercase();
+        let had_data = self.data.remove(&key).is_some();
+        self.disk.remove(&key).is_some() || had_data
     }
 
     /// Registered table names (lowercased, sorted).
@@ -62,7 +83,11 @@ impl SessionCatalog {
 
     /// Number of rows in a table.
     pub fn table_row_count(&self, name: &str) -> Option<usize> {
-        self.data.get(&name.to_ascii_lowercase()).map(|r| r.len())
+        let key = name.to_ascii_lowercase();
+        if let Some(table) = self.disk.get(&key) {
+            return Some(table.total_rows() as usize);
+        }
+        self.data.get(&key).map(|r| r.len())
     }
 }
 
@@ -120,6 +145,10 @@ impl CatalogProvider for SessionCatalog {
 impl ExecTableSource for SessionCatalog {
     fn table_rows(&self, name: &str) -> Option<Arc<Vec<Row>>> {
         self.data.get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    fn disk_table(&self, name: &str) -> Option<Arc<DiskTable>> {
+        self.disk_table_named(name)
     }
 }
 

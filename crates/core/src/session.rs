@@ -169,6 +169,56 @@ impl SessionContext {
         self.catalog.write().register_table(name, schema, rows)
     }
 
+    /// `COPY ... TO`: write a registered table to `path` in the sparkline
+    /// block format, using the session's storage knobs
+    /// (`storage_block_rows` for the block granularity, `sample_size` /
+    /// `sample_seed` for the footer's reservoir sample).
+    pub fn copy_table_to_disk(
+        &self,
+        name: &str,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<sparkline_storage::DiskTableSummary> {
+        let (schema, rows) = {
+            let catalog = self.catalog.read();
+            let schema = sparkline_plan::CatalogProvider::table_schema(&*catalog, name)
+                .ok_or_else(|| {
+                    sparkline_common::Error::plan(format!("no table named '{name}' to copy"))
+                })?;
+            let rows = sparkline_physical::ExecTableSource::table_rows(&*catalog, name)
+                .ok_or_else(|| {
+                    sparkline_common::Error::plan(format!(
+                        "table '{name}' has no in-memory rows to copy"
+                    ))
+                })?;
+            (schema, rows)
+        };
+        sparkline_storage::write_table(
+            path,
+            schema,
+            &rows,
+            sparkline_storage::WriterOptions {
+                block_rows: self.config.storage_block_rows,
+                sample_cap: self.config.sample_size,
+                sample_seed: self.config.sample_seed,
+            },
+        )
+    }
+
+    /// Open a block file written by
+    /// [`copy_table_to_disk`](Self::copy_table_to_disk) (or any
+    /// `sparkline_storage` writer) and register it as a disk-resident
+    /// table: queries stream its blocks out-of-core, skipping whole
+    /// blocks from footer metadata instead of reading them.
+    pub fn register_disk_table(
+        &self,
+        name: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<()> {
+        let table = Arc::new(sparkline_storage::DiskTable::open(path)?);
+        self.catalog.write().register_disk_table(name, table);
+        Ok(())
+    }
+
     /// Declare a foreign key enabling the §5.4 skyline-join pushdown for
     /// inner joins.
     pub fn register_foreign_key(
@@ -364,6 +414,11 @@ impl SessionContext {
         out.push_str(&format!("retries attempted: {}\n", m.retries_attempted));
         out.push_str(&format!("budget denials: {}\n", m.budget_denials));
         out.push_str(&format!("degraded paths: {}\n", m.degraded_paths));
+        out.push_str(&format!(
+            "disk blocks read: {} ({} skipped min/max, {} skipped dominance)\n",
+            m.blocks_read, m.blocks_skipped_minmax, m.blocks_skipped_dominance
+        ));
+        out.push_str(&format!("disk bytes decoded: {}\n", m.bytes_decoded));
         out.push_str(&format!(
             "peak memory: {} bytes\n",
             result.peak_memory_bytes

@@ -96,6 +96,17 @@ pub struct ExecMetrics {
     /// Graceful-degradation steps the session took before this execution
     /// (streaming sinks, dropped pre-filter, shrunk batches).
     pub degraded_paths: AtomicU64,
+    /// Storage blocks read and decoded by disk scans.
+    pub blocks_read: AtomicU64,
+    /// Storage blocks skipped by static min/max pruning of pushed-down
+    /// filter conjuncts — never read from disk.
+    pub blocks_skipped_minmax: AtomicU64,
+    /// Storage blocks skipped because a representative pre-filter point
+    /// dominates the block's best corner — never read from disk.
+    pub blocks_skipped_dominance: AtomicU64,
+    /// Encoded bytes actually read and decoded by disk scans (skipped
+    /// blocks contribute nothing).
+    pub bytes_decoded: AtomicU64,
 }
 
 /// Stable code for a partitioner name ([`crate::Partitioner::name`]);
@@ -238,6 +249,23 @@ impl ExecMetrics {
         self.degraded_paths.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a storage block read and decoded (`bytes` encoded bytes).
+    pub fn add_block_read(&self, bytes: u64) {
+        self.blocks_read.fetch_add(1, Ordering::Relaxed);
+        self.bytes_decoded.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a storage block skipped by min/max pruning.
+    pub fn add_block_skipped_minmax(&self) {
+        self.blocks_skipped_minmax.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a storage block skipped by dominance pruning.
+    pub fn add_block_skipped_dominance(&self) {
+        self.blocks_skipped_dominance
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Carry the resilience counters of an abandoned execution attempt
     /// (the session's degradation ladder re-executes with fresh metrics;
     /// faults fired and denials suffered on the way are part of the
@@ -284,6 +312,10 @@ impl ExecMetrics {
             retries_attempted: self.retries_attempted.load(Ordering::Relaxed),
             budget_denials: self.budget_denials.load(Ordering::Relaxed),
             degraded_paths: self.degraded_paths.load(Ordering::Relaxed),
+            blocks_read: self.blocks_read.load(Ordering::Relaxed),
+            blocks_skipped_minmax: self.blocks_skipped_minmax.load(Ordering::Relaxed),
+            blocks_skipped_dominance: self.blocks_skipped_dominance.load(Ordering::Relaxed),
+            bytes_decoded: self.bytes_decoded.load(Ordering::Relaxed),
         }
     }
 }
@@ -348,6 +380,14 @@ pub struct MetricsSnapshot {
     pub budget_denials: u64,
     /// Graceful-degradation steps taken by the session.
     pub degraded_paths: u64,
+    /// Storage blocks read and decoded by disk scans.
+    pub blocks_read: u64,
+    /// Storage blocks skipped by static min/max pruning.
+    pub blocks_skipped_minmax: u64,
+    /// Storage blocks skipped by dominance pruning.
+    pub blocks_skipped_dominance: u64,
+    /// Encoded bytes read and decoded by disk scans.
+    pub bytes_decoded: u64,
 }
 
 impl MetricsSnapshot {
@@ -497,6 +537,21 @@ mod tests {
         assert_eq!(carried.faults_injected, 2);
         assert_eq!(carried.retries_attempted, 2);
         assert_eq!(carried.degraded_paths, 1);
+    }
+
+    #[test]
+    fn storage_counters_accumulate() {
+        let m = ExecMetrics::new();
+        m.add_block_read(4096);
+        m.add_block_read(1024);
+        m.add_block_skipped_minmax();
+        m.add_block_skipped_dominance();
+        m.add_block_skipped_dominance();
+        let s = m.snapshot();
+        assert_eq!(s.blocks_read, 2);
+        assert_eq!(s.bytes_decoded, 5120);
+        assert_eq!(s.blocks_skipped_minmax, 1);
+        assert_eq!(s.blocks_skipped_dominance, 2);
     }
 
     #[test]

@@ -111,6 +111,10 @@ impl ExecutionPlan for FilterExec {
         "FilterExec"
     }
 
+    fn preserves_row_values(&self) -> bool {
+        true
+    }
+
     fn schema(&self) -> SchemaRef {
         self.input.schema()
     }
@@ -238,6 +242,10 @@ impl ExecutionPlan for DistinctExec {
         "DistinctExec"
     }
 
+    fn preserves_row_values(&self) -> bool {
+        true
+    }
+
     fn schema(&self) -> SchemaRef {
         self.input.schema()
     }
@@ -321,6 +329,10 @@ impl SortExec {
 impl ExecutionPlan for SortExec {
     fn name(&self) -> &'static str {
         "SortExec"
+    }
+
+    fn preserves_row_values(&self) -> bool {
+        true
     }
 
     fn schema(&self) -> SchemaRef {

@@ -39,10 +39,11 @@ pub mod exchange;
 pub mod join;
 pub mod planner;
 pub mod scan;
+pub mod scan_disk;
 pub mod skyline_exec;
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use sparkline_common::{Error, Result, SchemaRef};
 use sparkline_exec::{Partition, PartitionStream, TaskContext};
@@ -53,6 +54,7 @@ pub use exchange::{ExchangeExec, ExchangeMode};
 pub use join::{HashJoinExec, NestedLoopJoinExec};
 pub use planner::{ExecTableSource, PhysicalPlanner};
 pub use scan::ScanExec;
+pub use scan_disk::{ColumnPredicate, DiskScanExec, DominanceSkip};
 pub use skyline_exec::{
     GlobalSkylineExec, IncompleteGlobalSkylineExec, LocalSkylineExec, MinMaxFilterExec,
 };
@@ -94,6 +96,40 @@ pub trait ExecutionPlan: fmt::Debug + Send + Sync {
     fn describe(&self) -> String {
         self.name().to_string()
     }
+
+    /// The write-once dominance-skip slot of a disk scan, letting the
+    /// skyline planner install representative skip points after the tree
+    /// is built. `None` (the default) for every other operator.
+    fn dominance_skip_slot(&self) -> Option<&OnceLock<DominanceSkip>> {
+        None
+    }
+
+    /// Whether every output row of this operator is an unmodified input
+    /// row (subset / reorder only — filters, sorts, distinct). Gates the
+    /// planner's walk from a skyline operator down to a disk scan when
+    /// installing dominance-skip points: through a value-preserving chain,
+    /// column positions and values are those of the scan, so a point that
+    /// survives the chain dominates block rows in scan space.
+    fn preserves_row_values(&self) -> bool {
+        false
+    }
+}
+
+/// Walk a single-child chain of value-preserving operators down to a disk
+/// scan's dominance-skip slot, if one is reachable.
+pub fn find_dominance_skip_slot(plan: &dyn ExecutionPlan) -> Option<&OnceLock<DominanceSkip>> {
+    if let Some(slot) = plan.dominance_skip_slot() {
+        return Some(slot);
+    }
+    if !plan.preserves_row_values() {
+        return None;
+    }
+    let children = plan.children();
+    if children.len() != 1 {
+        return None;
+    }
+    let only: &Arc<dyn ExecutionPlan> = children[0];
+    find_dominance_skip_slot(only.as_ref())
 }
 
 /// Re-run `execute_stream` on an immutable plan subtree and keep only the

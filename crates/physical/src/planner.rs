@@ -28,8 +28,14 @@ use crate::{
 
 /// Source of table *data* for scans (the session catalog implements this).
 pub trait ExecTableSource: Send + Sync {
-    /// The rows of a registered table, if it exists.
+    /// The rows of a registered in-memory table, if it exists.
     fn table_rows(&self, name: &str) -> Option<Arc<Vec<Row>>>;
+
+    /// The disk-resident table registered under `name`, if any. Disk
+    /// tables take precedence over in-memory rows when both exist.
+    fn disk_table(&self, _name: &str) -> Option<Arc<sparkline_storage::DiskTable>> {
+        None
+    }
 }
 
 /// Translates logical plans into physical operator trees.
@@ -53,6 +59,9 @@ impl<'a> PhysicalPlanner<'a> {
                 )))
             }
             LogicalPlan::TableScan { name, schema } => {
+                if let Some(table) = self.source.disk_table(name) {
+                    return Ok(Arc::new(self.disk_scan(name, table, schema, None)));
+                }
                 let rows = self
                     .source
                     .table_rows(name)
@@ -69,7 +78,18 @@ impl<'a> PhysicalPlanner<'a> {
                 Arc::new(ProjectExec::new(exprs.clone(), plan.schema()?, child))
             }
             LogicalPlan::Filter { predicate, input } => {
-                let child = self.create(input)?;
+                // A filter directly on a disk scan hands its prunable
+                // conjuncts to the scan as static min/max bounds; the
+                // filter itself stays in the plan for the exact cut.
+                let child: Arc<dyn ExecutionPlan> = match input.as_ref() {
+                    LogicalPlan::TableScan { name, schema } => match self.source.disk_table(name) {
+                        Some(table) => {
+                            Arc::new(self.disk_scan(name, table, schema, Some(predicate)))
+                        }
+                        None => self.create(input)?,
+                    },
+                    _ => self.create(input)?,
+                };
                 Arc::new(FilterExec::new(predicate.clone(), child))
             }
             LogicalPlan::Aggregate {
@@ -131,6 +151,27 @@ impl<'a> PhysicalPlanner<'a> {
         })
     }
 
+    /// Build a [`DiskScanExec`] over an opened table, with the session's
+    /// skipping knobs and (when a filter sits directly on the scan) the
+    /// statically extracted min/max bounds.
+    fn disk_scan(
+        &self,
+        name: &str,
+        table: Arc<sparkline_storage::DiskTable>,
+        schema: &SchemaRef,
+        filter: Option<&Expr>,
+    ) -> crate::scan_disk::DiskScanExec {
+        let bounds = filter
+            .map(crate::scan_disk::extract_column_predicates)
+            .unwrap_or_default();
+        crate::scan_disk::DiskScanExec::new(name.to_string(), table, Arc::clone(schema))
+            .with_bounds(bounds)
+            .with_skipping(
+                self.config.disk_minmax_skipping,
+                self.config.disk_dominance_skipping,
+            )
+    }
+
     /// Build the exchange strategy object for the selected partitioning;
     /// `None` keeps the child's distribution (`Standard`). `grid_cells`
     /// comes from the [`SkylinePlan`] (the config knob for static plans,
@@ -181,9 +222,22 @@ impl<'a> PhysicalPlanner<'a> {
         // row's dimension values still occur in the node's output.
         let mut steps: Vec<Step<'_>> = Vec::new();
         let mut node = plan;
+        // Disk tables are sampled through their footer reservoir — a
+        // uniform whole-table draw written during the single writer pass —
+        // so planning costs zero block I/O. The filtered population is
+        // then estimated by scaling the sample's survivor fraction to the
+        // file's exact row count.
+        let mut disk_scale: Option<(usize, u64)> = None;
         let base_rows: Arc<Vec<Row>> = loop {
             match node {
-                LogicalPlan::TableScan { name, .. } => break self.source.table_rows(name)?,
+                LogicalPlan::TableScan { name, .. } => {
+                    if let Some(table) = self.source.disk_table(name) {
+                        let sample = Arc::clone(table.sample());
+                        disk_scale = Some((sample.len(), table.total_rows()));
+                        break sample;
+                    }
+                    break self.source.table_rows(name)?;
+                }
                 LogicalPlan::Values { rows, .. } => break Arc::clone(rows),
                 LogicalPlan::Filter { predicate, input } => {
                     steps.push(Step::Filter(predicate));
@@ -219,8 +273,30 @@ impl<'a> PhysicalPlanner<'a> {
             }
             reservoir.push(row);
         }
-        let total = reservoir.seen();
+        let survivors = reservoir.seen();
+        let total = match disk_scale {
+            Some((sample_len, total_rows)) if sample_len > 0 => {
+                ((survivors as u64).saturating_mul(total_rows) / sample_len as u64) as usize
+            }
+            Some(_) => 0,
+            None => survivors,
+        };
         Some((reservoir.into_rows(), total))
+    }
+
+    /// The disk table a skyline input resolves to when nothing between
+    /// the operator and the scan reshapes rows or changes the column
+    /// space (aliases, sorts, and DISTINCT are value-preserving).
+    fn bare_disk_table(&self, mut node: &LogicalPlan) -> Option<Arc<sparkline_storage::DiskTable>> {
+        loop {
+            match node {
+                LogicalPlan::TableScan { name, .. } => return self.source.disk_table(name),
+                LogicalPlan::SubqueryAlias { input, .. }
+                | LogicalPlan::Sort { input, .. }
+                | LogicalPlan::Distinct { input } => node = input,
+                _ => return None,
+            }
+        }
     }
 
     fn plan_join(
@@ -347,9 +423,33 @@ impl<'a> PhysicalPlanner<'a> {
         } else {
             None
         };
-        let sample_stats = sample
+        let mut sample_stats = sample
             .as_ref()
             .map(|(rows, total)| DatasetStats::from_sample(rows, *total, &spec));
+        // Footer-exact refinement: a skyline directly over a disk scan
+        // (dims bound to scan columns, no filter/projection between) gets
+        // its per-dimension min/max and NULL fractions from the block
+        // directory's aggregates — exact whole-table figures, zero I/O —
+        // instead of the sample estimates.
+        if !needs_wrap {
+            if let (Some(stats), Some(table)) = (sample_stats.as_mut(), self.bare_disk_table(input))
+            {
+                let agg = table.column_stats();
+                let total = table.total_rows();
+                stats.total_rows = total as usize;
+                for (k, dim) in spec.dims.iter().enumerate() {
+                    if let Some(col) = agg.get(dim.index) {
+                        stats.per_dim[k].min = col.min;
+                        stats.per_dim[k].max = col.max;
+                        stats.per_dim[k].null_fraction = if total == 0 {
+                            0.0
+                        } else {
+                            (col.nulls + col.non_numeric) as f64 / total as f64
+                        };
+                    }
+                }
+            }
+        }
         let choice = match &sample_stats {
             Some(stats) => SkylinePlan::select_adaptive(self.config, &meta, stats),
             None => SkylinePlan::select(self.config, &meta),
@@ -387,6 +487,28 @@ impl<'a> PhysicalPlanner<'a> {
                         choice.prefilter_max_points,
                     );
                     if !points.is_empty() {
+                        // Dominance-based data skipping: hand the same
+                        // representative points to a disk scan reachable
+                        // through value-preserving operators (the walk
+                        // stops at projections, which change the column
+                        // space). A block whose best corner is strictly
+                        // dominated by a point is then skipped unread —
+                        // sound because the complete relation is
+                        // transitive (see `sparkline_storage`'s crate
+                        // docs; `DominanceSkip::from_points` additionally
+                        // refuses DIFF dimensions).
+                        if self.config.disk_dominance_skipping {
+                            if let Some(slot) = crate::find_dominance_skip_slot(input_exec.as_ref())
+                            {
+                                if let Some(skip) = crate::scan_disk::DominanceSkip::from_points(
+                                    &spec.dims,
+                                    &points,
+                                    choice.kernel,
+                                ) {
+                                    let _ = slot.set(skip);
+                                }
+                            }
+                        }
                         input_exec = Arc::new(
                             SkylinePreFilterExec::new(spec.clone(), points, rows.len(), input_exec)
                                 .with_kernel(choice.kernel),

@@ -1,0 +1,671 @@
+//! The out-of-core scan: streams a [`DiskTable`]'s blocks, skipping whole
+//! blocks from metadata — static min/max pruning for pushed-down filter
+//! conjuncts and dominance pruning against representative pre-filter
+//! points — before any I/O or decode happens.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
+
+use sparkline_common::{Result, SchemaRef, SkylineType, Value};
+use sparkline_exec::{partition::even_ranges, FaultSite, PartitionStream, TaskContext};
+use sparkline_plan::{BinaryOp, Expr};
+use sparkline_skyline::columnar::PointBlock;
+use sparkline_storage::{BlockDecoder, BlockMeta, DiskTable};
+
+use crate::ExecutionPlan;
+
+/// One pushed-down comparison `column <op> literal` a block's min/max can
+/// refute. The `FilterExec` above the scan still evaluates the predicate
+/// exactly — pruning only discards blocks *no* row of which can pass, so
+/// results are identical with pruning on or off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnPredicate {
+    /// Column position in the scan schema.
+    pub col: usize,
+    /// The comparison, normalized to `column <op> value`.
+    pub op: BinaryOp,
+    /// The literal, as a finite f64.
+    pub value: f64,
+}
+
+impl ColumnPredicate {
+    /// Whether the block provably contains no row satisfying this
+    /// predicate. NULL rows never satisfy a comparison (SQL three-valued
+    /// logic: the filter keeps only `TRUE`), so the decision rests on the
+    /// numeric `[min, max]` alone — unless the column holds non-numeric
+    /// values (strings, NaN), which the bounds don't cover; those blocks
+    /// are never pruned.
+    fn refutes(&self, meta: &BlockMeta) -> bool {
+        let Some(col) = meta.columns.get(self.col) else {
+            return false;
+        };
+        if col.non_numeric > 0 {
+            return false;
+        }
+        let (Some(min), Some(max)) = (col.min, col.max) else {
+            // Every row is NULL: no row satisfies any comparison.
+            return true;
+        };
+        let v = self.value;
+        match self.op {
+            BinaryOp::Lt => min >= v,
+            BinaryOp::LtEq => min > v,
+            BinaryOp::Gt => max <= v,
+            BinaryOp::GtEq => max < v,
+            BinaryOp::Eq => v < min || v > max,
+            _ => false,
+        }
+    }
+}
+
+/// Extract the min/max-prunable conjuncts of a filter predicate sitting
+/// directly on a disk scan: `BoundColumn <op> numeric-literal` (either
+/// orientation) joined by `AND`. Everything else is ignored — the filter
+/// still runs, so missing a conjunct costs only pruning power.
+pub fn extract_column_predicates(predicate: &Expr) -> Vec<ColumnPredicate> {
+    fn literal_f64(e: &Expr) -> Option<f64> {
+        match e {
+            Expr::Literal(Value::Int64(i)) => Some(*i as f64),
+            Expr::Literal(Value::Float64(f)) if !f.is_nan() => Some(*f),
+            _ => None,
+        }
+    }
+    fn flip(op: BinaryOp) -> Option<BinaryOp> {
+        Some(match op {
+            BinaryOp::Lt => BinaryOp::Gt,
+            BinaryOp::LtEq => BinaryOp::GtEq,
+            BinaryOp::Gt => BinaryOp::Lt,
+            BinaryOp::GtEq => BinaryOp::LtEq,
+            BinaryOp::Eq => BinaryOp::Eq,
+            _ => return None,
+        })
+    }
+    fn walk(e: &Expr, out: &mut Vec<ColumnPredicate>) {
+        match e {
+            Expr::BinaryOp {
+                left,
+                op: BinaryOp::And,
+                right,
+            } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            Expr::BinaryOp { left, op, right } => {
+                if let (Expr::BoundColumn(c), Some(value)) = (left.as_ref(), literal_f64(right)) {
+                    if matches!(
+                        op,
+                        BinaryOp::Lt
+                            | BinaryOp::LtEq
+                            | BinaryOp::Gt
+                            | BinaryOp::GtEq
+                            | BinaryOp::Eq
+                    ) {
+                        out.push(ColumnPredicate {
+                            col: c.index,
+                            op: *op,
+                            value,
+                        });
+                    }
+                } else if let (Some(value), Expr::BoundColumn(c)) =
+                    (literal_f64(left), right.as_ref())
+                {
+                    if let Some(op) = flip(*op) {
+                        out.push(ColumnPredicate {
+                            col: c.index,
+                            op,
+                            value,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk(predicate, &mut out);
+    out
+}
+
+/// Dominance-skipping state: the scan's ranked dimensions in folded
+/// (smaller-is-better) order and the representative pre-filter points,
+/// folded the same way. Installed by the skyline planner *after* the scan
+/// is built (the points come from the sampled skyline input), hence the
+/// write-once slot.
+#[derive(Debug)]
+pub struct DominanceSkip {
+    /// `(column, negate)` per ranked dimension: a MIN dimension folds as
+    /// `v`, a MAX dimension as `-v` (matching the block corner fold).
+    dims: Vec<(usize, bool)>,
+    /// Folded representative points (real rows of the skyline's filtered
+    /// input that survive to its operator).
+    points: PointBlock,
+}
+
+impl DominanceSkip {
+    /// Build the skip set from raw-space representative rows. Returns
+    /// `None` when no point folds cleanly (a non-numeric dimension value
+    /// disqualifies the point, not the whole set) or when `dims` contains
+    /// a DIFF dimension — corner dominance is only defined over ranked
+    /// MIN/MAX dimensions.
+    pub fn from_points(
+        dims: &[sparkline_common::SkylineDim],
+        points: &[sparkline_common::Row],
+        kernel: sparkline_common::DominanceKernel,
+    ) -> Option<Self> {
+        let folded_dims: Vec<(usize, bool)> = dims
+            .iter()
+            .map(|d| match d.ty {
+                SkylineType::Min => Some((d.index, false)),
+                SkylineType::Max => Some((d.index, true)),
+                SkylineType::Diff => None,
+            })
+            .collect::<Option<_>>()?;
+        let mut block = PointBlock::with_kernel(folded_dims.len(), kernel);
+        let mut folded = Vec::with_capacity(folded_dims.len());
+        'points: for p in points {
+            folded.clear();
+            for &(col, negate) in &folded_dims {
+                match sparkline_common::stats::numeric_value(p.get(col)) {
+                    Some(v) => folded.push(if negate { -v } else { v }),
+                    None => continue 'points,
+                }
+            }
+            block.push(&folded);
+        }
+        if block.is_empty() {
+            return None;
+        }
+        Some(DominanceSkip {
+            dims: folded_dims,
+            points: block,
+        })
+    }
+
+    /// Whether some representative point strictly dominates the block's
+    /// best corner — then it dominates every row of the block (corner ≤
+    /// row component-wise, dominance is transitive on the complete
+    /// relation) and the block can be skipped unread. Requires the ranked
+    /// columns fully numeric (no NULLs, no strings/NaN), else the corner
+    /// doesn't bound every row and the block must be read. Returns the
+    /// corner tests spent alongside the verdict.
+    fn skips(&self, meta: &BlockMeta) -> (u64, bool) {
+        let mut corner = Vec::with_capacity(self.dims.len());
+        for &(col, negate) in &self.dims {
+            let Some(c) = meta.columns.get(col) else {
+                return (0, false);
+            };
+            if !c.fully_numeric() {
+                return (0, false);
+            }
+            match c.folded_best(negate) {
+                Some(v) => corner.push(v),
+                None => return (0, false),
+            }
+        }
+        let (tests, dominator) = self.points.first_dominator(&corner);
+        (tests, dominator.is_some())
+    }
+}
+
+/// Scans a persistent [`DiskTable`], distributing whole blocks across
+/// `num_executors` partition streams. Each stream holds at most one
+/// block's *encoded* payload (budget-reserved against the query's
+/// [`MemoryTracker`](sparkline_exec::MemoryTracker)) and decodes it
+/// batch-by-batch, so peak scan memory is one raw block plus one decoded
+/// batch per executor — independent of file size. Blocks refuted by the
+/// min/max bounds or dominated through the skip slot are never read.
+#[derive(Debug)]
+pub struct DiskScanExec {
+    label: String,
+    table: Arc<DiskTable>,
+    schema: SchemaRef,
+    bounds: Vec<ColumnPredicate>,
+    skip: Arc<OnceLock<DominanceSkip>>,
+    minmax_enabled: bool,
+    dominance_enabled: bool,
+}
+
+impl DiskScanExec {
+    /// Scan over an opened disk table. `schema` is the analyzer's (its
+    /// qualified field names), structurally identical to the file's.
+    pub fn new(label: impl Into<String>, table: Arc<DiskTable>, schema: SchemaRef) -> Self {
+        DiskScanExec {
+            label: label.into(),
+            table,
+            schema,
+            bounds: Vec::new(),
+            skip: Arc::new(OnceLock::new()),
+            minmax_enabled: true,
+            dominance_enabled: true,
+        }
+    }
+
+    /// Attach pushed-down min/max bounds (the planner extracts them from
+    /// the `Filter` directly above the scan).
+    pub fn with_bounds(mut self, bounds: Vec<ColumnPredicate>) -> Self {
+        self.bounds = bounds;
+        self
+    }
+
+    /// Gate the two skipping tiers (the `SessionConfig` A/B knobs).
+    pub fn with_skipping(mut self, minmax: bool, dominance: bool) -> Self {
+        self.minmax_enabled = minmax;
+        self.dominance_enabled = dominance;
+        self
+    }
+
+    /// The scanned table.
+    pub fn table(&self) -> &Arc<DiskTable> {
+        &self.table
+    }
+
+    /// Skip decision for one block (see [`skip_verdict`]).
+    fn block_skip(&self, meta: &BlockMeta) -> (u64, Option<SkipKind>) {
+        skip_verdict(
+            &self.bounds,
+            &self.skip,
+            self.minmax_enabled,
+            self.dominance_enabled,
+            meta,
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SkipKind {
+    MinMax,
+    Dominance,
+}
+
+/// Skip decision for one block: `(corner tests, Some(kind))` with `kind`
+/// telling which tier fired. Min/max runs first — it is cheaper (no
+/// dominance tests) and its skips don't depend on the skyline plan.
+fn skip_verdict(
+    bounds: &[ColumnPredicate],
+    skip: &OnceLock<DominanceSkip>,
+    minmax_enabled: bool,
+    dominance_enabled: bool,
+    meta: &BlockMeta,
+) -> (u64, Option<SkipKind>) {
+    if minmax_enabled && bounds.iter().any(|b| b.refutes(meta)) {
+        return (0, Some(SkipKind::MinMax));
+    }
+    if dominance_enabled {
+        if let Some(skip) = skip.get() {
+            let (tests, skips) = skip.skips(meta);
+            if skips {
+                return (tests, Some(SkipKind::Dominance));
+            }
+            return (tests, None);
+        }
+    }
+    (0, None)
+}
+
+impl ExecutionPlan for DiskScanExec {
+    fn name(&self) -> &'static str {
+        "DiskScanExec"
+    }
+
+    fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    fn children(&self) -> Vec<&Arc<dyn ExecutionPlan>> {
+        vec![]
+    }
+
+    fn dominance_skip_slot(&self) -> Option<&OnceLock<DominanceSkip>> {
+        Some(&self.skip)
+    }
+
+    fn execute_stream(&self, ctx: &TaskContext) -> Result<Vec<PartitionStream>> {
+        ctx.control.check()?;
+        // Whole blocks are the distribution unit: a block decodes on
+        // exactly one executor, and the metadata skip happens before its
+        // bytes are touched.
+        let ranges = even_ranges(self.table.num_blocks(), ctx.runtime.num_executors());
+        let batch_size = ctx.batch_size.max(1);
+        Ok(ranges
+            .into_iter()
+            .enumerate()
+            .map(|(part, (start, end))| {
+                let table = Arc::clone(&self.table);
+                let schema = self.schema();
+                let bounds = self.bounds.clone();
+                let skip = Arc::clone(&self.skip);
+                let minmax_enabled = self.minmax_enabled;
+                let dominance_enabled = self.dominance_enabled;
+                let ctx = ctx.clone();
+                let mut block = start;
+                let mut seq = 0u64;
+                // (decoder, next row, reservation): the raw payload stays
+                // reserved until the last batch of the block is decoded.
+                let mut current: Option<(BlockDecoder, usize, sparkline_exec::MemoryReservation)> =
+                    None;
+                PartitionStream::new(
+                    Arc::clone(&schema),
+                    Arc::clone(&ctx.metrics),
+                    move || loop {
+                        ctx.control.check()?;
+                        if let Some((decoder, pos, _res)) = current.as_mut() {
+                            ctx.maybe_inject(FaultSite::Scan, part, seq)?;
+                            seq += 1;
+                            let upto = (*pos + batch_size).min(decoder.rows());
+                            let batch = decoder.decode_range(*pos, upto)?;
+                            *pos = upto;
+                            if *pos >= decoder.rows() {
+                                current = None;
+                            }
+                            ctx.metrics
+                                .rows_scanned
+                                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                            return Ok(Some(batch));
+                        }
+                        let Some(i) = (block < end).then_some(block) else {
+                            return Ok(None);
+                        };
+                        block += 1;
+                        let meta = table.block_meta(i);
+                        let (tests, verdict) =
+                            skip_verdict(&bounds, &skip, minmax_enabled, dominance_enabled, meta);
+                        if tests > 0 {
+                            ctx.metrics.corner_tests.fetch_add(tests, Ordering::Relaxed);
+                        }
+                        match verdict {
+                            Some(SkipKind::MinMax) => {
+                                ctx.metrics.add_block_skipped_minmax();
+                                continue;
+                            }
+                            Some(SkipKind::Dominance) => {
+                                ctx.metrics.add_block_skipped_dominance();
+                                continue;
+                            }
+                            None => {}
+                        }
+                        ctx.maybe_inject(FaultSite::Scan, part, seq)?;
+                        seq += 1;
+                        let raw = table.read_block_raw(i)?;
+                        let reservation = ctx.try_reserve(raw.len())?;
+                        ctx.metrics.add_block_read(raw.len() as u64);
+                        let decoder = BlockDecoder::new(raw, Arc::clone(&schema))?;
+                        if decoder.rows() == 0 {
+                            continue;
+                        }
+                        current = Some((decoder, 0, reservation));
+                    },
+                )
+            })
+            .collect())
+    }
+
+    fn describe(&self) -> String {
+        // The skip decision is pure metadata, so the EXPLAIN tag can
+        // report it exactly without executing anything.
+        let mut minmax = 0usize;
+        let mut dominance = 0usize;
+        for meta in self.table.blocks() {
+            match self.block_skip(meta).1 {
+                Some(SkipKind::MinMax) => minmax += 1,
+                Some(SkipKind::Dominance) => dominance += 1,
+                None => {}
+            }
+        }
+        format!(
+            "DiskScanExec [{}: {} rows, disk(blocks={}, skipped={} minmax + {} dominance)]",
+            self.label,
+            self.table.total_rows(),
+            self.table.num_blocks(),
+            minmax,
+            dominance,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkline_common::{
+        DataType, DominanceKernel, Field, Row, Schema, SkylineDim, SkylineType,
+    };
+    use sparkline_plan::BoundColumn;
+    use sparkline_storage::{write_table, WriterOptions};
+
+    fn temp_file(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sparkline-diskscan-test-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("t.spk")
+    }
+
+    fn disk_table(name: &str, rows: &[Row], block_rows: usize) -> (Arc<DiskTable>, SchemaRef) {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Float64, false),
+            Field::new("b", DataType::Float64, false),
+        ])
+        .into_ref();
+        let path = temp_file(name);
+        write_table(
+            &path,
+            Arc::clone(&schema),
+            rows,
+            WriterOptions {
+                block_rows,
+                ..WriterOptions::default()
+            },
+        )
+        .unwrap();
+        (Arc::new(DiskTable::open(&path).unwrap()), schema)
+    }
+
+    fn ascending(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Float64(i as f64),
+                    Value::Float64((n - i) as f64),
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_scan_returns_every_row_in_order() {
+        let rows = ascending(1000);
+        let (table, schema) = disk_table("full", &rows, 128);
+        let scan = DiskScanExec::new("t", table, schema);
+        let ctx = TaskContext::new(3);
+        let parts = scan.execute(&ctx).unwrap();
+        let got = sparkline_exec::partition::flatten(parts);
+        assert_eq!(got, rows);
+        let snap = ctx.metrics.snapshot();
+        assert_eq!(snap.rows_scanned, 1000);
+        assert_eq!(snap.blocks_read, 8, "ceil(1000/128)");
+        assert!(snap.bytes_decoded > 0);
+    }
+
+    #[test]
+    fn minmax_bounds_skip_blocks_without_changing_results() {
+        let rows = ascending(1000);
+        let (table, schema) = disk_table("minmax", &rows, 100);
+        // a < 250 refutes blocks whose min >= 250 (blocks 3..9).
+        let bound = ColumnPredicate {
+            col: 0,
+            op: BinaryOp::Lt,
+            value: 250.0,
+        };
+        let scan = DiskScanExec::new("t", Arc::clone(&table), Arc::clone(&schema))
+            .with_bounds(vec![bound]);
+        let ctx = TaskContext::new(2);
+        let got = sparkline_exec::partition::flatten(scan.execute(&ctx).unwrap());
+        let snap = ctx.metrics.snapshot();
+        assert_eq!(snap.blocks_skipped_minmax, 7, "blocks [300..1000) pruned");
+        assert_eq!(snap.blocks_read, 3);
+        // Pruning is a superset guarantee: every row satisfying the
+        // predicate is still present (the filter above does the exact cut).
+        let kept: Vec<&Row> = rows.iter().filter(|r| f(r, 0) < 250.0).collect();
+        assert!(kept.iter().all(|r| got.contains(r)));
+        // Skipping off reads everything and returns a superset too.
+        let all = DiskScanExec::new("t", table, schema)
+            .with_bounds(vec![bound])
+            .with_skipping(false, true);
+        let ctx2 = TaskContext::new(2);
+        let everything = sparkline_exec::partition::flatten(all.execute(&ctx2).unwrap());
+        assert_eq!(everything, rows);
+        assert_eq!(ctx2.metrics.snapshot().blocks_skipped_minmax, 0);
+    }
+
+    fn f(row: &Row, i: usize) -> f64 {
+        match row.get(i) {
+            Value::Float64(v) => *v,
+            other => panic!("not a float: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refutation_rules_match_predicate_semantics() {
+        // One block with a in [100, 199].
+        let rows: Vec<Row> = (100..200)
+            .map(|i| Row::new(vec![Value::Float64(i as f64), Value::Float64(0.0)]))
+            .collect();
+        let (table, _) = disk_table("rules", &rows, 1000);
+        let meta = table.block_meta(0);
+        let refutes = |op, value| ColumnPredicate { col: 0, op, value }.refutes(meta);
+        assert!(refutes(BinaryOp::Lt, 100.0));
+        assert!(!refutes(BinaryOp::Lt, 100.5));
+        assert!(refutes(BinaryOp::LtEq, 99.0));
+        assert!(!refutes(BinaryOp::LtEq, 100.0));
+        assert!(refutes(BinaryOp::Gt, 199.0));
+        assert!(!refutes(BinaryOp::Gt, 198.5));
+        assert!(refutes(BinaryOp::GtEq, 199.5));
+        assert!(!refutes(BinaryOp::GtEq, 199.0));
+        assert!(refutes(BinaryOp::Eq, 99.5));
+        assert!(refutes(BinaryOp::Eq, 200.0));
+        assert!(!refutes(BinaryOp::Eq, 150.0));
+    }
+
+    #[test]
+    fn dominance_skip_drops_dominated_blocks() {
+        // Blocks of 100 rows; rows in block k have a = b = k*100 + i, so
+        // block 0's rows dominate every later block's corner.
+        let n = 500;
+        let rows: Vec<Row> = (0..n)
+            .map(|i| Row::new(vec![Value::Float64(i as f64), Value::Float64(i as f64)]))
+            .collect();
+        let (table, schema) = disk_table("dom", &rows, 100);
+        let scan = DiskScanExec::new("t", table, schema);
+        let dims = [
+            SkylineDim::new(0, SkylineType::Min),
+            SkylineDim::new(1, SkylineType::Min),
+        ];
+        // Representative point: the global optimum (0, 0) — strictly
+        // dominates the best corner of every block but its own.
+        let points = vec![rows[0].clone()];
+        let skip = DominanceSkip::from_points(&dims, &points, DominanceKernel::Auto).unwrap();
+        scan.dominance_skip_slot().unwrap().set(skip).unwrap();
+        let ctx = TaskContext::new(2);
+        let got = sparkline_exec::partition::flatten(scan.execute(&ctx).unwrap());
+        let snap = ctx.metrics.snapshot();
+        assert_eq!(snap.blocks_skipped_dominance, 4, "blocks 1..5 dominated");
+        assert_eq!(snap.blocks_read, 1);
+        assert!(snap.corner_tests > 0);
+        assert_eq!(got, rows[..100].to_vec(), "only block 0 survives");
+        assert!(scan.describe().contains("skipped=0 minmax + 4 dominance"));
+    }
+
+    #[test]
+    fn blocks_with_nulls_or_max_dims_fold_correctly() {
+        // MAX dimension: corner is -max; a point with a larger value
+        // dominates blocks of smaller values.
+        let rows: Vec<Row> = (0..300)
+            .map(|i| Row::new(vec![Value::Float64(i as f64), Value::Float64(i as f64)]))
+            .collect();
+        let (table, schema) = disk_table("maxdim", &rows, 100);
+        let scan = DiskScanExec::new("t", table, schema);
+        let dims = [
+            SkylineDim::new(0, SkylineType::Max),
+            SkylineDim::new(1, SkylineType::Max),
+        ];
+        let points = vec![rows[299].clone()];
+        let skip = DominanceSkip::from_points(&dims, &points, DominanceKernel::Auto).unwrap();
+        scan.dominance_skip_slot().unwrap().set(skip).unwrap();
+        let ctx = TaskContext::new(1);
+        let got = sparkline_exec::partition::flatten(scan.execute(&ctx).unwrap());
+        assert_eq!(got, rows[200..].to_vec(), "only the top block survives");
+        assert_eq!(ctx.metrics.snapshot().blocks_skipped_dominance, 2);
+    }
+
+    #[test]
+    fn diff_dims_disable_dominance_skipping() {
+        let dims = [
+            SkylineDim::new(0, SkylineType::Min),
+            SkylineDim::new(1, SkylineType::Diff),
+        ];
+        let points = vec![Row::new(vec![Value::Float64(0.0), Value::Float64(0.0)])];
+        assert!(DominanceSkip::from_points(&dims, &points, DominanceKernel::Auto).is_none());
+    }
+
+    #[test]
+    fn predicate_extraction_normalizes_orientation() {
+        let field = Field::new("a", DataType::Float64, false);
+        let col = Expr::BoundColumn(BoundColumn {
+            index: 0,
+            field: field.clone(),
+        });
+        let lit = |v: f64| Expr::Literal(Value::Float64(v));
+        // a < 5 AND 10 > a AND a = 3
+        let pred = col
+            .clone()
+            .lt(lit(5.0))
+            .and(Expr::BinaryOp {
+                left: Box::new(lit(10.0)),
+                op: BinaryOp::Gt,
+                right: Box::new(col.clone()),
+            })
+            .and(col.clone().eq(lit(3.0)));
+        let got = extract_column_predicates(&pred);
+        assert_eq!(
+            got,
+            vec![
+                ColumnPredicate {
+                    col: 0,
+                    op: BinaryOp::Lt,
+                    value: 5.0
+                },
+                ColumnPredicate {
+                    col: 0,
+                    op: BinaryOp::Lt,
+                    value: 10.0
+                },
+                ColumnPredicate {
+                    col: 0,
+                    op: BinaryOp::Eq,
+                    value: 3.0
+                },
+            ]
+        );
+        // NaN literals and non-column comparisons are ignored.
+        assert!(extract_column_predicates(&col.clone().lt(lit(f64::NAN))).is_empty());
+        assert!(extract_column_predicates(&lit(1.0).lt(lit(2.0))).is_empty());
+    }
+
+    #[test]
+    fn decode_buffers_are_charged_to_the_memory_budget() {
+        let rows = ascending(2000);
+        let (table, schema) = disk_table("budget", &rows, 500);
+        let scan = DiskScanExec::new("t", Arc::clone(&table), schema);
+        let block_bytes = table.block_meta(0).bytes as usize;
+        // A budget below one encoded block must deny the scan.
+        let ctx = TaskContext::new(1).with_memory_budget(Some(block_bytes / 2));
+        let err = scan.execute(&ctx).unwrap_err();
+        assert!(err.is_resource_exhausted(), "{err}");
+        assert!(ctx.metrics.snapshot().budget_denials > 0);
+        // A budget of ~one block per executor succeeds: blocks are
+        // released as they drain.
+        let ctx = TaskContext::new(1).with_memory_budget(Some(block_bytes * 2));
+        let got = sparkline_exec::partition::flatten(scan.execute(&ctx).unwrap());
+        assert_eq!(got.len(), 2000);
+    }
+}

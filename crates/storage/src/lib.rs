@@ -1,0 +1,89 @@
+#![warn(missing_docs)]
+
+//! # sparkline-storage
+//!
+//! A persistent columnar table format of fixed-size blocks, built so the
+//! scan can skip whole blocks **before any I/O or decode happens** — the
+//! Extensible-Data-Skipping framing with dominance-aware metadata.
+//!
+//! ## File layout (version 1)
+//!
+//! ```text
+//! +--------------------------------------------------------------+
+//! | header   | magic "SPKB" (4) | format version u32 LE          |
+//! | schema   | ncols u32; per column:                            |
+//! |          |   name_len u32 | name bytes | dtype u8 | null u8  |
+//! | blocks   | block 0 payload | block 1 payload | ...           |
+//! | footer   | total_rows u64 | block_rows u32 | nblocks u32     |
+//! |          | per block: offset u64 | bytes u64 | rows u32      |
+//! |          |   per column: null_count u32 | non_numeric u32    |
+//! |          |     has_bounds u8 | min f64 | max f64             |
+//! |          | sample_seed u64 | sample_bytes u64 | sample block |
+//! | trailer  | footer_offset u64 | magic "SPKF" (4)              |
+//! +--------------------------------------------------------------+
+//! ```
+//!
+//! Every block payload is self-contained column storage for up to
+//! `block_rows` rows: a row count, then per column a NULL bitmap (one bit
+//! per row) followed by a type-specific buffer. `Float64` buffers are
+//! stored **sign-normalized** — the same order-preserving
+//! float-bits-to-integer map the `ColumnarBlock` kernel uses, so integer
+//! comparisons over the raw buffer agree with IEEE-754 order and the
+//! round trip is bit-exact (NaN payloads included). `Int64`/`Boolean`
+//! buffers are fixed-width little-endian; `Utf8` stores per-row lengths
+//! plus concatenated bytes.
+//!
+//! The footer is written last and located through a fixed-size trailer,
+//! so a table is written in one forward pass and opened by reading the
+//! header and footer only — block payloads stay untouched until a scan
+//! actually needs them.
+//!
+//! ## Skipping metadata and its soundness
+//!
+//! Each block footer entry carries, per column: the row count, NULL
+//! count, the count of non-null values without a numeric interpretation
+//! (strings, NaN), and the numeric min/max. Two skipping predicates
+//! consume this:
+//!
+//! 1. **Static min/max pruning** for pushed-down filters: a conjunct
+//!    `col <op> literal` can discard a block when the column's `[min,
+//!    max]` range proves no value satisfies it. NULL rows never satisfy
+//!    a comparison predicate (SQL three-valued logic — the filter keeps
+//!    only `TRUE`), so NULLs in the block do not block pruning; values
+//!    *without* a numeric interpretation do, and such blocks are never
+//!    pruned (`non_numeric > 0` disables the predicate for that column).
+//!
+//! 2. **Dominance pruning** for skyline queries: fold the per-column
+//!    min/max into the block's **best corner** in smaller-is-better
+//!    space (a `MIN` dimension contributes `min`, a `MAX` dimension
+//!    `-max` — the `ColumnarBlock` sign-normalization convention). By
+//!    construction the best corner is component-wise ≤ every row of the
+//!    block. If a representative pre-filter point `p` (a *real row* of
+//!    the scan's filtered input) strictly dominates the corner `c` —
+//!    `p ≤ c` everywhere, `p < c` somewhere — then for every row `r` of
+//!    the block `p ≤ c ≤ r` everywhere and `p < c ≤ r` in the strict
+//!    dimension: `p` strictly dominates every `r`. Since the complete
+//!    dominance relation is transitive and `p` survives to the skyline
+//!    operator's input, no skipped row can be a skyline member — the
+//!    block is discarded without being read. The argument needs every
+//!    row comparable in every ranked dimension, so a block is only
+//!    eligible when its ranked columns have `null_count == 0` and
+//!    `non_numeric == 0`; the §5.7 incomplete relation is not
+//!    transitive, so dominance skipping is never applied to it (the
+//!    planner only installs skip points for the complete family, like
+//!    the PR 4 pre-filter itself).
+//!
+//! The footer additionally stores a seeded reservoir sample of the whole
+//! table, taken for free during the single writer pass. The planner's
+//! adaptive machinery draws its `DatasetStats` and representative
+//! pre-filter points from this sample (refined with the footer's exact
+//! per-column aggregates), so planning a query over a 10-GB file costs
+//! zero file I/O beyond the footer.
+
+pub mod format;
+pub mod reader;
+pub mod writer;
+
+pub use format::{sign_normalize_f64, sign_restore_f64, FOOTER_MAGIC, FORMAT_VERSION, MAGIC};
+pub use reader::{AggregateColumnStats, BlockDecoder, BlockMeta, ColumnMeta, DiskTable};
+pub use writer::{write_table, DiskTableSummary, TableWriter, WriterOptions};

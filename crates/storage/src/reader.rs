@@ -1,0 +1,460 @@
+//! Opening and scanning table files: the footer-only `open`, per-block
+//! random access, the skipping metadata (`BlockMeta`/`ColumnMeta`), and
+//! the batch-at-a-time `BlockDecoder`.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use sparkline_common::{Result, Row, SchemaRef};
+
+use crate::format::{
+    decode_schema, storage_err, BlockDecoderInner, ByteReader, FOOTER_MAGIC, FORMAT_VERSION, MAGIC,
+};
+
+/// Skipping metadata of one column within one block.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ColumnMeta {
+    /// NULL rows in this block's column.
+    pub null_count: u32,
+    /// Non-NULL rows without a numeric interpretation (strings, NaN).
+    /// Any such row disables min/max pruning and dominance skipping for
+    /// this column — the bounds below don't cover it.
+    pub non_numeric: u32,
+    /// Smallest numeric value (raw space), `None` when no row has one.
+    pub min: Option<f64>,
+    /// Largest numeric value (raw space).
+    pub max: Option<f64>,
+}
+
+impl ColumnMeta {
+    /// Whether every row of the block is covered by the numeric bounds —
+    /// the precondition of the dominance-skipping argument (see the
+    /// crate docs): no NULLs (incomparable under the complete relation)
+    /// and no non-numeric values.
+    pub fn fully_numeric(&self) -> bool {
+        self.null_count == 0 && self.non_numeric == 0
+    }
+
+    /// The column's contribution to the block's **best corner** in
+    /// folded smaller-is-better space: `min` for a MIN dimension, `-max`
+    /// for a MAX dimension (`negate = true`).
+    pub fn folded_best(&self, negate: bool) -> Option<f64> {
+        if negate {
+            self.max.map(|v| -v)
+        } else {
+            self.min
+        }
+    }
+
+    /// The column's contribution to the block's **worst corner** (folded
+    /// space): `max` for MIN, `-min` for MAX.
+    pub fn folded_worst(&self, negate: bool) -> Option<f64> {
+        if negate {
+            self.min.map(|v| -v)
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Location and skipping metadata of one block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockMeta {
+    /// Byte offset of the block payload within the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub bytes: u64,
+    /// Rows stored in the block.
+    pub rows: u32,
+    /// Per-column metadata, aligned with the schema.
+    pub columns: Vec<ColumnMeta>,
+}
+
+/// Whole-table aggregate of the per-block column metadata — exact
+/// statistics for plan-time `DatasetStats` without sampling the file.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AggregateColumnStats {
+    /// NULL rows across all blocks.
+    pub nulls: u64,
+    /// Non-numeric (non-NULL) rows across all blocks.
+    pub non_numeric: u64,
+    /// Global numeric minimum (raw space).
+    pub min: Option<f64>,
+    /// Global numeric maximum (raw space).
+    pub max: Option<f64>,
+}
+
+/// An opened table file: schema, block directory, footer sample. Opening
+/// reads the header and footer only; block payloads are read on demand
+/// through [`DiskTable::read_block_raw`]. The handle is immutable and
+/// thread-safe — concurrent partition streams each open their own file
+/// descriptor per block read.
+#[derive(Debug)]
+pub struct DiskTable {
+    path: PathBuf,
+    schema: SchemaRef,
+    blocks: Vec<BlockMeta>,
+    total_rows: u64,
+    block_rows: u32,
+    sample: Arc<Vec<Row>>,
+    sample_seed: u64,
+    file_bytes: u64,
+}
+
+impl DiskTable {
+    /// Open `path`, reading header, schema, and footer (not the blocks).
+    pub fn open(path: impl AsRef<Path>) -> Result<DiskTable> {
+        let path = path.as_ref().to_path_buf();
+        let mut file =
+            File::open(&path).map_err(|e| storage_err(format!("open {}: {e}", path.display())))?;
+        let file_bytes = file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| storage_err(format!("seek {}: {e}", path.display())))?;
+
+        // Header + schema.
+        let mut head = vec![
+            0u8;
+            (file_bytes.min(1 << 20)) as usize // schema is tiny; cap the speculative read
+        ];
+        file.seek(SeekFrom::Start(0))
+            .map_err(|e| storage_err(format!("seek: {e}")))?;
+        read_fully(&mut file, &mut head)?;
+        let mut r = ByteReader::new(&head);
+        if r.bytes(4)? != MAGIC {
+            return Err(storage_err(format!(
+                "{} is not a sparkline table (bad magic)",
+                path.display()
+            )));
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(storage_err(format!(
+                "unsupported format version {version} (reader supports {FORMAT_VERSION})"
+            )));
+        }
+        let schema = decode_schema(&mut r)?.into_ref();
+
+        // Trailer → footer.
+        if file_bytes < 12 {
+            return Err(storage_err("file too short for a trailer"));
+        }
+        let mut trailer = [0u8; 12];
+        file.seek(SeekFrom::End(-12))
+            .map_err(|e| storage_err(format!("seek trailer: {e}")))?;
+        read_fully(&mut file, &mut trailer)?;
+        if trailer[8..12] != FOOTER_MAGIC {
+            return Err(storage_err("missing footer magic (truncated write?)"));
+        }
+        let footer_offset = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
+        if footer_offset > file_bytes - 12 {
+            return Err(storage_err("footer offset out of bounds"));
+        }
+        let mut footer = vec![0u8; (file_bytes - 12 - footer_offset) as usize];
+        file.seek(SeekFrom::Start(footer_offset))
+            .map_err(|e| storage_err(format!("seek footer: {e}")))?;
+        read_fully(&mut file, &mut footer)?;
+        let mut r = ByteReader::new(&footer);
+        let total_rows = r.u64()?;
+        let block_rows = r.u32()?;
+        let nblocks = r.u32()? as usize;
+        let mut blocks = Vec::with_capacity(nblocks);
+        for _ in 0..nblocks {
+            let offset = r.u64()?;
+            let bytes = r.u64()?;
+            let rows = r.u32()?;
+            let mut columns = Vec::with_capacity(schema.len());
+            for _ in 0..schema.len() {
+                let null_count = r.u32()?;
+                let non_numeric = r.u32()?;
+                let has_bounds = r.u8()? != 0;
+                let min = r.f64()?;
+                let max = r.f64()?;
+                columns.push(ColumnMeta {
+                    null_count,
+                    non_numeric,
+                    min: has_bounds.then_some(min),
+                    max: has_bounds.then_some(max),
+                });
+            }
+            if offset
+                .checked_add(bytes)
+                .is_none_or(|end| end > footer_offset)
+            {
+                return Err(storage_err("block extends past the footer"));
+            }
+            blocks.push(BlockMeta {
+                offset,
+                bytes,
+                rows,
+                columns,
+            });
+        }
+        let sample_seed = r.u64()?;
+        let sample_bytes = r.u64()? as usize;
+        let sample_payload = r.bytes(sample_bytes)?;
+        let sample = BlockDecoderInner::parse(sample_payload, &schema)?;
+        let sample = sample.decode_range(0, sample.rows())?;
+        Ok(DiskTable {
+            path,
+            schema,
+            blocks,
+            total_rows,
+            block_rows,
+            sample: Arc::new(sample),
+            sample_seed,
+            file_bytes,
+        })
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Total rows across all blocks.
+    pub fn total_rows(&self) -> u64 {
+        self.total_rows
+    }
+
+    /// Configured rows per block (the last block may be shorter).
+    pub fn block_rows(&self) -> u32 {
+        self.block_rows
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total file size in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.file_bytes
+    }
+
+    /// Metadata of block `i`.
+    pub fn block_meta(&self, i: usize) -> &BlockMeta {
+        &self.blocks[i]
+    }
+
+    /// All block metadata, in file order.
+    pub fn blocks(&self) -> &[BlockMeta] {
+        &self.blocks
+    }
+
+    /// The footer's seeded reservoir sample — a uniform draw over the
+    /// whole table, available without any block I/O.
+    pub fn sample(&self) -> &Arc<Vec<Row>> {
+        &self.sample
+    }
+
+    /// Seed the footer sample was drawn with.
+    pub fn sample_seed(&self) -> u64 {
+        self.sample_seed
+    }
+
+    /// Exact whole-table per-column statistics from the block directory.
+    pub fn column_stats(&self) -> Vec<AggregateColumnStats> {
+        let mut out = vec![AggregateColumnStats::default(); self.schema.len()];
+        for block in &self.blocks {
+            for (agg, col) in out.iter_mut().zip(&block.columns) {
+                agg.nulls += u64::from(col.null_count);
+                agg.non_numeric += u64::from(col.non_numeric);
+                agg.min = match (agg.min, col.min) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                agg.max = match (agg.max, col.max) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+        }
+        out
+    }
+
+    /// Read block `i`'s raw (still encoded) payload from disk.
+    pub fn read_block_raw(&self, i: usize) -> Result<Vec<u8>> {
+        let meta = self
+            .blocks
+            .get(i)
+            .ok_or_else(|| storage_err(format!("block {i} out of range")))?;
+        let mut file = File::open(&self.path)
+            .map_err(|e| storage_err(format!("open {}: {e}", self.path.display())))?;
+        file.seek(SeekFrom::Start(meta.offset))
+            .map_err(|e| storage_err(format!("seek block {i}: {e}")))?;
+        let mut buf = vec![0u8; meta.bytes as usize];
+        read_fully(&mut file, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Convenience: read and fully decode block `i`.
+    pub fn decode_block(&self, i: usize) -> Result<Vec<Row>> {
+        let raw = self.read_block_raw(i)?;
+        let decoder = BlockDecoder::new(raw, self.schema())?;
+        decoder.decode_range(0, decoder.rows())
+    }
+}
+
+/// Owning decoder over one block's raw payload: parse once, then
+/// materialize row ranges batch-by-batch. The encoded buffer (typically
+/// several times smaller than the decoded `Row`s) is the only resident
+/// copy of the block while a scan drains it.
+pub struct BlockDecoder {
+    raw: Vec<u8>,
+    schema: SchemaRef,
+    rows: usize,
+}
+
+impl BlockDecoder {
+    /// Parse `raw` against `schema` (validates the layout eagerly).
+    pub fn new(raw: Vec<u8>, schema: SchemaRef) -> Result<Self> {
+        let rows = BlockDecoderInner::parse(&raw, &schema)?.rows();
+        Ok(BlockDecoder { raw, schema, rows })
+    }
+
+    /// Rows in the block.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Size of the resident encoded buffer.
+    pub fn raw_bytes(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Materialize rows `start..end`.
+    pub fn decode_range(&self, start: usize, end: usize) -> Result<Vec<Row>> {
+        BlockDecoderInner::parse(&self.raw, &self.schema)?.decode_range(start, end)
+    }
+}
+
+fn read_fully(file: &mut File, buf: &mut [u8]) -> Result<()> {
+    file.read_exact(buf)
+        .map_err(|e| storage_err(format!("read: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{write_table, WriterOptions};
+    use sparkline_common::{DataType, Field, Schema, Value};
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sparkline-storage-reader-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("t.spk")
+    }
+
+    fn table_with_nulls(path: &Path) -> DiskTable {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Float64, true),
+            Field::new("s", DataType::Utf8, true),
+        ])
+        .into_ref();
+        let rows: Vec<Row> = (0..600)
+            .map(|i| {
+                Row::new(vec![
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float64(i as f64)
+                    },
+                    Value::str(format!("row{i}")),
+                ])
+            })
+            .collect();
+        write_table(
+            path,
+            Arc::clone(&schema),
+            &rows,
+            WriterOptions {
+                block_rows: 250,
+                ..WriterOptions::default()
+            },
+        )
+        .unwrap();
+        DiskTable::open(path).unwrap()
+    }
+
+    #[test]
+    fn open_reads_directory_and_aggregates() {
+        let path = temp_path("dir");
+        let table = table_with_nulls(&path);
+        assert_eq!(table.num_blocks(), 3);
+        assert_eq!(table.total_rows(), 600);
+        assert_eq!(table.block_rows(), 250);
+        let stats = table.column_stats();
+        assert_eq!(stats[0].nulls, 120, "every fifth row");
+        assert_eq!(stats[0].min, Some(1.0));
+        assert_eq!(stats[0].max, Some(599.0));
+        assert_eq!(stats[1].non_numeric, 600, "strings are non-numeric");
+        assert!(!table.block_meta(0).columns[0].fully_numeric());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corner_folding_matches_min_max() {
+        let meta = ColumnMeta {
+            null_count: 0,
+            non_numeric: 0,
+            min: Some(-2.0),
+            max: Some(7.0),
+        };
+        assert_eq!(meta.folded_best(false), Some(-2.0), "MIN dim: min");
+        assert_eq!(meta.folded_best(true), Some(-7.0), "MAX dim: -max");
+        assert_eq!(meta.folded_worst(false), Some(7.0));
+        assert_eq!(meta.folded_worst(true), Some(2.0));
+        assert!(meta.fully_numeric());
+    }
+
+    #[test]
+    fn batch_decoding_equals_full_decode() {
+        let path = temp_path("batches");
+        let table = table_with_nulls(&path);
+        let full = table.decode_block(1).unwrap();
+        let decoder = BlockDecoder::new(table.read_block_raw(1).unwrap(), table.schema()).unwrap();
+        assert_eq!(decoder.rows(), 250);
+        assert!(decoder.raw_bytes() > 0);
+        let mut batched = Vec::new();
+        let mut pos = 0;
+        while pos < decoder.rows() {
+            let end = (pos + 64).min(decoder.rows());
+            batched.extend(decoder.decode_range(pos, end).unwrap());
+            pos = end;
+        }
+        assert_eq!(batched, full);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_files_error_cleanly() {
+        let path = temp_path("corrupt");
+        table_with_nulls(&path);
+        let bytes = std::fs::read(&path).unwrap();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(DiskTable::open(&path).is_err());
+        // Truncated trailer.
+        std::fs::write(&path, &bytes[..bytes.len() - 6]).unwrap();
+        assert!(DiskTable::open(&path).is_err());
+        // Unsupported version.
+        let mut versioned = bytes.clone();
+        versioned[4] = 99;
+        std::fs::write(&path, &versioned).unwrap();
+        let err = DiskTable::open(&path).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}
