@@ -31,7 +31,7 @@ pub fn all_ids() -> Vec<&'static str> {
     vec![
         "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
         "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ext1", "ext2", "ext3", "ext4",
-        "ext5", "ext6", "ext7", "ext8", "ext9",
+        "ext5", "ext6", "ext7", "ext8", "ext9", "ext10",
     ]
 }
 
@@ -66,6 +66,7 @@ pub fn run(id: &str, ctx: &mut EvalContext, quick: bool) -> Vec<Report> {
         "ext7" => ext7_simd_kernel(quick),
         "ext8" => ext8_chaos(quick),
         "ext9" => ext9_storage(quick),
+        "ext10" => ext10_server(quick),
         other => panic!("unknown experiment '{other}'; known: {:?}", all_ids()),
     }
 }
@@ -984,6 +985,58 @@ fn ext9_storage(quick: bool) -> Vec<Report> {
             .map(|m| m.to_string())
             .collect(),
         series,
+        metric: Metric::Time,
+        with_relative: false,
+    }]
+}
+
+fn ext10_server(quick: bool) -> Vec<Report> {
+    let path = std::env::var("BENCH_PR9_OUT").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
+    let bench = crate::server_bench::write_bench_pr9(&path, quick)
+        .unwrap_or_else(|e| panic!("ext10: cannot write {path}: {e}"));
+    eprintln!("    wrote {path}");
+    for c in &bench.concurrency_cells {
+        eprintln!(
+            "    [{} clients] {:.0} qps, p50 {:.2} ms, p99 {:.2} ms \
+             (plan hits {:.0}%, result hits {:.0}%)",
+            c.clients,
+            c.qps,
+            c.p50_ms,
+            c.p99_ms,
+            c.plan_hit_rate * 100.0,
+            c.result_hit_rate * 100.0
+        );
+    }
+    eprintln!(
+        "    [cold vs hot] {:.2} ms cold, {:.3} ms hot ({:.0}x speedup); \
+         byte-identical: {}",
+        bench.cold_hot.cold_ms, bench.cold_hot.hot_ms, bench.cold_hot.speedup, bench.byte_identical
+    );
+    let latency = |f: fn(&crate::server_bench::ConcurrencyCell) -> f64| -> Vec<Cell> {
+        bench
+            .concurrency_cells
+            .iter()
+            .map(|c| Cell::Value(f(c) / 1e3))
+            .collect()
+    };
+    vec![Report {
+        id: "ext10".into(),
+        title: format!(
+            "Extension 10: multi-tenant query service latency by concurrent \
+             clients ({} rows; see BENCH_PR9.json for throughput, cache hit \
+             rates, and the cold-vs-hot result-cache cell)",
+            bench.rows
+        ),
+        x_label: "clients",
+        x_values: bench
+            .concurrency_cells
+            .iter()
+            .map(|c| c.clients.to_string())
+            .collect(),
+        series: vec![
+            ("p50 latency".to_string(), latency(|c| c.p50_ms)),
+            ("p99 latency".to_string(), latency(|c| c.p99_ms)),
+        ],
         metric: Metric::Time,
         with_relative: false,
     }]

@@ -19,6 +19,7 @@ pub mod incomplete_bench;
 pub mod kernel_bench;
 pub mod report;
 pub mod runner;
+pub mod server_bench;
 pub mod storage_bench;
 pub mod stream_bench;
 
@@ -28,4 +29,5 @@ pub use incomplete_bench::{run_incomplete_bench, write_bench_pr5, IncompleteBenc
 pub use kernel_bench::{run_kernel_bench, write_bench_pr2, KernelBench};
 pub use report::{format_relative_table, format_series_table, Cell};
 pub use runner::{EvalContext, EvalSettings, Measurement, Metric};
+pub use server_bench::{run_server_bench, write_bench_pr9, ServerBench};
 pub use storage_bench::{run_storage_bench, write_bench_pr8, StorageBench};

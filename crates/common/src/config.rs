@@ -228,9 +228,12 @@ pub struct SessionConfig {
     /// retried; `0` disables retry.
     pub max_retries: u32,
     /// Base sleep between retry attempts; attempt `k` backs off
-    /// `k * retry_backoff` (linear). Zero (the default) retries
-    /// immediately — recomputation in-process has no external resource to
-    /// wait out, but a service deployment would raise this.
+    /// `k * retry_backoff`, with `k` capped at
+    /// `control::MAX_BACKOFF_MULTIPLIER` and the wait aborted early by a
+    /// cancel or deadline expiry (a backoff must never park a shared
+    /// worker thread past the query's own lifetime). Zero (the default)
+    /// retries immediately — recomputation in-process has no external
+    /// resource to wait out, but a service deployment would raise this.
     pub retry_backoff: Duration,
     /// Per-query cap on tracked buffer bytes (excluding the fixed
     /// per-executor overhead). `None` (the default) leaves reservations
@@ -436,7 +439,7 @@ impl SessionConfig {
         self
     }
 
-    /// Set the linear retry backoff base.
+    /// Set the retry backoff base (capped linear; see `retry_backoff`).
     pub fn with_retry_backoff(mut self, backoff: Duration) -> Self {
         self.retry_backoff = backoff;
         self

@@ -16,6 +16,12 @@ pub struct SessionCatalog {
     schemas: StaticCatalog,
     data: HashMap<String, Arc<Vec<Row>>>,
     disk: HashMap<String, Arc<DiskTable>>,
+    /// Monotone mutation counter: bumped by every registration, drop,
+    /// insert, and foreign-key declaration. Cached plans and results
+    /// keyed on `(query, version)` are implicitly invalidated by any
+    /// catalog change — the invalidation hook the multi-tenant query
+    /// service's plan/result caches sit on.
+    version: u64,
 }
 
 impl SessionCatalog {
@@ -24,8 +30,17 @@ impl SessionCatalog {
         Self::default()
     }
 
+    /// The catalog's mutation version. Two reads returning the same value
+    /// bracket a span with no registration/drop/insert/FK change, so any
+    /// plan or result derived in between is still valid.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Register a table with its rows, validating every row against the
-    /// schema (width, types, nullability).
+    /// schema (width, types, nullability). Replaces any same-named
+    /// registration, in-memory *or* disk-resident — one name maps to
+    /// exactly one table representation.
     pub fn register_table(
         &mut self,
         name: impl Into<String>,
@@ -35,20 +50,54 @@ impl SessionCatalog {
         let name = name.into();
         validate_rows(&name, &schema, &rows)?;
         self.schemas.register_table(name.clone(), schema.into_ref());
-        self.data.insert(name.to_ascii_lowercase(), Arc::new(rows));
+        let key = name.to_ascii_lowercase();
+        self.disk.remove(&key);
+        self.data.insert(key, Arc::new(rows));
+        self.version += 1;
         Ok(())
     }
 
     /// Register a disk-resident table (an opened block file): its schema
     /// enters the catalog like any table's, but scans stream the file's
     /// blocks through `DiskScanExec` instead of copying rows into memory.
-    /// Replaces any same-named in-memory registration.
+    /// Replaces any same-named registration, in-memory or disk-resident.
     pub fn register_disk_table(&mut self, name: impl Into<String>, table: Arc<DiskTable>) {
         let name = name.into();
         self.schemas.register_table(name.clone(), table.schema());
         let key = name.to_ascii_lowercase();
         self.data.remove(&key);
         self.disk.insert(key, table);
+        self.version += 1;
+    }
+
+    /// Append rows to a registered in-memory table, validating them
+    /// against its schema. Disk-resident tables are immutable — inserting
+    /// into one is a plan error. Returns the table's new row count.
+    ///
+    /// Queries already executing keep the snapshot they started with (the
+    /// row vector is copy-on-write behind an `Arc`), so a concurrent
+    /// insert never mutates a scan mid-flight.
+    pub fn insert_rows(&mut self, name: &str, rows: Vec<Row>) -> Result<usize> {
+        let key = name.to_ascii_lowercase();
+        let schema = self
+            .schemas
+            .table_schema(&key)
+            .ok_or_else(|| Error::plan(format!("no table named '{name}' to insert into")))?;
+        if self.disk.contains_key(&key) {
+            return Err(Error::plan(format!(
+                "table '{name}' is disk-resident; INSERT is only supported \
+                 for in-memory tables"
+            )));
+        }
+        validate_rows(&key, &schema, &rows)?;
+        let entry = self
+            .data
+            .get_mut(&key)
+            .ok_or_else(|| Error::internal(format!("table '{name}' has a schema but no rows")))?;
+        let table = Arc::make_mut(entry);
+        table.extend(rows);
+        self.version += 1;
+        Ok(table.len())
     }
 
     /// The disk table registered under `name`, if any.
@@ -67,13 +116,22 @@ impl SessionCatalog {
     ) {
         self.schemas
             .register_foreign_key(from_table, from_column, to_table, to_column);
+        self.version += 1;
     }
 
-    /// Remove a table.
+    /// Remove a table: its data (in-memory rows or the disk handle), its
+    /// schema, and every foreign key involving it — a dropped table must
+    /// not linger in `table_names()` or be re-plannable.
     pub fn drop_table(&mut self, name: &str) -> bool {
         let key = name.to_ascii_lowercase();
         let had_data = self.data.remove(&key).is_some();
-        self.disk.remove(&key).is_some() || had_data
+        let had_disk = self.disk.remove(&key).is_some();
+        let had_schema = self.schemas.drop_table(&key);
+        let existed = had_data || had_disk || had_schema;
+        if existed {
+            self.version += 1;
+        }
+        existed
     }
 
     /// Registered table names (lowercased, sorted).
@@ -221,5 +279,133 @@ mod tests {
         assert!(cat.drop_table("T"));
         assert!(!cat.drop_table("t"));
         assert!(cat.table_rows("t").is_none());
+    }
+
+    #[test]
+    fn drop_table_removes_schema_and_foreign_keys() {
+        let mut cat = SessionCatalog::new();
+        cat.register_table("t", schema(), vec![]).unwrap();
+        cat.register_table("u", schema(), vec![]).unwrap();
+        cat.register_foreign_key("t", "id", "u", "id");
+        assert!(cat.drop_table("t"));
+        // Regression: the schema used to survive the drop, so the table
+        // still appeared in table_names() and could be re-planned against.
+        assert!(cat.table_schema("t").is_none());
+        assert_eq!(cat.table_names(), vec!["u"]);
+        assert!(!cat.guarantees_partner("t", "id", "u", "id"));
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation() {
+        let mut cat = SessionCatalog::new();
+        let v0 = cat.version();
+        cat.register_table("t", schema(), vec![]).unwrap();
+        let v1 = cat.version();
+        assert!(v1 > v0);
+        cat.insert_rows("t", vec![Row::new(vec![Value::Int64(1), Value::Null])])
+            .unwrap();
+        let v2 = cat.version();
+        assert!(v2 > v1);
+        cat.register_foreign_key("t", "id", "t", "id");
+        let v3 = cat.version();
+        assert!(v3 > v2);
+        assert!(cat.drop_table("t"));
+        assert!(cat.version() > v3);
+        // A failed mutation leaves the version untouched.
+        let v = cat.version();
+        assert!(cat.insert_rows("t", vec![]).is_err());
+        assert!(!cat.drop_table("t"));
+        assert_eq!(cat.version(), v);
+    }
+
+    #[test]
+    fn insert_rows_appends_and_validates() {
+        let mut cat = SessionCatalog::new();
+        cat.register_table(
+            "t",
+            schema(),
+            vec![Row::new(vec![Value::Int64(1), Value::Float64(1.0)])],
+        )
+        .unwrap();
+        let count = cat
+            .insert_rows("T", vec![Row::new(vec![Value::Int64(2), Value::Null])])
+            .unwrap();
+        assert_eq!(count, 2);
+        assert_eq!(cat.table_row_count("t"), Some(2));
+        let err = cat
+            .insert_rows("t", vec![Row::new(vec![Value::Int64(3)])])
+            .unwrap_err();
+        assert!(err.to_string().contains("has 1 values"), "{err}");
+        // Snapshot isolation: a reader holding the pre-insert Arc keeps
+        // its rows while the catalog grows a fresh copy.
+        let before = cat.table_rows("t").unwrap();
+        cat.insert_rows("t", vec![Row::new(vec![Value::Int64(4), Value::Null])])
+            .unwrap();
+        assert_eq!(before.len(), 2);
+        assert_eq!(cat.table_row_count("t"), Some(3));
+    }
+
+    #[test]
+    fn registration_displaces_the_other_representation() {
+        use sparkline_storage::WriterOptions;
+        let dir = std::env::temp_dir().join(format!(
+            "sparkline-catalog-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.spkb");
+        let disk_rows = vec![
+            Row::new(vec![Value::Int64(1), Value::Float64(1.0)]),
+            Row::new(vec![Value::Int64(2), Value::Float64(2.0)]),
+            Row::new(vec![Value::Int64(3), Value::Float64(3.0)]),
+        ];
+        sparkline_storage::write_table(
+            &path,
+            schema().into_ref(),
+            &disk_rows,
+            WriterOptions::default(),
+        )
+        .unwrap();
+        let disk = Arc::new(DiskTable::open(&path).unwrap());
+
+        // Memory then disk: the disk registration displaces the rows.
+        let mut cat = SessionCatalog::new();
+        cat.register_table(
+            "t",
+            schema(),
+            vec![Row::new(vec![Value::Int64(9), Value::Null])],
+        )
+        .unwrap();
+        cat.register_disk_table("t", Arc::clone(&disk));
+        assert!(
+            cat.table_rows("t").is_none(),
+            "stale in-memory rows survive"
+        );
+        assert_eq!(cat.table_row_count("t"), Some(3));
+
+        // Disk then memory: regression — the disk entry used to survive,
+        // shadowing the fresh rows in table_row_count and scans.
+        let mut cat = SessionCatalog::new();
+        cat.register_disk_table("t", disk);
+        cat.register_table(
+            "t",
+            schema(),
+            vec![Row::new(vec![Value::Int64(9), Value::Null])],
+        )
+        .unwrap();
+        assert!(
+            cat.disk_table_named("t").is_none(),
+            "stale disk entry survives"
+        );
+        assert_eq!(cat.table_row_count("t"), Some(1));
+
+        // Mixed drop: one drop removes the single representation fully.
+        assert!(cat.drop_table("t"));
+        assert!(cat.table_rows("t").is_none());
+        assert!(cat.disk_table_named("t").is_none());
+        assert!(cat.table_schema("t").is_none());
+        assert!(!cat.drop_table("t"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

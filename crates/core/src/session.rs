@@ -238,6 +238,20 @@ impl SessionContext {
         self.catalog.write().drop_table(name)
     }
 
+    /// Append rows to a registered in-memory table (validated against its
+    /// schema); returns the table's new row count. Running queries keep
+    /// the snapshot they started with.
+    pub fn insert_rows(&self, name: &str, rows: Vec<Row>) -> Result<usize> {
+        self.catalog.write().insert_rows(name, rows)
+    }
+
+    /// The catalog's mutation version (see [`SessionCatalog::version`]):
+    /// bumped by every registration, drop, insert, and FK declaration.
+    /// Plan/result caches key on it for implicit invalidation.
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog.read().version()
+    }
+
     /// Names of registered tables.
     pub fn table_names(&self) -> Vec<String> {
         self.catalog.read().table_names()

@@ -57,7 +57,9 @@ pub use partition::Partition;
 pub use partitioner::{
     AnglePartitioner, EvenPartitioner, GridPartitioner, Partitioner, SkylineHashPartitioner,
 };
-pub use runtime::{Deadline, QueryControl, Runtime, CONTROL_CHECK_ROWS};
+pub use runtime::{
+    retry_loop, Deadline, QueryControl, Runtime, CONTROL_CHECK_ROWS, MAX_BACKOFF_MULTIPLIER,
+};
 pub use stream::{PartitionStream, RowBatch, DEFAULT_BATCH_SIZE};
 
 use sparkline_common::Result;
@@ -77,7 +79,10 @@ pub struct TaskContext {
     pub faults: Arc<FaultInjector>,
     /// Per-partition retry cap for retryable failures.
     pub max_retries: u32,
-    /// Linear backoff base between retry attempts.
+    /// Backoff base between retry attempts: the wait is `base * attempt`
+    /// with the multiplier capped at
+    /// [`runtime::MAX_BACKOFF_MULTIPLIER`], and it aborts early on
+    /// cancel/deadline (see [`QueryControl::backoff_wait`]).
     pub retry_backoff: Duration,
     /// Rows per stream batch.
     pub batch_size: usize,
@@ -201,6 +206,7 @@ impl TaskContext {
     {
         self.runtime.drain_streams_with_retry(
             streams,
+            &self.control,
             self.max_retries,
             self.retry_backoff,
             recreate,

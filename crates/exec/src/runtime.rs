@@ -18,8 +18,9 @@
 //! when a drain fails with a *retryable* error ([`Error::is_retryable`] —
 //! in this engine, injected transient faults), the partition is recomputed
 //! from its source via the caller-supplied `recreate` factory (re-running
-//! `execute_stream` on the immutable plan subtree) with linear backoff.
-//! Retries are per-partition and happen inside the owning task, so sibling
+//! `execute_stream` on the immutable plan subtree) with capped linear
+//! backoff whose wait is cancel/deadline-aware ([`retry_loop`]). Retries
+//! are per-partition and happen inside the owning task, so sibling
 //! partitions are never recomputed. Fatal errors (timeout, cancellation,
 //! budget denial, real execution errors) surface immediately.
 //!
@@ -33,7 +34,51 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use sparkline_common::{Error, Result};
 
-pub use sparkline_common::control::{Deadline, QueryControl, CONTROL_CHECK_ROWS};
+pub use sparkline_common::control::{
+    Deadline, QueryControl, CONTROL_CHECK_ROWS, MAX_BACKOFF_MULTIPLIER,
+};
+
+/// Run `run` on `state`, retrying retryable failures up to `max_retries`
+/// times with capped, cancel/deadline-aware backoff — the one retry loop
+/// shared by every lineage-recomputation site (stream drains here, the
+/// incremental incomplete-leaf consumption in the physical layer).
+///
+/// On a retryable error with budget left, `recover(attempt, &error)` is
+/// called first (metrics notification + rebuilding the state from its
+/// immutable source), then the loop waits `backoff * attempt` via
+/// [`QueryControl::backoff_wait`] — the multiplier capped at
+/// [`MAX_BACKOFF_MULTIPLIER`], the wait sliced so a cancel or deadline
+/// expiry aborts it within milliseconds instead of parking a shared
+/// worker (the failure mode that matters once a server multiplexes many
+/// queries onto one pool). Fatal errors, exhausted budgets, and aborted
+/// waits surface immediately.
+pub fn retry_loop<S, T, F, R>(
+    control: &QueryControl,
+    max_retries: u32,
+    backoff: Duration,
+    state: S,
+    mut run: F,
+    mut recover: R,
+) -> Result<T>
+where
+    F: FnMut(S) -> Result<T>,
+    R: FnMut(u32, &Error) -> Result<S>,
+{
+    let mut current = state;
+    let mut attempt = 0u32;
+    loop {
+        match run(current) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_retryable() && attempt < max_retries => {
+                attempt += 1;
+                let next = recover(attempt, &e)?;
+                control.backoff_wait(backoff, attempt)?;
+                current = next;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
 
 /// The executor pool.
 #[derive(Debug, Clone)]
@@ -74,14 +119,16 @@ impl Runtime {
     ///
     /// When partition `i` fails with a retryable error and fewer than
     /// `max_retries` attempts have been burned, `on_retry(i, error)` is
-    /// notified (metrics hook), the task sleeps `attempt * backoff`, and
-    /// `recreate(i)` rebuilds the stream from its source for the next
-    /// attempt. The retry loop runs inside partition `i`'s own task:
-    /// sibling partitions keep draining (and keep their results)
+    /// notified (metrics hook), `recreate(i)` rebuilds the stream from its
+    /// source, and the task waits `attempt * backoff` — multiplier capped,
+    /// the wait aborted early by `control`'s cancel flag or deadline (see
+    /// [`retry_loop`]). The retry loop runs inside partition `i`'s own
+    /// task: sibling partitions keep draining (and keep their results)
     /// undisturbed.
     pub fn drain_streams_with_retry<R, N>(
         &self,
         streams: Vec<crate::stream::PartitionStream>,
+        control: &QueryControl,
         max_retries: u32,
         backoff: Duration,
         recreate: R,
@@ -92,22 +139,17 @@ impl Runtime {
         N: Fn(usize, &Error) + Sync,
     {
         self.map_indexed(streams, |i, stream| {
-            let mut current = stream;
-            let mut attempt = 0u32;
-            loop {
-                match current.drain() {
-                    Ok(partition) => return Ok(partition),
-                    Err(e) if e.is_retryable() && attempt < max_retries => {
-                        attempt += 1;
-                        on_retry(i, &e);
-                        if !backoff.is_zero() {
-                            std::thread::sleep(backoff * attempt);
-                        }
-                        current = recreate(i)?;
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
+            retry_loop(
+                control,
+                max_retries,
+                backoff,
+                stream,
+                |s| s.drain(),
+                |_, e| {
+                    on_retry(i, e);
+                    recreate(i)
+                },
+            )
         })
     }
 
@@ -301,6 +343,7 @@ mod tests {
         let out = rt
             .drain_streams_with_retry(
                 streams,
+                &QueryControl::unlimited(),
                 3,
                 Duration::ZERO,
                 |i| {
@@ -339,6 +382,7 @@ mod tests {
         let err = rt
             .drain_streams_with_retry(
                 vec![make(&metrics)],
+                &QueryControl::unlimited(),
                 2,
                 Duration::ZERO,
                 |_| Ok(make(&metrics)),
@@ -360,6 +404,7 @@ mod tests {
         let err = rt
             .drain_streams_with_retry(
                 vec![stream],
+                &QueryControl::unlimited(),
                 5,
                 Duration::ZERO,
                 move |_| {
@@ -371,5 +416,36 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, Error::execution("deterministic failure"));
         assert_eq!(recreations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn retry_backoff_wait_aborts_on_cancel() {
+        // A retryable failure with an enormous backoff: the cancel lands
+        // while the worker waits out the backoff, and the drain surfaces
+        // Cancelled promptly instead of parking for the full wait.
+        let rt = Runtime::new(1);
+        let metrics = Arc::new(ExecMetrics::new());
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let stream = flaky_stream(&metrics, Arc::clone(&attempts), 1);
+        let control = QueryControl::unlimited();
+        let clone = control.clone();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            clone.cancel();
+        });
+        let start = std::time::Instant::now();
+        let err = rt
+            .drain_streams_with_retry(
+                vec![stream],
+                &control,
+                3,
+                Duration::from_secs(30),
+                |_| Ok(flaky_stream(&metrics, Arc::clone(&attempts), 1)),
+                |_, _| {},
+            )
+            .unwrap_err();
+        canceller.join().unwrap();
+        assert!(err.is_cancelled(), "{err}");
+        assert!(start.elapsed() < Duration::from_secs(5));
     }
 }

@@ -852,33 +852,25 @@ impl ExecutionPlan for IncompleteGlobalSkylineExec {
                     // context's retry budget.
                     let expected = inputs.len();
                     let mut parts: Vec<IncompletePartial> =
-                        ctx2.runtime.map_indexed(inputs, |i, mut stream| {
-                            let mut attempt = 0u32;
-                            loop {
-                                match consume_incomplete_partial(
-                                    &ctx2,
-                                    &checker,
-                                    kernel,
-                                    i,
-                                    &mut stream,
-                                ) {
-                                    Ok(partial) => return Ok(partial),
-                                    Err(e) if e.is_retryable() && attempt < ctx2.max_retries => {
-                                        attempt += 1;
-                                        ctx2.metrics.add_retry_attempted();
-                                        if !ctx2.retry_backoff.is_zero() {
-                                            std::thread::sleep(ctx2.retry_backoff * attempt);
-                                        }
-                                        stream = crate::recreate_partition_stream(
-                                            input_plan.as_ref(),
-                                            &ctx2,
-                                            expected,
-                                            i,
-                                        )?;
-                                    }
-                                    Err(e) => return Err(e),
-                                }
-                            }
+                        ctx2.runtime.map_indexed(inputs, |i, stream| {
+                            sparkline_exec::retry_loop(
+                                &ctx2.control,
+                                ctx2.max_retries,
+                                ctx2.retry_backoff,
+                                stream,
+                                |mut s| {
+                                    consume_incomplete_partial(&ctx2, &checker, kernel, i, &mut s)
+                                },
+                                |_, _| {
+                                    ctx2.metrics.add_retry_attempted();
+                                    crate::recreate_partition_stream(
+                                        input_plan.as_ref(),
+                                        &ctx2,
+                                        expected,
+                                        i,
+                                    )
+                                },
+                            )
                         })?;
                     parts.retain(|p| !p.is_empty());
                     // k-way rounds, exactly like the complete tree merge;

@@ -83,6 +83,20 @@ impl StaticCatalog {
         });
     }
 
+    /// Remove a table's schema and every foreign key involving it (as
+    /// either side — a dangling FK would let the §5.4 pushdown reason
+    /// about a relation that no longer exists). Returns whether the
+    /// schema existed.
+    pub fn drop_table(&mut self, name: &str) -> bool {
+        let key = name.to_ascii_lowercase();
+        let existed = self.tables.remove(&key).is_some();
+        if existed {
+            self.foreign_keys
+                .retain(|fk| fk.from_table != key && fk.to_table != key);
+        }
+        existed
+    }
+
     /// Names of all registered tables (lowercased), sorted.
     pub fn table_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.tables.keys().cloned().collect();
@@ -141,5 +155,32 @@ mod tests {
         c.register_foreign_key("track", "recording", "recording", "id");
         assert!(c.guarantees_partner("TRACK", "RECORDING", "recording", "ID"));
         assert!(!c.guarantees_partner("recording", "id", "track", "recording"));
+    }
+
+    #[test]
+    fn drop_table_removes_schema_and_foreign_keys() {
+        let mut c = StaticCatalog::new();
+        let schema = Schema::new(vec![Field::new("id", DataType::Int64, false)]).into_ref();
+        c.register_table("track", schema.clone());
+        c.register_table("recording", schema);
+        c.register_foreign_key("track", "recording", "recording", "id");
+        assert!(c.drop_table("TRACK"));
+        assert!(c.table_schema("track").is_none());
+        assert_eq!(c.table_names(), vec!["recording"]);
+        // The FK died with its referencing table.
+        assert!(!c.guarantees_partner("track", "recording", "recording", "id"));
+        // Dropping again is a no-op.
+        assert!(!c.drop_table("track"));
+    }
+
+    #[test]
+    fn drop_referenced_table_removes_incoming_foreign_keys() {
+        let mut c = StaticCatalog::new();
+        let schema = Schema::new(vec![Field::new("id", DataType::Int64, false)]).into_ref();
+        c.register_table("track", schema.clone());
+        c.register_table("recording", schema);
+        c.register_foreign_key("track", "recording", "recording", "id");
+        assert!(c.drop_table("recording"));
+        assert!(!c.guarantees_partner("track", "recording", "recording", "id"));
     }
 }

@@ -1,0 +1,508 @@
+//! The query service: shared catalog, admission control, per-query
+//! control handles, and the plan/result caches. Socket-free — the TCP
+//! layer ([`crate::server`]) and the bench harness both drive this
+//! type directly.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use sparkline::{Error, LogicalPlan, Result, SessionConfig, SessionContext};
+
+use crate::cache::BoundedCache;
+use crate::protocol::{normalize_sql, parse_literal_rows, render_rows};
+
+/// How long an admission waiter sleeps between cancellation checks.
+const ADMISSION_CHECK_SLICE: Duration = Duration::from_millis(2);
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum queries planning/executing at once; the rest queue in a
+    /// cancel-aware admission wait. Result-cache hits bypass admission.
+    pub max_concurrent_queries: usize,
+    /// Entries in the plan cache (0 disables it).
+    pub plan_cache_capacity: usize,
+    /// Entries in the result cache (0 disables it).
+    pub result_cache_capacity: usize,
+    /// Per-query execution knobs: every query runs under this
+    /// configuration's memory budget, deadline, retry policy, and
+    /// executor count (on a session clone with a fresh cancel flag).
+    pub session: SessionConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_concurrent_queries: 4,
+            plan_cache_capacity: 256,
+            result_cache_capacity: 256,
+            session: SessionConfig::default(),
+        }
+    }
+}
+
+/// What a cache did for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the cache.
+    Hit,
+    /// Looked up, absent, populated (when still valid).
+    Miss,
+    /// Never consulted (the plan cache on a result-cache hit).
+    Skip,
+}
+
+impl CacheOutcome {
+    /// Wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Skip => "skip",
+        }
+    }
+}
+
+/// A successful query outcome: the rendered body plus cache telemetry.
+#[derive(Debug, Clone)]
+pub struct QueryReply {
+    /// Rendered rows (shared with the result cache).
+    pub rows: Arc<Vec<String>>,
+    /// Plan-cache outcome.
+    pub plan: CacheOutcome,
+    /// Result-cache outcome.
+    pub result: CacheOutcome,
+}
+
+/// Point-in-time service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Queries finished (ok or error).
+    pub queries: u64,
+    /// Plan-cache hits.
+    pub plan_hits: u64,
+    /// Plan-cache misses.
+    pub plan_misses: u64,
+    /// Result-cache hits.
+    pub result_hits: u64,
+    /// Result-cache misses.
+    pub result_misses: u64,
+    /// Queries that finished with an error.
+    pub errors: u64,
+    /// Queries currently registered (queued or executing).
+    pub active: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    queries: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Counting semaphore on std primitives (the vendored `parking_lot`
+/// stub has no `Condvar`).
+#[derive(Debug)]
+struct Admission {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Admission {
+    fn new(permits: usize) -> Self {
+        Admission {
+            permits: Mutex::new(permits.max(1)),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Wait for a permit, polling `cancelled` between short slices so a
+    /// queued query can be cancelled without ever holding a worker.
+    fn acquire(&self, cancelled: impl Fn() -> bool) -> Result<AdmissionPermit<'_>> {
+        let mut permits = self.permits.lock().expect("admission lock poisoned");
+        loop {
+            if cancelled() {
+                return Err(Error::Cancelled);
+            }
+            if *permits > 0 {
+                *permits -= 1;
+                return Ok(AdmissionPermit { admission: self });
+            }
+            let (guard, _timeout) = self
+                .available
+                .wait_timeout(permits, ADMISSION_CHECK_SLICE)
+                .expect("admission lock poisoned");
+            permits = guard;
+        }
+    }
+
+    fn release(&self) {
+        *self.permits.lock().expect("admission lock poisoned") += 1;
+        self.available.notify_one();
+    }
+}
+
+/// RAII admission permit.
+struct AdmissionPermit<'a> {
+    admission: &'a Admission,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.admission.release();
+    }
+}
+
+/// The multi-tenant query service. Cheap to share behind an `Arc`;
+/// every public method takes `&self`.
+pub struct QueryService {
+    base: SessionContext,
+    config: ServerConfig,
+    admission: Admission,
+    next_id: AtomicU64,
+    /// Per-query session clones (shared catalog, fresh cancel flag),
+    /// registered from ACK until completion so `CANCEL <id>` can reach
+    /// a queued or running query from any connection.
+    running: Mutex<HashMap<u64, SessionContext>>,
+    plan_cache: Mutex<BoundedCache<Arc<LogicalPlan>>>,
+    result_cache: Mutex<BoundedCache<Arc<Vec<String>>>>,
+    counters: Counters,
+}
+
+impl QueryService {
+    /// Service over a fresh, empty catalog.
+    pub fn new(config: ServerConfig) -> Arc<Self> {
+        let base = SessionContext::with_config(config.session.clone());
+        Self::with_session(base, config)
+    }
+
+    /// Service sharing an existing session's catalog — tests use this
+    /// to compare wire responses against direct execution on the same
+    /// data.
+    pub fn with_session(base: SessionContext, config: ServerConfig) -> Arc<Self> {
+        Arc::new(QueryService {
+            admission: Admission::new(config.max_concurrent_queries),
+            next_id: AtomicU64::new(0),
+            running: Mutex::new(HashMap::new()),
+            plan_cache: Mutex::new(BoundedCache::new(config.plan_cache_capacity)),
+            result_cache: Mutex::new(BoundedCache::new(config.result_cache_capacity)),
+            counters: Counters::default(),
+            base,
+            config,
+        })
+    }
+
+    /// The session owning the shared catalog (register datasets through
+    /// this before serving).
+    pub fn session(&self) -> &SessionContext {
+        &self.base
+    }
+
+    /// Allocate a query id and register its control handle (a session
+    /// clone with a fresh cancel flag). Done *before* the `ACK` is
+    /// written, so a `CANCEL <id>` racing the query's own execution
+    /// always finds the handle.
+    pub fn register_query(&self) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let session = self.base.with_shared_catalog(self.config.session.clone());
+        self.running
+            .lock()
+            .expect("running lock poisoned")
+            .insert(id, session);
+        id
+    }
+
+    /// Execute a registered query end-to-end: result cache → admission
+    /// → plan cache → engine. Always deregisters the id and updates the
+    /// counters, success or not.
+    pub fn run_query(&self, id: u64, sql: &str) -> Result<QueryReply> {
+        let outcome = self.execute(id, sql);
+        self.running
+            .lock()
+            .expect("running lock poisoned")
+            .remove(&id);
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        if outcome.is_err() {
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    }
+
+    fn execute(&self, id: u64, sql: &str) -> Result<QueryReply> {
+        let session = self
+            .running
+            .lock()
+            .expect("running lock poisoned")
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::internal(format!("query {id} is not registered")))?;
+        let normalized = normalize_sql(sql);
+        let version = session.catalog_version();
+        let key = (normalized, version);
+
+        // A cancel delivered between ACK and here must win over a cache
+        // hit — the client asked for the query not to run.
+        if session.is_cancelled() {
+            return Err(Error::Cancelled);
+        }
+
+        if let Some(rows) = self.result_cache.lock().expect("cache lock").get(&key) {
+            self.counters.result_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(QueryReply {
+                rows,
+                plan: CacheOutcome::Skip,
+                result: CacheOutcome::Hit,
+            });
+        }
+        self.counters.result_misses.fetch_add(1, Ordering::Relaxed);
+
+        let _permit = self.admission.acquire(|| session.is_cancelled())?;
+
+        let (plan, plan_outcome) = {
+            let cached = self.plan_cache.lock().expect("cache lock").get(&key);
+            match cached {
+                Some(plan) => {
+                    self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
+                    (plan, CacheOutcome::Hit)
+                }
+                None => {
+                    self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
+                    let frame = session.sql(sql)?;
+                    let plan = Arc::new(frame.logical_plan().clone());
+                    // Re-check the version: a mutation may have landed
+                    // while we parsed. Only cache a plan analyzed
+                    // against the catalog state the key names.
+                    if session.catalog_version() == version {
+                        self.plan_cache
+                            .lock()
+                            .expect("cache lock")
+                            .insert(key.clone(), Arc::clone(&plan));
+                    }
+                    (plan, CacheOutcome::Miss)
+                }
+            }
+        };
+
+        let result = session.execute_plan(&plan)?;
+        let rows = Arc::new(render_rows(&result));
+
+        // Cache the rendered body only if no mutation raced the
+        // execution — otherwise a result computed at version v could be
+        // pinned under a key whose version still looks current.
+        if session.catalog_version() == version {
+            self.result_cache
+                .lock()
+                .expect("cache lock")
+                .insert(key, Arc::clone(&rows));
+        }
+        Ok(QueryReply {
+            rows,
+            plan: plan_outcome,
+            result: CacheOutcome::Miss,
+        })
+    }
+
+    /// Deliver a cancel to a queued or running query. Returns whether
+    /// the id was live (false: already finished or never existed).
+    pub fn cancel_query(&self, id: u64) -> bool {
+        let running = self.running.lock().expect("running lock poisoned");
+        match running.get(&id) {
+            Some(session) => {
+                session.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Append literal rows to a table (parsed against its schema),
+    /// bumping the catalog version and retiring stale cache entries.
+    pub fn insert(&self, table: &str, literal_rows: &[Vec<String>]) -> Result<usize> {
+        let schema = self.base.table(table)?.schema()?;
+        let rows = parse_literal_rows(table, &schema, literal_rows)?;
+        let count = self.base.insert_rows(table, rows)?;
+        self.trim_caches();
+        Ok(count)
+    }
+
+    /// Drop a table, retiring stale cache entries.
+    pub fn drop_table(&self, name: &str) -> bool {
+        let existed = self.base.deregister_table(name);
+        if existed {
+            self.trim_caches();
+        }
+        existed
+    }
+
+    /// Registered table names.
+    pub fn table_names(&self) -> Vec<String> {
+        self.base.table_names()
+    }
+
+    /// Proactively drop cache entries from retired catalog versions.
+    /// Correctness never depends on this — stale keys are unreachable
+    /// by construction — it only frees their memory early.
+    fn trim_caches(&self) {
+        let version = self.base.catalog_version();
+        self.plan_cache
+            .lock()
+            .expect("cache lock")
+            .retain_version(version);
+        self.result_cache
+            .lock()
+            .expect("cache lock")
+            .retain_version(version);
+    }
+
+    /// Snapshot the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            plan_hits: self.counters.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.counters.plan_misses.load(Ordering::Relaxed),
+            result_hits: self.counters.result_hits.load(Ordering::Relaxed),
+            result_misses: self.counters.result_misses.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            active: self.running.lock().expect("running lock poisoned").len() as u64,
+        }
+    }
+
+    /// The stats as the `OK stats ...` wire line payload.
+    pub fn stats_line(&self) -> String {
+        let s = self.stats();
+        format!(
+            "queries={} plan_hits={} plan_misses={} result_hits={} result_misses={} \
+             errors={} active={}",
+            s.queries,
+            s.plan_hits,
+            s.plan_misses,
+            s.result_hits,
+            s.result_misses,
+            s.errors,
+            s.active
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkline::{DataType, Field, Row, Schema, Value};
+
+    fn service() -> Arc<QueryService> {
+        let svc = QueryService::new(ServerConfig::default());
+        svc.session()
+            .register_table(
+                "hotels",
+                Schema::new(vec![
+                    Field::new("price", DataType::Int64, false),
+                    Field::new("rating", DataType::Int64, false),
+                ]),
+                vec![
+                    Row::new(vec![Value::Int64(50), Value::Int64(7)]),
+                    Row::new(vec![Value::Int64(80), Value::Int64(9)]),
+                    Row::new(vec![Value::Int64(90), Value::Int64(6)]),
+                ],
+            )
+            .unwrap();
+        svc
+    }
+
+    const SKY: &str = "SELECT price, rating FROM hotels SKYLINE OF price MIN, rating MAX";
+
+    #[test]
+    fn caches_progress_from_cold_to_hot() {
+        let svc = service();
+        let id = svc.register_query();
+        let cold = svc.run_query(id, SKY).unwrap();
+        assert_eq!(cold.plan, CacheOutcome::Miss);
+        assert_eq!(cold.result, CacheOutcome::Miss);
+        assert_eq!(cold.rows.len(), 2);
+
+        let id = svc.register_query();
+        let hot = svc.run_query(id, SKY).unwrap();
+        assert_eq!(hot.plan, CacheOutcome::Skip);
+        assert_eq!(hot.result, CacheOutcome::Hit);
+        assert_eq!(hot.rows, cold.rows, "cached body must be byte-identical");
+
+        // A different spelling of the same query shares the entry.
+        let id = svc.register_query();
+        let respelled = svc
+            .run_query(
+                id,
+                "select  price,  rating from HOTELS skyline of price min, rating max",
+            )
+            .unwrap();
+        assert_eq!(respelled.result, CacheOutcome::Hit);
+
+        let stats = svc.stats();
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.result_hits, 2);
+        assert_eq!(stats.result_misses, 1);
+        assert_eq!(stats.active, 0);
+    }
+
+    #[test]
+    fn plan_cache_hit_without_result_hit_after_eviction() {
+        let config = ServerConfig {
+            result_cache_capacity: 0, // disable result caching
+            ..ServerConfig::default()
+        };
+        let svc = QueryService::with_session(service().session().clone(), config);
+        let id = svc.register_query();
+        svc.run_query(id, SKY).unwrap();
+        let id = svc.register_query();
+        let second = svc.run_query(id, SKY).unwrap();
+        assert_eq!(second.plan, CacheOutcome::Hit);
+        assert_eq!(second.result, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn mutations_invalidate_the_result_cache() {
+        let svc = service();
+        let id = svc.register_query();
+        let before = svc.run_query(id, SKY).unwrap();
+        assert_eq!(before.rows.len(), 2);
+
+        // (60, 8) joins the Pareto front (incomparable with both current
+        // members); the cached body must not survive the insert.
+        svc.insert("hotels", &[vec!["60".into(), "8".into()]])
+            .unwrap();
+        let id = svc.register_query();
+        let after = svc.run_query(id, SKY).unwrap();
+        assert_eq!(after.result, CacheOutcome::Miss, "stale hit after insert");
+        assert_eq!(after.rows.len(), 3);
+
+        // Dropping the table invalidates again: the query now errors.
+        assert!(svc.drop_table("hotels"));
+        let id = svc.register_query();
+        assert!(svc.run_query(id, SKY).is_err());
+    }
+
+    #[test]
+    fn cancel_before_execution_wins_over_the_cache() {
+        let svc = service();
+        let id = svc.register_query();
+        svc.run_query(id, SKY).unwrap(); // populate the cache
+        let id = svc.register_query();
+        assert!(svc.cancel_query(id));
+        let err = svc.run_query(id, SKY).unwrap_err();
+        assert!(err.is_cancelled(), "{err}");
+        assert!(!svc.cancel_query(id), "finished id no longer cancellable");
+    }
+
+    #[test]
+    fn errors_are_counted_and_deregistered() {
+        let svc = service();
+        let id = svc.register_query();
+        assert!(svc.run_query(id, "SELECT nope FROM missing").is_err());
+        let stats = svc.stats();
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.active, 0);
+    }
+}
