@@ -31,7 +31,7 @@ pub fn all_ids() -> Vec<&'static str> {
     vec![
         "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
         "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ext1", "ext2", "ext3", "ext4",
-        "ext5", "ext6", "ext7", "ext8", "ext9", "ext10",
+        "ext5", "ext6", "ext7", "ext8", "ext9", "ext10", "ext11",
     ]
 }
 
@@ -67,6 +67,7 @@ pub fn run(id: &str, ctx: &mut EvalContext, quick: bool) -> Vec<Report> {
         "ext8" => ext8_chaos(quick),
         "ext9" => ext9_storage(quick),
         "ext10" => ext10_server(quick),
+        "ext11" => ext11_mutation(quick),
         other => panic!("unknown experiment '{other}'; known: {:?}", all_ids()),
     }
 }
@@ -1036,6 +1037,64 @@ fn ext10_server(quick: bool) -> Vec<Report> {
         series: vec![
             ("p50 latency".to_string(), latency(|c| c.p50_ms)),
             ("p99 latency".to_string(), latency(|c| c.p99_ms)),
+        ],
+        metric: Metric::Time,
+        with_relative: false,
+    }]
+}
+
+fn ext11_mutation(quick: bool) -> Vec<Report> {
+    let path = std::env::var("BENCH_PR10_OUT").unwrap_or_else(|_| "BENCH_PR10.json".to_string());
+    let bench = crate::mutation_bench::write_bench_pr10(&path, quick)
+        .unwrap_or_else(|e| panic!("ext11: cannot write {path}: {e}"));
+    eprintln!("    wrote {path}");
+    for c in &bench.cells {
+        eprintln!(
+            "    [{:.0}% mutated] delta {:.1} ms vs recompute {:.1} ms \
+             ({:.0}x, {} rebuilds); served p50 {:.2} ms with views vs \
+             {:.2} ms baseline ({}/{} cache hits)",
+            c.fraction * 100.0,
+            c.delta_ms,
+            c.recompute_ms,
+            c.speedup,
+            c.rebuilds,
+            c.served_views_ms,
+            c.served_baseline_ms,
+            c.served_view_hits,
+            c.served_samples
+        );
+    }
+    eprintln!(
+        "    exact: {}; served byte-identical: {}",
+        bench.exact, bench.served_identical
+    );
+    let series = |f: fn(&crate::mutation_bench::MutationCell) -> f64| -> Vec<Cell> {
+        bench
+            .cells
+            .iter()
+            .map(|c| Cell::Value(f(c) / 1e3))
+            .collect()
+    };
+    vec![Report {
+        id: "ext11".into(),
+        title: format!(
+            "Extension 11: incremental skyline maintenance vs recompute under \
+             mutation workloads ({} rows; see BENCH_PR10.json for served \
+             latency and rebuild counts)",
+            bench.rows
+        ),
+        x_label: "mutation fraction",
+        x_values: bench
+            .cells
+            .iter()
+            .map(|c| format!("{:.0}%", c.fraction * 100.0))
+            .collect(),
+        series: vec![
+            ("delta maintenance".to_string(), series(|c| c.delta_ms)),
+            (
+                "recompute per mutation".to_string(),
+                series(|c| c.recompute_ms),
+            ),
         ],
         metric: Metric::Time,
         with_relative: false,

@@ -17,6 +17,7 @@ pub mod experiments;
 pub mod harness;
 pub mod incomplete_bench;
 pub mod kernel_bench;
+pub mod mutation_bench;
 pub mod report;
 pub mod runner;
 pub mod server_bench;
@@ -27,6 +28,7 @@ pub use adaptive_bench::{run_adaptive_bench, write_bench_pr4, AdaptiveBench};
 pub use chaos_bench::{run_chaos_bench, write_bench_pr7, ChaosBench};
 pub use incomplete_bench::{run_incomplete_bench, write_bench_pr5, IncompleteBench};
 pub use kernel_bench::{run_kernel_bench, write_bench_pr2, KernelBench};
+pub use mutation_bench::{run_mutation_bench, write_bench_pr10, MutationBench};
 pub use report::{format_relative_table, format_series_table, Cell};
 pub use runner::{EvalContext, EvalSettings, Measurement, Metric};
 pub use server_bench::{run_server_bench, write_bench_pr9, ServerBench};

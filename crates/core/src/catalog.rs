@@ -100,23 +100,96 @@ impl SessionCatalog {
         Ok(table.len())
     }
 
+    /// Remove rows from a registered in-memory table by position
+    /// (`positions` must be ascending and in bounds — the shape produced
+    /// by a predicate scan). Copy-on-write like
+    /// [`insert_rows`](Self::insert_rows): queries already executing keep
+    /// the snapshot they started with. Bumps the catalog version only
+    /// when rows were actually removed, so a `DELETE` matching nothing
+    /// retires no cached plan/result generation. Returns the number of
+    /// removed rows.
+    pub fn delete_rows(&mut self, name: &str, positions: &[usize]) -> Result<usize> {
+        let key = name.to_ascii_lowercase();
+        if self.schemas.table_schema(&key).is_none() {
+            return Err(Error::plan(format!(
+                "no table named '{name}' to delete from"
+            )));
+        }
+        if self.disk.contains_key(&key) {
+            return Err(Error::plan(format!(
+                "table '{name}' is disk-resident; DELETE is only supported \
+                 for in-memory tables"
+            )));
+        }
+        let entry = self
+            .data
+            .get_mut(&key)
+            .ok_or_else(|| Error::internal(format!("table '{name}' has a schema but no rows")))?;
+        let len = entry.len();
+        for pair in positions.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(Error::internal(
+                    "delete positions must be ascending and distinct",
+                ));
+            }
+        }
+        if positions.last().is_some_and(|&p| p >= len) {
+            return Err(Error::internal(format!(
+                "delete position out of bounds for table '{name}' ({len} rows)"
+            )));
+        }
+        if positions.is_empty() {
+            return Ok(0);
+        }
+        let table = Arc::make_mut(entry);
+        let mut cursor = 0;
+        let mut idx = 0;
+        table.retain(|_| {
+            let drop = cursor < positions.len() && positions[cursor] == idx;
+            if drop {
+                cursor += 1;
+            }
+            idx += 1;
+            !drop
+        });
+        self.version += 1;
+        Ok(positions.len())
+    }
+
     /// The disk table registered under `name`, if any.
     pub fn disk_table_named(&self, name: &str) -> Option<Arc<DiskTable>> {
         self.disk.get(&name.to_ascii_lowercase()).cloned()
     }
 
     /// Declare a foreign key (used by the §5.4 skyline-join pushdown; see
-    /// [`StaticCatalog::register_foreign_key`]).
+    /// [`StaticCatalog::register_foreign_key`]). Both endpoints are
+    /// validated against registered schemas before anything is recorded:
+    /// an FK on a nonexistent table or column is a plan error and leaves
+    /// the catalog version untouched, so no cached plan/result
+    /// generation is retired by a declaration that changed nothing.
     pub fn register_foreign_key(
         &mut self,
         from_table: impl Into<String>,
         from_column: impl Into<String>,
         to_table: impl Into<String>,
         to_column: impl Into<String>,
-    ) {
+    ) -> Result<()> {
+        let (from_table, from_column) = (from_table.into(), from_column.into());
+        let (to_table, to_column) = (to_table.into(), to_column.into());
+        for (table, column) in [(&from_table, &from_column), (&to_table, &to_column)] {
+            let schema = self.schemas.table_schema(table).ok_or_else(|| {
+                Error::plan(format!("foreign key references unknown table '{table}'"))
+            })?;
+            if schema.index_of(None, column).is_err() {
+                return Err(Error::plan(format!(
+                    "foreign key references unknown column '{table}.{column}'"
+                )));
+            }
+        }
         self.schemas
             .register_foreign_key(from_table, from_column, to_table, to_column);
         self.version += 1;
+        Ok(())
     }
 
     /// Remove a table: its data (in-memory rows or the disk handle), its
@@ -286,7 +359,7 @@ mod tests {
         let mut cat = SessionCatalog::new();
         cat.register_table("t", schema(), vec![]).unwrap();
         cat.register_table("u", schema(), vec![]).unwrap();
-        cat.register_foreign_key("t", "id", "u", "id");
+        cat.register_foreign_key("t", "id", "u", "id").unwrap();
         assert!(cat.drop_table("t"));
         // Regression: the schema used to survive the drop, so the table
         // still appeared in table_names() and could be re-planned against.
@@ -306,7 +379,7 @@ mod tests {
             .unwrap();
         let v2 = cat.version();
         assert!(v2 > v1);
-        cat.register_foreign_key("t", "id", "t", "id");
+        cat.register_foreign_key("t", "id", "t", "id").unwrap();
         let v3 = cat.version();
         assert!(v3 > v2);
         assert!(cat.drop_table("t"));

@@ -13,7 +13,7 @@ use sparkline_exec::{Deadline, FaultInjector, QueryControl, TaskContext};
 use sparkline_optimizer::Optimizer;
 use sparkline_parser::parse_query;
 use sparkline_physical::{display_physical, PhysicalPlanner};
-use sparkline_plan::{LogicalPlan, LogicalPlanBuilder};
+use sparkline_plan::{Expr, LogicalPlan, LogicalPlanBuilder};
 
 use crate::catalog::SessionCatalog;
 use crate::dataframe::DataFrame;
@@ -220,17 +220,19 @@ impl SessionContext {
     }
 
     /// Declare a foreign key enabling the §5.4 skyline-join pushdown for
-    /// inner joins.
+    /// inner joins. Both endpoints must name a registered table and
+    /// column (see [`SessionCatalog::register_foreign_key`]); an invalid
+    /// declaration is a plan error and leaves the catalog untouched.
     pub fn register_foreign_key(
         &self,
         from_table: impl Into<String>,
         from_column: impl Into<String>,
         to_table: impl Into<String>,
         to_column: impl Into<String>,
-    ) {
+    ) -> Result<()> {
         self.catalog
             .write()
-            .register_foreign_key(from_table, from_column, to_table, to_column);
+            .register_foreign_key(from_table, from_column, to_table, to_column)
     }
 
     /// Drop a table; returns whether it existed.
@@ -243,6 +245,67 @@ impl SessionContext {
     /// the snapshot they started with.
     pub fn insert_rows(&self, name: &str, rows: Vec<Row>) -> Result<usize> {
         self.catalog.write().insert_rows(name, rows)
+    }
+
+    /// `DELETE FROM name WHERE predicate`: remove the rows of a
+    /// registered in-memory table matching `predicate` (all rows when
+    /// `None`), returning the ascending positions of the removed rows in
+    /// the table's pre-delete order. The predicate is resolved by the
+    /// analyzer against the table's schema and evaluated row by row
+    /// under the catalog write lock, so there is no window between
+    /// matching and removal in which a concurrent mutation could shift
+    /// positions. Rows where the predicate is NULL (or false) are kept,
+    /// per SQL semantics. A delete matching nothing does not bump the
+    /// catalog version (caches stay warm).
+    pub fn delete_where(&self, name: &str, predicate: Option<&Expr>) -> Result<Vec<usize>> {
+        let mut catalog = self.catalog.write();
+        let bound = match predicate {
+            Some(pred) => {
+                let plan = LogicalPlanBuilder::relation(name)
+                    .filter(pred.clone())
+                    .build()?;
+                let analyzed = Analyzer::new(&*catalog).analyze(&plan)?;
+                Some(extract_filter_predicate(&analyzed).ok_or_else(|| {
+                    sparkline_common::Error::internal(
+                        "analyzed DELETE plan lost its filter predicate",
+                    )
+                })?)
+            }
+            None => {
+                // Still validate the table name (and reject disk tables)
+                // through the same path a predicate delete would take.
+                Analyzer::new(&*catalog).analyze(&LogicalPlanBuilder::relation(name).build()?)?;
+                None
+            }
+        };
+        let rows =
+            sparkline_physical::ExecTableSource::table_rows(&*catalog, name).ok_or_else(|| {
+                sparkline_common::Error::plan(format!(
+                    "table '{name}' is disk-resident; DELETE is only supported \
+                     for in-memory tables"
+                ))
+            })?;
+        let mut positions = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            let matches = match &bound {
+                Some(pred) => matches!(pred.evaluate(row)?, sparkline_common::Value::Boolean(true)),
+                None => true,
+            };
+            if matches {
+                positions.push(i);
+            }
+        }
+        catalog.delete_rows(name, &positions)?;
+        Ok(positions)
+    }
+
+    /// A copy-on-write snapshot of a registered in-memory table's rows
+    /// (`None` for unknown or disk-resident tables). The `Arc` is the
+    /// same one scans clone: the snapshot is immutable and cheap, and a
+    /// concurrent insert/delete replaces the catalog's vector without
+    /// touching it.
+    pub fn table_rows_snapshot(&self, name: &str) -> Option<Arc<Vec<Row>>> {
+        sparkline_physical::ExecTableSource::table_rows(&*self.catalog.read(), name)
     }
 
     /// The catalog's mutation version (see [`SessionCatalog::version`]):
@@ -468,6 +531,31 @@ impl SessionContext {
             optimized.display_indent(),
             display_physical(&physical),
         ))
+    }
+}
+
+/// The analyzer-bound filter predicate of an analyzed
+/// `relation.filter(pred)` plan, used by
+/// [`SessionContext::delete_where`] to evaluate a DELETE's WHERE clause
+/// row by row. Walks the plan top-down and returns the first `Filter`
+/// node's predicate.
+fn extract_filter_predicate(plan: &LogicalPlan) -> Option<Expr> {
+    match plan {
+        LogicalPlan::Filter { predicate, .. } => Some(predicate.clone()),
+        LogicalPlan::Projection { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::SubqueryAlias { input, .. }
+        | LogicalPlan::Skyline { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::MinMaxFilter { input, .. } => extract_filter_predicate(input),
+        LogicalPlan::Join { left, right, .. } => {
+            extract_filter_predicate(left).or_else(|| extract_filter_predicate(right))
+        }
+        LogicalPlan::UnresolvedRelation { .. }
+        | LogicalPlan::TableScan { .. }
+        | LogicalPlan::Values { .. } => None,
     }
 }
 

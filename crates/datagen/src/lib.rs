@@ -109,10 +109,10 @@ pub fn register_musicbrainz(
     let mb = musicbrainz::generate(n, seed, variant);
     let name = mb.recordings.name.clone();
     let rows = mb.recordings.len();
-    ctx.register_foreign_key("track", "recording", &name, "id");
     mb.recordings.register(ctx)?;
     mb.meta.register(ctx)?;
     mb.track.register(ctx)?;
+    ctx.register_foreign_key("track", "recording", &name, "id")?;
     Ok((name, rows))
 }
 

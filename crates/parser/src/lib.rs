@@ -13,13 +13,15 @@
 //! ```
 //!
 //! The parser emits unresolved [`sparkline_plan::LogicalPlan`]s; name and
-//! type resolution happen in `sparkline-analyzer`.
+//! type resolution happen in `sparkline-analyzer`. Besides queries,
+//! [`parse_statement`] handles `DELETE FROM <table> [WHERE <predicate>]`
+//! (see the [`parser`] module docs for the grammar).
 
 pub mod lexer;
 pub mod parser;
 
 pub use lexer::{tokenize, Token, TokenKind};
-pub use parser::{parse_expression, parse_query};
+pub use parser::{parse_expression, parse_query, parse_statement, Statement};
 
 #[cfg(test)]
 mod tests {
@@ -260,6 +262,36 @@ mod tests {
             e.to_string(),
             "(((name = 'O'Hara') AND (flag = true)) OR (x IS NULL))"
         );
+    }
+
+    #[test]
+    fn delete_statement_parses() {
+        match parse_statement("DELETE FROM hotels WHERE price > 100;").unwrap() {
+            Statement::Delete { table, predicate } => {
+                assert_eq!(table, "hotels");
+                assert_eq!(predicate.unwrap().to_string(), "(price > 100)");
+            }
+            other => panic!("expected delete, got {other:?}"),
+        }
+        match parse_statement("DELETE FROM t").unwrap() {
+            Statement::Delete { table, predicate } => {
+                assert_eq!(table, "t");
+                assert!(predicate.is_none());
+            }
+            other => panic!("expected delete, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_statement("SELECT a FROM t").unwrap(),
+            Statement::Query(_)
+        ));
+    }
+
+    #[test]
+    fn malformed_delete_rejected() {
+        assert!(parse_statement("DELETE FROM").is_err());
+        assert!(parse_statement("DELETE FROM t WHERE").is_err());
+        assert!(parse_statement("DELETE t WHERE a = 1").is_err());
+        assert!(parse_statement("DELETE FROM t extra").is_err());
     }
 
     #[test]

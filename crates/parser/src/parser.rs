@@ -16,6 +16,18 @@
 //! projection/aggregate — the analyzer then resolves dimensions that are
 //! missing from the projection (paper Listing 6) or that refer to
 //! aggregates (Listing 7).
+//!
+//! Beyond queries, [`parse_statement`] accepts the one mutation statement
+//! the engine executes directly:
+//!
+//! ```sql
+//! DELETE FROM <table> [WHERE <predicate>];
+//! ```
+//!
+//! The predicate is an ordinary scalar expression (same grammar as
+//! `WHERE` in a query); omitting it deletes every row. The parser only
+//! shapes the statement — the table name and predicate are resolved by
+//! the analyzer against the session catalog when the delete executes.
 
 use std::sync::Arc;
 
@@ -77,6 +89,44 @@ pub fn parse_query(sql: &str) -> Result<LogicalPlan> {
     p.consume(&TokenKind::Semicolon);
     p.expect_eof()?;
     Ok(plan)
+}
+
+/// A parsed SQL statement: a query, or the one mutation statement the
+/// engine executes directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A `SELECT` query (what [`parse_query`] returns).
+    Query(LogicalPlan),
+    /// `DELETE FROM <table> [WHERE <predicate>]`.
+    Delete {
+        /// The target table, as written (resolved later by the analyzer).
+        table: String,
+        /// The `WHERE` predicate; `None` deletes every row.
+        predicate: Option<Expr>,
+    },
+}
+
+/// Parse a single SQL statement (optionally `;`-terminated): either a
+/// `SELECT` query (see [`parse_query`]) or
+/// `DELETE FROM <table> [WHERE <predicate>]`.
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let mut p = Parser::new(sql)?;
+    if p.consume_word("DELETE") {
+        p.expect_word("FROM")?;
+        let table = p.parse_ident()?;
+        let predicate = if p.consume_word("WHERE") {
+            Some(p.parse_expr()?)
+        } else {
+            None
+        };
+        p.consume(&TokenKind::Semicolon);
+        p.expect_eof()?;
+        return Ok(Statement::Delete { table, predicate });
+    }
+    let plan = p.parse_select()?;
+    p.consume(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(Statement::Query(plan))
 }
 
 /// Parse a standalone scalar expression (used by tests and the DataFrame

@@ -141,6 +141,20 @@ impl ServerClient {
             .ok_or_else(|| Error::execution(format!("malformed insert response: '{line}'")))
     }
 
+    /// `DELETE <table> [<predicate>]`: returns the number of removed
+    /// rows. `None` deletes every row.
+    pub fn delete(&mut self, table: &str, predicate: Option<&str>) -> Result<usize> {
+        match predicate {
+            Some(pred) => self.send_line(&format!("DELETE {table} {pred}"))?,
+            None => self.send_line(&format!("DELETE {table}"))?,
+        }
+        let line = self.read_line()?;
+        self.expect_ok(&line)?;
+        line.rsplit_once("rows=")
+            .and_then(|(_, n)| n.parse().ok())
+            .ok_or_else(|| Error::execution(format!("malformed delete response: '{line}'")))
+    }
+
     /// `DROP <table>`: returns whether the table existed.
     pub fn drop_table(&mut self, table: &str) -> Result<bool> {
         self.send_line(&format!("DROP {table}"))?;

@@ -20,6 +20,15 @@ pub enum Request {
         /// schema by the service).
         rows: Vec<Vec<String>>,
     },
+    /// `DELETE <table> [<predicate>]` — delete the rows matching the
+    /// predicate (all rows when absent).
+    Delete {
+        /// Target table name.
+        table: String,
+        /// Predicate text (parsed as a SQL expression by the service);
+        /// `None` deletes every row.
+        predicate: Option<String>,
+    },
     /// `DROP <table>` — drop a table.
     Drop(String),
     /// `TABLES` — list registered tables.
@@ -56,13 +65,42 @@ pub fn parse_request(line: &str) -> Result<Request> {
             let (table, rows_text) = rest
                 .split_once(char::is_whitespace)
                 .ok_or_else(|| Error::plan("INSERT requires a table name and rows"))?;
-            let rows: Vec<Vec<String>> = rows_text
-                .split(';')
-                .map(|row| row.split(',').map(|v| v.trim().to_string()).collect())
-                .collect();
+            let rows = split_outside_literals(rows_text, ';')?
+                .iter()
+                .map(|row| {
+                    Ok(split_outside_literals(row, ',')?
+                        .iter()
+                        .map(|v| v.trim().to_string())
+                        .collect())
+                })
+                .collect::<Result<Vec<Vec<String>>>>()?;
             Ok(Request::Insert {
                 table: table.to_string(),
                 rows,
+            })
+        }
+        "DELETE" => {
+            if rest.is_empty() {
+                return Err(Error::plan("DELETE requires a table name"));
+            }
+            let (table, predicate_text) = match rest.split_once(char::is_whitespace) {
+                Some((t, p)) => (t, p.trim()),
+                None => (rest, ""),
+            };
+            // The same literal-aware scanner that splits INSERT rows
+            // validates the predicate: quotes must balance, and a
+            // trailing `;` outside any literal is tolerated (stray text
+            // after it is not).
+            let parts = split_outside_literals(predicate_text, ';')?;
+            if parts[1..].iter().any(|p| !p.trim().is_empty()) {
+                return Err(Error::plan(
+                    "DELETE predicate must be a single expression (stray ';')",
+                ));
+            }
+            let predicate = parts[0].trim();
+            Ok(Request::Delete {
+                table: table.to_string(),
+                predicate: (!predicate.is_empty()).then(|| predicate.to_string()),
             })
         }
         "DROP" => {
@@ -77,6 +115,47 @@ pub fn parse_request(line: &str) -> Result<Request> {
         "QUIT" => Ok(Request::Quit),
         other => Err(Error::plan(format!("unknown request verb '{other}'"))),
     }
+}
+
+/// Split `text` on the occurrences of `sep` *outside* single-quoted
+/// string literals, with doubled-quote `''` escapes kept inside their
+/// literal — the same literal scanning as [`normalize_sql`], so a value
+/// like `'Hotel, The'` or `'a;b'` survives `INSERT` row splitting
+/// intact. Always returns at least one (possibly empty) part; an
+/// unterminated literal is a client error.
+fn split_outside_literals(text: &str, sep: char) -> Result<Vec<String>> {
+    let mut parts = vec![String::new()];
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == sep {
+            parts.push(String::new());
+        } else if c == '\'' {
+            let part = parts.last_mut().expect("parts is never empty");
+            part.push('\'');
+            let mut closed = false;
+            while let Some(lc) = chars.next() {
+                part.push(lc);
+                if lc == '\'' {
+                    if chars.peek() == Some(&'\'') {
+                        // Escaped quote: consume the second half and
+                        // stay inside the literal.
+                        part.push(chars.next().expect("peeked"));
+                    } else {
+                        closed = true;
+                        break;
+                    }
+                }
+            }
+            if !closed {
+                return Err(Error::plan(format!(
+                    "unterminated string literal in '{text}'"
+                )));
+            }
+        } else {
+            parts.last_mut().expect("parts is never empty").push(c);
+        }
+    }
+    Ok(parts)
 }
 
 /// Normalize SQL for cache keying: lowercase and collapse whitespace
@@ -132,9 +211,14 @@ pub fn normalize_sql(sql: &str) -> String {
 /// `SessionContext` comparison in tests — byte-identity across cache
 /// hits and misses holds by construction.
 pub fn render_rows(result: &QueryResult) -> Vec<String> {
-    result
-        .rows
-        .iter()
+    render_plain_rows(&result.rows)
+}
+
+/// Render bare rows with the same formatting as [`render_rows`] — the
+/// maintained-view layer uses this so a delta-refreshed cache entry is
+/// rendered identically to an engine-produced one.
+pub fn render_plain_rows(rows: &[Row]) -> Vec<String> {
+    rows.iter()
         .map(|row| {
             row.values()
                 .iter()
@@ -239,6 +323,62 @@ mod tests {
         assert!(parse_request("EXPLODE now").is_err());
         assert!(parse_request("QUERY").is_err());
         assert!(parse_request("CANCEL abc").is_err());
+    }
+
+    #[test]
+    fn insert_splitting_is_quote_aware() {
+        // Regression: a Utf8 literal containing ',' or ';' must not be
+        // torn into extra values or rows.
+        assert_eq!(
+            parse_request("INSERT hotels 1,'Hotel, The';2,'a;b'").unwrap(),
+            Request::Insert {
+                table: "hotels".to_string(),
+                rows: vec![
+                    vec!["1".into(), "'Hotel, The'".into()],
+                    vec!["2".into(), "'a;b'".into()],
+                ],
+            }
+        );
+        // Escaped quotes stay inside their literal.
+        assert_eq!(
+            parse_request("INSERT t 1,'it''s, fine'").unwrap(),
+            Request::Insert {
+                table: "t".to_string(),
+                rows: vec![vec!["1".into(), "'it''s, fine'".into()]],
+            }
+        );
+        // An unterminated literal is a client error, not a silent tear.
+        assert!(parse_request("INSERT t 1,'oops").is_err());
+    }
+
+    #[test]
+    fn delete_verb_parses() {
+        assert_eq!(
+            parse_request("DELETE hotels price > 100;").unwrap(),
+            Request::Delete {
+                table: "hotels".to_string(),
+                predicate: Some("price > 100".to_string()),
+            }
+        );
+        assert_eq!(
+            parse_request("delete hotels").unwrap(),
+            Request::Delete {
+                table: "hotels".to_string(),
+                predicate: None,
+            }
+        );
+        // The predicate scanner is literal-aware: ';' inside a literal
+        // is fine, a stray one outside is not, unbalanced quotes error.
+        assert_eq!(
+            parse_request("DELETE t name = 'a;b'").unwrap(),
+            Request::Delete {
+                table: "t".to_string(),
+                predicate: Some("name = 'a;b'".to_string()),
+            }
+        );
+        assert!(parse_request("DELETE t a = 1; b = 2").is_err());
+        assert!(parse_request("DELETE t name = 'oops").is_err());
+        assert!(parse_request("DELETE").is_err());
     }
 
     #[test]

@@ -135,6 +135,12 @@ fn handle_connection(service: &QueryService, stream: TcpStream) -> std::io::Resu
                 Ok(count) => writeln!(writer, "OK insert {table} rows={count}")?,
                 Err(e) => writeln!(writer, "ERR - {}", sanitize_line(&e.to_string()))?,
             },
+            Ok(Request::Delete { table, predicate }) => {
+                match service.delete(&table, predicate.as_deref()) {
+                    Ok(count) => writeln!(writer, "OK delete {table} rows={count}")?,
+                    Err(e) => writeln!(writer, "ERR - {}", sanitize_line(&e.to_string()))?,
+                }
+            }
             Ok(Request::Drop(table)) => {
                 let existed = service.drop_table(&table);
                 writeln!(writer, "OK drop {table} existed={existed}")?;

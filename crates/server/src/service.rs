@@ -8,13 +8,26 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use sparkline::{Error, LogicalPlan, Result, SessionConfig, SessionContext};
+use sparkline::{Error, Expr, LogicalPlan, Result, Row, SessionConfig, SessionContext};
+use sparkline_common::{SkylineDim, SkylineSpec};
+use sparkline_skyline::MaintainedSkyline;
 
 use crate::cache::BoundedCache;
-use crate::protocol::{normalize_sql, parse_literal_rows, render_rows};
+use crate::protocol::{normalize_sql, parse_literal_rows, render_plain_rows, render_rows};
 
 /// How long an admission waiter sleeps between cancellation checks.
 const ADMISSION_CHECK_SLICE: Duration = Duration::from_millis(2);
+
+/// Skyband depth of maintained views: a view survives up to `k` tracked
+/// deletes between rebuilds (the erosion budget — see
+/// `sparkline_skyline::maintain`). Deeper bands cost memory on every
+/// insert; 8 keeps delete-heavy workloads off the rebuild path without
+/// materially growing the band.
+const VIEW_SKYBAND_K: u32 = 8;
+
+/// Maximum number of maintained views (one per distinct skyline query
+/// shape); installs beyond this are skipped, never evicted mid-flight.
+const MAX_VIEWS: usize = 32;
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -30,6 +43,12 @@ pub struct ServerConfig {
     /// configuration's memory budget, deadline, retry policy, and
     /// executor count (on a session clone with a fresh cancel flag).
     pub session: SessionConfig,
+    /// Maintain k-skyband state for cached skyline queries so an
+    /// INSERT/DELETE through the service refreshes their result-cache
+    /// entries by delta instead of discarding the generation. Off, every
+    /// mutation recomputes from scratch on the next query (the bench's
+    /// comparison baseline).
+    pub maintained_views: bool,
 }
 
 impl Default for ServerConfig {
@@ -39,6 +58,7 @@ impl Default for ServerConfig {
             plan_cache_capacity: 256,
             result_cache_capacity: 256,
             session: SessionConfig::default(),
+            maintained_views: true,
         }
     }
 }
@@ -89,8 +109,11 @@ pub struct ServiceStats {
     pub result_hits: u64,
     /// Result-cache misses.
     pub result_misses: u64,
-    /// Queries that finished with an error.
+    /// Queries that finished with a real error (cancellations excluded).
     pub errors: u64,
+    /// Queries that finished cancelled at the client's request — not
+    /// failures, so they are kept out of `errors`.
+    pub cancelled: u64,
     /// Queries currently registered (queued or executing).
     pub active: u64,
 }
@@ -103,6 +126,7 @@ struct Counters {
     result_hits: AtomicU64,
     result_misses: AtomicU64,
     errors: AtomicU64,
+    cancelled: AtomicU64,
 }
 
 /// Counting semaphore on std primitives (the vendored `parking_lot`
@@ -171,7 +195,48 @@ pub struct QueryService {
     running: Mutex<HashMap<u64, SessionContext>>,
     plan_cache: Mutex<BoundedCache<Arc<LogicalPlan>>>,
     result_cache: Mutex<BoundedCache<Arc<Vec<String>>>>,
+    /// Maintained skyline views, keyed by normalized SQL. Each carries
+    /// the k-skyband state that lets a mutation refresh the query's
+    /// result-cache entry by delta (see [`MaintainedView`]).
+    views: Mutex<HashMap<String, MaintainedView>>,
+    /// Serializes service-level mutations (INSERT/DELETE/DROP) so view
+    /// state and catalog versions advance in lock step.
+    mutation: Mutex<()>,
     counters: Counters,
+}
+
+/// The k-skyband state of one cached skyline query, installed on a
+/// result-cache miss when the analyzed plan is maintainable
+/// (`Skyline` over a pure column projection of a single table scan,
+/// complete data). `version` is the catalog version the state mirrors;
+/// a mutation whose pre-version does not match (something mutated the
+/// catalog behind the service's back) drops the view instead of
+/// applying a delta to stale state.
+///
+/// Installation is self-validating: the view's own rendering of its
+/// skyline must be byte-identical to the engine's rendered result
+/// before the view is accepted, so a delta-refreshed cache entry can
+/// never differ from what a cold recompute would have served.
+struct MaintainedView {
+    /// Lower-cased catalog table the query scans.
+    table: String,
+    /// Output column indices of the query's projection (applied to base
+    /// rows before they enter the skyband).
+    projection: Vec<usize>,
+    /// The incremental skyline state over projected rows.
+    skyband: MaintainedSkyline,
+    /// Catalog version the skyband state corresponds to.
+    version: u64,
+}
+
+/// What a service mutation did to a table, as the views see it.
+enum ViewChange<'a> {
+    /// Rows appended (base-table shape, not yet projected).
+    Insert(&'a [Row]),
+    /// Ascending pre-delete positions of removed rows.
+    Delete(&'a [usize]),
+    /// The table is gone.
+    Drop,
 }
 
 impl QueryService {
@@ -191,6 +256,8 @@ impl QueryService {
             running: Mutex::new(HashMap::new()),
             plan_cache: Mutex::new(BoundedCache::new(config.plan_cache_capacity)),
             result_cache: Mutex::new(BoundedCache::new(config.result_cache_capacity)),
+            views: Mutex::new(HashMap::new()),
+            mutation: Mutex::new(()),
             counters: Counters::default(),
             base,
             config,
@@ -227,8 +294,16 @@ impl QueryService {
             .expect("running lock poisoned")
             .remove(&id);
         self.counters.queries.fetch_add(1, Ordering::Relaxed);
-        if outcome.is_err() {
-            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        match &outcome {
+            // A client-requested cancel is not a failure: counting it in
+            // `errors` would inflate the server's error rate.
+            Err(e) if e.is_cancelled() => {
+                self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(_) => {}
         }
         outcome
     }
@@ -298,7 +373,10 @@ impl QueryService {
             self.result_cache
                 .lock()
                 .expect("cache lock")
-                .insert(key, Arc::clone(&rows));
+                .insert(key.clone(), Arc::clone(&rows));
+            if self.config.maintained_views {
+                self.maybe_install_view(&session, &key.0, &plan, &rows, version);
+            }
         }
         Ok(QueryReply {
             rows,
@@ -321,27 +399,171 @@ impl QueryService {
     }
 
     /// Append literal rows to a table (parsed against its schema),
-    /// bumping the catalog version and retiring stale cache entries.
+    /// bumping the catalog version, applying deltas to maintained
+    /// views, and retiring stale cache entries.
     pub fn insert(&self, table: &str, literal_rows: &[Vec<String>]) -> Result<usize> {
+        let _guard = self.mutation.lock().expect("mutation lock poisoned");
         let schema = self.base.table(table)?.schema()?;
         let rows = parse_literal_rows(table, &schema, literal_rows)?;
-        let count = self.base.insert_rows(table, rows)?;
+        let pre = self.base.catalog_version();
+        let count = self.base.insert_rows(table, rows.clone())?;
+        self.after_mutation(table, pre, ViewChange::Insert(&rows));
         self.trim_caches();
         Ok(count)
     }
 
-    /// Drop a table, retiring stale cache entries.
+    /// `DELETE FROM table [WHERE predicate]`: parse the predicate text
+    /// as a SQL expression, remove the matching rows (all rows when
+    /// `None`), apply deltas to maintained views, and retire stale cache
+    /// entries. Returns the number of removed rows.
+    pub fn delete(&self, table: &str, predicate: Option<&str>) -> Result<usize> {
+        let _guard = self.mutation.lock().expect("mutation lock poisoned");
+        let predicate = predicate
+            .map(sparkline_parser::parse_expression)
+            .transpose()?;
+        let pre = self.base.catalog_version();
+        let positions = self.base.delete_where(table, predicate.as_ref())?;
+        self.after_mutation(table, pre, ViewChange::Delete(&positions));
+        self.trim_caches();
+        Ok(positions.len())
+    }
+
+    /// Drop a table, dropping its maintained views and retiring stale
+    /// cache entries.
     pub fn drop_table(&self, name: &str) -> bool {
+        let _guard = self.mutation.lock().expect("mutation lock poisoned");
+        let pre = self.base.catalog_version();
         let existed = self.base.deregister_table(name);
         if existed {
+            self.after_mutation(name, pre, ViewChange::Drop);
             self.trim_caches();
         }
         existed
     }
 
+    /// Number of live maintained views (test/bench observability).
+    pub fn view_count(&self) -> usize {
+        self.views.lock().expect("views lock poisoned").len()
+    }
+
     /// Registered table names.
     pub fn table_names(&self) -> Vec<String> {
         self.base.table_names()
+    }
+
+    /// Try to install a maintained view for a query that just missed the
+    /// result cache. Only maintainable plans qualify (see
+    /// [`match_maintainable`]); the install is self-validating — the
+    /// skyband's own rendering must be byte-identical to the engine's
+    /// `rows` — and is skipped entirely if any mutation raced the
+    /// snapshot (the view would start from inconsistent state).
+    fn maybe_install_view(
+        &self,
+        session: &SessionContext,
+        normalized: &str,
+        plan: &LogicalPlan,
+        rows: &Arc<Vec<String>>,
+        version: u64,
+    ) {
+        let Some((table, projection, spec)) = match_maintainable(plan) else {
+            return;
+        };
+        let mut views = self.views.lock().expect("views lock poisoned");
+        if let Some(existing) = views.get(normalized) {
+            if existing.version == version {
+                return; // Fresh view already installed.
+            }
+        } else if views.len() >= MAX_VIEWS {
+            return;
+        }
+        let Some(base_rows) = session.table_rows_snapshot(&table) else {
+            return; // Disk-resident or concurrently dropped.
+        };
+        // Monotone versions: if the version still reads `version` after
+        // the snapshot, the snapshot is exactly the state the executed
+        // query (and its cached rendering) saw.
+        if session.catalog_version() != version {
+            return;
+        }
+        let projected: Vec<Row> = base_rows
+            .iter()
+            .map(|r| Row::new(projection.iter().map(|&i| r.values()[i].clone()).collect()))
+            .collect();
+        let Ok(skyband) = MaintainedSkyline::new(spec, VIEW_SKYBAND_K, &projected) else {
+            return;
+        };
+        if render_plain_rows(&skyband.skyline_rows()) != **rows {
+            // The engine's output order (or content, under a config this
+            // layer doesn't model) differs from the maintained order —
+            // serving from this view could change bytes, so don't.
+            return;
+        }
+        views.insert(
+            normalized.to_string(),
+            MaintainedView {
+                table,
+                projection,
+                skyband,
+                version,
+            },
+        );
+    }
+
+    /// Advance maintained views past a service mutation on `table` whose
+    /// pre-mutation catalog version was `pre`. Views whose version is
+    /// not `pre` mirror a catalog that was mutated behind the service's
+    /// back — dropped, not delta-patched. Views on the mutated table
+    /// absorb the change through their skyband; every surviving view
+    /// then re-renders its (possibly unchanged) skyline into the result
+    /// cache under the new version, which is what keeps post-mutation
+    /// queries on the cache-hit path.
+    fn after_mutation(&self, table: &str, pre: u64, change: ViewChange<'_>) {
+        if !self.config.maintained_views {
+            return;
+        }
+        let post = self.base.catalog_version();
+        let mut views = self.views.lock().expect("views lock poisoned");
+        views.retain(|_, v| v.version == pre);
+        if post == pre {
+            return; // Mutation was a no-op (e.g. DELETE matched nothing).
+        }
+        let table_key = table.to_ascii_lowercase();
+        let mut dead = Vec::new();
+        for (sql, view) in views.iter_mut() {
+            if view.table == table_key {
+                let applied = match &change {
+                    ViewChange::Insert(rows) => {
+                        for row in rows.iter() {
+                            let projected = Row::new(
+                                view.projection
+                                    .iter()
+                                    .map(|&i| row.values()[i].clone())
+                                    .collect(),
+                            );
+                            view.skyband.apply_insert(projected);
+                        }
+                        true
+                    }
+                    ViewChange::Delete(positions) => positions
+                        .iter()
+                        .rev()
+                        .all(|&p| view.skyband.apply_delete(p).is_ok()),
+                    ViewChange::Drop => false,
+                };
+                if !applied {
+                    dead.push(sql.clone());
+                    continue;
+                }
+            }
+            view.version = post;
+            self.result_cache.lock().expect("cache lock").insert(
+                (sql.clone(), post),
+                Arc::new(render_plain_rows(&view.skyband.skyline_rows())),
+            );
+        }
+        for sql in dead {
+            views.remove(&sql);
+        }
     }
 
     /// Proactively drop cache entries from retired catalog versions.
@@ -368,6 +590,7 @@ impl QueryService {
             result_hits: self.counters.result_hits.load(Ordering::Relaxed),
             result_misses: self.counters.result_misses.load(Ordering::Relaxed),
             errors: self.counters.errors.load(Ordering::Relaxed),
+            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
             active: self.running.lock().expect("running lock poisoned").len() as u64,
         }
     }
@@ -377,16 +600,77 @@ impl QueryService {
         let s = self.stats();
         format!(
             "queries={} plan_hits={} plan_misses={} result_hits={} result_misses={} \
-             errors={} active={}",
+             errors={} cancelled={} active={}",
             s.queries,
             s.plan_hits,
             s.plan_misses,
             s.result_hits,
             s.result_misses,
             s.errors,
+            s.cancelled,
             s.active
         )
     }
+}
+
+/// Decide whether an analyzed plan is maintainable, returning the
+/// scanned table (lower-cased), the projection's column indices, and
+/// the resolved skyline spec over the projected row.
+///
+/// Maintainable means exactly: `Skyline` (non-DISTINCT) over a
+/// projection of plain columns over a single table scan, with every
+/// dimension a plain column that is either covered by the `COMPLETE`
+/// assertion or non-nullable by schema — the shape for which the
+/// k-skyband's complete-relation dominance matches the engine's. Any
+/// other plan (joins, filters, aggregates, expressions, DISTINCT,
+/// potentially incomplete dimensions) is left to ordinary
+/// recompute-on-mutation caching.
+fn match_maintainable(plan: &LogicalPlan) -> Option<(String, Vec<usize>, SkylineSpec)> {
+    let LogicalPlan::Skyline {
+        distinct: false,
+        complete,
+        dims,
+        input,
+    } = plan
+    else {
+        return None;
+    };
+    let LogicalPlan::Projection { exprs, input: scan } = input.as_ref() else {
+        return None;
+    };
+    let LogicalPlan::TableScan { name, .. } = scan.as_ref() else {
+        return None;
+    };
+    let mut projection = Vec::with_capacity(exprs.len());
+    for expr in exprs {
+        let Expr::BoundColumn(c) = expr else {
+            return None;
+        };
+        projection.push(c.index);
+    }
+    let mut spec_dims = Vec::with_capacity(dims.len());
+    for dim in dims {
+        // The dimension is bound against the skyline's input — the
+        // projection output — so its index addresses the projected row.
+        let Expr::BoundColumn(c) = &dim.child else {
+            return None;
+        };
+        if !*complete && c.field.nullable() {
+            return None;
+        }
+        if c.index >= projection.len() {
+            return None;
+        }
+        spec_dims.push(SkylineDim::new(c.index, dim.ty));
+    }
+    Some((
+        name.to_ascii_lowercase(),
+        projection,
+        SkylineSpec {
+            dims: spec_dims,
+            distinct: false,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -463,25 +747,72 @@ mod tests {
     }
 
     #[test]
-    fn mutations_invalidate_the_result_cache() {
+    fn mutations_never_serve_stale_bytes() {
         let svc = service();
         let id = svc.register_query();
         let before = svc.run_query(id, SKY).unwrap();
         assert_eq!(before.rows.len(), 2);
+        assert_eq!(svc.view_count(), 1, "skyline query should install a view");
 
         // (60, 8) joins the Pareto front (incomparable with both current
-        // members); the cached body must not survive the insert.
+        // members); the cached body must not survive the insert. With
+        // maintained views the entry is *refreshed* by delta — a hit
+        // with fresh bytes — instead of discarded.
+        svc.insert("hotels", &[vec!["60".into(), "8".into()]])
+            .unwrap();
+        let id = svc.register_query();
+        let after = svc.run_query(id, SKY).unwrap();
+        assert_eq!(after.result, CacheOutcome::Hit, "view should refresh");
+        assert_eq!(after.rows.len(), 3);
+
+        // Dropping the table invalidates again: the query now errors.
+        assert!(svc.drop_table("hotels"));
+        assert_eq!(svc.view_count(), 0, "drop must discard the view");
+        let id = svc.register_query();
+        assert!(svc.run_query(id, SKY).is_err());
+    }
+
+    #[test]
+    fn mutations_invalidate_the_result_cache_without_views() {
+        let config = ServerConfig {
+            maintained_views: false,
+            ..ServerConfig::default()
+        };
+        let svc = QueryService::with_session(service().session().clone(), config);
+        let id = svc.register_query();
+        let before = svc.run_query(id, SKY).unwrap();
+        assert_eq!(before.rows.len(), 2);
+        assert_eq!(svc.view_count(), 0);
+
         svc.insert("hotels", &[vec!["60".into(), "8".into()]])
             .unwrap();
         let id = svc.register_query();
         let after = svc.run_query(id, SKY).unwrap();
         assert_eq!(after.result, CacheOutcome::Miss, "stale hit after insert");
         assert_eq!(after.rows.len(), 3);
+    }
 
-        // Dropping the table invalidates again: the query now errors.
-        assert!(svc.drop_table("hotels"));
+    #[test]
+    fn delete_refreshes_maintained_views() {
+        let svc = service();
         let id = svc.register_query();
-        assert!(svc.run_query(id, SKY).is_err());
+        let before = svc.run_query(id, SKY).unwrap();
+        assert_eq!(before.rows.len(), 2);
+
+        // Delete the cheap front member (50, 7). (90, 6) stays dominated
+        // by (80, 9), so the new front is (80, 9) alone.
+        let removed = svc.delete("hotels", Some("price = 50")).unwrap();
+        assert_eq!(removed, 1);
+        let id = svc.register_query();
+        let after = svc.run_query(id, SKY).unwrap();
+        assert_eq!(after.result, CacheOutcome::Hit, "view should refresh");
+        assert_eq!(after.rows, Arc::new(vec!["80\t9".to_string()]));
+
+        // A delete matching nothing keeps version and caches untouched.
+        assert_eq!(svc.delete("hotels", Some("price = 9999")).unwrap(), 0);
+        let id = svc.register_query();
+        let again = svc.run_query(id, SKY).unwrap();
+        assert_eq!(again.result, CacheOutcome::Hit);
     }
 
     #[test]

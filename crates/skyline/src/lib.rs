@@ -25,6 +25,11 @@
 //!   module docs for the soundness argument); plus the intentionally
 //!   faulty premature-deletion variant of Appendix A used to demonstrate
 //!   the cyclic-dominance pitfall.
+//! * [`maintain`] — incremental skyline maintenance under INSERT/DELETE:
+//!   a k-skyband of per-tuple dominator counts over the columnar kernel,
+//!   applying each mutation as a delta and returning the skyline
+//!   change-set (complete relations only — see the module docs for the
+//!   erosion-budget soundness argument).
 //! * [`prefilter`] — representative-point pre-filtering (Ciaccia &
 //!   Martinenghi): the skyline of a seeded input sample, encoded once into
 //!   the columnar kernel, discards strictly dominated tuples during the
@@ -41,6 +46,7 @@ pub mod bnl;
 pub mod columnar;
 pub mod dominance;
 pub mod incomplete;
+pub mod maintain;
 pub mod naive;
 pub mod prefilter;
 pub mod sfs;
@@ -60,6 +66,7 @@ pub use incomplete::{
     premature_deletion_global_skyline, GroupedBnlBuilder, IncompletePartial,
     IncompletePartialBuilder,
 };
+pub use maintain::{MaintainedSkyline, SkylineDelta};
 pub use naive::naive_skyline;
 pub use prefilter::{representative_points, RepresentativeFilter};
 pub use sfs::{monotone_score, sfs_skyline, sfs_skyline_batched, sfs_skyline_kernel};

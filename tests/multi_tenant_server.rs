@@ -100,7 +100,15 @@ fn concurrent_clients_match_direct_execution_byte_for_byte() {
 #[test]
 fn result_cache_misses_after_each_table_mutation() {
     let ctx = session_with_hotels(SessionConfig::default(), 200);
-    let service = QueryService::with_session(ctx, ServerConfig::default());
+    // Maintained views off: this test pins the *baseline* invalidation
+    // path, where every mutation discards the cached generation. (With
+    // views on, a skyline query's entry is refreshed by delta instead —
+    // covered by tests/incremental_skyline.rs.)
+    let config = ServerConfig {
+        maintained_views: false,
+        ..ServerConfig::default()
+    };
+    let service = QueryService::with_session(ctx, config);
     let server = SkylineServer::start_with_service(service).unwrap();
     let mut client = ServerClient::connect(server.addr()).unwrap();
 

@@ -20,7 +20,8 @@ fn session(config: SessionConfig) -> SessionContext {
         rows,
     )
     .unwrap();
-    ctx.register_foreign_key("airbnb", "id", "scores", "listing_id");
+    ctx.register_foreign_key("airbnb", "id", "scores", "listing_id")
+        .unwrap();
     ctx
 }
 
